@@ -1,0 +1,45 @@
+//! Shared interface for the SpMM comparators (paper §4.1).
+//!
+//! Every baseline follows the Jigsaw crate's plan/run split: plan once
+//! against the stationary A, then compute and/or simulate per B. All
+//! baselines run on the same simulated machine with the same cost
+//! mechanisms, so relative results are apples-to-apples — the
+//! substitution DESIGN.md §2 documents.
+
+use dlmc::Matrix;
+use gpu_sim::{GpuSpec, KernelStats};
+
+/// A planned SpMM kernel: functional compute + timing model.
+pub trait SpmmKernel {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes `C = A × B` (f32 accumulators, row-major `M × N`).
+    fn compute(&self, b: &Matrix) -> Vec<f32>;
+
+    /// Simulates the kernel for an `N`-column B and reports timing.
+    fn simulate(&self, n: usize, spec: &GpuSpec) -> KernelStats;
+}
+
+/// Splits `total` work items into `shares` nearly equal chunks; chunk
+/// `i` gets `chunk_size(total, shares, i)` items.
+pub fn chunk_size(total: usize, shares: usize, i: usize) -> usize {
+    let base = total / shares;
+    let extra = total % shares;
+    base + usize::from(i < extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_total() {
+        for total in [0, 1, 7, 64, 1000] {
+            for shares in [1, 3, 8] {
+                let sum: usize = (0..shares).map(|i| chunk_size(total, shares, i)).sum();
+                assert_eq!(sum, total);
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! cuSparseLt-style 2:4 SpTC GEMM (Mishra et al. 2021) — used directly
+//! in Table 3 and as the structured half of SparTA's decomposition.
+//!
+//! The library requires the whole LHS to satisfy the 2:4 pattern; it
+//! compresses to `K/2` and runs `mma.sp` over the *full* K extent — it
+//! has no notion of zero-column skipping, which is exactly the gap
+//! Jigsaw exploits on sparser-than-50% data. The pipeline modelled here
+//! is the library's pre-`cp.async` register-staged double buffering
+//! (global load → register → shared store), costing extra instructions
+//! and long-scoreboard exposure relative to Jigsaw's async pipeline.
+
+use dlmc::Matrix;
+use gpu_sim::{
+    simulate_kernel, BlockTrace, GpuSpec, KernelLaunch, KernelStats, MmaOp, TokenAlloc, WarpInstr,
+};
+use sptc::compress::matrix_satisfies_2_4;
+
+use crate::common::SpmmKernel;
+
+/// Planned 2:4 SpTC GEMM.
+pub struct CuSparseLt {
+    a: Matrix,
+}
+
+/// Error returned when the LHS violates the hardware pattern.
+#[derive(Debug, PartialEq, Eq)]
+pub struct NotTwoFourError;
+
+impl CuSparseLt {
+    /// Plans the GEMM; fails unless every row of A satisfies 2:4.
+    pub fn plan(a: &Matrix) -> Result<CuSparseLt, NotTwoFourError> {
+        if !a.cols.is_multiple_of(4) || !matrix_satisfies_2_4(&a.data, a.cols) {
+            return Err(NotTwoFourError);
+        }
+        Ok(CuSparseLt { a: a.clone() })
+    }
+
+    /// Plans without the 2:4 check — for callers (SparTA) that
+    /// constructed A to satisfy the pattern already.
+    pub fn plan_unchecked(a: &Matrix) -> CuSparseLt {
+        CuSparseLt { a: a.clone() }
+    }
+
+    fn build_launch(&self, n: usize, spec: &GpuSpec) -> KernelLaunch {
+        let _ = spec;
+        let (m, k) = (self.a.rows, self.a.cols);
+        let (bt_m, bt_n, warps) = (128usize, 128usize, 8usize);
+        let grid = m.div_ceil(bt_m) * n.div_ceil(bt_n);
+        let k_steps = k.div_ceil(32).max(1);
+        // Warp tile 64x32 (tall tiles amortize B fragments over four
+        // mma rows, keeping the shared-memory pipe at tensor rate):
+        // (64/16)*(32/8) = 16 mma.sp per 32-k step.
+        let mmas_per_step = 16usize;
+
+        let a_slab = (bt_m * 16 * 2 / warps) as u32; // compressed halves
+        let b_slab = (32 * (bt_n + 8) * 2 / warps) as u32;
+        let smem = 2 * (bt_m * 16 + 32 * (bt_n + 8)) * 2 + 4096;
+
+        let mut trace: Vec<WarpInstr> = Vec::new();
+        let mut t = TokenAlloc::new();
+        // Register-staged double buffer: the global loads for step n+1
+        // issue at the top of iteration n and their register->shared
+        // stores at the bottom, hiding the load latency behind the
+        // step's tensor work (the pre-cp.async idiom).
+        let stage_load = |trace: &mut Vec<WarpInstr>, t: &mut TokenAlloc| {
+            let ga = t.fresh();
+            trace.push(WarpInstr::LdGlobal {
+                bytes: a_slab,
+                transactions: 4,
+                produces: Some(ga),
+                l2_hit: true,
+                consumes: vec![],
+            });
+            let gb = t.fresh();
+            trace.push(WarpInstr::LdGlobal {
+                bytes: b_slab,
+                transactions: 8,
+                produces: Some(gb),
+                l2_hit: true,
+                consumes: vec![],
+            });
+            (ga, gb)
+        };
+        let stage_store = |trace: &mut Vec<WarpInstr>, toks: (u32, u32)| {
+            trace.push(WarpInstr::StShared {
+                conflict_ways: 1,
+                consumes: vec![toks.0],
+            });
+            trace.push(WarpInstr::StShared {
+                conflict_ways: 1,
+                consumes: vec![toks.1],
+            });
+        };
+        let toks = stage_load(&mut trace, &mut t);
+        stage_store(&mut trace, toks);
+        let mut acc: Vec<Option<u32>> = vec![None; mmas_per_step];
+        // Fragment double buffering as in the dense library: ldmatrix
+        // for step n issues before the mma batch of step n-1.
+        let mut staged: Option<(u32, u32, u32)> = None;
+        for step in 0..k_steps {
+            trace.push(WarpInstr::Barrier);
+            let next = (step + 1 < k_steps).then(|| stage_load(&mut trace, &mut t));
+            // Fragments: compressed A, B, and branchy metadata loads.
+            let a_tok = t.fresh();
+            for _ in 0..4 {
+                trace.push(WarpInstr::Ldmatrix {
+                    phases: 4,
+                    total_ways: 4,
+                    produces: Some(a_tok),
+                    consumes: vec![],
+                });
+            }
+            let b_tok = t.fresh();
+            for _ in 0..4 {
+                trace.push(WarpInstr::Ldmatrix {
+                    phases: 4,
+                    total_ways: 4,
+                    produces: Some(b_tok),
+                    consumes: vec![],
+                });
+            }
+            let m_tok = t.fresh();
+            trace.push(WarpInstr::LdShared {
+                conflict_ways: 1,
+                produces: Some(m_tok),
+                consumes: vec![],
+            });
+            trace.push(WarpInstr::CudaOp {
+                cycles: 2,
+                consumes: vec![m_tok],
+                produces: None,
+            });
+            let frags = staged;
+            staged = Some((a_tok, b_tok, m_tok));
+            // Compute the *previous* step's batch with the fragments
+            // staged last round, overlapping this step's ldmatrix.
+            if let Some((fa, fb, fm)) = frags {
+                for slot in acc.iter_mut() {
+                    let d = t.fresh();
+                    let mut consumes = vec![fa, fb, fm];
+                    if let Some(prev) = slot {
+                        consumes.push(*prev);
+                    }
+                    trace.push(WarpInstr::Mma {
+                        op: MmaOp::SparseM16N8K32,
+                        consumes,
+                        produces: Some(d),
+                    });
+                    *slot = Some(d);
+                }
+            }
+            if let Some(toks) = next {
+                stage_store(&mut trace, toks);
+            }
+            trace.push(WarpInstr::CudaOp {
+                cycles: 1,
+                consumes: vec![],
+                produces: None,
+            });
+        }
+        // Drain: the last step's staged fragments still need computing.
+        if let Some((fa, fb, fm)) = staged {
+            for slot in acc.iter_mut() {
+                let d = t.fresh();
+                let mut consumes = vec![fa, fb, fm];
+                if let Some(prev) = slot {
+                    consumes.push(*prev);
+                }
+                trace.push(WarpInstr::Mma {
+                    op: MmaOp::SparseM16N8K32,
+                    consumes,
+                    produces: Some(d),
+                });
+                *slot = Some(d);
+            }
+        }
+        trace.push(WarpInstr::StGlobal {
+            bytes: (64 * 32 * 2) as u32,
+            consumes: acc.into_iter().flatten().collect(),
+        });
+
+        KernelLaunch {
+            blocks: vec![
+                BlockTrace {
+                    warps: vec![trace; warps],
+                    smem_bytes: smem,
+                };
+                grid
+            ],
+            dram_bytes: (m * k / 2 * 2 + m * k / 8 + k * n * 2 + m * n * 2) as u64,
+        }
+    }
+}
+
+impl SpmmKernel for CuSparseLt {
+    fn name(&self) -> &'static str {
+        "cuSparseLt"
+    }
+
+    fn compute(&self, b: &Matrix) -> Vec<f32> {
+        self.a.matmul_reference(b)
+    }
+
+    fn simulate(&self, n: usize, spec: &GpuSpec) -> KernelStats {
+        simulate_kernel(&self.build_launch(n, spec), spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptc::F16;
+
+    fn two_four_matrix(m: usize, k: usize) -> Matrix {
+        let mut a = Matrix::zeros(m, k);
+        for r in 0..m {
+            for g in 0..k / 4 {
+                a.set(r, g * 4 + r % 4, F16::ONE);
+                a.set(r, g * 4 + (r + 1) % 4, F16::from_f32(2.0));
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn rejects_violating_matrix() {
+        let a = Matrix::from_f32(4, 4, &[1.0; 16]);
+        assert!(CuSparseLt::plan(&a).is_err());
+    }
+
+    #[test]
+    fn accepts_and_computes() {
+        let a = two_four_matrix(16, 32);
+        let b = dlmc::dense_rhs(32, 8, dlmc::ValueDist::SmallInt, 2);
+        let lt = CuSparseLt::plan(&a).unwrap();
+        assert_eq!(lt.compute(&b), a.matmul_reference(&b));
+    }
+
+    #[test]
+    fn runs_at_about_half_the_dense_time() {
+        // The library's headline: 2:4 GEMM ≈ 2x dense tensor-core GEMM
+        // on large, compute-bound shapes. (Smaller shapes are bound by
+        // the register-staged pipeline latency — the disadvantage the
+        // paper's §4.5 comparison exploits.)
+        let spec = GpuSpec::a100();
+        let a = two_four_matrix(2048, 2048);
+        let sparse = CuSparseLt::plan(&a).unwrap().simulate(2048, &spec);
+        let dense = crate::cublas::CublasGemm::plan(&a).simulate(2048, &spec);
+        let ratio = dense.duration_cycles / sparse.duration_cycles;
+        assert!(
+            (1.4..=2.6).contains(&ratio),
+            "dense/sparse ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # baselines — the paper's comparator kernels
+//!
+//! One module per system the evaluation compares against, each with
+//! the baseline's real format/algorithm structure implemented
+//! functionally plus a warp-trace timing model on the same simulated
+//! A100 (see DESIGN.md §2 for the substitution rationale):
+//!
+//! * [`cublas`] — dense `cublasHgemm`-style tensor-core GEMM (the
+//!   normalization baseline),
+//! * [`cusparselt`] — 2:4 SpTC GEMM,
+//! * [`sputnik`] — CSR SpMM on CUDA cores with row-swizzle balancing,
+//! * [`clasp`] — column-vector format on dense `mma.m8n8k16`,
+//! * [`magicube`] — quantized L16-R16 vector-sparse SpMM,
+//! * [`sparta`] — 2:4 + residual decomposition (cuSparseLt ⊕ Sputnik),
+//! * [`venom`] — V:N:M pruning with an SpTC kernel.
+
+#![warn(missing_docs)]
+
+pub mod clasp;
+pub mod common;
+pub mod cublas;
+pub mod cusparselt;
+pub mod magicube;
+pub mod sparta;
+pub mod sputnik;
+pub mod venom;
+
+pub use clasp::Clasp;
+pub use common::SpmmKernel;
+pub use cublas::CublasGemm;
+pub use cusparselt::CuSparseLt;
+pub use magicube::Magicube;
+pub use sparta::{decompose_2_4, Sparta};
+pub use sputnik::{Csr, Sputnik};
+pub use venom::Venom;

@@ -1,0 +1,299 @@
+//! Sputnik-style CSR SpMM on CUDA cores (Gale et al., SC'20).
+//!
+//! 1-D tiling: each thread block owns a strip of C rows × an N chunk;
+//! per nonzero the kernel gathers the matching row of B and runs FMAs
+//! on the CUDA cores. *Row-swizzle load balancing* sorts rows by
+//! length and deals them round-robin so concurrent blocks carry equal
+//! work. Developed for V100: no tensor cores, no `cp.async` — on an
+//! A100 model it is latency/bandwidth-bound, which is why the paper
+//! sees it reach cuBLAS parity only near 98% sparsity.
+
+use dlmc::Matrix;
+use gpu_sim::{
+    simulate_kernel, BlockTrace, GpuSpec, KernelLaunch, KernelStats, TokenAlloc, WarpInstr,
+};
+use sptc::F16;
+
+use crate::common::SpmmKernel;
+
+/// CSR with explicit f16 values.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// Matrix height.
+    pub rows: usize,
+    /// Matrix width.
+    pub cols: usize,
+    /// Row offsets (`rows + 1`).
+    pub row_offsets: Vec<usize>,
+    /// Column indices per nonzero.
+    pub col_indices: Vec<u32>,
+    /// Values per nonzero.
+    pub values: Vec<F16>,
+}
+
+impl Csr {
+    /// Builds CSR from a dense matrix.
+    pub fn from_matrix(a: &Matrix) -> Csr {
+        let mut row_offsets = Vec::with_capacity(a.rows + 1);
+        let mut col_indices = Vec::new();
+        let mut values = Vec::new();
+        row_offsets.push(0);
+        for r in 0..a.rows {
+            for c in 0..a.cols {
+                let v = a.get(r, c);
+                if !v.is_zero() {
+                    col_indices.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_offsets.push(col_indices.len());
+        }
+        Csr {
+            rows: a.rows,
+            cols: a.cols,
+            row_offsets,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Nonzeros in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_offsets[r + 1] - self.row_offsets[r]
+    }
+
+    /// Total stored bytes (offsets u32 + indices u32 + values f16).
+    pub fn stored_bytes(&self) -> usize {
+        (self.row_offsets.len() + self.col_indices.len()) * 4 + self.values.len() * 2
+    }
+}
+
+/// Planned Sputnik SpMM.
+pub struct Sputnik {
+    csr: Csr,
+    /// Rows sorted by descending nnz (row swizzle).
+    swizzled_rows: Vec<usize>,
+}
+
+/// Rows of C per thread block.
+const BLOCK_ROWS: usize = 32;
+/// Columns of C per thread block.
+const BLOCK_N: usize = 64;
+/// Warps per block.
+const WARPS: usize = 4;
+/// Nonzeros processed per inner-loop iteration of a warp.
+const CHUNK: usize = 8;
+
+impl Sputnik {
+    /// Plans the SpMM (CSR conversion + row swizzle).
+    pub fn plan(a: &Matrix) -> Sputnik {
+        let csr = Csr::from_matrix(a);
+        let mut swizzled_rows: Vec<usize> = (0..csr.rows).collect();
+        swizzled_rows.sort_by_key(|&r| std::cmp::Reverse(csr.row_nnz(r)));
+        Sputnik {
+            csr,
+            swizzled_rows,
+        }
+    }
+
+    fn build_launch(&self, n: usize, spec: &GpuSpec) -> KernelLaunch {
+        let n_blocks = n.div_ceil(BLOCK_N).max(1);
+        let row_blocks = self.csr.rows.div_ceil(BLOCK_ROWS).max(1);
+        let fma_per_cycle = spec.cuda_fp16_fma_per_cycle_per_scheduler as u32;
+
+        let mut blocks = Vec::with_capacity(row_blocks * n_blocks);
+        for rb in 0..row_blocks {
+            // Row swizzle: block rb takes swizzled rows rb, rb+RB, ...
+            // dealing the longest rows round-robin across blocks.
+            let rows: Vec<usize> = (0..BLOCK_ROWS)
+                .map(|i| rb + i * row_blocks)
+                .filter(|&i| i < self.swizzled_rows.len())
+                .map(|i| self.swizzled_rows[i])
+                .collect();
+            let block = self.build_block(&rows, fma_per_cycle);
+            for _ in 0..n_blocks {
+                blocks.push(block.clone());
+            }
+        }
+        KernelLaunch {
+            blocks,
+            dram_bytes: (self.csr.stored_bytes() + self.csr.cols * n * 2 + self.csr.rows * n * 2)
+                as u64,
+        }
+    }
+
+    fn build_block(&self, rows: &[usize], fma_per_cycle: u32) -> BlockTrace {
+        // B-row gather volume: rows inside a block share columns (vector
+        // sparsity makes runs of rows identical), and repeated rows hit
+        // the L1/L2 — charge each *distinct* column once per block.
+        let mut distinct = std::collections::HashSet::new();
+        let mut nnz_block = 0usize;
+        for &r in rows {
+            for i in self.csr.row_offsets[r]..self.csr.row_offsets[r + 1] {
+                distinct.insert(self.csr.col_indices[i]);
+            }
+            nnz_block += self.csr.row_nnz(r);
+        }
+        let reuse = if nnz_block == 0 {
+            1.0
+        } else {
+            distinct.len() as f64 / nnz_block as f64
+        };
+        let warps = (0..WARPS)
+            .map(|w| {
+                let mut trace = Vec::new();
+                let mut t = TokenAlloc::new();
+                // Each warp handles every WARPS-th row of the block.
+                for (i, &r) in rows.iter().enumerate() {
+                    if i % WARPS != w {
+                        continue;
+                    }
+                    let nnz = self.csr.row_nnz(r);
+                    let chunks = nnz.div_ceil(CHUNK);
+                    // Index prefetch, one chunk ahead (Sputnik's
+                    // software pipelining) — the B gather still pays
+                    // its own L2 round trip before the FMAs can issue.
+                    let mut idx_next = t.fresh();
+                    if chunks > 0 {
+                        trace.push(WarpInstr::LdGlobal {
+                            bytes: (CHUNK * 6) as u32,
+                            transactions: 2,
+                            produces: Some(idx_next),
+                            l2_hit: true,
+                            consumes: vec![],
+                        });
+                    }
+                    for c in 0..chunks {
+                        let idx_tok = idx_next;
+                        if c + 1 < chunks {
+                            idx_next = t.fresh();
+                            trace.push(WarpInstr::LdGlobal {
+                                bytes: (CHUNK * 6) as u32,
+                                transactions: 2,
+                                produces: Some(idx_next),
+                                l2_hit: true,
+                                consumes: vec![],
+                            });
+                        }
+                        // Gather CHUNK rows of B for this N slab —
+                        // scattered rows; repeated columns are cached,
+                        // so the memory-system traffic scales by the
+                        // block's distinct-column fraction.
+                        let b_tok = t.fresh();
+                        let bytes = ((CHUNK * BLOCK_N * 2) as f64 * reuse).ceil() as u32;
+                        trace.push(WarpInstr::LdGlobal {
+                            bytes: bytes.max(32),
+                            transactions: (CHUNK as f64 * reuse).ceil() as u32 * 4,
+                            produces: Some(b_tok),
+                            l2_hit: true,
+                            consumes: vec![idx_tok],
+                        });
+                        // FMA work on the CUDA pipes.
+                        let useful = (CHUNK * BLOCK_N) as u32;
+                        trace.push(WarpInstr::CudaOp {
+                            cycles: (useful / fma_per_cycle).max(1),
+                            consumes: vec![b_tok],
+                            produces: None,
+                        });
+                    }
+                    trace.push(WarpInstr::StGlobal {
+                        bytes: (BLOCK_N * 2) as u32,
+                        consumes: vec![],
+                    });
+                }
+                trace
+            })
+            .collect();
+        BlockTrace {
+            warps,
+            smem_bytes: 8 * 1024,
+        }
+    }
+}
+
+impl SpmmKernel for Sputnik {
+    fn name(&self) -> &'static str {
+        "Sputnik"
+    }
+
+    fn compute(&self, b: &Matrix) -> Vec<f32> {
+        assert_eq!(self.csr.cols, b.rows);
+        let n = b.cols;
+        let mut c = vec![0.0f32; self.csr.rows * n];
+        for r in 0..self.csr.rows {
+            for i in self.csr.row_offsets[r]..self.csr.row_offsets[r + 1] {
+                let col = self.csr.col_indices[i] as usize;
+                let v = self.csr.values[i].to_f32();
+                let b_row = b.row(col);
+                let c_row = &mut c[r * n..(r + 1) * n];
+                for (acc, bv) in c_row.iter_mut().zip(b_row) {
+                    *acc += v * bv.to_f32();
+                }
+            }
+        }
+        c
+    }
+
+    fn simulate(&self, n: usize, spec: &GpuSpec) -> KernelStats {
+        simulate_kernel(&self.build_launch(n, spec), spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlmc::{dense_rhs, ValueDist, VectorSparseSpec};
+
+    #[test]
+    fn csr_roundtrip_compute() {
+        let a = VectorSparseSpec {
+            rows: 32,
+            cols: 64,
+            sparsity: 0.8,
+            v: 2,
+            dist: ValueDist::SmallInt,
+            seed: 3,
+        }
+        .generate();
+        let b = dense_rhs(64, 16, ValueDist::SmallInt, 4);
+        let s = Sputnik::plan(&a);
+        assert_eq!(s.compute(&b), a.matmul_reference(&b));
+    }
+
+    #[test]
+    fn row_swizzle_orders_by_length() {
+        let mut a = Matrix::zeros(4, 16);
+        for c in 0..10 {
+            a.set(2, c, F16::ONE);
+        }
+        a.set(0, 0, F16::ONE);
+        let s = Sputnik::plan(&a);
+        assert_eq!(s.swizzled_rows[0], 2);
+    }
+
+    #[test]
+    fn sparser_is_faster() {
+        let spec = GpuSpec::a100();
+        let mk = |s| {
+            VectorSparseSpec {
+                rows: 512,
+                cols: 512,
+                sparsity: s,
+                v: 4,
+                dist: ValueDist::Uniform,
+                seed: 6,
+            }
+            .generate()
+        };
+        let t80 = Sputnik::plan(&mk(0.8)).simulate(256, &spec);
+        let t98 = Sputnik::plan(&mk(0.98)).simulate(256, &spec);
+        assert!(t98.duration_cycles < t80.duration_cycles);
+    }
+
+    #[test]
+    fn stored_bytes_counts_csr() {
+        let a = Matrix::zeros(4, 8);
+        let csr = Csr::from_matrix(&a);
+        assert_eq!(csr.stored_bytes(), 5 * 4);
+    }
+}

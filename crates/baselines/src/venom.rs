@@ -1,0 +1,208 @@
+//! VENOM-style V:N:M SpMM (Castro et al., SC'23) — paper §4.5/Table 3.
+//!
+//! VENOM prunes weights into the V:N:M format: vertical vectors of
+//! length V; within every group of M columns only N carry nonzero
+//! vectors, and the kept columns map straight onto the SpTC's 2:4
+//! pattern. Its Spatha kernel therefore skips the pruned columns (like
+//! Jigsaw's zero-column skipping) but keeps a per-M-group index
+//! decode in the inner loop — cheaper for large V (fewer groups per
+//! row strip), which is why the paper's Table 3 gap narrows from
+//! V = 32 to V = 128. Compared to Jigsaw it lacks the interleaved
+//! metadata path and the deepened pipeline.
+
+use dlmc::Matrix;
+use gpu_sim::{
+    simulate_kernel, BlockTrace, GpuSpec, KernelLaunch, KernelStats, MmaOp, TokenAlloc, WarpInstr,
+};
+
+use crate::common::SpmmKernel;
+
+/// Planned VENOM SpMM.
+pub struct Venom {
+    a: Matrix,
+    /// Vector length V (32, 64 or 128 in the paper's evaluation).
+    pub v: usize,
+    /// N of the N:M column pattern (2 for SpTC mapping).
+    pub n_blk: usize,
+    /// M of the N:M column pattern.
+    pub m_blk: usize,
+}
+
+/// Columns of C per block.
+const BLOCK_N: usize = 64;
+/// Rows per mma.
+const MMA_M: usize = 16;
+
+impl Venom {
+    /// Plans for a matrix pruned with the (v, n_blk, m_blk) pattern
+    /// (see [`dlmc::venom_pruned`]).
+    pub fn plan(a: &Matrix, v: usize, n_blk: usize, m_blk: usize) -> Venom {
+        Venom {
+            a: a.clone(),
+            v,
+            n_blk,
+            m_blk,
+        }
+    }
+
+    fn build_launch(&self, n: usize, _spec: &GpuSpec) -> KernelLaunch {
+        let (m, k) = (self.a.rows, self.a.cols);
+        let n_blocks = n.div_ceil(BLOCK_N).max(1);
+        let row_strips = m.div_ceil(MMA_M);
+        // Kept columns per strip: n_blk per m_blk group; the inner
+        // scalar 2:4 level compresses them onto the SpTC, so one
+        // mma.sp advances 32 kept columns of A.
+        let kept_cols = k / self.m_blk * self.n_blk;
+        let k_steps = kept_cols.div_ceil(32).max(1);
+        // Index decode work per step: one group header per M-group
+        // touched; a step spans 32/n_blk groups; smaller V also means
+        // the vertical vector boundary is crossed more often per
+        // BLOCK_TILE of rows (128/V extra decodes).
+        let groups_per_step = (32 / self.n_blk).max(1);
+        let decode_cycles = (groups_per_step as u32 / 4).max(1) + (256 / self.v as u32);
+
+        let mut trace = Vec::new();
+        let mut t = TokenAlloc::new();
+        let stage = |trace: &mut Vec<WarpInstr>| {
+            trace.push(WarpInstr::CpAsync {
+                bytes: (MMA_M * 16 * 2) as u32,
+                group: 0,
+                consumes: vec![],
+            });
+            trace.push(WarpInstr::CpAsync {
+                bytes: (32 * (BLOCK_N + 8) * 2 / 4) as u32,
+                group: 0,
+                consumes: vec![],
+            });
+            trace.push(WarpInstr::CommitGroup { group: 0 });
+        };
+        stage(&mut trace);
+        let mut acc: Vec<Option<u32>> = vec![None; 4];
+        for step in 0..k_steps {
+            if step + 1 < k_steps {
+                // Shallow pipeline: the column-index decode gates the
+                // next B gather (VENOM has no col_idx prefetch stage).
+                let idx = t.fresh();
+                trace.push(WarpInstr::LdGlobal {
+                    bytes: (groups_per_step * 4) as u32,
+                    transactions: 2,
+                    produces: Some(idx),
+                    l2_hit: true,
+                    consumes: vec![],
+                });
+                trace.push(WarpInstr::CudaOp {
+                    cycles: decode_cycles,
+                    consumes: vec![idx],
+                    produces: None,
+                });
+                stage(&mut trace);
+            }
+            trace.push(WarpInstr::WaitGroup {
+                pending_allowed: u8::from(step + 1 < k_steps),
+            });
+            trace.push(WarpInstr::Barrier);
+            let a_tok = t.fresh();
+            trace.push(WarpInstr::Ldmatrix {
+                phases: 4,
+                total_ways: 4,
+                produces: Some(a_tok),
+                consumes: vec![],
+            });
+            // Branchy metadata load (no interleave).
+            let m_tok = t.fresh();
+            trace.push(WarpInstr::LdShared {
+                conflict_ways: 1,
+                produces: Some(m_tok),
+                consumes: vec![],
+            });
+            trace.push(WarpInstr::CudaOp {
+                cycles: 2,
+                consumes: vec![m_tok],
+                produces: None,
+            });
+            for slot in acc.iter_mut() {
+                let b_tok = t.fresh();
+                trace.push(WarpInstr::Ldmatrix {
+                    phases: 4,
+                    total_ways: 4,
+                    produces: Some(b_tok),
+                    consumes: vec![],
+                });
+                let d = t.fresh();
+                let mut consumes = vec![a_tok, b_tok, m_tok];
+                if let Some(prev) = slot {
+                    consumes.push(*prev);
+                }
+                trace.push(WarpInstr::Mma {
+                    op: MmaOp::SparseM16N8K32,
+                    consumes,
+                    produces: Some(d),
+                });
+                *slot = Some(d);
+            }
+        }
+        trace.push(WarpInstr::StGlobal {
+            bytes: (MMA_M * 32 * 2) as u32,
+            consumes: acc.into_iter().flatten().collect(),
+        });
+
+        let block = BlockTrace {
+            warps: vec![trace; 4],
+            smem_bytes: 26 * 1024,
+        };
+        let stored = self.a.nnz() * 2 + (m / self.v).max(1) * (k / self.m_blk) * 4;
+        KernelLaunch {
+            blocks: vec![block; row_strips * n_blocks],
+            dram_bytes: (stored + k * n * 2 + m * n * 2) as u64,
+        }
+    }
+}
+
+impl SpmmKernel for Venom {
+    fn name(&self) -> &'static str {
+        "VENOM"
+    }
+
+    fn compute(&self, b: &Matrix) -> Vec<f32> {
+        self.a.matmul_reference(b)
+    }
+
+    fn simulate(&self, n: usize, spec: &GpuSpec) -> KernelStats {
+        simulate_kernel(&self.build_launch(n, spec), spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlmc::{dense_rhs, venom_pruned, ValueDist};
+
+    #[test]
+    fn compute_matches_reference() {
+        let a = venom_pruned(64, 64, 32, 2, 8, ValueDist::SmallInt, 40);
+        let b = dense_rhs(64, 16, ValueDist::SmallInt, 41);
+        let v = Venom::plan(&a, 32, 2, 8);
+        assert_eq!(v.compute(&b), a.matmul_reference(&b));
+    }
+
+    #[test]
+    fn larger_v_is_faster() {
+        let spec = GpuSpec::a100();
+        let a32 = venom_pruned(512, 512, 32, 2, 16, ValueDist::Ones, 42);
+        let a128 = venom_pruned(512, 512, 128, 2, 16, ValueDist::Ones, 43);
+        let t32 = Venom::plan(&a32, 32, 2, 16).simulate(256, &spec);
+        let t128 = Venom::plan(&a128, 128, 2, 16).simulate(256, &spec);
+        assert!(t128.duration_cycles <= t32.duration_cycles);
+    }
+
+    #[test]
+    fn sparser_pattern_is_faster() {
+        // Higher m_blk (fewer kept columns) -> fewer k-steps.
+        let spec = GpuSpec::a100();
+        let a10 = venom_pruned(512, 640, 64, 2, 10, ValueDist::Ones, 44);
+        let a40 = venom_pruned(512, 640, 64, 2, 40, ValueDist::Ones, 45);
+        let t10 = Venom::plan(&a10, 64, 2, 10).simulate(256, &spec);
+        let t40 = Venom::plan(&a40, 64, 2, 40).simulate(256, &spec);
+        assert!(t40.duration_cycles < t10.duration_cycles);
+    }
+}

@@ -1,0 +1,44 @@
+//! Benchmarks of the reorder-aware storage format: compression build
+//! and the metadata interleave transform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dlmc::{ValueDist, VectorSparseSpec};
+use jigsaw_core::{JigsawConfig, JigsawFormat, ReorderPlan};
+use sptc::metadata::{deinterleave_two_ops, interleave_two_ops};
+
+fn bench_format_build(c: &mut Criterion) {
+    let a = VectorSparseSpec {
+        rows: 512,
+        cols: 512,
+        sparsity: 0.9,
+        v: 4,
+        dist: ValueDist::Uniform,
+        seed: 8,
+    }
+    .generate();
+    let plan = ReorderPlan::build(&a, &JigsawConfig::v4(32));
+    let mut group = c.benchmark_group("format_build_512x512");
+    group.sample_size(20);
+    for interleaved in [false, true] {
+        group.bench_function(format!("interleaved_{interleaved}"), |b| {
+            b.iter(|| black_box(JigsawFormat::build(&a, &plan, interleaved)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interleave(c: &mut Criterion) {
+    let op0: [u32; 16] = std::array::from_fn(|i| i as u32 * 0x01010101);
+    let op1: [u32; 16] = std::array::from_fn(|i| !(i as u32));
+    c.bench_function("metadata_interleave_roundtrip", |b| {
+        b.iter(|| {
+            let block = interleave_two_ops(&op0, &op1);
+            black_box(deinterleave_two_ops(&block))
+        })
+    });
+}
+
+criterion_group!(benches, bench_format_build, bench_interleave);
+criterion_main!(benches);

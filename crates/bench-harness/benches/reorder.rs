@@ -1,0 +1,93 @@
+//! Host-side benchmarks of the "one-time light preprocessing" the paper
+//! amortizes over inference: Algorithm 1 tile reorder, strip reorder,
+//! and whole-matrix planning — plus the DESIGN.md ablation of the
+//! bank-conflict-aware search preference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dlmc::{ValueDist, VectorSparseSpec};
+use jigsaw_core::reorder::tile::{
+    reorder_tile, reorder_tile_bidirectional, ColumnMasks, DEFAULT_WORK_LIMIT,
+};
+use jigsaw_core::reorder::{reorder_strip, ReorderPlan};
+use jigsaw_core::JigsawConfig;
+use rand::prelude::*;
+
+fn random_masks(density_bits: u32, seed: u64) -> ColumnMasks {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut masks = [0u16; 16];
+    for m in masks.iter_mut() {
+        *m = (0..density_bits)
+            .map(|_| 1u16 << rng.gen_range(0..16))
+            .fold(0, |a, b| a | b);
+    }
+    masks
+}
+
+fn bench_tile_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_tile_reorder");
+    for &bits in &[1u32, 3, 6] {
+        let masks = random_masks(bits, 42);
+        group.bench_with_input(
+            BenchmarkId::new("bank_aware", bits),
+            &masks,
+            |b, masks| b.iter(|| black_box(reorder_tile(masks, true, DEFAULT_WORK_LIMIT))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("first_fit", bits),
+            &masks,
+            |b, masks| b.iter(|| black_box(reorder_tile(masks, false, DEFAULT_WORK_LIMIT))),
+        );
+        // DESIGN.md §6 ablation: the paper's literal bidirectional
+        // search vs the memoized exact-cover DFS.
+        group.bench_with_input(
+            BenchmarkId::new("paper_bidirectional", bits),
+            &masks,
+            |b, masks| b.iter(|| black_box(reorder_tile_bidirectional(masks))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_strip_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strip_reorder");
+    for &(sparsity, v) in &[(0.8, 2usize), (0.95, 8)] {
+        let a = VectorSparseSpec {
+            rows: 64,
+            cols: 1024,
+            sparsity,
+            v,
+            dist: ValueDist::Uniform,
+            seed: 7,
+        }
+        .generate();
+        group.bench_function(format!("s{:.0}_v{v}", sparsity * 100.0), |b| {
+            b.iter(|| black_box(reorder_strip(&a, 0, 64, true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_plan(c: &mut Criterion) {
+    let a = VectorSparseSpec {
+        rows: 512,
+        cols: 512,
+        sparsity: 0.9,
+        v: 4,
+        dist: ValueDist::Uniform,
+        seed: 9,
+    }
+    .generate();
+    let mut group = c.benchmark_group("full_plan_512x512");
+    group.sample_size(20);
+    for bt in JigsawConfig::BLOCK_TILE_CANDIDATES {
+        group.bench_function(format!("bt{bt}"), |b| {
+            b.iter(|| black_box(ReorderPlan::build(&a, &JigsawConfig::v4(bt))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tile_reorder, bench_strip_reorder, bench_full_plan);
+criterion_main!(benches);

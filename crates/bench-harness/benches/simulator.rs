@@ -1,0 +1,84 @@
+//! Benchmarks of the `gpu-sim` timing engine itself: per-block
+//! simulation throughput and whole-kernel simulation with block
+//! deduplication.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use gpu_sim::{
+    simulate_block, simulate_kernel, BlockTrace, EngineConfig, GpuSpec, KernelLaunch, MmaOp,
+    TokenAlloc, WarpInstr,
+};
+
+/// A representative tensor-pipeline block: 8 warps x 64 steps of
+/// (ldmatrix + mma + async staging).
+fn pipeline_block() -> BlockTrace {
+    let mut warps = Vec::new();
+    for _ in 0..8 {
+        let mut t = TokenAlloc::new();
+        let mut trace = Vec::new();
+        for step in 0..64 {
+            trace.push(WarpInstr::CpAsync {
+                bytes: 2048,
+                group: 0,
+                consumes: vec![],
+            });
+            trace.push(WarpInstr::CommitGroup { group: 0 });
+            trace.push(WarpInstr::WaitGroup {
+                pending_allowed: u8::from(step + 1 < 64),
+            });
+            trace.push(WarpInstr::Barrier);
+            let a = t.fresh();
+            trace.push(WarpInstr::Ldmatrix {
+                phases: 4,
+                total_ways: 4,
+                produces: Some(a),
+                consumes: vec![],
+            });
+            for _ in 0..8 {
+                trace.push(WarpInstr::Mma {
+                    op: MmaOp::SparseM16N8K32,
+                    consumes: vec![a],
+                    produces: None,
+                });
+            }
+        }
+        warps.push(trace);
+    }
+    BlockTrace {
+        warps,
+        smem_bytes: 28 * 1024,
+    }
+}
+
+fn bench_block(c: &mut Criterion) {
+    let block = pipeline_block();
+    let cfg = EngineConfig {
+        spec: GpuSpec::a100(),
+        resident_blocks: 1,
+    };
+    let instrs: u64 = block.warps.iter().map(|w| w.len() as u64).sum();
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(instrs));
+    group.bench_function("simulate_block_8warps_64steps", |b| {
+        b.iter(|| black_box(simulate_block(&block, &cfg)))
+    });
+    group.finish();
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let spec = GpuSpec::a100();
+    let launch = KernelLaunch {
+        blocks: vec![pipeline_block(); 512],
+        dram_bytes: 8 << 20,
+    };
+    let mut group = c.benchmark_group("device");
+    group.sample_size(30);
+    group.bench_function("simulate_kernel_512_identical_blocks", |b| {
+        b.iter(|| black_box(simulate_kernel(&launch, &spec)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_block, bench_kernel);
+criterion_main!(benches);

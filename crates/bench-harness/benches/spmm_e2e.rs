@@ -1,0 +1,76 @@
+//! End-to-end benchmarks: plan + simulate + functional execution of
+//! the Jigsaw SpMM on realistic workloads, per table/figure driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dlmc::{dense_rhs, ValueDist, VectorSparseSpec};
+use gpu_sim::GpuSpec;
+use jigsaw_core::{execute_fast, JigsawConfig, JigsawSpmm};
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan");
+    group.sample_size(10);
+    for &(s, v) in &[(0.9f64, 4usize), (0.98, 8)] {
+        let a = VectorSparseSpec {
+            rows: 512,
+            cols: 1024,
+            sparsity: s,
+            v,
+            dist: ValueDist::Uniform,
+            seed: 3,
+        }
+        .generate();
+        group.bench_with_input(
+            BenchmarkId::new("512x1024", format!("s{:.0}_v{v}", s * 100.0)),
+            &a,
+            |b, a| b.iter(|| black_box(JigsawSpmm::plan(a, JigsawConfig::v4(32)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let a = VectorSparseSpec {
+        rows: 512,
+        cols: 512,
+        sparsity: 0.95,
+        v: 8,
+        dist: ValueDist::Uniform,
+        seed: 4,
+    }
+    .generate();
+    let b_mat = dense_rhs(512, 128, ValueDist::Uniform, 5);
+    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+    let mut group = c.benchmark_group("execute");
+    group.sample_size(20);
+    group.bench_function("fast_512x512x128", |b| {
+        b.iter(|| black_box(execute_fast(&spmm.format, &b_mat)))
+    });
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let spec = GpuSpec::a100();
+    let a = VectorSparseSpec {
+        rows: 1024,
+        cols: 1024,
+        sparsity: 0.95,
+        v: 8,
+        dist: ValueDist::Uniform,
+        seed: 6,
+    }
+    .generate();
+    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(20);
+    for &n in &[256usize, 1024] {
+        group.bench_function(format!("jigsaw_1024sq_n{n}"), |b| {
+            b.iter(|| black_box(spmm.simulate(n, &spec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan, bench_execute, bench_simulate);
+criterion_main!(benches);

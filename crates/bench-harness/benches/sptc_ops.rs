@@ -1,0 +1,74 @@
+//! Benchmarks of the SpTC functional emulation: f16 conversion, 2:4
+//! compression, fragment distribution, and `mma.sp` execution.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use rand::prelude::*;
+use sptc::compress::compress_tile_2_4;
+use sptc::fragment::{F16Fragment, FragKind};
+use sptc::mma::{dense_tile_reference, mma_sp_tile};
+use sptc::F16;
+
+fn random_2_4_tile(seed: u64) -> Vec<F16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tile = vec![F16::ZERO; 16 * 32];
+    for r in 0..16 {
+        for g in 0..8 {
+            for _ in 0..2 {
+                let p = rng.gen_range(0..4);
+                tile[r * 32 + g * 4 + p] = F16::from_f32(rng.gen_range(-4..=4) as f32);
+            }
+        }
+    }
+    tile
+}
+
+fn bench_f16(c: &mut Criterion) {
+    let values: Vec<f32> = (0..4096).map(|i| (i as f32) * 0.37 - 700.0).collect();
+    let mut group = c.benchmark_group("f16_conversion");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("from_f32_4096", |b| {
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&v| F16::from_f32(v).to_bits() as u32)
+                .sum::<u32>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let tile = random_2_4_tile(1);
+    c.bench_function("compress_tile_16x32", |b| {
+        b.iter(|| black_box(compress_tile_2_4(&tile, 32)))
+    });
+}
+
+fn bench_fragments(c: &mut Criterion) {
+    let tile: Vec<F16> = (0..16 * 16).map(|i| F16::from_f32(i as f32)).collect();
+    c.bench_function("fragment_load_store_a16x16", |b| {
+        b.iter(|| {
+            let frag = F16Fragment::load(FragKind::A16x16, &tile);
+            black_box(frag.store())
+        })
+    });
+}
+
+fn bench_mma_sp(c: &mut Criterion) {
+    let a = random_2_4_tile(2);
+    let b_tile: Vec<F16> = (0..32 * 8).map(|i| F16::from_f32((i % 9) as f32)).collect();
+    let acc = vec![0.0f32; 128];
+    let mut group = c.benchmark_group("mma");
+    group.bench_function("mma_sp_tile_16x8x32", |b| {
+        b.iter(|| black_box(mma_sp_tile(&a, &b_tile, &acc)))
+    });
+    group.bench_function("dense_reference_16x8x32", |b| {
+        b.iter(|| black_box(dense_tile_reference(&a, &b_tile, &acc, 32)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_f16, bench_compress, bench_fragments, bench_mma_sp);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Runs every experiment and rewrites EXPERIMENTS.md with the
+//! paper-vs-measured tables.
+
+use bench_harness::experiments::{fig1, fig10, fig11, fig12, overhead, table2, table3};
+use bench_harness::report::experiments_markdown;
+use bench_harness::runner::write_json;
+use bench_harness::suite;
+use gpu_sim::GpuSpec;
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let suite_label = if suite::full_suite() { "full" } else { "quick" };
+
+    eprintln!("[1/7] Figure 1 (native 2:4 support)...");
+    let f1 = fig1::run();
+    println!("{}\n", f1.to_text());
+
+    eprintln!("[2/7] Table 2 (speedups vs baselines)...");
+    let t2 = table2::run(&spec);
+    println!("{}\n", t2.to_text());
+
+    eprintln!("[3/7] Figure 10 (speedup vs N)...");
+    let f10 = fig10::run(&t2.comparisons);
+    println!("{}\n", f10.to_text());
+
+    eprintln!("[4/7] Figure 11 (reorder success)...");
+    let f11 = fig11::run();
+    println!("{}\n", f11.to_text());
+
+    eprintln!("[5/7] Figure 12 (ablation)...");
+    let f12 = fig12::run(&spec);
+    println!("{}\n", f12.to_text());
+
+    eprintln!("[6/7] Table 3 (VENOM/cuSparseLt)...");
+    let t3 = table3::run(&spec);
+    println!("{}\n", t3.to_text());
+
+    eprintln!("[7/7] Overhead (§4.6)...");
+    let oh = overhead::run();
+    println!("{}\n", oh.to_text());
+
+    for (name, json) in [
+        ("fig1", serde_json::to_value(&f1).unwrap()),
+        ("table2", serde_json::to_value(&t2).unwrap()),
+        ("fig10", serde_json::to_value(&f10).unwrap()),
+        ("fig11", serde_json::to_value(&f11).unwrap()),
+        ("fig12", serde_json::to_value(&f12).unwrap()),
+        ("table3", serde_json::to_value(&t3).unwrap()),
+        ("overhead", serde_json::to_value(&oh).unwrap()),
+    ] {
+        write_json(name, &json);
+    }
+
+    let md = experiments_markdown(&f1, &t2, &f10, &f11, &f12, &t3, &oh, suite_label);
+    std::fs::write("EXPERIMENTS.md", &md).expect("write EXPERIMENTS.md");
+    eprintln!("EXPERIMENTS.md written ({} bytes)", md.len());
+}

@@ -1,0 +1,9 @@
+//! Regenerates paper Figure 1.
+use bench_harness::experiments::fig1;
+use bench_harness::runner::write_json;
+
+fn main() {
+    let result = fig1::run();
+    println!("{}", result.to_text());
+    write_json("fig1", &result);
+}

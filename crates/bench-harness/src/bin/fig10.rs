@@ -1,0 +1,11 @@
+//! Regenerates paper Figure 10 (speedup vs N series).
+use bench_harness::experiments::{fig10, table2};
+use bench_harness::runner::write_json;
+use gpu_sim::GpuSpec;
+
+fn main() {
+    let t2 = table2::run(&GpuSpec::a100());
+    let result = fig10::run(&t2.comparisons);
+    println!("{}", result.to_text());
+    write_json("fig10", &result);
+}

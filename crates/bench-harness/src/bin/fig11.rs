@@ -1,0 +1,9 @@
+//! Regenerates paper Figure 11 (reorder success rates).
+use bench_harness::experiments::fig11;
+use bench_harness::runner::write_json;
+
+fn main() {
+    let result = fig11::run();
+    println!("{}", result.to_text());
+    write_json("fig11", &result);
+}

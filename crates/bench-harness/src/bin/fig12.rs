@@ -1,0 +1,10 @@
+//! Regenerates paper Figure 12 (kernel-version ablation).
+use bench_harness::experiments::fig12;
+use bench_harness::runner::write_json;
+use gpu_sim::GpuSpec;
+
+fn main() {
+    let result = fig12::run(&GpuSpec::a100());
+    println!("{}", result.to_text());
+    write_json("fig12", &result);
+}

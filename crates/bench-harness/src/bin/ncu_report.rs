@@ -1,0 +1,34 @@
+//! Prints Nsight-style reports for Jigsaw and cuBLAS on one workload —
+//! a quick look at what the simulator measures.
+
+use baselines::{CublasGemm, SpmmKernel};
+use dlmc::{ValueDist, VectorSparseSpec};
+use gpu_sim::{ncu_style_report, GpuSpec};
+use jigsaw_core::JigsawSpmm;
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let a = VectorSparseSpec {
+        rows: 1024,
+        cols: 1024,
+        sparsity: 0.95,
+        v: 8,
+        dist: ValueDist::Ones,
+        seed: 1,
+    }
+    .generate();
+    let n = 512;
+    let (jig, _) = JigsawSpmm::plan_tuned(&a, n, &spec);
+    println!(
+        "{}",
+        ncu_style_report("jigsaw_spmm (95% sparse, v=8)", &jig.simulate(n, &spec), &spec)
+    );
+    println!(
+        "{}",
+        ncu_style_report(
+            "cublas_hgemm (dense reference)",
+            &CublasGemm::plan(&a).simulate(n, &spec),
+            &spec
+        )
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's §4.6 storage-overhead analysis.
+use bench_harness::experiments::overhead;
+use bench_harness::runner::write_json;
+
+fn main() {
+    let result = overhead::run();
+    println!("{}", result.to_text());
+    write_json("overhead", &result);
+}

@@ -1,0 +1,10 @@
+//! Regenerates paper Table 2.
+use bench_harness::experiments::table2;
+use bench_harness::runner::write_json;
+use gpu_sim::GpuSpec;
+
+fn main() {
+    let result = table2::run(&GpuSpec::a100());
+    println!("{}", result.to_text());
+    write_json("table2", &result);
+}

@@ -1,0 +1,10 @@
+//! Regenerates paper Table 3 (VENOM / cuSparseLt comparison).
+use bench_harness::experiments::table3;
+use bench_harness::runner::write_json;
+use gpu_sim::GpuSpec;
+
+fn main() {
+    let result = table3::run(&GpuSpec::a100());
+    println!("{}", result.to_text());
+    write_json("table3", &result);
+}

@@ -1,0 +1,111 @@
+//! Figure 10: SpMM speedup over cuBLAS as a function of the output
+//! width N, per sparsity level and vector width — re-slicing the
+//! comparisons Table 2 gathered.
+
+use serde::{Deserialize, Serialize};
+
+use crate::runner::{render_table, Comparison};
+use crate::suite::geomean;
+
+/// Methods plotted in Figure 10 (speedups normalized to cuBLAS;
+/// cuBLAS itself is the 1.0 line).
+pub const METHODS: &[&str] = &["Jigsaw", "CLASP", "Magicube", "Sputnik", "SparTA"];
+
+/// One series point: geomean speedup over cuBLAS.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Point {
+    /// Sparsity level.
+    pub sparsity: f64,
+    /// Vector width.
+    pub v: usize,
+    /// Output width.
+    pub n: usize,
+    /// Method name.
+    pub method: String,
+    /// Geometric-mean speedup vs cuBLAS across the shape suite.
+    pub speedup_vs_cublas: f64,
+}
+
+/// Figure 10 result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// All series points.
+    pub points: Vec<Point>,
+}
+
+/// Builds the figure from Table 2's raw comparisons.
+pub fn run(comparisons: &[Comparison]) -> Fig10 {
+    let mut points = Vec::new();
+    for &sparsity in dlmc::SPARSITY_LEVELS {
+        for &v in dlmc::VECTOR_WIDTHS {
+            for &n in dlmc::N_SWEEP {
+                for &method in METHODS {
+                    let speedups: Vec<f64> = comparisons
+                        .iter()
+                        .filter(|c| {
+                            (c.sparsity - sparsity).abs() < 1e-9 && c.v == v && c.n == n
+                        })
+                        .filter_map(|c| {
+                            let cublas = c.duration("cuBLAS")?;
+                            let t = c.duration(method)?;
+                            Some(cublas / t)
+                        })
+                        .collect();
+                    if !speedups.is_empty() {
+                        points.push(Point {
+                            sparsity,
+                            v,
+                            n,
+                            method: method.to_string(),
+                            speedup_vs_cublas: geomean(&speedups),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Fig10 { points }
+}
+
+impl Fig10 {
+    /// Point lookup.
+    pub fn speedup(&self, sparsity: f64, v: usize, n: usize, method: &str) -> f64 {
+        self.points
+            .iter()
+            .find(|p| {
+                (p.sparsity - sparsity).abs() < 1e-9
+                    && p.v == v
+                    && p.n == n
+                    && p.method == method
+            })
+            .map(|p| p.speedup_vs_cublas)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Renders one panel per (sparsity, v).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(
+            "Figure 10 — speedup over cuBLAS vs output width N (geomean across shapes)\n",
+        );
+        for &sparsity in dlmc::SPARSITY_LEVELS {
+            for &v in dlmc::VECTOR_WIDTHS {
+                out.push_str(&format!("\n[sparsity {:.0}%, v={v}]\n", sparsity * 100.0));
+                let header: Vec<String> = std::iter::once("N".to_string())
+                    .chain(METHODS.iter().map(|m| m.to_string()))
+                    .collect();
+                let rows: Vec<Vec<String>> = dlmc::N_SWEEP
+                    .iter()
+                    .map(|&n| {
+                        std::iter::once(n.to_string())
+                            .chain(METHODS.iter().map(|&m| {
+                                format!("{:.2}", self.speedup(sparsity, v, n, m))
+                            }))
+                            .collect()
+                    })
+                    .collect();
+                out.push_str(&render_table(&header, &rows));
+            }
+        }
+        out
+    }
+}

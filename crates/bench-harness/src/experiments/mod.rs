@@ -1,0 +1,12 @@
+//! The paper's tables and figures, one module each. Every module
+//! exposes `run(..)` returning a serializable result with a
+//! `to_text()` renderer; `all_experiments` composes them into
+//! EXPERIMENTS.md.
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod overhead;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,21 @@
+//! # bench-harness — experiment reproduction harness
+//!
+//! One binary per table/figure of the paper's evaluation (see
+//! DESIGN.md §5):
+//!
+//! * `fig1` — native 2:4 satisfaction rates on the DLMC-style suite,
+//! * `table2` — avg/max Jigsaw speedups vs cuBLAS and the SOTA SpMM
+//!   baselines across sparsity × vector width,
+//! * `fig10` — speedup-vs-N series,
+//! * `fig11` — multi-granularity reorder success rates,
+//! * `fig12` — the v0..v4 ablation with Nsight-style counters,
+//! * `table3` — VENOM / cuSparseLt comparison on pre-pruned matrices,
+//! * `overhead` — §4.6 storage-footprint analysis,
+//! * `all_experiments` — everything above plus EXPERIMENTS.md rewrite.
+//!
+//! Set `JIGSAW_SUITE=full` for the full transformer shape table.
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod suite;

@@ -1,0 +1,189 @@
+//! Shared execution machinery: run every kernel on a workload, collect
+//! speedups, serialize results.
+
+use dlmc::Matrix;
+use gpu_sim::GpuSpec;
+use jigsaw_core::JigsawSpmm;
+use serde::{Deserialize, Serialize};
+
+use baselines::{Clasp, CublasGemm, Magicube, Sparta, SpmmKernel, Sputnik};
+
+use crate::suite::Workload;
+
+/// One measured data point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Record {
+    /// Shape label.
+    pub shape: String,
+    /// A dimensions.
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output width.
+    pub n: usize,
+    /// Sparsity.
+    pub sparsity: f64,
+    /// Vector width.
+    pub v: usize,
+    /// Kernel name.
+    pub method: String,
+    /// Simulated duration in cycles.
+    pub duration_cycles: f64,
+    /// Speedup of Jigsaw relative to this method
+    /// (`method_duration / jigsaw_duration`).
+    pub jigsaw_speedup: f64,
+}
+
+/// All comparator durations for one workload at one N.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Comparison {
+    /// The workload axes.
+    pub shape: String,
+    /// Rows of A.
+    pub m: usize,
+    /// Columns of A.
+    pub k: usize,
+    /// Output width.
+    pub n: usize,
+    /// Sparsity level.
+    pub sparsity: f64,
+    /// Vector width.
+    pub v: usize,
+    /// `(method, duration_cycles)` pairs; `"Jigsaw"` always present.
+    pub durations: Vec<(String, f64)>,
+}
+
+impl Comparison {
+    /// Duration of a method.
+    pub fn duration(&self, method: &str) -> Option<f64> {
+        self.durations
+            .iter()
+            .find(|(name, _)| name == method)
+            .map(|&(_, d)| d)
+    }
+
+    /// Jigsaw's speedup over `method`.
+    pub fn speedup_over(&self, method: &str) -> Option<f64> {
+        let jig = self.duration("Jigsaw")?;
+        Some(self.duration(method)? / jig)
+    }
+}
+
+/// Runs Jigsaw (v4-tuned) plus all Table-2 baselines on one workload.
+pub fn compare_all(w: &Workload, n: usize, spec: &GpuSpec) -> Comparison {
+    let a = w.lhs();
+    compare_all_on(&a, w, n, spec)
+}
+
+/// Same as [`compare_all`] for a pre-generated LHS.
+pub fn compare_all_on(a: &Matrix, w: &Workload, n: usize, spec: &GpuSpec) -> Comparison {
+    let mut durations = Vec::new();
+
+    let (jig, _) = JigsawSpmm::plan_tuned(a, n, spec);
+    durations.push(("Jigsaw".to_string(), jig.simulate(n, spec).duration_cycles));
+
+    let cublas = CublasGemm::plan(a);
+    durations.push((cublas.name().to_string(), cublas.simulate(n, spec).duration_cycles));
+
+    let clasp = Clasp::plan_best(a, n, spec);
+    durations.push((clasp.name().to_string(), clasp.simulate(n, spec).duration_cycles));
+
+    let magicube = Magicube::plan(a, w.v);
+    durations.push((
+        magicube.name().to_string(),
+        magicube.simulate(n, spec).duration_cycles,
+    ));
+
+    let sputnik = Sputnik::plan(a);
+    durations.push((
+        sputnik.name().to_string(),
+        sputnik.simulate(n, spec).duration_cycles,
+    ));
+
+    let sparta = Sparta::plan(a);
+    durations.push((sparta.name().to_string(), sparta.simulate(n, spec).duration_cycles));
+
+    Comparison {
+        shape: w.shape.name.to_string(),
+        m: w.shape.m,
+        k: w.shape.k,
+        n,
+        sparsity: w.sparsity,
+        v: w.v,
+        durations,
+    }
+}
+
+/// Renders a fixed-width table to stdout-ready text.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a named experiment's results as JSON under `results/`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(text) = serde_json::to_string_pretty(value) {
+            let _ = std::fs::write(path, text);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::Workload;
+    use dlmc::LayerShape;
+
+    #[test]
+    fn comparison_contains_all_methods() {
+        let w = Workload {
+            shape: LayerShape { m: 128, k: 128, name: "tiny" },
+            sparsity: 0.9,
+            v: 4,
+            seed: 3,
+        };
+        let c = compare_all(&w, 64, &GpuSpec::a100());
+        for method in ["Jigsaw", "cuBLAS", "CLASP", "Magicube", "Sputnik", "SparTA"] {
+            assert!(c.duration(method).is_some(), "{method} missing");
+            assert!(c.duration(method).unwrap() > 0.0);
+        }
+        assert!(c.speedup_over("cuBLAS").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a".into(), "bb".into()],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+        assert!(t.contains("a"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

@@ -1,0 +1,111 @@
+//! Benchmark workload definitions shared by every experiment binary.
+//!
+//! The paper evaluates on DLMC matrices with sparsity ∈ {80, 90, 95,
+//! 98}%, vector width v ∈ {2, 4, 8}, and output width N ∈ {256 ..
+//! 2048}. The synthetic suite reproduces that grid (DESIGN.md §2). Two
+//! sizes are provided: `quick` (a few shapes, used by default so every
+//! experiment finishes in minutes) and `full` (the whole transformer
+//! shape table; enable with `JIGSAW_SUITE=full`).
+
+use dlmc::{LayerShape, Matrix, ValueDist, VectorSparseSpec};
+
+/// One benchmark instance.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Weight shape (A is `m × k`).
+    pub shape: LayerShape,
+    /// Target sparsity.
+    pub sparsity: f64,
+    /// Vector width.
+    pub v: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Generates the sparse LHS.
+    pub fn lhs(&self) -> Matrix {
+        VectorSparseSpec {
+            rows: self.shape.m,
+            cols: self.shape.k,
+            sparsity: self.sparsity,
+            v: self.v,
+            dist: ValueDist::Ones,
+            seed: self.seed,
+        }
+        .generate()
+    }
+}
+
+/// Shapes used by the quick suite.
+pub const QUICK_SHAPES: &[LayerShape] = &[
+    LayerShape { m: 512, k: 512, name: "attention-qkv" },
+    LayerShape { m: 2048, k: 512, name: "ffn-expand" },
+    LayerShape { m: 2048, k: 2048, name: "decoder-large" },
+];
+
+/// True when the environment selects the full shape table.
+pub fn full_suite() -> bool {
+    std::env::var("JIGSAW_SUITE").map(|v| v == "full").unwrap_or(false)
+}
+
+/// The shape list for the current suite size.
+pub fn shapes() -> &'static [LayerShape] {
+    if full_suite() {
+        dlmc::TRANSFORMER_SHAPES
+    } else {
+        QUICK_SHAPES
+    }
+}
+
+/// The evaluation grid: shapes × sparsity × v.
+pub fn workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    for (si, &shape) in shapes().iter().enumerate() {
+        for (pi, &sparsity) in dlmc::SPARSITY_LEVELS.iter().enumerate() {
+            for (vi, &v) in dlmc::VECTOR_WIDTHS.iter().enumerate() {
+                out.push(Workload {
+                    shape,
+                    sparsity,
+                    v,
+                    seed: 1000 + (si * 100 + pi * 10 + vi) as u64,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Geometric mean helper used by every summary table.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_paper_axes() {
+        let w = workloads();
+        assert_eq!(w.len(), shapes().len() * 4 * 3);
+        assert!(w.iter().any(|w| w.sparsity == 0.98 && w.v == 8));
+    }
+
+    #[test]
+    fn workload_generation_matches_spec() {
+        let w = workloads()[0];
+        let a = w.lhs();
+        assert_eq!(a.rows, w.shape.m);
+        assert!((a.sparsity() - w.sparsity).abs() < 0.02);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,438 @@
+//! Synthetic DLMC-style vector-sparse matrix generation.
+//!
+//! The paper constructs its benchmarks from the DLMC random-pruning
+//! dataset by "replacing each nonzero element with a 1-D vector with
+//! different width" (§4.1) — i.e. the sparse weight matrix is composed
+//! of vertical nonzero vectors of length `v` (column-vector sparsity, as
+//! in vectorSparse/CLASP). We reproduce that construction directly: the
+//! row dimension is partitioned into `rows / v` vector lanes; within a
+//! lane each column independently holds either a full length-`v` nonzero
+//! vector or zeros, with the count of nonzero lane-cells chosen to hit
+//! the target sparsity exactly (per lane, rounding to the nearest cell).
+//!
+//! Everything is seeded and deterministic.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sptc::F16;
+
+use crate::matrix::Matrix;
+
+/// Distribution of nonzero values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ValueDist {
+    /// Nonzero integers in `[-4, 4] \ {0}` — exact in f32 under any
+    /// accumulation order, used by correctness tests.
+    SmallInt,
+    /// Uniform reals in `[-1, 1]` excluding exact zero.
+    Uniform,
+    /// Every nonzero is 1.0 — pattern-only workloads.
+    Ones,
+}
+
+/// A vector-sparse generation request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VectorSparseSpec {
+    /// Row count (must be a multiple of `v`).
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Target fraction of zero elements, `0.0 ..= 1.0`.
+    pub sparsity: f64,
+    /// Vector width: each nonzero occupies `v` vertically-consecutive
+    /// cells. `v = 1` reduces to unstructured random pruning.
+    pub v: usize,
+    /// Value distribution for nonzeros.
+    pub dist: ValueDist,
+    /// RNG seed (generation is deterministic in the spec).
+    pub seed: u64,
+}
+
+impl VectorSparseSpec {
+    /// Convenience constructor with [`ValueDist::Uniform`] values.
+    pub fn new(rows: usize, cols: usize, sparsity: f64, v: usize, seed: u64) -> Self {
+        VectorSparseSpec {
+            rows,
+            cols,
+            sparsity,
+            v,
+            dist: ValueDist::Uniform,
+            seed,
+        }
+    }
+
+    /// Generates the matrix.
+    pub fn generate(&self) -> Matrix {
+        assert!(self.v >= 1, "vector width must be positive");
+        assert_eq!(
+            self.rows % self.v,
+            0,
+            "rows ({}) must be a multiple of v ({})",
+            self.rows,
+            self.v
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.sparsity),
+            "sparsity must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let lanes = self.rows / self.v;
+        let mut m = Matrix::zeros(self.rows, self.cols);
+
+        // Exact per-lane nonzero budget so measured sparsity tracks the
+        // target tightly even for small matrices.
+        let nnz_per_lane =
+            ((1.0 - self.sparsity) * self.cols as f64).round() as usize;
+        let nnz_per_lane = nnz_per_lane.min(self.cols);
+
+        let mut cols_pool: Vec<usize> = (0..self.cols).collect();
+        for lane in 0..lanes {
+            cols_pool.shuffle(&mut rng);
+            for &c in cols_pool.iter().take(nnz_per_lane) {
+                for dr in 0..self.v {
+                    let r = lane * self.v + dr;
+                    m.set(r, c, sample_value(self.dist, &mut rng));
+                }
+            }
+        }
+        m
+    }
+}
+
+fn sample_value(dist: ValueDist, rng: &mut StdRng) -> F16 {
+    match dist {
+        ValueDist::SmallInt => {
+            let mut x = 0i32;
+            while x == 0 {
+                x = rng.gen_range(-4..=4);
+            }
+            F16::from_f32(x as f32)
+        }
+        ValueDist::Uniform => {
+            let mut x = 0.0f32;
+            while x == 0.0 {
+                x = rng.gen_range(-1.0f32..1.0);
+            }
+            // Round through f16 once so the value is representable.
+            F16::from_f32(x)
+        }
+        ValueDist::Ones => F16::ONE,
+    }
+}
+
+/// Generates a dense (0% sparsity) RHS operand `k × n` — the activation
+/// matrix B of the SpMM.
+pub fn dense_rhs(k: usize, n: usize, dist: ValueDist, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut m = Matrix::zeros(k, n);
+    for r in 0..k {
+        for c in 0..n {
+            m.set(r, c, sample_value(dist, &mut rng));
+        }
+    }
+    m
+}
+
+/// Magnitude-based vector pruning (the DLMC dataset's other subset):
+/// start from a dense Gaussian-like weight matrix, score each vertical
+/// `v`-cell by its L2 norm, and zero the smallest until the target
+/// sparsity is reached — per lane, like practical 1-D block pruning.
+/// Unlike random pruning, the surviving pattern correlates with value
+/// magnitude, which the returned matrix preserves.
+pub fn magnitude_pruned(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    v: usize,
+    seed: u64,
+) -> Matrix {
+    assert!(v >= 1);
+    assert_eq!(rows % v, 0);
+    assert!((0.0..=1.0).contains(&sparsity));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Dense weights: sum of three uniforms ~ bell-shaped in [-1.5, 1.5].
+    let mut dense = vec![0.0f32; rows * cols];
+    for w in dense.iter_mut() {
+        *w = (0..3).map(|_| rng.gen_range(-0.5f32..0.5)).sum();
+    }
+    let lanes = rows / v;
+    let keep = ((1.0 - sparsity) * cols as f64).round() as usize;
+    let mut m = Matrix::zeros(rows, cols);
+    for lane in 0..lanes {
+        // Score columns by the lane-cell norm, keep the largest.
+        let mut scored: Vec<(f64, usize)> = (0..cols)
+            .map(|c| {
+                let norm: f64 = (0..v)
+                    .map(|dr| {
+                        let w = dense[(lane * v + dr) * cols + c];
+                        f64::from(w * w)
+                    })
+                    .sum();
+                (norm, c)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        for &(_, c) in scored.iter().take(keep) {
+            for dr in 0..v {
+                let r = lane * v + dr;
+                m.set(r, c, F16::from_f32(dense[r * cols + c]));
+            }
+        }
+    }
+    m
+}
+
+/// Generates a matrix already pruned to the VENOM V:N:M vector pattern
+/// (paper §4.5 / Table 3): rows are grouped into vertical vectors of
+/// length `v`; within each group of `m_blk` consecutive columns, exactly
+/// `n_blk` columns carry nonzero vectors. The kept columns of each group
+/// are chosen inside a single *aligned* group of four, so the result
+/// also satisfies the hardware 2:4 pattern directly — VENOM's mapping
+/// onto the SpTC. Used to evaluate Jigsaw on matrices that need no
+/// reordering (and to feed cuSparseLt, which demands strict 2:4).
+pub fn venom_pruned(
+    rows: usize,
+    cols: usize,
+    v: usize,
+    n_blk: usize,
+    m_blk: usize,
+    dist: ValueDist,
+    seed: u64,
+) -> Matrix {
+    assert_eq!(rows % v, 0);
+    assert_eq!(cols % m_blk, 0);
+    assert!(n_blk <= m_blk);
+    assert!(n_blk <= 2, "SpTC mapping keeps at most 2 columns per group");
+    assert!(m_blk >= 4, "column blocks must span an aligned 4-group");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    let lanes = rows / v;
+    for lane in 0..lanes {
+        for blk in 0..cols / m_blk {
+            let start = blk * m_blk;
+            let end = start + m_blk;
+            // Aligned 4-groups fully inside [start, end).
+            let g_lo = start.div_ceil(4);
+            let g_hi = end / 4;
+            debug_assert!(g_lo < g_hi);
+            let g = rng.gen_range(g_lo..g_hi);
+            let mut offs: Vec<usize> = (0..4).collect();
+            offs.shuffle(&mut rng);
+            for &off in offs.iter().take(n_blk) {
+                let c = g * 4 + off;
+                for dr in 0..v {
+                    m.set(lane * v + dr, c, sample_value(dist, &mut rng));
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Generates a matrix in VENOM's full two-level V:N:M scheme (paper
+/// §4.5, Table 3) and returns both layouts:
+///
+/// * the **full** `rows × cols` matrix: per group of `m_blk` columns,
+///   `n_blk` kept *vector* columns (selection shared by all lanes, a
+///   simplification documented in DESIGN.md), and inside the kept
+///   columns a scalar 2:4 pattern at vector-lane granularity — overall
+///   sparsity `1 - (n_blk/m_blk)/2`;
+/// * the **compacted** `rows × (cols·n_blk/m_blk)` matrix of only the
+///   kept columns, which satisfies the hardware 2:4 pattern directly —
+///   what VENOM's Spatha kernel (and a cuSparseLt comparison) consume.
+pub fn venom_two_level(
+    rows: usize,
+    cols: usize,
+    v: usize,
+    n_blk: usize,
+    m_blk: usize,
+    dist: ValueDist,
+    seed: u64,
+) -> (Matrix, Matrix) {
+    assert_eq!(rows % v, 0);
+    assert_eq!(cols % m_blk, 0);
+    assert!(n_blk <= m_blk);
+    let kept_cols = cols / m_blk * n_blk;
+    assert_eq!(kept_cols % 4, 0, "compacted width must tile by 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Column selection, shared across lanes.
+    let mut kept: Vec<usize> = Vec::with_capacity(kept_cols);
+    for blk in 0..cols / m_blk {
+        let mut offs: Vec<usize> = (0..m_blk).collect();
+        offs.shuffle(&mut rng);
+        let mut chosen: Vec<usize> = offs[..n_blk].to_vec();
+        chosen.sort_unstable();
+        kept.extend(chosen.into_iter().map(|o| blk * m_blk + o));
+    }
+
+    // Compacted matrix: per lane, 2-of-4 scalar 2:4 inside the kept
+    // columns, vector-solid over the lane's `v` rows.
+    let mut compact = Matrix::zeros(rows, kept_cols);
+    for lane in 0..rows / v {
+        for g in 0..kept_cols / 4 {
+            let mut offs: Vec<usize> = (0..4).collect();
+            offs.shuffle(&mut rng);
+            for &o in offs.iter().take(2) {
+                for dr in 0..v {
+                    compact.set(lane * v + dr, g * 4 + o, sample_value(dist, &mut rng));
+                }
+            }
+        }
+    }
+
+    // Scatter back to the full layout.
+    let mut full = Matrix::zeros(rows, cols);
+    for (kc, &c) in kept.iter().enumerate() {
+        for r in 0..rows {
+            full.set(r, c, compact.get(r, kc));
+        }
+    }
+    (full, compact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_target_sparsity() {
+        for &s in &[0.5, 0.8, 0.9, 0.95, 0.98] {
+            let m = VectorSparseSpec::new(512, 512, s, 4, 1).generate();
+            assert!(
+                (m.sparsity() - s).abs() < 0.01,
+                "target {s}, got {}",
+                m.sparsity()
+            );
+        }
+    }
+
+    #[test]
+    fn vector_structure_holds() {
+        let m = VectorSparseSpec::new(64, 64, 0.9, 8, 2).generate();
+        // Every column within a lane is all-nonzero or all-zero.
+        for lane in 0..8 {
+            for c in 0..64 {
+                let nz: Vec<bool> = (0..8)
+                    .map(|dr| !m.get(lane * 8 + dr, c).is_zero())
+                    .collect();
+                assert!(
+                    nz.iter().all(|&b| b) || nz.iter().all(|&b| !b),
+                    "lane {lane} col {c} is torn: {nz:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = VectorSparseSpec::new(128, 128, 0.9, 2, 7).generate();
+        let b = VectorSparseSpec::new(128, 128, 0.9, 2, 7).generate();
+        let c = VectorSparseSpec::new(128, 128, 0.9, 2, 8).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn v1_is_unstructured() {
+        let m = VectorSparseSpec::new(64, 64, 0.75, 1, 3).generate();
+        assert!((m.sparsity() - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn larger_v_means_more_zero_columns_per_strip() {
+        // The effect Fig 11's analysis hinges on: with the same sparsity,
+        // wider vectors leave more all-zero columns inside a 16-row strip.
+        let count_zero_cols = |v: usize| {
+            let m = VectorSparseSpec::new(512, 512, 0.9, v, 11).generate();
+            let mut zeros = 0usize;
+            for strip in 0..m.rows / 16 {
+                for c in 0..m.cols {
+                    if m.column_zero_in_strip(c, strip * 16, strip * 16 + 16) {
+                        zeros += 1;
+                    }
+                }
+            }
+            zeros
+        };
+        let z2 = count_zero_cols(2);
+        let z8 = count_zero_cols(8);
+        // With exact per-lane budgets, P(column zero within a 16-row
+        // strip) ≈ s^(16/v): 0.9^8 ≈ 0.430 for v=2, 0.9^2 = 0.81 for v=8.
+        let total = (512 / 16) * 512;
+        let f2 = z2 as f64 / total as f64;
+        let f8 = z8 as f64 / total as f64;
+        assert!((f2 - 0.43).abs() < 0.03, "v=2 zero-col fraction {f2}");
+        assert!((f8 - 0.81).abs() < 0.03, "v=8 zero-col fraction {f8}");
+    }
+
+    #[test]
+    fn dense_rhs_is_dense() {
+        let b = dense_rhs(64, 32, ValueDist::Uniform, 5);
+        assert_eq!(b.nnz(), 64 * 32);
+    }
+
+    #[test]
+    fn venom_pattern_structure() {
+        let m = venom_pruned(64, 64, 8, 2, 8, ValueDist::Ones, 9);
+        // Each lane x 8-column block has exactly 2 nonzero columns.
+        for lane in 0..8 {
+            for blk in 0..8 {
+                let nz_cols = (0..8)
+                    .filter(|&off| !m.get(lane * 8, blk * 8 + off).is_zero())
+                    .count();
+                assert_eq!(nz_cols, 2);
+            }
+        }
+        // Overall sparsity 75%.
+        assert!((m.sparsity() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnitude_pruning_hits_sparsity_and_keeps_heavy_vectors() {
+        let m = magnitude_pruned(128, 256, 0.9, 4, 5);
+        assert!((m.sparsity() - 0.9).abs() < 0.01);
+        // Vector structure holds.
+        for lane in 0..32 {
+            for c in 0..256 {
+                let nz: Vec<bool> = (0..4)
+                    .map(|dr| !m.get(lane * 4 + dr, c).is_zero())
+                    .collect();
+                assert!(nz.iter().all(|&b| b) || nz.iter().all(|&b| !b));
+            }
+        }
+        // Kept values should be larger in magnitude on average than a
+        // random draw would produce: mean |kept| > 0.3.
+        let kept: Vec<f32> = m
+            .data
+            .iter()
+            .filter(|v| !v.is_zero())
+            .map(|v| v.to_f32().abs())
+            .collect();
+        let mean = kept.iter().sum::<f32>() / kept.len() as f32;
+        assert!(mean > 0.3, "mean kept magnitude {mean}");
+    }
+
+    #[test]
+    fn magnitude_pruning_is_deterministic() {
+        assert_eq!(magnitude_pruned(64, 64, 0.8, 2, 9), magnitude_pruned(64, 64, 0.8, 2, 9));
+    }
+
+    #[test]
+    fn small_int_values_are_integers() {
+        let m = VectorSparseSpec {
+            rows: 32,
+            cols: 32,
+            sparsity: 0.5,
+            v: 2,
+            dist: ValueDist::SmallInt,
+            seed: 1,
+        }
+        .generate();
+        for v in &m.data {
+            let f = v.to_f32();
+            assert_eq!(f, f.round());
+            assert!(f.abs() <= 4.0);
+        }
+    }
+}

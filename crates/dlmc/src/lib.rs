@@ -1,0 +1,22 @@
+//! # dlmc — dataset substrate
+//!
+//! Stand-in for Google's DLMC sparse-matrix dataset (Gale et al. 2019)
+//! that the paper evaluates on: a seeded generator reproducing the
+//! paper's benchmark construction (random pruning at a target sparsity,
+//! each nonzero replaced by a vertical 1-D vector of width `v`), the
+//! DLMC transformer shape distribution, and a `.smtx` reader/writer so
+//! genuine DLMC extracts can be dropped in when available.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod matrix;
+pub mod shapes;
+pub mod smtx;
+
+pub use generator::{dense_rhs, magnitude_pruned, venom_pruned, venom_two_level, ValueDist, VectorSparseSpec};
+pub use matrix::Matrix;
+pub use shapes::{
+    LayerShape, N_SWEEP, REORDER_STUDY_SHAPES, SPARSITY_LEVELS, TRANSFORMER_SHAPES, VECTOR_WIDTHS,
+};
+pub use smtx::SmtxPattern;

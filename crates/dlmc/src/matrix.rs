@@ -1,0 +1,168 @@
+//! Dense row-major f16 matrix — the common currency between the dataset
+//! generator, the Jigsaw kernel, and every baseline.
+
+use sptc::F16;
+
+/// A dense row-major matrix of f16 values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` elements.
+    pub data: Vec<F16>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![F16::ZERO; rows * cols],
+        }
+    }
+
+    /// Builds from f32 values (converted with round-to-nearest-even).
+    pub fn from_f32(rows: usize, cols: usize, values: &[f32]) -> Matrix {
+        assert_eq!(values.len(), rows * cols);
+        Matrix {
+            rows,
+            cols,
+            data: values.iter().map(|&v| F16::from_f32(v)).collect(),
+        }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> F16 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: F16) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[F16] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Number of nonzero elements.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_zero()).count()
+    }
+
+    /// Fraction of elements that are zero.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / self.data.len() as f64
+    }
+
+    /// True when column `c` is zero within rows `r0..r1`.
+    pub fn column_zero_in_strip(&self, c: usize, r0: usize, r1: usize) -> bool {
+        (r0..r1.min(self.rows)).all(|r| self.get(r, c).is_zero())
+    }
+
+    /// Matrix product `self × rhs` with f32 accumulation in ascending-k
+    /// order — the bit-exact reference every kernel is validated against.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Vec<f32> {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![0.0f32; m * n];
+        for r in 0..m {
+            let a_row = self.row(r);
+            for kk in 0..k {
+                let a = a_row[kk];
+                if a.is_zero() {
+                    continue;
+                }
+                let a = a.to_f32();
+                let b_row = rhs.row(kk);
+                for c in 0..n {
+                    out[r * n + c] += a * b_row[c].to_f32();
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts the row-strip `r0..r0+h` × column set `cols` as a dense
+    /// row-major tile (missing rows/cols are zero-padded).
+    pub fn gather_tile(&self, r0: usize, h: usize, cols: &[usize]) -> Vec<F16> {
+        let mut tile = vec![F16::ZERO; h * cols.len()];
+        for (ti, r) in (r0..r0 + h).enumerate() {
+            if r >= self.rows {
+                break;
+            }
+            for (tj, &c) in cols.iter().enumerate() {
+                if c < self.cols {
+                    tile[ti * cols.len() + tj] = self.get(r, c);
+                }
+            }
+        }
+        tile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_accessors() {
+        let mut m = Matrix::zeros(3, 4);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.sparsity(), 1.0);
+        m.set(1, 2, F16::ONE);
+        assert_eq!(m.get(1, 2), F16::ONE);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn reference_matmul_identity() {
+        let mut eye = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            eye.set(i, i, F16::ONE);
+        }
+        let b = Matrix::from_f32(4, 2, &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let c = eye.matmul_reference(&b);
+        assert_eq!(c, vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+    }
+
+    #[test]
+    fn reference_matmul_small() {
+        let a = Matrix::from_f32(2, 3, &[1., 0., 2., 0., 3., 0.]);
+        let b = Matrix::from_f32(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let c = a.matmul_reference(&b);
+        // [1*1+2*5, 1*2+2*6; 3*3, 3*4]
+        assert_eq!(c, vec![11., 14., 9., 12.]);
+    }
+
+    #[test]
+    fn strip_zero_column_detection() {
+        let mut m = Matrix::zeros(8, 2);
+        m.set(5, 0, F16::ONE);
+        assert!(m.column_zero_in_strip(0, 0, 4));
+        assert!(!m.column_zero_in_strip(0, 4, 8));
+        assert!(m.column_zero_in_strip(1, 0, 8));
+    }
+
+    #[test]
+    fn gather_tile_pads() {
+        let m = Matrix::from_f32(2, 2, &[1., 2., 3., 4.]);
+        let tile = m.gather_tile(0, 4, &[1, 0]);
+        assert_eq!(tile.len(), 8);
+        assert_eq!(tile[0].to_f32(), 2.0);
+        assert_eq!(tile[1].to_f32(), 1.0);
+        assert!(tile[6].is_zero() && tile[7].is_zero());
+    }
+}

@@ -1,0 +1,79 @@
+//! Layer shapes mirroring the DLMC dataset's distribution.
+//!
+//! DLMC (Gale et al., "The State of Sparsity in Deep Neural Networks")
+//! collects pruned weight matrices from Transformer NMT models; its K
+//! dimension ranges from 64 to 4608 (paper §4.3). The suites below
+//! reproduce that shape distribution for the synthetic generator.
+
+/// A weight-matrix shape: the SpMM LHS is `m × k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerShape {
+    /// Rows of the weight matrix (output features).
+    pub m: usize,
+    /// Columns of the weight matrix (input features / reduction dim).
+    pub k: usize,
+    /// Which layer family the shape comes from.
+    pub name: &'static str,
+}
+
+/// Transformer-body shapes found in DLMC.
+pub const TRANSFORMER_SHAPES: &[LayerShape] = &[
+    LayerShape { m: 512, k: 512, name: "attention-qkv" },
+    LayerShape { m: 512, k: 2048, name: "ffn-contract" },
+    LayerShape { m: 2048, k: 512, name: "ffn-expand" },
+    LayerShape { m: 1024, k: 1024, name: "attention-large" },
+    LayerShape { m: 2048, k: 2048, name: "decoder-large" },
+    LayerShape { m: 1024, k: 4096, name: "ffn-contract-large" },
+    LayerShape { m: 4096, k: 1024, name: "ffn-expand-large" },
+    LayerShape { m: 256, k: 256, name: "attention-small" },
+    LayerShape { m: 128, k: 512, name: "embedding-proj" },
+    LayerShape { m: 512, k: 64, name: "head-proj" },
+];
+
+/// Shapes used for the reorder success-rate study (paper Fig 11): the
+/// full K range of DLMC including the small-K failure cases (§4.3 notes
+/// failures concentrate at K ≤ 128).
+pub const REORDER_STUDY_SHAPES: &[LayerShape] = &[
+    LayerShape { m: 256, k: 64, name: "k64" },
+    LayerShape { m: 256, k: 128, name: "k128" },
+    LayerShape { m: 512, k: 256, name: "k256" },
+    LayerShape { m: 512, k: 512, name: "k512" },
+    LayerShape { m: 512, k: 1024, name: "k1024" },
+    LayerShape { m: 512, k: 2304, name: "k2304" },
+    LayerShape { m: 512, k: 4608, name: "k4608" },
+];
+
+/// Output-width (N) sweep used in Figure 10.
+pub const N_SWEEP: &[usize] = &[256, 512, 1024, 2048];
+
+/// Sparsity levels of the evaluation (Tables 2-3, Figures 10-12).
+pub const SPARSITY_LEVELS: &[f64] = &[0.80, 0.90, 0.95, 0.98];
+
+/// Vector widths of the evaluation.
+pub const VECTOR_WIDTHS: &[usize] = &[2, 4, 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_range_matches_dlmc() {
+        let min_k = REORDER_STUDY_SHAPES.iter().map(|s| s.k).min().unwrap();
+        let max_k = REORDER_STUDY_SHAPES.iter().map(|s| s.k).max().unwrap();
+        assert_eq!(min_k, 64);
+        assert_eq!(max_k, 4608);
+    }
+
+    #[test]
+    fn shapes_are_mma_tileable() {
+        // All evaluation shapes must tile by the 16x16 MMA_TILE after
+        // vector expansion (v in {2,4,8} divides every m).
+        for s in TRANSFORMER_SHAPES {
+            assert_eq!(s.m % 16, 0, "{}", s.name);
+            assert_eq!(s.k % 16, 0, "{}", s.name);
+            for v in VECTOR_WIDTHS {
+                assert_eq!(s.m % v, 0, "{} v={v}", s.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Reader/writer for the DLMC `.smtx` sparse-pattern format.
+//!
+//! DLMC files carry only the sparsity *pattern* (CSR without values):
+//!
+//! ```text
+//! nrows, ncols, nnz
+//! <nrows + 1 row offsets>
+//! <nnz column indices>
+//! ```
+//!
+//! If a real DLMC extract is available on disk, these loaders let the
+//! benchmark harness run on genuine patterns; otherwise the synthetic
+//! generator stands in (DESIGN.md §2).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use sptc::F16;
+
+use crate::matrix::Matrix;
+
+/// A CSR sparsity pattern (no values).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmtxPattern {
+    /// Matrix height.
+    pub rows: usize,
+    /// Matrix width.
+    pub cols: usize,
+    /// CSR row offsets, `rows + 1` entries.
+    pub row_offsets: Vec<usize>,
+    /// CSR column indices, `nnz` entries.
+    pub col_indices: Vec<usize>,
+}
+
+impl SmtxPattern {
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    /// Parses the textual `.smtx` encoding.
+    pub fn parse(text: &str) -> Result<SmtxPattern, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty smtx file")?;
+        let dims: Vec<usize> = header
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse::<usize>().map_err(|e| format!("header: {e}")))
+            .collect::<Result<_, _>>()?;
+        if dims.len() != 3 {
+            return Err(format!("header must have 3 fields, got {}", dims.len()));
+        }
+        let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+        let parse_ints = |line: &str| -> Result<Vec<usize>, String> {
+            line.split_whitespace()
+                .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
+                .collect()
+        };
+        let row_offsets = parse_ints(lines.next().ok_or("missing row offsets")?)?;
+        let col_indices = parse_ints(lines.next().ok_or("missing column indices")?)?;
+        if row_offsets.len() != rows + 1 {
+            return Err(format!(
+                "expected {} row offsets, got {}",
+                rows + 1,
+                row_offsets.len()
+            ));
+        }
+        if col_indices.len() != nnz {
+            return Err(format!("expected {nnz} column indices, got {}", col_indices.len()));
+        }
+        if row_offsets.first() != Some(&0) || row_offsets.last() != Some(&nnz) {
+            return Err("row offsets must start at 0 and end at nnz".to_string());
+        }
+        if row_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("row offsets must be non-decreasing".to_string());
+        }
+        if col_indices.iter().any(|&c| c >= cols) {
+            return Err("column index out of range".to_string());
+        }
+        Ok(SmtxPattern {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+        })
+    }
+
+    /// Reads and parses a `.smtx` file.
+    pub fn read_file(path: &Path) -> io::Result<SmtxPattern> {
+        let text = fs::read_to_string(path)?;
+        SmtxPattern::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Serializes to the textual encoding.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}, {}, {}", self.rows, self.cols, self.nnz());
+        let join = |v: &[usize]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let _ = writeln!(out, "{}", join(&self.row_offsets));
+        let _ = writeln!(out, "{}", join(&self.col_indices));
+        out
+    }
+
+    /// Writes the textual encoding to a file.
+    pub fn write_file(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.to_text())
+    }
+
+    /// Materializes the pattern as a matrix with all nonzeros = 1.0.
+    pub fn to_matrix(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for i in self.row_offsets[r]..self.row_offsets[r + 1] {
+                m.set(r, self.col_indices[i], F16::ONE);
+            }
+        }
+        m
+    }
+
+    /// Extracts the pattern of an existing matrix.
+    pub fn from_matrix(m: &Matrix) -> SmtxPattern {
+        let mut row_offsets = Vec::with_capacity(m.rows + 1);
+        let mut col_indices = Vec::new();
+        row_offsets.push(0);
+        for r in 0..m.rows {
+            for c in 0..m.cols {
+                if !m.get(r, c).is_zero() {
+                    col_indices.push(c);
+                }
+            }
+            row_offsets.push(col_indices.len());
+        }
+        SmtxPattern {
+            rows: m.rows,
+            cols: m.cols,
+            row_offsets,
+            col_indices,
+        }
+    }
+
+    /// The paper's benchmark construction: replace each nonzero of the
+    /// pattern with a vertical 1-D vector of width `v` (the result has
+    /// `rows * v` rows).
+    pub fn expand_vectors(&self, v: usize) -> Matrix {
+        let mut m = Matrix::zeros(self.rows * v, self.cols);
+        for r in 0..self.rows {
+            for i in self.row_offsets[r]..self.row_offsets[r + 1] {
+                let c = self.col_indices[i];
+                for dr in 0..v {
+                    m.set(r * v + dr, c, F16::ONE);
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "3, 4, 5\n0 2 3 5\n0 2 1 0 3\n";
+
+    #[test]
+    fn parse_sample() {
+        let p = SmtxPattern::parse(SAMPLE).unwrap();
+        assert_eq!(p.rows, 3);
+        assert_eq!(p.cols, 4);
+        assert_eq!(p.nnz(), 5);
+        assert_eq!(p.row_offsets, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let p = SmtxPattern::parse(SAMPLE).unwrap();
+        let q = SmtxPattern::parse(&p.to_text()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_through_matrix() {
+        let p = SmtxPattern::parse(SAMPLE).unwrap();
+        let m = p.to_matrix();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(SmtxPattern::from_matrix(&m), p);
+    }
+
+    #[test]
+    fn vector_expansion() {
+        let p = SmtxPattern::parse(SAMPLE).unwrap();
+        let m = p.expand_vectors(4);
+        assert_eq!(m.rows, 12);
+        assert_eq!(m.nnz(), 20);
+        // First pattern row has nonzeros at cols 0 and 2 -> rows 0..4.
+        for dr in 0..4 {
+            assert!(!m.get(dr, 0).is_zero());
+            assert!(!m.get(dr, 2).is_zero());
+            assert!(m.get(dr, 1).is_zero());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(SmtxPattern::parse("").is_err());
+        assert!(SmtxPattern::parse("2, 2\n0 1 1\n0\n").is_err()); // short header
+        assert!(SmtxPattern::parse("2, 2, 1\n0 1\n0\n").is_err()); // offsets len
+        assert!(SmtxPattern::parse("2, 2, 1\n0 0 1\n5\n").is_err()); // col oob
+        assert!(SmtxPattern::parse("2, 2, 1\n0 2 1\n0\n").is_err()); // decreasing
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("dlmc-smtx-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.smtx");
+        let p = SmtxPattern::parse(SAMPLE).unwrap();
+        p.write_file(&path).unwrap();
+        assert_eq!(SmtxPattern::read_file(&path).unwrap(), p);
+    }
+}

@@ -1,0 +1,616 @@
+//! Per-thread-block timing engine.
+//!
+//! Event-driven simulation of one thread block on one SM: warps issue
+//! in order, one instruction per scheduler per cycle, stalling on
+//! operand tokens (scoreboards), pipe occupancy (tensor, ALU, the
+//! SM-wide shared-memory pipe serialized by bank-conflict replays), the
+//! global-memory path (latency + bandwidth share), `cp.async` group
+//! semantics, and block-wide barriers.
+
+use std::collections::HashMap;
+
+use crate::arch::GpuSpec;
+use crate::instr::{BlockTrace, MmaOp, StallClass, Token, WarpInstr};
+use crate::stats::BlockStats;
+
+/// Execution context for a block: which machine, and how many blocks
+/// share the SM (divides the SM's DRAM bandwidth share).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Machine description.
+    pub spec: GpuSpec,
+    /// Blocks resident on the same SM (≥ 1).
+    pub resident_blocks: usize,
+}
+
+impl EngineConfig {
+    /// Memory bandwidth available to this block, bytes per cycle. The
+    /// staging path runs at L2 rate (tile re-reads hit L2; compulsory
+    /// DRAM traffic is bounded by the kernel-level roofline) and is
+    /// split among the blocks co-resident on the SM.
+    fn bw_share(&self) -> f64 {
+        (self.spec.l2_bytes_per_cycle_per_sm() / self.resident_blocks as f64).max(0.25)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum WarpState {
+    Ready,
+    AtBarrier(u64), // arrival time
+    Done,
+}
+
+struct Warp {
+    pc: usize,
+    /// Earliest cycle the warp may issue its next instruction.
+    ready_at: u64,
+    state: WarpState,
+    /// Token -> (ready time, stall class).
+    tokens: HashMap<Token, (u64, StallClass)>,
+    /// Copies accumulated into the currently open async group.
+    open_group_done: u64,
+    /// Committed async groups: completion times in commit order.
+    committed: Vec<u64>,
+    finish: u64,
+}
+
+/// One issued instruction, as observed by [`simulate_block_observed`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IssueEvent {
+    /// Warp that issued.
+    pub warp: usize,
+    /// Index of the instruction within the warp's trace.
+    pub pc: usize,
+    /// Cycle the instruction issued.
+    pub issue: u64,
+    /// Cycle its pipe work completed (occupancy, not result latency).
+    pub complete: u64,
+}
+
+/// Simulates one thread block and returns its counters.
+pub fn simulate_block(trace: &BlockTrace, cfg: &EngineConfig) -> BlockStats {
+    simulate_block_observed(trace, cfg, &mut |_| {})
+}
+
+/// Like [`simulate_block`], invoking `observer` for every issued
+/// instruction — the hook behind [`crate::timeline`].
+pub fn simulate_block_observed(
+    trace: &BlockTrace,
+    cfg: &EngineConfig,
+    observer: &mut dyn FnMut(IssueEvent),
+) -> BlockStats {
+    let spec = &cfg.spec;
+    let nsched = spec.schedulers_per_sm;
+    let bw = cfg.bw_share();
+
+    let mut warps: Vec<Warp> = trace
+        .warps
+        .iter()
+        .map(|_| Warp {
+            pc: 0,
+            ready_at: 0,
+            state: WarpState::Ready,
+            tokens: HashMap::new(),
+            open_group_done: 0,
+            committed: Vec::new(),
+            finish: 0,
+        })
+        .collect();
+
+    let mut sched_free = vec![0u64; nsched];
+    let mut tensor_free = vec![0u64; nsched];
+    let mut alu_free = vec![0u64; nsched];
+    let mut lsu_free: u64 = 0; // SM-wide shared-memory pipe
+    let mut gmem_free: f64 = 0.0; // bandwidth pipe (fractional cycles)
+
+    // Per-resource occupancy sums -> the block's throughput footprint.
+    let mut tensor_busy: u64 = 0;
+    let mut lsu_busy: u64 = 0;
+    let mut alu_busy: u64 = 0;
+
+    let mut stats = BlockStats::default();
+
+    loop {
+        // Barrier release: if every live warp is parked at a barrier,
+        // release them all at the latest arrival.
+        let all_blocked = warps
+            .iter()
+            .all(|w| !matches!(w.state, WarpState::Ready));
+        if all_blocked {
+            let arrivals: Vec<u64> = warps
+                .iter()
+                .filter_map(|w| match w.state {
+                    WarpState::AtBarrier(t) => Some(t),
+                    _ => None,
+                })
+                .collect();
+            if arrivals.is_empty() {
+                break; // every warp done
+            }
+            let release = *arrivals.iter().max().unwrap();
+            for (wi, w) in warps.iter_mut().enumerate() {
+                if let WarpState::AtBarrier(arrived) = w.state {
+                    stats.barrier_cycles += release - arrived;
+                    w.ready_at = w.ready_at.max(release);
+                    w.finish = w.finish.max(release);
+                    w.pc += 1;
+                    w.state = if w.pc >= trace.warps[wi].len() {
+                        WarpState::Done
+                    } else {
+                        WarpState::Ready
+                    };
+                }
+            }
+            continue;
+        }
+
+        // Pick the warp able to issue earliest, *including* operand
+        // readiness — a warp stalled on a scoreboard must not occupy its
+        // scheduler while siblings have eligible instructions. Ties go
+        // to the lowest id, approximating loose round-robin.
+        let mut best: Option<(u64, u64, usize, Option<StallClass>)> = None;
+        for (wi, w) in warps.iter().enumerate() {
+            if w.state != WarpState::Ready {
+                continue;
+            }
+            let base = w.ready_at.max(sched_free[wi % nsched]);
+            let instr = &trace.warps[wi][w.pc];
+            let mut issue = base;
+            let mut stall_class: Option<StallClass> = None;
+            for tok in instr.consumes() {
+                if let Some(&(ready, class)) = w.tokens.get(tok) {
+                    if ready > issue {
+                        issue = ready;
+                        stall_class = Some(class);
+                    }
+                }
+            }
+            // WaitGroup is an implicit dependency on async completions.
+            if let WarpInstr::WaitGroup { pending_allowed } = instr {
+                let n = w.committed.len();
+                let must_complete = n.saturating_sub(*pending_allowed as usize);
+                if must_complete > 0 {
+                    let t = w.committed[..must_complete]
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(0);
+                    if t > issue {
+                        issue = t;
+                        stall_class = Some(StallClass::Long);
+                    }
+                }
+            }
+            if best.is_none_or(|(bt, _, _, _)| issue < bt) {
+                best = Some((issue, base, wi, stall_class));
+            }
+        }
+        let (issue, base, wi, stall_class) = best.expect("a ready warp exists");
+        let sched = wi % nsched;
+        let instr = &trace.warps[wi][warps[wi].pc];
+
+        // Barrier: park the warp; release happens above.
+        if matches!(instr, WarpInstr::Barrier) {
+            observer(IssueEvent {
+                warp: wi,
+                pc: warps[wi].pc,
+                issue,
+                complete: issue + 1,
+            });
+            warps[wi].state = WarpState::AtBarrier(issue);
+            sched_free[sched] = issue + 1;
+            stats.instructions += 1;
+            continue;
+        }
+
+        match stall_class {
+            Some(StallClass::Long) => stats.long_scoreboard_cycles += issue - base,
+            Some(StallClass::Short) => stats.short_scoreboard_cycles += issue - base,
+            Some(StallClass::Fixed) => stats.fixed_latency_cycles += issue - base,
+            None => {}
+        }
+
+        // Pipe occupancy and result latency per instruction class.
+        let mut produced: Option<(Token, u64, StallClass)> = None;
+        // When the instruction's pipe work actually ends (occupancy, not
+        // result latency) — a warp only retires once this has drained.
+        let mut complete = issue + 1;
+        match instr {
+            WarpInstr::CpAsync { bytes, .. } => {
+                // Issue occupies the scheduler only; data flows through
+                // the bandwidth pipe in the background.
+                let start = gmem_free.max(issue as f64);
+                gmem_free = start + f64::from(*bytes) / bw;
+                let done = (start + f64::from(*bytes) / bw).ceil() as u64 + spec.gmem_latency;
+                let w = &mut warps[wi];
+                w.open_group_done = w.open_group_done.max(done);
+                stats.gmem_bytes += u64::from(*bytes);
+            }
+            WarpInstr::CommitGroup { .. } => {
+                let w = &mut warps[wi];
+                let done = w.open_group_done;
+                w.committed.push(done);
+                w.open_group_done = 0;
+            }
+            WarpInstr::WaitGroup { pending_allowed } => {
+                let w = &mut warps[wi];
+                let n = w.committed.len();
+                let keep = (*pending_allowed as usize).min(n);
+                w.committed.drain(..n - keep);
+            }
+            WarpInstr::LdGlobal {
+                bytes,
+                transactions,
+                produces,
+                l2_hit,
+                ..
+            } => {
+                let start = gmem_free.max(issue as f64);
+                gmem_free = start + f64::from(*bytes) / bw;
+                let latency = if *l2_hit {
+                    spec.l2_latency
+                } else {
+                    spec.gmem_latency
+                };
+                // Poorly coalesced requests serialize into sectors.
+                let serialization = u64::from((*transactions).max(1) - 1);
+                let ready =
+                    (start + f64::from(*bytes) / bw).ceil() as u64 + latency + serialization;
+                if let Some(tok) = produces {
+                    produced = Some((*tok, ready, StallClass::Long));
+                }
+                stats.gmem_bytes += u64::from(*bytes);
+            }
+            WarpInstr::LdShared {
+                conflict_ways,
+                produces,
+                ..
+            } => {
+                let start = issue.max(lsu_free);
+                lsu_free = start + u64::from(*conflict_ways);
+                complete = complete.max(lsu_free);
+                lsu_busy += u64::from(*conflict_ways);
+                stats.smem_bank_conflicts += u64::from(conflict_ways.saturating_sub(1));
+                stats.smem_instructions += 1;
+                if let Some(tok) = produces {
+                    produced = Some((
+                        *tok,
+                        start + u64::from(*conflict_ways) + spec.smem_latency,
+                        StallClass::Short,
+                    ));
+                }
+            }
+            WarpInstr::StShared { conflict_ways, .. } => {
+                let start = issue.max(lsu_free);
+                lsu_free = start + u64::from(*conflict_ways);
+                complete = complete.max(lsu_free);
+                lsu_busy += u64::from(*conflict_ways);
+                stats.smem_bank_conflicts += u64::from(conflict_ways.saturating_sub(1));
+                stats.smem_instructions += 1;
+            }
+            WarpInstr::Ldmatrix {
+                phases,
+                total_ways,
+                produces,
+                ..
+            } => {
+                let ways = (*total_ways).max(*phases);
+                let start = issue.max(lsu_free);
+                lsu_free = start + u64::from(ways);
+                complete = complete.max(lsu_free);
+                lsu_busy += u64::from(ways);
+                stats.smem_bank_conflicts += u64::from(ways - *phases);
+                stats.smem_instructions += 1;
+                if let Some(tok) = produces {
+                    produced = Some((
+                        *tok,
+                        start + u64::from(ways) + spec.smem_latency,
+                        StallClass::Short,
+                    ));
+                }
+            }
+            WarpInstr::Mma { op, produces, .. } => {
+                let interval = match op {
+                    MmaOp::DenseM16N8K16 => spec.mma_m16n8k16_interval,
+                    MmaOp::DenseM8N8K16 => spec.mma_m8n8k16_interval,
+                    MmaOp::SparseM16N8K32 => spec.mma_sp_m16n8k32_interval,
+                    MmaOp::SparseM16N8K16 => spec.mma_sp_m16n8k16_interval,
+                };
+                let start = issue.max(tensor_free[sched]);
+                tensor_free[sched] = start + interval;
+                complete = complete.max(tensor_free[sched]);
+                tensor_busy += interval;
+                stats.mma_instructions += 1;
+                if let Some(tok) = produces {
+                    produced = Some((*tok, start + interval + spec.tensor_latency, StallClass::Fixed));
+                }
+            }
+            WarpInstr::CudaOp {
+                cycles, produces, ..
+            } => {
+                let start = issue.max(alu_free[sched]);
+                alu_free[sched] = start + u64::from((*cycles).max(1));
+                complete = complete.max(alu_free[sched]);
+                alu_busy += u64::from((*cycles).max(1));
+                if let Some(tok) = produces {
+                    produced = Some((
+                        *tok,
+                        start + u64::from((*cycles).max(1)) + spec.alu_latency,
+                        StallClass::Fixed,
+                    ));
+                }
+            }
+            WarpInstr::StGlobal { bytes, .. } => {
+                let start = gmem_free.max(issue as f64);
+                gmem_free = start + f64::from(*bytes) / bw;
+                complete = complete.max(gmem_free.ceil() as u64);
+                stats.gmem_bytes += u64::from(*bytes);
+            }
+            WarpInstr::Barrier => unreachable!("handled above"),
+        }
+
+        let w = &mut warps[wi];
+        if let Some((tok, ready, class)) = produced {
+            w.tokens.insert(tok, (ready, class));
+        }
+        observer(IssueEvent {
+            warp: wi,
+            pc: w.pc,
+            issue,
+            complete,
+        });
+        w.ready_at = issue + 1;
+        sched_free[sched] = issue + 1;
+        stats.instructions += 1;
+        w.pc += 1;
+        w.finish = w.finish.max(complete);
+        if w.pc >= trace.warps[wi].len() {
+            // Retire only after outstanding results land.
+            let drain = w
+                .tokens
+                .values()
+                .map(|&(t, _)| t)
+                .max()
+                .unwrap_or(0)
+                .max(w.committed.iter().copied().max().unwrap_or(0));
+            w.finish = w.finish.max(drain);
+            w.state = WarpState::Done;
+        }
+    }
+
+    stats.cycles = warps.iter().map(|w| w.finish).max().unwrap_or(0);
+    // Throughput footprint: the SM-cycles of the block's most contended
+    // *per-SM* resource assuming a full SM to itself. Co-resident blocks
+    // cannot shrink this; the device model sums it across a wave.
+    // Memory bandwidth is NOT included here — L2/DRAM are device-wide
+    // resources enforced as kernel-level rooflines by the device model.
+    stats.busy_cycles = (tensor_busy / nsched as u64)
+        .max(lsu_busy)
+        .max(alu_busy / nsched as u64)
+        .max(stats.instructions / nsched as u64)
+        .min(stats.cycles);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BlockTrace, TokenAlloc};
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            spec: GpuSpec::a100(),
+            resident_blocks: 1,
+        }
+    }
+
+    #[test]
+    fn empty_block_is_free() {
+        let stats = simulate_block(&BlockTrace::default(), &cfg());
+        assert_eq!(stats.cycles, 0);
+    }
+
+    #[test]
+    fn single_mma_occupies_its_interval() {
+        let trace = BlockTrace {
+            warps: vec![vec![WarpInstr::Mma {
+                op: MmaOp::SparseM16N8K32,
+                consumes: vec![],
+                produces: None,
+            }]],
+            smem_bytes: 0,
+        };
+        let stats = simulate_block(&trace, &cfg());
+        assert_eq!(stats.instructions, 1);
+        assert_eq!(stats.mma_instructions, 1);
+        assert!(stats.cycles >= 1);
+    }
+
+    #[test]
+    fn dependent_load_stalls_short_scoreboard() {
+        let mut toks = TokenAlloc::new();
+        let t = toks.fresh();
+        let trace = BlockTrace {
+            warps: vec![vec![
+                WarpInstr::LdShared {
+                    conflict_ways: 1,
+                    produces: Some(t),
+                    consumes: vec![],
+                },
+                WarpInstr::Mma {
+                    op: MmaOp::SparseM16N8K32,
+                    consumes: vec![t],
+                    produces: None,
+                },
+            ]],
+            smem_bytes: 0,
+        };
+        let stats = simulate_block(&trace, &cfg());
+        assert!(
+            stats.short_scoreboard_cycles >= GpuSpec::a100().smem_latency - 2,
+            "stall {} too small",
+            stats.short_scoreboard_cycles
+        );
+    }
+
+    #[test]
+    fn independent_work_hides_latency() {
+        // Two warps with the same dependent pattern: the second warp's
+        // issue fills the first's stall, so total cycles grow far less
+        // than 2x the single-warp time.
+        let mk = |tok: Token| {
+            vec![
+                WarpInstr::LdGlobal {
+                    bytes: 128,
+                    transactions: 4,
+                    produces: Some(tok),
+                    l2_hit: false,
+                    consumes: vec![],
+                },
+                WarpInstr::CudaOp {
+                    cycles: 4,
+                    consumes: vec![tok],
+                    produces: None,
+                },
+            ]
+        };
+        let one = simulate_block(
+            &BlockTrace {
+                warps: vec![mk(0)],
+                smem_bytes: 0,
+            },
+            &cfg(),
+        );
+        let eight = simulate_block(
+            &BlockTrace {
+                warps: (0..8).map(|_| mk(0)).collect(),
+                smem_bytes: 0,
+            },
+            &cfg(),
+        );
+        assert!(eight.cycles < one.cycles * 2, "{} vs {}", eight.cycles, one.cycles);
+    }
+
+    #[test]
+    fn bank_conflicts_serialize_the_lsu() {
+        let mk = |ways: u32| BlockTrace {
+            warps: vec![(0..64)
+                .map(|_| WarpInstr::LdShared {
+                    conflict_ways: ways,
+                    produces: None,
+                    consumes: vec![],
+                })
+                .collect()],
+            smem_bytes: 0,
+        };
+        let clean = simulate_block(&mk(1), &cfg());
+        let conflicted = simulate_block(&mk(8), &cfg());
+        assert_eq!(conflicted.smem_bank_conflicts, 64 * 7);
+        assert!(
+            conflicted.cycles > clean.cycles * 4,
+            "{} vs {}",
+            conflicted.cycles,
+            clean.cycles
+        );
+    }
+
+    #[test]
+    fn barrier_synchronizes_warps() {
+        // Warp 0 does long work then barriers; warp 1 barriers at once.
+        // Warp 1's post-barrier op cannot start before warp 0 arrives.
+        let w0: Vec<WarpInstr> = (0..32)
+            .map(|_| WarpInstr::CudaOp {
+                cycles: 8,
+                consumes: vec![],
+                produces: None,
+            })
+            .chain([WarpInstr::Barrier])
+            .collect();
+        let w1 = vec![
+            WarpInstr::Barrier,
+            WarpInstr::CudaOp {
+                cycles: 1,
+                consumes: vec![],
+                produces: None,
+            },
+        ];
+        let stats = simulate_block(
+            &BlockTrace {
+                warps: vec![w0, w1],
+                smem_bytes: 0,
+            },
+            &cfg(),
+        );
+        assert!(stats.barrier_cycles > 0);
+        assert!(stats.cycles >= 32);
+    }
+
+    #[test]
+    fn wait_group_enforces_async_completion() {
+        let trace = BlockTrace {
+            warps: vec![vec![
+                WarpInstr::CpAsync {
+                    bytes: 16384,
+                    group: 0,
+                    consumes: vec![],
+                },
+                WarpInstr::CommitGroup { group: 0 },
+                WarpInstr::WaitGroup { pending_allowed: 0 },
+                WarpInstr::CudaOp {
+                    cycles: 1,
+                    consumes: vec![],
+                    produces: None,
+                },
+            ]],
+            smem_bytes: 0,
+        };
+        let stats = simulate_block(&trace, &cfg());
+        // Must at least cover the DRAM latency.
+        assert!(stats.cycles > GpuSpec::a100().gmem_latency);
+        assert!(stats.long_scoreboard_cycles > 0);
+    }
+
+    #[test]
+    fn deeper_pipeline_reduces_long_scoreboard() {
+        // Two-stage: wait for the *current* group right after issuing it.
+        // Three-stage analogue: allow one group in flight. With several
+        // iterations the deeper pipeline must stall less.
+        let iters = 8;
+        let mk = |pending: u8| {
+            let mut v = Vec::new();
+            for i in 0..iters {
+                v.push(WarpInstr::CpAsync {
+                    bytes: 4096,
+                    group: (i % 2) as u8,
+                    consumes: vec![],
+                });
+                v.push(WarpInstr::CommitGroup {
+                    group: (i % 2) as u8,
+                });
+                v.push(WarpInstr::WaitGroup {
+                    pending_allowed: pending,
+                });
+                for _ in 0..16 {
+                    v.push(WarpInstr::Mma {
+                        op: MmaOp::SparseM16N8K32,
+                        consumes: vec![],
+                        produces: None,
+                    });
+                }
+            }
+            BlockTrace {
+                warps: vec![v],
+                smem_bytes: 0,
+            }
+        };
+        let shallow = simulate_block(&mk(0), &cfg());
+        let deep = simulate_block(&mk(1), &cfg());
+        assert!(
+            deep.long_scoreboard_cycles < shallow.long_scoreboard_cycles,
+            "deep {} !< shallow {}",
+            deep.long_scoreboard_cycles,
+            shallow.long_scoreboard_cycles
+        );
+        assert!(deep.cycles <= shallow.cycles);
+    }
+}

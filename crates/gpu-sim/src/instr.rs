@@ -1,0 +1,235 @@
+//! The warp-level instruction vocabulary the timing engine executes.
+//!
+//! Kernel models lower their inner loops to sequences of these
+//! instructions, one sequence per warp. Data dependencies are explicit:
+//! an instruction may *produce* a token and *consume* tokens produced by
+//! earlier instructions of the same warp; the engine stalls issue until
+//! every consumed token is ready and attributes the stall to the right
+//! scoreboard, exactly as Nsight's `long_scoreboard` / `short_scoreboard`
+//! warp-state counters do.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a value produced by an instruction, scoped to one warp.
+pub type Token = u32;
+
+/// Which hardware pipe an instruction's result returns through —
+/// determines the stall class charged when a consumer waits on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StallClass {
+    /// Global-memory results (LDG, L2/DRAM): `long_scoreboard`.
+    Long,
+    /// Shared-memory results (LDS, `ldmatrix`): `short_scoreboard`.
+    Short,
+    /// Fixed-latency math results: `wait` (short fixed stalls).
+    Fixed,
+}
+
+/// Tensor-core instruction flavours with distinct pipe intervals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MmaOp {
+    /// Dense f16 `mma.m16n8k16`.
+    DenseM16N8K16,
+    /// Dense f16 `mma.m8n8k16` (CLASP).
+    DenseM8N8K16,
+    /// Sparse f16 `mma.sp.m16n8k32` (Jigsaw).
+    SparseM16N8K32,
+    /// Sparse f16 `mma.sp.m16n8k16` (rejected shape, modelled for
+    /// completeness).
+    SparseM16N8K16,
+}
+
+/// One warp-level instruction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WarpInstr {
+    /// Asynchronous global→shared copy (`cp.async`). Does not occupy a
+    /// register destination; completion is observed via [`WarpInstr::WaitGroup`].
+    CpAsync {
+        /// Bytes moved by this warp's copy instruction.
+        bytes: u32,
+        /// The commit group this copy belongs to.
+        group: u8,
+        /// Tokens the copy's *addresses* depend on (e.g. an index array
+        /// loaded earlier — the dependency Jigsaw's deepened pipeline
+        /// breaks).
+        consumes: Vec<Token>,
+    },
+    /// Commits the currently open async group (`cp.async.commit_group`).
+    CommitGroup {
+        /// Group being committed.
+        group: u8,
+    },
+    /// Blocks until at most `pending_allowed` committed groups are still
+    /// in flight (`cp.async.wait_group N`).
+    WaitGroup {
+        /// Number of groups allowed to remain outstanding.
+        pending_allowed: u8,
+    },
+    /// Synchronous global load into registers.
+    LdGlobal {
+        /// Bytes requested by the warp.
+        bytes: u32,
+        /// 32-byte sectors touched (coalescing quality).
+        transactions: u32,
+        /// Token the loaded value is published under.
+        produces: Option<Token>,
+        /// Whether the request hits in L2 (shorter latency).
+        l2_hit: bool,
+        /// Address dependencies.
+        consumes: Vec<Token>,
+    },
+    /// Shared-memory load.
+    LdShared {
+        /// Bank-conflict ways (1 = conflict-free); the pipe is occupied
+        /// `ways` cycles.
+        conflict_ways: u32,
+        /// Token for the loaded value.
+        produces: Option<Token>,
+        /// Tokens that must be ready before issue (e.g. an address
+        /// computed from a prior load).
+        consumes: Vec<Token>,
+    },
+    /// Shared-memory store.
+    StShared {
+        /// Bank-conflict ways.
+        conflict_ways: u32,
+        /// Tokens that must be ready (the stored value).
+        consumes: Vec<Token>,
+    },
+    /// `ldmatrix.x{1,2,4}` — `phases` 8×8 tile reads, each replayed by
+    /// its conflict ways.
+    Ldmatrix {
+        /// Number of 8×8 phases (the `x` suffix).
+        phases: u32,
+        /// Sum of conflict ways across phases (phases = conflict-free).
+        total_ways: u32,
+        /// Token for the loaded fragments.
+        produces: Option<Token>,
+        /// Address dependencies.
+        consumes: Vec<Token>,
+    },
+    /// Tensor-core matrix-multiply-accumulate.
+    Mma {
+        /// Which instruction (pipe interval differs by shape/sparsity).
+        op: MmaOp,
+        /// Fragment dependencies (A, B, metadata).
+        consumes: Vec<Token>,
+        /// Token for the produced accumulator fragment.
+        produces: Option<Token>,
+    },
+    /// Generic CUDA-core work (index arithmetic, predicates, epilogue
+    /// math): occupies the ALU pipe for `cycles`.
+    CudaOp {
+        /// Pipe-occupancy cycles.
+        cycles: u32,
+        /// Dependencies.
+        consumes: Vec<Token>,
+        /// Produced token, if any.
+        produces: Option<Token>,
+    },
+    /// Block-wide barrier (`__syncthreads`).
+    Barrier,
+    /// Global store of the output tile (write-back; fire-and-forget).
+    StGlobal {
+        /// Bytes written by the warp.
+        bytes: u32,
+        /// Dependencies (the accumulator being written).
+        consumes: Vec<Token>,
+    },
+}
+
+impl WarpInstr {
+    /// Token this instruction produces, if any.
+    pub fn produces(&self) -> Option<Token> {
+        match self {
+            WarpInstr::LdGlobal { produces, .. }
+            | WarpInstr::LdShared { produces, .. }
+            | WarpInstr::Ldmatrix { produces, .. }
+            | WarpInstr::Mma { produces, .. }
+            | WarpInstr::CudaOp { produces, .. } => *produces,
+            _ => None,
+        }
+    }
+
+    /// Tokens this instruction must wait for before issuing.
+    pub fn consumes(&self) -> &[Token] {
+        match self {
+            WarpInstr::CpAsync { consumes, .. }
+            | WarpInstr::LdGlobal { consumes, .. }
+            | WarpInstr::LdShared { consumes, .. }
+            | WarpInstr::StShared { consumes, .. }
+            | WarpInstr::Ldmatrix { consumes, .. }
+            | WarpInstr::Mma { consumes, .. }
+            | WarpInstr::CudaOp { consumes, .. }
+            | WarpInstr::StGlobal { consumes, .. } => consumes,
+            _ => &[],
+        }
+    }
+}
+
+/// The instruction sequence one warp executes.
+pub type WarpTrace = Vec<WarpInstr>;
+
+/// A thread block: its warps' traces plus the resources that determine
+/// occupancy.
+#[derive(Clone, Debug, Default)]
+pub struct BlockTrace {
+    /// One trace per warp in the block.
+    pub warps: Vec<WarpTrace>,
+    /// Static shared-memory footprint of the block in bytes.
+    pub smem_bytes: usize,
+}
+
+/// A full kernel launch: every thread block (heterogeneous traces are
+/// allowed — sparse kernels do different work per block).
+#[derive(Clone, Debug, Default)]
+pub struct KernelLaunch {
+    /// All blocks of the grid.
+    pub blocks: Vec<BlockTrace>,
+    /// Unique bytes the kernel must move from DRAM (for the roofline
+    /// bound): compulsory traffic, not per-block re-reads that hit L2.
+    pub dram_bytes: u64,
+}
+
+/// Small builder helping kernel models hand out unique tokens.
+#[derive(Default, Clone, Debug)]
+pub struct TokenAlloc(Token);
+
+impl TokenAlloc {
+    /// Fresh allocator.
+    pub fn new() -> Self {
+        TokenAlloc(0)
+    }
+    /// Next unique token.
+    pub fn fresh(&mut self) -> Token {
+        let t = self.0;
+        self.0 += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_alloc_is_unique() {
+        let mut a = TokenAlloc::new();
+        let t0 = a.fresh();
+        let t1 = a.fresh();
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn produces_consumes_accessors() {
+        let i = WarpInstr::LdShared {
+            conflict_ways: 2,
+            produces: Some(7),
+            consumes: vec![3],
+        };
+        assert_eq!(i.produces(), Some(7));
+        assert_eq!(i.consumes(), &[3]);
+        assert_eq!(WarpInstr::Barrier.produces(), None);
+        assert!(WarpInstr::Barrier.consumes().is_empty());
+    }
+}

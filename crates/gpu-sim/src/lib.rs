@@ -1,0 +1,34 @@
+//! # gpu-sim — warp-scheduler-level GPU timing simulator
+//!
+//! An A100-like performance model substituting for the paper's real
+//! evaluation platform (see DESIGN.md §2). Kernel implementations lower
+//! to warp instruction traces ([`instr::WarpInstr`]); the per-block
+//! engine ([`engine::simulate_block`]) models warp scheduling,
+//! scoreboards, shared-memory bank-conflict replays, `cp.async` group
+//! semantics and barriers; the device layer ([`device::simulate_kernel`])
+//! adds occupancy, wave scheduling across 108 SMs, and the DRAM
+//! roofline. Reported counters mirror the Nsight Compute metrics the
+//! paper quotes.
+//!
+//! The simulator is deterministic: the same launch always produces the
+//! same cycle count.
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod device;
+pub mod engine;
+pub mod instr;
+pub mod report;
+pub mod stats;
+pub mod timeline;
+
+pub use arch::GpuSpec;
+pub use device::{occupancy, simulate_kernel};
+pub use engine::{simulate_block, simulate_block_observed, EngineConfig, IssueEvent};
+pub use instr::{
+    BlockTrace, KernelLaunch, MmaOp, StallClass, Token, TokenAlloc, WarpInstr, WarpTrace,
+};
+pub use stats::{BlockStats, KernelStats};
+pub use report::ncu_style_report;
+pub use timeline::{record as record_timeline, Timeline};

@@ -1,0 +1,100 @@
+//! Nsight-Compute-style text report for a simulated kernel — the
+//! "sections" a CUDA engineer expects (`Duration`, occupancy, warp
+//! state breakdown, memory counters), generated from [`KernelStats`].
+
+use crate::arch::GpuSpec;
+use crate::stats::KernelStats;
+
+/// Renders the report.
+pub fn ncu_style_report(name: &str, stats: &KernelStats, spec: &GpuSpec) -> String {
+    let t = &stats.totals;
+    let instr = t.instructions.max(1) as f64;
+    let mut out = String::new();
+    out.push_str(&format!("== {name} ==\n"));
+    out.push_str("  Section: GPU Speed Of Light\n");
+    out.push_str(&format!(
+        "    Duration                    {:>12.2} us ({:.0} cycles @ {:.2} GHz)\n",
+        stats.duration_us, stats.duration_cycles, spec.clock_ghz
+    ));
+    let sparse_peak = spec.peak_sparse_tensor_flops_per_cycle();
+    let tensor_flops = t.mma_instructions as f64 * 8192.0;
+    out.push_str(&format!(
+        "    Tensor Pipe Utilization     {:>12.1} %\n",
+        100.0 * tensor_flops / (sparse_peak * stats.duration_cycles).max(1.0)
+    ));
+    out.push_str(&format!(
+        "    Memory Throughput           {:>12.1} % of L2\n",
+        100.0 * t.gmem_bytes as f64 / (spec.l2_bytes_per_cycle * stats.duration_cycles).max(1.0)
+    ));
+    out.push_str("  Section: Launch Statistics\n");
+    out.push_str(&format!(
+        "    Grid Size                   {:>12}\n    Waves Per SM                {:>12}\n    Block Limit (occupancy)     {:>12}\n",
+        stats.blocks, stats.waves, stats.blocks_per_sm
+    ));
+    out.push_str("  Section: Warp State Statistics (cycles per issued instruction)\n");
+    out.push_str(&format!(
+        "    Stall Long Scoreboard       {:>12.2}\n    Stall Short Scoreboard      {:>12.2}\n    Stall Wait (fixed latency)  {:>12.2}\n    Stall Barrier               {:>12.2}\n",
+        stats.long_scoreboard_per_instr,
+        stats.short_scoreboard_per_instr,
+        t.fixed_latency_cycles as f64 / instr,
+        t.barrier_cycles as f64 / instr,
+    ));
+    out.push_str("  Section: Memory Workload Analysis\n");
+    out.push_str(&format!(
+        "    Bytes (L2-visible)          {:>12}\n    Shared Memory Instructions  {:>12}\n    Shared Memory Bank Conflicts{:>12}\n",
+        t.gmem_bytes, t.smem_instructions, t.smem_bank_conflicts
+    ));
+    out.push_str(&format!(
+        "    Bound By                    {:>12}\n",
+        if stats.dram_bound { "memory" } else { "compute" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::simulate_kernel;
+    use crate::instr::{BlockTrace, KernelLaunch, MmaOp, WarpInstr};
+
+    #[test]
+    fn report_contains_all_sections() {
+        let spec = GpuSpec::a100();
+        let launch = KernelLaunch {
+            blocks: vec![
+                BlockTrace {
+                    warps: vec![(0..32)
+                        .map(|_| WarpInstr::Mma {
+                            op: MmaOp::SparseM16N8K32,
+                            consumes: vec![],
+                            produces: None,
+                        })
+                        .collect()],
+                    smem_bytes: 1024,
+                };
+                4
+            ],
+            dram_bytes: 1 << 20,
+        };
+        let stats = simulate_kernel(&launch, &spec);
+        let report = ncu_style_report("test_kernel", &stats, &spec);
+        for section in [
+            "GPU Speed Of Light",
+            "Launch Statistics",
+            "Warp State Statistics",
+            "Memory Workload Analysis",
+            "Duration",
+            "Bank Conflicts",
+        ] {
+            assert!(report.contains(section), "missing {section}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let spec = GpuSpec::a100();
+        let stats = KernelStats::default().finish();
+        let report = ncu_style_report("empty", &stats, &spec);
+        assert!(report.contains("0.0"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Execution statistics mirroring the Nsight Compute counters the paper
+//! quotes (`Duration`, bank conflicts, `warp long/short scoreboard`,
+//! instruction counts).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters produced by simulating one thread block.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockStats {
+    /// Cycles from block start until its last warp retires.
+    pub cycles: u64,
+    /// Throughput footprint: SM-cycles of the block's most contended
+    /// resource (tensor pipes, shared-memory pipe, issue slots, memory
+    /// bandwidth). Concurrent blocks on one SM serialize on this.
+    pub busy_cycles: u64,
+    /// Instructions issued by all warps.
+    pub instructions: u64,
+    /// Shared-memory replays beyond conflict-free (LDS/STS/ldmatrix).
+    pub smem_bank_conflicts: u64,
+    /// Cycles warps spent stalled on global-memory results.
+    pub long_scoreboard_cycles: u64,
+    /// Cycles warps spent stalled on shared-memory results.
+    pub short_scoreboard_cycles: u64,
+    /// Cycles warps spent stalled on fixed-latency math results.
+    pub fixed_latency_cycles: u64,
+    /// Cycles warps spent waiting at barriers.
+    pub barrier_cycles: u64,
+    /// Bytes this block moved over the global-memory path.
+    pub gmem_bytes: u64,
+    /// Shared-memory instructions issued (LDS + STS + ldmatrix).
+    pub smem_instructions: u64,
+    /// Tensor-pipe instructions issued.
+    pub mma_instructions: u64,
+}
+
+impl BlockStats {
+    /// Accumulates another block's counters (cycles take the max — used
+    /// when merging warps, not blocks; block merging sums separately).
+    pub fn absorb(&mut self, other: &BlockStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.busy_cycles += other.busy_cycles;
+        self.instructions += other.instructions;
+        self.smem_bank_conflicts += other.smem_bank_conflicts;
+        self.long_scoreboard_cycles += other.long_scoreboard_cycles;
+        self.short_scoreboard_cycles += other.short_scoreboard_cycles;
+        self.fixed_latency_cycles += other.fixed_latency_cycles;
+        self.barrier_cycles += other.barrier_cycles;
+        self.gmem_bytes += other.gmem_bytes;
+        self.smem_instructions += other.smem_instructions;
+        self.mma_instructions += other.mma_instructions;
+    }
+
+    /// Adds `other` scaled by `count` identical blocks (cycles unchanged).
+    pub fn add_scaled(&mut self, other: &BlockStats, count: u64) {
+        self.instructions += other.instructions * count;
+        self.smem_bank_conflicts += other.smem_bank_conflicts * count;
+        self.long_scoreboard_cycles += other.long_scoreboard_cycles * count;
+        self.short_scoreboard_cycles += other.short_scoreboard_cycles * count;
+        self.fixed_latency_cycles += other.fixed_latency_cycles * count;
+        self.barrier_cycles += other.barrier_cycles * count;
+        self.gmem_bytes += other.gmem_bytes * count;
+        self.smem_instructions += other.smem_instructions * count;
+        self.mma_instructions += other.mma_instructions * count;
+    }
+}
+
+/// Whole-kernel report — the simulator's analogue of an Nsight section.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Simulated kernel duration in cycles (the paper's `Duration`
+    /// metric, converted with the locked clock).
+    pub duration_cycles: f64,
+    /// Duration in microseconds.
+    pub duration_us: f64,
+    /// Thread blocks launched.
+    pub blocks: usize,
+    /// Resident blocks per SM the occupancy calculation allowed.
+    pub blocks_per_sm: usize,
+    /// Number of scheduling waves (`ceil(blocks / (sms * occupancy))`).
+    pub waves: usize,
+    /// True when the DRAM roofline, not SM compute, bounded the kernel.
+    pub dram_bound: bool,
+    /// Aggregated per-block counters.
+    pub totals: BlockStats,
+    /// Average long-scoreboard stall cycles per issued instruction —
+    /// comparable to Nsight's "Warp Cycles Per Issued Instruction /
+    /// Long Scoreboard" that the paper quotes (1.82 → 0.87 for v1 → v2).
+    pub long_scoreboard_per_instr: f64,
+    /// Same for short scoreboard.
+    pub short_scoreboard_per_instr: f64,
+}
+
+impl KernelStats {
+    /// Finalizes derived ratios from the totals.
+    pub fn finish(mut self) -> Self {
+        let instr = self.totals.instructions.max(1) as f64;
+        self.long_scoreboard_per_instr = self.totals.long_scoreboard_cycles as f64 / instr;
+        self.short_scoreboard_per_instr = self.totals.short_scoreboard_cycles as f64 / instr;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_maxes_cycles_and_sums_counts() {
+        let mut a = BlockStats {
+            cycles: 10,
+            instructions: 5,
+            ..Default::default()
+        };
+        let b = BlockStats {
+            cycles: 7,
+            instructions: 3,
+            smem_bank_conflicts: 2,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.cycles, 10);
+        assert_eq!(a.instructions, 8);
+        assert_eq!(a.smem_bank_conflicts, 2);
+    }
+
+    #[test]
+    fn finish_computes_ratios() {
+        let stats = KernelStats {
+            totals: BlockStats {
+                instructions: 100,
+                long_scoreboard_cycles: 182,
+                short_scoreboard_cycles: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .finish();
+        assert!((stats.long_scoreboard_per_instr - 1.82).abs() < 1e-12);
+        assert!((stats.short_scoreboard_per_instr - 0.5).abs() < 1e-12);
+    }
+}

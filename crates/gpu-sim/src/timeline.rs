@@ -1,0 +1,185 @@
+//! Text-Gantt rendering of a block's execution — the simulator's
+//! analogue of Nsight's per-warp timeline, for eyeballing stalls and
+//! pipeline overlap.
+
+use crate::engine::{simulate_block_observed, EngineConfig, IssueEvent};
+use crate::instr::{BlockTrace, WarpInstr};
+use crate::stats::BlockStats;
+
+/// A recorded block execution.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    /// Every issued instruction in issue order.
+    pub events: Vec<IssueEvent>,
+    /// The block's counters.
+    pub stats: BlockStats,
+    /// Warps in the block.
+    pub warps: usize,
+}
+
+/// Simulates `trace` and records its timeline.
+pub fn record(trace: &BlockTrace, cfg: &EngineConfig) -> Timeline {
+    let mut events = Vec::new();
+    let stats = simulate_block_observed(trace, cfg, &mut |e| events.push(e));
+    Timeline {
+        events,
+        stats,
+        warps: trace.warps.len(),
+    }
+}
+
+/// Single-letter glyph per instruction class.
+pub fn glyph(i: &WarpInstr) -> char {
+    match i {
+        WarpInstr::CpAsync { .. } => 'a',
+        WarpInstr::CommitGroup { .. } => 'c',
+        WarpInstr::WaitGroup { .. } => 'W',
+        WarpInstr::LdGlobal { .. } => 'G',
+        WarpInstr::LdShared { .. } => 's',
+        WarpInstr::StShared { .. } => 'S',
+        WarpInstr::Ldmatrix { .. } => 'L',
+        WarpInstr::Mma { .. } => 'M',
+        WarpInstr::CudaOp { .. } => '+',
+        WarpInstr::Barrier => '|',
+        WarpInstr::StGlobal { .. } => 'O',
+    }
+}
+
+impl Timeline {
+    /// Renders one row per warp, `width` columns spanning the block's
+    /// execution; each cell shows the glyph of the instruction that
+    /// issued in that cycle bucket (last writer wins), `.` for idle.
+    pub fn render(&self, trace: &BlockTrace, width: usize) -> String {
+        let total = self.stats.cycles.max(1);
+        let width = width.max(8);
+        let mut rows = vec![vec!['.'; width]; self.warps];
+        for e in &self.events {
+            let col = ((e.issue as f64 / total as f64) * (width - 1) as f64) as usize;
+            let g = glyph(&trace.warps[e.warp][e.pc]);
+            rows[e.warp][col.min(width - 1)] = g;
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "block timeline: {} cycles, {} instructions ({} warps)\n",
+            self.stats.cycles,
+            self.events.len(),
+            self.warps
+        ));
+        out.push_str(
+            "legend: a=cp.async c=commit W=wait G=ldglobal s=lds S=sts L=ldmatrix M=mma +=alu |=bar O=stg\n",
+        );
+        for (wi, row) in rows.iter().enumerate() {
+            out.push_str(&format!("w{wi:02} "));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Issue-slot utilization: fraction of cycles with at least one
+    /// instruction issued.
+    pub fn issue_utilization(&self) -> f64 {
+        if self.stats.cycles == 0 {
+            return 0.0;
+        }
+        let mut cycles: Vec<u64> = self.events.iter().map(|e| e.issue).collect();
+        cycles.sort_unstable();
+        cycles.dedup();
+        cycles.len() as f64 / self.stats.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuSpec;
+    use crate::instr::MmaOp;
+
+    fn block() -> BlockTrace {
+        BlockTrace {
+            warps: vec![
+                vec![
+                    WarpInstr::LdShared {
+                        conflict_ways: 1,
+                        produces: Some(0),
+                        consumes: vec![],
+                    },
+                    WarpInstr::Mma {
+                        op: MmaOp::SparseM16N8K32,
+                        consumes: vec![0],
+                        produces: None,
+                    },
+                    WarpInstr::Barrier,
+                ],
+                vec![
+                    WarpInstr::CudaOp {
+                        cycles: 4,
+                        consumes: vec![],
+                        produces: None,
+                    },
+                    WarpInstr::Barrier,
+                ],
+            ],
+            smem_bytes: 0,
+        }
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            spec: GpuSpec::a100(),
+            resident_blocks: 1,
+        }
+    }
+
+    #[test]
+    fn records_every_instruction_once() {
+        let b = block();
+        let t = record(&b, &cfg());
+        assert_eq!(t.events.len(), 5);
+        // Events cover each (warp, pc) pair exactly once.
+        let mut seen: Vec<(usize, usize)> = t.events.iter().map(|e| (e.warp, e.pc)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn observed_stats_match_plain_simulation() {
+        let b = block();
+        let plain = crate::engine::simulate_block(&b, &cfg());
+        let t = record(&b, &cfg());
+        assert_eq!(t.stats, plain);
+    }
+
+    #[test]
+    fn render_produces_one_row_per_warp() {
+        let b = block();
+        let t = record(&b, &cfg());
+        let text = t.render(&b, 40);
+        assert_eq!(text.lines().count(), 2 + t.warps);
+        assert!(text.contains("legend"));
+        assert!(text.contains('M'));
+    }
+
+    #[test]
+    fn issue_utilization_is_a_fraction() {
+        let b = block();
+        let t = record(&b, &cfg());
+        let u = t.issue_utilization();
+        assert!(u > 0.0 && u <= 1.0);
+    }
+
+    #[test]
+    fn events_are_causally_ordered_per_warp() {
+        let b = block();
+        let t = record(&b, &cfg());
+        for w in 0..t.warps {
+            let issues: Vec<u64> = t
+                .events
+                .iter()
+                .filter(|e| e.warp == w)
+                .map(|e| e.issue)
+                .collect();
+            assert!(issues.windows(2).all(|p| p[0] < p[1]), "warp {w}: {issues:?}");
+        }
+    }
+}

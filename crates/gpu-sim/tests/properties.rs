@@ -1,0 +1,157 @@
+//! Property-based tests of the timing engine: determinism, monotonicity
+//! in the architectural parameters, and conservation invariants.
+
+use proptest::prelude::*;
+
+use gpu_sim::{
+    occupancy, simulate_block, simulate_kernel, BlockTrace, EngineConfig, GpuSpec, KernelLaunch,
+    MmaOp, WarpInstr,
+};
+
+/// Strategy: a random but well-formed warp trace (barrier-free so any
+/// warp mix is legal; tokens reference earlier instructions only).
+fn arb_trace(max_len: usize) -> impl Strategy<Value = Vec<WarpInstr>> {
+    proptest::collection::vec(0u8..6, 1..max_len).prop_map(|kinds| {
+        let mut trace = Vec::new();
+        let mut last_token: Option<u32> = None;
+        let mut next = 0u32;
+        for k in kinds {
+            let instr = match k {
+                0 => {
+                    let tok = next;
+                    next += 1;
+                    last_token = Some(tok);
+                    WarpInstr::LdGlobal {
+                        bytes: 256,
+                        transactions: 2,
+                        produces: Some(tok),
+                        l2_hit: true,
+                        consumes: vec![],
+                    }
+                }
+                1 => {
+                    let tok = next;
+                    next += 1;
+                    let out = WarpInstr::LdShared {
+                        conflict_ways: 1 + (next % 4),
+                        produces: Some(tok),
+                        consumes: last_token.into_iter().collect(),
+                    };
+                    last_token = Some(tok);
+                    out
+                }
+                2 => WarpInstr::Mma {
+                    op: MmaOp::SparseM16N8K32,
+                    consumes: last_token.into_iter().collect(),
+                    produces: None,
+                },
+                3 => WarpInstr::CudaOp {
+                    cycles: 1 + next % 8,
+                    consumes: vec![],
+                    produces: None,
+                },
+                4 => WarpInstr::Ldmatrix {
+                    phases: 4,
+                    total_ways: 4 + (next % 8),
+                    produces: None,
+                    consumes: vec![],
+                },
+                _ => WarpInstr::StGlobal {
+                    bytes: 128,
+                    consumes: last_token.into_iter().collect(),
+                },
+            };
+            trace.push(instr);
+        }
+        trace
+    })
+}
+
+fn arb_block() -> impl Strategy<Value = BlockTrace> {
+    (proptest::collection::vec(arb_trace(40), 1..6), 0usize..64 * 1024).prop_map(
+        |(warps, smem)| BlockTrace {
+            warps,
+            smem_bytes: smem,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulation_is_deterministic(block in arb_block()) {
+        let cfg = EngineConfig { spec: GpuSpec::a100(), resident_blocks: 1 };
+        let a = simulate_block(&block, &cfg);
+        let b = simulate_block(&block, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn busy_never_exceeds_cycles(block in arb_block()) {
+        let cfg = EngineConfig { spec: GpuSpec::a100(), resident_blocks: 1 };
+        let stats = simulate_block(&block, &cfg);
+        prop_assert!(stats.busy_cycles <= stats.cycles);
+        let instrs: u64 = block.warps.iter().map(|w| w.len() as u64).sum();
+        prop_assert_eq!(stats.instructions, instrs);
+    }
+
+    #[test]
+    fn slower_memory_never_speeds_a_block_up(block in arb_block()) {
+        let fast = GpuSpec::a100();
+        let mut slow = GpuSpec::a100();
+        slow.gmem_latency *= 4;
+        slow.l2_latency *= 4;
+        slow.smem_latency *= 2;
+        let t_fast = simulate_block(
+            &block,
+            &EngineConfig { spec: fast, resident_blocks: 1 },
+        )
+        .cycles;
+        let t_slow = simulate_block(
+            &block,
+            &EngineConfig { spec: slow, resident_blocks: 1 },
+        )
+        .cycles;
+        prop_assert!(t_slow >= t_fast, "slow {t_slow} < fast {t_fast}");
+    }
+
+    #[test]
+    fn more_blocks_never_run_faster(block in arb_block(), extra in 1usize..40) {
+        let spec = GpuSpec::a100();
+        let small = KernelLaunch { blocks: vec![block.clone(); extra], dram_bytes: 0 };
+        let large = KernelLaunch { blocks: vec![block; extra * 2], dram_bytes: 0 };
+        let t_small = simulate_kernel(&small, &spec).duration_cycles;
+        let t_large = simulate_kernel(&large, &spec).duration_cycles;
+        prop_assert!(t_large + 1e-9 >= t_small);
+    }
+
+    #[test]
+    fn occupancy_bounds(smem in 0usize..300_000, warps in 0usize..80) {
+        let spec = GpuSpec::a100();
+        let occ = occupancy(&spec, smem, warps);
+        prop_assert!(occ >= 1);
+        prop_assert!(occ <= spec.max_blocks_per_sm);
+        if smem > 0 && warps > 0 {
+            // Resources of the resident blocks must fit (or occ is the
+            // floor of 1).
+            prop_assert!(occ == 1 || occ * smem <= spec.smem_per_sm_bytes);
+            prop_assert!(occ == 1 || occ * warps <= spec.max_warps_per_sm);
+        }
+    }
+
+    #[test]
+    fn dram_roofline_is_a_lower_bound(bytes in 0u64..1 << 32) {
+        let spec = GpuSpec::a100();
+        let launch = KernelLaunch {
+            blocks: vec![BlockTrace {
+                warps: vec![vec![WarpInstr::CudaOp { cycles: 1, consumes: vec![], produces: None }]],
+                smem_bytes: 0,
+            }],
+            dram_bytes: bytes,
+        };
+        let stats = simulate_kernel(&launch, &spec);
+        let floor = bytes as f64 / spec.dram_bytes_per_cycle;
+        prop_assert!(stats.duration_cycles >= floor);
+    }
+}

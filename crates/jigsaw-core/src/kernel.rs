@@ -1,0 +1,457 @@
+//! Lowering the Jigsaw SpMM kernel to `gpu-sim` warp traces.
+//!
+//! The kernel follows the paper's §3.1/§3.4 structure: each thread
+//! block owns a `BLOCK_TILE_M × BLOCK_TILE_N` tile of C; per 32-column
+//! k-step it stages the gathered B slab and the compressed A slab in
+//! shared memory with `cp.async`, then every warp runs `ldmatrix` +
+//! `mma.sp.m16n8k32` over its `WARP_TILE`. The [`crate::config::JigsawConfig`]
+//! toggles reproduce the ablation versions:
+//!
+//! * no `bank_conflict_elimination` → the B tile is stored unpadded, so
+//!   every `ldmatrix` phase is an 8-way bank conflict (Figure 7 (a)),
+//! * no `deep_pipeline` → `col_idx_array` for the next step is loaded
+//!   synchronously, and the B-slab `cp.async` stalls on it (long
+//!   scoreboard, §3.4.2),
+//! * no `metadata_interleave` → metadata loads issue per k-step with a
+//!   branchy half-warp pattern instead of one `ldmatrix` per two steps
+//!   (§3.4.3).
+
+use gpu_sim::{BlockTrace, KernelLaunch, MmaOp, TokenAlloc, WarpInstr};
+
+use crate::config::{JigsawConfig, MMA_TILE};
+use crate::format::JigsawFormat;
+use crate::reorder::TileReorder;
+
+/// Bank-conflict ways of one `ldmatrix` 8-row phase under the padded
+/// layout: rows collide iff their source positions are congruent mod 8
+/// (Figure 7 (b)); the replay count is the largest residue class.
+fn phase_ways_padded(half: &[u8]) -> u32 {
+    let mut counts = [0u32; 8];
+    for &p in half {
+        counts[(p % 8) as usize] += 1;
+    }
+    counts.iter().copied().max().unwrap_or(1).max(1)
+}
+
+/// Total ways of the 4-phase B `ldmatrix` for one k-step: two phases
+/// per window, two windows. `None` tile (past the last window) is
+/// conflict-free.
+fn b_ldmatrix_ways(
+    padded: bool,
+    t0: Option<&TileReorder>,
+    t1: Option<&TileReorder>,
+) -> (u32, u32) {
+    let phases = 4u32;
+    if !padded {
+        // Unpadded 64-wide f16 rows: all 8 rows of every phase start in
+        // the same 4-bank group -> 8-way replay per phase.
+        return (phases, 8 * phases);
+    }
+    let mut total = 0u32;
+    for t in [t0, t1] {
+        match t {
+            Some(t) => {
+                total += phase_ways_padded(&t.perm[0..8]);
+                total += phase_ways_padded(&t.perm[8..16]);
+            }
+            None => total += 2,
+        }
+    }
+    (phases, total)
+}
+
+/// Builds the kernel launch for `C[M×N] = A × B` with A in `format`.
+pub fn build_launch(format: &JigsawFormat, n: usize, config: &JigsawConfig) -> KernelLaunch {
+    config.validate().expect("invalid tiling configuration");
+    assert_eq!(
+        format.block_tile_m, config.block_tile_m,
+        "format was planned for a different BLOCK_TILE_M"
+    );
+    let n_blocks = n.div_ceil(config.block_tile_n);
+    let mut blocks = Vec::with_capacity(format.strips.len() * n_blocks);
+    for (si, _) in format.strips.iter().enumerate() {
+        let block = build_block(format, si, config);
+        for _ in 0..n_blocks {
+            blocks.push(block.clone());
+        }
+    }
+
+    // Compulsory DRAM traffic: the stored format once, B once, C once.
+    let dram_bytes = format.measured_bytes() as u64
+        + (format.k * n * 2) as u64
+        + (format.m * n * 2) as u64;
+    KernelLaunch { blocks, dram_bytes }
+}
+
+fn build_block(format: &JigsawFormat, si: usize, config: &JigsawConfig) -> BlockTrace {
+    let strip = &format.strips[si];
+    let tile_rows = strip.height / MMA_TILE;
+    let pairs = strip.windows.div_ceil(2);
+    let warps = config.warps_per_block();
+    let warps_n = config.block_tile_n / config.warp_tile_n;
+    let mmas_per_step = config.mmas_per_warp_per_step();
+
+    let warp_traces = (0..warps)
+        .map(|wi| {
+            let wm = wi / warps_n; // which 16-row tile row this warp owns
+            build_warp_trace(format, si, wm.min(tile_rows.saturating_sub(1)), pairs, warps, mmas_per_step, config)
+        })
+        .collect();
+
+    BlockTrace {
+        warps: warp_traces,
+        smem_bytes: config.smem_bytes(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_warp_trace(
+    format: &JigsawFormat,
+    si: usize,
+    tile_row: usize,
+    pairs: usize,
+    warps: usize,
+    mmas_per_step: usize,
+    config: &JigsawConfig,
+) -> Vec<WarpInstr> {
+    let strip = &format.strips[si];
+    let mut t = TokenAlloc::new();
+    let mut trace: Vec<WarpInstr> = Vec::new();
+    let padded = config.bank_conflict_elimination;
+    let deep = config.deep_pipeline;
+
+    // Per-warp share of the staged bytes per k-step.
+    let b_slab = (32 * (config.block_tile_n + if padded { 8 } else { 0 }) * 2 / warps) as u32;
+    let a_slab =
+        ((config.block_tile_m * 16 * 2 + (config.block_tile_m / 16) * 64) / warps) as u32;
+    let ci_bytes = (32 * 4 / warps).max(4) as u32;
+
+    if pairs == 0 {
+        // Nothing to compute: zero-fill C and leave.
+        trace.push(WarpInstr::CudaOp {
+            cycles: 4,
+            consumes: vec![],
+            produces: None,
+        });
+        trace.push(WarpInstr::StGlobal {
+            bytes: (config.warp_tile_m * config.warp_tile_n * 2) as u32,
+            consumes: vec![],
+        });
+        return trace;
+    }
+
+    // Block prologue: grid/index setup, format header decode, C-tile
+    // register initialization.
+    trace.push(WarpInstr::CudaOp {
+        cycles: 20,
+        consumes: vec![],
+        produces: None,
+    });
+
+    // Tracks commit order so WaitGroup pending counts are exact.
+    let mut outstanding: Vec<&'static str> = Vec::new();
+
+    // Issues the staged loads for k-step `p` and commits them as one
+    // group. Returns nothing; updates `outstanding`.
+    let issue_loads = |p: usize,
+                           trace: &mut Vec<WarpInstr>,
+                           t: &mut TokenAlloc,
+                           outstanding: &mut Vec<&'static str>| {
+        let addr_tok = if deep {
+            // Deep pipeline: prefetch col_idx for step p+1 asynchronously
+            // (its own group); the col_idx for *this* step was staged two
+            // iterations ago and reads from shared memory without a
+            // global-latency stall.
+            if p + 1 < pairs {
+                trace.push(WarpInstr::CpAsync {
+                    bytes: ci_bytes,
+                    group: 1,
+                    consumes: vec![],
+                });
+                trace.push(WarpInstr::CommitGroup { group: 1 });
+                outstanding.push("ci");
+            }
+            let ci = t.fresh();
+            trace.push(WarpInstr::LdShared {
+                conflict_ways: 1,
+                produces: Some(ci),
+                consumes: vec![],
+            });
+            let addr = t.fresh();
+            trace.push(WarpInstr::CudaOp {
+                cycles: 2,
+                consumes: vec![ci],
+                produces: Some(addr),
+            });
+            addr
+        } else {
+            // Shallow pipeline: col_idx arrives through a synchronous
+            // global load; the B gather below stalls on it.
+            let ci = t.fresh();
+            trace.push(WarpInstr::LdGlobal {
+                bytes: ci_bytes,
+                transactions: 1,
+                produces: Some(ci),
+                l2_hit: false,
+                consumes: vec![],
+            });
+            let addr = t.fresh();
+            trace.push(WarpInstr::CudaOp {
+                cycles: 2,
+                consumes: vec![ci],
+                produces: Some(addr),
+            });
+            addr
+        };
+        trace.push(WarpInstr::CpAsync {
+            bytes: b_slab,
+            group: 0,
+            consumes: vec![addr_tok],
+        });
+        trace.push(WarpInstr::CpAsync {
+            bytes: a_slab,
+            group: 0,
+            consumes: vec![],
+        });
+        trace.push(WarpInstr::CommitGroup { group: 0 });
+        outstanding.push("data");
+    };
+
+    // Prologue: stage step 0.
+    issue_loads(0, &mut trace, &mut t, &mut outstanding);
+
+    // Rolling accumulator tokens, one chain per n-subtile.
+    let mut acc: Vec<Option<u32>> = vec![None; mmas_per_step];
+    // Metadata token shared across a duo of k-steps when interleaved.
+    let mut meta_tok: Option<u32> = None;
+
+    for p in 0..pairs {
+        if p + 1 < pairs {
+            issue_loads(p + 1, &mut trace, &mut t, &mut outstanding);
+        }
+        // Wait until the data group of step p has landed — the oldest
+        // still-outstanding data group; everything committed after it
+        // may stay in flight.
+        let total_committed = outstanding.len();
+        let data_idx = outstanding
+            .iter()
+            .position(|&k| k == "data")
+            .expect("data group was committed");
+        let pending_allowed = (total_committed - data_idx - 1) as u8;
+        trace.push(WarpInstr::WaitGroup { pending_allowed });
+        // Engine drains completed groups; mirror that bookkeeping.
+        outstanding.drain(..=data_idx);
+        trace.push(WarpInstr::Barrier);
+
+        // Metadata for this step.
+        let m_tok = if config.metadata_interleave {
+            if p % 2 == 0 {
+                let tok = t.fresh();
+                trace.push(WarpInstr::Ldmatrix {
+                    phases: 1,
+                    total_ways: 1,
+                    produces: Some(tok),
+                    consumes: vec![],
+                });
+                meta_tok = Some(tok);
+                tok
+            } else {
+                meta_tok.expect("odd step reuses the duo's metadata")
+            }
+        } else {
+            // Naive pattern: half the lanes branch to load, plus the
+            // divergence/selection overhead the paper describes.
+            let tok = t.fresh();
+            trace.push(WarpInstr::LdShared {
+                conflict_ways: 1,
+                produces: Some(tok),
+                consumes: vec![],
+            });
+            trace.push(WarpInstr::CudaOp {
+                cycles: 2,
+                consumes: vec![tok],
+                produces: None,
+            });
+            tok
+        };
+
+        // Compressed-A fragments: one ldmatrix.x4, Z-swizzled layout is
+        // conflict-free.
+        let a_tok = t.fresh();
+        trace.push(WarpInstr::Ldmatrix {
+            phases: 4,
+            total_ways: 4,
+            produces: Some(a_tok),
+            consumes: vec![],
+        });
+
+        // B fragment conflict profile for this (step, tile row).
+        let t0 = (2 * p < strip.windows).then(|| strip_tile(format, si, 2 * p, tile_row));
+        let t1 = (2 * p + 1 < strip.windows).then(|| strip_tile(format, si, 2 * p + 1, tile_row));
+        let (phases, ways) = b_ldmatrix_ways(padded, t0.as_ref(), t1.as_ref());
+
+        for acc_slot in acc.iter_mut().take(mmas_per_step) {
+            let b_tok = t.fresh();
+            trace.push(WarpInstr::Ldmatrix {
+                phases,
+                total_ways: ways,
+                produces: Some(b_tok),
+                consumes: vec![],
+            });
+            let d_tok = t.fresh();
+            let mut consumes = vec![a_tok, b_tok, m_tok];
+            if let Some(prev) = acc_slot {
+                consumes.push(*prev);
+            }
+            trace.push(WarpInstr::Mma {
+                op: MmaOp::SparseM16N8K32,
+                consumes,
+                produces: Some(d_tok),
+            });
+            *acc_slot = Some(d_tok);
+        }
+        // Loop bookkeeping (index increments, predicates).
+        trace.push(WarpInstr::CudaOp {
+            cycles: 1,
+            consumes: vec![],
+            produces: None,
+        });
+    }
+
+    // Epilogue: write the warp's C tile.
+    let final_accs: Vec<u32> = acc.into_iter().flatten().collect();
+    trace.push(WarpInstr::StGlobal {
+        bytes: (config.warp_tile_m * config.warp_tile_n * 2) as u32,
+        consumes: final_accs,
+    });
+    trace
+}
+
+/// Reconstructs the tile reorder of `(window, tile_row)` from the
+/// stored `block_col_idx` — the kernel reads the format, not the plan.
+fn strip_tile(format: &JigsawFormat, si: usize, window: usize, tile_row: usize) -> TileReorder {
+    let strip = &format.strips[si];
+    let tile_rows = strip.height / MMA_TILE;
+    let tile = window * tile_rows + tile_row;
+    let mut perm = [0u8; MMA_TILE];
+    perm.copy_from_slice(&strip.block_col_idx[tile * MMA_TILE..(tile + 1) * MMA_TILE]);
+    TileReorder {
+        perm,
+        conflict_pairs: crate::reorder::tile::conflict_pairs_of(&perm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reorder::ReorderPlan;
+    use dlmc::{ValueDist, VectorSparseSpec};
+    use gpu_sim::{simulate_kernel, GpuSpec};
+
+    fn format_for(sparsity: f64, v: usize, config: &JigsawConfig) -> JigsawFormat {
+        let a = VectorSparseSpec {
+            rows: 256,
+            cols: 512,
+            sparsity,
+            v,
+            dist: ValueDist::Uniform,
+            seed: 33,
+        }
+        .generate();
+        let plan = ReorderPlan::build(&a, config);
+        JigsawFormat::build(&a, &plan, config.metadata_interleave)
+    }
+
+    #[test]
+    fn launch_grid_shape() {
+        let cfg = JigsawConfig::v4(64);
+        let f = format_for(0.9, 4, &cfg);
+        let launch = build_launch(&f, 256, &cfg);
+        // 256/64 strips x 256/64 n-blocks.
+        assert_eq!(launch.blocks.len(), 4 * 4);
+        assert_eq!(launch.blocks[0].warps.len(), 8);
+    }
+
+    #[test]
+    fn unpadded_kernel_has_bank_conflicts_padded_does_not_mostly() {
+        let v0 = JigsawConfig::v0();
+        let v1 = JigsawConfig::v1();
+        let f0 = format_for(0.95, 8, &v0);
+        let f1 = format_for(0.95, 8, &v1);
+        let spec = GpuSpec::a100();
+        let s0 = simulate_kernel(&build_launch(&f0, 512, &v0), &spec);
+        let s1 = simulate_kernel(&build_launch(&f1, 512, &v1), &spec);
+        assert!(
+            s0.totals.smem_bank_conflicts > 20 * s1.totals.smem_bank_conflicts.max(1),
+            "v0 {} vs v1 {}",
+            s0.totals.smem_bank_conflicts,
+            s1.totals.smem_bank_conflicts
+        );
+        assert!(s0.duration_cycles > s1.duration_cycles);
+    }
+
+    #[test]
+    fn deep_pipeline_cuts_long_scoreboard() {
+        let v1 = JigsawConfig::v1();
+        let v2 = JigsawConfig::v2();
+        let f1 = format_for(0.95, 8, &v1);
+        let f2 = format_for(0.95, 8, &v2);
+        let spec = GpuSpec::a100();
+        let s1 = simulate_kernel(&build_launch(&f1, 512, &v1), &spec);
+        let s2 = simulate_kernel(&build_launch(&f2, 512, &v2), &spec);
+        assert!(
+            s2.long_scoreboard_per_instr < s1.long_scoreboard_per_instr,
+            "v1 {} vs v2 {}",
+            s1.long_scoreboard_per_instr,
+            s2.long_scoreboard_per_instr
+        );
+        assert!(s2.duration_cycles <= s1.duration_cycles);
+    }
+
+    #[test]
+    fn interleave_reduces_smem_instructions() {
+        let v2 = JigsawConfig::v2();
+        let v3 = JigsawConfig::v3();
+        let f2 = format_for(0.95, 8, &v2);
+        let f3 = format_for(0.95, 8, &v3);
+        let spec = GpuSpec::a100();
+        let s2 = simulate_kernel(&build_launch(&f2, 512, &v2), &spec);
+        let s3 = simulate_kernel(&build_launch(&f3, 512, &v3), &spec);
+        let reduction = 1.0
+            - s3.totals.smem_instructions as f64 / s2.totals.smem_instructions as f64;
+        // Paper: 7.78% fewer shared-memory access instructions.
+        assert!(
+            (0.02..0.15).contains(&reduction),
+            "smem instruction reduction {reduction}"
+        );
+        assert!(s3.duration_cycles <= s2.duration_cycles);
+    }
+
+    #[test]
+    fn sparser_input_runs_faster() {
+        let cfg = JigsawConfig::v4(32);
+        let spec = GpuSpec::a100();
+        let f80 = format_for(0.80, 8, &cfg);
+        let f98 = format_for(0.98, 8, &cfg);
+        let s80 = simulate_kernel(&build_launch(&f80, 512, &cfg), &spec);
+        let s98 = simulate_kernel(&build_launch(&f98, 512, &cfg), &spec);
+        assert!(
+            s98.duration_cycles < s80.duration_cycles,
+            "98%: {} vs 80%: {}",
+            s98.duration_cycles,
+            s80.duration_cycles
+        );
+    }
+
+    #[test]
+    fn empty_strip_block_is_trivial() {
+        let a = dlmc::Matrix::zeros(64, 64);
+        let cfg = JigsawConfig::v4(64);
+        let plan = ReorderPlan::build(&a, &cfg);
+        let f = JigsawFormat::build(&a, &plan, true);
+        let launch = build_launch(&f, 64, &cfg);
+        let stats = simulate_kernel(&launch, &GpuSpec::a100());
+        assert_eq!(stats.totals.mma_instructions, 0);
+        assert!(stats.duration_cycles > 0.0);
+    }
+}

@@ -1,0 +1,513 @@
+//! `MMA_TILE`-granularity column reorder (paper Algorithm 1).
+//!
+//! A 16×16 tile satisfies the SpTC requirement when its 16 columns can
+//! be partitioned into four *compatible column groups* of four — groups
+//! in which no row has more than two nonzeros. Compatibility is a
+//! per-aligned-group property, so the search is an exact-cover problem:
+//! choose 4 disjoint compatible quads covering all 16 columns.
+//!
+//! The paper prunes the naive enumeration with a bidirectional search
+//! (quads → disjoint 8-column groups → complementary pairs). We
+//! implement the same pruning as a memoized depth-first exact cover
+//! over column bitmasks: dead sub-problems (column subsets proven
+//! unpartitionable) are never revisited, which dominates the
+//! bidirectional formulation while returning identical answers. A work
+//! limit keeps pathological tiles cheap, mirroring the paper's concern
+//! for reorder overhead.
+//!
+//! §3.4.1's bank-conflict-aware preference is implemented as a scoring
+//! pass: among valid partitions, prefer ones whose `ldmatrix` phases
+//! (positions 0..8 and 8..16 after reorder) avoid pairing source
+//! positions that are congruent mod 8 — exactly the "rows 1 and 9, 2
+//! and 10, ..." collisions of Figure 7 (b).
+
+/// Number of columns/rows in an `MMA_TILE`.
+pub const TILE: usize = 16;
+
+/// Per-column row-occupancy bitmasks for one 16-row tile.
+pub type ColumnMasks = [u16; TILE];
+
+/// A tile reorder solution: `perm[i]` is the *source* position (within
+/// the window, 0..16) of the column placed at position `i`. Positions
+/// `0..4`, `4..8`, `8..12`, `12..16` are the four aligned quads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TileReorder {
+    /// New position → source position.
+    pub perm: [u8; TILE],
+    /// Source-position pairs congruent mod 8 sharing an `ldmatrix`
+    /// phase — each costs a bank-conflict replay per B load.
+    pub conflict_pairs: u32,
+}
+
+impl TileReorder {
+    /// The identity reorder (tile already satisfies 2:4 in place).
+    pub fn identity() -> TileReorder {
+        let mut perm = [0u8; TILE];
+        for (i, p) in perm.iter_mut().enumerate() {
+            *p = i as u8;
+        }
+        TileReorder {
+            perm,
+            conflict_pairs: conflict_pairs_of(&perm),
+        }
+    }
+
+    /// True when `perm` is a permutation of `0..16`.
+    pub fn is_permutation(&self) -> bool {
+        let mut seen = [false; TILE];
+        for &p in &self.perm {
+            if (p as usize) >= TILE || seen[p as usize] {
+                return false;
+            }
+            seen[p as usize] = true;
+        }
+        true
+    }
+}
+
+/// Counts mod-8-congruent source-position pairs within each 8-position
+/// `ldmatrix` phase of the reordered tile.
+pub fn conflict_pairs_of(perm: &[u8; TILE]) -> u32 {
+    let mut total = 0u32;
+    for half in perm.chunks_exact(8) {
+        let mut residue_counts = [0u32; 8];
+        for &p in half {
+            residue_counts[(p % 8) as usize] += 1;
+        }
+        total += residue_counts
+            .iter()
+            .map(|&c| c * c.saturating_sub(1) / 2)
+            .sum::<u32>();
+    }
+    total
+}
+
+/// True when the four columns form a compatible group: no row holds
+/// three or more nonzeros among them (Algorithm 1 lines 2-8, as a
+/// branch-free majority-3 test over the row masks).
+#[inline]
+pub fn quad_compatible(a: u16, b: u16, c: u16, d: u16) -> bool {
+    let ab = a & b;
+    let cd = c & d;
+    // Rows with >= 3 of the four bits set.
+    let triples = (ab & (c | d)) | (cd & (a | b));
+    triples == 0
+}
+
+/// True when the tile already satisfies 2:4 with its current column
+/// order (aligned quads are compatible).
+pub fn tile_satisfies_in_place(masks: &ColumnMasks) -> bool {
+    masks
+        .chunks_exact(4)
+        .all(|q| quad_compatible(q[0], q[1], q[2], q[3]))
+}
+
+/// How many compatible quads each column participates in — Algorithm
+/// 1's frequency signal used to pick the eviction victim on failure.
+pub fn column_compatibility_frequency(masks: &ColumnMasks) -> [u32; TILE] {
+    let mut freq = [0u32; TILE];
+    for i in 0..TILE {
+        for j in i + 1..TILE {
+            for k in j + 1..TILE {
+                for w in k + 1..TILE {
+                    if quad_compatible(masks[i], masks[j], masks[k], masks[w]) {
+                        freq[i] += 1;
+                        freq[j] += 1;
+                        freq[k] += 1;
+                        freq[w] += 1;
+                    }
+                }
+            }
+        }
+    }
+    freq
+}
+
+/// Search budget: compatibility checks allowed per tile before giving
+/// up (treated as reorder failure, like the paper's complexity cap).
+pub const DEFAULT_WORK_LIMIT: u32 = 200_000;
+
+/// How many complete partitions to score when hunting for a
+/// conflict-free one.
+const MAX_SCORED_SOLUTIONS: u32 = 48;
+
+struct Search<'a> {
+    masks: &'a ColumnMasks,
+    work: u32,
+    limit: u32,
+    solutions_seen: u32,
+    best: Option<TileReorder>,
+    bank_aware: bool,
+    dead: std::collections::HashSet<u16>,
+}
+
+impl Search<'_> {
+    fn record(&mut self, quads: &[[u8; 4]]) -> bool {
+        // A partition leaves the quad *pairing* free: which two quads
+        // share an 8-position ldmatrix phase. When bank-aware, pick the
+        // pairing with the fewest mod-8 collisions.
+        let orders: &[[usize; 4]] = if self.bank_aware {
+            &[[0, 1, 2, 3], [0, 2, 1, 3], [0, 3, 1, 2]]
+        } else {
+            &[[0, 1, 2, 3]]
+        };
+        let cand = orders
+            .iter()
+            .map(|order| {
+                let mut perm = [0u8; TILE];
+                for (slot, &qi) in order.iter().enumerate() {
+                    perm[slot * 4..slot * 4 + 4].copy_from_slice(&quads[qi]);
+                }
+                TileReorder {
+                    perm,
+                    conflict_pairs: conflict_pairs_of(&perm),
+                }
+            })
+            .min_by_key(|r| r.conflict_pairs)
+            .expect("at least one pairing");
+        self.solutions_seen += 1;
+        if self
+            .best
+            .is_none_or(|b| cand.conflict_pairs < b.conflict_pairs)
+        {
+            self.best = Some(cand);
+        }
+        // Stop conditions: a conflict-free partition, a non-bank-aware
+        // caller satisfied by any partition, or the scoring budget.
+        
+        cand.conflict_pairs == 0
+            || !self.bank_aware
+            || self.solutions_seen >= MAX_SCORED_SOLUTIONS
+    }
+
+    /// Returns true when the search should stop unwinding.
+    fn dfs(&mut self, remaining: u16, quads: &mut Vec<[u8; 4]>) -> bool {
+        if remaining == 0 {
+            return self.record(quads);
+        }
+        if self.dead.contains(&remaining) || self.work >= self.limit {
+            return false;
+        }
+        let found_before = self.solutions_seen;
+        let first = remaining.trailing_zeros() as u8;
+        let rest: Vec<u8> = (first + 1..TILE as u8)
+            .filter(|&c| remaining & (1 << c) != 0)
+            .collect();
+        let n = rest.len();
+        for i in 0..n {
+            for j in i + 1..n {
+                for k in j + 1..n {
+                    self.work += 1;
+                    let (a, b, c, d) = (first, rest[i], rest[j], rest[k]);
+                    if !quad_compatible(
+                        self.masks[a as usize],
+                        self.masks[b as usize],
+                        self.masks[c as usize],
+                        self.masks[d as usize],
+                    ) {
+                        continue;
+                    }
+                    let quad_mask =
+                        (1u16 << a) | (1u16 << b) | (1u16 << c) | (1u16 << d);
+                    quads.push([a, b, c, d]);
+                    let stop = self.dfs(remaining & !quad_mask, quads);
+                    quads.pop();
+                    if stop {
+                        return true;
+                    }
+                    if self.work >= self.limit {
+                        return false;
+                    }
+                }
+            }
+        }
+        if self.solutions_seen == found_before && self.work < self.limit {
+            self.dead.insert(remaining);
+        }
+        false
+    }
+}
+
+/// Runs Algorithm 1 on one tile: finds a column permutation making every
+/// aligned quad compatible, preferring bank-conflict-free groupings when
+/// `bank_aware` is set. Returns `None` when no partition exists (or the
+/// work limit trips) — the caller then evicts a column and retries.
+pub fn reorder_tile(
+    masks: &ColumnMasks,
+    bank_aware: bool,
+    work_limit: u32,
+) -> Option<TileReorder> {
+    // Fast path: the tile is already 2:4 (common at high sparsity).
+    // The identity permutation is always conflict-free — each ldmatrix
+    // phase reads the 8 consecutive source positions, which occupy 8
+    // distinct mod-8 residues.
+    if tile_satisfies_in_place(masks) {
+        return Some(TileReorder::identity());
+    }
+    let mut s = Search {
+        masks,
+        work: 0,
+        limit: work_limit,
+        solutions_seen: 0,
+        best: None,
+        bank_aware,
+        dead: std::collections::HashSet::new(),
+    };
+    s.dfs(u16::MAX, &mut Vec::with_capacity(4));
+    s.best
+}
+
+/// The paper's Algorithm 1, implemented *literally* (lines 9-17's
+/// bidirectional search): enumerate all compatible quads, combine
+/// disjoint pairs into 8-column groups, then find two complementary
+/// 8-groups. Kept as the validation reference for the memoized DFS in
+/// [`reorder_tile`] (and as the slow side of the search ablation
+/// bench); both must agree on feasibility for every tile.
+pub fn reorder_tile_bidirectional(masks: &ColumnMasks) -> Option<TileReorder> {
+    // Line 2-8: all compatible column groups of four.
+    let mut quads: Vec<(u16, [u8; 4])> = Vec::new();
+    for i in 0..TILE as u8 {
+        for j in i + 1..TILE as u8 {
+            for k in j + 1..TILE as u8 {
+                for w in k + 1..TILE as u8 {
+                    if quad_compatible(
+                        masks[i as usize],
+                        masks[j as usize],
+                        masks[k as usize],
+                        masks[w as usize],
+                    ) {
+                        let mask = (1u16 << i) | (1u16 << j) | (1u16 << k) | (1u16 << w);
+                        quads.push((mask, [i, j, k, w]));
+                    }
+                }
+            }
+        }
+    }
+    // Line 9-13: disjoint quad pairs -> 8-column groups (dedup by mask).
+    let mut eights: std::collections::HashMap<u16, ([u8; 4], [u8; 4])> =
+        std::collections::HashMap::new();
+    for (a, &(ma, qa)) in quads.iter().enumerate() {
+        for &(mb, qb) in quads.iter().skip(a + 1) {
+            if ma & mb == 0 {
+                eights.entry(ma | mb).or_insert((qa, qb));
+            }
+        }
+    }
+    // Line 14-17: two complementary 8-groups.
+    for (&mask, &(q0, q1)) in &eights {
+        if let Some(&(q2, q3)) = eights.get(&!mask) {
+            let mut perm = [0u8; TILE];
+            perm[0..4].copy_from_slice(&q0);
+            perm[4..8].copy_from_slice(&q1);
+            perm[8..12].copy_from_slice(&q2);
+            perm[12..16].copy_from_slice(&q3);
+            return Some(TileReorder {
+                perm,
+                conflict_pairs: conflict_pairs_of(&perm),
+            });
+        }
+    }
+    None
+}
+
+/// Verifies that applying `perm` to columns with these masks yields a
+/// 2:4-satisfying tile — the postcondition tests assert.
+pub fn reorder_satisfies(masks: &ColumnMasks, reorder: &TileReorder) -> bool {
+    let permuted: Vec<u16> = reorder.perm.iter().map(|&p| masks[p as usize]).collect();
+    permuted
+        .chunks_exact(4)
+        .all(|q| quad_compatible(q[0], q[1], q[2], q[3]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn masks_from_rows(rows: &[[u8; TILE]; TILE]) -> ColumnMasks {
+        let mut masks = [0u16; TILE];
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0 {
+                    masks[c] |= 1 << r;
+                }
+            }
+        }
+        masks
+    }
+
+    #[test]
+    fn quad_compatibility_basics() {
+        // Disjoint columns: compatible.
+        assert!(quad_compatible(0b0001, 0b0010, 0b0100, 0b1000));
+        // Three columns sharing a row: incompatible.
+        assert!(!quad_compatible(0b1, 0b1, 0b1, 0));
+        // Two sharing a row: fine.
+        assert!(quad_compatible(0b1, 0b1, 0, 0));
+        // All-zero quad: fine.
+        assert!(quad_compatible(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn all_zero_tile_reorders_trivially() {
+        let masks = [0u16; TILE];
+        let r = reorder_tile(&masks, true, DEFAULT_WORK_LIMIT).unwrap();
+        assert!(r.is_permutation());
+        assert!(reorder_satisfies(&masks, &r));
+    }
+
+    #[test]
+    fn two_to_four_dense_rows_need_reorder() {
+        // Columns 0..8 all dense (every row), columns 8..16 zero. In
+        // place, quad (0,1,2,3) has 4 nonzeros per row -> fails; the
+        // fix spreads dense columns 2 per quad.
+        let mut masks = [0u16; TILE];
+        for m in masks.iter_mut().take(8) {
+            *m = u16::MAX;
+        }
+        assert!(!tile_satisfies_in_place(&masks));
+        let r = reorder_tile(&masks, false, DEFAULT_WORK_LIMIT).unwrap();
+        assert!(reorder_satisfies(&masks, &r));
+        // Each quad must contain exactly 2 dense columns.
+        for q in r.perm.chunks_exact(4) {
+            let dense = q.iter().filter(|&&p| p < 8).count();
+            assert_eq!(dense, 2);
+        }
+    }
+
+    #[test]
+    fn nine_dense_columns_cannot_reorder() {
+        let mut masks = [0u16; TILE];
+        for m in masks.iter_mut().take(9) {
+            *m = u16::MAX;
+        }
+        assert!(reorder_tile(&masks, false, DEFAULT_WORK_LIMIT).is_none());
+    }
+
+    #[test]
+    fn paper_figure5_style_example() {
+        // A tile where an aligned quad has a row with 3 nonzeros but a
+        // compatible rearrangement exists.
+        let mut rows = [[0u8; TILE]; TILE];
+        // Row 0 has nonzeros in columns 0, 1, 2 (violates in place).
+        rows[0][0] = 1;
+        rows[0][1] = 1;
+        rows[0][2] = 1;
+        // Scatter a few more.
+        rows[3][5] = 1;
+        rows[7][9] = 1;
+        let masks = masks_from_rows(&rows);
+        assert!(!tile_satisfies_in_place(&masks));
+        let r = reorder_tile(&masks, true, DEFAULT_WORK_LIMIT).unwrap();
+        assert!(r.is_permutation());
+        assert!(reorder_satisfies(&masks, &r));
+    }
+
+    #[test]
+    fn bank_aware_reduces_conflicts_in_aggregate() {
+        // Sparse tiles with many valid partitions: the bank-aware
+        // search must produce (weakly) fewer mod-8 collisions than the
+        // first-solution search, and usually none at all.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut aware_total = 0u32;
+        let mut naive_total = 0u32;
+        for _ in 0..30 {
+            let mut masks = [0u16; TILE];
+            for m in masks.iter_mut() {
+                // ~3 nonzero rows per column so in-place 2:4 often fails
+                // and a genuine search happens.
+                *m = (0..3)
+                    .map(|_| 1u16 << rng.gen_range(0..16))
+                    .fold(0, |a, b| a | b);
+            }
+            let aware = reorder_tile(&masks, true, DEFAULT_WORK_LIMIT);
+            let naive = reorder_tile(&masks, false, DEFAULT_WORK_LIMIT);
+            assert_eq!(aware.is_some(), naive.is_some());
+            if let (Some(a), Some(n)) = (aware, naive) {
+                assert!(reorder_satisfies(&masks, &a));
+                assert!(reorder_satisfies(&masks, &n));
+                aware_total += a.conflict_pairs;
+                naive_total += n.conflict_pairs;
+            }
+        }
+        assert!(
+            aware_total <= naive_total,
+            "aware {aware_total} vs naive {naive_total}"
+        );
+    }
+
+    #[test]
+    fn identity_used_when_already_2_4_and_clean() {
+        // Identity perm: halves {0..8} and {8..16} each contain every
+        // mod-8 residue once -> wait, identity positions 0..8 have
+        // residues 0..8 distinct, so identity is conflict-free.
+        let id = TileReorder::identity();
+        assert_eq!(id.conflict_pairs, 0);
+        let masks = [0u16; TILE];
+        let r = reorder_tile(&masks, true, DEFAULT_WORK_LIMIT).unwrap();
+        assert_eq!(r.perm, id.perm);
+    }
+
+    #[test]
+    fn conflict_scoring_counts_mod8_pairs() {
+        // Swap positions so 0 and 8 share the first half.
+        let mut perm = TileReorder::identity().perm;
+        perm.swap(1, 8); // first half: 0,8,2,...; second half: 1,9,...
+        assert_eq!(conflict_pairs_of(&perm), 2); // (0,8) and (1,9)
+    }
+
+    #[test]
+    fn dfs_and_bidirectional_search_agree_on_feasibility() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for bits in [1u32, 2, 4, 8] {
+            for _ in 0..25 {
+                let mut masks = [0u16; TILE];
+                for m in masks.iter_mut() {
+                    *m = (0..bits)
+                        .map(|_| 1u16 << rng.gen_range(0..16))
+                        .fold(0, |a, b| a | b);
+                }
+                let dfs = reorder_tile(&masks, false, DEFAULT_WORK_LIMIT);
+                let bidi = reorder_tile_bidirectional(&masks);
+                assert_eq!(
+                    dfs.is_some(),
+                    bidi.is_some(),
+                    "feasibility mismatch (bits={bits}) for {masks:?}"
+                );
+                if let Some(r) = bidi {
+                    assert!(r.is_permutation());
+                    assert!(reorder_satisfies(&masks, &r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_counts_symmetry() {
+        let masks = [0u16; TILE];
+        let freq = column_compatibility_frequency(&masks);
+        // Every quad is compatible: each column in C(15,3) = 455 quads.
+        assert!(freq.iter().all(|&f| f == 455));
+    }
+
+    #[test]
+    fn random_2_4_feasible_tiles_always_reorder(/* fuzz-ish */) {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            // Construct a feasible tile by generating a valid partition
+            // then shuffling columns.
+            let mut masks = [0u16; TILE];
+            for q in 0..4 {
+                // Two "heavy" columns per quad sharing rows freely.
+                masks[q * 4] = rng.gen();
+                masks[q * 4 + 1] = rng.gen();
+                // Two zero columns.
+            }
+            let mut shuffled = masks;
+            shuffled.shuffle(&mut rng);
+            let r = reorder_tile(&shuffled, false, DEFAULT_WORK_LIMIT)
+                .expect("feasible by construction");
+            assert!(reorder_satisfies(&shuffled, &r));
+        }
+    }
+}

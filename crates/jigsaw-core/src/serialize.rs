@@ -1,0 +1,246 @@
+//! On-disk serialization of the reorder-aware format — the deployment
+//! path: preprocess the stationary weights once (the expensive reorder),
+//! ship the compressed artifact, and load it at inference time without
+//! re-planning.
+//!
+//! The encoding is a small, versioned little-endian binary layout; no
+//! external format crates are needed.
+
+use std::io::{self, Read, Write};
+
+use sptc::F16;
+
+use crate::format::{JigsawFormat, StripFormat};
+
+/// Magic bytes prefixing every serialized format.
+pub const MAGIC: &[u8; 4] = b"JGSW";
+/// Current encoding version.
+pub const VERSION: u32 = 1;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes a [`JigsawFormat`] to bytes.
+pub fn to_bytes(f: &JigsawFormat) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u64(&mut out, f.m as u64);
+    put_u64(&mut out, f.k as u64);
+    put_u32(&mut out, f.block_tile_m as u32);
+    put_u32(&mut out, u32::from(f.interleaved));
+    put_u32(&mut out, f.strips.len() as u32);
+    for s in &f.strips {
+        put_u64(&mut out, s.row0 as u64);
+        put_u32(&mut out, s.height as u32);
+        put_u32(&mut out, s.windows as u32);
+        put_u32(&mut out, s.col_idx.len() as u32);
+        for &c in &s.col_idx {
+            put_u32(&mut out, c);
+        }
+        put_u32(&mut out, s.block_col_idx.len() as u32);
+        out.extend_from_slice(&s.block_col_idx);
+        put_u32(&mut out, s.values.len() as u32);
+        for v in &s.values {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        put_u32(&mut out, s.metadata.len() as u32);
+        for &w in &s.metadata {
+            put_u32(&mut out, w);
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated jigsaw format",
+            ));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Deserializes a [`JigsawFormat`] from bytes.
+pub fn from_bytes(data: &[u8]) -> io::Result<JigsawFormat> {
+    let mut c = Cursor { data, pos: 0 };
+    if c.take(4)? != MAGIC {
+        return Err(bad("not a jigsaw format file"));
+    }
+    let version = c.u32()?;
+    if version != VERSION {
+        return Err(bad(&format!("unsupported version {version}")));
+    }
+    let m = c.u64()? as usize;
+    let k = c.u64()? as usize;
+    let block_tile_m = c.u32()? as usize;
+    let interleaved = c.u32()? != 0;
+    let nstrips = c.u32()? as usize;
+    // Bound the strip count by what the header claims the matrix is.
+    if block_tile_m == 0 || nstrips != m.div_ceil(block_tile_m) {
+        return Err(bad("strip count inconsistent with dimensions"));
+    }
+    let mut strips = Vec::with_capacity(nstrips);
+    for _ in 0..nstrips {
+        let row0 = c.u64()? as usize;
+        let height = c.u32()? as usize;
+        let windows = c.u32()? as usize;
+        let n_col = c.u32()? as usize;
+        let mut col_idx = Vec::with_capacity(n_col);
+        for _ in 0..n_col {
+            col_idx.push(c.u32()?);
+        }
+        let n_bci = c.u32()? as usize;
+        let block_col_idx = c.take(n_bci)?.to_vec();
+        let n_vals = c.u32()? as usize;
+        let mut values = Vec::with_capacity(n_vals);
+        for _ in 0..n_vals {
+            values.push(F16::from_bits(c.u16()?));
+        }
+        let n_meta = c.u32()? as usize;
+        let mut metadata = Vec::with_capacity(n_meta);
+        for _ in 0..n_meta {
+            metadata.push(c.u32()?);
+        }
+        strips.push(StripFormat {
+            row0,
+            height,
+            windows,
+            col_idx,
+            block_col_idx,
+            values,
+            metadata,
+        });
+    }
+    if c.pos != data.len() {
+        return Err(bad("trailing bytes"));
+    }
+    Ok(JigsawFormat {
+        m,
+        k,
+        block_tile_m,
+        interleaved,
+        strips,
+    })
+}
+
+/// Writes the format to any sink.
+pub fn write_to<W: Write>(f: &JigsawFormat, mut w: W) -> io::Result<()> {
+    w.write_all(&to_bytes(f))
+}
+
+/// Reads the format from any source.
+pub fn read_from<R: Read>(mut r: R) -> io::Result<JigsawFormat> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute_fast, JigsawConfig, JigsawSpmm};
+    use dlmc::{dense_rhs, ValueDist, VectorSparseSpec};
+
+    fn sample_format() -> JigsawFormat {
+        let a = VectorSparseSpec {
+            rows: 64,
+            cols: 96,
+            sparsity: 0.9,
+            v: 4,
+            dist: ValueDist::SmallInt,
+            seed: 70,
+        }
+        .generate();
+        JigsawSpmm::plan(&a, JigsawConfig::v4(32)).format
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let f = sample_format();
+        let bytes = to_bytes(&f);
+        let g = from_bytes(&bytes).unwrap();
+        assert_eq!(f.m, g.m);
+        assert_eq!(f.k, g.k);
+        assert_eq!(f.block_tile_m, g.block_tile_m);
+        assert_eq!(f.interleaved, g.interleaved);
+        assert_eq!(f.strips.len(), g.strips.len());
+        for (a, b) in f.strips.iter().zip(&g.strips) {
+            assert_eq!(a.col_idx, b.col_idx);
+            assert_eq!(a.block_col_idx, b.block_col_idx);
+            assert_eq!(a.values, b.values);
+            assert_eq!(a.metadata, b.metadata);
+        }
+    }
+
+    #[test]
+    fn loaded_format_computes_identically() {
+        let a = VectorSparseSpec {
+            rows: 64,
+            cols: 96,
+            sparsity: 0.85,
+            v: 2,
+            dist: ValueDist::SmallInt,
+            seed: 71,
+        }
+        .generate();
+        let b = dense_rhs(96, 16, ValueDist::SmallInt, 72);
+        let f = JigsawSpmm::plan(&a, JigsawConfig::v4(16)).format;
+        let g = from_bytes(&to_bytes(&f)).unwrap();
+        assert_eq!(execute_fast(&g, &b), a.matmul_reference(&b));
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let f = sample_format();
+        let mut bytes = to_bytes(&f);
+        assert!(from_bytes(&bytes[..10]).is_err(), "truncation");
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err(), "bad magic");
+        let mut bytes = to_bytes(&f);
+        bytes[4] = 99; // version
+        assert!(from_bytes(&bytes).is_err(), "bad version");
+        let mut bytes = to_bytes(&f);
+        bytes.push(0);
+        assert!(from_bytes(&bytes).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let f = sample_format();
+        let dir = std::env::temp_dir().join("jigsaw-serialize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.jgsw");
+        write_to(&f, std::fs::File::create(&path).unwrap()).unwrap();
+        let g = read_from(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(f.measured_bytes(), g.measured_bytes());
+    }
+}

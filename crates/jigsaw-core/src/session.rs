@@ -1,0 +1,193 @@
+//! Inference-session API: the paper's amortization argument (§3.1 —
+//! "the reorder only takes one-time light preprocessing, whose cost can
+//! be amortized over inferences") made concrete. A [`Session`] plans a
+//! stack of stationary weight matrices once, then runs forward passes
+//! where each layer's SpMM output feeds the next layer's B operand.
+
+use dlmc::Matrix;
+use gpu_sim::{GpuSpec, KernelStats};
+use sptc::F16;
+
+use crate::config::JigsawConfig;
+use crate::spmm::JigsawSpmm;
+
+/// One planned layer.
+pub struct Layer {
+    /// Layer name (for reports).
+    pub name: String,
+    /// The planned weight matrix (`rows × cols`).
+    pub spmm: JigsawSpmm,
+    /// Weight matrix height (output features).
+    pub rows: usize,
+    /// Weight matrix width (input features).
+    pub cols: usize,
+}
+
+/// A planned stack of layers sharing one device.
+pub struct Session {
+    layers: Vec<Layer>,
+    spec: GpuSpec,
+    /// Cumulative simulated cycles across all forward passes.
+    pub total_cycles: f64,
+    /// Forward passes run.
+    pub passes: usize,
+}
+
+/// Per-pass report.
+#[derive(Clone, Debug)]
+pub struct ForwardReport {
+    /// Per-layer simulated kernel stats, in execution order.
+    pub layers: Vec<(String, KernelStats)>,
+    /// Sum of the layer durations, cycles.
+    pub total_cycles: f64,
+}
+
+impl Session {
+    /// Creates an empty session for a device.
+    pub fn new(spec: GpuSpec) -> Session {
+        Session {
+            layers: Vec::new(),
+            spec,
+            total_cycles: 0.0,
+            passes: 0,
+        }
+    }
+
+    /// Plans and appends a layer. Consecutive layers must chain:
+    /// this layer's `cols` must equal the previous layer's `rows`.
+    pub fn add_layer(&mut self, name: &str, weights: &Matrix, config: JigsawConfig) -> &Layer {
+        if let Some(prev) = self.layers.last() {
+            assert_eq!(
+                weights.cols, prev.rows,
+                "layer {name} input dim {} must match previous output dim {}",
+                weights.cols, prev.rows
+            );
+        }
+        let spmm = JigsawSpmm::plan(weights, config);
+        self.layers.push(Layer {
+            name: name.to_string(),
+            spmm,
+            rows: weights.rows,
+            cols: weights.cols,
+        });
+        self.layers.last().expect("just pushed")
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs a forward pass: `x_{i+1} = W_i × x_i`, rounding activations
+    /// through f16 between layers (as a real fp16 pipeline would).
+    /// Returns the final activations and the per-layer timing report.
+    pub fn forward(&mut self, input: &Matrix) -> (Matrix, ForwardReport) {
+        assert!(!self.layers.is_empty(), "session has no layers");
+        assert_eq!(
+            input.rows,
+            self.layers[0].cols,
+            "input features must match the first layer"
+        );
+        let n = input.cols;
+        let mut activations = input.clone();
+        let mut report = ForwardReport {
+            layers: Vec::with_capacity(self.layers.len()),
+            total_cycles: 0.0,
+        };
+        for layer in &self.layers {
+            let run = layer.spmm.run(&activations, &self.spec);
+            report.total_cycles += run.stats.duration_cycles;
+            report
+                .layers
+                .push((layer.name.clone(), run.stats));
+            // f32 accumulators round back to f16 activations.
+            activations = Matrix {
+                rows: layer.rows,
+                cols: n,
+                data: run.c.iter().map(|&v| F16::from_f32(v)).collect(),
+            };
+        }
+        self.total_cycles += report.total_cycles;
+        self.passes += 1;
+        (activations, report)
+    }
+
+    /// The amortization ledger: planning happened once, execution
+    /// `passes` times — average simulated cycles per pass so far.
+    pub fn avg_cycles_per_pass(&self) -> f64 {
+        if self.passes == 0 {
+            0.0
+        } else {
+            self.total_cycles / self.passes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlmc::{dense_rhs, ValueDist, VectorSparseSpec};
+
+    fn weights(rows: usize, cols: usize, seed: u64) -> Matrix {
+        VectorSparseSpec {
+            rows,
+            cols,
+            sparsity: 0.9,
+            v: 4,
+            dist: ValueDist::SmallInt,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn forward_chains_layers_correctly() {
+        let w0 = weights(64, 32, 1);
+        let w1 = weights(32, 64, 2);
+        let mut session = Session::new(GpuSpec::a100());
+        session.add_layer("up", &w0, JigsawConfig::v4(32));
+        session.add_layer("down", &w1, JigsawConfig::v4(16));
+        assert_eq!(session.depth(), 2);
+
+        let x = dense_rhs(32, 8, ValueDist::SmallInt, 3);
+        let (y, report) = session.forward(&x);
+        assert_eq!(y.rows, 32);
+        assert_eq!(y.cols, 8);
+        assert_eq!(report.layers.len(), 2);
+
+        // Reference: the same chain with explicit f16 rounding.
+        let h0: Vec<F16> = w0
+            .matmul_reference(&x)
+            .iter()
+            .map(|&v| F16::from_f32(v))
+            .collect();
+        let h0 = Matrix { rows: 64, cols: 8, data: h0 };
+        let y_ref: Vec<F16> = w1
+            .matmul_reference(&h0)
+            .iter()
+            .map(|&v| F16::from_f32(v))
+            .collect();
+        assert_eq!(y.data, y_ref);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_layer_dims_panic() {
+        let mut session = Session::new(GpuSpec::a100());
+        session.add_layer("a", &weights(64, 32, 1), JigsawConfig::v4(32));
+        session.add_layer("b", &weights(32, 32, 2), JigsawConfig::v4(32));
+    }
+
+    #[test]
+    fn amortization_ledger_accumulates() {
+        let mut session = Session::new(GpuSpec::a100());
+        session.add_layer("only", &weights(64, 64, 4), JigsawConfig::v4(32));
+        let x = dense_rhs(64, 8, ValueDist::SmallInt, 5);
+        assert_eq!(session.avg_cycles_per_pass(), 0.0);
+        let (_, r1) = session.forward(&x);
+        let (_, r2) = session.forward(&x);
+        assert_eq!(session.passes, 2);
+        assert!((r1.total_cycles - r2.total_cycles).abs() < 1e-9, "deterministic");
+        assert!((session.avg_cycles_per_pass() - r1.total_cycles).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Public API: plan once, run many — matching the paper's observation
+//! that the weight matrix is stationary during inference, so the
+//! reorder is a one-time preprocessing whose cost amortizes.
+
+use dlmc::Matrix;
+use gpu_sim::{simulate_kernel, GpuSpec, KernelStats};
+use serde::{Deserialize, Serialize};
+
+use crate::config::JigsawConfig;
+use crate::exec::{execute_fast, execute_via_fragments};
+use crate::format::JigsawFormat;
+use crate::kernel::build_launch;
+use crate::reorder::{ReorderPlan, ReorderStats};
+
+/// A planned (reordered + compressed) sparse matrix, ready to multiply
+/// against any B.
+#[derive(Clone, Debug)]
+pub struct JigsawSpmm {
+    /// The kernel configuration the plan was built for.
+    pub config: JigsawConfig,
+    /// The compressed reorder-aware format.
+    pub format: JigsawFormat,
+    /// Reorder quality statistics (Figure 11's signals).
+    pub reorder_stats: ReorderStats,
+}
+
+/// Result of a timed SpMM: the product and the simulated kernel report.
+#[derive(Clone, Debug)]
+pub struct SpmmRun {
+    /// Row-major `M × N` output in f32 (the accumulator precision).
+    pub c: Vec<f32>,
+    /// Simulated execution report.
+    pub stats: KernelStats,
+}
+
+/// Summary of a v4 autotuning decision.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TuneReport {
+    /// Chosen `BLOCK_TILE_M`.
+    pub block_tile_m: usize,
+    /// Simulated duration of each candidate, cycles.
+    pub candidate_cycles: Vec<(usize, f64)>,
+}
+
+impl JigsawSpmm {
+    /// Plans the sparse matrix: multi-granularity reorder + compression.
+    pub fn plan(a: &Matrix, config: JigsawConfig) -> JigsawSpmm {
+        let plan = ReorderPlan::build(a, &config);
+        let reorder_stats = plan.stats();
+        let format = JigsawFormat::build(a, &plan, config.metadata_interleave);
+        JigsawSpmm {
+            config,
+            format,
+            reorder_stats,
+        }
+    }
+
+    /// Plans with v4 autotuning: builds the plan at every candidate
+    /// `BLOCK_TILE_M`, simulates a kernel at the given `n`, keeps the
+    /// fastest (paper §4.1 "we empirically tune the size of
+    /// BLOCK_TILE").
+    pub fn plan_tuned(a: &Matrix, n: usize, spec: &GpuSpec) -> (JigsawSpmm, TuneReport) {
+        let mut best: Option<(JigsawSpmm, f64)> = None;
+        let mut candidates = Vec::new();
+        for bt in JigsawConfig::BLOCK_TILE_CANDIDATES {
+            let planned = JigsawSpmm::plan(a, JigsawConfig::v4(bt));
+            let launch = build_launch(&planned.format, n, &planned.config);
+            let cycles = simulate_kernel(&launch, spec).duration_cycles;
+            candidates.push((bt, cycles));
+            if best.as_ref().is_none_or(|(_, c)| cycles < *c) {
+                best = Some((planned, cycles));
+            }
+        }
+        let (planned, _) = best.expect("candidates is non-empty");
+        let report = TuneReport {
+            block_tile_m: planned.config.block_tile_m,
+            candidate_cycles: candidates,
+        };
+        (planned, report)
+    }
+
+    /// Computes `C = A × B` and simulates the kernel's execution.
+    pub fn run(&self, b: &Matrix, spec: &GpuSpec) -> SpmmRun {
+        let c = execute_fast(&self.format, b);
+        let stats = self.simulate(b.cols, spec);
+        SpmmRun { c, stats }
+    }
+
+    /// Timing only (no values computed) — what the benchmark sweeps use.
+    pub fn simulate(&self, n: usize, spec: &GpuSpec) -> KernelStats {
+        let launch = build_launch(&self.format, n, &self.config);
+        simulate_kernel(&launch, spec)
+    }
+
+    /// Computes the product through the full SpTC fragment emulation
+    /// (slow; bit-faithful to the hardware data path).
+    pub fn run_via_fragments(&self, b: &Matrix) -> Vec<f32> {
+        execute_via_fragments(&self.format, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlmc::{dense_rhs, ValueDist, VectorSparseSpec};
+
+    fn workload(sparsity: f64, v: usize) -> (Matrix, Matrix) {
+        let a = VectorSparseSpec {
+            rows: 128,
+            cols: 256,
+            sparsity,
+            v,
+            dist: ValueDist::SmallInt,
+            seed: 50,
+        }
+        .generate();
+        let b = dense_rhs(256, 64, ValueDist::SmallInt, 51);
+        (a, b)
+    }
+
+    #[test]
+    fn plan_and_run_end_to_end() {
+        let (a, b) = workload(0.9, 4);
+        let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+        assert!(spmm.reorder_stats.success);
+        let run = spmm.run(&b, &GpuSpec::a100());
+        assert_eq!(run.c, a.matmul_reference(&b));
+        assert!(run.stats.duration_cycles > 0.0);
+        assert!(run.stats.totals.mma_instructions > 0);
+    }
+
+    #[test]
+    fn tuned_plan_picks_a_candidate() {
+        let (a, _) = workload(0.95, 8);
+        let (spmm, report) = JigsawSpmm::plan_tuned(&a, 256, &GpuSpec::a100());
+        assert_eq!(report.candidate_cycles.len(), 3);
+        assert_eq!(spmm.config.block_tile_m, report.block_tile_m);
+        let best = report
+            .candidate_cycles
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(f64::INFINITY, f64::min);
+        let chosen = report
+            .candidate_cycles
+            .iter()
+            .find(|&&(bt, _)| bt == report.block_tile_m)
+            .unwrap()
+            .1;
+        assert_eq!(best, chosen);
+    }
+
+    #[test]
+    fn fragment_path_agrees_with_fast_path() {
+        let (a, b) = workload(0.85, 2);
+        let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(16));
+        assert_eq!(spmm.run_via_fragments(&b), a.matmul_reference(&b));
+    }
+}

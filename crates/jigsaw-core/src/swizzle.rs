@@ -1,0 +1,89 @@
+//! Z-shaped (Morton) swizzle for compressed value blocks.
+//!
+//! The reorder-aware storage format stores each compressed 16×8 value
+//! block contiguously "in a Z-shaped swizzle pattern" (paper §3.3,
+//! Figure 6 (c)) so that the fragment loads of a warp touch consecutive
+//! addresses. We use the Morton order over (row, col): bit-interleaved,
+//! row bits in the even positions.
+
+/// Rows of a compressed block.
+pub const BLOCK_ROWS: usize = 16;
+/// Columns of a compressed block (one window's kept elements per row).
+pub const BLOCK_COLS: usize = 8;
+/// Elements per block.
+pub const BLOCK_ELEMS: usize = BLOCK_ROWS * BLOCK_COLS;
+
+/// Morton index of `(row, col)` within a 16×8 block.
+#[inline]
+pub fn zorder(row: usize, col: usize) -> usize {
+    debug_assert!(row < BLOCK_ROWS && col < BLOCK_COLS);
+    // Interleave 4 row bits with 3 col bits: r3 r2|c2 r1|c1 r0|c0 ->
+    // pairwise interleave low 3 bits, row bit 3 on top.
+    let mut idx = 0usize;
+    for b in 0..3 {
+        idx |= ((row >> b) & 1) << (2 * b + 1);
+        idx |= ((col >> b) & 1) << (2 * b);
+    }
+    idx | (((row >> 3) & 1) << 6)
+}
+
+/// Inverse of [`zorder`].
+#[inline]
+pub fn zorder_inverse(idx: usize) -> (usize, usize) {
+    debug_assert!(idx < BLOCK_ELEMS);
+    let mut row = 0usize;
+    let mut col = 0usize;
+    for b in 0..3 {
+        row |= ((idx >> (2 * b + 1)) & 1) << b;
+        col |= ((idx >> (2 * b)) & 1) << b;
+    }
+    row |= ((idx >> 6) & 1) << 3;
+    (row, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zorder_is_a_bijection() {
+        let mut seen = [false; BLOCK_ELEMS];
+        for r in 0..BLOCK_ROWS {
+            for c in 0..BLOCK_COLS {
+                let idx = zorder(r, c);
+                assert!(idx < BLOCK_ELEMS);
+                assert!(!seen[idx], "({r},{c}) collides at {idx}");
+                seen[idx] = true;
+                assert_eq!(zorder_inverse(idx), (r, c));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zorder_is_z_shaped() {
+        // The first four indices walk a 2x2 Z: (0,0) (0,1) (1,0) (1,1).
+        assert_eq!(zorder(0, 0), 0);
+        assert_eq!(zorder(0, 1), 1);
+        assert_eq!(zorder(1, 0), 2);
+        assert_eq!(zorder(1, 1), 3);
+    }
+
+    #[test]
+    fn locality_of_quads() {
+        // A 2x2 sub-quad always occupies 4 consecutive indices.
+        for r in (0..BLOCK_ROWS).step_by(2) {
+            for c in (0..BLOCK_COLS).step_by(2) {
+                let base = zorder(r, c);
+                assert_eq!(base % 4, 0);
+                let quad = [
+                    zorder(r, c),
+                    zorder(r, c + 1),
+                    zorder(r + 1, c),
+                    zorder(r + 1, c + 1),
+                ];
+                assert_eq!(quad, [base, base + 1, base + 2, base + 3]);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the reorder and format invariants.
+
+use proptest::prelude::*;
+
+use dlmc::{dense_rhs, Matrix, ValueDist, VectorSparseSpec};
+use jigsaw_core::reorder::tile::{
+    reorder_satisfies, reorder_tile, tile_satisfies_in_place, ColumnMasks, DEFAULT_WORK_LIMIT,
+};
+use jigsaw_core::reorder::{ReorderPlan, PAD};
+use jigsaw_core::{execute_fast, JigsawConfig, JigsawFormat};
+
+/// Strategy: an arbitrary 16-column mask set with bounded density.
+fn arb_masks(max_bits: usize) -> impl Strategy<Value = ColumnMasks> {
+    proptest::collection::vec(
+        proptest::collection::vec(0usize..16, 0..=max_bits),
+        16,
+    )
+    .prop_map(|cols| {
+        let mut masks = [0u16; 16];
+        for (i, bits) in cols.into_iter().enumerate() {
+            for b in bits {
+                masks[i] |= 1 << b;
+            }
+        }
+        masks
+    })
+}
+
+/// Strategy: a small vector-sparse matrix spec.
+fn arb_matrix() -> impl Strategy<Value = Matrix> {
+    (
+        1usize..=4,              // strips of 16 rows
+        1usize..=6,              // column blocks of 16
+        0.5f64..0.99,            // sparsity
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        any::<u64>(),
+    )
+        .prop_map(|(mr, kc, sparsity, v, seed)| {
+            VectorSparseSpec {
+                rows: mr * 16,
+                cols: kc * 16,
+                sparsity,
+                v,
+                dist: ValueDist::SmallInt,
+                seed,
+            }
+            .generate()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tile_reorder_output_is_valid(masks in arb_masks(4), bank_aware in any::<bool>()) {
+        if let Some(r) = reorder_tile(&masks, bank_aware, DEFAULT_WORK_LIMIT) {
+            prop_assert!(r.is_permutation());
+            prop_assert!(reorder_satisfies(&masks, &r));
+        }
+    }
+
+    #[test]
+    fn in_place_satisfaction_implies_reorder_success(masks in arb_masks(2)) {
+        if tile_satisfies_in_place(&masks) {
+            prop_assert!(reorder_tile(&masks, true, DEFAULT_WORK_LIMIT).is_some());
+        }
+    }
+
+    #[test]
+    fn plan_covers_every_nonzero_column_exactly_once(a in arb_matrix()) {
+        let bt = 32usize.min(a.rows);
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(if a.rows % 32 == 0 { bt } else { 16 }));
+        for strip in &plan.strips {
+            let mut seen = std::collections::HashSet::new();
+            for &c in &strip.col_order {
+                if c != PAD {
+                    prop_assert!(seen.insert(c), "column {c} duplicated");
+                }
+            }
+            for c in 0..a.cols {
+                let zero = a.column_zero_in_strip(c, strip.row0, strip.row0 + strip.height);
+                prop_assert_eq!(!zero, seen.contains(&(c as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn format_spmm_equals_reference(a in arb_matrix(), n_blocks in 1usize..=3) {
+        let n = n_blocks * 8;
+        let b = dense_rhs(a.cols, n, ValueDist::SmallInt, 99);
+        let bt = if a.rows % 32 == 0 { 32 } else { 16 };
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(bt));
+        for interleaved in [false, true] {
+            let format = JigsawFormat::build(&a, &plan, interleaved);
+            prop_assert_eq!(execute_fast(&format, &b), a.matmul_reference(&b));
+        }
+    }
+
+    #[test]
+    fn reorder_stats_are_consistent(a in arb_matrix()) {
+        let bt = if a.rows % 32 == 0 { 32 } else { 16 };
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(bt));
+        let stats = plan.stats();
+        let windows: usize = plan.strips.iter().map(|s| s.windows()).sum();
+        prop_assert_eq!(stats.total_windows, windows);
+        // Success criterion matches per-strip budget.
+        let budget = plan.baseline_windows_per_strip();
+        prop_assert_eq!(
+            stats.success,
+            plan.strips.iter().all(|s| s.windows() <= budget)
+        );
+        // A zero matrix computes nothing; dense computes at least K.
+        if a.nnz() == 0 {
+            prop_assert_eq!(stats.total_windows, 0);
+        }
+    }
+}

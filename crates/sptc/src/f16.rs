@@ -1,0 +1,302 @@
+//! Software IEEE 754 binary16 ("half") arithmetic.
+//!
+//! The Sparse Tensor Core operates on FP16 operands with FP32 accumulation
+//! (HMMA semantics). The `half` crate is not part of this workspace's
+//! dependency allowance, so we implement the conversions ourselves.
+//! Conversions use round-to-nearest-even, matching both x86 `vcvtps2ph`
+//! and the GPU's conversion behaviour.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An IEEE 754 binary16 value stored as its bit pattern.
+///
+/// Arithmetic is performed by widening to `f32`, which is exact: every
+/// product of two finite f16 values is exactly representable in f32, so
+/// `a.to_f32() * b.to_f32()` reproduces the tensor core's exact
+/// multiply-into-f32 step.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+#[repr(transparent)]
+pub struct F16(pub u16);
+
+const EXP_MASK: u16 = 0x7C00;
+const FRAC_MASK: u16 = 0x03FF;
+const SIGN_MASK: u16 = 0x8000;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+
+    /// Converts an `f32` to binary16 with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let frac = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf / NaN. Preserve the NaN payload's top bit so signalling
+            // NaNs stay NaN after truncation.
+            let nan_bits = if frac != 0 {
+                (frac >> 13) as u16 | 0x0200
+            } else {
+                0
+            };
+            return F16(sign | EXP_MASK | nan_bits);
+        }
+
+        // Unbiased exponent.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow to infinity (RNE rounds everything >= 65520 up).
+            return F16(sign | EXP_MASK);
+        }
+        if unbiased >= -14 {
+            // Normal range. 23 -> 10 fraction bits: shift out 13 bits with
+            // round-to-nearest-even on the removed bits.
+            let half_exp = (unbiased + 15) as u32;
+            let mantissa = frac;
+            let combined = (half_exp << 10) | (mantissa >> 13);
+            let round_bits = mantissa & 0x1FFF;
+            let mut out = combined;
+            if round_bits > 0x1000 || (round_bits == 0x1000 && (out & 1) == 1) {
+                out += 1; // May carry into the exponent; that is correct RNE.
+            }
+            return F16(sign | out as u16);
+        }
+        if unbiased >= -25 {
+            // Subnormal range: make the implicit leading 1 explicit, then
+            // shift right far enough that the result exponent field is 0.
+            // unbiased = -15 needs one extra shift beyond the normal 13,
+            // unbiased = -25 needs eleven extra (rounds to 0 or MIN subnormal).
+            let mantissa = frac | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13; // total right shift, 14..=24
+            let kept = mantissa >> shift;
+            let rem = mantissa & ((1u32 << shift) - 1);
+            let halfway = 1u32 << (shift - 1);
+            let mut out = kept as u16;
+            if rem > halfway || (rem == halfway && (out & 1) == 1) {
+                out += 1;
+            }
+            return F16(sign | out);
+        }
+        // Underflow to (signed) zero.
+        F16(sign)
+    }
+
+    /// Converts to `f32` exactly (every f16 is representable in f32).
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 & SIGN_MASK) << 16;
+        let exp = (self.0 & EXP_MASK) >> 10;
+        let frac = u32::from(self.0 & FRAC_MASK);
+
+        let bits = match exp {
+            0 => {
+                if frac == 0 {
+                    sign // signed zero
+                } else {
+                    // Subnormal: value = frac * 2^-24. Normalize so the top
+                    // set bit (position p = 31 - lz) becomes the implicit 1:
+                    // exponent = p - 24, i.e. biased 127 + p - 24 = 134 - lz.
+                    let lz = frac.leading_zeros(); // 22..=31
+                    let exp32 = 134 - lz;
+                    let frac32 = (frac << (lz - 8)) & 0x007F_FFFF;
+                    sign | (exp32 << 23) | frac32
+                }
+            }
+            0x1F => {
+                if frac == 0 {
+                    sign | 0x7F80_0000
+                } else {
+                    sign | 0x7F80_0000 | (frac << 13) | 0x0040_0000
+                }
+            }
+            _ => {
+                let exp32 = u32::from(exp) + 127 - 15;
+                sign | (exp32 << 23) | (frac << 13)
+            }
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Constructs from a raw bit pattern.
+    #[inline]
+    pub fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// True when the value is exactly zero (either sign).
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 & !SIGN_MASK == 0
+    }
+
+    /// True for NaN bit patterns.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & FRAC_MASK) != 0
+    }
+
+    /// True for finite values.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Convenience constructor from an integer; exact for |i| <= 2048.
+    pub fn from_i32(i: i32) -> F16 {
+        F16::from_f32(i as f32)
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> Self {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+/// Packs two f16 values into one `u32` register, low half first — the
+/// layout tensor-core fragment registers use (`.f16x2`).
+#[inline]
+pub fn pack_f16x2(lo: F16, hi: F16) -> u32 {
+    u32::from(lo.0) | (u32::from(hi.0) << 16)
+}
+
+/// Unpacks a `.f16x2` register into (low, high) halves.
+#[inline]
+pub fn unpack_f16x2(reg: u32) -> (F16, F16) {
+    (F16((reg & 0xFFFF) as u16), F16((reg >> 16) as u16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_one_constants() {
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::from_f32(1.0), F16::ONE);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+    }
+
+    #[test]
+    fn small_integers_roundtrip_exactly() {
+        for i in -2048..=2048 {
+            let h = F16::from_i32(i);
+            assert_eq!(h.to_f32(), i as f32, "i={i}");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_roundtrip() {
+        for e in -14..=15 {
+            let v = (2.0f32).powi(e);
+            assert_eq!(F16::from_f32(v).to_f32(), v);
+        }
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        // Smallest subnormal is 2^-24.
+        let tiny = (2.0f32).powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        assert_eq!(F16::from_f32(tiny / 2.0).to_f32(), 0.0); // RNE ties-to-even -> 0
+        let sub = 3.0 * (2.0f32).powi(-24);
+        assert_eq!(F16::from_f32(sub).to_f32(), sub);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(F16::from_f32(1.0e6), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1.0e6), F16::NEG_INFINITY);
+        assert_eq!(F16::from_f32(f32::INFINITY), F16::INFINITY);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 2049 is exactly halfway between 2048 and 2050 in f16; ties-to-even
+        // picks 2048.
+        assert_eq!(F16::from_f32(2049.0).to_f32(), 2048.0);
+        // 2051 is halfway between 2050 and 2052; even mantissa is 2052.
+        assert_eq!(F16::from_f32(2051.0).to_f32(), 2052.0);
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        let nz = F16::from_f32(-0.0);
+        assert!(nz.is_zero());
+        assert_eq!(nz.to_f32().to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(-3.25);
+        let reg = pack_f16x2(a, b);
+        assert_eq!(unpack_f16x2(reg), (a, b));
+    }
+
+    #[test]
+    fn conversion_matches_reference_on_all_bit_patterns() {
+        // Round-trip every f16 bit pattern through f32 and back; this is a
+        // full-domain exactness check (NaNs compare by is_nan).
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            let back = F16::from_f32(h.to_f32());
+            if h.is_nan() {
+                assert!(back.is_nan());
+            } else {
+                assert_eq!(back.0, h.0, "bits={bits:#06x}");
+            }
+        }
+    }
+}

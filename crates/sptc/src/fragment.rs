@@ -1,0 +1,246 @@
+//! Warp register-fragment layouts for tensor-core operands.
+//!
+//! A tensor-core instruction consumes its tiles distributed across the 32
+//! lanes of a warp in a fixed pattern (PTX ISA "fragment" layouts). The
+//! mapping functions here are the single source of truth; the loaders and
+//! the mma executors are written against them, and tests verify that the
+//! maps are bijections onto the tile coordinates.
+//!
+//! Coordinate convention: `(row, col)` into the logical tile. The lane id
+//! decomposes as `lane = 4 * group + tid` with `group = lane / 4 ∈ 0..8`
+//! and `tid = lane % 4 ∈ 0..4`.
+
+use crate::f16::F16;
+
+/// Warp size.
+pub const WARP: usize = 32;
+
+/// Which tensor-core operand a fragment holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FragKind {
+    /// A operand of a 16×16 f16 tile (dense `m16n8k16` A, or the
+    /// *compressed* A of sparse `m16n8k32`): 8 halves per lane.
+    A16x16,
+    /// B operand of a 16×8 f16 tile (dense `m16n8k16` B): 4 halves/lane.
+    B16x8,
+    /// B operand of a 32×8 f16 tile (sparse `m16n8k32` B): 8 halves/lane.
+    B32x8,
+    /// C/D accumulator of a 16×8 f32 tile: 4 floats per lane.
+    Acc16x8,
+}
+
+impl FragKind {
+    /// Tile dimensions `(rows, cols)`.
+    pub fn dims(self) -> (usize, usize) {
+        match self {
+            FragKind::A16x16 => (16, 16),
+            FragKind::B16x8 => (16, 8),
+            FragKind::B32x8 => (32, 8),
+            FragKind::Acc16x8 => (16, 8),
+        }
+    }
+
+    /// Elements held by each lane.
+    pub fn elems_per_lane(self) -> usize {
+        let (r, c) = self.dims();
+        r * c / WARP
+    }
+
+    /// Tile coordinate held by `lane`'s element slot `e`.
+    ///
+    /// The layouts follow the PTX ISA f16 fragment tables: a lane's
+    /// `group` selects a row (A, accumulators) or column (B); its `tid`
+    /// selects a pair of adjacent columns (A) or rows (B); higher element
+    /// slots step by 8 through the tile.
+    pub fn coord(self, lane: usize, e: usize) -> (usize, usize) {
+        debug_assert!(lane < WARP);
+        debug_assert!(e < self.elems_per_lane());
+        let group = lane / 4;
+        let tid = lane % 4;
+        match self {
+            // a0,a1 -> (g, 2t + {0,1});       a2,a3 -> (g+8, 2t + {0,1})
+            // a4,a5 -> (g, 2t + 8 + {0,1});   a6,a7 -> (g+8, 2t + 8 + {0,1})
+            FragKind::A16x16 => {
+                let row = group + 8 * ((e >> 1) & 1);
+                let col = 2 * tid + (e & 1) + 8 * (e >> 2);
+                (row, col)
+            }
+            // b0,b1 -> (2t + {0,1}, g); b2,b3 -> (2t + 8 + {0,1}, g)
+            FragKind::B16x8 => {
+                let row = 2 * tid + (e & 1) + 8 * (e >> 1);
+                (row, group)
+            }
+            // Same pattern continued through four 8-row slabs of K=32.
+            FragKind::B32x8 => {
+                let row = 2 * tid + (e & 1) + 8 * (e >> 1);
+                (row, group)
+            }
+            // c0,c1 -> (g, 2t + {0,1}); c2,c3 -> (g+8, 2t + {0,1})
+            FragKind::Acc16x8 => {
+                let row = group + 8 * (e >> 1);
+                let col = 2 * tid + (e & 1);
+                (row, col)
+            }
+        }
+    }
+}
+
+/// An f16 fragment: `regs[lane][slot]` = element `slot` of `lane`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct F16Fragment {
+    /// The operand layout this fragment follows.
+    pub kind: FragKind,
+    /// Per-lane element storage.
+    pub regs: Vec<[F16; 8]>,
+}
+
+impl F16Fragment {
+    /// Loads a fragment from a row-major tile slice of the right shape.
+    pub fn load(kind: FragKind, tile: &[F16]) -> F16Fragment {
+        let (rows, cols) = kind.dims();
+        assert_eq!(tile.len(), rows * cols, "tile shape mismatch for {kind:?}");
+        let per_lane = kind.elems_per_lane();
+        let mut regs = vec![[F16::ZERO; 8]; WARP];
+        for (lane, lane_regs) in regs.iter_mut().enumerate() {
+            for (e, slot) in lane_regs.iter_mut().take(per_lane).enumerate() {
+                let (r, c) = kind.coord(lane, e);
+                *slot = tile[r * cols + c];
+            }
+        }
+        F16Fragment { kind, regs }
+    }
+
+    /// Scatters the fragment back to a row-major tile.
+    pub fn store(&self) -> Vec<F16> {
+        let (rows, cols) = self.kind.dims();
+        let per_lane = self.kind.elems_per_lane();
+        let mut tile = vec![F16::ZERO; rows * cols];
+        for (lane, lane_regs) in self.regs.iter().enumerate() {
+            for (e, &v) in lane_regs.iter().take(per_lane).enumerate() {
+                let (r, c) = self.kind.coord(lane, e);
+                tile[r * cols + c] = v;
+            }
+        }
+        tile
+    }
+
+    /// Element `e` of `lane`.
+    #[inline]
+    pub fn get(&self, lane: usize, e: usize) -> F16 {
+        self.regs[lane][e]
+    }
+}
+
+/// An f32 accumulator fragment (`Acc16x8` layout).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AccFragment {
+    /// `regs[lane][slot]`, 4 slots used per lane.
+    pub regs: Vec<[f32; 4]>,
+}
+
+impl AccFragment {
+    /// An all-zero accumulator.
+    pub fn zero() -> AccFragment {
+        AccFragment {
+            regs: vec![[0.0; 4]; WARP],
+        }
+    }
+
+    /// Loads from a row-major 16×8 f32 tile.
+    pub fn load(tile: &[f32]) -> AccFragment {
+        assert_eq!(tile.len(), 16 * 8);
+        let mut regs = vec![[0.0f32; 4]; WARP];
+        for (lane, lane_regs) in regs.iter_mut().enumerate() {
+            for (e, slot) in lane_regs.iter_mut().enumerate() {
+                let (r, c) = FragKind::Acc16x8.coord(lane, e);
+                *slot = tile[r * 8 + c];
+            }
+        }
+        AccFragment { regs }
+    }
+
+    /// Scatters back to a row-major 16×8 f32 tile.
+    pub fn store(&self) -> Vec<f32> {
+        let mut tile = vec![0.0f32; 16 * 8];
+        for (lane, lane_regs) in self.regs.iter().enumerate() {
+            for (e, &v) in lane_regs.iter().enumerate() {
+                let (r, c) = FragKind::Acc16x8.coord(lane, e);
+                tile[r * 8 + c] = v;
+            }
+        }
+        self.check_dims();
+        tile
+    }
+
+    fn check_dims(&self) {
+        debug_assert_eq!(self.regs.len(), WARP);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijection(kind: FragKind) {
+        let (rows, cols) = kind.dims();
+        let mut seen = vec![false; rows * cols];
+        for lane in 0..WARP {
+            for e in 0..kind.elems_per_lane() {
+                let (r, c) = kind.coord(lane, e);
+                assert!(r < rows && c < cols, "{kind:?} lane {lane} e {e} oob");
+                let idx = r * cols + c;
+                assert!(!seen[idx], "{kind:?} coord ({r},{c}) assigned twice");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "{kind:?} does not cover the tile");
+    }
+
+    #[test]
+    fn all_layouts_are_bijections() {
+        assert_bijection(FragKind::A16x16);
+        assert_bijection(FragKind::B16x8);
+        assert_bijection(FragKind::B32x8);
+        assert_bijection(FragKind::Acc16x8);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        for kind in [
+            FragKind::A16x16,
+            FragKind::B16x8,
+            FragKind::B32x8,
+            FragKind::Acc16x8,
+        ] {
+            let (rows, cols) = kind.dims();
+            let tile: Vec<F16> = (0..rows * cols)
+                .map(|i| F16::from_f32((i % 1024) as f32))
+                .collect();
+            let frag = F16Fragment::load(kind, &tile);
+            assert_eq!(frag.store(), tile, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn acc_roundtrip() {
+        let tile: Vec<f32> = (0..128).map(|i| i as f32 * 0.5).collect();
+        let acc = AccFragment::load(&tile);
+        assert_eq!(acc.store(), tile);
+    }
+
+    #[test]
+    fn a_fragment_lane0_holds_topleft_pairs() {
+        // Lane 0 (group 0, tid 0): a0 = (0,0), a1 = (0,1), a2 = (8,0).
+        assert_eq!(FragKind::A16x16.coord(0, 0), (0, 0));
+        assert_eq!(FragKind::A16x16.coord(0, 1), (0, 1));
+        assert_eq!(FragKind::A16x16.coord(0, 2), (8, 0));
+        assert_eq!(FragKind::A16x16.coord(0, 4), (0, 8));
+    }
+
+    #[test]
+    fn b32_fragment_covers_four_k_slabs() {
+        // Lane 0 should see rows 0,1,8,9,16,17,24,25 of column 0.
+        let rows: Vec<usize> = (0..8).map(|e| FragKind::B32x8.coord(0, e).0).collect();
+        assert_eq!(rows, vec![0, 1, 8, 9, 16, 17, 24, 25]);
+    }
+}

@@ -1,0 +1,186 @@
+//! `ldmatrix` semantics and shared-memory bank-conflict accounting.
+//!
+//! `ldmatrix.x{1,2,4}` loads 1/2/4 row-major 8×8 tiles of 16-bit elements
+//! from shared memory into warp registers. Each of the first `8 * x`
+//! lanes supplies the byte address of one 8-element row (16 bytes); the
+//! hardware then distributes each tile so lane `r * 4 + c` receives the
+//! `.b16x2` pair at row `r`, columns `2c, 2c + 1` of that tile.
+//!
+//! Shared memory is organised in 32 four-byte banks. Within one memory
+//! transaction (8 row reads of 16 bytes each, i.e. one 8×8 tile phase),
+//! two rows whose addresses hit the same bank serialize — the conflict
+//! model the paper's §3.4.1 optimization targets.
+
+use crate::f16::F16;
+
+/// Number of shared-memory banks on Ampere.
+pub const NUM_BANKS: usize = 32;
+/// Bytes per bank word.
+pub const BANK_WIDTH: usize = 4;
+/// Bytes loaded per `ldmatrix` row (8 halves).
+pub const ROW_BYTES: usize = 16;
+
+/// The bank a byte address falls into.
+#[inline]
+pub fn bank_of(addr: usize) -> usize {
+    (addr / BANK_WIDTH) % NUM_BANKS
+}
+
+/// Maximum number of accesses any single bank receives when the given
+/// 16-byte row addresses are serviced in one phase. 1 = conflict-free;
+/// `w` = the phase is replayed `w` times.
+///
+/// Each 16-byte row covers 4 consecutive banks, so 8 rows cover all 32
+/// banks exactly once iff their starting banks are the 8 distinct
+/// multiples of 4 (mod 32).
+pub fn conflict_ways(row_addrs: &[usize]) -> usize {
+    let mut per_bank = [0u32; NUM_BANKS];
+    for &addr in row_addrs {
+        debug_assert_eq!(addr % 2, 0, "f16 rows must be 2-byte aligned");
+        let words = ROW_BYTES / BANK_WIDTH;
+        let start = addr / BANK_WIDTH;
+        for w in 0..words {
+            per_bank[(start + w) % NUM_BANKS] += 1;
+        }
+    }
+    per_bank.iter().copied().max().unwrap_or(0) as usize
+}
+
+/// Result of an `ldmatrix` execution: the loaded registers plus the
+/// bank-conflict cost of each 8-row phase.
+#[derive(Clone, Debug)]
+pub struct LdmatrixResult {
+    /// `regs[lane][tile]`: the `(lo, hi)` f16 pair lane received from
+    /// each of the `x` tiles.
+    pub regs: Vec<Vec<(F16, F16)>>,
+    /// Conflict ways per phase (one phase per tile); total extra replays
+    /// = `sum(ways) - phases`.
+    pub phase_conflicts: Vec<usize>,
+}
+
+impl LdmatrixResult {
+    /// Total number of phase replays beyond the conflict-free baseline.
+    pub fn extra_replays(&self) -> usize {
+        self.phase_conflicts
+            .iter()
+            .map(|&w| w.saturating_sub(1))
+            .sum()
+    }
+}
+
+/// Executes `ldmatrix.x{count}` against a shared-memory image.
+///
+/// * `smem` — the shared-memory contents as halves; byte address `a`
+///   refers to `smem[a / 2]`.
+/// * `row_addrs` — byte address of each tile row: `8 * count` entries,
+///   tile `t` owning entries `8t..8t+8` (the addresses lanes `8t..8t+8`
+///   would supply).
+/// * `count` — 1, 2 or 4.
+pub fn ldmatrix(smem: &[F16], row_addrs: &[usize], count: usize) -> LdmatrixResult {
+    assert!(matches!(count, 1 | 2 | 4), "ldmatrix.x{count} not a shape");
+    assert_eq!(row_addrs.len(), 8 * count);
+    let mut regs = vec![vec![(F16::ZERO, F16::ZERO); count]; 32];
+    let mut phase_conflicts = Vec::with_capacity(count);
+    for t in 0..count {
+        let rows = &row_addrs[8 * t..8 * t + 8];
+        phase_conflicts.push(conflict_ways(rows));
+        for (r, &addr) in rows.iter().enumerate() {
+            debug_assert_eq!(addr % 2, 0);
+            let base = addr / 2;
+            for c in 0..4 {
+                let lane = r * 4 + c;
+                let lo = smem[base + 2 * c];
+                let hi = smem[base + 2 * c + 1];
+                regs[lane][t] = (lo, hi);
+            }
+        }
+    }
+    LdmatrixResult {
+        regs,
+        phase_conflicts,
+    }
+}
+
+/// Conflict ways for storing a row-major tile of `row_halves` halves per
+/// row into shared memory with a given padded stride (in halves), when a
+/// warp writes 8 rows at a time with 128-bit (8-half) stores.
+///
+/// This models the *write* side of the paper's Figure 7: with
+/// `stride == row_halves` (no padding) every row of a 64-wide f16 tile
+/// starts at bank 0; padding by 4 banks (8 halves) staggers the rows.
+pub fn store_conflict_ways(stride_halves: usize, rows: usize) -> usize {
+    let addrs: Vec<usize> = (0..rows).map(|r| r * stride_halves * 2).collect();
+    conflict_ways(&addrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpadded_64wide_rows_conflict() {
+        // 64 halves = 128 bytes per row: every row starts at bank 0.
+        // 8 rows -> 8-way conflict (paper Figure 7 (a) without padding).
+        assert_eq!(store_conflict_ways(64, 8), 8);
+    }
+
+    #[test]
+    fn padding_eliminates_conflicts() {
+        // Pad 4 banks (8 halves): stride 72 halves = 144 bytes = 36 words;
+        // consecutive rows start 4 banks apart, 8 rows cover all 32 banks.
+        assert_eq!(store_conflict_ways(64 + 8, 8), 1);
+    }
+
+    #[test]
+    fn conflict_ways_counts_max_per_bank() {
+        // Two rows at the same address: 2-way.
+        assert_eq!(conflict_ways(&[0, 0]), 2);
+        // Rows 16 bytes apart touch disjoint bank quads.
+        assert_eq!(conflict_ways(&[0, 16, 32, 48]), 1);
+        // 128 bytes apart wraps to the same banks.
+        assert_eq!(conflict_ways(&[0, 128]), 2);
+    }
+
+    #[test]
+    fn ldmatrix_x1_loads_tile() {
+        // Shared memory holds an 8x8 tile at halves 0..64, row-major.
+        let smem: Vec<F16> = (0..64).map(|i| F16::from_f32(i as f32)).collect();
+        let addrs: Vec<usize> = (0..8).map(|r| r * 8 * 2).collect();
+        let res = ldmatrix(&smem, &addrs, 1);
+        // Lane r*4+c gets (tile[r][2c], tile[r][2c+1]).
+        for r in 0..8 {
+            for c in 0..4 {
+                let lane = r * 4 + c;
+                let (lo, hi) = res.regs[lane][0];
+                assert_eq!(lo.to_f32(), (r * 8 + 2 * c) as f32);
+                assert_eq!(hi.to_f32(), (r * 8 + 2 * c + 1) as f32);
+            }
+        }
+        // 8 rows x 16B contiguous = all 32 banks once.
+        assert_eq!(res.phase_conflicts, vec![1]);
+    }
+
+    #[test]
+    fn ldmatrix_x4_reads_four_tiles() {
+        let smem: Vec<F16> = (0..4 * 64).map(|i| F16::from_f32((i % 512) as f32)).collect();
+        let addrs: Vec<usize> = (0..32).map(|r| r * 16).collect();
+        let res = ldmatrix(&smem, &addrs, 4);
+        assert_eq!(res.phase_conflicts.len(), 4);
+        assert_eq!(res.extra_replays(), 0);
+        // Tile 3, row 0 starts at half 3*64.
+        let (lo, _) = res.regs[0][3];
+        assert_eq!(lo.to_f32(), (3 * 64 % 512) as f32);
+    }
+
+    #[test]
+    fn reordered_rows_from_same_bank_conflict() {
+        // Paper Figure 7 (b): rows 0 and 8 of a padded 64+8 stride tile.
+        // Row 0 starts at bank 0; row 8 starts at bank (8*72*2/4)%32 =
+        // (288)%32 = 0 -> conflict.
+        let stride = 72usize; // halves
+        let addr = |row: usize| row * stride * 2;
+        assert!(conflict_ways(&[addr(0), addr(8)]) > 1);
+        // Whereas rows 0 and 2 do not conflict.
+        assert_eq!(conflict_ways(&[addr(0), addr(2)]), 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! `mma.sp` metadata (operand E) encoding and distribution.
+//!
+//! For f16 `m16n8k32`, each of the 16 rows of the compressed A tile keeps
+//! 16 elements (2 per group of 4), each annotated with a 2-bit in-group
+//! position. One row's indices therefore pack into exactly one `u32`
+//! (paper §3.4.3: "those column indices can be stored in 16 integers").
+//!
+//! Operand F selects which half of the warp supplies the metadata
+//! registers: with `F = 0` the threads with `lane % 4 ∈ {0, 1}` provide
+//! it, with `F = 1` the threads with `lane % 4 ∈ {2, 3}` do. Jigsaw's
+//! *interleaved* layout (paper Figure 9) stores the metadata of two
+//! consecutive `mma.sp` operations in 32 consecutive words so a single
+//! `ldmatrix` feeds both, issuing the first with `F = 0` and the second
+//! with `F = 1`.
+
+/// Indices kept per compressed row of an f16 `m16n8k32` tile.
+pub const INDICES_PER_ROW: usize = 16;
+/// Rows in the tile.
+pub const ROWS: usize = 16;
+/// Warp size.
+pub const WARP: usize = 32;
+
+/// Packs one row's 16 two-bit positions (group order) into a `u32`.
+/// Index `s` lands at bits `2s..2s+2`.
+pub fn pack_row_metadata(indices: &[u8]) -> u32 {
+    debug_assert_eq!(indices.len(), INDICES_PER_ROW);
+    let mut word = 0u32;
+    for (s, &idx) in indices.iter().enumerate() {
+        debug_assert!(idx < 4);
+        word |= u32::from(idx & 0b11) << (2 * s);
+    }
+    word
+}
+
+/// Unpacks a metadata word back into 16 two-bit positions.
+pub fn unpack_row_metadata(word: u32) -> [u8; INDICES_PER_ROW] {
+    let mut out = [0u8; INDICES_PER_ROW];
+    for (s, slot) in out.iter_mut().enumerate() {
+        *slot = ((word >> (2 * s)) & 0b11) as u8;
+    }
+    out
+}
+
+/// Packs a full 16-row tile's indices (`16 * 16` entries, row-major, as
+/// produced by [`crate::compress::compress_tile_2_4`] on a 16×32 tile)
+/// into the 16 metadata words, word `r` covering row `r`.
+pub fn pack_tile_metadata(indices: &[u8]) -> [u32; ROWS] {
+    debug_assert_eq!(indices.len(), ROWS * INDICES_PER_ROW);
+    let mut words = [0u32; ROWS];
+    for (r, chunk) in indices.chunks_exact(INDICES_PER_ROW).enumerate() {
+        words[r] = pack_row_metadata(chunk);
+    }
+    words
+}
+
+/// Which row of metadata a lane supplies for a given sparsity selector,
+/// or `None` when that lane supplies nothing for this operation.
+///
+/// Lane `4g + t`: with `F = 0`, `t = 0` supplies row `g` and `t = 1`
+/// supplies row `g + 8`; with `F = 1` the same pattern shifts to
+/// `t = 2` / `t = 3`.
+pub fn metadata_row_for_lane(lane: usize, selector: u8) -> Option<usize> {
+    debug_assert!(lane < WARP);
+    debug_assert!(selector < 2);
+    let g = lane / 4;
+    let t = lane % 4;
+    let base = usize::from(selector) * 2;
+    if t == base {
+        Some(g)
+    } else if t == base + 1 {
+        Some(g + 8)
+    } else {
+        None
+    }
+}
+
+/// Scatters the 16 per-row metadata words into per-lane registers for an
+/// operation issued with the given selector. Lanes that supply nothing
+/// receive 0 (on hardware their register content is ignored).
+pub fn distribute_metadata(words: &[u32; ROWS], selector: u8) -> [u32; WARP] {
+    let mut regs = [0u32; WARP];
+    for (lane, reg) in regs.iter_mut().enumerate() {
+        if let Some(row) = metadata_row_for_lane(lane, selector) {
+            *reg = words[row];
+        }
+    }
+    regs
+}
+
+/// Gathers the 16 metadata words from per-lane registers (inverse of
+/// [`distribute_metadata`]); this is what the hardware's selector does.
+pub fn collect_metadata(regs: &[u32; WARP], selector: u8) -> [u32; ROWS] {
+    let mut words = [0u32; ROWS];
+    for (lane, &reg) in regs.iter().enumerate() {
+        if let Some(row) = metadata_row_for_lane(lane, selector) {
+            words[row] = reg;
+        }
+    }
+    words
+}
+
+/// Builds the *interleaved* storage layout of paper Figure 9: the 32
+/// words covering two consecutive `mma.sp` operations, ordered so that
+/// word `i` is exactly the register lane `i` needs (op 0 via `F = 0` on
+/// lanes with `lane % 4 ∈ {0,1}`, op 1 via `F = 1` on the others). One
+/// 128-byte `ldmatrix` then loads one word per lane with no branching
+/// and no wasted loads.
+pub fn interleave_two_ops(op0: &[u32; ROWS], op1: &[u32; ROWS]) -> [u32; WARP] {
+    let mut out = [0u32; WARP];
+    for (lane, slot) in out.iter_mut().enumerate() {
+        if let Some(row) = metadata_row_for_lane(lane, 0) {
+            *slot = op0[row];
+        } else if let Some(row) = metadata_row_for_lane(lane, 1) {
+            *slot = op1[row];
+        } else {
+            unreachable!("every lane serves exactly one of the two selectors");
+        }
+    }
+    out
+}
+
+/// Splits an interleaved 32-word block back into the two operations'
+/// metadata words (inverse of [`interleave_two_ops`]).
+pub fn deinterleave_two_ops(block: &[u32; WARP]) -> ([u32; ROWS], [u32; ROWS]) {
+    (collect_metadata(block, 0), collect_metadata(block, 1))
+}
+
+/// The naive (non-interleaved) layout the paper's v2 kernel uses: 16
+/// words per op stored contiguously. Lanes with `lane % 4 ∈ {0, 1}` each
+/// branch to load one word; the other 16 lanes idle (warp divergence) or
+/// load dead data (wasted throughput). Returned as the per-lane load
+/// slot each lane touches, `None` for idle lanes — the kernel models use
+/// this to count instructions and divergence.
+pub fn naive_layout_lane_slots(selector: u8) -> [Option<usize>; WARP] {
+    let mut slots = [None; WARP];
+    for (lane, slot) in slots.iter_mut().enumerate() {
+        *slot = metadata_row_for_lane(lane, selector);
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let idx: Vec<u8> = (0..16).map(|i| (i % 4) as u8).collect();
+        let word = pack_row_metadata(&idx);
+        assert_eq!(unpack_row_metadata(word).to_vec(), idx);
+    }
+
+    #[test]
+    fn figure3_first_row_metadata() {
+        // Paper Figure 3: first row metadata (0,3) and (1,2).
+        let mut idx = vec![0u8; 16];
+        idx[0] = 0;
+        idx[1] = 3;
+        idx[2] = 1;
+        idx[3] = 2;
+        let word = pack_row_metadata(&idx);
+        assert_eq!(word & 0xFF, 0b10_01_11_00);
+    }
+
+    #[test]
+    fn selector_lane_coverage_is_a_partition() {
+        // Every metadata row is provided by exactly one lane per selector,
+        // and the two selectors use disjoint lane sets.
+        for selector in 0..2u8 {
+            let mut seen = [false; ROWS];
+            for lane in 0..WARP {
+                if let Some(r) = metadata_row_for_lane(lane, selector) {
+                    assert!(!seen[r], "row {r} provided twice");
+                    seen[r] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+        for lane in 0..WARP {
+            let f0 = metadata_row_for_lane(lane, 0).is_some();
+            let f1 = metadata_row_for_lane(lane, 1).is_some();
+            assert!(f0 ^ f1, "lane {lane} must serve exactly one selector");
+        }
+    }
+
+    #[test]
+    fn paper_f0_lane_set() {
+        // Paper §3.4.3: with F=0 only threads 0,1,4,5,...,28,29 load.
+        let expected: Vec<usize> = (0..8).flat_map(|g| [4 * g, 4 * g + 1]).collect();
+        let actual: Vec<usize> = (0..WARP)
+            .filter(|&l| metadata_row_for_lane(l, 0).is_some())
+            .collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn distribute_collect_roundtrip() {
+        let words: [u32; ROWS] = std::array::from_fn(|i| (i as u32) * 0x0101_0101);
+        for selector in 0..2u8 {
+            let regs = distribute_metadata(&words, selector);
+            assert_eq!(collect_metadata(&regs, selector), words);
+        }
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        let op0: [u32; ROWS] = std::array::from_fn(|i| i as u32);
+        let op1: [u32; ROWS] = std::array::from_fn(|i| 100 + i as u32);
+        let block = interleave_two_ops(&op0, &op1);
+        let (b0, b1) = deinterleave_two_ops(&block);
+        assert_eq!(b0, op0);
+        assert_eq!(b1, op1);
+    }
+
+    #[test]
+    fn interleaved_block_serves_every_lane() {
+        // The whole point of the layout: no lane is idle.
+        let op0 = [1u32; ROWS];
+        let op1 = [2u32; ROWS];
+        let block = interleave_two_ops(&op0, &op1);
+        assert!(block.iter().all(|&w| w == 1 || w == 2));
+        assert_eq!(block.iter().filter(|&&w| w == 1).count(), 16);
+    }
+
+    #[test]
+    fn naive_layout_half_the_lanes_idle() {
+        let slots = naive_layout_lane_slots(0);
+        assert_eq!(slots.iter().filter(|s| s.is_some()).count(), 16);
+    }
+}

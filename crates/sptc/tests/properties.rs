@@ -1,0 +1,127 @@
+//! Property-based tests for the SpTC emulation invariants.
+
+use proptest::prelude::*;
+use sptc::compress::{compress_row_2_4, decompress_row_2_4, row_satisfies_2_4};
+use sptc::f16::{pack_f16x2, unpack_f16x2, F16};
+use sptc::fragment::{F16Fragment, FragKind};
+use sptc::ldmatrix::conflict_ways;
+use sptc::metadata::{
+    deinterleave_two_ops, interleave_two_ops, pack_row_metadata, unpack_row_metadata,
+};
+use sptc::mma::{dense_tile_reference, mma_sp_tile};
+
+/// Strategy: a 2:4-satisfying row of `groups` groups with small-integer
+/// values (exact under any f32 accumulation order).
+fn row_2_4(groups: usize) -> impl Strategy<Value = Vec<F16>> {
+    proptest::collection::vec(
+        (
+            proptest::sample::subsequence(vec![0usize, 1, 2, 3], 0..=2),
+            proptest::collection::vec(-8i32..=8, 2),
+        ),
+        groups,
+    )
+    .prop_map(|groups| {
+        let mut row = Vec::with_capacity(groups.len() * 4);
+        for (positions, vals) in groups {
+            let mut g = [F16::ZERO; 4];
+            for (slot, &p) in positions.iter().enumerate() {
+                g[p] = F16::from_f32(vals[slot] as f32);
+            }
+            row.extend_from_slice(&g);
+        }
+        row
+    })
+}
+
+proptest! {
+    #[test]
+    fn f16_f32_roundtrip_is_identity_on_f16_values(bits in any::<u16>()) {
+        let h = F16::from_bits(bits);
+        let back = F16::from_f32(h.to_f32());
+        if h.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(back.to_bits(), h.to_bits());
+        }
+    }
+
+    #[test]
+    fn f16_conversion_is_monotone(a in -65504.0f32..65504.0, b in -65504.0f32..65504.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    #[test]
+    fn pack_f16x2_roundtrips(a in any::<u16>(), b in any::<u16>()) {
+        let (x, y) = unpack_f16x2(pack_f16x2(F16::from_bits(a), F16::from_bits(b)));
+        prop_assert_eq!(x.to_bits(), a);
+        prop_assert_eq!(y.to_bits(), b);
+    }
+
+    #[test]
+    fn compress_decompress_roundtrips(row in row_2_4(8)) {
+        prop_assert!(row_satisfies_2_4(&row));
+        let c = compress_row_2_4(&row).unwrap();
+        prop_assert_eq!(decompress_row_2_4(&c, row.len()), row);
+    }
+
+    #[test]
+    fn compressed_row_has_half_length(row in row_2_4(4)) {
+        let c = compress_row_2_4(&row).unwrap();
+        prop_assert_eq!(c.values.len(), row.len() / 2);
+        prop_assert_eq!(c.indices.len(), row.len() / 2);
+        // Indices are strictly increasing within each group.
+        for pair in c.indices.chunks_exact(2) {
+            prop_assert!(pair[0] < pair[1] || pair[0] != pair[1]);
+        }
+    }
+
+    #[test]
+    fn metadata_words_roundtrip(indices in proptest::collection::vec(0u8..4, 16)) {
+        let word = pack_row_metadata(&indices);
+        prop_assert_eq!(unpack_row_metadata(word).to_vec(), indices);
+    }
+
+    #[test]
+    fn interleave_is_a_bijection(
+        a in proptest::collection::vec(any::<u32>(), 16),
+        b in proptest::collection::vec(any::<u32>(), 16),
+    ) {
+        let op0: [u32; 16] = a.try_into().unwrap();
+        let op1: [u32; 16] = b.try_into().unwrap();
+        let block = interleave_two_ops(&op0, &op1);
+        let (r0, r1) = deinterleave_two_ops(&block);
+        prop_assert_eq!(r0, op0);
+        prop_assert_eq!(r1, op1);
+    }
+
+    #[test]
+    fn fragments_roundtrip_any_tile(seed in any::<u64>()) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for kind in [FragKind::A16x16, FragKind::B16x8, FragKind::B32x8] {
+            let (r, c) = kind.dims();
+            let tile: Vec<F16> = (0..r * c)
+                .map(|_| F16::from_f32(rng.gen_range(-100..100) as f32))
+                .collect();
+            let frag = F16Fragment::load(kind, &tile);
+            prop_assert_eq!(frag.store(), tile);
+        }
+    }
+
+    #[test]
+    fn sparse_mma_equals_dense_reference(rows in proptest::collection::vec(row_2_4(8), 16)) {
+        let a: Vec<F16> = rows.into_iter().flatten().collect();
+        let b: Vec<F16> = (0..32 * 8).map(|i| F16::from_f32(((i % 7) as f32) - 3.0)).collect();
+        let c = vec![0.0f32; 128];
+        let d = mma_sp_tile(&a, &b, &c).expect("2:4 by construction");
+        prop_assert_eq!(d, dense_tile_reference(&a, &b, &c, 32));
+    }
+
+    #[test]
+    fn conflict_ways_bounds(addrs in proptest::collection::vec((0usize..1024).prop_map(|a| a * 2), 1..8)) {
+        let ways = conflict_ways(&addrs);
+        prop_assert!(ways >= 1);
+        prop_assert!(ways <= addrs.len() * 4); // each row touches 4 banks
+    }
+}

@@ -1,0 +1,70 @@
+//! Hybrid frontier (the paper's §4.7 extension, implemented in
+//! `jigsaw_core::hybrid`): sweep sparsity from 40% to 98% and watch the
+//! workload migrate between the three execution routes — dense tensor
+//! cores, SpTC, CUDA cores — while staying competitive with both the
+//! pure-SpTC Jigsaw and dense cuBLAS at every point.
+//!
+//! ```text
+//! cargo run --release --example hybrid_frontier
+//! ```
+
+use baselines::{CublasGemm, SpmmKernel};
+use dlmc::{ValueDist, VectorSparseSpec};
+use gpu_sim::GpuSpec;
+use jigsaw_core::{HybridConfig, HybridPlan, JigsawConfig, JigsawSpmm};
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let (m, k, n) = (1024usize, 1024usize, 512usize);
+    println!("hybrid execution frontier on {m}x{k}, N={n}, v=4\n");
+    println!(
+        "{:>9} {:>22} {:>12} {:>12} {:>12} {:>10}",
+        "sparsity", "routes (sp/dn/cu)", "cuBLAS(us)", "jigsaw(us)", "hybrid(us)", "best"
+    );
+
+    for &sparsity in &[0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.98] {
+        let a = VectorSparseSpec {
+            rows: m,
+            cols: k,
+            sparsity,
+            v: 4,
+            dist: ValueDist::Uniform,
+            seed: (sparsity * 100.0) as u64,
+        }
+        .generate();
+
+        let cublas = CublasGemm::plan(&a).simulate(n, &spec).duration_us;
+        let base = JigsawSpmm::plan(&a, JigsawConfig::v4(32))
+            .simulate(n, &spec)
+            .duration_us;
+        let plan = HybridPlan::build(&a, HybridConfig::default());
+        let routes = plan.stats();
+        let hybrid = plan.simulate(n, &spec).duration_us;
+
+        let best = if hybrid <= base && hybrid <= cublas {
+            "hybrid"
+        } else if base <= cublas {
+            "jigsaw"
+        } else {
+            "cuBLAS"
+        };
+        println!(
+            "{:>8.0}% {:>8}/{:<5}/{:<6} {:>12.1} {:>12.1} {:>12.1} {:>10}",
+            sparsity * 100.0,
+            routes.sparse_windows,
+            routes.dense_windows,
+            routes.cuda_windows,
+            cublas,
+            base,
+            hybrid,
+            best
+        );
+    }
+
+    println!(
+        "\nThe dense route absorbs the windows the 2:4 reorder cannot fix\n\
+         (common below ~80% sparsity), the SpTC route takes over as\n\
+         sparsity rises, and the CUDA route mops up nearly-empty strips —\n\
+         the division of labor §4.7 proposes."
+    );
+}

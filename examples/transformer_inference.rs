@@ -1,0 +1,85 @@
+//! Transformer-layer inference scenario: prune the weight matrices of
+//! one encoder layer at 90% vector sparsity and compare Jigsaw against
+//! dense cuBLAS and the strongest sparse baseline for the whole layer.
+//!
+//! ```text
+//! cargo run --release --example transformer_inference
+//! ```
+
+use baselines::{Clasp, CublasGemm, SpmmKernel};
+use dlmc::{ValueDist, VectorSparseSpec};
+use gpu_sim::GpuSpec;
+use jigsaw_core::JigsawSpmm;
+
+/// The weight matrices of one Transformer encoder layer (d_model 1024,
+/// FFN 4096), as (name, rows, cols).
+const LAYER: &[(&str, usize, usize)] = &[
+    ("W_q", 1024, 1024),
+    ("W_k", 1024, 1024),
+    ("W_v", 1024, 1024),
+    ("W_o", 1024, 1024),
+    ("W_ffn_up", 4096, 1024),
+    ("W_ffn_down", 1024, 4096),
+];
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let batch_tokens = 512; // N of every SpMM in the layer
+    let sparsity = 0.90;
+    let v = 8;
+
+    println!(
+        "Encoder layer at {:.0}% vector sparsity (v={v}), batch of {batch_tokens} tokens\n",
+        sparsity * 100.0
+    );
+    println!(
+        "{:<12} {:>9} {:>12} {:>12} {:>12} {:>8}",
+        "weight", "shape", "cuBLAS(us)", "CLASP(us)", "Jigsaw(us)", "speedup"
+    );
+
+    let mut total = [0.0f64; 3];
+    for (i, &(name, m, k)) in LAYER.iter().enumerate() {
+        let a = VectorSparseSpec {
+            rows: m,
+            cols: k,
+            sparsity,
+            v,
+            dist: ValueDist::Uniform,
+            seed: 100 + i as u64,
+        }
+        .generate();
+
+        let dense_us = CublasGemm::plan(&a)
+            .simulate(batch_tokens, &spec)
+            .duration_us;
+        let clasp_us = Clasp::plan_best(&a, batch_tokens, &spec)
+            .simulate(batch_tokens, &spec)
+            .duration_us;
+        let (jig, tune) = JigsawSpmm::plan_tuned(&a, batch_tokens, &spec);
+        let jig_us = jig.simulate(batch_tokens, &spec).duration_us;
+
+        total[0] += dense_us;
+        total[1] += clasp_us;
+        total[2] += jig_us;
+        println!(
+            "{:<12} {:>4}x{:<4} {:>12.1} {:>12.1} {:>12.1} {:>7.2}x  (BLOCK_TILE={})",
+            name,
+            m,
+            k,
+            dense_us,
+            clasp_us,
+            jig_us,
+            dense_us / jig_us,
+            tune.block_tile_m
+        );
+    }
+
+    println!(
+        "\nlayer total: cuBLAS {:.1} us | CLASP {:.1} us | Jigsaw {:.1} us  ({:.2}x vs dense, {:.2}x vs CLASP)",
+        total[0],
+        total[1],
+        total[2],
+        total[0] / total[2],
+        total[1] / total[2],
+    );
+}

@@ -1,0 +1,44 @@
+//! # jigsaw — facade crate
+//!
+//! Re-exports the whole Jigsaw workspace behind one dependency:
+//!
+//! * [`core`](jigsaw_core) — the reorder, format, and kernel
+//!   (`jigsaw::JigsawSpmm` is the main entry point),
+//! * [`sptc`] — the Sparse Tensor Core functional emulation,
+//! * [`sim`](gpu_sim) — the A100-class timing simulator,
+//! * [`data`](dlmc) — the DLMC-style dataset substrate,
+//! * [`baselines`] — the comparator kernels.
+//!
+//! ```
+//! use jigsaw::{JigsawConfig, JigsawSpmm};
+//! use jigsaw::data::{dense_rhs, ValueDist, VectorSparseSpec};
+//!
+//! let a = VectorSparseSpec::new(128, 256, 0.9, 4, 1).generate();
+//! let b = dense_rhs(256, 32, ValueDist::SmallInt, 2);
+//! let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+//! let run = spmm.run(&b, &jigsaw::sim::GpuSpec::a100());
+//! assert_eq!(run.c, a.matmul_reference(&b));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use dlmc as data;
+pub use gpu_sim as sim;
+pub use jigsaw_core as core;
+pub use sptc;
+
+pub use jigsaw_core::{
+    execute_fast, execute_via_fragments, max_relative_error, JigsawConfig, JigsawFormat,
+    JigsawSpmm, ReorderPlan, ReorderStats, SpmmRun, TuneReport,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compose() {
+        let a = crate::data::VectorSparseSpec::new(32, 32, 0.8, 2, 1).generate();
+        let spmm = crate::JigsawSpmm::plan(&a, crate::JigsawConfig::v4(16));
+        assert!(spmm.format.measured_bytes() > 0);
+    }
+}

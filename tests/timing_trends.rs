@@ -1,0 +1,139 @@
+//! Integration tests of the *timing-model* claims — the qualitative
+//! shapes the paper's evaluation reports, asserted end-to-end across
+//! crates. (Functional correctness lives in `end_to_end.rs`.)
+
+use baselines::{Clasp, CublasGemm, Magicube, Sparta, SpmmKernel, Sputnik};
+use dlmc::{ValueDist, VectorSparseSpec};
+use gpu_sim::GpuSpec;
+use jigsaw_core::{JigsawConfig, JigsawSpmm};
+
+fn gen(m: usize, k: usize, sparsity: f64, v: usize, seed: u64) -> dlmc::Matrix {
+    VectorSparseSpec {
+        rows: m,
+        cols: k,
+        sparsity,
+        v,
+        dist: ValueDist::Ones,
+        seed,
+    }
+    .generate()
+}
+
+fn jigsaw_cycles(a: &dlmc::Matrix, n: usize, spec: &GpuSpec) -> f64 {
+    JigsawSpmm::plan_tuned(a, n, spec).0.simulate(n, spec).duration_cycles
+}
+
+#[test]
+fn speedup_grows_with_sparsity() {
+    // Paper Table 2, column cuBLAS: monotone in sparsity at fixed v.
+    let spec = GpuSpec::a100();
+    let n = 512;
+    let mut last = 0.0;
+    for sparsity in [0.80, 0.90, 0.95, 0.98] {
+        let a = gen(1024, 1024, sparsity, 8, 3);
+        let cublas = CublasGemm::plan(&a).simulate(n, &spec).duration_cycles;
+        let speedup = cublas / jigsaw_cycles(&a, n, &spec);
+        assert!(
+            speedup > last,
+            "speedup not monotone at {sparsity}: {speedup} after {last}"
+        );
+        last = speedup;
+    }
+    assert!(last > 2.0, "98% v8 speedup too small: {last}");
+}
+
+#[test]
+fn speedup_grows_with_vector_width() {
+    // Paper §4.2: larger v -> more zero columns -> bigger speedups.
+    let spec = GpuSpec::a100();
+    let n = 512;
+    let mut last = 0.0;
+    for v in [2usize, 4, 8] {
+        let a = gen(1024, 1024, 0.95, v, 4);
+        let cublas = CublasGemm::plan(&a).simulate(n, &spec).duration_cycles;
+        let speedup = cublas / jigsaw_cycles(&a, n, &spec);
+        assert!(speedup > last, "v={v}: {speedup} after {last}");
+        last = speedup;
+    }
+}
+
+#[test]
+fn jigsaw_beats_every_sparse_baseline_at_95_v8() {
+    let spec = GpuSpec::a100();
+    let a = gen(1024, 1024, 0.95, 8, 5);
+    let n = 512;
+    let tj = jigsaw_cycles(&a, n, &spec);
+    let baselines: Vec<(&str, f64)> = vec![
+        (
+            "CLASP",
+            Clasp::plan_best(&a, n, &spec).simulate(n, &spec).duration_cycles,
+        ),
+        ("Magicube", Magicube::plan(&a, 8).simulate(n, &spec).duration_cycles),
+        ("Sputnik", Sputnik::plan(&a).simulate(n, &spec).duration_cycles),
+        ("SparTA", Sparta::plan(&a).simulate(n, &spec).duration_cycles),
+    ];
+    for (name, t) in baselines {
+        assert!(t / tj >= 0.9, "{name} unexpectedly beats Jigsaw: {}", t / tj);
+    }
+}
+
+#[test]
+fn sputnik_trails_cublas_at_80_percent() {
+    // Paper §4.2: Sputnik reaches cuBLAS parity only near 98%.
+    let spec = GpuSpec::a100();
+    let a = gen(1024, 1024, 0.80, 4, 6);
+    let n = 512;
+    let cublas = CublasGemm::plan(&a).simulate(n, &spec).duration_cycles;
+    let sputnik = Sputnik::plan(&a).simulate(n, &spec).duration_cycles;
+    assert!(
+        sputnik > cublas,
+        "Sputnik {sputnik} should trail cuBLAS {cublas} at 80%"
+    );
+}
+
+#[test]
+fn block_tile_16_wins_at_extreme_sparsity() {
+    // Paper §4.4 (v4): smaller BLOCK_TILE skips more at high sparsity.
+    let spec = GpuSpec::a100();
+    let a = gen(1024, 1024, 0.98, 8, 7);
+    let (_, report) = JigsawSpmm::plan_tuned(&a, 512, &spec);
+    assert_eq!(
+        report.block_tile_m, 16,
+        "tuning picked {} (candidates {:?})",
+        report.block_tile_m, report.candidate_cycles
+    );
+}
+
+#[test]
+fn duration_roughly_linear_in_n() {
+    // Figure 10's x-axis behaviour: doubling N shouldn't more than
+    // ~2.5x the duration nor leave it flat once the device is filled.
+    let spec = GpuSpec::a100();
+    let a = gen(1024, 1024, 0.9, 4, 8);
+    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+    let t512 = spmm.simulate(512, &spec).duration_cycles;
+    let t1024 = spmm.simulate(1024, &spec).duration_cycles;
+    let ratio = t1024 / t512;
+    assert!(
+        (1.2..=2.6).contains(&ratio),
+        "N-scaling ratio {ratio} out of range"
+    );
+}
+
+#[test]
+fn ablation_counters_move_the_right_way() {
+    // Condensed Fig 12 mechanism check on one workload.
+    let spec = GpuSpec::a100();
+    let a = gen(512, 1024, 0.95, 8, 9);
+    let n = 256;
+    let s0 = JigsawSpmm::plan(&a, JigsawConfig::v0()).simulate(n, &spec);
+    let s1 = JigsawSpmm::plan(&a, JigsawConfig::v1()).simulate(n, &spec);
+    let s2 = JigsawSpmm::plan(&a, JigsawConfig::v2()).simulate(n, &spec);
+    let s3 = JigsawSpmm::plan(&a, JigsawConfig::v3()).simulate(n, &spec);
+    // v1 kills bank conflicts.
+    assert!(s0.totals.smem_bank_conflicts > 100 * s1.totals.smem_bank_conflicts.max(1));
+    // v2 cuts long-scoreboard pressure.
+    assert!(s2.long_scoreboard_per_instr < s1.long_scoreboard_per_instr);
+    // v3 issues fewer shared-memory instructions.
+    assert!(s3.totals.smem_instructions < s2.totals.smem_instructions);
+}
