@@ -29,9 +29,24 @@ pub struct GemmTile {
 
 /// The library's selectable tiles (a representative subset).
 pub const TILES: [GemmTile; 3] = [
-    GemmTile { m: 128, n: 128, k_step: 32, warps: 8 },
-    GemmTile { m: 128, n: 64, k_step: 32, warps: 8 },
-    GemmTile { m: 64, n: 64, k_step: 32, warps: 4 },
+    GemmTile {
+        m: 128,
+        n: 128,
+        k_step: 32,
+        warps: 8,
+    },
+    GemmTile {
+        m: 128,
+        n: 64,
+        k_step: 32,
+        warps: 8,
+    },
+    GemmTile {
+        m: 64,
+        n: 64,
+        k_step: 32,
+        warps: 4,
+    },
 ];
 
 /// Picks a tile the way the library's heuristic does: the biggest tile

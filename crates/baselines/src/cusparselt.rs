@@ -247,9 +247,6 @@ mod tests {
         let sparse = CuSparseLt::plan(&a).unwrap().simulate(2048, &spec);
         let dense = crate::cublas::CublasGemm::plan(&a).simulate(2048, &spec);
         let ratio = dense.duration_cycles / sparse.duration_cycles;
-        assert!(
-            (1.4..=2.6).contains(&ratio),
-            "dense/sparse ratio {ratio}"
-        );
+        assert!((1.4..=2.6).contains(&ratio), "dense/sparse ratio {ratio}");
     }
 }

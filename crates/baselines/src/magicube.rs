@@ -60,7 +60,11 @@ impl Magicube {
         // v = 8 path: tuned kernel (fewer bank conflicts, lighter
         // dequantization inner loop, per the paper's Nsight findings).
         let gather_inflation = 1usize;
-        let (conflict_ways, dequant_cycles) = if self.v == 8 { (1u32, 2u32) } else { (2u32, 3u32) };
+        let (conflict_ways, dequant_cycles) = if self.v == 8 {
+            (1u32, 2u32)
+        } else {
+            (2u32, 3u32)
+        };
 
         let mut blocks = Vec::new();
         for (si, &cols) in self.strip_cols.iter().enumerate() {

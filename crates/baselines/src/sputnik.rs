@@ -90,10 +90,7 @@ impl Sputnik {
         let csr = Csr::from_matrix(a);
         let mut swizzled_rows: Vec<usize> = (0..csr.rows).collect();
         swizzled_rows.sort_by_key(|&r| std::cmp::Reverse(csr.row_nnz(r)));
-        Sputnik {
-            csr,
-            swizzled_rows,
-        }
+        Sputnik { csr, swizzled_rows }
     }
 
     fn build_launch(&self, n: usize, spec: &GpuSpec) -> KernelLaunch {

@@ -29,16 +29,12 @@ fn bench_tile_reorder(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithm1_tile_reorder");
     for &bits in &[1u32, 3, 6] {
         let masks = random_masks(bits, 42);
-        group.bench_with_input(
-            BenchmarkId::new("bank_aware", bits),
-            &masks,
-            |b, masks| b.iter(|| black_box(reorder_tile(masks, true, DEFAULT_WORK_LIMIT))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("first_fit", bits),
-            &masks,
-            |b, masks| b.iter(|| black_box(reorder_tile(masks, false, DEFAULT_WORK_LIMIT))),
-        );
+        group.bench_with_input(BenchmarkId::new("bank_aware", bits), &masks, |b, masks| {
+            b.iter(|| black_box(reorder_tile(masks, true, DEFAULT_WORK_LIMIT)))
+        });
+        group.bench_with_input(BenchmarkId::new("first_fit", bits), &masks, |b, masks| {
+            b.iter(|| black_box(reorder_tile(masks, false, DEFAULT_WORK_LIMIT)))
+        });
         // DESIGN.md §6 ablation: the paper's literal bidirectional
         // search vs the memoized exact-cover DFS.
         group.bench_with_input(
@@ -89,5 +85,10 @@ fn bench_full_plan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tile_reorder, bench_strip_reorder, bench_full_plan);
+criterion_group!(
+    benches,
+    bench_tile_reorder,
+    bench_strip_reorder,
+    bench_full_plan
+);
 criterion_main!(benches);

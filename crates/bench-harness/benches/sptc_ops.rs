@@ -16,7 +16,7 @@ fn random_2_4_tile(seed: u64) -> Vec<F16> {
     for r in 0..16 {
         for g in 0..8 {
             for _ in 0..2 {
-                let p = rng.gen_range(0..4);
+                let p = rng.gen_range(0..4usize);
                 tile[r * 32 + g * 4 + p] = F16::from_f32(rng.gen_range(-4..=4) as f32);
             }
         }
@@ -70,5 +70,11 @@ fn bench_mma_sp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_f16, bench_compress, bench_fragments, bench_mma_sp);
+criterion_group!(
+    benches,
+    bench_f16,
+    bench_compress,
+    bench_fragments,
+    bench_mma_sp
+);
 criterion_main!(benches);

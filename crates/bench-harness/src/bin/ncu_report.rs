@@ -21,7 +21,11 @@ fn main() {
     let (jig, _) = JigsawSpmm::plan_tuned(&a, n, &spec);
     println!(
         "{}",
-        ncu_style_report("jigsaw_spmm (95% sparse, v=8)", &jig.simulate(n, &spec), &spec)
+        ncu_style_report(
+            "jigsaw_spmm (95% sparse, v=8)",
+            &jig.simulate(n, &spec),
+            &spec
+        )
     );
     println!(
         "{}",

@@ -17,32 +17,53 @@ struct Variant {
 
 fn variants() -> Vec<Variant> {
     let base = GpuSpec::a100();
-    let mut v = vec![Variant { name: "baseline A100", spec: base.clone() }];
+    let mut v = vec![Variant {
+        name: "baseline A100",
+        spec: base.clone(),
+    }];
 
     let mut s = base.clone();
     s.l2_bytes_per_cycle *= 0.7;
-    v.push(Variant { name: "L2 bw -30%", spec: s });
+    v.push(Variant {
+        name: "L2 bw -30%",
+        spec: s,
+    });
 
     let mut s = base.clone();
     s.l2_bytes_per_cycle *= 1.3;
-    v.push(Variant { name: "L2 bw +30%", spec: s });
+    v.push(Variant {
+        name: "L2 bw +30%",
+        spec: s,
+    });
 
     let mut s = base.clone();
     s.gmem_latency = (s.gmem_latency as f64 * 1.5) as u64;
     s.l2_latency = (s.l2_latency as f64 * 1.5) as u64;
-    v.push(Variant { name: "mem latency +50%", spec: s });
+    v.push(Variant {
+        name: "mem latency +50%",
+        spec: s,
+    });
 
     let mut s = base.clone();
     s.dram_bytes_per_cycle *= 0.7;
-    v.push(Variant { name: "DRAM bw -30%", spec: s });
+    v.push(Variant {
+        name: "DRAM bw -30%",
+        spec: s,
+    });
 
     let mut s = base.clone();
     s.smem_latency *= 2;
-    v.push(Variant { name: "smem latency x2", spec: s });
+    v.push(Variant {
+        name: "smem latency x2",
+        spec: s,
+    });
 
     let mut s = base.clone();
     s.kernel_fixed_overhead *= 3;
-    v.push(Variant { name: "fixed overhead x3", spec: s });
+    v.push(Variant {
+        name: "fixed overhead x3",
+        spec: s,
+    });
 
     v
 }
@@ -75,7 +96,10 @@ fn main() {
         let tj = jig.simulate(n, spec).duration_cycles;
         let speedups = [
             CublasGemm::plan(&a).simulate(n, spec).duration_cycles / tj,
-            Clasp::plan_best(&a, n, spec).simulate(n, spec).duration_cycles / tj,
+            Clasp::plan_best(&a, n, spec)
+                .simulate(n, spec)
+                .duration_cycles
+                / tj,
             Magicube::plan(&a, 8).simulate(n, spec).duration_cycles / tj,
             Sputnik::plan(&a).simulate(n, spec).duration_cycles / tj,
         ];

@@ -1,0 +1,13 @@
+//! Serving-layer experiment: batched vs unbatched × warm vs cold on
+//! the virtual-clock scheduler (see `jigsaw_serve::sim`).
+use bench_harness::experiments::serving;
+use bench_harness::runner::write_json;
+use bench_harness::suite;
+use gpu_sim::GpuSpec;
+
+fn main() {
+    let requests = if suite::full_suite() { 256 } else { 64 };
+    let result = serving::run(&GpuSpec::a100(), requests);
+    println!("{}", result.to_text());
+    write_json("serving", &result);
+}

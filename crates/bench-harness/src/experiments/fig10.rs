@@ -42,9 +42,7 @@ pub fn run(comparisons: &[Comparison]) -> Fig10 {
                 for &method in METHODS {
                     let speedups: Vec<f64> = comparisons
                         .iter()
-                        .filter(|c| {
-                            (c.sparsity - sparsity).abs() < 1e-9 && c.v == v && c.n == n
-                        })
+                        .filter(|c| (c.sparsity - sparsity).abs() < 1e-9 && c.v == v && c.n == n)
                         .filter_map(|c| {
                             let cublas = c.duration("cuBLAS")?;
                             let t = c.duration(method)?;
@@ -73,10 +71,7 @@ impl Fig10 {
         self.points
             .iter()
             .find(|p| {
-                (p.sparsity - sparsity).abs() < 1e-9
-                    && p.v == v
-                    && p.n == n
-                    && p.method == method
+                (p.sparsity - sparsity).abs() < 1e-9 && p.v == v && p.n == n && p.method == method
             })
             .map(|p| p.speedup_vs_cublas)
             .unwrap_or(f64::NAN)
@@ -97,9 +92,11 @@ impl Fig10 {
                     .iter()
                     .map(|&n| {
                         std::iter::once(n.to_string())
-                            .chain(METHODS.iter().map(|&m| {
-                                format!("{:.2}", self.speedup(sparsity, v, n, m))
-                            }))
+                            .chain(
+                                METHODS
+                                    .iter()
+                                    .map(|&m| format!("{:.2}", self.speedup(sparsity, v, n, m))),
+                            )
                             .collect()
                     })
                     .collect();

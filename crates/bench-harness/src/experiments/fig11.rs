@@ -85,8 +85,7 @@ pub fn run() -> Fig11 {
                             + (sparsity * 1000.0) as u64,
                     }
                     .generate();
-                    let stats =
-                        ReorderPlan::build(&a, &JigsawConfig::v4(block_tile)).stats();
+                    let stats = ReorderPlan::build(&a, &JigsawConfig::v4(block_tile)).stats();
                     total += 1;
                     if stats.success {
                         successes += 1;
@@ -111,9 +110,9 @@ pub fn run() -> Fig11 {
 impl Fig11 {
     /// Point lookup.
     pub fn point(&self, sparsity: f64, v: usize, bt: usize) -> Option<&Point> {
-        self.points.iter().find(|p| {
-            (p.sparsity - sparsity).abs() < 1e-9 && p.v == v && p.block_tile == bt
-        })
+        self.points
+            .iter()
+            .find(|p| (p.sparsity - sparsity).abs() < 1e-9 && p.v == v && p.block_tile == bt)
     }
 
     /// Renders the table.
@@ -127,23 +126,24 @@ impl Fig11 {
             let header: Vec<String> = std::iter::once("sparsity".to_string())
                 .chain(dlmc::VECTOR_WIDTHS.iter().map(|v| format!("v={v}")))
                 .collect();
-            let rows: Vec<Vec<String>> = SPARSITIES
-                .iter()
-                .map(|&s| {
-                    std::iter::once(format!("{:.0}%", s * 100.0))
-                        .chain(dlmc::VECTOR_WIDTHS.iter().map(|&v| {
-                            match self.point(s, v, bt) {
-                                Some(p) => format!(
-                                    "{:.0}% (K×{:.2})",
-                                    100.0 * p.success_rate,
-                                    p.avg_k_fraction
-                                ),
-                                None => "-".to_string(),
-                            }
-                        }))
-                        .collect()
-                })
-                .collect();
+            let rows: Vec<Vec<String>> =
+                SPARSITIES
+                    .iter()
+                    .map(|&s| {
+                        std::iter::once(format!("{:.0}%", s * 100.0))
+                            .chain(dlmc::VECTOR_WIDTHS.iter().map(
+                                |&v| match self.point(s, v, bt) {
+                                    Some(p) => format!(
+                                        "{:.0}% (K×{:.2})",
+                                        100.0 * p.success_rate,
+                                        p.avg_k_fraction
+                                    ),
+                                    None => "-".to_string(),
+                                },
+                            ))
+                            .collect()
+                    })
+                    .collect();
             out.push_str(&render_table(&header, &rows));
         }
         out

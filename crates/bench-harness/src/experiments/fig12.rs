@@ -46,10 +46,14 @@ pub const V: usize = 8;
 /// Output width used for the counters discussion (§4.4 uses 512).
 pub const N: usize = 512;
 
+/// Per-version sample: (speedup, conflicts/smem, long-sb, short-sb,
+/// smem/mma, duration).
+type VersionSample = (f64, f64, f64, f64, f64, f64);
+
 /// Runs the ablation.
 pub fn run(spec: &GpuSpec) -> Fig12 {
     // Per shape: cuBLAS reference + all versions.
-    let shape_results: Vec<Vec<(f64, f64, f64, f64, f64, f64)>> = shapes()
+    let shape_results: Vec<Vec<VersionSample>> = shapes()
         .par_iter()
         .map(|shape| {
             let a = dlmc::VectorSparseSpec {
@@ -93,8 +97,7 @@ pub fn run(spec: &GpuSpec) -> Fig12 {
                     / stats.totals.smem_instructions.max(1) as f64,
                 stats.long_scoreboard_per_instr,
                 stats.short_scoreboard_per_instr,
-                stats.totals.smem_instructions as f64
-                    / stats.totals.mma_instructions.max(1) as f64,
+                stats.totals.smem_instructions as f64 / stats.totals.mma_instructions.max(1) as f64,
                 stats.duration_cycles,
             ));
             per_version
@@ -104,9 +107,8 @@ pub fn run(spec: &GpuSpec) -> Fig12 {
     let versions = (0..5)
         .map(|vi| {
             let speedups: Vec<f64> = shape_results.iter().map(|s| s[vi].0).collect();
-            let mean = |f: fn(&(f64, f64, f64, f64, f64, f64)) -> f64| {
-                shape_results.iter().map(|s| f(&s[vi])).sum::<f64>()
-                    / shape_results.len() as f64
+            let mean = |f: fn(&VersionSample) -> f64| {
+                shape_results.iter().map(|s| f(&s[vi])).sum::<f64>() / shape_results.len() as f64
             };
             VersionResult {
                 version: format!("v{vi}"),

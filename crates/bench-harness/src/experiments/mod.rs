@@ -8,5 +8,6 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod overhead;
+pub mod serving;
 pub mod table2;
 pub mod table3;

@@ -10,8 +10,7 @@ use dlmc::{ValueDist, VectorSparseSpec};
 use crate::runner::render_table;
 
 /// Paper §4.6: fraction of the dense footprint per `BLOCK_TILE`.
-pub const PAPER_FRACTIONS: [(usize, f64); 3] =
-    [(16, 0.5625), (32, 0.50), (64, 0.46875)];
+pub const PAPER_FRACTIONS: [(usize, f64); 3] = [(16, 0.5625), (32, 0.50), (64, 0.46875)];
 
 /// One row of the overhead table.
 #[derive(Clone, Debug, Serialize, Deserialize)]

@@ -1,0 +1,207 @@
+//! Serving-layer experiment: the same seeded open-loop workload run
+//! under {batched, unbatched} × {warm, cold} policies on the
+//! virtual-clock scheduler. Quantifies the two amortization effects
+//! the serving layer stacks on top of the kernel: micro-batching
+//! (simulated SpMM cost is sublinear in N — paper Fig 10) and plan
+//! caching (the §3.1 one-time reorder, charged only on cold starts).
+
+use gpu_sim::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+use jigsaw_serve::{
+    default_zoo, generate_schedule, simulate_schedule, LoadSpec, ModelRegistry, RegistryConfig,
+    SimConfig,
+};
+
+use crate::runner::render_table;
+
+/// One serving configuration's outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Row {
+    /// Policy label (`batched+warm`, `unbatched+cold`, …).
+    pub policy: String,
+    /// Requests completed.
+    pub completed: u64,
+    /// Kernel launches (batches).
+    pub batches: u64,
+    /// Mean requests coalesced per batch.
+    pub avg_occupancy: f64,
+    /// Virtual-time makespan, cycles.
+    pub makespan_cycles: f64,
+    /// Completed requests per 10⁹ cycles of elapsed virtual time.
+    pub requests_per_gcycle: f64,
+    /// p50 request latency, cycles.
+    pub p50_latency_cycles: f64,
+    /// p95 request latency, cycles.
+    pub p95_latency_cycles: f64,
+    /// p99 request latency, cycles.
+    pub p99_latency_cycles: f64,
+    /// Registry hits over the run.
+    pub cache_hits: u64,
+    /// Registry misses over the run.
+    pub cache_misses: u64,
+}
+
+/// The serving experiment result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Serving {
+    /// Requests in the workload.
+    pub requests: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// One row per policy.
+    pub rows: Vec<Row>,
+}
+
+/// Batching window, cycles (~35 µs at the A100 clock).
+const WINDOW_CYCLES: f64 = 50_000.0;
+/// Maximum batch width, columns.
+const MAX_BATCH_N: usize = 256;
+
+fn run_policy(
+    label: &str,
+    batched: bool,
+    warm: bool,
+    schedule: &[jigsaw_serve::SimRequest],
+    zoo_seed: u64,
+    spec: &GpuSpec,
+) -> Row {
+    // A fresh registry per policy so "cold" truly re-plans.
+    let registry = ModelRegistry::new(RegistryConfig::default()).expect("no artifact dir");
+    for m in default_zoo(zoo_seed) {
+        registry.register(&m.name, m.weights(), m.config);
+    }
+    if warm {
+        registry.warm_all().expect("zoo models plan");
+    }
+    let cfg = if batched {
+        SimConfig::batched(spec.clone(), MAX_BATCH_N, WINDOW_CYCLES)
+    } else {
+        SimConfig::unbatched(spec.clone())
+    };
+    let report = simulate_schedule(&registry, schedule, &cfg).expect("schedule runs");
+    let stats = registry.stats();
+    Row {
+        policy: label.to_string(),
+        completed: report.metrics.completed,
+        batches: report.metrics.batches,
+        avg_occupancy: report.metrics.avg_batch_occupancy(),
+        makespan_cycles: report.makespan_cycles,
+        requests_per_gcycle: report.requests_per_gcycle(),
+        p50_latency_cycles: report.metrics.latency_cycles.percentile(50.0),
+        p95_latency_cycles: report.metrics.latency_cycles.percentile(95.0),
+        p99_latency_cycles: report.metrics.latency_cycles.percentile(99.0),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    }
+}
+
+/// Runs all four policies over one seeded workload.
+pub fn run(spec: &GpuSpec, requests: usize) -> Serving {
+    let zoo_seed = 90;
+    let load = LoadSpec {
+        requests,
+        seed: 0xBEEF,
+        n_choices: vec![8, 16, 32],
+        mean_gap_cycles: 2_000.0,
+    };
+    let schedule = generate_schedule(&default_zoo(zoo_seed), &load);
+    let rows = vec![
+        run_policy("batched+warm", true, true, &schedule, zoo_seed, spec),
+        run_policy("batched+cold", true, false, &schedule, zoo_seed, spec),
+        run_policy("unbatched+warm", false, true, &schedule, zoo_seed, spec),
+        run_policy("unbatched+cold", false, false, &schedule, zoo_seed, spec),
+    ];
+    Serving {
+        requests,
+        seed: load.seed,
+        rows,
+    }
+}
+
+impl Serving {
+    /// Throughput of a policy.
+    pub fn throughput(&self, policy: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.policy == policy)
+            .map(|r| r.requests_per_gcycle)
+    }
+
+    /// Renders the table.
+    pub fn to_text(&self) -> String {
+        let header: Vec<String> = [
+            "policy",
+            "req/Gcycle",
+            "batches",
+            "occupancy",
+            "p50 lat",
+            "p99 lat",
+            "cache hit/miss",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    format!("{:.1}", r.requests_per_gcycle),
+                    r.batches.to_string(),
+                    format!("{:.2}", r.avg_occupancy),
+                    format!("{:.0}", r.p50_latency_cycles),
+                    format!("{:.0}", r.p99_latency_cycles),
+                    format!("{}/{}", r.cache_hits, r.cache_misses),
+                ]
+            })
+            .collect();
+        format!(
+            "Serving — {} requests, seed {:#x}; batching window {} cycles,\n\
+             max batch {} columns (virtual-clock scheduler, A100 spec)\n{}",
+            self.requests,
+            self.seed,
+            WINDOW_CYCLES,
+            MAX_BATCH_N,
+            render_table(&header, &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_warm_beats_unbatched_cold() {
+        let result = run(&GpuSpec::a100(), 48);
+        assert_eq!(result.rows.len(), 4);
+        for r in &result.rows {
+            assert_eq!(r.completed, 48, "{} completed all", r.policy);
+            assert!(r.requests_per_gcycle > 0.0);
+        }
+        let best = result.throughput("batched+warm").unwrap();
+        let worst = result.throughput("unbatched+cold").unwrap();
+        assert!(
+            best > worst,
+            "batched+warm ({best:.1}) must beat unbatched+cold ({worst:.1})"
+        );
+        // Batching is the dominant axis: warm-vs-cold only shifts the
+        // one-time planning charge.
+        let batched_cold = result.throughput("batched+cold").unwrap();
+        let unbatched_warm = result.throughput("unbatched+warm").unwrap();
+        assert!(best >= batched_cold);
+        assert!(unbatched_warm > worst);
+        let warm_row = result
+            .rows
+            .iter()
+            .find(|r| r.policy == "batched+warm")
+            .unwrap();
+        assert_eq!(warm_row.cache_misses, 4, "only the warm-up plans");
+        assert!(warm_row.cache_hits >= warm_row.batches);
+        assert!(warm_row.avg_occupancy > 1.0, "requests were coalesced");
+        let text = result.to_text();
+        assert!(text.contains("batched+warm") && text.contains("req/Gcycle"));
+    }
+}

@@ -18,8 +18,7 @@ pub const V_VALUES: &[usize] = &[32, 64, 128];
 /// `(sparsity, m_blk)` pairs: VENOM's two levels keep 2-of-`m_blk`
 /// vector columns and 2:4 scalars inside, so sparsity =
 /// `1 - (2/m_blk)/2 = 1 - 1/m_blk`.
-pub const SPARSITY_MBLK: &[(f64, usize)] =
-    &[(0.80, 5), (0.90, 10), (0.95, 20), (0.98, 50)];
+pub const SPARSITY_MBLK: &[(f64, usize)] = &[(0.80, 5), (0.90, 10), (0.95, 20), (0.98, 50)];
 
 /// The paper's Table 3 `(sparsity, v, method, avg_speedup)`.
 pub const PAPER_TABLE3: &[(f64, usize, &str, f64)] = &[
@@ -136,9 +135,9 @@ pub fn run(spec: &GpuSpec) -> Table3 {
 impl Table3 {
     /// Cell lookup.
     pub fn cell(&self, sparsity: f64, v: usize, method: &str) -> Option<&Cell> {
-        self.cells.iter().find(|c| {
-            (c.sparsity - sparsity).abs() < 1e-9 && c.v == v && c.method == method
-        })
+        self.cells
+            .iter()
+            .find(|c| (c.sparsity - sparsity).abs() < 1e-9 && c.v == v && c.method == method)
     }
 
     /// Renders the paper-style table.

@@ -73,16 +73,10 @@ pub fn experiments_markdown(
                 let measured = table2.cell(s, v, method);
                 let paper = table2::PAPER_TABLE2
                     .iter()
-                    .find(|&&(ps, pv, pm, _, _)| {
-                        (ps - s).abs() < 1e-9 && pv == v && pm == method
-                    });
+                    .find(|&&(ps, pv, pm, _, _)| (ps - s).abs() < 1e-9 && pv == v && pm == method);
                 match (measured, paper) {
                     (Some(c), Some(&(_, _, _, pa, px))) => {
-                        let _ = write!(
-                            row,
-                            " {:.2}/{:.2} ({pa:.2}/{px:.2}) |",
-                            c.avg, c.max
-                        );
+                        let _ = write!(row, " {:.2}/{:.2} ({pa:.2}/{px:.2}) |", c.avg, c.max);
                     }
                     (Some(c), None) => {
                         let _ = write!(row, " {:.2}/{:.2} |", c.avg, c.max);
@@ -144,9 +138,7 @@ pub fn experiments_markdown(
             let cell = |v: usize| {
                 fig11
                     .point(s, v, bt)
-                    .map(|p| {
-                        format!("{:.0}% (K×{:.2})", 100.0 * p.success_rate, p.avg_k_fraction)
-                    })
+                    .map(|p| format!("{:.0}% (K×{:.2})", 100.0 * p.success_rate, p.avg_k_fraction))
                     .unwrap_or_else(|| "-".to_string())
             };
             let _ = writeln!(

@@ -83,10 +83,16 @@ pub fn compare_all_on(a: &Matrix, w: &Workload, n: usize, spec: &GpuSpec) -> Com
     durations.push(("Jigsaw".to_string(), jig.simulate(n, spec).duration_cycles));
 
     let cublas = CublasGemm::plan(a);
-    durations.push((cublas.name().to_string(), cublas.simulate(n, spec).duration_cycles));
+    durations.push((
+        cublas.name().to_string(),
+        cublas.simulate(n, spec).duration_cycles,
+    ));
 
     let clasp = Clasp::plan_best(a, n, spec);
-    durations.push((clasp.name().to_string(), clasp.simulate(n, spec).duration_cycles));
+    durations.push((
+        clasp.name().to_string(),
+        clasp.simulate(n, spec).duration_cycles,
+    ));
 
     let magicube = Magicube::plan(a, w.v);
     durations.push((
@@ -101,7 +107,10 @@ pub fn compare_all_on(a: &Matrix, w: &Workload, n: usize, spec: &GpuSpec) -> Com
     ));
 
     let sparta = Sparta::plan(a);
-    durations.push((sparta.name().to_string(), sparta.simulate(n, spec).duration_cycles));
+    durations.push((
+        sparta.name().to_string(),
+        sparta.simulate(n, spec).duration_cycles,
+    ));
 
     Comparison {
         shape: w.shape.name.to_string(),
@@ -164,7 +173,11 @@ mod tests {
     #[test]
     fn comparison_contains_all_methods() {
         let w = Workload {
-            shape: LayerShape { m: 128, k: 128, name: "tiny" },
+            shape: LayerShape {
+                m: 128,
+                k: 128,
+                name: "tiny",
+            },
             sparsity: 0.9,
             v: 4,
             seed: 3,

@@ -39,14 +39,28 @@ impl Workload {
 
 /// Shapes used by the quick suite.
 pub const QUICK_SHAPES: &[LayerShape] = &[
-    LayerShape { m: 512, k: 512, name: "attention-qkv" },
-    LayerShape { m: 2048, k: 512, name: "ffn-expand" },
-    LayerShape { m: 2048, k: 2048, name: "decoder-large" },
+    LayerShape {
+        m: 512,
+        k: 512,
+        name: "attention-qkv",
+    },
+    LayerShape {
+        m: 2048,
+        k: 512,
+        name: "ffn-expand",
+    },
+    LayerShape {
+        m: 2048,
+        k: 2048,
+        name: "decoder-large",
+    },
 ];
 
 /// True when the environment selects the full shape table.
 pub fn full_suite() -> bool {
-    std::env::var("JIGSAW_SUITE").map(|v| v == "full").unwrap_or(false)
+    std::env::var("JIGSAW_SUITE")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 /// The shape list for the current suite size.

@@ -81,8 +81,7 @@ impl VectorSparseSpec {
 
         // Exact per-lane nonzero budget so measured sparsity tracks the
         // target tightly even for small matrices.
-        let nnz_per_lane =
-            ((1.0 - self.sparsity) * self.cols as f64).round() as usize;
+        let nnz_per_lane = ((1.0 - self.sparsity) * self.cols as f64).round() as usize;
         let nnz_per_lane = nnz_per_lane.min(self.cols);
 
         let mut cols_pool: Vec<usize> = (0..self.cols).collect();
@@ -139,13 +138,7 @@ pub fn dense_rhs(k: usize, n: usize, dist: ValueDist, seed: u64) -> Matrix {
 /// sparsity is reached — per lane, like practical 1-D block pruning.
 /// Unlike random pruning, the surviving pattern correlates with value
 /// magnitude, which the returned matrix preserves.
-pub fn magnitude_pruned(
-    rows: usize,
-    cols: usize,
-    sparsity: f64,
-    v: usize,
-    seed: u64,
-) -> Matrix {
+pub fn magnitude_pruned(rows: usize, cols: usize, sparsity: f64, v: usize, seed: u64) -> Matrix {
     assert!(v >= 1);
     assert_eq!(rows % v, 0);
     assert!((0.0..=1.0).contains(&sparsity));
@@ -415,7 +408,10 @@ mod tests {
 
     #[test]
     fn magnitude_pruning_is_deterministic() {
-        assert_eq!(magnitude_pruned(64, 64, 0.8, 2, 9), magnitude_pruned(64, 64, 0.8, 2, 9));
+        assert_eq!(
+            magnitude_pruned(64, 64, 0.8, 2, 9),
+            magnitude_pruned(64, 64, 0.8, 2, 9)
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@ pub mod matrix;
 pub mod shapes;
 pub mod smtx;
 
-pub use generator::{dense_rhs, magnitude_pruned, venom_pruned, venom_two_level, ValueDist, VectorSparseSpec};
+pub use generator::{
+    dense_rhs, magnitude_pruned, venom_pruned, venom_two_level, ValueDist, VectorSparseSpec,
+};
 pub use matrix::Matrix;
 pub use shapes::{
     LayerShape, N_SWEEP, REORDER_STUDY_SHAPES, SPARSITY_LEVELS, TRANSFORMER_SHAPES, VECTOR_WIDTHS,

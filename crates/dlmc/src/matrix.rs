@@ -76,12 +76,11 @@ impl Matrix {
     /// order — the bit-exact reference every kernel is validated against.
     pub fn matmul_reference(&self, rhs: &Matrix) -> Vec<f32> {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let (m, n) = (self.rows, rhs.cols);
         let mut out = vec![0.0f32; m * n];
         for r in 0..m {
             let a_row = self.row(r);
-            for kk in 0..k {
-                let a = a_row[kk];
+            for (kk, &a) in a_row.iter().enumerate() {
                 if a.is_zero() {
                     continue;
                 }

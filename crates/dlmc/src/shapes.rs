@@ -18,29 +18,97 @@ pub struct LayerShape {
 
 /// Transformer-body shapes found in DLMC.
 pub const TRANSFORMER_SHAPES: &[LayerShape] = &[
-    LayerShape { m: 512, k: 512, name: "attention-qkv" },
-    LayerShape { m: 512, k: 2048, name: "ffn-contract" },
-    LayerShape { m: 2048, k: 512, name: "ffn-expand" },
-    LayerShape { m: 1024, k: 1024, name: "attention-large" },
-    LayerShape { m: 2048, k: 2048, name: "decoder-large" },
-    LayerShape { m: 1024, k: 4096, name: "ffn-contract-large" },
-    LayerShape { m: 4096, k: 1024, name: "ffn-expand-large" },
-    LayerShape { m: 256, k: 256, name: "attention-small" },
-    LayerShape { m: 128, k: 512, name: "embedding-proj" },
-    LayerShape { m: 512, k: 64, name: "head-proj" },
+    LayerShape {
+        m: 512,
+        k: 512,
+        name: "attention-qkv",
+    },
+    LayerShape {
+        m: 512,
+        k: 2048,
+        name: "ffn-contract",
+    },
+    LayerShape {
+        m: 2048,
+        k: 512,
+        name: "ffn-expand",
+    },
+    LayerShape {
+        m: 1024,
+        k: 1024,
+        name: "attention-large",
+    },
+    LayerShape {
+        m: 2048,
+        k: 2048,
+        name: "decoder-large",
+    },
+    LayerShape {
+        m: 1024,
+        k: 4096,
+        name: "ffn-contract-large",
+    },
+    LayerShape {
+        m: 4096,
+        k: 1024,
+        name: "ffn-expand-large",
+    },
+    LayerShape {
+        m: 256,
+        k: 256,
+        name: "attention-small",
+    },
+    LayerShape {
+        m: 128,
+        k: 512,
+        name: "embedding-proj",
+    },
+    LayerShape {
+        m: 512,
+        k: 64,
+        name: "head-proj",
+    },
 ];
 
 /// Shapes used for the reorder success-rate study (paper Fig 11): the
 /// full K range of DLMC including the small-K failure cases (§4.3 notes
 /// failures concentrate at K ≤ 128).
 pub const REORDER_STUDY_SHAPES: &[LayerShape] = &[
-    LayerShape { m: 256, k: 64, name: "k64" },
-    LayerShape { m: 256, k: 128, name: "k128" },
-    LayerShape { m: 512, k: 256, name: "k256" },
-    LayerShape { m: 512, k: 512, name: "k512" },
-    LayerShape { m: 512, k: 1024, name: "k1024" },
-    LayerShape { m: 512, k: 2304, name: "k2304" },
-    LayerShape { m: 512, k: 4608, name: "k4608" },
+    LayerShape {
+        m: 256,
+        k: 64,
+        name: "k64",
+    },
+    LayerShape {
+        m: 256,
+        k: 128,
+        name: "k128",
+    },
+    LayerShape {
+        m: 512,
+        k: 256,
+        name: "k256",
+    },
+    LayerShape {
+        m: 512,
+        k: 512,
+        name: "k512",
+    },
+    LayerShape {
+        m: 512,
+        k: 1024,
+        name: "k1024",
+    },
+    LayerShape {
+        m: 512,
+        k: 2304,
+        name: "k2304",
+    },
+    LayerShape {
+        m: 512,
+        k: 4608,
+        name: "k4608",
+    },
 ];
 
 /// Output-width (N) sweep used in Figure 10.

@@ -68,7 +68,10 @@ impl SmtxPattern {
             ));
         }
         if col_indices.len() != nnz {
-            return Err(format!("expected {nnz} column indices, got {}", col_indices.len()));
+            return Err(format!(
+                "expected {nnz} column indices, got {}",
+                col_indices.len()
+            ));
         }
         if row_offsets.first() != Some(&0) || row_offsets.last() != Some(&nnz) {
             return Err("row offsets must start at 0 and end at nnz".to_string());

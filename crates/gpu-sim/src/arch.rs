@@ -157,8 +157,7 @@ mod tests {
     fn a100_peak_flops_sanity() {
         let spec = GpuSpec::a100();
         // 108 SMs * 4 pipes * 512 FLOP/cycle * 1.41 GHz ≈ 312 TFLOPS.
-        let tflops =
-            spec.peak_dense_tensor_flops_per_cycle() * spec.clock_ghz * 1e9 / 1e12;
+        let tflops = spec.peak_dense_tensor_flops_per_cycle() * spec.clock_ghz * 1e9 / 1e12;
         assert!((tflops - 312.0).abs() < 5.0, "got {tflops}");
         // Sparse doubles it.
         let sp = spec.peak_sparse_tensor_flops_per_cycle();

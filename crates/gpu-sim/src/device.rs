@@ -17,16 +17,14 @@ use crate::stats::{BlockStats, KernelStats};
 /// Limited by shared memory, the warp-slot budget, and the hard block
 /// cap — the three limits §2.1 of the paper describes.
 pub fn occupancy(spec: &GpuSpec, smem_bytes: usize, warps_per_block: usize) -> usize {
-    let by_smem = if smem_bytes == 0 {
-        spec.max_blocks_per_sm
-    } else {
-        spec.smem_per_sm_bytes / smem_bytes
-    };
-    let by_warps = if warps_per_block == 0 {
-        spec.max_blocks_per_sm
-    } else {
-        spec.max_warps_per_sm / warps_per_block
-    };
+    let by_smem = spec
+        .smem_per_sm_bytes
+        .checked_div(smem_bytes)
+        .unwrap_or(spec.max_blocks_per_sm);
+    let by_warps = spec
+        .max_warps_per_sm
+        .checked_div(warps_per_block)
+        .unwrap_or(spec.max_blocks_per_sm);
     by_smem.min(by_warps).min(spec.max_blocks_per_sm).max(1)
 }
 
@@ -169,10 +167,7 @@ pub fn simulate_kernel(launch: &KernelLaunch, spec: &GpuSpec) -> KernelStats {
         spec: spec.clone(),
         resident_blocks: resident,
     };
-    let per_unique: Vec<BlockStats> = unique
-        .par_iter()
-        .map(|b| simulate_block(b, &cfg))
-        .collect();
+    let per_unique: Vec<BlockStats> = unique.par_iter().map(|b| simulate_block(b, &cfg)).collect();
 
     // Wave scheduling with throughput serialization: each SM hosts up
     // to `occ` blocks at once, but its pipes are shared — a wave of

@@ -113,9 +113,7 @@ pub fn simulate_block_observed(
     loop {
         // Barrier release: if every live warp is parked at a barrier,
         // release them all at the latest arrival.
-        let all_blocked = warps
-            .iter()
-            .all(|w| !matches!(w.state, WarpState::Ready));
+        let all_blocked = warps.iter().all(|w| !matches!(w.state, WarpState::Ready));
         if all_blocked {
             let arrivals: Vec<u64> = warps
                 .iter()
@@ -322,7 +320,11 @@ pub fn simulate_block_observed(
                 tensor_busy += interval;
                 stats.mma_instructions += 1;
                 if let Some(tok) = produces {
-                    produced = Some((*tok, start + interval + spec.tensor_latency, StallClass::Fixed));
+                    produced = Some((
+                        *tok,
+                        start + interval + spec.tensor_latency,
+                        StallClass::Fixed,
+                    ));
                 }
             }
             WarpInstr::CudaOp {
@@ -488,7 +490,12 @@ mod tests {
             },
             &cfg(),
         );
-        assert!(eight.cycles < one.cycles * 2, "{} vs {}", eight.cycles, one.cycles);
+        assert!(
+            eight.cycles < one.cycles * 2,
+            "{} vs {}",
+            eight.cycles,
+            one.cycles
+        );
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub use engine::{simulate_block, simulate_block_observed, EngineConfig, IssueEve
 pub use instr::{
     BlockTrace, KernelLaunch, MmaOp, StallClass, Token, TokenAlloc, WarpInstr, WarpTrace,
 };
-pub use stats::{BlockStats, KernelStats};
 pub use report::ncu_style_report;
+pub use stats::{BlockStats, KernelStats};
 pub use timeline::{record as record_timeline, Timeline};

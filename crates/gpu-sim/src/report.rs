@@ -46,7 +46,11 @@ pub fn ncu_style_report(name: &str, stats: &KernelStats, spec: &GpuSpec) -> Stri
     ));
     out.push_str(&format!(
         "    Bound By                    {:>12}\n",
-        if stats.dram_bound { "memory" } else { "compute" }
+        if stats.dram_bound {
+            "memory"
+        } else {
+            "compute"
+        }
     ));
     out
 }

@@ -179,7 +179,10 @@ mod tests {
                 .filter(|e| e.warp == w)
                 .map(|e| e.issue)
                 .collect();
-            assert!(issues.windows(2).all(|p| p[0] < p[1]), "warp {w}: {issues:?}");
+            assert!(
+                issues.windows(2).all(|p| p[0] < p[1]),
+                "warp {w}: {issues:?}"
+            );
         }
     }
 }

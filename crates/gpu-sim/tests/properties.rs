@@ -68,12 +68,14 @@ fn arb_trace(max_len: usize) -> impl Strategy<Value = Vec<WarpInstr>> {
 }
 
 fn arb_block() -> impl Strategy<Value = BlockTrace> {
-    (proptest::collection::vec(arb_trace(40), 1..6), 0usize..64 * 1024).prop_map(
-        |(warps, smem)| BlockTrace {
+    (
+        proptest::collection::vec(arb_trace(40), 1..6),
+        0usize..64 * 1024,
+    )
+        .prop_map(|(warps, smem)| BlockTrace {
             warps,
             smem_bytes: smem,
-        },
-    )
+        })
 }
 
 proptest! {

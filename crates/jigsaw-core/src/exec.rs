@@ -100,8 +100,7 @@ pub fn execute_via_fragments(f: &JigsawFormat, b: &Matrix) -> Vec<f32> {
                         for slot in 0..8 {
                             a_tile[r * 16 + slot] = f.value(si, 2 * p, tr, r, slot);
                             if 2 * p + 1 < strip.windows {
-                                a_tile[r * 16 + 8 + slot] =
-                                    f.value(si, 2 * p + 1, tr, r, slot);
+                                a_tile[r * 16 + 8 + slot] = f.value(si, 2 * p + 1, tr, r, slot);
                             }
                         }
                     }
@@ -234,7 +233,11 @@ mod tests {
     #[test]
     fn dense_input_still_computes_correctly() {
         // Even when reorder "fails" (K grows), the result must be right.
-        let a = Matrix::from_f32(16, 32, &(0..512).map(|i| ((i % 5) as f32) - 2.0).collect::<Vec<_>>());
+        let a = Matrix::from_f32(
+            16,
+            32,
+            &(0..512).map(|i| ((i % 5) as f32) - 2.0).collect::<Vec<_>>(),
+        );
         let b = dense_rhs(32, 8, ValueDist::SmallInt, 7);
         let plan = ReorderPlan::build(&a, &JigsawConfig::v4(16));
         let f = JigsawFormat::build(&a, &plan, true);

@@ -162,6 +162,9 @@ fn build_strip(a: &Matrix, sp: &StripPlan, interleaved: bool) -> StripFormat {
     // meta_half[tile_row][window][r] = 16-bit half-word of row r.
     let mut meta_half = vec![vec![[0u16; ROWS]; windows]; tile_rows];
 
+    // Iteration must stay window-major (the value layout depends on
+    // it) while meta_half is tile_row-major, hence the index loops.
+    #[allow(clippy::needless_range_loop)]
     for w in 0..windows {
         for tr in 0..tile_rows {
             let reorder = sp.tile(w, tr);
@@ -205,18 +208,18 @@ fn build_strip(a: &Matrix, sp: &StripPlan, interleaved: bool) -> StripFormat {
     // high 16 bits = odd window (the second half of the mma.sp K).
     let pairs = windows.div_ceil(2);
     let mut metadata = Vec::new();
-    for tr in 0..tile_rows {
+    for meta_tr in &meta_half {
         let step_words: Vec<[u32; ROWS]> = (0..pairs)
             .map(|p| {
                 let mut words = [0u32; ROWS];
-                for r in 0..ROWS {
-                    let lo = u32::from(meta_half[tr][2 * p][r]);
+                for (r, word) in words.iter_mut().enumerate() {
+                    let lo = u32::from(meta_tr[2 * p][r]);
                     let hi = if 2 * p + 1 < windows {
-                        u32::from(meta_half[tr][2 * p + 1][r])
+                        u32::from(meta_tr[2 * p + 1][r])
                     } else {
                         0
                     };
-                    words[r] = lo | (hi << 16);
+                    *word = lo | (hi << 16);
                 }
                 words
             })
@@ -329,8 +332,8 @@ mod tests {
             for w in 0..strip.windows {
                 for tr in 0..tile_rows {
                     let words = f.metadata_words(s, tr, w / 2);
-                    for r in 0..MMA_TILE {
-                        let idx = sptc::metadata::unpack_row_metadata(words[r]);
+                    for (r, &word) in words.iter().enumerate().take(MMA_TILE) {
+                        let idx = sptc::metadata::unpack_row_metadata(word);
                         // This window occupies the low or high 8 slots.
                         let off = (w % 2) * 8;
                         for slot in 0..8 {

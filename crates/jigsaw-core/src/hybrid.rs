@@ -262,7 +262,11 @@ fn build_strip(
                     }
                 }
             }
-            routes.push(if ok { Route::Sparse(tiles) } else { Route::Dense });
+            routes.push(if ok {
+                Route::Sparse(tiles)
+            } else {
+                Route::Dense
+            });
         }
         col_order.extend_from_slice(&slots);
     }
@@ -288,8 +292,16 @@ fn build_block(strip: &HybridStrip, cfg: &JigsawConfig, spec: &GpuSpec) -> Block
         .iter()
         .filter(|r| matches!(r, Route::Sparse(_)))
         .collect();
-    let dense = strip.routes.iter().filter(|r| matches!(r, Route::Dense)).count();
-    let cuda = strip.routes.iter().filter(|r| matches!(r, Route::Cuda)).count();
+    let dense = strip
+        .routes
+        .iter()
+        .filter(|r| matches!(r, Route::Dense))
+        .count();
+    let cuda = strip
+        .routes
+        .iter()
+        .filter(|r| matches!(r, Route::Cuda))
+        .count();
 
     let sparse_pairs = sparse.len().div_ceil(2);
     let b_slab = (32 * (cfg.block_tile_n + 8) * 2 / warps) as u32;

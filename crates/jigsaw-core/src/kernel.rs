@@ -36,11 +36,7 @@ fn phase_ways_padded(half: &[u8]) -> u32 {
 /// Total ways of the 4-phase B `ldmatrix` for one k-step: two phases
 /// per window, two windows. `None` tile (past the last window) is
 /// conflict-free.
-fn b_ldmatrix_ways(
-    padded: bool,
-    t0: Option<&TileReorder>,
-    t1: Option<&TileReorder>,
-) -> (u32, u32) {
+fn b_ldmatrix_ways(padded: bool, t0: Option<&TileReorder>, t1: Option<&TileReorder>) -> (u32, u32) {
     let phases = 4u32;
     if !padded {
         // Unpadded 64-wide f16 rows: all 8 rows of every phase start in
@@ -77,9 +73,8 @@ pub fn build_launch(format: &JigsawFormat, n: usize, config: &JigsawConfig) -> K
     }
 
     // Compulsory DRAM traffic: the stored format once, B once, C once.
-    let dram_bytes = format.measured_bytes() as u64
-        + (format.k * n * 2) as u64
-        + (format.m * n * 2) as u64;
+    let dram_bytes =
+        format.measured_bytes() as u64 + (format.k * n * 2) as u64 + (format.m * n * 2) as u64;
     KernelLaunch { blocks, dram_bytes }
 }
 
@@ -94,7 +89,15 @@ fn build_block(format: &JigsawFormat, si: usize, config: &JigsawConfig) -> Block
     let warp_traces = (0..warps)
         .map(|wi| {
             let wm = wi / warps_n; // which 16-row tile row this warp owns
-            build_warp_trace(format, si, wm.min(tile_rows.saturating_sub(1)), pairs, warps, mmas_per_step, config)
+            build_warp_trace(
+                format,
+                si,
+                wm.min(tile_rows.saturating_sub(1)),
+                pairs,
+                warps,
+                mmas_per_step,
+                config,
+            )
         })
         .collect();
 
@@ -122,8 +125,7 @@ fn build_warp_trace(
 
     // Per-warp share of the staged bytes per k-step.
     let b_slab = (32 * (config.block_tile_n + if padded { 8 } else { 0 }) * 2 / warps) as u32;
-    let a_slab =
-        ((config.block_tile_m * 16 * 2 + (config.block_tile_m / 16) * 64) / warps) as u32;
+    let a_slab = ((config.block_tile_m * 16 * 2 + (config.block_tile_m / 16) * 64) / warps) as u32;
     let ci_bytes = (32 * 4 / warps).max(4) as u32;
 
     if pairs == 0 {
@@ -154,9 +156,9 @@ fn build_warp_trace(
     // Issues the staged loads for k-step `p` and commits them as one
     // group. Returns nothing; updates `outstanding`.
     let issue_loads = |p: usize,
-                           trace: &mut Vec<WarpInstr>,
-                           t: &mut TokenAlloc,
-                           outstanding: &mut Vec<&'static str>| {
+                       trace: &mut Vec<WarpInstr>,
+                       t: &mut TokenAlloc,
+                       outstanding: &mut Vec<&'static str>| {
         let addr_tok = if deep {
             // Deep pipeline: prefetch col_idx for step p+1 asynchronously
             // (its own group); the col_idx for *this* step was staged two
@@ -417,8 +419,8 @@ mod tests {
         let spec = GpuSpec::a100();
         let s2 = simulate_kernel(&build_launch(&f2, 512, &v2), &spec);
         let s3 = simulate_kernel(&build_launch(&f3, 512, &v3), &spec);
-        let reduction = 1.0
-            - s3.totals.smem_instructions as f64 / s2.totals.smem_instructions as f64;
+        let reduction =
+            1.0 - s3.totals.smem_instructions as f64 / s2.totals.smem_instructions as f64;
         // Paper: 7.78% fewer shared-memory access instructions.
         assert!(
             (0.02..0.15).contains(&reduction),

@@ -51,5 +51,5 @@ pub use format::{format_source_column, JigsawFormat};
 pub use hybrid::{HybridConfig, HybridPlan, HybridStats, Route};
 pub use kernel::build_launch;
 pub use reorder::{ReorderPlan, ReorderStats};
-pub use session::{ForwardReport, Layer, Session};
+pub use session::{ForwardReport, Layer, Session, SessionError};
 pub use spmm::{JigsawSpmm, SpmmRun, TuneReport};

@@ -88,12 +88,7 @@ fn window_masks(m: &Matrix, row0: usize, slots: &[u32]) -> ColumnMasks {
 }
 
 /// Reorders one row strip. `bank_aware` enables the §3.4.1 preference.
-pub fn reorder_strip(
-    m: &Matrix,
-    row0: usize,
-    height: usize,
-    bank_aware: bool,
-) -> StripPlan {
+pub fn reorder_strip(m: &Matrix, row0: usize, height: usize, bank_aware: bool) -> StripPlan {
     assert_eq!(height % TILE, 0, "strip height must be a multiple of 16");
     let tile_rows = height / TILE;
 

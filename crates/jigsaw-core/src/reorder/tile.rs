@@ -174,10 +174,8 @@ impl Search<'_> {
         }
         // Stop conditions: a conflict-free partition, a non-bank-aware
         // caller satisfied by any partition, or the scoring budget.
-        
-        cand.conflict_pairs == 0
-            || !self.bank_aware
-            || self.solutions_seen >= MAX_SCORED_SOLUTIONS
+
+        cand.conflict_pairs == 0 || !self.bank_aware || self.solutions_seen >= MAX_SCORED_SOLUTIONS
     }
 
     /// Returns true when the search should stop unwinding.
@@ -207,8 +205,7 @@ impl Search<'_> {
                     ) {
                         continue;
                     }
-                    let quad_mask =
-                        (1u16 << a) | (1u16 << b) | (1u16 << c) | (1u16 << d);
+                    let quad_mask = (1u16 << a) | (1u16 << b) | (1u16 << c) | (1u16 << d);
                     quads.push([a, b, c, d]);
                     let stop = self.dfs(remaining & !quad_mask, quads);
                     quads.pop();
@@ -232,11 +229,7 @@ impl Search<'_> {
 /// aligned quad compatible, preferring bank-conflict-free groupings when
 /// `bank_aware` is set. Returns `None` when no partition exists (or the
 /// work limit trips) — the caller then evicts a column and retries.
-pub fn reorder_tile(
-    masks: &ColumnMasks,
-    bank_aware: bool,
-    work_limit: u32,
-) -> Option<TileReorder> {
+pub fn reorder_tile(masks: &ColumnMasks, bank_aware: bool, work_limit: u32) -> Option<TileReorder> {
     // Fast path: the tile is already 2:4 (common at high sparsity).
     // The identity permutation is always conflict-free — each ldmatrix
     // phase reads the 8 consecutive source positions, which occupy 8

@@ -8,9 +8,13 @@
 
 use std::io::{self, Read, Write};
 
+use sptc::metadata::ROWS;
 use sptc::F16;
 
+use crate::config::MMA_TILE;
 use crate::format::{JigsawFormat, StripFormat};
+use crate::reorder::PAD;
+use crate::swizzle::BLOCK_ELEMS;
 
 /// Magic bytes prefixing every serialized format.
 pub const MAGIC: &[u8; 4] = b"JGSW";
@@ -63,8 +67,11 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
     fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
-        if self.pos + n > self.data.len() {
+        if n > self.remaining() {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "truncated jigsaw format",
@@ -89,7 +96,48 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
+/// Smallest possible encoded strip: `row0` (u64), `height` + `windows`
+/// (u32 each), and the four array length fields (u32 each).
+const STRIP_MIN_BYTES: usize = 8 + 4 + 4 + 4 * 4;
+
+/// Reads a length field, requiring it to equal the `expected` element
+/// count implied by the header and to fit in the bytes remaining —
+/// so a corrupt length can neither over-allocate nor desynchronize
+/// the stream. `expected` is `None` when the shape formula overflowed.
+fn checked_len(
+    c: &mut Cursor<'_>,
+    expected: Option<usize>,
+    elem_bytes: usize,
+    what: &str,
+) -> io::Result<usize> {
+    let expected = expected.ok_or_else(|| bad(&format!("{what} length overflows")))?;
+    let n = c.u32()? as usize;
+    if n != expected {
+        return Err(bad(&format!(
+            "{what} length {n} inconsistent with header (expected {expected})"
+        )));
+    }
+    let bytes = n
+        .checked_mul(elem_bytes)
+        .ok_or_else(|| bad(&format!("{what} length overflows")))?;
+    if bytes > c.remaining() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("truncated {what}"),
+        ));
+    }
+    Ok(n)
+}
+
 /// Deserializes a [`JigsawFormat`] from bytes.
+///
+/// Hardened against corrupt or adversarial input: every length field is
+/// checked against both the bytes actually remaining and the shape the
+/// header (`m`, `k`, `block_tile_m`, `interleaved`) implies *before*
+/// any allocation, and index entries are range-checked. Malformed input
+/// yields [`io::ErrorKind::InvalidData`] or
+/// [`io::ErrorKind::UnexpectedEof`] — never a panic or an allocation
+/// larger than the input itself.
 pub fn from_bytes(data: &[u8]) -> io::Result<JigsawFormat> {
     let mut c = Cursor { data, pos: 0 };
     if c.take(4)? != MAGIC {
@@ -99,37 +147,101 @@ pub fn from_bytes(data: &[u8]) -> io::Result<JigsawFormat> {
     if version != VERSION {
         return Err(bad(&format!("unsupported version {version}")));
     }
-    let m = c.u64()? as usize;
-    let k = c.u64()? as usize;
+    let m = usize::try_from(c.u64()?).map_err(|_| bad("m does not fit in usize"))?;
+    let k = usize::try_from(c.u64()?).map_err(|_| bad("k does not fit in usize"))?;
     let block_tile_m = c.u32()? as usize;
-    let interleaved = c.u32()? != 0;
+    let interleaved = match c.u32()? {
+        0 => false,
+        1 => true,
+        v => return Err(bad(&format!("invalid interleaved flag {v}"))),
+    };
     let nstrips = c.u32()? as usize;
-    // Bound the strip count by what the header claims the matrix is.
-    if block_tile_m == 0 || nstrips != m.div_ceil(block_tile_m) {
+    if block_tile_m == 0 || !block_tile_m.is_multiple_of(MMA_TILE) {
+        return Err(bad("block_tile_m must be a nonzero multiple of 16"));
+    }
+    if !m.is_multiple_of(MMA_TILE) {
+        return Err(bad("m must be a multiple of 16"));
+    }
+    if nstrips != m.div_ceil(block_tile_m) {
         return Err(bad("strip count inconsistent with dimensions"));
     }
+    // A claimed strip count the remaining bytes cannot possibly hold is
+    // rejected before reserving space for it.
+    if nstrips > c.remaining() / STRIP_MIN_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "strip count exceeds remaining bytes",
+        ));
+    }
     let mut strips = Vec::with_capacity(nstrips);
-    for _ in 0..nstrips {
-        let row0 = c.u64()? as usize;
+    for i in 0..nstrips {
+        let row0 = usize::try_from(c.u64()?).map_err(|_| bad("row0 does not fit in usize"))?;
+        if row0 != i * block_tile_m {
+            return Err(bad(&format!("strip {i} row0 {row0} out of sequence")));
+        }
         let height = c.u32()? as usize;
+        if height != block_tile_m.min(m - row0) {
+            return Err(bad(&format!(
+                "strip {i} height {height} inconsistent with m/block_tile_m"
+            )));
+        }
+        let tile_rows = height / MMA_TILE;
         let windows = c.u32()? as usize;
-        let n_col = c.u32()? as usize;
+        let pairs = windows.div_ceil(2);
+
+        let n_col = checked_len(&mut c, windows.checked_mul(MMA_TILE), 4, "col_idx")?;
         let mut col_idx = Vec::with_capacity(n_col);
         for _ in 0..n_col {
-            col_idx.push(c.u32()?);
+            let entry = c.u32()?;
+            if entry != PAD && entry as usize >= k {
+                return Err(bad(&format!(
+                    "col_idx entry {entry} out of range (k = {k})"
+                )));
+            }
+            col_idx.push(entry);
         }
-        let n_bci = c.u32()? as usize;
+
+        let n_bci = checked_len(
+            &mut c,
+            windows
+                .checked_mul(tile_rows)
+                .and_then(|n| n.checked_mul(MMA_TILE)),
+            1,
+            "block_col_idx",
+        )?;
         let block_col_idx = c.take(n_bci)?.to_vec();
-        let n_vals = c.u32()? as usize;
+        if let Some(&entry) = block_col_idx.iter().find(|&&e| e as usize >= MMA_TILE) {
+            return Err(bad(&format!("block_col_idx entry {entry} out of range")));
+        }
+
+        let n_vals = checked_len(
+            &mut c,
+            windows
+                .checked_mul(tile_rows)
+                .and_then(|n| n.checked_mul(BLOCK_ELEMS)),
+            2,
+            "values",
+        )?;
         let mut values = Vec::with_capacity(n_vals);
         for _ in 0..n_vals {
             values.push(F16::from_bits(c.u16()?));
         }
-        let n_meta = c.u32()? as usize;
+
+        let expected_meta = if interleaved {
+            tile_rows
+                .checked_mul(pairs.div_ceil(2))
+                .and_then(|n| n.checked_mul(32))
+        } else {
+            tile_rows
+                .checked_mul(pairs)
+                .and_then(|n| n.checked_mul(ROWS))
+        };
+        let n_meta = checked_len(&mut c, expected_meta, 4, "metadata")?;
         let mut metadata = Vec::with_capacity(n_meta);
         for _ in 0..n_meta {
             metadata.push(c.u32()?);
         }
+
         strips.push(StripFormat {
             row0,
             height,
@@ -231,6 +343,92 @@ mod tests {
         let mut bytes = to_bytes(&f);
         bytes.push(0);
         assert!(from_bytes(&bytes).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn rejects_every_truncation_point() {
+        // Every proper prefix — which includes a cut at every field
+        // boundary — must error, never panic or over-allocate.
+        let bytes = to_bytes(&sample_format());
+        for len in 0..bytes.len() {
+            assert!(from_bytes(&bytes[..len]).is_err(), "prefix of {len} bytes");
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_headers() {
+        let f = sample_format();
+        let good = to_bytes(&f);
+
+        // Header field offsets: magic 0..4, version 4..8, m 8..16,
+        // k 16..24, block_tile_m 24..28, interleaved 28..32,
+        // nstrips 32..36.
+        let patch = |off: usize, val: &[u8]| {
+            let mut b = good.clone();
+            b[off..off + val.len()].copy_from_slice(val);
+            from_bytes(&b)
+        };
+
+        // Huge m: strip count check fires long before any allocation.
+        assert!(patch(8, &u64::MAX.to_le_bytes()).is_err(), "huge m");
+        // m not a multiple of 16.
+        assert!(patch(8, &17u64.to_le_bytes()).is_err(), "ragged m");
+        // Zero / ragged block_tile_m.
+        assert!(patch(24, &0u32.to_le_bytes()).is_err(), "zero block_tile_m");
+        assert!(
+            patch(24, &24u32.to_le_bytes()).is_err(),
+            "ragged block_tile_m"
+        );
+        // Interleaved flag outside {0, 1}.
+        assert!(
+            patch(28, &7u32.to_le_bytes()).is_err(),
+            "bad interleaved flag"
+        );
+        // Strip count that the remaining bytes cannot hold.
+        assert!(patch(32, &u32::MAX.to_le_bytes()).is_err(), "huge nstrips");
+        // Shrunk k invalidates stored column indices.
+        assert!(
+            patch(16, &1u64.to_le_bytes()).is_err(),
+            "col_idx out of k range"
+        );
+    }
+
+    #[test]
+    fn rejects_inconsistent_strip_fields() {
+        let f = sample_format();
+        let good = to_bytes(&f);
+        // First strip starts right after the 36-byte header:
+        // row0 36..44, height 44..48, windows 48..52, col_idx len 52..56.
+        let patch = |off: usize, val: &[u8]| {
+            let mut b = good.clone();
+            b[off..off + val.len()].copy_from_slice(val);
+            from_bytes(&b)
+        };
+        assert!(
+            patch(36, &9u64.to_le_bytes()).is_err(),
+            "row0 out of sequence"
+        );
+        assert!(patch(44, &48u32.to_le_bytes()).is_err(), "wrong height");
+        // Inflated windows forces col_idx length mismatch (or EOF).
+        assert!(patch(48, &u32::MAX.to_le_bytes()).is_err(), "huge windows");
+        // Inflated col_idx length disagrees with windows*16.
+        assert!(
+            patch(52, &u32::MAX.to_le_bytes()).is_err(),
+            "huge col_idx len"
+        );
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic() {
+        // Any corruption must surface as Ok (benign value change) or
+        // Err — from_bytes must not panic regardless of which bit
+        // flips. Covers every byte with one bit flip each.
+        let bytes = to_bytes(&sample_format());
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 1 << (i % 8);
+            let _ = from_bytes(&b);
+        }
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! stack of stationary weight matrices once, then runs forward passes
 //! where each layer's SpMM output feeds the next layer's B operand.
 
+use std::fmt;
+
 use dlmc::Matrix;
 use gpu_sim::{GpuSpec, KernelStats};
 use sptc::F16;
@@ -11,7 +13,59 @@ use sptc::F16;
 use crate::config::JigsawConfig;
 use crate::spmm::JigsawSpmm;
 
+/// Why a [`Session`] operation was rejected. A serving layer sits on
+/// top of this API, so dimension mistakes in a request must surface as
+/// values, not process-killing panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// A new layer's input width does not chain with the previous
+    /// layer's output height.
+    LayerDimMismatch {
+        /// Name of the offending layer.
+        layer: String,
+        /// The new layer's input dimension (`weights.cols`).
+        input_dim: usize,
+        /// The previous layer's output dimension (`rows`).
+        expected: usize,
+    },
+    /// `forward` was called on a session with no layers.
+    EmptySession,
+    /// The input's feature dimension does not match the first layer.
+    InputDimMismatch {
+        /// The input's feature dimension (`input.rows`).
+        input_dim: usize,
+        /// The first layer's input dimension.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::LayerDimMismatch {
+                layer,
+                input_dim,
+                expected,
+            } => write!(
+                f,
+                "layer {layer} input dim {input_dim} must match previous output dim {expected}"
+            ),
+            SessionError::EmptySession => write!(f, "session has no layers"),
+            SessionError::InputDimMismatch {
+                input_dim,
+                expected,
+            } => write!(
+                f,
+                "input features {input_dim} must match the first layer ({expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// One planned layer.
+#[derive(Clone, Debug)]
 pub struct Layer {
     /// Layer name (for reports).
     pub name: String,
@@ -55,13 +109,20 @@ impl Session {
 
     /// Plans and appends a layer. Consecutive layers must chain:
     /// this layer's `cols` must equal the previous layer's `rows`.
-    pub fn add_layer(&mut self, name: &str, weights: &Matrix, config: JigsawConfig) -> &Layer {
+    pub fn add_layer(
+        &mut self,
+        name: &str,
+        weights: &Matrix,
+        config: JigsawConfig,
+    ) -> Result<&Layer, SessionError> {
         if let Some(prev) = self.layers.last() {
-            assert_eq!(
-                weights.cols, prev.rows,
-                "layer {name} input dim {} must match previous output dim {}",
-                weights.cols, prev.rows
-            );
+            if weights.cols != prev.rows {
+                return Err(SessionError::LayerDimMismatch {
+                    layer: name.to_string(),
+                    input_dim: weights.cols,
+                    expected: prev.rows,
+                });
+            }
         }
         let spmm = JigsawSpmm::plan(weights, config);
         self.layers.push(Layer {
@@ -70,7 +131,7 @@ impl Session {
             rows: weights.rows,
             cols: weights.cols,
         });
-        self.layers.last().expect("just pushed")
+        Ok(self.layers.last().expect("just pushed"))
     }
 
     /// Number of layers.
@@ -81,13 +142,16 @@ impl Session {
     /// Runs a forward pass: `x_{i+1} = W_i × x_i`, rounding activations
     /// through f16 between layers (as a real fp16 pipeline would).
     /// Returns the final activations and the per-layer timing report.
-    pub fn forward(&mut self, input: &Matrix) -> (Matrix, ForwardReport) {
-        assert!(!self.layers.is_empty(), "session has no layers");
-        assert_eq!(
-            input.rows,
-            self.layers[0].cols,
-            "input features must match the first layer"
-        );
+    pub fn forward(&mut self, input: &Matrix) -> Result<(Matrix, ForwardReport), SessionError> {
+        if self.layers.is_empty() {
+            return Err(SessionError::EmptySession);
+        }
+        if input.rows != self.layers[0].cols {
+            return Err(SessionError::InputDimMismatch {
+                input_dim: input.rows,
+                expected: self.layers[0].cols,
+            });
+        }
         let n = input.cols;
         let mut activations = input.clone();
         let mut report = ForwardReport {
@@ -97,9 +161,7 @@ impl Session {
         for layer in &self.layers {
             let run = layer.spmm.run(&activations, &self.spec);
             report.total_cycles += run.stats.duration_cycles;
-            report
-                .layers
-                .push((layer.name.clone(), run.stats));
+            report.layers.push((layer.name.clone(), run.stats));
             // f32 accumulators round back to f16 activations.
             activations = Matrix {
                 rows: layer.rows,
@@ -109,7 +171,7 @@ impl Session {
         }
         self.total_cycles += report.total_cycles;
         self.passes += 1;
-        (activations, report)
+        Ok((activations, report))
     }
 
     /// The amortization ledger: planning happened once, execution
@@ -145,12 +207,14 @@ mod tests {
         let w0 = weights(64, 32, 1);
         let w1 = weights(32, 64, 2);
         let mut session = Session::new(GpuSpec::a100());
-        session.add_layer("up", &w0, JigsawConfig::v4(32));
-        session.add_layer("down", &w1, JigsawConfig::v4(16));
+        session.add_layer("up", &w0, JigsawConfig::v4(32)).unwrap();
+        session
+            .add_layer("down", &w1, JigsawConfig::v4(16))
+            .unwrap();
         assert_eq!(session.depth(), 2);
 
         let x = dense_rhs(32, 8, ValueDist::SmallInt, 3);
-        let (y, report) = session.forward(&x);
+        let (y, report) = session.forward(&x).unwrap();
         assert_eq!(y.rows, 32);
         assert_eq!(y.cols, 8);
         assert_eq!(report.layers.len(), 2);
@@ -161,7 +225,11 @@ mod tests {
             .iter()
             .map(|&v| F16::from_f32(v))
             .collect();
-        let h0 = Matrix { rows: 64, cols: 8, data: h0 };
+        let h0 = Matrix {
+            rows: 64,
+            cols: 8,
+            data: h0,
+        };
         let y_ref: Vec<F16> = w1
             .matmul_reference(&h0)
             .iter()
@@ -171,23 +239,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must match")]
-    fn mismatched_layer_dims_panic() {
+    fn mismatched_layer_dims_error() {
         let mut session = Session::new(GpuSpec::a100());
-        session.add_layer("a", &weights(64, 32, 1), JigsawConfig::v4(32));
-        session.add_layer("b", &weights(32, 32, 2), JigsawConfig::v4(32));
+        session
+            .add_layer("a", &weights(64, 32, 1), JigsawConfig::v4(32))
+            .unwrap();
+        let err = session
+            .add_layer("b", &weights(32, 32, 2), JigsawConfig::v4(32))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::LayerDimMismatch {
+                layer: "b".to_string(),
+                input_dim: 32,
+                expected: 64,
+            }
+        );
+        // The rejected layer was not appended.
+        assert_eq!(session.depth(), 1);
+        assert!(err.to_string().contains("must match"));
+    }
+
+    #[test]
+    fn forward_input_errors_are_values() {
+        let mut session = Session::new(GpuSpec::a100());
+        let x = dense_rhs(64, 8, ValueDist::SmallInt, 5);
+        assert_eq!(session.forward(&x).unwrap_err(), SessionError::EmptySession);
+        session
+            .add_layer("only", &weights(64, 32, 6), JigsawConfig::v4(32))
+            .unwrap();
+        assert_eq!(
+            session.forward(&x).unwrap_err(),
+            SessionError::InputDimMismatch {
+                input_dim: 64,
+                expected: 32,
+            }
+        );
+        // Failed passes leave the ledger untouched.
+        assert_eq!(session.passes, 0);
+        assert_eq!(session.total_cycles, 0.0);
     }
 
     #[test]
     fn amortization_ledger_accumulates() {
         let mut session = Session::new(GpuSpec::a100());
-        session.add_layer("only", &weights(64, 64, 4), JigsawConfig::v4(32));
+        session
+            .add_layer("only", &weights(64, 64, 4), JigsawConfig::v4(32))
+            .unwrap();
         let x = dense_rhs(64, 8, ValueDist::SmallInt, 5);
         assert_eq!(session.avg_cycles_per_pass(), 0.0);
-        let (_, r1) = session.forward(&x);
-        let (_, r2) = session.forward(&x);
+        let (_, r1) = session.forward(&x).unwrap();
+        let (_, r2) = session.forward(&x).unwrap();
         assert_eq!(session.passes, 2);
-        assert!((r1.total_cycles - r2.total_cycles).abs() < 1e-9, "deterministic");
+        assert!(
+            (r1.total_cycles - r2.total_cycles).abs() < 1e-9,
+            "deterministic"
+        );
         assert!((session.avg_cycles_per_pass() - r1.total_cycles).abs() < 1e-9);
     }
 }

@@ -11,27 +11,25 @@ use jigsaw_core::{execute_fast, JigsawConfig, JigsawFormat};
 
 /// Strategy: an arbitrary 16-column mask set with bounded density.
 fn arb_masks(max_bits: usize) -> impl Strategy<Value = ColumnMasks> {
-    proptest::collection::vec(
-        proptest::collection::vec(0usize..16, 0..=max_bits),
-        16,
-    )
-    .prop_map(|cols| {
-        let mut masks = [0u16; 16];
-        for (i, bits) in cols.into_iter().enumerate() {
-            for b in bits {
-                masks[i] |= 1 << b;
+    proptest::collection::vec(proptest::collection::vec(0usize..16, 0..=max_bits), 16).prop_map(
+        |cols| {
+            let mut masks = [0u16; 16];
+            for (i, bits) in cols.into_iter().enumerate() {
+                for b in bits {
+                    masks[i] |= 1 << b;
+                }
             }
-        }
-        masks
-    })
+            masks
+        },
+    )
 }
 
 /// Strategy: a small vector-sparse matrix spec.
 fn arb_matrix() -> impl Strategy<Value = Matrix> {
     (
-        1usize..=4,              // strips of 16 rows
-        1usize..=6,              // column blocks of 16
-        0.5f64..0.99,            // sparsity
+        1usize..=4,   // strips of 16 rows
+        1usize..=6,   // column blocks of 16
+        0.5f64..0.99, // sparsity
         prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
         any::<u64>(),
     )
@@ -112,6 +110,53 @@ proptest! {
         // A zero matrix computes nothing; dense computes at least K.
         if a.nnz() == 0 {
             prop_assert_eq!(stats.total_windows, 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serialize → deserialize is lossless: the restored format
+    /// re-serializes to the same bytes and computes the same product.
+    #[test]
+    fn serialize_round_trips(a in arb_matrix(), interleaved in any::<bool>()) {
+        let bt = if a.rows % 32 == 0 { 32 } else { 16 };
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(bt));
+        let format = JigsawFormat::build(&a, &plan, interleaved);
+        let bytes = jigsaw_core::serialize::to_bytes(&format);
+        let restored = jigsaw_core::serialize::from_bytes(&bytes).expect("own bytes parse");
+        prop_assert_eq!(jigsaw_core::serialize::to_bytes(&restored), bytes);
+        let b = dense_rhs(a.cols, 8, ValueDist::SmallInt, 5);
+        prop_assert_eq!(execute_fast(&restored, &b), execute_fast(&format, &b));
+    }
+
+    /// Every strict prefix of a valid artifact is rejected with an
+    /// error — truncation never panics or over-allocates.
+    #[test]
+    fn truncated_artifacts_error_cleanly(a in arb_matrix(), cut in 0.0f64..1.0) {
+        let bt = if a.rows % 32 == 0 { 32 } else { 16 };
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(bt));
+        let format = JigsawFormat::build(&a, &plan, false);
+        let bytes = jigsaw_core::serialize::to_bytes(&format);
+        let len = ((bytes.len() - 1) as f64 * cut) as usize;
+        prop_assert!(jigsaw_core::serialize::from_bytes(&bytes[..len]).is_err());
+    }
+
+    /// A single flipped bit is either detected or yields a format of
+    /// the same dimensions — never a panic.
+    #[test]
+    fn bit_flips_never_panic(a in arb_matrix(), pos in any::<u64>(), bit in 0u8..8) {
+        let bt = if a.rows % 32 == 0 { 32 } else { 16 };
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(bt));
+        let format = JigsawFormat::build(&a, &plan, false);
+        let mut bytes = jigsaw_core::serialize::to_bytes(&format);
+        let at = (pos as usize) % bytes.len();
+        bytes[at] ^= 1 << bit;
+        if let Ok(parsed) = jigsaw_core::serialize::from_bytes(&bytes) {
+            // Whatever passed validation is self-consistent: it
+            // re-serializes to exactly the bytes it was parsed from.
+            prop_assert_eq!(jigsaw_core::serialize::to_bytes(&parsed), bytes);
         }
     }
 }

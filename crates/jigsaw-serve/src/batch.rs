@@ -1,0 +1,198 @@
+//! Request/response types and the column-concatenation algebra that
+//! makes micro-batching *exact*: the kernel computes each output column
+//! of `C = A × B` from the matching column of B alone, so concatenating
+//! several requests' B operands along N, running one SpMM, and
+//! splitting C back is bit-identical to running each request solo.
+//! Batching buys throughput (simulated cost is sublinear in N — paper
+//! Fig 10) without perturbing a single output bit.
+
+use std::fmt;
+
+use dlmc::Matrix;
+
+/// How a request was rejected at admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The named model is not registered.
+    UnknownModel(String),
+    /// The request's B height does not match the model's K.
+    DimMismatch {
+        /// Model the request addressed.
+        model: String,
+        /// The model's reduction dimension.
+        expected_k: usize,
+        /// The request's `b.rows`.
+        got: usize,
+    },
+    /// The request is wider than any batch the server may form.
+    TooWide {
+        /// The request's `b.cols`.
+        n: usize,
+        /// The server's `max_batch_n`.
+        max_batch_n: usize,
+    },
+    /// The request carries no columns.
+    EmptyRequest,
+    /// The model's queue is at capacity — backpressure.
+    QueueFull {
+        /// Model whose queue is full.
+        model: String,
+        /// The configured per-model queue capacity.
+        cap: usize,
+    },
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::UnknownModel(m) => write!(f, "unknown model {m:?}"),
+            AdmitError::DimMismatch {
+                model,
+                expected_k,
+                got,
+            } => write!(
+                f,
+                "model {model:?} expects B with {expected_k} rows, request has {got}"
+            ),
+            AdmitError::TooWide { n, max_batch_n } => write!(
+                f,
+                "request width {n} exceeds the maximum batch width {max_batch_n}"
+            ),
+            AdmitError::EmptyRequest => write!(f, "request has zero columns"),
+            AdmitError::QueueFull { model, cap } => {
+                write!(f, "queue for model {model:?} is full ({cap} requests)")
+            }
+            AdmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Per-request accounting attached to every response.
+#[derive(Clone, Debug, Default)]
+pub struct RequestStats {
+    /// This request's proportional share (`n_i / n_batch`) of the
+    /// batch's simulated duration, cycles.
+    pub device_cycles: f64,
+    /// The whole batch's simulated duration, cycles.
+    pub batch_cycles: f64,
+    /// Requests coalesced into the batch (≥ 1).
+    pub batch_requests: usize,
+    /// Total B columns of the batch.
+    pub batch_n: usize,
+    /// Whether serving this batch planned (or disk-loaded) the model —
+    /// a cache miss the batch paid for.
+    pub cold: bool,
+    /// Host nanoseconds spent planning/loading on a cold fetch
+    /// (0 on a warm hit).
+    pub plan_host_ns: u64,
+    /// Host nanoseconds the request spent queued before execution
+    /// (threaded server only; 0 in the virtual-clock simulator).
+    pub queue_host_ns: u64,
+}
+
+/// One completed SpMM request: the `rows × cols` product (f32
+/// accumulator precision, row-major) plus its accounting.
+#[derive(Clone, Debug)]
+pub struct SpmmResponse {
+    /// Output rows (the model's M).
+    pub rows: usize,
+    /// Output columns (the request's N).
+    pub cols: usize,
+    /// Row-major `rows × cols` product.
+    pub c: Vec<f32>,
+    /// Accounting for this request.
+    pub stats: RequestStats,
+}
+
+/// Concatenates same-height matrices along the column axis.
+///
+/// Panics if the parts disagree on `rows`; admission validates this
+/// before a request can reach a batch.
+pub fn concat_columns(parts: &[&Matrix]) -> Matrix {
+    assert!(!parts.is_empty(), "cannot concatenate zero matrices");
+    let rows = parts[0].rows;
+    assert!(
+        parts.iter().all(|p| p.rows == rows),
+        "all batch members must share K"
+    );
+    let cols: usize = parts.iter().map(|p| p.cols).sum();
+    let mut data = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for p in parts {
+            data.extend_from_slice(p.row(r));
+        }
+    }
+    Matrix { rows, cols, data }
+}
+
+/// Splits a row-major `m × Σwidths` product back into per-request
+/// row-major blocks, inverting [`concat_columns`].
+pub fn split_columns(c: &[f32], m: usize, widths: &[usize]) -> Vec<Vec<f32>> {
+    let total: usize = widths.iter().sum();
+    assert_eq!(c.len(), m * total, "product size mismatch");
+    let mut out: Vec<Vec<f32>> = widths.iter().map(|&w| Vec::with_capacity(m * w)).collect();
+    let mut off = 0;
+    for (j, &w) in widths.iter().enumerate() {
+        for r in 0..m {
+            out[j].extend_from_slice(&c[r * total + off..r * total + off + w]);
+        }
+        off += w;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlmc::{dense_rhs, ValueDist, VectorSparseSpec};
+    use jigsaw_core::{execute_fast, JigsawConfig, JigsawSpmm};
+
+    #[test]
+    fn concat_then_split_roundtrips() {
+        let b1 = dense_rhs(8, 3, ValueDist::SmallInt, 1);
+        let b2 = dense_rhs(8, 5, ValueDist::SmallInt, 2);
+        let cat = concat_columns(&[&b1, &b2]);
+        assert_eq!(cat.rows, 8);
+        assert_eq!(cat.cols, 8);
+        for r in 0..8 {
+            assert_eq!(&cat.row(r)[..3], b1.row(r));
+            assert_eq!(&cat.row(r)[3..], b2.row(r));
+        }
+    }
+
+    #[test]
+    fn batched_spmm_is_bit_identical_to_solo() {
+        let a = VectorSparseSpec {
+            rows: 64,
+            cols: 96,
+            sparsity: 0.9,
+            v: 4,
+            dist: ValueDist::SmallInt,
+            seed: 11,
+        }
+        .generate();
+        let planned = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+        let parts: Vec<Matrix> = (0..3)
+            .map(|i| dense_rhs(96, 4 + i, ValueDist::Uniform, 20 + i as u64))
+            .collect();
+        let refs: Vec<&Matrix> = parts.iter().collect();
+        let batch_c = execute_fast(&planned.format, &concat_columns(&refs));
+        let widths: Vec<usize> = parts.iter().map(|p| p.cols).collect();
+        let splits = split_columns(&batch_c, 64, &widths);
+        for (part, split) in parts.iter().zip(&splits) {
+            assert_eq!(split, &execute_fast(&planned.format, part), "bit-exact");
+        }
+    }
+
+    #[test]
+    fn split_handles_degenerate_widths() {
+        let c = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let parts = split_columns(&c, 2, &[1, 2]);
+        assert_eq!(parts[0], vec![1.0, 4.0]);
+        assert_eq!(parts[1], vec![2.0, 3.0, 5.0, 6.0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Seeded workload generation: open-loop Poisson schedules for the
+//! virtual-clock simulator and a closed-loop driver for the threaded
+//! server. Both draw from a model zoo, so a "serving benchmark" is
+//! reproducible from `(zoo seed, load seed)` alone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dlmc::{dense_rhs, Matrix, ValueDist};
+
+use crate::batch::SpmmResponse;
+use crate::server::{ServeError, Server, Ticket};
+use crate::sim::SimRequest;
+use crate::zoo::ZooModel;
+
+/// Open-loop workload shape.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Requests to generate.
+    pub requests: usize,
+    /// RNG seed (schedule and request widths).
+    pub seed: u64,
+    /// Request widths drawn uniformly from this set.
+    pub n_choices: Vec<usize>,
+    /// Mean inter-arrival gap, cycles (exponential).
+    pub mean_gap_cycles: f64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            requests: 64,
+            seed: 0xD1CE,
+            n_choices: vec![8, 16, 32],
+            mean_gap_cycles: 2_000.0,
+        }
+    }
+}
+
+/// Generates a deterministic open-loop arrival schedule over the zoo:
+/// Poisson arrivals, uniform model choice, uniform width choice.
+pub fn generate_schedule(zoo: &[ZooModel], spec: &LoadSpec) -> Vec<SimRequest> {
+    assert!(!zoo.is_empty(), "zoo must not be empty");
+    assert!(!spec.n_choices.is_empty(), "need at least one width");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut at = 0.0f64;
+    (0..spec.requests)
+        .map(|id| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            at += -(1.0 - u).ln() * spec.mean_gap_cycles;
+            let model = &zoo[rng.gen_range(0..zoo.len())];
+            let n = spec.n_choices[rng.gen_range(0..spec.n_choices.len())];
+            SimRequest {
+                id,
+                model: model.name.clone(),
+                arrival_cycle: at,
+                n,
+            }
+        })
+        .collect()
+}
+
+/// The B operand for a scheduled request — deterministic in
+/// `(load seed, request id)`, so the threaded server and the solo
+/// reference run see byte-identical inputs.
+pub fn rhs_for(zoo: &[ZooModel], req: &SimRequest, seed: u64) -> Matrix {
+    let model = zoo
+        .iter()
+        .find(|m| m.name == req.model)
+        .expect("request references a zoo model");
+    dense_rhs(
+        model.k(),
+        req.n,
+        ValueDist::SmallInt,
+        seed ^ (req.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// Drives the threaded server closed-loop: `clients` submitter threads
+/// each issue `per_client` requests back-to-back (next request after
+/// the previous completes), drawing models/widths from a per-client
+/// seeded stream. Returns each request's result, sorted by
+/// `(client, sequence)` — deterministic *content*, concurrent timing.
+pub fn run_closed_loop(
+    server: &Server,
+    zoo: &[ZooModel],
+    clients: usize,
+    per_client: usize,
+    n_choices: &[usize],
+    seed: u64,
+) -> Vec<Result<SpmmResponse, ServeError>> {
+    assert!(!zoo.is_empty() && !n_choices.is_empty());
+    let results: Vec<Vec<Result<SpmmResponse, ServeError>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ ((client as u64) << 32));
+                    let mut out = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let model = &zoo[rng.gen_range(0..zoo.len())];
+                        let n = n_choices[rng.gen_range(0..n_choices.len())];
+                        let b = dense_rhs(
+                            model.k(),
+                            n,
+                            ValueDist::SmallInt,
+                            seed ^ ((client * 1000 + i) as u64),
+                        );
+                        let outcome: Result<Ticket, _> = server.submit(&model.name, b);
+                        out.push(match outcome {
+                            Ok(ticket) => ticket.wait(),
+                            // Backpressure: a closed-loop client just
+                            // moves on to its next request.
+                            Err(e) => Err(ServeError::Registry(e.to_string())),
+                        });
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::default_zoo;
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let zoo = default_zoo(1);
+        let spec = LoadSpec::default();
+        let a = generate_schedule(&zoo, &spec);
+        let b = generate_schedule(&zoo, &spec);
+        assert_eq!(a.len(), spec.requests);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.model, y.model);
+            assert_eq!(x.n, y.n);
+            assert_eq!(x.arrival_cycle.to_bits(), y.arrival_cycle.to_bits());
+        }
+        let c = generate_schedule(&zoo, &LoadSpec { seed: 999, ..spec });
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.arrival_cycle != y.arrival_cycle),
+            "different seed, different schedule"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_mixed() {
+        let zoo = default_zoo(1);
+        let spec = LoadSpec {
+            requests: 200,
+            ..LoadSpec::default()
+        };
+        let sched = generate_schedule(&zoo, &spec);
+        for w in sched.windows(2) {
+            assert!(w[0].arrival_cycle <= w[1].arrival_cycle);
+        }
+        let models: std::collections::HashSet<&str> =
+            sched.iter().map(|r| r.model.as_str()).collect();
+        assert!(models.len() > 1, "traffic mixes models");
+    }
+
+    #[test]
+    fn rhs_is_deterministic_and_shaped() {
+        let zoo = default_zoo(1);
+        let sched = generate_schedule(&zoo, &LoadSpec::default());
+        let b1 = rhs_for(&zoo, &sched[0], 42);
+        let b2 = rhs_for(&zoo, &sched[0], 42);
+        assert_eq!(b1, b2);
+        assert_eq!(b1.cols, sched[0].n);
+        let k = zoo.iter().find(|m| m.name == sched[0].model).unwrap().k();
+        assert_eq!(b1.rows, k);
+    }
+}

@@ -1,0 +1,272 @@
+//! Serving metrics: counters, exact-percentile latency histograms, and
+//! a text report in the style of `gpu_sim`'s Nsight-like sections.
+
+use std::fmt::Write as _;
+
+use crate::registry::CacheStats;
+
+/// Exact-percentile sample store. Serving runs are bounded (thousands
+/// of requests), so keeping every sample and computing nearest-rank
+/// percentiles exactly is cheaper than being clever.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank percentile, `p` in [0, 100]. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Aggregated serving metrics for one run.
+#[derive(Clone, Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests rejected at admission (backpressure, bad dims, …).
+    pub rejected: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Σ requests over all batches (occupancy numerator).
+    pub batch_requests_total: u64,
+    /// Σ B columns over all batches.
+    pub batch_n_total: u64,
+    /// Largest total queue depth observed at admission.
+    pub peak_queue_depth: usize,
+    /// Total simulated device cycles spent executing batches
+    /// (including cold planning charged to the device timeline, when
+    /// the caller does so).
+    pub device_cycles: f64,
+    /// Per-request end-to-end latency in simulated cycles.
+    pub latency_cycles: Histogram,
+    /// Per-request end-to-end latency in host nanoseconds (threaded
+    /// server only; empty in the virtual-clock simulator).
+    pub latency_host_ns: Histogram,
+}
+
+impl ServeMetrics {
+    /// Mean requests coalesced per batch.
+    pub fn avg_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_requests_total as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean B columns per batch.
+    pub fn avg_batch_n(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_n_total as f64 / self.batches as f64
+        }
+    }
+
+    /// Completed requests per 10⁹ simulated device cycles — the
+    /// serving experiment's headline throughput number.
+    pub fn requests_per_gcycle(&self) -> f64 {
+        if self.device_cycles <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / (self.device_cycles / 1e9)
+        }
+    }
+
+    /// Renders the text report, `gpu_sim::ncu_style_report` style.
+    pub fn report(&self, name: &str, cache: &CacheStats) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {name} ==");
+        out.push_str("  Section: Serving Throughput\n");
+        let _ = writeln!(
+            out,
+            "    Requests admitted           {:>12}",
+            self.submitted
+        );
+        let _ = writeln!(
+            out,
+            "    Requests completed          {:>12}",
+            self.completed
+        );
+        let _ = writeln!(out, "    Requests rejected           {:>12}", self.rejected);
+        let _ = writeln!(
+            out,
+            "    Device cycles               {:>12.0}",
+            self.device_cycles
+        );
+        let _ = writeln!(
+            out,
+            "    Throughput                  {:>12.1} req/Gcycle",
+            self.requests_per_gcycle()
+        );
+        out.push_str("  Section: Batching\n");
+        let _ = writeln!(out, "    Batches executed            {:>12}", self.batches);
+        let _ = writeln!(
+            out,
+            "    Avg requests per batch      {:>12.2}",
+            self.avg_batch_occupancy()
+        );
+        let _ = writeln!(
+            out,
+            "    Avg batch N                 {:>12.1}",
+            self.avg_batch_n()
+        );
+        let _ = writeln!(
+            out,
+            "    Peak queue depth            {:>12}",
+            self.peak_queue_depth
+        );
+        out.push_str("  Section: Latency (simulated cycles)\n");
+        let _ = writeln!(
+            out,
+            "    p50 / p95 / p99             {:>12.0} / {:.0} / {:.0}",
+            self.latency_cycles.percentile(50.0),
+            self.latency_cycles.percentile(95.0),
+            self.latency_cycles.percentile(99.0)
+        );
+        let _ = writeln!(
+            out,
+            "    mean / max                  {:>12.0} / {:.0}",
+            self.latency_cycles.mean(),
+            self.latency_cycles.max()
+        );
+        if !self.latency_host_ns.is_empty() {
+            out.push_str("  Section: Latency (host time)\n");
+            let _ = writeln!(
+                out,
+                "    p50 / p95 / p99             {:>12.1} / {:.1} / {:.1} us",
+                self.latency_host_ns.percentile(50.0) / 1e3,
+                self.latency_host_ns.percentile(95.0) / 1e3,
+                self.latency_host_ns.percentile(99.0) / 1e3
+            );
+        }
+        out.push_str("  Section: Model Cache\n");
+        let _ = writeln!(
+            out,
+            "    Hits / misses               {:>12} / {}",
+            cache.hits, cache.misses
+        );
+        let _ = writeln!(
+            out,
+            "    Hit rate                    {:>12.1} %",
+            100.0 * cache.hit_rate()
+        );
+        let _ = writeln!(
+            out,
+            "    Plans / disk loads          {:>12} / {}",
+            cache.plans, cache.disk_loads
+        );
+        let _ = writeln!(
+            out,
+            "    Evictions                   {:>12}",
+            cache.evictions
+        );
+        let _ = writeln!(
+            out,
+            "    Resident                    {:>12} models, {} bytes",
+            cache.resident_models, cache.resident_bytes
+        );
+        let _ = writeln!(
+            out,
+            "    Cold host time              {:>12.2} ms",
+            cache.cold_host_ns as f64 / 1e6
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let mut h = Histogram::default();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.percentile(50.0), 50.0);
+        assert_eq!(h.percentile(95.0), 95.0);
+        assert_eq!(h.percentile(99.0), 99.0);
+        assert_eq!(h.percentile(100.0), 100.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.max(), 100.0);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let mut m = ServeMetrics {
+            submitted: 10,
+            completed: 9,
+            rejected: 1,
+            batches: 3,
+            batch_requests_total: 9,
+            batch_n_total: 72,
+            device_cycles: 1e6,
+            ..ServeMetrics::default()
+        };
+        m.latency_cycles.record(1000.0);
+        m.latency_host_ns.record(5_000.0);
+        let report = m.report("serve_test", &CacheStats::default());
+        for needle in [
+            "Serving Throughput",
+            "Batching",
+            "Latency (simulated cycles)",
+            "Latency (host time)",
+            "Model Cache",
+            "req/Gcycle",
+            "Hit rate",
+        ] {
+            assert!(report.contains(needle), "missing {needle}:\n{report}");
+        }
+        assert!((m.avg_batch_occupancy() - 3.0).abs() < 1e-9);
+        assert!((m.requests_per_gcycle() - 9000.0).abs() < 1e-6);
+    }
+}

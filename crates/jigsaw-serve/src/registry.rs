@@ -1,0 +1,475 @@
+//! Model registry: plan each stationary weight matrix **once** per
+//! (matrix, config) — the paper's amortization argument (§3.1) applied
+//! to a multi-tenant server — and cache the result.
+//!
+//! Two storage tiers:
+//!
+//! * **resident** — the in-memory planned format, LRU-evicted to honor
+//!   a byte budget (accounted at the serialized artifact size),
+//! * **artifact** — the serialized format on disk (optional), so an
+//!   evicted or restarted model reloads without re-running the reorder.
+//!
+//! Every fetch is classified hit / planned / disk-loaded and counted,
+//! which is what the serving experiment's warm-vs-cold axis reads.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dlmc::Matrix;
+use gpu_sim::{simulate_kernel, GpuSpec, KernelStats};
+use jigsaw_core::serialize;
+use jigsaw_core::{
+    build_launch, execute_fast, JigsawConfig, JigsawFormat, JigsawSpmm, ReorderStats,
+};
+
+/// Registry configuration.
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// Byte budget for resident planned models, accounted at the
+    /// serialized artifact size. The most recently fetched model is
+    /// always kept resident, even if it alone exceeds the budget.
+    pub budget_bytes: usize,
+    /// Directory for serialized artifacts; `None` disables the disk
+    /// tier (cold fetches then always re-plan).
+    pub artifact_dir: Option<PathBuf>,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            budget_bytes: 64 << 20,
+            artifact_dir: None,
+        }
+    }
+}
+
+/// A planned model resident in the registry. Holds exactly what
+/// execution needs — the compressed format and kernel config — so a
+/// model restored from its artifact is indistinguishable at run time
+/// from a freshly planned one.
+#[derive(Clone, Debug)]
+pub struct PlannedModel {
+    /// Registry name.
+    pub name: String,
+    /// The compressed reorder-aware format.
+    pub format: JigsawFormat,
+    /// Kernel configuration the plan was built for.
+    pub config: JigsawConfig,
+    /// Reorder quality statistics — `None` when restored from an
+    /// artifact (the artifact stores the format, not the plan).
+    pub reorder_stats: Option<ReorderStats>,
+    /// Serialized artifact size, the cache-accounting unit.
+    pub artifact_bytes: usize,
+    /// Host nanoseconds spent producing this resident copy (planning
+    /// or disk load).
+    pub plan_host_ns: u64,
+}
+
+impl PlannedModel {
+    /// Output dimension (rows of C).
+    pub fn m(&self) -> usize {
+        self.format.m
+    }
+
+    /// Reduction dimension (required B height).
+    pub fn k(&self) -> usize {
+        self.format.k
+    }
+
+    /// Computes `C = W × b` (row-major f32).
+    pub fn execute(&self, b: &Matrix) -> Vec<f32> {
+        execute_fast(&self.format, b)
+    }
+
+    /// Simulates one kernel at output width `n`.
+    pub fn simulate(&self, n: usize, spec: &GpuSpec) -> KernelStats {
+        simulate_kernel(&build_launch(&self.format, n, &self.config), spec)
+    }
+}
+
+/// How a fetch was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fetch {
+    /// Already resident.
+    Hit,
+    /// Planned from the registered weights (reorder + compress).
+    Planned,
+    /// Restored from the on-disk artifact.
+    DiskLoaded,
+}
+
+impl Fetch {
+    /// True for anything other than a resident hit.
+    pub fn is_cold(self) -> bool {
+        self != Fetch::Hit
+    }
+}
+
+/// Cache accounting counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Fetches served from resident memory.
+    pub hits: u64,
+    /// Fetches that found nothing resident.
+    pub misses: u64,
+    /// Misses satisfied by deserializing the artifact.
+    pub disk_loads: u64,
+    /// Misses satisfied by planning from weights.
+    pub plans: u64,
+    /// Models evicted to honor the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident (artifact-size accounting).
+    pub resident_bytes: usize,
+    /// Models currently resident.
+    pub resident_models: usize,
+    /// Total host nanoseconds spent planning or disk-loading.
+    pub cold_host_ns: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all fetches (0 when nothing was fetched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Registry failure.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The named model was never registered.
+    UnknownModel(String),
+    /// The artifact tier failed (I/O or a corrupt artifact).
+    Io(io::Error),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownModel(m) => write!(f, "unknown model {m:?}"),
+            RegistryError::Io(e) => write!(f, "artifact error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<io::Error> for RegistryError {
+    fn from(e: io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+struct Source {
+    weights: Matrix,
+    config: JigsawConfig,
+}
+
+struct Resident {
+    model: Arc<PlannedModel>,
+    last_use: u64,
+}
+
+struct Inner {
+    sources: HashMap<String, Source>,
+    resident: HashMap<String, Resident>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// The multi-tenant model cache. All methods take `&self`; the registry
+/// is shared across worker threads behind an `Arc`.
+pub struct ModelRegistry {
+    cfg: RegistryConfig,
+    inner: Mutex<Inner>,
+}
+
+impl ModelRegistry {
+    /// Creates a registry (and the artifact directory, if configured).
+    pub fn new(cfg: RegistryConfig) -> io::Result<ModelRegistry> {
+        if let Some(dir) = &cfg.artifact_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(ModelRegistry {
+            cfg,
+            inner: Mutex::new(Inner {
+                sources: HashMap::new(),
+                resident: HashMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+        })
+    }
+
+    /// Registers a model's weights. Planning is deferred to the first
+    /// fetch; re-registering a name replaces the source and drops any
+    /// resident plan.
+    pub fn register(&self, name: &str, weights: Matrix, config: JigsawConfig) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(old) = inner.resident.remove(name) {
+            inner.stats.resident_bytes -= old.model.artifact_bytes;
+            inner.stats.resident_models -= 1;
+        }
+        inner
+            .sources
+            .insert(name.to_string(), Source { weights, config });
+    }
+
+    /// The registered model's reduction dimension, if known.
+    pub fn model_k(&self, name: &str) -> Option<usize> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner.sources.get(name).map(|s| s.weights.cols)
+    }
+
+    /// Registered model names, sorted.
+    pub fn model_names(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut names: Vec<String> = inner.sources.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot of the accounting counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("registry lock").stats.clone()
+    }
+
+    /// Fetches a planned model, reporting how the fetch was satisfied.
+    ///
+    /// Cold fetches plan (or disk-load) while holding the registry
+    /// lock: concurrent workers serialize on planning, which also
+    /// guarantees a model is never planned twice.
+    pub fn fetch(&self, name: &str) -> Result<(Arc<PlannedModel>, Fetch), RegistryError> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let hit = inner.resident.get_mut(name).map(|r| {
+            r.last_use = tick;
+            r.model.clone()
+        });
+        if let Some(model) = hit {
+            inner.stats.hits += 1;
+            return Ok((model, Fetch::Hit));
+        }
+        if !inner.sources.contains_key(name) {
+            return Err(RegistryError::UnknownModel(name.to_string()));
+        }
+        inner.stats.misses += 1;
+
+        let started = Instant::now();
+        let artifact_path = self
+            .cfg
+            .artifact_dir
+            .as_ref()
+            .map(|d| d.join(format!("{name}.jgsw")));
+        let on_disk = artifact_path.as_ref().is_some_and(|p| p.exists());
+
+        let (model, kind) = if on_disk {
+            let path = artifact_path.as_ref().expect("checked above");
+            let bytes = std::fs::read(path)?;
+            // The hardened decoder rejects corrupt artifacts with an
+            // error; the server surfaces it instead of crashing.
+            let format = serialize::from_bytes(&bytes)?;
+            let source = inner.sources.get(name).expect("checked above");
+            let model = PlannedModel {
+                name: name.to_string(),
+                format,
+                config: source.config,
+                reorder_stats: None,
+                artifact_bytes: bytes.len(),
+                plan_host_ns: started.elapsed().as_nanos() as u64,
+            };
+            inner.stats.disk_loads += 1;
+            (model, Fetch::DiskLoaded)
+        } else {
+            let source = inner.sources.get(name).expect("checked above");
+            let planned = JigsawSpmm::plan(&source.weights, source.config);
+            let bytes = serialize::to_bytes(&planned.format);
+            if let Some(path) = &artifact_path {
+                std::fs::write(path, &bytes)?;
+            }
+            let model = PlannedModel {
+                name: name.to_string(),
+                format: planned.format,
+                config: planned.config,
+                reorder_stats: Some(planned.reorder_stats),
+                artifact_bytes: bytes.len(),
+                plan_host_ns: started.elapsed().as_nanos() as u64,
+            };
+            inner.stats.plans += 1;
+            (model, Fetch::Planned)
+        };
+        inner.stats.cold_host_ns += model.plan_host_ns;
+
+        let model = Arc::new(model);
+        inner.stats.resident_bytes += model.artifact_bytes;
+        inner.stats.resident_models += 1;
+        inner.resident.insert(
+            name.to_string(),
+            Resident {
+                model: model.clone(),
+                last_use: tick,
+            },
+        );
+        self.evict_over_budget(&mut inner, name);
+        Ok((model, kind))
+    }
+
+    /// Fetches a planned model (plain form of [`ModelRegistry::fetch`]).
+    pub fn get(&self, name: &str) -> Result<Arc<PlannedModel>, RegistryError> {
+        self.fetch(name).map(|(m, _)| m)
+    }
+
+    /// Pre-plans every registered model (sorted order), warming the
+    /// cache. Returns the number of cold fetches performed.
+    pub fn warm_all(&self) -> Result<usize, RegistryError> {
+        let mut cold = 0;
+        for name in self.model_names() {
+            if self.fetch(&name)?.1.is_cold() {
+                cold += 1;
+            }
+        }
+        Ok(cold)
+    }
+
+    /// Drops every resident plan (artifacts remain on disk), as if the
+    /// server restarted with a cold cache.
+    pub fn drop_resident(&self) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        let n = inner.resident.len() as u64;
+        inner.resident.clear();
+        inner.stats.evictions += n;
+        inner.stats.resident_bytes = 0;
+        inner.stats.resident_models = 0;
+    }
+
+    /// Evicts least-recently-used residents (never `keep`) until the
+    /// byte budget is honored.
+    fn evict_over_budget(&self, inner: &mut Inner, keep: &str) {
+        while inner.stats.resident_bytes > self.cfg.budget_bytes {
+            let victim = inner
+                .resident
+                .iter()
+                .filter(|(name, _)| name.as_str() != keep)
+                .min_by(|a, b| (a.1.last_use, a.0).cmp(&(b.1.last_use, b.0)))
+                .map(|(name, _)| name.clone());
+            let Some(victim) = victim else {
+                // Only `keep` remains; it stays resident even over
+                // budget so a fetch always returns a usable model.
+                break;
+            };
+            let evicted = inner.resident.remove(&victim).expect("victim exists");
+            inner.stats.resident_bytes -= evicted.model.artifact_bytes;
+            inner.stats.resident_models -= 1;
+            inner.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::default_zoo;
+
+    fn registry_with_zoo(budget: usize, dir: Option<PathBuf>) -> ModelRegistry {
+        let reg = ModelRegistry::new(RegistryConfig {
+            budget_bytes: budget,
+            artifact_dir: dir,
+        })
+        .unwrap();
+        for m in default_zoo(40).into_iter().take(2) {
+            reg.register(&m.name, m.weights(), m.config);
+        }
+        reg
+    }
+
+    #[test]
+    fn fetch_plans_once_then_hits() {
+        let reg = registry_with_zoo(usize::MAX, None);
+        let (m1, k1) = reg.fetch("attention-small").unwrap();
+        assert_eq!(k1, Fetch::Planned);
+        let (m2, k2) = reg.fetch("attention-small").unwrap();
+        assert_eq!(k2, Fetch::Hit);
+        assert!(Arc::ptr_eq(&m1, &m2), "hit returns the same plan");
+        let s = reg.stats();
+        assert_eq!((s.hits, s.misses, s.plans), (1, 1, 1));
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn unknown_model_is_an_error() {
+        let reg = registry_with_zoo(usize::MAX, None);
+        assert!(matches!(
+            reg.fetch("nope"),
+            Err(RegistryError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn eviction_honors_byte_budget() {
+        let reg = registry_with_zoo(usize::MAX, None);
+        let a = reg.get("attention-small").unwrap();
+        let b = reg.get("embedding-proj").unwrap();
+        let budget = a.artifact_bytes.max(b.artifact_bytes);
+
+        // Re-run with a budget that fits only one model at a time.
+        let reg = registry_with_zoo(budget, None);
+        reg.get("attention-small").unwrap();
+        reg.get("embedding-proj").unwrap();
+        let s = reg.stats();
+        assert!(s.resident_bytes <= budget, "budget respected");
+        assert_eq!(s.resident_models, 1);
+        assert_eq!(s.evictions, 1);
+        // The evicted model re-plans on next touch.
+        let (_, kind) = reg.fetch("attention-small").unwrap();
+        assert_eq!(kind, Fetch::Planned);
+    }
+
+    #[test]
+    fn artifacts_make_cold_fetches_disk_loads() {
+        let dir = std::env::temp_dir().join("jigsaw-serve-registry-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = registry_with_zoo(usize::MAX, Some(dir.clone()));
+        reg.get("attention-small").unwrap();
+        assert!(dir.join("attention-small.jgsw").exists());
+        reg.drop_resident();
+        let (m, kind) = reg.fetch("attention-small").unwrap();
+        assert_eq!(kind, Fetch::DiskLoaded);
+        assert!(m.reorder_stats.is_none(), "artifact stores no plan stats");
+        let s = reg.stats();
+        assert_eq!(s.disk_loads, 1);
+
+        // Loaded format computes the same product as a fresh plan.
+        let fresh = registry_with_zoo(usize::MAX, None);
+        let f = fresh.get("attention-small").unwrap();
+        let b = dlmc::dense_rhs(m.k(), 8, dlmc::ValueDist::SmallInt, 77);
+        assert_eq!(m.execute(&b), f.execute(&b));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_an_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("jigsaw-serve-corrupt-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = registry_with_zoo(usize::MAX, Some(dir.clone()));
+        reg.get("attention-small").unwrap();
+        reg.drop_resident();
+        // Truncate the artifact mid-file.
+        let path = dir.join("attention-small.jgsw");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            reg.fetch("attention-small"),
+            Err(RegistryError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,568 @@
+//! The threaded serving engine: bounded per-model admission queues, a
+//! dynamic micro-batcher that coalesces requests along N (up to
+//! `max_batch_n` columns or a `max_wait` deadline, whichever first),
+//! and a worker pool executing one simulated kernel per batch.
+//!
+//! Built entirely on `std::sync` — no external runtime. Each request's
+//! response carries its proportional share of the batch's simulated
+//! cycles plus the real host time it spent queued, so the amortization
+//! ledger stays per-request even when the device ran many at once.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dlmc::Matrix;
+use gpu_sim::GpuSpec;
+
+use crate::batch::{concat_columns, split_columns, AdmitError, RequestStats, SpmmResponse};
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelRegistry;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Simulated device.
+    pub spec: GpuSpec,
+    /// Maximum total B columns coalesced into one batch.
+    pub max_batch_n: usize,
+    /// How long a batch may wait for co-riders before dispatching.
+    pub max_wait: Duration,
+    /// Per-model admission queue capacity (backpressure bound).
+    pub queue_cap: usize,
+    /// Worker threads.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            spec: GpuSpec::a100(),
+            max_batch_n: 256,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 64,
+            workers: 2,
+        }
+    }
+}
+
+/// Server-side failure delivered through a [`Ticket`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// The registry failed while fetching the model for a batch.
+    Registry(String),
+    /// The server stopped before the request could run.
+    Canceled,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Registry(e) => write!(f, "registry failure: {e}"),
+            ServeError::Canceled => write!(f, "request canceled by shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct TicketState {
+    done: Mutex<Option<Result<SpmmResponse, ServeError>>>,
+    cv: Condvar,
+}
+
+/// Handle to one in-flight request; `wait` blocks until the worker
+/// pool fulfills (or fails) it.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ticket")
+            .field(
+                "done",
+                &self.state.done.lock().expect("ticket lock").is_some(),
+            )
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the response is ready.
+    pub fn wait(self) -> Result<SpmmResponse, ServeError> {
+        let mut done = self.state.done.lock().expect("ticket lock");
+        while done.is_none() {
+            done = self.state.cv.wait(done).expect("ticket lock");
+        }
+        done.take().expect("checked above")
+    }
+}
+
+struct Pending {
+    b: Matrix,
+    enqueued: Instant,
+    ticket: Arc<TicketState>,
+}
+
+fn fulfill(ticket: &TicketState, result: Result<SpmmResponse, ServeError>) {
+    *ticket.done.lock().expect("ticket lock") = Some(result);
+    ticket.cv.notify_all();
+}
+
+#[derive(Default)]
+struct QueueMap {
+    by_model: HashMap<String, VecDeque<Pending>>,
+    depth: usize,
+}
+
+struct Shared {
+    queues: Mutex<QueueMap>,
+    cv: Condvar,
+    stop: AtomicBool,
+    metrics: Mutex<ServeMetrics>,
+}
+
+/// The serving engine. Create with [`Server::start`]; submit requests
+/// from any thread; call [`Server::shutdown`] to drain and join.
+pub struct Server {
+    registry: Arc<ModelRegistry>,
+    cfg: ServeConfig,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns the worker pool.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: ServeConfig) -> Server {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.max_batch_n >= 1, "max_batch_n must be positive");
+        let shared = Arc::new(Shared {
+            queues: Mutex::new(QueueMap::default()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            metrics: Mutex::new(ServeMetrics::default()),
+        });
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let shared = shared.clone();
+                let registry = registry.clone();
+                let cfg = cfg.clone();
+                std::thread::spawn(move || worker_loop(&shared, &registry, &cfg))
+            })
+            .collect();
+        Server {
+            registry,
+            cfg,
+            shared,
+            workers,
+        }
+    }
+
+    /// Admission control: validates the request against the registry
+    /// and the queue bound, then enqueues it. Rejections are values —
+    /// the caller sees *why* (backpressure vs. a malformed request).
+    pub fn submit(&self, model: &str, b: Matrix) -> Result<Ticket, AdmitError> {
+        let reject = |shared: &Shared, e: AdmitError| {
+            shared.metrics.lock().expect("metrics lock").rejected += 1;
+            Err(e)
+        };
+        if self.shared.stop.load(Ordering::SeqCst) {
+            return reject(&self.shared, AdmitError::ShuttingDown);
+        }
+        let Some(k) = self.registry.model_k(model) else {
+            return reject(&self.shared, AdmitError::UnknownModel(model.to_string()));
+        };
+        if b.cols == 0 {
+            return reject(&self.shared, AdmitError::EmptyRequest);
+        }
+        if b.rows != k {
+            return reject(
+                &self.shared,
+                AdmitError::DimMismatch {
+                    model: model.to_string(),
+                    expected_k: k,
+                    got: b.rows,
+                },
+            );
+        }
+        if b.cols > self.cfg.max_batch_n {
+            return reject(
+                &self.shared,
+                AdmitError::TooWide {
+                    n: b.cols,
+                    max_batch_n: self.cfg.max_batch_n,
+                },
+            );
+        }
+        let state = Arc::new(TicketState {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        {
+            let mut queues = self.shared.queues.lock().expect("queue lock");
+            let q = queues.by_model.entry(model.to_string()).or_default();
+            if q.len() >= self.cfg.queue_cap {
+                drop(queues);
+                return reject(
+                    &self.shared,
+                    AdmitError::QueueFull {
+                        model: model.to_string(),
+                        cap: self.cfg.queue_cap,
+                    },
+                );
+            }
+            q.push_back(Pending {
+                b,
+                enqueued: Instant::now(),
+                ticket: state.clone(),
+            });
+            queues.depth += 1;
+            let depth = queues.depth;
+            drop(queues);
+            let mut m = self.shared.metrics.lock().expect("metrics lock");
+            m.submitted += 1;
+            m.peak_queue_depth = m.peak_queue_depth.max(depth);
+        }
+        self.shared.cv.notify_one();
+        Ok(Ticket { state })
+    }
+
+    /// Snapshot of the serving metrics so far.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.shared.metrics.lock().expect("metrics lock").clone()
+    }
+
+    /// The shared registry.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Stops admission, drains every queued request, joins the
+    /// workers, and returns the final metrics.
+    pub fn shutdown(mut self) -> ServeMetrics {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let metrics = self.metrics();
+        debug_assert_eq!(
+            self.shared.queues.lock().expect("queue lock").depth,
+            0,
+            "shutdown drains every request"
+        );
+        metrics
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped (not shut down) server still drains, so no ticket
+        // waits forever.
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Picks the model whose head request has waited longest.
+fn oldest_head(queues: &QueueMap) -> Option<(String, Instant)> {
+    queues
+        .by_model
+        .iter()
+        .filter_map(|(name, q)| q.front().map(|p| (name.clone(), p.enqueued)))
+        .min_by_key(|(name, t)| (*t, name.clone()))
+}
+
+fn worker_loop(shared: &Shared, registry: &ModelRegistry, cfg: &ServeConfig) {
+    loop {
+        let batch = {
+            let mut queues = shared.queues.lock().expect("queue lock");
+            loop {
+                let stopping = shared.stop.load(Ordering::SeqCst);
+                let Some((model, head_enqueued)) = oldest_head(&queues) else {
+                    if stopping {
+                        return;
+                    }
+                    queues = shared.cv.wait(queues).expect("queue lock");
+                    continue;
+                };
+                let q = queues.by_model.get(&model).expect("head exists");
+                let queued_n: usize = q.iter().map(|p| p.b.cols).sum();
+                let age = head_enqueued.elapsed();
+                let full = queued_n >= cfg.max_batch_n;
+                if !(full || age >= cfg.max_wait || stopping) {
+                    // Hold the batch open for co-riders, but wake at
+                    // the deadline so the head is never starved.
+                    let remaining = cfg.max_wait - age;
+                    let (guard, _) = shared
+                        .cv
+                        .wait_timeout(queues, remaining)
+                        .expect("queue lock");
+                    queues = guard;
+                    continue;
+                }
+                // Dispatch: pop whole requests while they fit.
+                let q = queues.by_model.get_mut(&model).expect("head exists");
+                let mut members = Vec::new();
+                let mut total_n = 0;
+                while let Some(front) = q.front() {
+                    if !members.is_empty() && total_n + front.b.cols > cfg.max_batch_n {
+                        break;
+                    }
+                    total_n += front.b.cols;
+                    members.push(q.pop_front().expect("front exists"));
+                }
+                queues.depth -= members.len();
+                break (model, members);
+            }
+        };
+        execute_batch(shared, registry, cfg, batch);
+        // More work may remain; let a peer wake too.
+        shared.cv.notify_one();
+    }
+}
+
+fn execute_batch(
+    shared: &Shared,
+    registry: &ModelRegistry,
+    cfg: &ServeConfig,
+    (model, members): (String, Vec<Pending>),
+) {
+    let dispatched = Instant::now();
+    let (planned, fetch) = match registry.fetch(&model) {
+        Ok(pair) => pair,
+        Err(e) => {
+            let msg = e.to_string();
+            for p in &members {
+                fulfill(&p.ticket, Err(ServeError::Registry(msg.clone())));
+            }
+            return;
+        }
+    };
+    let parts: Vec<&Matrix> = members.iter().map(|p| &p.b).collect();
+    let widths: Vec<usize> = parts.iter().map(|p| p.cols).collect();
+    let total_n: usize = widths.iter().sum();
+    let bcat = concat_columns(&parts);
+    let c = planned.execute(&bcat);
+    let batch_cycles = planned.simulate(total_n, &cfg.spec).duration_cycles;
+    let splits = split_columns(&c, planned.m(), &widths);
+
+    let mut metrics = shared.metrics.lock().expect("metrics lock");
+    metrics.batches += 1;
+    metrics.batch_requests_total += members.len() as u64;
+    metrics.batch_n_total += total_n as u64;
+    metrics.device_cycles += batch_cycles;
+    for (p, split) in members.iter().zip(splits) {
+        let share = batch_cycles * p.b.cols as f64 / total_n as f64;
+        let queue_host_ns = dispatched.duration_since(p.enqueued).as_nanos() as u64;
+        metrics.completed += 1;
+        metrics.latency_cycles.record(batch_cycles);
+        metrics
+            .latency_host_ns
+            .record(p.enqueued.elapsed().as_nanos() as f64);
+        fulfill(
+            &p.ticket,
+            Ok(SpmmResponse {
+                rows: planned.m(),
+                cols: p.b.cols,
+                c: split,
+                stats: RequestStats {
+                    device_cycles: share,
+                    batch_cycles,
+                    batch_requests: members.len(),
+                    batch_n: total_n,
+                    cold: fetch.is_cold(),
+                    plan_host_ns: if fetch.is_cold() {
+                        planned.plan_host_ns
+                    } else {
+                        0
+                    },
+                    queue_host_ns,
+                },
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use crate::zoo::default_zoo;
+    use dlmc::{dense_rhs, ValueDist};
+
+    fn small_registry() -> Arc<ModelRegistry> {
+        let reg = ModelRegistry::new(RegistryConfig::default()).unwrap();
+        for m in default_zoo(50).into_iter().take(2) {
+            reg.register(&m.name, m.weights(), m.config);
+        }
+        Arc::new(reg)
+    }
+
+    #[test]
+    fn serves_one_request_end_to_end() {
+        let reg = small_registry();
+        let server = Server::start(reg.clone(), ServeConfig::default());
+        let planned = reg.get("attention-small").unwrap();
+        let b = dense_rhs(256, 8, ValueDist::SmallInt, 1);
+        let expect = planned.execute(&b);
+        let resp = server.submit("attention-small", b).unwrap().wait().unwrap();
+        assert_eq!(resp.c, expect, "served result is bit-identical to solo");
+        assert_eq!((resp.rows, resp.cols), (256, 8));
+        assert!(resp.stats.batch_cycles > 0.0);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed, 1);
+        assert_eq!(metrics.rejected, 0);
+    }
+
+    #[test]
+    fn admission_rejects_are_typed() {
+        let reg = small_registry();
+        let server = Server::start(
+            reg,
+            ServeConfig {
+                max_batch_n: 16,
+                ..ServeConfig::default()
+            },
+        );
+        let err = |r: Result<Ticket, AdmitError>| r.unwrap_err();
+        assert_eq!(
+            err(server.submit("nope", dense_rhs(256, 4, ValueDist::SmallInt, 1))),
+            AdmitError::UnknownModel("nope".into())
+        );
+        assert!(matches!(
+            err(server.submit("attention-small", dense_rhs(64, 4, ValueDist::SmallInt, 1))),
+            AdmitError::DimMismatch {
+                expected_k: 256,
+                got: 64,
+                ..
+            }
+        ));
+        assert!(matches!(
+            err(server.submit(
+                "attention-small",
+                dense_rhs(256, 17, ValueDist::SmallInt, 1)
+            )),
+            AdmitError::TooWide {
+                n: 17,
+                max_batch_n: 16
+            }
+        ));
+        assert!(matches!(
+            err(server.submit(
+                "attention-small",
+                Matrix {
+                    rows: 256,
+                    cols: 0,
+                    data: vec![]
+                }
+            )),
+            AdmitError::EmptyRequest
+        ));
+        assert_eq!(server.metrics().rejected, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn backpressure_fills_and_rejects() {
+        let reg = small_registry();
+        // One worker, long batching window, tiny queue: the window
+        // holds the worker while we overfill the queue.
+        let server = Server::start(
+            reg,
+            ServeConfig {
+                workers: 1,
+                queue_cap: 3,
+                max_wait: Duration::from_millis(250),
+                max_batch_n: 1024,
+                ..ServeConfig::default()
+            },
+        );
+        let mut tickets = Vec::new();
+        let mut rejected = 0;
+        for i in 0..10 {
+            match server.submit("attention-small", dense_rhs(256, 2, ValueDist::SmallInt, i)) {
+                Ok(t) => tickets.push(t),
+                Err(AdmitError::QueueFull { cap: 3, .. }) => rejected += 1,
+                Err(e) => panic!("unexpected rejection {e}"),
+            }
+        }
+        assert!(rejected > 0, "queue bound produced backpressure");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed + metrics.rejected, 10);
+    }
+
+    #[test]
+    fn batching_window_coalesces_requests() {
+        let reg = small_registry();
+        let server = Server::start(
+            reg,
+            ServeConfig {
+                workers: 1,
+                max_wait: Duration::from_millis(200),
+                max_batch_n: 1024,
+                queue_cap: 64,
+                ..ServeConfig::default()
+            },
+        );
+        // Submitted back-to-back, well inside the 200 ms window: the
+        // worker must coalesce them into one batch.
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| {
+                server
+                    .submit("attention-small", dense_rhs(256, 4, ValueDist::SmallInt, i))
+                    .unwrap()
+            })
+            .collect();
+        let responses: Vec<SpmmResponse> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        assert!(
+            responses.iter().any(|r| r.stats.batch_requests >= 2),
+            "requests were coalesced"
+        );
+        for r in &responses {
+            assert!(r.stats.device_cycles <= r.stats.batch_cycles);
+        }
+        let metrics = server.shutdown();
+        assert!(metrics.batches < 4, "fewer batches than requests");
+        assert!(metrics.avg_batch_occupancy() > 1.0);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work() {
+        let reg = small_registry();
+        let server = Server::start(
+            reg,
+            ServeConfig {
+                workers: 1,
+                max_wait: Duration::from_secs(5),
+                max_batch_n: 1024,
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| {
+                server
+                    .submit("embedding-proj", dense_rhs(512, 4, ValueDist::SmallInt, i))
+                    .unwrap()
+            })
+            .collect();
+        // Shutdown must cut the 5 s window short and still serve all.
+        let handle = std::thread::spawn(move || server.shutdown());
+        for t in tickets {
+            assert!(t.wait().is_ok(), "drained, not canceled");
+        }
+        let metrics = handle.join().unwrap();
+        assert_eq!(metrics.completed, 3);
+    }
+}

@@ -1,0 +1,411 @@
+//! Deterministic discrete-event serving simulation: the same
+//! admission/batching policy as the threaded [`crate::server`], but on
+//! a virtual cycle clock with a single simulated device. Two runs over
+//! the same schedule produce identical reports — this is what the
+//! `serving` experiment sweeps, so its batched-vs-unbatched and
+//! warm-vs-cold comparisons are reproducible.
+//!
+//! Cold fetches (planning or artifact loads) charge their measured
+//! host time to the virtual timeline, converted at the device clock —
+//! the end-to-end cost a cold-start request actually pays.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use gpu_sim::GpuSpec;
+
+use crate::metrics::ServeMetrics;
+use crate::registry::{ModelRegistry, RegistryError};
+
+/// Virtual-clock serving policy knobs.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Simulated device.
+    pub spec: GpuSpec,
+    /// Maximum total B columns per batch.
+    pub max_batch_n: usize,
+    /// Maximum requests per batch (`1` disables batching).
+    pub max_batch_requests: usize,
+    /// Cycles a batch head may wait for co-riders.
+    pub max_wait_cycles: f64,
+    /// Charge cold-fetch host time (ns → cycles at the device clock)
+    /// to the virtual timeline.
+    pub charge_cold_fetch: bool,
+}
+
+impl SimConfig {
+    /// The batched policy at a given window.
+    pub fn batched(spec: GpuSpec, max_batch_n: usize, max_wait_cycles: f64) -> SimConfig {
+        SimConfig {
+            spec,
+            max_batch_n,
+            max_batch_requests: usize::MAX,
+            max_wait_cycles,
+            charge_cold_fetch: true,
+        }
+    }
+
+    /// One request per kernel, no batching window.
+    pub fn unbatched(spec: GpuSpec) -> SimConfig {
+        SimConfig {
+            spec,
+            max_batch_n: usize::MAX,
+            max_batch_requests: 1,
+            max_wait_cycles: 0.0,
+            charge_cold_fetch: true,
+        }
+    }
+}
+
+/// One request in a virtual-clock schedule.
+#[derive(Clone, Debug)]
+pub struct SimRequest {
+    /// Stable id (ties broken by it; keep unique).
+    pub id: usize,
+    /// Target model.
+    pub model: String,
+    /// Arrival time, cycles.
+    pub arrival_cycle: f64,
+    /// Requested output width (B columns).
+    pub n: usize,
+}
+
+/// Completion record for one simulated request.
+#[derive(Clone, Debug)]
+pub struct SimCompletion {
+    /// Request id.
+    pub id: usize,
+    /// Target model.
+    pub model: String,
+    /// Arrival time, cycles.
+    pub arrival_cycle: f64,
+    /// Batch dispatch time, cycles.
+    pub dispatch_cycle: f64,
+    /// Completion time, cycles.
+    pub finish_cycle: f64,
+    /// Requests in this request's batch.
+    pub batch_requests: usize,
+    /// Total columns of the batch.
+    pub batch_n: usize,
+    /// Proportional share of the batch's cycles charged here.
+    pub charged_cycles: f64,
+    /// Whether the batch paid a cold fetch.
+    pub cold: bool,
+}
+
+/// Result of a virtual-clock run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Per-request completions, in completion order.
+    pub completions: Vec<SimCompletion>,
+    /// Aggregated metrics (`latency_host_ns` stays empty — there is no
+    /// host time on a virtual clock).
+    pub metrics: ServeMetrics,
+    /// Cycles the device spent busy (kernels + charged cold fetches).
+    pub busy_cycles: f64,
+    /// Finish time of the last batch, cycles.
+    pub makespan_cycles: f64,
+}
+
+impl SimReport {
+    /// Completed requests per 10⁹ cycles of *elapsed* virtual time —
+    /// the experiment's headline throughput (uses the makespan, so idle
+    /// gaps and cold stalls count against it).
+    pub fn requests_per_gcycle(&self) -> f64 {
+        if self.makespan_cycles <= 0.0 {
+            0.0
+        } else {
+            self.completions.len() as f64 / (self.makespan_cycles / 1e9)
+        }
+    }
+}
+
+struct Queued<'a> {
+    req: &'a SimRequest,
+}
+
+/// Runs the schedule to completion on the virtual clock.
+///
+/// Deterministic: queues iterate in model-name order, ties in arrival
+/// order break by request id, and the only clock is the cycle counter.
+/// (Cold-fetch charges use measured host time, so *magnitudes* vary
+/// run to run when `charge_cold_fetch` is set and the registry is
+/// cold; the schedule itself does not.)
+pub fn simulate_schedule(
+    registry: &ModelRegistry,
+    schedule: &[SimRequest],
+    cfg: &SimConfig,
+) -> Result<SimReport, RegistryError> {
+    assert!(cfg.max_batch_n >= 1 && cfg.max_batch_requests >= 1);
+    let mut order: Vec<&SimRequest> = schedule.iter().collect();
+    order.sort_by(|a, b| {
+        a.arrival_cycle
+            .partial_cmp(&b.arrival_cycle)
+            .expect("finite arrivals")
+            .then(a.id.cmp(&b.id))
+    });
+
+    let mut queues: BTreeMap<String, VecDeque<Queued<'_>>> = BTreeMap::new();
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+    let mut free_at = 0.0f64;
+    let mut busy_cycles = 0.0f64;
+    let mut makespan = 0.0f64;
+    let mut metrics = ServeMetrics::default();
+    let mut completions = Vec::with_capacity(order.len());
+
+    loop {
+        // Admit everything that has arrived by `now`.
+        while next_arrival < order.len() && order[next_arrival].arrival_cycle <= now {
+            let req = order[next_arrival];
+            queues
+                .entry(req.model.clone())
+                .or_default()
+                .push_back(Queued { req });
+            metrics.submitted += 1;
+            next_arrival += 1;
+        }
+        let depth: usize = queues.values().map(|q| q.len()).sum();
+        metrics.peak_queue_depth = metrics.peak_queue_depth.max(depth);
+
+        // Nothing queued: jump to the next arrival, or finish.
+        if depth == 0 {
+            match order.get(next_arrival) {
+                Some(req) => {
+                    now = now.max(req.arrival_cycle);
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // Oldest head goes first (model name breaks exact ties).
+        let model = queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .min_by(|(na, qa), (nb, qb)| {
+                let (a, b) = (
+                    qa.front().expect("non-empty"),
+                    qb.front().expect("non-empty"),
+                );
+                a.req
+                    .arrival_cycle
+                    .partial_cmp(&b.req.arrival_cycle)
+                    .expect("finite arrivals")
+                    .then(a.req.id.cmp(&b.req.id))
+                    .then(na.cmp(nb))
+            })
+            .map(|(name, _)| name.clone())
+            .expect("depth > 0");
+        let q = queues.get_mut(&model).expect("chosen above");
+
+        // Is the batch already full from what is queued?
+        let mut queued_n = 0usize;
+        let mut queued_reqs = 0usize;
+        for p in q.iter() {
+            if queued_reqs + 1 > cfg.max_batch_requests
+                || (queued_reqs > 0 && queued_n + p.req.n > cfg.max_batch_n)
+            {
+                break;
+            }
+            queued_reqs += 1;
+            queued_n += p.req.n;
+        }
+        let full = queued_reqs >= cfg.max_batch_requests
+            || queued_n >= cfg.max_batch_n
+            || queued_reqs == q.len() && next_arrival >= order.len();
+        let head_arrival = q.front().expect("non-empty").req.arrival_cycle;
+        let window_closes = head_arrival + cfg.max_wait_cycles;
+        let dispatch_at = if full {
+            now.max(free_at)
+        } else {
+            now.max(free_at).max(window_closes)
+        };
+
+        // A future arrival before the dispatch instant may join (or
+        // overfill) the batch — advance the clock and re-decide.
+        if let Some(next) = order.get(next_arrival) {
+            if next.arrival_cycle <= dispatch_at {
+                now = next.arrival_cycle;
+                continue;
+            }
+        }
+
+        // Dispatch: pop whole requests while they fit.
+        let mut members = Vec::new();
+        let mut total_n = 0usize;
+        while let Some(front) = q.front() {
+            if members.len() + 1 > cfg.max_batch_requests
+                || (!members.is_empty() && total_n + front.req.n > cfg.max_batch_n)
+            {
+                break;
+            }
+            total_n += front.req.n;
+            members.push(q.pop_front().expect("front exists").req);
+        }
+        if q.is_empty() {
+            queues.remove(&model);
+        }
+
+        let (planned, fetch) = registry.fetch(&model)?;
+        let cold_cycles = if cfg.charge_cold_fetch && fetch.is_cold() {
+            planned.plan_host_ns as f64 * cfg.spec.clock_ghz
+        } else {
+            0.0
+        };
+        let kernel_cycles = planned.simulate(total_n, &cfg.spec).duration_cycles;
+        let batch_cycles = cold_cycles + kernel_cycles;
+        let finish = dispatch_at + batch_cycles;
+        free_at = finish;
+        now = dispatch_at;
+        busy_cycles += batch_cycles;
+        makespan = makespan.max(finish);
+
+        metrics.batches += 1;
+        metrics.batch_requests_total += members.len() as u64;
+        metrics.batch_n_total += total_n as u64;
+        metrics.device_cycles += batch_cycles;
+        for req in members.iter() {
+            let share = batch_cycles * req.n as f64 / total_n as f64;
+            metrics.completed += 1;
+            metrics.latency_cycles.record(finish - req.arrival_cycle);
+            completions.push(SimCompletion {
+                id: req.id,
+                model: model.clone(),
+                arrival_cycle: req.arrival_cycle,
+                dispatch_cycle: dispatch_at,
+                finish_cycle: finish,
+                batch_requests: members.len(),
+                batch_n: total_n,
+                charged_cycles: share,
+                cold: fetch.is_cold(),
+            });
+        }
+    }
+
+    Ok(SimReport {
+        completions,
+        metrics,
+        busy_cycles,
+        makespan_cycles: makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelRegistry, RegistryConfig};
+    use crate::zoo::default_zoo;
+
+    fn registry() -> ModelRegistry {
+        let reg = ModelRegistry::new(RegistryConfig::default()).unwrap();
+        for m in default_zoo(60).into_iter().take(2) {
+            reg.register(&m.name, m.weights(), m.config);
+        }
+        reg
+    }
+
+    fn burst(model: &str, count: usize, n: usize, gap: f64) -> Vec<SimRequest> {
+        (0..count)
+            .map(|i| SimRequest {
+                id: i,
+                model: model.to_string(),
+                arrival_cycle: i as f64 * gap,
+                n,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_coalesces_and_beats_unbatched() {
+        let reg = registry();
+        reg.warm_all().unwrap();
+        let schedule = burst("attention-small", 16, 16, 100.0);
+        let spec = GpuSpec::a100();
+        let batched = simulate_schedule(
+            &reg,
+            &schedule,
+            &SimConfig::batched(spec.clone(), 256, 50_000.0),
+        )
+        .unwrap();
+        let unbatched = simulate_schedule(&reg, &schedule, &SimConfig::unbatched(spec)).unwrap();
+        assert_eq!(batched.completions.len(), 16);
+        assert_eq!(unbatched.completions.len(), 16);
+        assert!(unbatched.metrics.batches == 16, "one kernel per request");
+        assert!(batched.metrics.batches < 16, "requests were coalesced");
+        assert!(
+            batched.makespan_cycles < unbatched.makespan_cycles,
+            "batched {} vs unbatched {}",
+            batched.makespan_cycles,
+            unbatched.makespan_cycles
+        );
+        assert!(batched.requests_per_gcycle() > unbatched.requests_per_gcycle());
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let reg = registry();
+        reg.warm_all().unwrap();
+        let mut schedule = burst("attention-small", 8, 8, 5_000.0);
+        schedule.extend(
+            burst("embedding-proj", 8, 8, 7_000.0)
+                .into_iter()
+                .map(|mut r| {
+                    r.id += 100;
+                    r
+                }),
+        );
+        let cfg = SimConfig::batched(GpuSpec::a100(), 64, 20_000.0);
+        let a = simulate_schedule(&reg, &schedule, &cfg).unwrap();
+        let b = simulate_schedule(&reg, &schedule, &cfg).unwrap();
+        let key = |r: &SimReport| -> Vec<(usize, u64, u64)> {
+            r.completions
+                .iter()
+                .map(|c| (c.id, c.dispatch_cycle.to_bits(), c.finish_cycle.to_bits()))
+                .collect()
+        };
+        assert_eq!(key(&a), key(&b), "bit-identical schedules");
+        assert_eq!(a.makespan_cycles.to_bits(), b.makespan_cycles.to_bits());
+    }
+
+    #[test]
+    fn cold_fetch_charges_the_timeline() {
+        let schedule = burst("attention-small", 4, 8, 1_000.0);
+        let cfg = SimConfig::batched(GpuSpec::a100(), 64, 10_000.0);
+
+        let cold_reg = registry();
+        let cold = simulate_schedule(&cold_reg, &schedule, &cfg).unwrap();
+        let warm_reg = registry();
+        warm_reg.warm_all().unwrap();
+        let warm = simulate_schedule(&warm_reg, &schedule, &cfg).unwrap();
+        assert!(cold.completions.iter().any(|c| c.cold));
+        assert!(warm.completions.iter().all(|c| !c.cold));
+        assert!(
+            cold.makespan_cycles > warm.makespan_cycles,
+            "cold start stalls the timeline"
+        );
+    }
+
+    #[test]
+    fn window_delays_dispatch_until_full_or_expired() {
+        let reg = registry();
+        reg.warm_all().unwrap();
+        // Two requests 1000 cycles apart, window 5000: one batch.
+        let schedule = burst("attention-small", 2, 8, 1_000.0);
+        let joined = simulate_schedule(
+            &reg,
+            &schedule,
+            &SimConfig::batched(GpuSpec::a100(), 64, 5_000.0),
+        )
+        .unwrap();
+        assert_eq!(joined.metrics.batches, 1);
+        // Window 10 cycles: the second request misses the batch.
+        let split = simulate_schedule(
+            &reg,
+            &schedule,
+            &SimConfig::batched(GpuSpec::a100(), 64, 10.0),
+        )
+        .unwrap();
+        assert_eq!(split.metrics.batches, 2);
+    }
+}

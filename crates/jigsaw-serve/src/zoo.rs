@@ -1,0 +1,115 @@
+//! A DLMC-style model zoo: named vector-sparse weight matrices drawn
+//! from the transformer shape distribution the paper evaluates on
+//! (§4.3), sized so a full serving experiment plans in seconds.
+
+use dlmc::{Matrix, ValueDist, VectorSparseSpec};
+use jigsaw_core::JigsawConfig;
+
+/// One zoo entry: a named weight matrix and the kernel config its
+/// plans use.
+#[derive(Clone, Debug)]
+pub struct ZooModel {
+    /// Registry name.
+    pub name: String,
+    /// Seeded generator for the stationary weights.
+    pub spec: VectorSparseSpec,
+    /// Kernel configuration to plan with.
+    pub config: JigsawConfig,
+}
+
+impl ZooModel {
+    /// Materializes the weight matrix.
+    pub fn weights(&self) -> Matrix {
+        self.spec.generate()
+    }
+
+    /// The model's reduction dimension (B operand height).
+    pub fn k(&self) -> usize {
+        self.spec.cols
+    }
+
+    /// The model's output dimension.
+    pub fn m(&self) -> usize {
+        self.spec.rows
+    }
+}
+
+fn model(
+    name: &str,
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    v: usize,
+    seed: u64,
+    block_tile_m: usize,
+) -> ZooModel {
+    ZooModel {
+        name: name.to_string(),
+        spec: VectorSparseSpec {
+            rows,
+            cols,
+            sparsity,
+            v,
+            dist: ValueDist::SmallInt,
+            seed,
+        },
+        config: JigsawConfig::v4(block_tile_m),
+    }
+}
+
+/// The default mixed zoo: four DLMC transformer-family shapes at the
+/// paper's sparsity/vector-width design points. `seed` perturbs the
+/// weight values, not the shapes, so two zoos with different seeds
+/// serve the same traffic mix with different weights.
+pub fn default_zoo(seed: u64) -> Vec<ZooModel> {
+    vec![
+        model(
+            "attention-small",
+            256,
+            256,
+            0.90,
+            4,
+            seed.wrapping_add(1),
+            32,
+        ),
+        model(
+            "embedding-proj",
+            128,
+            512,
+            0.90,
+            2,
+            seed.wrapping_add(2),
+            32,
+        ),
+        model("head-proj", 512, 64, 0.80, 4, seed.wrapping_add(3), 16),
+        model("attention-qkv", 512, 512, 0.95, 8, seed.wrapping_add(4), 64),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_zoo_shapes_are_tileable() {
+        let zoo = default_zoo(7);
+        assert_eq!(zoo.len(), 4);
+        for m in &zoo {
+            assert_eq!(m.m() % 16, 0, "{}", m.name);
+            assert_eq!(m.k() % 16, 0, "{}", m.name);
+            let w = m.weights();
+            assert_eq!(w.rows, m.m());
+            assert_eq!(w.cols, m.k());
+            assert!(w.sparsity() > 0.5, "{} should be sparse", m.name);
+        }
+    }
+
+    #[test]
+    fn zoo_weights_are_seed_deterministic() {
+        let a = default_zoo(9)[0].weights();
+        let b = default_zoo(9)[0].weights();
+        assert_eq!(a, b);
+        let c = default_zoo(10)[0].weights();
+        assert_ne!(a, c);
+    }
+}

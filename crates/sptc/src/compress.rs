@@ -176,13 +176,19 @@ mod tests {
     fn compress_roundtrip_exact_pattern() {
         // Paper Figure 3's first-row example: nonzeros at positions (0,3)
         // and (1,2) of two consecutive groups.
-        let row = [h(1.0), h(0.0), h(0.0), h(2.0), h(0.0), h(3.0), h(4.0), h(0.0)];
+        let row = [
+            h(1.0),
+            h(0.0),
+            h(0.0),
+            h(2.0),
+            h(0.0),
+            h(3.0),
+            h(4.0),
+            h(0.0),
+        ];
         let c = compress_row_2_4(&row).unwrap();
         assert_eq!(c.indices, vec![0, 3, 1, 2]);
-        assert_eq!(
-            c.values,
-            vec![h(1.0), h(2.0), h(3.0), h(4.0)]
-        );
+        assert_eq!(c.values, vec![h(1.0), h(2.0), h(3.0), h(4.0)]);
         assert_eq!(decompress_row_2_4(&c, 8), row.to_vec());
     }
 

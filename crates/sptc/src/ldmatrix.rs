@@ -162,14 +162,16 @@ mod tests {
 
     #[test]
     fn ldmatrix_x4_reads_four_tiles() {
-        let smem: Vec<F16> = (0..4 * 64).map(|i| F16::from_f32((i % 512) as f32)).collect();
+        let smem: Vec<F16> = (0..4 * 64)
+            .map(|i| F16::from_f32((i % 512) as f32))
+            .collect();
         let addrs: Vec<usize> = (0..32).map(|r| r * 16).collect();
         let res = ldmatrix(&smem, &addrs, 4);
         assert_eq!(res.phase_conflicts.len(), 4);
         assert_eq!(res.extra_replays(), 0);
         // Tile 3, row 0 starts at half 3*64.
         let (lo, _) = res.regs[0][3];
-        assert_eq!(lo.to_f32(), (3 * 64 % 512) as f32);
+        assert_eq!(lo.to_f32(), (3 * 64) as f32);
     }
 
     #[test]

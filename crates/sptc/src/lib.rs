@@ -39,5 +39,7 @@ pub use f16::F16;
 pub use fragment::{AccFragment, F16Fragment, FragKind};
 pub use ldmatrix::{bank_of, conflict_ways, ldmatrix, LdmatrixResult, NUM_BANKS};
 pub use metadata::{interleave_two_ops, pack_tile_metadata};
-pub use mma::{dense_tile_reference, mma_m16n8k16, mma_sp_m16n8k16_tile, mma_sp_m16n8k32, mma_sp_tile};
+pub use mma::{
+    dense_tile_reference, mma_m16n8k16, mma_sp_m16n8k16_tile, mma_sp_m16n8k32, mma_sp_tile,
+};
 pub use shape::{sparse_shapes_for, MmaShape, Precision, AMPERE_SPARSE_SHAPES};

@@ -109,11 +109,7 @@ pub fn mma_sp_tile(a_tile: &[F16], b_tile: &[F16], c_tile: &[f32]) -> Option<Vec
 /// functional semantics are provided for completeness and for Table 1
 /// round-trip tests. Tile-level: `a_tile` is the uncompressed
 /// 2:4-satisfying 16×16 tile, `b_tile` 16×8, `c_tile` 16×8 f32.
-pub fn mma_sp_m16n8k16_tile(
-    a_tile: &[F16],
-    b_tile: &[F16],
-    c_tile: &[f32],
-) -> Option<Vec<f32>> {
+pub fn mma_sp_m16n8k16_tile(a_tile: &[F16], b_tile: &[F16], c_tile: &[f32]) -> Option<Vec<f32>> {
     assert_eq!(a_tile.len(), 16 * 16);
     assert_eq!(b_tile.len(), 16 * 8);
     assert_eq!(c_tile.len(), 16 * 8);
@@ -186,7 +182,9 @@ mod tests {
     }
 
     fn random_dense_tile(rng: &mut StdRng, elems: usize) -> Vec<F16> {
-        (0..elems).map(|_| h(rng.gen_range(-4..=4) as f32)).collect()
+        (0..elems)
+            .map(|_| h(rng.gen_range(-4..=4) as f32))
+            .collect()
     }
 
     #[test]
@@ -277,7 +275,7 @@ mod tests {
             for r in 0..16 {
                 for g in 0..4 {
                     for _ in 0..2 {
-                        let p = rng.gen_range(0..4);
+                        let p = rng.gen_range(0..4usize);
                         a[r * 16 + g * 4 + p] = h(rng.gen_range(-4..=4) as f32);
                     }
                 }

@@ -78,19 +78,35 @@ pub struct SparseSupport {
 pub const AMPERE_SPARSE_SHAPES: [SparseSupport; 4] = [
     SparseSupport {
         precision: Precision::Tf32,
-        shapes: [MmaShape { m: 16, n: 8, k: 16 }, MmaShape { m: 16, n: 8, k: 8 }],
+        shapes: [
+            MmaShape { m: 16, n: 8, k: 16 },
+            MmaShape { m: 16, n: 8, k: 8 },
+        ],
     },
     SparseSupport {
         precision: Precision::F16,
-        shapes: [MmaShape { m: 16, n: 8, k: 16 }, MmaShape { m: 16, n: 8, k: 32 }],
+        shapes: [
+            MmaShape { m: 16, n: 8, k: 16 },
+            MmaShape { m: 16, n: 8, k: 32 },
+        ],
     },
     SparseSupport {
         precision: Precision::Int8,
-        shapes: [MmaShape { m: 16, n: 8, k: 32 }, MmaShape { m: 16, n: 8, k: 64 }],
+        shapes: [
+            MmaShape { m: 16, n: 8, k: 32 },
+            MmaShape { m: 16, n: 8, k: 64 },
+        ],
     },
     SparseSupport {
         precision: Precision::Int4,
-        shapes: [MmaShape { m: 16, n: 8, k: 64 }, MmaShape { m: 16, n: 8, k: 128 }],
+        shapes: [
+            MmaShape { m: 16, n: 8, k: 64 },
+            MmaShape {
+                m: 16,
+                n: 8,
+                k: 128,
+            },
+        ],
     },
 ];
 

@@ -68,7 +68,10 @@ fn main() {
 
     let (spmm, tune) = JigsawSpmm::plan_tuned(&a, n, &spec);
     let s = spmm.simulate(n, &spec);
-    println!("v4: + BLOCK_TILE tuning (candidates {:?})", tune.candidate_cycles);
+    println!(
+        "v4: + BLOCK_TILE tuning (candidates {:?})",
+        tune.candidate_cycles
+    );
     println!(
         "    {:.0} cycles ({:.2}x vs cuBLAS) with BLOCK_TILE={}",
         s.duration_cycles,

@@ -26,8 +26,14 @@ fn main() {
     };
 
     for (label, config) in [
-        ("v1 (shallow pipeline: B load stalls on col_idx)", JigsawConfig::v1()),
-        ("v3 (deep pipeline + interleaved metadata)", JigsawConfig::v3()),
+        (
+            "v1 (shallow pipeline: B load stalls on col_idx)",
+            JigsawConfig::v1(),
+        ),
+        (
+            "v3 (deep pipeline + interleaved metadata)",
+            JigsawConfig::v3(),
+        ),
     ] {
         let spmm = JigsawSpmm::plan(&a, config);
         let launch = build_launch(&spmm.format, 64, &config);

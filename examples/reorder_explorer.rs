@@ -23,7 +23,10 @@ fn main() {
     }
     .generate();
 
-    println!("input 16x48 at {:.0}% sparsity (v=2):", 100.0 * a.sparsity());
+    println!(
+        "input 16x48 at {:.0}% sparsity (v=2):",
+        100.0 * a.sparsity()
+    );
     for r in 0..a.rows {
         let line: String = (0..a.cols)
             .map(|c| if a.get(r, c).is_zero() { '.' } else { '#' })
@@ -79,7 +82,10 @@ fn main() {
                     seed: 900 + seed,
                 }
                 .generate();
-                if ReorderPlan::build(&m, &JigsawConfig::v4(32)).stats().success {
+                if ReorderPlan::build(&m, &JigsawConfig::v4(32))
+                    .stats()
+                    .success
+                {
                     ok += 1;
                 }
             }

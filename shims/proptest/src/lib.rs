@@ -1,0 +1,477 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use:
+//! [`Strategy`] (sampling only — failing cases are *not* shrunk),
+//! range/tuple/`Just`/`prop_map` strategies, [`collection::vec`],
+//! [`sample::subsequence`], `any::<T>()`, `prop_oneof!`, and the
+//! [`proptest!`] test macro with `#![proptest_config(..)]` support.
+//!
+//! Each generated test derives its RNG seed from the test's name, so
+//! runs are deterministic across processes and machines; set the
+//! `PROPTEST_SHIM_SEED` environment variable to perturb all tests at
+//! once when hunting for new counterexamples.
+
+use rand::prelude::*;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Strategy combinators and the core trait.
+pub mod strategy {
+    use super::*;
+
+    /// A generator of test values: the sampling-only core of proptest's
+    /// `Strategy`.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let inner = self;
+            BoxedStrategy {
+                f: Rc::new(move |rng| inner.sample(rng)),
+            }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        pub(crate) f: Rc<dyn Fn(&mut StdRng) -> T>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among equally-weighted strategies
+    /// (what `prop_oneof!` builds).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; panics when `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    );
+}
+
+use strategy::Strategy;
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary_value(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut StdRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut StdRng) -> Self {
+        rng.gen::<f32>()
+    }
+}
+
+/// Full-domain strategy for `T` (proptest's `any`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s full domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Inclusive element-count bounds for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::{SizeRange, StdRng};
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over fixed pools.
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::{Rng, SizeRange, StdRng};
+
+    /// Strategy for an order-preserving random subsequence of `pool`
+    /// whose length is drawn from `size`.
+    pub fn subsequence<T: Clone>(
+        pool: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        Subsequence {
+            pool,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`subsequence`].
+    pub struct Subsequence<T> {
+        pool: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<T> {
+            let k = self.size.sample(rng).min(self.pool.len());
+            // Floyd-style: mark k distinct indices, emit in pool order.
+            let mut picked = vec![false; self.pool.len()];
+            let mut chosen = 0;
+            while chosen < k {
+                let i = rng.gen_range(0..self.pool.len());
+                if !picked[i] {
+                    picked[i] = true;
+                    chosen += 1;
+                }
+            }
+            self.pool
+                .iter()
+                .zip(&picked)
+                .filter(|(_, &p)| p)
+                .map(|(v, _)| v.clone())
+                .collect()
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// How many cases each property runs (64 by default — the shim
+    /// does not shrink, so failures print the raw case).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::prelude::{Rng, SeedableRng, StdRng};
+
+    /// FNV-1a over the test name, mixed with an optional env override,
+    /// giving every property its own deterministic stream.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SHIM_SEED") {
+            if let Ok(x) = extra.trim().parse::<u64>() {
+                h ^= x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+        h
+    }
+}
+
+/// Runs each contained `fn name(arg in strategy, ..) { body }` as a
+/// `#[test]` over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::__rt::SeedableRng as _;
+            let __config = $cfg;
+            let mut __rng =
+                $crate::__rt::StdRng::seed_from_u64($crate::__rt::seed_for(stringify!($name)));
+            $(let $arg = $crate::strategy::Strategy::boxed($strat);)+
+            for __case in 0..__config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&$arg, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)+) => { assert!($($t)+) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)+) => { assert_eq!($($t)+) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)+) => { assert_ne!($($t)+) };
+}
+
+/// Uniform choice among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The conventional glob import.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Map, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use rand::prelude::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0usize..10, (a, b) in (0i32..5, -3i32..=3)) {
+            prop_assert!(x < 10);
+            prop_assert!((0..5).contains(&a));
+            prop_assert!((-3..=3).contains(&b));
+        }
+
+        #[test]
+        fn mapped_vec(v in crate::collection::vec(0u8..4, 1..8).prop_map(|v| v.len())) {
+            prop_assert!((1..8).contains(&v));
+        }
+
+        #[test]
+        fn oneof_and_subsequence(
+            w in prop_oneof![Just(1usize), Just(2), Just(4)],
+            s in crate::sample::subsequence(vec![1, 2, 3, 4], 0..=2),
+        ) {
+            prop_assert!([1usize, 2, 4].contains(&w));
+            prop_assert!(s.len() <= 2);
+            prop_assert!(s.windows(2).all(|p| p[0] < p[1]), "order preserved");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::__rt::*;
+        let strat = crate::collection::vec(0u32..1000, 10);
+        let mut r1 = StdRng::seed_from_u64(seed_for("x"));
+        let mut r2 = StdRng::seed_from_u64(seed_for("x"));
+        assert_eq!(strat.sample(&mut r1), strat.sample(&mut r2));
+    }
+}

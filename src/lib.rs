@@ -7,7 +7,10 @@
 //! * [`sptc`] — the Sparse Tensor Core functional emulation,
 //! * [`sim`](gpu_sim) — the A100-class timing simulator,
 //! * [`data`](dlmc) — the DLMC-style dataset substrate,
-//! * [`baselines`] — the comparator kernels.
+//! * [`baselines`] — the comparator kernels,
+//! * [`serve`](jigsaw_serve) — the batching, cache-backed inference
+//!   service layer (model registry, micro-batching server, and a
+//!   deterministic serving simulator).
 //!
 //! ```
 //! use jigsaw::{JigsawConfig, JigsawSpmm};
@@ -26,6 +29,7 @@ pub use baselines;
 pub use dlmc as data;
 pub use gpu_sim as sim;
 pub use jigsaw_core as core;
+pub use jigsaw_serve as serve;
 pub use sptc;
 
 pub use jigsaw_core::{

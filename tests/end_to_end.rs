@@ -109,10 +109,7 @@ fn simulated_ordering_matches_the_papers_story() {
         let d = JigsawSpmm::plan(&a, config)
             .simulate(n, &spec)
             .duration_cycles;
-        assert!(
-            d <= last * 1.02,
-            "{config:?} regressed: {d} after {last}"
-        );
+        assert!(d <= last * 1.02, "{config:?} regressed: {d} after {last}");
         last = d;
     }
     let (tuned, _) = JigsawSpmm::plan_tuned(&a, n, &spec);

@@ -20,7 +20,10 @@ fn gen(m: usize, k: usize, sparsity: f64, v: usize, seed: u64) -> dlmc::Matrix {
 }
 
 fn jigsaw_cycles(a: &dlmc::Matrix, n: usize, spec: &GpuSpec) -> f64 {
-    JigsawSpmm::plan_tuned(a, n, spec).0.simulate(n, spec).duration_cycles
+    JigsawSpmm::plan_tuned(a, n, spec)
+        .0
+        .simulate(n, spec)
+        .duration_cycles
 }
 
 #[test]
@@ -66,14 +69,29 @@ fn jigsaw_beats_every_sparse_baseline_at_95_v8() {
     let baselines: Vec<(&str, f64)> = vec![
         (
             "CLASP",
-            Clasp::plan_best(&a, n, &spec).simulate(n, &spec).duration_cycles,
+            Clasp::plan_best(&a, n, &spec)
+                .simulate(n, &spec)
+                .duration_cycles,
         ),
-        ("Magicube", Magicube::plan(&a, 8).simulate(n, &spec).duration_cycles),
-        ("Sputnik", Sputnik::plan(&a).simulate(n, &spec).duration_cycles),
-        ("SparTA", Sparta::plan(&a).simulate(n, &spec).duration_cycles),
+        (
+            "Magicube",
+            Magicube::plan(&a, 8).simulate(n, &spec).duration_cycles,
+        ),
+        (
+            "Sputnik",
+            Sputnik::plan(&a).simulate(n, &spec).duration_cycles,
+        ),
+        (
+            "SparTA",
+            Sparta::plan(&a).simulate(n, &spec).duration_cycles,
+        ),
     ];
     for (name, t) in baselines {
-        assert!(t / tj >= 0.9, "{name} unexpectedly beats Jigsaw: {}", t / tj);
+        assert!(
+            t / tj >= 0.9,
+            "{name} unexpectedly beats Jigsaw: {}",
+            t / tj
+        );
     }
 }
 
