@@ -1,0 +1,59 @@
+//! Overhead of the observability layer on the hot path.
+//!
+//! With tracing disabled, every instrumented call site reduces to one
+//! relaxed atomic load (`jigsaw_obs::enabled()`), so
+//! `JigsawSpmm::run` must show no measurable regression versus the
+//! pre-instrumentation baseline. The disabled/enabled pair below makes
+//! the cost of each mode directly comparable in one criterion report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dlmc::{dense_rhs, ValueDist, VectorSparseSpec};
+use gpu_sim::GpuSpec;
+use jigsaw_core::{JigsawConfig, JigsawSpmm};
+
+fn workload() -> (JigsawSpmm, dlmc::Matrix, GpuSpec) {
+    let a = VectorSparseSpec {
+        rows: 512,
+        cols: 512,
+        sparsity: 0.95,
+        v: 8,
+        dist: ValueDist::Uniform,
+        seed: 9,
+    }
+    .generate();
+    let b = dense_rhs(512, 64, ValueDist::Uniform, 10);
+    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32)).expect("valid tiling");
+    (spmm, b, GpuSpec::a100())
+}
+
+fn bench_run_tracing_disabled(c: &mut Criterion) {
+    jigsaw_obs::set_enabled(false);
+    let (spmm, b, spec) = workload();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    group.bench_function("run_tracing_disabled", |bench| {
+        bench.iter(|| black_box(spmm.run(&b, &spec)))
+    });
+    group.finish();
+}
+
+fn bench_run_tracing_enabled(c: &mut Criterion) {
+    jigsaw_obs::set_enabled(true);
+    let (spmm, b, spec) = workload();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    group.bench_function("run_tracing_enabled", |bench| {
+        bench.iter(|| black_box(spmm.run(&b, &spec)))
+    });
+    group.finish();
+    jigsaw_obs::set_enabled(false);
+}
+
+criterion_group!(
+    benches,
+    bench_run_tracing_disabled,
+    bench_run_tracing_enabled
+);
+criterion_main!(benches);

@@ -41,7 +41,7 @@ fn bench_execute(c: &mut Criterion) {
     }
     .generate();
     let b_mat = dense_rhs(512, 128, ValueDist::Uniform, 5);
-    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32)).expect("valid tiling");
     let mut group = c.benchmark_group("execute");
     group.sample_size(20);
     group.bench_function("fast_512x512x128", |b| {
@@ -61,7 +61,7 @@ fn bench_simulate(c: &mut Criterion) {
         seed: 6,
     }
     .generate();
-    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32)).expect("valid tiling");
     let mut group = c.benchmark_group("simulate");
     group.sample_size(20);
     for &n in &[256usize, 1024] {

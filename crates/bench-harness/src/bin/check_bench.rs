@@ -1,0 +1,54 @@
+//! CI gate for the structured benchmark exports: finds every
+//! `results/BENCH_*.json` (or the files named on the command line),
+//! parses each with the zero-dep `jigsaw_obs` parser, and verifies the
+//! `jigsaw-bench/v1` schema — stable top-level keys plus the
+//! counters/gauges/traces observability section. Exits non-zero if any
+//! file fails or none are found.
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench_harness::obs_export::check_bench_text;
+
+fn main() -> ExitCode {
+    let mut files: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if files.is_empty() {
+        if let Ok(entries) = std::fs::read_dir("results") {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("BENCH_") && name.ends_with(".json") {
+                    files.push(entry.path());
+                }
+            }
+        }
+        files.sort();
+    }
+    if files.is_empty() {
+        eprintln!("check_bench: no results/BENCH_*.json files to validate");
+        eprintln!("run an experiment first, e.g. `cargo run -p bench-harness --bin serving`");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &files {
+        match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match check_bench_text(&text) {
+                Ok(experiment) => {
+                    println!("ok   {} (experiment {experiment:?})", path.display())
+                }
+                Err(problem) => {
+                    eprintln!("FAIL {}: {problem}", path.display());
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,10 +1,17 @@
 //! Regenerates paper Figure 12 (kernel-version ablation).
 use bench_harness::experiments::fig12;
+use bench_harness::obs_export::write_bench_json;
 use bench_harness::runner::write_json;
 use gpu_sim::GpuSpec;
 
 fn main() {
+    // Record plan/simulator counters and traces for the BENCH export.
+    jigsaw_obs::set_enabled(true);
     let result = fig12::run(&GpuSpec::a100());
     println!("{}", result.to_text());
     write_json("fig12", &result);
+    match write_bench_json("fig12", &result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("BENCH export failed: {e}"),
+    }
 }

@@ -18,7 +18,7 @@ fn main() {
     }
     .generate();
     let n = 512;
-    let (jig, _) = JigsawSpmm::plan_tuned(&a, n, &spec);
+    let (jig, _) = JigsawSpmm::plan_tuned(&a, n, &spec).expect("candidate set is non-empty");
     println!(
         "{}",
         ncu_style_report(

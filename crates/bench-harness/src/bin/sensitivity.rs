@@ -92,7 +92,7 @@ fn main() {
     let mut all_hold = true;
     for variant in variants() {
         let spec = &variant.spec;
-        let (jig, _) = JigsawSpmm::plan_tuned(&a, n, spec);
+        let (jig, _) = JigsawSpmm::plan_tuned(&a, n, spec).expect("candidate set is non-empty");
         let tj = jig.simulate(n, spec).duration_cycles;
         let speedups = [
             CublasGemm::plan(&a).simulate(n, spec).duration_cycles / tj,

@@ -1,13 +1,20 @@
 //! Serving-layer experiment: batched vs unbatched × warm vs cold on
 //! the virtual-clock scheduler (see `jigsaw_serve::sim`).
 use bench_harness::experiments::serving;
+use bench_harness::obs_export::write_bench_json;
 use bench_harness::runner::write_json;
 use bench_harness::suite;
 use gpu_sim::GpuSpec;
 
 fn main() {
+    // Record plan/simulator counters and traces for the BENCH export.
+    jigsaw_obs::set_enabled(true);
     let requests = if suite::full_suite() { 256 } else { 64 };
     let result = serving::run(&GpuSpec::a100(), requests);
     println!("{}", result.to_text());
     write_json("serving", &result);
+    match write_bench_json("serving", &result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("BENCH export failed: {e}"),
+    }
 }

@@ -75,7 +75,7 @@ pub fn run(spec: &GpuSpec) -> Fig12 {
                 JigsawConfig::v3(),
             ];
             for config in configs {
-                let spmm = JigsawSpmm::plan(&a, config);
+                let spmm = JigsawSpmm::plan(&a, config).expect("preset tiling is valid");
                 let stats = spmm.simulate(N, spec);
                 per_version.push((
                     cublas / stats.duration_cycles,
@@ -89,7 +89,8 @@ pub fn run(spec: &GpuSpec) -> Fig12 {
                 ));
             }
             // v4: BLOCK_TILE-tuned.
-            let (spmm, _) = JigsawSpmm::plan_tuned(&a, N, spec);
+            let (spmm, _) =
+                JigsawSpmm::plan_tuned(&a, N, spec).expect("candidate set is non-empty");
             let stats = spmm.simulate(N, spec);
             per_version.push((
                 cublas / stats.duration_cycles,

@@ -51,7 +51,7 @@ pub fn run() -> Overhead {
             seed: 77,
         }
         .generate();
-        let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(bt));
+        let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(bt)).expect("candidate tiling is valid");
         spmm.format.measured_bytes() as f64 / (2.0 * (M * K) as f64)
     };
     let rows = JigsawConfig::BLOCK_TILE_CANDIDATES

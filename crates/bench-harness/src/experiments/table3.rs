@@ -99,7 +99,8 @@ pub fn run(spec: &GpuSpec) -> Table3 {
                 // skips the pruned columns); VENOM's kernel runs its
                 // native format; cuSparseLt takes the compacted
                 // kept-column matrix, which is plain 2:4.
-                let (jig, _) = JigsawSpmm::plan_tuned(&full, N, spec);
+                let (jig, _) =
+                    JigsawSpmm::plan_tuned(&full, N, spec).expect("candidate set is non-empty");
                 let tj = jig.simulate(N, spec).duration_cycles;
                 let tv = Venom::plan(&full, v, 2, m_blk)
                     .simulate(N, spec)

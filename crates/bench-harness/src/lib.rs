@@ -16,6 +16,7 @@
 //! Set `JIGSAW_SUITE=full` for the full transformer shape table.
 
 pub mod experiments;
+pub mod obs_export;
 pub mod report;
 pub mod runner;
 pub mod suite;

@@ -1,0 +1,162 @@
+//! Structured benchmark export: every experiment binary can emit a
+//! `results/BENCH_<experiment>.json` document that bundles the
+//! experiment's own result data with a snapshot of the observability
+//! registry (counters, gauges, traces) taken through the
+//! [`jigsaw_obs::JsonSink`].
+//!
+//! The document schema is versioned and its top-level keys are stable
+//! (`schema`, `experiment`, `data`, `observability`, in that order),
+//! so downstream tooling — and the `check_bench` CI binary — can parse
+//! any emitted file with [`jigsaw_obs::parse`] alone.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use jigsaw_obs::{Json, JsonSink, Sink};
+use serde::Serialize;
+
+/// Schema tag written into every exported document.
+pub const BENCH_SCHEMA: &str = "jigsaw-bench/v1";
+
+/// The four stable top-level keys of a bench document, in order.
+pub const BENCH_KEYS: [&str; 4] = ["schema", "experiment", "data", "observability"];
+
+/// Converts any serializable experiment result into the zero-dep
+/// [`Json`] model by rendering it with the workspace serializer and
+/// re-parsing. Falls back to an empty object if the value does not
+/// render (the shim serializer is infallible in practice).
+pub fn to_obs_json<T: Serialize>(value: &T) -> Json {
+    serde_json::to_string(value)
+        .ok()
+        .and_then(|text| jigsaw_obs::parse(&text).ok())
+        .unwrap_or_else(Json::obj)
+}
+
+/// Builds the versioned bench document for `experiment`: the
+/// experiment's result under `data`, plus the current global
+/// observability snapshot under `observability`, exported through the
+/// JSON sink.
+pub fn bench_doc<T: Serialize>(experiment: &str, value: &T) -> Json {
+    let observability = JsonSink
+        .emit(&jigsaw_obs::global().snapshot())
+        .and_then(|text| jigsaw_obs::parse(&text).ok())
+        .unwrap_or_else(Json::obj);
+    Json::obj()
+        .with("schema", BENCH_SCHEMA)
+        .with("experiment", experiment)
+        .with("data", to_obs_json(value))
+        .with("observability", observability)
+}
+
+/// Writes `BENCH_<experiment>.json` under `dir`, returning the path.
+pub fn write_bench_json_to<T: Serialize>(
+    dir: &Path,
+    experiment: &str,
+    value: &T,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, bench_doc(experiment, value).to_string())?;
+    Ok(path)
+}
+
+/// Writes `results/BENCH_<experiment>.json` (the standard location the
+/// experiment binaries and CI agree on).
+pub fn write_bench_json<T: Serialize>(experiment: &str, value: &T) -> io::Result<PathBuf> {
+    write_bench_json_to(Path::new("results"), experiment, value)
+}
+
+/// Validates one emitted bench document: parses it with the zero-dep
+/// parser and checks the stable schema. Returns a human-readable
+/// problem description on failure.
+pub fn check_bench_text(text: &str) -> Result<String, String> {
+    let doc = jigsaw_obs::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    if doc.keys() != BENCH_KEYS {
+        return Err(format!(
+            "unstable top-level keys {:?}, expected {:?}",
+            doc.keys(),
+            BENCH_KEYS
+        ));
+    }
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some(s) if s == BENCH_SCHEMA => {}
+        other => return Err(format!("schema {other:?}, expected {BENCH_SCHEMA:?}")),
+    }
+    let experiment = doc
+        .get("experiment")
+        .and_then(|e| e.as_str())
+        .ok_or_else(|| "missing experiment name".to_string())?
+        .to_string();
+    let obs = doc
+        .get("observability")
+        .ok_or_else(|| "missing observability section".to_string())?;
+    if obs.keys() != ["counters", "gauges", "traces"] {
+        return Err(format!(
+            "observability keys {:?}, expected [counters, gauges, traces]",
+            obs.keys()
+        ));
+    }
+    Ok(experiment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Toy {
+        speedup: f64,
+        shapes: Vec<u32>,
+        label: String,
+    }
+
+    fn toy() -> Toy {
+        Toy {
+            speedup: 1.5,
+            shapes: vec![64, 128],
+            label: "t\"est".to_string(),
+        }
+    }
+
+    #[test]
+    fn bench_doc_has_stable_keys_and_round_trips() {
+        jigsaw_obs::global().counter("bench.unit").inc();
+        let text = bench_doc("unit", &toy()).to_string();
+        let doc = jigsaw_obs::parse(&text).expect("emitted JSON parses");
+        assert_eq!(doc.keys(), BENCH_KEYS);
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some(BENCH_SCHEMA),
+            "versioned schema tag"
+        );
+        let data = doc.get("data").unwrap();
+        assert_eq!(data.get("speedup").unwrap().as_f64(), Some(1.5));
+        assert_eq!(data.get("label").unwrap().as_str(), Some("t\"est"));
+        let counters = doc.get("observability").unwrap().get("counters").unwrap();
+        assert!(counters.get("bench.unit").unwrap().as_u64() >= Some(1));
+    }
+
+    #[test]
+    fn check_bench_accepts_real_docs_and_rejects_garbage() {
+        let good = bench_doc("unit", &toy()).to_string();
+        assert_eq!(check_bench_text(&good), Ok("unit".to_string()));
+        assert!(check_bench_text("{not json").is_err());
+        assert!(
+            check_bench_text("{\"schema\": \"jigsaw-bench/v1\"}").is_err(),
+            "missing keys rejected"
+        );
+        let wrong_schema = good.replace("jigsaw-bench/v1", "jigsaw-bench/v0");
+        assert!(check_bench_text(&wrong_schema).is_err());
+    }
+
+    #[test]
+    fn write_bench_json_emits_parseable_file() {
+        let dir = std::env::temp_dir().join("jigsaw-bench-obs-test");
+        let path = write_bench_json_to(&dir, "unit_write", &toy()).expect("written");
+        assert!(path.ends_with("BENCH_unit_write.json"));
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert_eq!(check_bench_text(&text), Ok("unit_write".to_string()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -79,7 +79,7 @@ pub fn compare_all(w: &Workload, n: usize, spec: &GpuSpec) -> Comparison {
 pub fn compare_all_on(a: &Matrix, w: &Workload, n: usize, spec: &GpuSpec) -> Comparison {
     let mut durations = Vec::new();
 
-    let (jig, _) = JigsawSpmm::plan_tuned(a, n, spec);
+    let (jig, _) = JigsawSpmm::plan_tuned(a, n, spec).expect("candidate set is non-empty");
     durations.push(("Jigsaw".to_string(), jig.simulate(n, spec).duration_cycles));
 
     let cublas = CublasGemm::plan(a);

@@ -215,7 +215,7 @@ pub fn simulate_kernel(launch: &KernelLaunch, spec: &GpuSpec) -> KernelStats {
         compute_cycles.max(dram_cycles).max(l2_cycles) + spec.kernel_fixed_overhead as f64;
 
     let waves = launch.blocks.len().div_ceil((spec.num_sms * occ).max(1));
-    KernelStats {
+    let stats = KernelStats {
         duration_cycles,
         duration_us: spec.cycles_to_us(duration_cycles),
         blocks: launch.blocks.len(),
@@ -226,7 +226,47 @@ pub fn simulate_kernel(launch: &KernelLaunch, spec: &GpuSpec) -> KernelStats {
         long_scoreboard_per_instr: 0.0,
         short_scoreboard_per_instr: 0.0,
     }
-    .finish()
+    .finish();
+    if jigsaw_obs::enabled() {
+        sim_counters().record(&stats);
+    }
+    stats
+}
+
+/// Cached handles to the simulator's global observability counters, so
+/// the per-kernel bump is a handful of relaxed atomic adds.
+struct SimCounters {
+    kernels: jigsaw_obs::Counter,
+    waves: jigsaw_obs::Counter,
+    bank_conflicts: jigsaw_obs::Counter,
+    long_scoreboard: jigsaw_obs::Counter,
+    short_scoreboard: jigsaw_obs::Counter,
+}
+
+impl SimCounters {
+    fn record(&self, stats: &KernelStats) {
+        self.kernels.inc();
+        self.waves.add(stats.waves as u64);
+        self.bank_conflicts.add(stats.totals.smem_bank_conflicts);
+        self.long_scoreboard
+            .add(stats.totals.long_scoreboard_cycles);
+        self.short_scoreboard
+            .add(stats.totals.short_scoreboard_cycles);
+    }
+}
+
+fn sim_counters() -> &'static SimCounters {
+    static COUNTERS: std::sync::OnceLock<SimCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = jigsaw_obs::global();
+        SimCounters {
+            kernels: reg.counter("sim.kernels"),
+            waves: reg.counter("sim.waves"),
+            bank_conflicts: reg.counter("sim.smem_bank_conflicts"),
+            long_scoreboard: reg.counter("sim.long_scoreboard_cycles"),
+            short_scoreboard: reg.counter("sim.short_scoreboard_cycles"),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -313,5 +353,27 @@ mod tests {
         let stats = simulate_kernel(&KernelLaunch::default(), &GpuSpec::a100());
         assert_eq!(stats.duration_cycles, 0.0);
         assert_eq!(stats.blocks, 0);
+    }
+
+    #[test]
+    fn per_kernel_counters_feed_the_obs_registry() {
+        let reg = jigsaw_obs::global();
+        let launch = KernelLaunch {
+            blocks: vec![mma_block(8); 4],
+            dram_bytes: 1024,
+        };
+        // Flag starts (and stays) false everywhere else in this test
+        // binary: a disabled run must record nothing.
+        let frozen = reg.counter("sim.kernels").get();
+        let _ = simulate_kernel(&launch, &GpuSpec::a100());
+        assert_eq!(reg.counter("sim.kernels").get(), frozen);
+
+        jigsaw_obs::set_enabled(true);
+        let kernels_before = reg.counter("sim.kernels").get();
+        let waves_before = reg.counter("sim.waves").get();
+        let stats = simulate_kernel(&launch, &GpuSpec::a100());
+        assert!(reg.counter("sim.kernels").get() > kernels_before);
+        assert!(reg.counter("sim.waves").get() >= waves_before + stats.waves as u64);
+        jigsaw_obs::set_enabled(false);
     }
 }

@@ -3,6 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::errors::ConfigError;
+
 /// Rows/columns of the `MMA_TILE` (fixed at 16×16 in the paper's
 /// implementation: one tile compresses to 16×8, and one
 /// `mma.sp.m16n8k32` consumes two of them).
@@ -16,6 +18,12 @@ pub const MMA_N: usize = 8;
 pub const MMA_K: usize = 32;
 
 /// Kernel-version toggles (paper §4.4's v0..v4).
+///
+/// Construct through [`JigsawConfig::builder`] or the `v0()..v4()`
+/// presets. Direct struct-literal construction is deprecated in spirit
+/// (the fields stay public for serde and pattern matching): it skips
+/// validation, so an off-grid tiling only surfaces later as a
+/// [`crate::PlanError::Config`] at plan time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JigsawConfig {
     /// `BLOCK_TILE_M`: rows of A (and C) per thread block; also the row
@@ -39,51 +47,55 @@ pub struct JigsawConfig {
 }
 
 impl JigsawConfig {
+    /// A fluent, validating builder starting from the v0 baseline
+    /// tiling (64×64 block, 16×32 warp, all optimizations off).
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+
     /// Baseline kernel: async copy double-buffering but no padding, no
     /// deep pipeline, naive metadata loads, `BLOCK_TILE = 64` only.
     pub fn v0() -> Self {
-        JigsawConfig {
-            block_tile_m: 64,
-            block_tile_n: 64,
-            warp_tile_m: 16,
-            warp_tile_n: 32,
-            bank_conflict_elimination: false,
-            deep_pipeline: false,
-            metadata_interleave: false,
-        }
+        Self::builder()
+            .build()
+            .expect("v0 preset is a valid tiling")
     }
 
     /// v0 + shared-memory bank-conflict elimination.
     pub fn v1() -> Self {
-        JigsawConfig {
-            bank_conflict_elimination: true,
-            ..Self::v0()
-        }
+        Self::builder()
+            .bank_conflict_elimination(true)
+            .build()
+            .expect("v1 preset is a valid tiling")
     }
 
     /// v1 + deepened pipeline.
     pub fn v2() -> Self {
-        JigsawConfig {
-            deep_pipeline: true,
-            ..Self::v1()
-        }
+        Self::builder()
+            .bank_conflict_elimination(true)
+            .deep_pipeline(true)
+            .build()
+            .expect("v2 preset is a valid tiling")
     }
 
     /// v2 + interleaved metadata loading.
     pub fn v3() -> Self {
-        JigsawConfig {
-            metadata_interleave: true,
-            ..Self::v2()
-        }
+        Self::builder()
+            .bank_conflict_elimination(true)
+            .deep_pipeline(true)
+            .metadata_interleave(true)
+            .build()
+            .expect("v3 preset is a valid tiling")
     }
 
     /// The fully optimized kernel at a specific `BLOCK_TILE_M`
-    /// (v4 = best of `BLOCK_TILE ∈ {16, 32, 64}`, chosen by the caller).
+    /// (v4 = best of `BLOCK_TILE ∈ {16, 32, 64}`, chosen by the
+    /// caller). The paper only evaluates those three sizes, but any
+    /// `MMA_TILE`-aligned multiple of the warp tile is accepted;
+    /// off-grid values surface as a typed error from
+    /// [`JigsawConfig::validate`] (and therefore from plan) rather
+    /// than a panic here.
     pub fn v4(block_tile_m: usize) -> Self {
-        assert!(
-            matches!(block_tile_m, 16 | 32 | 64),
-            "paper evaluates BLOCK_TILE in {{16, 32, 64}}"
-        );
         JigsawConfig {
             block_tile_m,
             ..Self::v3()
@@ -124,19 +136,111 @@ impl JigsawConfig {
     }
 
     /// Sanity-checks the tiling.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.block_tile_m == 0
+            || self.block_tile_n == 0
+            || self.warp_tile_m == 0
+            || self.warp_tile_n == 0
+        {
+            return Err(ConfigError::ZeroTile);
+        }
+        if !self.warp_tile_m.is_multiple_of(MMA_TILE) || !self.warp_tile_n.is_multiple_of(MMA_N) {
+            return Err(ConfigError::WarpNotMmaAligned {
+                warp_tile: (self.warp_tile_m, self.warp_tile_n),
+            });
+        }
+        if !self.block_tile_m.is_multiple_of(MMA_TILE) {
+            return Err(ConfigError::BlockTileNotMmaAligned {
+                block_tile_m: self.block_tile_m,
+            });
+        }
         if !self.block_tile_m.is_multiple_of(self.warp_tile_m)
             || !self.block_tile_n.is_multiple_of(self.warp_tile_n)
         {
-            return Err("block tile must be a multiple of the warp tile".into());
-        }
-        if !self.warp_tile_m.is_multiple_of(MMA_TILE) || !self.warp_tile_n.is_multiple_of(MMA_N) {
-            return Err("warp tile must be a multiple of the mma tile".into());
-        }
-        if !self.block_tile_m.is_multiple_of(MMA_TILE) {
-            return Err("BLOCK_TILE_M must be a multiple of MMA_TILE".into());
+            return Err(ConfigError::BlockNotWarpAligned {
+                block_tile: (self.block_tile_m, self.block_tile_n),
+                warp_tile: (self.warp_tile_m, self.warp_tile_n),
+            });
         }
         Ok(())
+    }
+}
+
+/// Fluent builder for [`JigsawConfig`], validating on
+/// [`build`](ConfigBuilder::build). Starts from the v0 baseline
+/// tiling.
+///
+/// ```
+/// use jigsaw_core::JigsawConfig;
+///
+/// let cfg = JigsawConfig::builder()
+///     .block_tile(32, 64)
+///     .bank_conflict_elimination(true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.block_tile_m, 32);
+///
+/// // An off-grid tiling comes back as a typed error, not a panic.
+/// assert!(JigsawConfig::builder().block_tile(40, 64).build().is_err());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ConfigBuilder {
+    config: JigsawConfig,
+}
+
+impl Default for ConfigBuilder {
+    fn default() -> Self {
+        ConfigBuilder {
+            config: JigsawConfig {
+                block_tile_m: 64,
+                block_tile_n: 64,
+                warp_tile_m: 16,
+                warp_tile_n: 32,
+                bank_conflict_elimination: false,
+                deep_pipeline: false,
+                metadata_interleave: false,
+            },
+        }
+    }
+}
+
+impl ConfigBuilder {
+    /// Sets `BLOCK_TILE_M` × `BLOCK_TILE_N`.
+    pub fn block_tile(mut self, m: usize, n: usize) -> Self {
+        self.config.block_tile_m = m;
+        self.config.block_tile_n = n;
+        self
+    }
+
+    /// Sets `WARP_TILE_M` × `WARP_TILE_N`.
+    pub fn warp_tile(mut self, m: usize, n: usize) -> Self {
+        self.config.warp_tile_m = m;
+        self.config.warp_tile_n = n;
+        self
+    }
+
+    /// Toggles §3.4.1 shared-memory bank-conflict elimination.
+    pub fn bank_conflict_elimination(mut self, on: bool) -> Self {
+        self.config.bank_conflict_elimination = on;
+        self
+    }
+
+    /// Toggles the §3.4.2 deepened pipeline.
+    pub fn deep_pipeline(mut self, on: bool) -> Self {
+        self.config.deep_pipeline = on;
+        self
+    }
+
+    /// Toggles §3.4.3 interleaved metadata loading.
+    pub fn metadata_interleave(mut self, on: bool) -> Self {
+        self.config.metadata_interleave = on;
+        self
+    }
+
+    /// Validates the tiling and returns the config.
+    pub fn build(self) -> Result<JigsawConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -179,8 +283,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "BLOCK_TILE")]
-    fn v4_rejects_odd_block_tile() {
-        let _ = JigsawConfig::v4(48);
+    fn off_grid_tilings_fail_validation_with_typed_errors() {
+        use crate::errors::ConfigError;
+        // 40 is not a multiple of MMA_TILE.
+        assert_eq!(
+            JigsawConfig::v4(40).validate(),
+            Err(ConfigError::BlockTileNotMmaAligned { block_tile_m: 40 })
+        );
+        assert_eq!(
+            JigsawConfig::builder().warp_tile(8, 32).build(),
+            Err(ConfigError::WarpNotMmaAligned { warp_tile: (8, 32) })
+        );
+        assert_eq!(
+            JigsawConfig::builder().block_tile(32, 48).build(),
+            Err(ConfigError::BlockNotWarpAligned {
+                block_tile: (32, 48),
+                warp_tile: (16, 32),
+            })
+        );
+        assert_eq!(
+            JigsawConfig::builder().block_tile(0, 64).build(),
+            Err(ConfigError::ZeroTile)
+        );
+    }
+
+    #[test]
+    fn builder_matches_presets() {
+        assert_eq!(JigsawConfig::builder().build().unwrap(), JigsawConfig::v0());
+        assert_eq!(
+            JigsawConfig::builder()
+                .block_tile(32, 64)
+                .bank_conflict_elimination(true)
+                .deep_pipeline(true)
+                .metadata_interleave(true)
+                .build()
+                .unwrap(),
+            JigsawConfig::v4(32)
+        );
     }
 }

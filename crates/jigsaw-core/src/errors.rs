@@ -1,0 +1,135 @@
+//! Typed errors for the public planning API.
+//!
+//! The error-type map (DESIGN.md §10): [`ConfigError`] describes an
+//! invalid tiling, [`PlanError`] wraps it plus everything else that can
+//! stop [`crate::JigsawSpmm::plan`], and the layers above add their own
+//! wrappers — `SessionError::Plan` in [`crate::session`] and
+//! `RegistryError::Plan` in `jigsaw-serve`. Nothing on these paths
+//! panics; malformed configs and inputs always come back as values.
+
+use std::fmt;
+
+use crate::config::{MMA_N, MMA_TILE};
+
+/// Why a [`crate::JigsawConfig`] tiling is invalid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Some tile dimension is zero.
+    ZeroTile,
+    /// The block tile is not a whole number of warp tiles.
+    BlockNotWarpAligned {
+        /// `(block_tile_m, block_tile_n)`.
+        block_tile: (usize, usize),
+        /// `(warp_tile_m, warp_tile_n)`.
+        warp_tile: (usize, usize),
+    },
+    /// The warp tile is not a whole number of `mma.sp` tiles.
+    WarpNotMmaAligned {
+        /// `(warp_tile_m, warp_tile_n)`.
+        warp_tile: (usize, usize),
+    },
+    /// `BLOCK_TILE_M` is not a multiple of `MMA_TILE`, so row strips
+    /// cannot be cut into 16-row reorder tiles.
+    BlockTileNotMmaAligned {
+        /// The offending `block_tile_m`.
+        block_tile_m: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroTile => write!(f, "tile dimensions must be nonzero"),
+            ConfigError::BlockNotWarpAligned {
+                block_tile,
+                warp_tile,
+            } => write!(
+                f,
+                "block tile {}x{} must be a multiple of the warp tile {}x{}",
+                block_tile.0, block_tile.1, warp_tile.0, warp_tile.1
+            ),
+            ConfigError::WarpNotMmaAligned { warp_tile } => write!(
+                f,
+                "warp tile {}x{} must be a multiple of the mma tile {MMA_TILE}x{MMA_N}",
+                warp_tile.0, warp_tile.1
+            ),
+            ConfigError::BlockTileNotMmaAligned { block_tile_m } => write!(
+                f,
+                "BLOCK_TILE_M {block_tile_m} must be a multiple of MMA_TILE ({MMA_TILE})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why [`crate::JigsawSpmm::plan`] / `plan_tuned` could not produce a
+/// plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The kernel configuration is invalid.
+    Config(ConfigError),
+    /// The matrix height is not a multiple of the 16-row reorder tile,
+    /// so it cannot be cut into `MMA_TILE` strips. (Pad A to a multiple
+    /// of 16 rows before planning.)
+    RowsNotTileAligned {
+        /// Matrix rows.
+        rows: usize,
+        /// Required row granularity (`MMA_TILE`).
+        tile: usize,
+    },
+    /// Autotuning was asked to choose among zero candidates.
+    NoCandidates,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Config(e) => write!(f, "invalid configuration: {e}"),
+            PlanError::RowsNotTileAligned { rows, tile } => {
+                write!(f, "matrix rows {rows} must be a multiple of {tile}")
+            }
+            PlanError::NoCandidates => write!(f, "autotune candidate list is empty"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for PlanError {
+    fn from(e: ConfigError) -> PlanError {
+        PlanError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = PlanError::from(ConfigError::BlockTileNotMmaAligned { block_tile_m: 40 });
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("invalid configuration"));
+        let e = PlanError::RowsNotTileAligned {
+            rows: 100,
+            tile: 16,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn config_error_is_the_source() {
+        use std::error::Error;
+        let e = PlanError::from(ConfigError::ZeroTile);
+        assert!(e.source().is_some());
+        assert!(PlanError::NoCandidates.source().is_none());
+    }
+}

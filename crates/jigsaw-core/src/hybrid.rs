@@ -544,6 +544,7 @@ mod tests {
             "55% sparsity must trigger the base path's retries"
         );
         let base = crate::JigsawSpmm::plan(&a, JigsawConfig::v4(32))
+            .unwrap()
             .simulate(256, &spec)
             .duration_cycles;
         let plan = HybridPlan::build(&a, HybridConfig::default());
@@ -570,6 +571,7 @@ mod tests {
         }
         let spec = GpuSpec::a100();
         let base = crate::JigsawSpmm::plan(&a, JigsawConfig::v4(32))
+            .unwrap()
             .simulate(256, &spec)
             .duration_cycles;
         let plan = HybridPlan::build(&a, HybridConfig::default());
@@ -586,6 +588,7 @@ mod tests {
         let spec = GpuSpec::a100();
         let a = gen(0.95, 8, 12);
         let base = crate::JigsawSpmm::plan(&a, JigsawConfig::v4(32))
+            .unwrap()
             .simulate(64, &spec)
             .duration_cycles;
         let hybrid = HybridPlan::build(&a, HybridConfig::default())

@@ -25,7 +25,7 @@
 //!
 //! let a = VectorSparseSpec::new(128, 256, 0.9, 4, 7).generate();
 //! let b = dense_rhs(256, 64, ValueDist::Uniform, 8);
-//! let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+//! let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32)).expect("valid plan");
 //! let run = spmm.run(&b, &gpu_sim::GpuSpec::a100());
 //! assert_eq!(run.c.len(), 128 * 64);
 //! ```
@@ -34,6 +34,7 @@
 
 pub mod analysis;
 pub mod config;
+pub mod errors;
 pub mod exec;
 pub mod format;
 pub mod hybrid;
@@ -45,7 +46,8 @@ pub mod spmm;
 pub mod swizzle;
 
 pub use analysis::{forecast, jigsaw_expected_win, strip_census, ReorderForecast, StripCensus};
-pub use config::{JigsawConfig, MMA_N, MMA_TILE};
+pub use config::{ConfigBuilder, JigsawConfig, MMA_N, MMA_TILE};
+pub use errors::{ConfigError, PlanError};
 pub use exec::{execute_fast, execute_via_fragments, max_relative_error};
 pub use format::{format_source_column, JigsawFormat};
 pub use hybrid::{HybridConfig, HybridPlan, HybridStats, Route};

@@ -9,7 +9,7 @@ use dlmc::Matrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-pub use strip::{reorder_strip, StripPlan, PAD};
+pub use strip::{live_columns, pack_strip, reorder_strip, StripPlan, PAD};
 pub use tile::{
     quad_compatible, reorder_tile, reorder_tile_bidirectional, tile_satisfies_in_place,
     ColumnMasks, TileReorder, TILE,
@@ -54,7 +54,23 @@ pub struct ReorderStats {
 
 impl ReorderPlan {
     /// Reorders `a` at the granularity `config` selects.
+    ///
+    /// Precondition: `a.rows` is a multiple of `MMA_TILE` (16) —
+    /// [`crate::JigsawSpmm::plan`] checks this and returns
+    /// `PlanError::RowsNotTileAligned` before reaching here.
     pub fn build(a: &Matrix, config: &JigsawConfig) -> ReorderPlan {
+        Self::build_traced(a, config, &jigsaw_obs::Span::disabled())
+    }
+
+    /// [`ReorderPlan::build`] with per-phase spans attached to
+    /// `parent`: a `plan.block_reorder` child covering the zero-column
+    /// split of every strip and a `plan.tile_reorder` child covering
+    /// the window packing + Algorithm-1 reorder.
+    pub fn build_traced(
+        a: &Matrix,
+        config: &JigsawConfig,
+        parent: &jigsaw_obs::Span,
+    ) -> ReorderPlan {
         assert_eq!(
             a.rows % TILE,
             0,
@@ -63,13 +79,44 @@ impl ReorderPlan {
         let bt = config.block_tile_m;
         let bank_aware = config.bank_conflict_elimination;
         let strip_starts: Vec<usize> = (0..a.rows).step_by(bt).collect();
-        let strips: Vec<StripPlan> = strip_starts
+
+        // BLOCK_TILE phase: zero-column split, one pass over strips.
+        let block_span = parent.child("plan.block_reorder");
+        let live_sets: Vec<(usize, Vec<u32>, usize)> = strip_starts
             .par_iter()
             .map(|&row0| {
                 let height = bt.min(a.rows - row0);
-                reorder_strip(a, row0, height, bank_aware)
+                let (live, zero_cols) = strip::live_columns(a, row0, height);
+                (row0, live, zero_cols)
             })
             .collect();
+        if block_span.is_recording() {
+            block_span.attr("strips", strip_starts.len());
+            block_span.attr(
+                "zero_cols",
+                live_sets.iter().map(|(_, _, z)| *z).sum::<usize>(),
+            );
+        }
+        block_span.finish();
+
+        // MMA_TILE phase: window packing with eviction retry.
+        let tile_span = parent.child("plan.tile_reorder");
+        let strips: Vec<StripPlan> = live_sets
+            .into_par_iter()
+            .map(|(row0, live, zero_cols)| {
+                let height = bt.min(a.rows - row0);
+                strip::pack_strip(a, row0, height, bank_aware, live, zero_cols)
+            })
+            .collect();
+        if tile_span.is_recording() {
+            tile_span.attr(
+                "evictions",
+                strips.iter().map(|s| s.evictions).sum::<usize>(),
+            );
+            tile_span.attr("windows", strips.iter().map(|s| s.windows()).sum::<usize>());
+        }
+        tile_span.finish();
+
         ReorderPlan {
             m: a.rows,
             k: a.cols,

@@ -87,12 +87,12 @@ fn window_masks(m: &Matrix, row0: usize, slots: &[u32]) -> ColumnMasks {
     masks
 }
 
-/// Reorders one row strip. `bank_aware` enables the §3.4.1 preference.
-pub fn reorder_strip(m: &Matrix, row0: usize, height: usize, bank_aware: bool) -> StripPlan {
-    assert_eq!(height % TILE, 0, "strip height must be a multiple of 16");
-    let tile_rows = height / TILE;
-
-    // BLOCK_TILE step: split zero / nonzero columns within the strip.
+/// The `BLOCK_TILE` step in isolation: partitions the strip's columns
+/// into the live set (in original order) and a count of all-zero
+/// columns to skip. This is the first phase of [`reorder_strip`],
+/// exposed so the planner can time the block reorder separately from
+/// the tile reorder.
+pub fn live_columns(m: &Matrix, row0: usize, height: usize) -> (Vec<u32>, usize) {
     let mut live: Vec<u32> = Vec::new();
     let mut zero_cols = 0usize;
     for c in 0..m.cols {
@@ -102,6 +102,22 @@ pub fn reorder_strip(m: &Matrix, row0: usize, height: usize, bank_aware: bool) -
             live.push(c as u32);
         }
     }
+    (live, zero_cols)
+}
+
+/// The `MMA_TILE` step in isolation: packs an already-partitioned live
+/// column set into 16-column windows with Algorithm-1 reorder and
+/// eviction retry. Second phase of [`reorder_strip`].
+pub fn pack_strip(
+    m: &Matrix,
+    row0: usize,
+    height: usize,
+    bank_aware: bool,
+    live: Vec<u32>,
+    zero_cols: usize,
+) -> StripPlan {
+    assert_eq!(height % TILE, 0, "strip height must be a multiple of 16");
+    let tile_rows = height / TILE;
 
     let mut col_order: Vec<u32> = Vec::new();
     let mut tiles: Vec<TileReorder> = Vec::new();
@@ -167,6 +183,14 @@ pub fn reorder_strip(m: &Matrix, row0: usize, height: usize, bank_aware: bool) -
         zero_cols,
         evictions,
     }
+}
+
+/// Reorders one row strip — the `BLOCK_TILE` zero-column split
+/// ([`live_columns`]) followed by `MMA_TILE` window packing
+/// ([`pack_strip`]). `bank_aware` enables the §3.4.1 preference.
+pub fn reorder_strip(m: &Matrix, row0: usize, height: usize, bank_aware: bool) -> StripPlan {
+    let (live, zero_cols) = live_columns(m, row0, height);
+    pack_strip(m, row0, height, bank_aware, live, zero_cols)
 }
 
 #[cfg(test)]

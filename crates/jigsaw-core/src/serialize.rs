@@ -292,7 +292,7 @@ mod tests {
             seed: 70,
         }
         .generate();
-        JigsawSpmm::plan(&a, JigsawConfig::v4(32)).format
+        JigsawSpmm::plan(&a, JigsawConfig::v4(32)).unwrap().format
     }
 
     #[test]
@@ -325,7 +325,7 @@ mod tests {
         }
         .generate();
         let b = dense_rhs(96, 16, ValueDist::SmallInt, 72);
-        let f = JigsawSpmm::plan(&a, JigsawConfig::v4(16)).format;
+        let f = JigsawSpmm::plan(&a, JigsawConfig::v4(16)).unwrap().format;
         let g = from_bytes(&to_bytes(&f)).unwrap();
         assert_eq!(execute_fast(&g, &b), a.matmul_reference(&b));
     }

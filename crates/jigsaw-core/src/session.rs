@@ -11,6 +11,7 @@ use gpu_sim::{GpuSpec, KernelStats};
 use sptc::F16;
 
 use crate::config::JigsawConfig;
+use crate::errors::PlanError;
 use crate::spmm::JigsawSpmm;
 
 /// Why a [`Session`] operation was rejected. A serving layer sits on
@@ -37,6 +38,8 @@ pub enum SessionError {
         /// The first layer's input dimension.
         expected: usize,
     },
+    /// Planning the layer's weights failed.
+    Plan(PlanError),
 }
 
 impl fmt::Display for SessionError {
@@ -58,11 +61,25 @@ impl fmt::Display for SessionError {
                 f,
                 "input features {input_dim} must match the first layer ({expected})"
             ),
+            SessionError::Plan(e) => write!(f, "planning failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for SessionError {}
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for SessionError {
+    fn from(e: PlanError) -> SessionError {
+        SessionError::Plan(e)
+    }
+}
 
 /// One planned layer.
 #[derive(Clone, Debug)]
@@ -124,7 +141,7 @@ impl Session {
                 });
             }
         }
-        let spmm = JigsawSpmm::plan(weights, config);
+        let spmm = JigsawSpmm::plan(weights, config)?;
         self.layers.push(Layer {
             name: name.to_string(),
             spmm,
@@ -278,6 +295,22 @@ mod tests {
         // Failed passes leave the ledger untouched.
         assert_eq!(session.passes, 0);
         assert_eq!(session.total_cycles, 0.0);
+    }
+
+    #[test]
+    fn invalid_layer_config_propagates_as_plan_error() {
+        use crate::errors::{ConfigError, PlanError};
+        let mut session = Session::new(GpuSpec::a100());
+        let err = session
+            .add_layer("bad", &weights(64, 32, 7), JigsawConfig::v4(40))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::Plan(PlanError::Config(ConfigError::BlockTileNotMmaAligned {
+                block_tile_m: 40,
+            }))
+        );
+        assert_eq!(session.depth(), 0);
     }
 
     #[test]

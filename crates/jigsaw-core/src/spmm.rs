@@ -6,7 +6,10 @@ use dlmc::Matrix;
 use gpu_sim::{simulate_kernel, GpuSpec, KernelStats};
 use serde::{Deserialize, Serialize};
 
-use crate::config::JigsawConfig;
+use jigsaw_obs::Span;
+
+use crate::config::{JigsawConfig, MMA_TILE};
+use crate::errors::PlanError;
 use crate::exec::{execute_fast, execute_via_fragments};
 use crate::format::JigsawFormat;
 use crate::kernel::build_launch;
@@ -44,39 +47,95 @@ pub struct TuneReport {
 
 impl JigsawSpmm {
     /// Plans the sparse matrix: multi-granularity reorder + compression.
-    pub fn plan(a: &Matrix, config: JigsawConfig) -> JigsawSpmm {
-        let plan = ReorderPlan::build(a, &config);
+    ///
+    /// Returns a typed [`PlanError`] (never panics) when the config's
+    /// tiling is invalid or the matrix height is not a multiple of
+    /// `MMA_TILE`. When tracing is enabled (`jigsaw_obs::set_enabled`)
+    /// the phases are recorded as a `plan` root span in the global
+    /// registry.
+    pub fn plan(a: &Matrix, config: JigsawConfig) -> Result<JigsawSpmm, PlanError> {
+        let root = Span::root("plan");
+        Self::plan_traced(a, config, &root)
+    }
+
+    /// [`JigsawSpmm::plan`] with the per-phase spans
+    /// (`plan.block_reorder`, `plan.tile_reorder`, `plan.compress`)
+    /// attached to a caller-provided parent — how a serving layer pulls
+    /// planning into a request trace.
+    pub fn plan_traced(
+        a: &Matrix,
+        config: JigsawConfig,
+        parent: &Span,
+    ) -> Result<JigsawSpmm, PlanError> {
+        config.validate()?;
+        if !a.rows.is_multiple_of(MMA_TILE) {
+            return Err(PlanError::RowsNotTileAligned {
+                rows: a.rows,
+                tile: MMA_TILE,
+            });
+        }
+        parent.attr("block_tile_m", config.block_tile_m);
+        let plan = ReorderPlan::build_traced(a, &config, parent);
         let reorder_stats = plan.stats();
+        let compress = parent.child("plan.compress");
         let format = JigsawFormat::build(a, &plan, config.metadata_interleave);
-        JigsawSpmm {
+        if compress.is_recording() {
+            compress.attr("windows", reorder_stats.total_windows);
+        }
+        compress.finish();
+        Ok(JigsawSpmm {
             config,
             format,
             reorder_stats,
-        }
+        })
     }
 
     /// Plans with v4 autotuning: builds the plan at every candidate
     /// `BLOCK_TILE_M`, simulates a kernel at the given `n`, keeps the
     /// fastest (paper §4.1 "we empirically tune the size of
     /// BLOCK_TILE").
-    pub fn plan_tuned(a: &Matrix, n: usize, spec: &GpuSpec) -> (JigsawSpmm, TuneReport) {
+    pub fn plan_tuned(
+        a: &Matrix,
+        n: usize,
+        spec: &GpuSpec,
+    ) -> Result<(JigsawSpmm, TuneReport), PlanError> {
+        Self::plan_tuned_over(a, n, spec, &JigsawConfig::BLOCK_TILE_CANDIDATES)
+    }
+
+    /// [`JigsawSpmm::plan_tuned`] over a caller-chosen candidate set.
+    /// An empty set is [`PlanError::NoCandidates`]; an invalid
+    /// candidate tiling fails the whole tune with its own error rather
+    /// than being silently skipped. Each candidate gets a
+    /// `plan.candidate` span carrying its simulated cycles.
+    pub fn plan_tuned_over(
+        a: &Matrix,
+        n: usize,
+        spec: &GpuSpec,
+        block_tile_candidates: &[usize],
+    ) -> Result<(JigsawSpmm, TuneReport), PlanError> {
+        let root = Span::root("plan_tuned");
         let mut best: Option<(JigsawSpmm, f64)> = None;
         let mut candidates = Vec::new();
-        for bt in JigsawConfig::BLOCK_TILE_CANDIDATES {
-            let planned = JigsawSpmm::plan(a, JigsawConfig::v4(bt));
+        for &bt in block_tile_candidates {
+            let span = root.child("plan.candidate");
+            span.attr("block_tile_m", bt);
+            let planned = JigsawSpmm::plan_traced(a, JigsawConfig::v4(bt), &span)?;
             let launch = build_launch(&planned.format, n, &planned.config);
             let cycles = simulate_kernel(&launch, spec).duration_cycles;
+            span.cycles(cycles);
+            span.finish();
             candidates.push((bt, cycles));
             if best.as_ref().is_none_or(|(_, c)| cycles < *c) {
                 best = Some((planned, cycles));
             }
         }
-        let (planned, _) = best.expect("candidates is non-empty");
+        let (planned, _) = best.ok_or(PlanError::NoCandidates)?;
+        root.attr("chosen_block_tile_m", planned.config.block_tile_m);
         let report = TuneReport {
             block_tile_m: planned.config.block_tile_m,
             candidate_cycles: candidates,
         };
-        (planned, report)
+        Ok((planned, report))
     }
 
     /// Computes `C = A × B` and simulates the kernel's execution.
@@ -121,7 +180,7 @@ mod tests {
     #[test]
     fn plan_and_run_end_to_end() {
         let (a, b) = workload(0.9, 4);
-        let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+        let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32)).unwrap();
         assert!(spmm.reorder_stats.success);
         let run = spmm.run(&b, &GpuSpec::a100());
         assert_eq!(run.c, a.matmul_reference(&b));
@@ -132,7 +191,7 @@ mod tests {
     #[test]
     fn tuned_plan_picks_a_candidate() {
         let (a, _) = workload(0.95, 8);
-        let (spmm, report) = JigsawSpmm::plan_tuned(&a, 256, &GpuSpec::a100());
+        let (spmm, report) = JigsawSpmm::plan_tuned(&a, 256, &GpuSpec::a100()).unwrap();
         assert_eq!(report.candidate_cycles.len(), 3);
         assert_eq!(spmm.config.block_tile_m, report.block_tile_m);
         let best = report
@@ -152,7 +211,86 @@ mod tests {
     #[test]
     fn fragment_path_agrees_with_fast_path() {
         let (a, b) = workload(0.85, 2);
-        let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(16));
+        let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(16)).unwrap();
         assert_eq!(spmm.run_via_fragments(&b), a.matmul_reference(&b));
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors_not_panics() {
+        use crate::errors::{ConfigError, PlanError};
+        let (a, _) = workload(0.9, 4);
+        // Off-grid BLOCK_TILE_M from v4 surfaces at plan time.
+        assert_eq!(
+            JigsawSpmm::plan(&a, JigsawConfig::v4(40)).unwrap_err(),
+            PlanError::Config(ConfigError::BlockTileNotMmaAligned { block_tile_m: 40 })
+        );
+        // Rows not divisible by MMA_TILE.
+        let short = VectorSparseSpec {
+            rows: 24,
+            cols: 64,
+            sparsity: 0.9,
+            v: 4,
+            dist: ValueDist::SmallInt,
+            seed: 9,
+        }
+        .generate();
+        assert_eq!(
+            JigsawSpmm::plan(&short, JigsawConfig::v4(16)).unwrap_err(),
+            PlanError::RowsNotTileAligned { rows: 24, tile: 16 }
+        );
+        // Empty autotune candidate set.
+        assert_eq!(
+            JigsawSpmm::plan_tuned_over(&a, 64, &GpuSpec::a100(), &[]).unwrap_err(),
+            PlanError::NoCandidates
+        );
+    }
+
+    /// Serializes tests that toggle the global tracing flag.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn plan_phases_are_traced_with_wall_time() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        jigsaw_obs::set_enabled(true);
+        let (a, _) = workload(0.9, 4);
+        let (root, handle) = jigsaw_obs::Span::trace("test.plan");
+        JigsawSpmm::plan_traced(&a, JigsawConfig::v4(32), &root).unwrap();
+        root.finish();
+        jigsaw_obs::set_enabled(false);
+        let rec = handle.take().expect("trace recorded");
+        for phase in ["plan.block_reorder", "plan.tile_reorder", "plan.compress"] {
+            let span = rec.find(phase).unwrap_or_else(|| panic!("{phase} missing"));
+            // Wall time is captured per phase (may be 0ns on a coarse
+            // clock, but the field is populated by construction).
+            assert!(span.wall_ns < 10_000_000_000, "{phase} sane wall time");
+        }
+        assert!(rec
+            .find("plan.tile_reorder")
+            .unwrap()
+            .attr("evictions")
+            .is_some());
+    }
+
+    #[test]
+    fn tuned_candidates_are_traced_with_cycles() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        jigsaw_obs::set_enabled(true);
+        jigsaw_obs::global().reset();
+        let (a, _) = workload(0.95, 8);
+        let _ = JigsawSpmm::plan_tuned(&a, 128, &GpuSpec::a100()).unwrap();
+        jigsaw_obs::set_enabled(false);
+        let rec = jigsaw_obs::global()
+            .latest_trace("plan_tuned")
+            .expect("root span recorded");
+        let candidates: Vec<_> = rec
+            .children
+            .iter()
+            .filter(|c| c.name == "plan.candidate")
+            .collect();
+        assert_eq!(candidates.len(), 3);
+        for c in &candidates {
+            assert!(c.cycles.unwrap() > 0.0);
+            assert!(c.find("plan.tile_reorder").is_some());
+        }
     }
 }

@@ -1,0 +1,51 @@
+//! # jigsaw-obs — the observability spine of the Jigsaw workspace
+//!
+//! Hierarchical [`Span`]s (wall time + simulated-cycle annotations +
+//! attributes), monotonic [`Counter`]s and [`Gauge`]s, and a
+//! thread-safe [`ObsRegistry`] with two sinks: a sectioned
+//! Nsight-style text report ([`TextSink`]) and a stable JSON export
+//! ([`JsonSink`]). Std-only, zero dependencies — same footprint rules
+//! as `jigsaw-serve`.
+//!
+//! Tracing is off by default. Everything funnels through one flag:
+//! when disabled, span constructors return no-op handles and the cost
+//! of instrumented code is a single relaxed atomic load
+//! ([`enabled`]), verified by the `obs_overhead` criterion bench in
+//! `bench-harness`.
+//!
+//! ```
+//! jigsaw_obs::set_enabled(true);
+//! let (root, handle) = jigsaw_obs::Span::trace("serve.request");
+//! root.attr("model", "bert-large");
+//! {
+//!     let kernel = root.child("kernel");
+//!     kernel.cycles(6400.0);
+//! } // finishes on drop
+//! root.finish();
+//! let record = handle.take().expect("root finished");
+//! assert!(record.find("kernel").is_some());
+//! # jigsaw_obs::set_enabled(false);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use json::{parse, Json, ParseError};
+pub use metrics::{Counter, Gauge};
+pub use registry::{global, ObsRegistry, Snapshot};
+pub use report::{JsonSink, NoopSink, Sink, TextSink};
+pub use span::{AttrValue, Span, SpanRecord, TraceHandle};
+
+/// Whether span recording is globally enabled. One relaxed atomic
+/// load — the entire overhead of disabled instrumentation.
+pub fn enabled() -> bool {
+    global().enabled()
+}
+
+/// Turns global span recording on or off.
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on)
+}

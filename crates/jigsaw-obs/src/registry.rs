@@ -1,0 +1,244 @@
+//! The process-global observability registry: named counters and
+//! gauges plus a bounded ring of recently finished root traces, all
+//! behind one enable flag.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::Json;
+use crate::metrics::{Counter, Gauge};
+use crate::span::SpanRecord;
+
+/// How many finished root traces the registry retains.
+const TRACE_RING_CAP: usize = 256;
+
+/// Thread-safe home for named counters/gauges and recent traces.
+///
+/// Most code uses the process-global instance via [`crate::global`];
+/// independent registries (e.g. one per model registry in a test) are
+/// supported by constructing [`ObsRegistry::new`] directly.
+pub struct ObsRegistry {
+    enabled: AtomicBool,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    traces: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl Default for ObsRegistry {
+    fn default() -> ObsRegistry {
+        ObsRegistry::new()
+    }
+}
+
+impl ObsRegistry {
+    /// An empty registry with tracing disabled.
+    pub fn new() -> ObsRegistry {
+        ObsRegistry {
+            enabled: AtomicBool::new(false),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            traces: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Whether span recording is on. One relaxed load — this is the
+    /// entire cost of disabled instrumentation.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns span recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    /// The returned handle stays live after the call, so hot paths can
+    /// fetch once and bump forever.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .expect("obs counters lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .expect("obs gauges lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Stores a finished root trace in the bounded ring (oldest
+    /// evicted first).
+    pub fn record_trace(&self, record: SpanRecord) {
+        let mut ring = self.traces.lock().expect("obs traces lock");
+        if ring.len() == TRACE_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Most recent root trace named `name`, if any.
+    pub fn latest_trace(&self, name: &str) -> Option<SpanRecord> {
+        let ring = self.traces.lock().expect("obs traces lock");
+        ring.iter().rev().find(|t| t.name == name).cloned()
+    }
+
+    /// A point-in-time copy of every counter, gauge, and retained
+    /// trace.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs counters lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("obs gauges lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let traces = self
+            .traces
+            .lock()
+            .expect("obs traces lock")
+            .iter()
+            .cloned()
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            traces,
+        }
+    }
+
+    /// Zeroes every counter and gauge **in place** — handles cached in
+    /// hot paths stay valid — and clears retained traces. The enable
+    /// flag is untouched. Meant for tests and between-experiment
+    /// resets.
+    pub fn reset(&self) {
+        for c in self.counters.lock().expect("obs counters lock").values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().expect("obs gauges lock").values() {
+            g.reset();
+        }
+        self.traces.lock().expect("obs traces lock").clear();
+    }
+}
+
+/// A point-in-time copy of a registry's contents, ready for a sink.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Retained root traces, oldest first.
+    pub traces: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// Stable JSON export: sorted counter/gauge maps plus trace trees.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, v) in &self.counters {
+            counters = counters.with(k, *v);
+        }
+        let mut gauges = Json::obj();
+        for (k, v) in &self.gauges {
+            gauges = gauges.with(k, *v);
+        }
+        let mut traces = Json::arr();
+        for t in &self.traces {
+            traces = traces.push(t.to_json());
+        }
+        Json::obj()
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("traces", traces)
+    }
+}
+
+/// The process-global registry.
+pub fn global() -> &'static ObsRegistry {
+    static GLOBAL: OnceLock<ObsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(ObsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = ObsRegistry::new();
+        reg.counter("sim.waves").add(3);
+        reg.counter("sim.waves").inc();
+        reg.gauge("plan.k_fraction").set(0.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("sim.waves".to_string(), 4)]);
+        assert_eq!(snap.gauges, vec![("plan.k_fraction".to_string(), 0.5)]);
+    }
+
+    #[test]
+    fn trace_ring_is_bounded_and_searchable() {
+        let reg = ObsRegistry::new();
+        for i in 0..(TRACE_RING_CAP + 10) {
+            reg.record_trace(SpanRecord {
+                name: format!("t{i}"),
+                start_ns: i as u64,
+                wall_ns: 1,
+                cycles: None,
+                attrs: Vec::new(),
+                children: Vec::new(),
+            });
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.traces.len(), TRACE_RING_CAP);
+        assert_eq!(snap.traces[0].name, "t10", "oldest evicted");
+        assert!(reg.latest_trace("t9").is_none());
+        assert_eq!(
+            reg.latest_trace(&format!("t{}", TRACE_RING_CAP + 9))
+                .unwrap()
+                .start_ns,
+            (TRACE_RING_CAP + 9) as u64
+        );
+    }
+
+    #[test]
+    fn root_spans_land_in_global_registry() {
+        crate::set_enabled(true);
+        global().reset();
+        let span = Span::root("unit.root_span");
+        span.attr("n", 7u64);
+        span.finish();
+        let rec = global().latest_trace("unit.root_span").expect("recorded");
+        assert_eq!(rec.attrs.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_parses_back() {
+        let reg = ObsRegistry::new();
+        reg.counter("a").inc();
+        reg.gauge("b").set(1.5);
+        let json = reg.snapshot().to_json();
+        let parsed = crate::json::parse(&json.to_string()).expect("valid");
+        assert_eq!(parsed.keys(), vec!["counters", "gauges", "traces"]);
+        assert_eq!(
+            parsed.get("counters").unwrap().get("a").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+}

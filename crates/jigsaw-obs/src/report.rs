@@ -1,0 +1,157 @@
+//! Sinks: consumers of a registry [`Snapshot`].
+//!
+//! Two real sinks ship — the sectioned [`TextSink`] matching the
+//! Nsight-like report style used elsewhere in the workspace, and the
+//! stable-key [`JsonSink`] — plus [`NoopSink`], the disabled compile
+//! path that emits nothing.
+
+use std::fmt::Write as _;
+
+use crate::registry::Snapshot;
+use crate::span::SpanRecord;
+
+/// A destination for observability snapshots.
+pub trait Sink {
+    /// Renders the snapshot, or `None` when the sink discards it.
+    fn emit(&self, snap: &Snapshot) -> Option<String>;
+}
+
+/// Sectioned text report in the workspace's Nsight-like style.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TextSink;
+
+fn write_span(out: &mut String, span: &SpanRecord, depth: usize) {
+    let indent = "  ".repeat(depth + 2);
+    let label = format!("{indent}{}", span.name);
+    let _ = write!(out, "{label:<40} {:>12.1} us", span.wall_ns as f64 / 1e3);
+    if let Some(c) = span.cycles {
+        let _ = write!(out, " {c:>14.0} cyc");
+    }
+    for (k, v) in &span.attrs {
+        use crate::span::AttrValue::*;
+        let _ = match v {
+            Bool(b) => write!(out, "  {k}={b}"),
+            Int(i) => write!(out, "  {k}={i}"),
+            UInt(u) => write!(out, "  {k}={u}"),
+            Float(f) => write!(out, "  {k}={f}"),
+            Str(s) => write!(out, "  {k}={s}"),
+        };
+    }
+    out.push('\n');
+    for child in &span.children {
+        write_span(out, child, depth + 1);
+    }
+}
+
+impl Sink for TextSink {
+    fn emit(&self, snap: &Snapshot) -> Option<String> {
+        let mut out = String::new();
+        out.push_str("== Observability Report ==\n");
+        if !snap.counters.is_empty() {
+            out.push_str("  Section: Counters\n");
+            for (name, value) in &snap.counters {
+                let _ = writeln!(out, "    {name:<40} {value:>12}");
+            }
+        }
+        if !snap.gauges.is_empty() {
+            out.push_str("  Section: Gauges\n");
+            for (name, value) in &snap.gauges {
+                let _ = writeln!(out, "    {name:<40} {value:>12.3}");
+            }
+        }
+        if !snap.traces.is_empty() {
+            out.push_str("  Section: Traces\n");
+            for trace in &snap.traces {
+                write_span(&mut out, trace, 0);
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Stable JSON export (insertion-order keys, see [`crate::json`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JsonSink;
+
+impl Sink for JsonSink {
+    fn emit(&self, snap: &Snapshot) -> Option<String> {
+        Some(snap.to_json().to_string())
+    }
+}
+
+/// Discards every snapshot — the disabled compile path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn emit(&self, _snap: &Snapshot) -> Option<String> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ObsRegistry;
+
+    fn sample() -> Snapshot {
+        let reg = ObsRegistry::new();
+        reg.counter("sim.waves").add(12);
+        reg.gauge("queue.depth").set(3.0);
+        reg.record_trace(SpanRecord {
+            name: "serve.request".to_string(),
+            start_ns: 0,
+            wall_ns: 2_500,
+            cycles: Some(640.0),
+            attrs: vec![(
+                "model".to_string(),
+                crate::span::AttrValue::Str("m0".into()),
+            )],
+            children: vec![SpanRecord {
+                name: "kernel".to_string(),
+                start_ns: 100,
+                wall_ns: 1_000,
+                cycles: Some(640.0),
+                attrs: Vec::new(),
+                children: Vec::new(),
+            }],
+        });
+        reg.snapshot()
+    }
+
+    #[test]
+    fn text_sink_sections_and_nesting() {
+        let text = TextSink.emit(&sample()).unwrap();
+        assert!(text.contains("== Observability Report =="));
+        assert!(text.contains("Section: Counters"));
+        assert!(text.contains("sim.waves"));
+        assert!(text.contains("Section: Traces"));
+        assert!(text.contains("serve.request"));
+        // Child is indented deeper than its parent.
+        let parent_col = text.lines().find(|l| l.contains("serve.request")).unwrap();
+        let child_col = text.lines().find(|l| l.contains("kernel")).unwrap();
+        let lead = |s: &str| s.len() - s.trim_start().len();
+        assert!(lead(child_col) > lead(parent_col));
+    }
+
+    #[test]
+    fn json_sink_is_parseable() {
+        let text = JsonSink.emit(&sample()).unwrap();
+        let parsed = crate::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("sim.waves")
+                .unwrap()
+                .as_u64(),
+            Some(12)
+        );
+        assert_eq!(parsed.get("traces").unwrap().items().len(), 1);
+    }
+
+    #[test]
+    fn noop_sink_emits_nothing() {
+        assert!(NoopSink.emit(&sample()).is_none());
+    }
+}

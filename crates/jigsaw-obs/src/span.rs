@@ -1,0 +1,392 @@
+//! Hierarchical spans: named wall-time intervals with optional
+//! simulated-cycle annotations and key=value attributes, assembled into
+//! a tree as they finish.
+//!
+//! The whole API is gated on one global flag ([`crate::enabled`]): a
+//! disabled span is `Span(None)` and every method is a no-op, so the
+//! cost of instrumented-but-untraced code is a single relaxed atomic
+//! load at span creation.
+
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Process-wide epoch all `start_ns` offsets are relative to.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// An attribute value attached to a span.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::UInt(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::UInt(v as u64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl AttrValue {
+    fn to_json(&self) -> Json {
+        match self {
+            AttrValue::Bool(v) => Json::Bool(*v),
+            AttrValue::Int(v) => Json::Int(*v),
+            AttrValue::UInt(v) => Json::UInt(*v),
+            AttrValue::Float(v) => Json::Float(*v),
+            AttrValue::Str(v) => Json::Str(v.clone()),
+        }
+    }
+}
+
+/// A finished span: the immutable record a [`Span`] leaves behind.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `plan.tile_reorder`).
+    pub name: String,
+    /// Start offset from the process epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated-cycle annotation, when the span covered simulated
+    /// device work.
+    pub cycles: Option<f64>,
+    /// Attributes, in attachment order.
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Child spans, in finish order.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Depth-first search for a span named `name` (including `self`).
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Total spans in the tree (including `self`).
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanRecord::span_count)
+            .sum::<usize>()
+    }
+
+    /// Attribute lookup.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Stable JSON export of the whole tree.
+    pub fn to_json(&self) -> Json {
+        let mut attrs = Json::obj();
+        for (k, v) in &self.attrs {
+            attrs = attrs.with(k, v.to_json());
+        }
+        let mut children = Json::arr();
+        for c in &self.children {
+            children = children.push(c.to_json());
+        }
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("start_ns", self.start_ns)
+            .with("wall_ns", self.wall_ns)
+            .with("cycles", self.cycles.map(Json::Float))
+            .with("attrs", attrs)
+            .with("children", children)
+    }
+}
+
+/// Where children of an active span accumulate.
+type ChildSink = Arc<Mutex<Vec<SpanRecord>>>;
+
+/// Retrieves the root record of a trace started with [`Span::trace`]
+/// after the root span finishes.
+#[derive(Clone, Debug)]
+pub struct TraceHandle(ChildSink);
+
+impl TraceHandle {
+    /// Takes the finished root record, if the root has finished.
+    pub fn take(&self) -> Option<SpanRecord> {
+        self.0.lock().expect("trace handle lock").pop()
+    }
+}
+
+enum Dest {
+    /// The finished record goes to a parent (or trace-handle) vector.
+    Sink(ChildSink),
+    /// The finished record goes to the global registry's trace ring.
+    Registry,
+}
+
+struct Active {
+    name: String,
+    started: Instant,
+    start_ns: u64,
+    cycles: Mutex<Option<f64>>,
+    attrs: Mutex<Vec<(String, AttrValue)>>,
+    children: ChildSink,
+    dest: Dest,
+}
+
+/// A live span. Create roots with [`Span::root`] (record lands in the
+/// global registry) or [`Span::trace`] (record lands in a caller-held
+/// [`TraceHandle`]); nest with [`Span::child`]. Finishing — explicitly
+/// via [`Span::finish`] or implicitly on drop — assembles the
+/// [`SpanRecord`] and delivers it.
+///
+/// When tracing is disabled ([`crate::set_enabled`]) every constructor
+/// returns a no-op span and every method returns immediately.
+pub struct Span(Option<Box<Active>>);
+
+impl Span {
+    /// A no-op span, for threading through APIs when the caller has no
+    /// trace context.
+    pub fn disabled() -> Span {
+        Span(None)
+    }
+
+    fn active(name: &str, dest: Dest) -> Span {
+        let now = Instant::now();
+        Span(Some(Box::new(Active {
+            name: name.to_string(),
+            started: now,
+            start_ns: now.duration_since(epoch()).as_nanos() as u64,
+            cycles: Mutex::new(None),
+            attrs: Mutex::new(Vec::new()),
+            children: Arc::new(Mutex::new(Vec::new())),
+            dest,
+        })))
+    }
+
+    /// A root span whose finished record is kept in the global
+    /// registry's recent-trace ring. No-op when tracing is disabled.
+    pub fn root(name: &str) -> Span {
+        if !crate::enabled() {
+            return Span::disabled();
+        }
+        Span::active(name, Dest::Registry)
+    }
+
+    /// A root span paired with a [`TraceHandle`] the caller can drain
+    /// once the span finishes — the per-request trace pattern. No-op
+    /// (and an always-empty handle) when tracing is disabled.
+    pub fn trace(name: &str) -> (Span, TraceHandle) {
+        let sink: ChildSink = Arc::new(Mutex::new(Vec::new()));
+        if !crate::enabled() {
+            return (Span::disabled(), TraceHandle(sink));
+        }
+        (
+            Span::active(name, Dest::Sink(sink.clone())),
+            TraceHandle(sink),
+        )
+    }
+
+    /// A child span; its record attaches to this span's `children` when
+    /// it finishes. Children of a disabled span are disabled.
+    pub fn child(&self, name: &str) -> Span {
+        match &self.0 {
+            None => Span::disabled(),
+            Some(a) => Span::active(name, Dest::Sink(a.children.clone())),
+        }
+    }
+
+    /// Whether this span actually records anything.
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attaches a key=value attribute.
+    pub fn attr(&self, key: &str, value: impl Into<AttrValue>) {
+        if let Some(a) = &self.0 {
+            a.attrs
+                .lock()
+                .expect("span attrs lock")
+                .push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Annotates the span with simulated device cycles.
+    pub fn cycles(&self, cycles: f64) {
+        if let Some(a) = &self.0 {
+            *a.cycles.lock().expect("span cycles lock") = Some(cycles);
+        }
+    }
+
+    /// Grafts an already-finished record as a child — used when one
+    /// piece of work (e.g. a shared batch) belongs to several traces.
+    pub fn add_child_record(&self, record: SpanRecord) {
+        if let Some(a) = &self.0 {
+            a.children.lock().expect("span children lock").push(record);
+        }
+    }
+
+    /// Finishes the span now (drop does the same).
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else { return };
+        let record = SpanRecord {
+            name: a.name,
+            start_ns: a.start_ns,
+            wall_ns: a.started.elapsed().as_nanos() as u64,
+            cycles: *a.cycles.lock().expect("span cycles lock"),
+            attrs: std::mem::take(&mut *a.attrs.lock().expect("span attrs lock")),
+            children: std::mem::take(&mut *a.children.lock().expect("span children lock")),
+        };
+        match a.dest {
+            Dest::Sink(sink) => sink.lock().expect("span sink lock").push(record),
+            Dest::Registry => crate::global().record_trace(record),
+        }
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("Span(disabled)"),
+            Some(a) => f.debug_struct("Span").field("name", &a.name).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        // Tests in this binary may toggle the global flag; use the
+        // explicitly disabled constructor.
+        let span = Span::disabled();
+        assert!(!span.is_recording());
+        let child = span.child("x");
+        assert!(!child.is_recording());
+        span.attr("k", 1u64);
+        span.cycles(10.0);
+        span.finish();
+    }
+
+    #[test]
+    fn trace_nesting_assembles_a_tree() {
+        crate::set_enabled(true);
+        let (root, handle) = Span::trace("request");
+        root.attr("model", "m0");
+        {
+            let admission = root.child("admission");
+            admission.attr("ok", true);
+            admission.finish();
+        }
+        {
+            let batch = root.child("batch");
+            let kernel = batch.child("kernel");
+            kernel.cycles(1234.5);
+            kernel.finish();
+            batch.child("split").finish();
+            batch.finish();
+        }
+        assert!(handle.take().is_none(), "root still live");
+        root.finish();
+        let rec = handle.take().expect("root finished");
+        assert_eq!(rec.name, "request");
+        assert_eq!(rec.span_count(), 5);
+        assert_eq!(rec.children.len(), 2);
+        let kernel = rec.find("kernel").expect("nested find");
+        assert_eq!(kernel.cycles, Some(1234.5));
+        assert_eq!(
+            rec.find("admission").unwrap().attr("ok"),
+            Some(&AttrValue::Bool(true))
+        );
+        assert!(rec.find("nope").is_none());
+        // Wall times are sane: parent covers children.
+        assert!(rec.wall_ns >= kernel.wall_ns);
+    }
+
+    #[test]
+    fn span_json_round_trips() {
+        crate::set_enabled(true);
+        let (root, handle) = Span::trace("plan");
+        root.child("block_reorder").finish();
+        let t = root.child("tile_reorder");
+        t.attr("evictions", 3u64);
+        t.finish();
+        root.cycles(99.0);
+        root.finish();
+        let rec = handle.take().unwrap();
+        let json = rec.to_json();
+        let parsed = crate::json::parse(&json.to_string()).expect("valid JSON");
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("plan"));
+        assert_eq!(parsed.get("cycles").unwrap().as_f64(), Some(99.0));
+        assert_eq!(parsed.get("children").unwrap().items().len(), 2);
+        assert_eq!(
+            parsed.keys(),
+            vec!["name", "start_ns", "wall_ns", "cycles", "attrs", "children"],
+            "stable key order"
+        );
+    }
+
+    #[test]
+    fn grafted_records_appear_as_children() {
+        crate::set_enabled(true);
+        let (batch, bh) = Span::trace("batch");
+        batch.child("kernel").finish();
+        batch.finish();
+        let batch_rec = bh.take().unwrap();
+
+        let (root, handle) = Span::trace("request");
+        root.add_child_record(batch_rec.clone());
+        root.finish();
+        let rec = handle.take().unwrap();
+        assert!(rec.find("kernel").is_some());
+        assert_eq!(rec.children[0], batch_rec);
+    }
+}

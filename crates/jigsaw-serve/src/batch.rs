@@ -106,6 +106,9 @@ pub struct SpmmResponse {
     pub c: Vec<f32>,
     /// Accounting for this request.
     pub stats: RequestStats,
+    /// The request's span tree (admission → queue → batch → kernel …)
+    /// when tracing was enabled at submit time; `None` otherwise.
+    pub trace: Option<jigsaw_obs::SpanRecord>,
 }
 
 /// Concatenates same-height matrices along the column axis.
@@ -175,7 +178,7 @@ mod tests {
             seed: 11,
         }
         .generate();
-        let planned = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+        let planned = JigsawSpmm::plan(&a, JigsawConfig::v4(32)).unwrap();
         let parts: Vec<Matrix> = (0..3)
             .map(|i| dense_rhs(96, 4 + i, ValueDist::Uniform, 20 + i as u64))
             .collect();

@@ -23,8 +23,9 @@ use dlmc::Matrix;
 use gpu_sim::{simulate_kernel, GpuSpec, KernelStats};
 use jigsaw_core::serialize;
 use jigsaw_core::{
-    build_launch, execute_fast, JigsawConfig, JigsawFormat, JigsawSpmm, ReorderStats,
+    build_launch, execute_fast, JigsawConfig, JigsawFormat, JigsawSpmm, PlanError, ReorderStats,
 };
+use jigsaw_obs::{Counter, Span};
 
 /// Registry configuration.
 #[derive(Clone, Debug)]
@@ -149,6 +150,9 @@ pub enum RegistryError {
     UnknownModel(String),
     /// The artifact tier failed (I/O or a corrupt artifact).
     Io(io::Error),
+    /// Planning the registered weights failed (bad config or
+    /// off-grid weights) — the typed error from `jigsaw-core`.
+    Plan(PlanError),
 }
 
 impl fmt::Display for RegistryError {
@@ -156,15 +160,30 @@ impl fmt::Display for RegistryError {
         match self {
             RegistryError::UnknownModel(m) => write!(f, "unknown model {m:?}"),
             RegistryError::Io(e) => write!(f, "artifact error: {e}"),
+            RegistryError::Plan(e) => write!(f, "planning failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for RegistryError {}
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Io(e) => Some(e),
+            RegistryError::Plan(e) => Some(e),
+            RegistryError::UnknownModel(_) => None,
+        }
+    }
+}
 
 impl From<io::Error> for RegistryError {
     fn from(e: io::Error) -> Self {
         RegistryError::Io(e)
+    }
+}
+
+impl From<PlanError> for RegistryError {
+    fn from(e: PlanError) -> Self {
+        RegistryError::Plan(e)
     }
 }
 
@@ -178,17 +197,36 @@ struct Resident {
     last_use: u64,
 }
 
+/// The registry's event counters, on the shared observability counter
+/// type ([`jigsaw_obs::Counter`]): lock-free to read, and snapshotted
+/// into [`CacheStats`] by [`ModelRegistry::stats`]. Per-registry (not
+/// global names) so independent registries — one per eviction policy in
+/// the serving experiment — keep independent counts.
+#[derive(Default)]
+struct CacheCounters {
+    hits: Counter,
+    misses: Counter,
+    disk_loads: Counter,
+    plans: Counter,
+    evictions: Counter,
+    cold_host_ns: Counter,
+}
+
 struct Inner {
     sources: HashMap<String, Source>,
     resident: HashMap<String, Resident>,
     tick: u64,
-    stats: CacheStats,
+    /// Non-monotonic occupancy accounting (rises and falls with
+    /// eviction) — stays under the lock rather than on counters.
+    resident_bytes: usize,
+    resident_models: usize,
 }
 
 /// The multi-tenant model cache. All methods take `&self`; the registry
 /// is shared across worker threads behind an `Arc`.
 pub struct ModelRegistry {
     cfg: RegistryConfig,
+    counters: CacheCounters,
     inner: Mutex<Inner>,
 }
 
@@ -200,11 +238,13 @@ impl ModelRegistry {
         }
         Ok(ModelRegistry {
             cfg,
+            counters: CacheCounters::default(),
             inner: Mutex::new(Inner {
                 sources: HashMap::new(),
                 resident: HashMap::new(),
                 tick: 0,
-                stats: CacheStats::default(),
+                resident_bytes: 0,
+                resident_models: 0,
             }),
         })
     }
@@ -215,8 +255,8 @@ impl ModelRegistry {
     pub fn register(&self, name: &str, weights: Matrix, config: JigsawConfig) {
         let mut inner = self.inner.lock().expect("registry lock");
         if let Some(old) = inner.resident.remove(name) {
-            inner.stats.resident_bytes -= old.model.artifact_bytes;
-            inner.stats.resident_models -= 1;
+            inner.resident_bytes -= old.model.artifact_bytes;
+            inner.resident_models -= 1;
         }
         inner
             .sources
@@ -239,7 +279,17 @@ impl ModelRegistry {
 
     /// Snapshot of the accounting counters.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("registry lock").stats.clone()
+        let inner = self.inner.lock().expect("registry lock");
+        CacheStats {
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            disk_loads: self.counters.disk_loads.get(),
+            plans: self.counters.plans.get(),
+            evictions: self.counters.evictions.get(),
+            resident_bytes: inner.resident_bytes,
+            resident_models: inner.resident_models,
+            cold_host_ns: self.counters.cold_host_ns.get(),
+        }
     }
 
     /// Fetches a planned model, reporting how the fetch was satisfied.
@@ -248,6 +298,17 @@ impl ModelRegistry {
     /// lock: concurrent workers serialize on planning, which also
     /// guarantees a model is never planned twice.
     pub fn fetch(&self, name: &str) -> Result<(Arc<PlannedModel>, Fetch), RegistryError> {
+        self.fetch_traced(name, &Span::disabled())
+    }
+
+    /// [`ModelRegistry::fetch`] with the cold-path plan spans attached
+    /// to `parent` — how a cold fetch's reorder phases land inside a
+    /// serving request's trace.
+    pub fn fetch_traced(
+        &self,
+        name: &str,
+        parent: &Span,
+    ) -> Result<(Arc<PlannedModel>, Fetch), RegistryError> {
         let mut inner = self.inner.lock().expect("registry lock");
         inner.tick += 1;
         let tick = inner.tick;
@@ -256,13 +317,14 @@ impl ModelRegistry {
             r.model.clone()
         });
         if let Some(model) = hit {
-            inner.stats.hits += 1;
+            self.counters.hits.inc();
+            parent.attr("fetch", "hit");
             return Ok((model, Fetch::Hit));
         }
         if !inner.sources.contains_key(name) {
             return Err(RegistryError::UnknownModel(name.to_string()));
         }
-        inner.stats.misses += 1;
+        self.counters.misses.inc();
 
         let started = Instant::now();
         let artifact_path = self
@@ -273,6 +335,7 @@ impl ModelRegistry {
         let on_disk = artifact_path.as_ref().is_some_and(|p| p.exists());
 
         let (model, kind) = if on_disk {
+            parent.attr("fetch", "disk_load");
             let path = artifact_path.as_ref().expect("checked above");
             let bytes = std::fs::read(path)?;
             // The hardened decoder rejects corrupt artifacts with an
@@ -287,11 +350,12 @@ impl ModelRegistry {
                 artifact_bytes: bytes.len(),
                 plan_host_ns: started.elapsed().as_nanos() as u64,
             };
-            inner.stats.disk_loads += 1;
+            self.counters.disk_loads.inc();
             (model, Fetch::DiskLoaded)
         } else {
+            parent.attr("fetch", "planned");
             let source = inner.sources.get(name).expect("checked above");
-            let planned = JigsawSpmm::plan(&source.weights, source.config);
+            let planned = JigsawSpmm::plan_traced(&source.weights, source.config, parent)?;
             let bytes = serialize::to_bytes(&planned.format);
             if let Some(path) = &artifact_path {
                 std::fs::write(path, &bytes)?;
@@ -304,14 +368,14 @@ impl ModelRegistry {
                 artifact_bytes: bytes.len(),
                 plan_host_ns: started.elapsed().as_nanos() as u64,
             };
-            inner.stats.plans += 1;
+            self.counters.plans.inc();
             (model, Fetch::Planned)
         };
-        inner.stats.cold_host_ns += model.plan_host_ns;
+        self.counters.cold_host_ns.add(model.plan_host_ns);
 
         let model = Arc::new(model);
-        inner.stats.resident_bytes += model.artifact_bytes;
-        inner.stats.resident_models += 1;
+        inner.resident_bytes += model.artifact_bytes;
+        inner.resident_models += 1;
         inner.resident.insert(
             name.to_string(),
             Resident {
@@ -346,15 +410,15 @@ impl ModelRegistry {
         let mut inner = self.inner.lock().expect("registry lock");
         let n = inner.resident.len() as u64;
         inner.resident.clear();
-        inner.stats.evictions += n;
-        inner.stats.resident_bytes = 0;
-        inner.stats.resident_models = 0;
+        self.counters.evictions.add(n);
+        inner.resident_bytes = 0;
+        inner.resident_models = 0;
     }
 
     /// Evicts least-recently-used residents (never `keep`) until the
     /// byte budget is honored.
     fn evict_over_budget(&self, inner: &mut Inner, keep: &str) {
-        while inner.stats.resident_bytes > self.cfg.budget_bytes {
+        while inner.resident_bytes > self.cfg.budget_bytes {
             let victim = inner
                 .resident
                 .iter()
@@ -367,9 +431,9 @@ impl ModelRegistry {
                 break;
             };
             let evicted = inner.resident.remove(&victim).expect("victim exists");
-            inner.stats.resident_bytes -= evicted.model.artifact_bytes;
-            inner.stats.resident_models -= 1;
-            inner.stats.evictions += 1;
+            inner.resident_bytes -= evicted.model.artifact_bytes;
+            inner.resident_models -= 1;
+            self.counters.evictions.inc();
         }
     }
 }
@@ -402,6 +466,19 @@ mod tests {
         let s = reg.stats();
         assert_eq!((s.hits, s.misses, s.plans), (1, 1, 1));
         assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn invalid_model_config_is_a_typed_plan_error() {
+        let reg = registry_with_zoo(usize::MAX, None);
+        let m = &default_zoo(40)[0];
+        // 40 is not a multiple of MMA_TILE, so planning must fail —
+        // surfaced as RegistryError::Plan, never a panic.
+        reg.register("broken", m.weights(), jigsaw_core::JigsawConfig::v4(40));
+        match reg.fetch("broken") {
+            Err(RegistryError::Plan(PlanError::Config(_))) => {}
+            other => panic!("expected Plan(Config(_)), got {other:?}"),
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use dlmc::Matrix;
 use gpu_sim::GpuSpec;
+use jigsaw_obs::{Span, TraceHandle};
 
 use crate::batch::{concat_columns, split_columns, AdmitError, RequestStats, SpmmResponse};
 use crate::metrics::ServeMetrics;
@@ -103,10 +104,20 @@ impl Ticket {
     }
 }
 
+/// A request's live trace while it moves through the pipeline: the
+/// root `serve.request` span, the open `queue` child, and the handle
+/// the finished tree is drained from.
+struct ReqTrace {
+    root: Span,
+    queue: Span,
+    handle: TraceHandle,
+}
+
 struct Pending {
     b: Matrix,
     enqueued: Instant,
     ticket: Arc<TicketState>,
+    trace: Option<ReqTrace>,
 }
 
 fn fulfill(ticket: &TicketState, result: Result<SpmmResponse, ServeError>) {
@@ -167,6 +178,22 @@ impl Server {
     /// and the queue bound, then enqueues it. Rejections are values —
     /// the caller sees *why* (backpressure vs. a malformed request).
     pub fn submit(&self, model: &str, b: Matrix) -> Result<Ticket, AdmitError> {
+        // Per-request trace: the root spans the request's whole life;
+        // `admission` covers validation here, `queue` stays open until
+        // a worker dispatches the batch. A rejected request's spans are
+        // simply dropped with its handle.
+        let trace = if jigsaw_obs::enabled() {
+            let (root, handle) = Span::trace("serve.request");
+            root.attr("model", model);
+            root.attr("n", b.cols);
+            Some((root, handle))
+        } else {
+            None
+        };
+        let admission = trace
+            .as_ref()
+            .map(|(root, _)| root.child("admission"))
+            .unwrap_or_else(Span::disabled);
         let reject = |shared: &Shared, e: AdmitError| {
             shared.metrics.lock().expect("metrics lock").rejected += 1;
             Err(e)
@@ -216,10 +243,20 @@ impl Server {
                     },
                 );
             }
+            admission.finish();
+            let trace = trace.map(|(root, handle)| {
+                let queue = root.child("queue");
+                ReqTrace {
+                    root,
+                    queue,
+                    handle,
+                }
+            });
             q.push_back(Pending {
                 b,
                 enqueued: Instant::now(),
                 ticket: state.clone(),
+                trace,
             });
             queues.depth += 1;
             let depth = queues.depth;
@@ -336,8 +373,28 @@ fn execute_batch(
     cfg: &ServeConfig,
     (model, members): (String, Vec<Pending>),
 ) {
+    let mut members = members;
     let dispatched = Instant::now();
-    let (planned, fetch) = match registry.fetch(&model) {
+    // Close every member's queue span: the wait ends at dispatch.
+    for p in &mut members {
+        if let Some(t) = &mut p.trace {
+            std::mem::replace(&mut t.queue, Span::disabled()).finish();
+        }
+    }
+    // One batch subtree, shared by every member's trace: assembly
+    // (fetch — including cold plan phases — plus concat), the kernel
+    // with its simulated cycles, and the split back into responses.
+    let tracing = members.iter().any(|p| p.trace.is_some());
+    let (batch_span, batch_handle) = if tracing {
+        let (s, h) = Span::trace("batch");
+        s.attr("model", model.as_str());
+        s.attr("requests", members.len());
+        (s, Some(h))
+    } else {
+        (Span::disabled(), None)
+    };
+    let assemble = batch_span.child("assemble");
+    let (planned, fetch) = match registry.fetch_traced(&model, &assemble) {
         Ok(pair) => pair,
         Err(e) => {
             let msg = e.to_string();
@@ -351,16 +408,26 @@ fn execute_batch(
     let widths: Vec<usize> = parts.iter().map(|p| p.cols).collect();
     let total_n: usize = widths.iter().sum();
     let bcat = concat_columns(&parts);
+    assemble.finish();
+    let kernel = batch_span.child("kernel");
     let c = planned.execute(&bcat);
     let batch_cycles = planned.simulate(total_n, &cfg.spec).duration_cycles;
+    kernel.cycles(batch_cycles);
+    kernel.finish();
+    let split_span = batch_span.child("split");
     let splits = split_columns(&c, planned.m(), &widths);
+    split_span.finish();
+    batch_span.attr("n", total_n);
+    batch_span.finish();
+    let batch_record = batch_handle.and_then(|h| h.take());
 
     let mut metrics = shared.metrics.lock().expect("metrics lock");
     metrics.batches += 1;
     metrics.batch_requests_total += members.len() as u64;
     metrics.batch_n_total += total_n as u64;
     metrics.device_cycles += batch_cycles;
-    for (p, split) in members.iter().zip(splits) {
+    let n_members = members.len();
+    for (p, split) in members.into_iter().zip(splits) {
         let share = batch_cycles * p.b.cols as f64 / total_n as f64;
         let queue_host_ns = dispatched.duration_since(p.enqueued).as_nanos() as u64;
         metrics.completed += 1;
@@ -368,6 +435,20 @@ fn execute_batch(
         metrics
             .latency_host_ns
             .record(p.enqueued.elapsed().as_nanos() as f64);
+        // Graft the shared batch subtree into this request's trace,
+        // close the root, and hand the finished tree back with the
+        // response (plus a copy in the global trace ring).
+        let trace = p.trace.and_then(|t| {
+            if let Some(rec) = &batch_record {
+                t.root.add_child_record(rec.clone());
+            }
+            t.root.finish();
+            let rec = t.handle.take();
+            if let Some(rec) = &rec {
+                jigsaw_obs::global().record_trace(rec.clone());
+            }
+            rec
+        });
         fulfill(
             &p.ticket,
             Ok(SpmmResponse {
@@ -377,7 +458,7 @@ fn execute_batch(
                 stats: RequestStats {
                     device_cycles: share,
                     batch_cycles,
-                    batch_requests: members.len(),
+                    batch_requests: n_members,
                     batch_n: total_n,
                     cold: fetch.is_cold(),
                     plan_host_ns: if fetch.is_cold() {
@@ -387,6 +468,7 @@ fn execute_batch(
                     },
                     queue_host_ns,
                 },
+                trace,
             }),
         );
     }
@@ -536,6 +618,43 @@ mod tests {
         let metrics = server.shutdown();
         assert!(metrics.batches < 4, "fewer batches than requests");
         assert!(metrics.avg_batch_occupancy() > 1.0);
+    }
+
+    #[test]
+    fn served_request_trace_has_admission_to_kernel_chain() {
+        jigsaw_obs::set_enabled(true);
+        let reg = small_registry();
+        let server = Server::start(reg, ServeConfig::default());
+        let b = dense_rhs(256, 8, ValueDist::SmallInt, 7);
+        let resp = server.submit("attention-small", b).unwrap().wait().unwrap();
+        let trace = resp.trace.expect("tracing was enabled at submit");
+        assert_eq!(trace.name, "serve.request");
+        // The full admission → queue → batch → kernel chain is present.
+        for stage in ["admission", "queue", "batch", "kernel"] {
+            assert!(trace.find(stage).is_some(), "missing span {stage:?}");
+        }
+        assert!(trace.span_count() >= 5, "root + 4 nested stages");
+        // The batch subtree carries assembly and split alongside the
+        // kernel, and the kernel span is annotated with device cycles.
+        let batch = trace.find("batch").unwrap();
+        assert!(batch.find("assemble").is_some());
+        assert!(batch.find("split").is_some());
+        let kernel = batch.find("kernel").unwrap();
+        assert_eq!(kernel.cycles, Some(resp.stats.batch_cycles));
+        // First touch of the model is a cold fetch: the plan's phase
+        // spans (each with its own wall time) nest under assembly.
+        let assemble = batch.find("assemble").unwrap();
+        for phase in ["plan.block_reorder", "plan.tile_reorder", "plan.compress"] {
+            assert!(assemble.find(phase).is_some(), "missing phase {phase:?}");
+        }
+        // The same trace is retrievable from the global ring.
+        // (Other tests in this binary may record serve.request traces
+        // concurrently, so only existence is asserted here.)
+        let from_ring = jigsaw_obs::global()
+            .latest_trace("serve.request")
+            .expect("trace recorded globally");
+        assert!(from_ring.span_count() >= 5);
+        server.shutdown();
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn main() {
     ];
 
     for (name, config, what) in versions {
-        let spmm = JigsawSpmm::plan(&a, config);
+        let spmm = JigsawSpmm::plan(&a, config).expect("preset tiling is valid");
         let s = spmm.simulate(n, &spec);
         println!("{name}: {what}");
         println!(
@@ -66,7 +66,7 @@ fn main() {
         );
     }
 
-    let (spmm, tune) = JigsawSpmm::plan_tuned(&a, n, &spec);
+    let (spmm, tune) = JigsawSpmm::plan_tuned(&a, n, &spec).expect("candidates non-empty");
     let s = spmm.simulate(n, &spec);
     println!(
         "v4: + BLOCK_TILE tuning (candidates {:?})",

@@ -35,6 +35,7 @@ fn main() {
 
         let cublas = CublasGemm::plan(&a).simulate(n, &spec).duration_us;
         let base = JigsawSpmm::plan(&a, JigsawConfig::v4(32))
+            .expect("valid tiling")
             .simulate(n, &spec)
             .duration_us;
         let plan = HybridPlan::build(&a, HybridConfig::default());

@@ -35,7 +35,7 @@ fn main() {
             JigsawConfig::v3(),
         ),
     ] {
-        let spmm = JigsawSpmm::plan(&a, config);
+        let spmm = JigsawSpmm::plan(&a, config).expect("preset tiling is valid");
         let launch = build_launch(&spmm.format, 64, &config);
         let block = &launch.blocks[0];
         let timeline = record_timeline(block, &cfg);

@@ -23,7 +23,22 @@ fn main() {
 
     // One-time preprocessing: multi-granularity sparsity reorder +
     // reorder-aware compression (amortized over inference runs).
-    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+    // Planning validates the config and input and returns a typed
+    // error instead of panicking on malformed tilings.
+    let config = JigsawConfig::builder()
+        .block_tile(32, 64)
+        .bank_conflict_elimination(true)
+        .deep_pipeline(true)
+        .metadata_interleave(true)
+        .build()
+        .expect("tiling is MMA/warp aligned");
+    let spmm = match JigsawSpmm::plan(&a, config) {
+        Ok(planned) => planned,
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            return;
+        }
+    };
     let stats = &spmm.reorder_stats;
     println!(
         "reorder: success={}, zero columns skipped={}, computes {:.1}% of dense K",

@@ -55,7 +55,8 @@ fn main() {
         let clasp_us = Clasp::plan_best(&a, batch_tokens, &spec)
             .simulate(batch_tokens, &spec)
             .duration_us;
-        let (jig, tune) = JigsawSpmm::plan_tuned(&a, batch_tokens, &spec);
+        let (jig, tune) =
+            JigsawSpmm::plan_tuned(&a, batch_tokens, &spec).expect("candidates non-empty");
         let jig_us = jig.simulate(batch_tokens, &spec).duration_us;
 
         total[0] += dense_us;

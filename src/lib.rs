@@ -10,7 +10,13 @@
 //! * [`baselines`] — the comparator kernels,
 //! * [`serve`](jigsaw_serve) — the batching, cache-backed inference
 //!   service layer (model registry, micro-batching server, and a
-//!   deterministic serving simulator).
+//!   deterministic serving simulator),
+//! * [`obs`](jigsaw_obs) — the observability spine: hierarchical
+//!   spans, counters/gauges, and text/JSON report sinks shared by the
+//!   planner, simulator, and serving layer.
+//!
+//! Planning returns `Result` — malformed configs and inputs surface as
+//! typed errors ([`ConfigError`], [`PlanError`]), never panics:
 //!
 //! ```
 //! use jigsaw::{JigsawConfig, JigsawSpmm};
@@ -18,9 +24,11 @@
 //!
 //! let a = VectorSparseSpec::new(128, 256, 0.9, 4, 1).generate();
 //! let b = dense_rhs(256, 32, ValueDist::SmallInt, 2);
-//! let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+//! let config = JigsawConfig::builder().block_tile(32, 64).build()?;
+//! let spmm = JigsawSpmm::plan(&a, config)?;
 //! let run = spmm.run(&b, &jigsaw::sim::GpuSpec::a100());
 //! assert_eq!(run.c, a.matmul_reference(&b));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -29,12 +37,14 @@ pub use baselines;
 pub use dlmc as data;
 pub use gpu_sim as sim;
 pub use jigsaw_core as core;
+pub use jigsaw_obs as obs;
 pub use jigsaw_serve as serve;
 pub use sptc;
 
 pub use jigsaw_core::{
-    execute_fast, execute_via_fragments, max_relative_error, JigsawConfig, JigsawFormat,
-    JigsawSpmm, ReorderPlan, ReorderStats, SpmmRun, TuneReport,
+    execute_fast, execute_via_fragments, max_relative_error, ConfigBuilder, ConfigError,
+    JigsawConfig, JigsawFormat, JigsawSpmm, PlanError, ReorderPlan, ReorderStats, SpmmRun,
+    TuneReport,
 };
 
 #[cfg(test)]
@@ -42,7 +52,17 @@ mod tests {
     #[test]
     fn facade_reexports_compose() {
         let a = crate::data::VectorSparseSpec::new(32, 32, 0.8, 2, 1).generate();
-        let spmm = crate::JigsawSpmm::plan(&a, crate::JigsawConfig::v4(16));
+        let spmm = crate::JigsawSpmm::plan(&a, crate::JigsawConfig::v4(16)).expect("valid plan");
         assert!(spmm.format.measured_bytes() > 0);
+    }
+
+    #[test]
+    fn facade_exposes_obs_and_typed_errors() {
+        let a = crate::data::VectorSparseSpec::new(32, 32, 0.8, 2, 1).generate();
+        let err = crate::JigsawSpmm::plan(&a, crate::JigsawConfig::v4(40)).unwrap_err();
+        assert!(matches!(err, crate::PlanError::Config(_)));
+        let c = crate::obs::global().counter("facade.test");
+        c.inc();
+        assert!(c.get() >= 1);
     }
 }

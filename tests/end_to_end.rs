@@ -33,7 +33,7 @@ fn every_kernel_computes_the_same_product() {
     let (a, b) = workload(64, 128, 32, 0.85, 4, 11);
     let reference = a.matmul_reference(&b);
 
-    let jig = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+    let jig = JigsawSpmm::plan(&a, JigsawConfig::v4(32)).expect("valid tiling");
     assert_eq!(jig.run(&b, &GpuSpec::a100()).c, reference, "Jigsaw");
 
     assert_eq!(CublasGemm::plan(&a).compute(&b), reference, "cuBLAS");
@@ -66,7 +66,7 @@ fn jigsaw_matches_reference_across_the_config_grid() {
             // Versions only change the *timing model*, never the math.
             let mut cfg = config;
             cfg.block_tile_m = bt;
-            let jig = JigsawSpmm::plan(&a, cfg);
+            let jig = JigsawSpmm::plan(&a, cfg).expect("valid tiling");
             assert_eq!(
                 jigsaw_core::execute_fast(&jig.format, &b),
                 reference,
@@ -82,7 +82,7 @@ fn fragment_and_fast_paths_agree_with_metadata_interleave_on_and_off() {
     for interleave in [false, true] {
         let mut cfg = JigsawConfig::v4(16);
         cfg.metadata_interleave = interleave;
-        let jig = JigsawSpmm::plan(&a, cfg);
+        let jig = JigsawSpmm::plan(&a, cfg).expect("valid tiling");
         assert_eq!(
             jig.run_via_fragments(&b),
             jigsaw_core::execute_fast(&jig.format, &b),
@@ -107,12 +107,13 @@ fn simulated_ordering_matches_the_papers_story() {
         JigsawConfig::v3(),
     ] {
         let d = JigsawSpmm::plan(&a, config)
+            .expect("valid tiling")
             .simulate(n, &spec)
             .duration_cycles;
         assert!(d <= last * 1.02, "{config:?} regressed: {d} after {last}");
         last = d;
     }
-    let (tuned, _) = JigsawSpmm::plan_tuned(&a, n, &spec);
+    let (tuned, _) = JigsawSpmm::plan_tuned(&a, n, &spec).expect("candidates non-empty");
     let v4 = tuned.simulate(n, &spec).duration_cycles;
     assert!(v4 <= last);
     assert!(v4 < cublas, "v4 {v4} should beat cuBLAS {cublas}");
@@ -125,7 +126,7 @@ fn sparta_decomposition_consistent_with_jigsaw_on_dense_heavy_input() {
     let (a, b) = workload(32, 64, 16, 0.5, 2, 91);
     let reference = a.matmul_reference(&b);
     assert_eq!(Sparta::plan(&a).compute(&b), reference);
-    let jig = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+    let jig = JigsawSpmm::plan(&a, JigsawConfig::v4(32)).expect("valid tiling");
     assert_eq!(jigsaw_core::execute_fast(&jig.format, &b), reference);
 }
 
@@ -139,8 +140,12 @@ fn smtx_roundtrip_feeds_the_pipeline() {
     let back = dlmc::SmtxPattern::parse(&text).unwrap().to_matrix();
     assert_eq!(back.nnz(), a.nnz());
     let cfg = JigsawConfig::v4(32);
-    let s1 = JigsawSpmm::plan(&a, cfg).reorder_stats;
-    let s2 = JigsawSpmm::plan(&back, cfg).reorder_stats;
+    let s1 = JigsawSpmm::plan(&a, cfg)
+        .expect("valid tiling")
+        .reorder_stats;
+    let s2 = JigsawSpmm::plan(&back, cfg)
+        .expect("valid tiling")
+        .reorder_stats;
     assert_eq!(s1.total_windows, s2.total_windows);
     assert_eq!(s1.zero_cols_skipped, s2.zero_cols_skipped);
 }
@@ -149,7 +154,7 @@ fn smtx_roundtrip_feeds_the_pipeline() {
 fn venom_pruned_inputs_run_without_reordering_pressure() {
     let a = dlmc::venom_pruned(256, 256, 32, 2, 8, ValueDist::SmallInt, 17);
     assert!(sptc::matrix_satisfies_2_4(&a.data, a.cols));
-    let jig = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+    let jig = JigsawSpmm::plan(&a, JigsawConfig::v4(32)).expect("valid tiling");
     assert!(jig.reorder_stats.success);
     // The zero-column compaction packs the (within-strip dense) vector
     // columns together, so windows carry at most 8 live columns (2 per

@@ -21,6 +21,7 @@ fn gen(m: usize, k: usize, sparsity: f64, v: usize, seed: u64) -> dlmc::Matrix {
 
 fn jigsaw_cycles(a: &dlmc::Matrix, n: usize, spec: &GpuSpec) -> f64 {
     JigsawSpmm::plan_tuned(a, n, spec)
+        .expect("candidates non-empty")
         .0
         .simulate(n, spec)
         .duration_cycles
@@ -114,7 +115,7 @@ fn block_tile_16_wins_at_extreme_sparsity() {
     // Paper §4.4 (v4): smaller BLOCK_TILE skips more at high sparsity.
     let spec = GpuSpec::a100();
     let a = gen(1024, 1024, 0.98, 8, 7);
-    let (_, report) = JigsawSpmm::plan_tuned(&a, 512, &spec);
+    let (_, report) = JigsawSpmm::plan_tuned(&a, 512, &spec).expect("candidates non-empty");
     assert_eq!(
         report.block_tile_m, 16,
         "tuning picked {} (candidates {:?})",
@@ -128,7 +129,7 @@ fn duration_roughly_linear_in_n() {
     // ~2.5x the duration nor leave it flat once the device is filled.
     let spec = GpuSpec::a100();
     let a = gen(1024, 1024, 0.9, 4, 8);
-    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32));
+    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32)).expect("valid tiling");
     let t512 = spmm.simulate(512, &spec).duration_cycles;
     let t1024 = spmm.simulate(1024, &spec).duration_cycles;
     let ratio = t1024 / t512;
@@ -144,10 +145,18 @@ fn ablation_counters_move_the_right_way() {
     let spec = GpuSpec::a100();
     let a = gen(512, 1024, 0.95, 8, 9);
     let n = 256;
-    let s0 = JigsawSpmm::plan(&a, JigsawConfig::v0()).simulate(n, &spec);
-    let s1 = JigsawSpmm::plan(&a, JigsawConfig::v1()).simulate(n, &spec);
-    let s2 = JigsawSpmm::plan(&a, JigsawConfig::v2()).simulate(n, &spec);
-    let s3 = JigsawSpmm::plan(&a, JigsawConfig::v3()).simulate(n, &spec);
+    let s0 = JigsawSpmm::plan(&a, JigsawConfig::v0())
+        .unwrap()
+        .simulate(n, &spec);
+    let s1 = JigsawSpmm::plan(&a, JigsawConfig::v1())
+        .unwrap()
+        .simulate(n, &spec);
+    let s2 = JigsawSpmm::plan(&a, JigsawConfig::v2())
+        .unwrap()
+        .simulate(n, &spec);
+    let s3 = JigsawSpmm::plan(&a, JigsawConfig::v3())
+        .unwrap()
+        .simulate(n, &spec);
     // v1 kills bank conflicts.
     assert!(s0.totals.smem_bank_conflicts > 100 * s1.totals.smem_bank_conflicts.max(1));
     // v2 cuts long-scoreboard pressure.
