@@ -204,13 +204,11 @@ impl Clasp {
                 });
                 warps.push(trace);
             }
-            let block = BlockTrace {
+            let block = std::sync::Arc::new(BlockTrace {
                 warps,
                 smem_bytes: 12 * 1024,
-            };
-            for _ in 0..n_blocks {
-                blocks.push(block.clone());
-            }
+            });
+            blocks.extend(std::iter::repeat_n(block, n_blocks));
         }
         KernelLaunch {
             blocks,

@@ -194,10 +194,7 @@ impl CublasGemm {
             warps: vec![trace; tile.warps],
             smem_bytes: smem,
         };
-        KernelLaunch {
-            blocks: vec![block; grid],
-            dram_bytes: (m * k * 2 + k * n * 2 + m * n * 2) as u64,
-        }
+        KernelLaunch::replicated(block, grid, (m * k * 2 + k * n * 2 + m * n * 2) as u64)
     }
 }
 

@@ -179,16 +179,14 @@ impl CuSparseLt {
             consumes: acc.into_iter().flatten().collect(),
         });
 
-        KernelLaunch {
-            blocks: vec![
-                BlockTrace {
-                    warps: vec![trace; warps],
-                    smem_bytes: smem,
-                };
-                grid
-            ],
-            dram_bytes: (m * k / 2 * 2 + m * k / 8 + k * n * 2 + m * n * 2) as u64,
-        }
+        KernelLaunch::replicated(
+            BlockTrace {
+                warps: vec![trace; warps],
+                smem_bytes: smem,
+            },
+            grid,
+            (m * k / 2 * 2 + m * k / 8 + k * n * 2 + m * n * 2) as u64,
+        )
     }
 }
 

@@ -134,13 +134,11 @@ impl Magicube {
                 bytes: (MMA_M * BLOCK_N * 2) as u32,
                 consumes: acc.into_iter().flatten().collect(),
             });
-            let block = BlockTrace {
+            let block = std::sync::Arc::new(BlockTrace {
                 warps: vec![trace; 4],
                 smem_bytes: 16 * 1024,
-            };
-            for _ in 0..n_blocks {
-                blocks.push(block.clone());
-            }
+            });
+            blocks.extend(std::iter::repeat_n(block, n_blocks));
         }
         let stored = self.a.nnz() * 2 + self.strip_cols.iter().sum::<usize>() * 4;
         KernelLaunch {

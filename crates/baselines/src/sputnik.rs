@@ -107,10 +107,8 @@ impl Sputnik {
                 .filter(|&i| i < self.swizzled_rows.len())
                 .map(|i| self.swizzled_rows[i])
                 .collect();
-            let block = self.build_block(&rows, fma_per_cycle);
-            for _ in 0..n_blocks {
-                blocks.push(block.clone());
-            }
+            let block = std::sync::Arc::new(self.build_block(&rows, fma_per_cycle));
+            blocks.extend(std::iter::repeat_n(block, n_blocks));
         }
         KernelLaunch {
             blocks,

@@ -151,10 +151,11 @@ impl Venom {
             smem_bytes: 26 * 1024,
         };
         let stored = self.a.nnz() * 2 + (m / self.v).max(1) * (k / self.m_blk) * 4;
-        KernelLaunch {
-            blocks: vec![block; row_strips * n_blocks],
-            dram_bytes: (stored + k * n * 2 + m * n * 2) as u64,
-        }
+        KernelLaunch::replicated(
+            block,
+            row_strips * n_blocks,
+            (stored + k * n * 2 + m * n * 2) as u64,
+        )
     }
 }
 

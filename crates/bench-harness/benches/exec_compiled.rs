@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the compiled execution path against the
+//! `execute_fast` oracle: compile cost, pooled vs fresh execution, and
+//! the fast/compiled throughput pair the `exec_bench` binary gates on
+//! (at a smaller shape suitable for repeated sampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dlmc::{dense_rhs, ValueDist, VectorSparseSpec};
+use jigsaw_core::{execute_fast, CompiledKernel, JigsawConfig, JigsawSpmm, WorkspacePool};
+
+fn planned(m: usize, k: usize) -> JigsawSpmm {
+    let a = VectorSparseSpec {
+        rows: m,
+        cols: k,
+        sparsity: 0.9,
+        v: 4,
+        dist: ValueDist::Uniform,
+        seed: 42,
+    }
+    .generate();
+    JigsawSpmm::plan(&a, JigsawConfig::v4(32)).expect("valid tiling")
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let spmm = planned(1024, 1024);
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    group.bench_function("1024sq_s90_v4", |b| {
+        b.iter(|| black_box(CompiledKernel::compile(&spmm.format)))
+    });
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let spmm = planned(1024, 1024);
+    let kernel = spmm.compiled().clone();
+    let pool = WorkspacePool::new();
+    let mut group = c.benchmark_group("exec_compiled");
+    group.sample_size(20);
+    for &n in &[64usize, 256] {
+        let b_mat = dense_rhs(1024, n, ValueDist::Uniform, 7);
+        group.bench_with_input(BenchmarkId::new("fast", n), &b_mat, |b, bm| {
+            b.iter(|| black_box(execute_fast(&spmm.format, bm)))
+        });
+        group.bench_with_input(BenchmarkId::new("compiled", n), &b_mat, |b, bm| {
+            b.iter(|| black_box(kernel.execute(bm)))
+        });
+        group.bench_with_input(BenchmarkId::new("compiled_pooled", n), &b_mat, |b, bm| {
+            b.iter(|| black_box(kernel.execute_pooled(bm, &pool)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_execute);
+criterion_main!(benches);

@@ -68,10 +68,7 @@ fn bench_block(c: &mut Criterion) {
 
 fn bench_kernel(c: &mut Criterion) {
     let spec = GpuSpec::a100();
-    let launch = KernelLaunch {
-        blocks: vec![pipeline_block(); 512],
-        dram_bytes: 8 << 20,
-    };
+    let launch = KernelLaunch::replicated(pipeline_block(), 512, 8 << 20);
     let mut group = c.benchmark_group("device");
     group.sample_size(30);
     group.bench_function("simulate_kernel_512_identical_blocks", |b| {

@@ -1,16 +1,67 @@
-//! CI gate for the structured benchmark exports: finds every
-//! `results/BENCH_*.json` (or the files named on the command line),
-//! parses each with the zero-dep `jigsaw_obs` parser, and verifies the
-//! `jigsaw-bench/v1` schema — stable top-level keys plus the
-//! counters/gauges/traces observability section. Exits non-zero if any
-//! file fails or none are found.
+//! CI gate for the structured benchmark exports.
+//!
+//! Schema mode (default): finds every `results/BENCH_*.json` (or the
+//! files named on the command line), parses each with the zero-dep
+//! `jigsaw_obs` parser, and verifies the `jigsaw-bench/v1` schema —
+//! stable top-level keys plus the counters/gauges/traces observability
+//! section. Exits non-zero if any file fails or none are found.
+//!
+//! Perf mode (`--perf <baseline> <candidate> [--tolerance F]`):
+//! compares two exec-bench documents' machine-neutral speedup ratios
+//! (compiled kernel over `execute_fast`) and fails on regression —
+//! candidate speedup below `(1 - tolerance) ×` baseline on any shape,
+//! or below the baseline's committed absolute floor.
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench_harness::obs_export::check_bench_text;
+use bench_harness::obs_export::{check_bench_text, check_perf_text};
+
+fn perf_mode(args: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            match it.next().and_then(|t| t.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("check_bench: --tolerance requires a number in [0, 1)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    let [baseline, candidate] = files.as_slice() else {
+        eprintln!("usage: check_bench --perf <baseline.json> <candidate.json> [--tolerance F]");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &str| std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"));
+    let result = read(baseline)
+        .and_then(|b| read(candidate).map(|c| (b, c)))
+        .and_then(|(b, c)| check_perf_text(&b, &c, tolerance));
+    match result {
+        Ok(report) => {
+            println!(
+                "ok   perf gate ({:.0}% tolerance): {report}",
+                tolerance * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Err(problem) => {
+            eprintln!("FAIL perf gate: {problem}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
-    let mut files: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--perf") {
+        return perf_mode(&args[1..]);
+    }
+    let mut files: Vec<PathBuf> = args.into_iter().map(PathBuf::from).collect();
     if files.is_empty() {
         if let Ok(entries) = std::fs::read_dir("results") {
             for entry in entries.flatten() {

@@ -1,0 +1,129 @@
+//! Functional-execution throughput: `execute_fast` (the differential
+//! oracle) vs [`CompiledKernel`] on the fig10-style shapes
+//! (M=K=4096, sparsity 0.9, v=4, N ∈ {64, 256}).
+//!
+//! Emits `results/BENCH_exec.json`, the committed perf baseline that
+//! `check_bench --perf` gates CI against. The gated quantity is the
+//! *speedup ratio* (compiled over fast, both measured in the same
+//! process on the same machine), which is stable across host speeds in
+//! a way absolute wall times are not.
+
+use std::time::Instant;
+
+use bench_harness::obs_export::write_bench_json;
+use dlmc::{dense_rhs, Matrix, ValueDist, VectorSparseSpec};
+use jigsaw_core::{execute_fast, JigsawConfig, JigsawSpmm};
+use serde::Serialize;
+
+/// One (shape, N) measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShapeResult {
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    pub sparsity: f64,
+    pub v: usize,
+    pub nnz: usize,
+    /// Best-of-k wall time of `execute_fast`, milliseconds.
+    pub fast_ms: f64,
+    /// Best-of-k wall time of `CompiledKernel::execute`, milliseconds.
+    pub compiled_ms: f64,
+    /// Machine-neutral ratio: `fast_ms / compiled_ms`.
+    pub speedup: f64,
+}
+
+/// The exec-bench document body (`data` in the bench export).
+#[derive(Clone, Debug, Serialize)]
+pub struct ExecBench {
+    /// Per-(shape, N) measurements.
+    pub shapes: Vec<ShapeResult>,
+    /// Smallest speedup across all shapes — the number CI floors.
+    pub min_speedup: f64,
+    /// One-time compile cost of the kernel, milliseconds.
+    pub compile_ms: f64,
+    /// Acceptance floor the suite commits to (compiled ≥ 2× fast).
+    pub required_speedup: f64,
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    jigsaw_obs::set_enabled(true);
+    let (m, k, sparsity, v) = (4096usize, 4096usize, 0.9f64, 4usize);
+    println!("generating A ({m}x{k}, sparsity {sparsity}, v={v})...");
+    let a = VectorSparseSpec {
+        rows: m,
+        cols: k,
+        sparsity,
+        v,
+        dist: ValueDist::Uniform,
+        seed: 42,
+    }
+    .generate();
+
+    println!("planning...");
+    let t = Instant::now();
+    let spmm = JigsawSpmm::plan(&a, JigsawConfig::v4(32)).expect("4096-sq tiles");
+    println!("planned in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    let kernel = spmm.compiled().clone();
+    let compile_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "compiled in {compile_ms:.1} ms ({} nnz, {} stream bytes)",
+        kernel.nnz(),
+        kernel.stream_bytes()
+    );
+
+    let mut shapes = Vec::new();
+    for &n in &[64usize, 256] {
+        let b: Matrix = dense_rhs(k, n, ValueDist::Uniform, 7);
+        // Parity first: the bench never times a wrong kernel.
+        assert_eq!(kernel.execute(&b), execute_fast(&spmm.format, &b));
+        let fast_ms = best_of(3, || execute_fast(&spmm.format, &b));
+        let compiled_ms = best_of(5, || kernel.execute(&b));
+        let speedup = fast_ms / compiled_ms;
+        println!(
+            "N={n:4}  fast {fast_ms:9.2} ms   compiled {compiled_ms:8.2} ms   speedup {speedup:.2}x"
+        );
+        shapes.push(ShapeResult {
+            m,
+            k,
+            n,
+            sparsity,
+            v,
+            nnz: a.nnz(),
+            fast_ms,
+            compiled_ms,
+            speedup,
+        });
+    }
+
+    let min_speedup = shapes
+        .iter()
+        .map(|s| s.speedup)
+        .fold(f64::INFINITY, f64::min);
+    let result = ExecBench {
+        shapes,
+        min_speedup,
+        compile_ms,
+        required_speedup: 2.0,
+    };
+    println!("min speedup: {min_speedup:.2}x (required ≥ {:.1}x)", 2.0);
+    match write_bench_json("exec", &result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write bench export: {e}"),
+    }
+    if min_speedup < result.required_speedup {
+        eprintln!("FAIL: compiled kernel below the required speedup floor");
+        std::process::exit(1);
+    }
+}

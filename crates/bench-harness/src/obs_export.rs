@@ -99,6 +99,79 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
     Ok(experiment)
 }
 
+/// Perf-regression gate over two exec-bench documents: the committed
+/// `baseline` and a freshly measured `candidate`.
+///
+/// The gated quantity is the *speedup ratio* (`data.shapes[].speedup`:
+/// compiled over `execute_fast`, both timed in the same process), which
+/// is stable across host speeds — absolute wall times are deliberately
+/// not compared. For every shape in the baseline the candidate must
+/// contain a matching `(m, k, n)` entry whose speedup is at least
+/// `(1 - tolerance)` × the baseline's, and no candidate speedup may
+/// fall below the baseline's committed `data.required_speedup` floor.
+pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Result<String, String> {
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("tolerance {tolerance} outside [0, 1)"));
+    }
+    let shapes = |text: &str, role: &str| -> Result<(Json, Vec<Json>), String> {
+        check_bench_text(text).map_err(|e| format!("{role} is not a valid bench doc: {e}"))?;
+        let doc = jigsaw_obs::parse(text).map_err(|e| format!("{role}: {e}"))?;
+        let data = doc
+            .get("data")
+            .cloned()
+            .ok_or_else(|| format!("{role}: missing data"))?;
+        let shapes = data
+            .get("shapes")
+            .map(|s| s.items().to_vec())
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("{role}: data.shapes missing or empty"))?;
+        Ok((data, shapes))
+    };
+    let (base_data, base_shapes) = shapes(baseline, "baseline")?;
+    let (_, cand_shapes) = shapes(candidate, "candidate")?;
+    let floor = base_data
+        .get("required_speedup")
+        .and_then(|f| f.as_f64())
+        .ok_or_else(|| "baseline: missing data.required_speedup".to_string())?;
+
+    let key = |s: &Json| -> Option<(u64, u64, u64)> {
+        Some((
+            s.get("m")?.as_u64()?,
+            s.get("k")?.as_u64()?,
+            s.get("n")?.as_u64()?,
+        ))
+    };
+    let mut report = Vec::new();
+    for base in &base_shapes {
+        let (m, k, n) = key(base).ok_or("baseline: shape missing m/k/n")?;
+        let base_speedup = base
+            .get("speedup")
+            .and_then(|s| s.as_f64())
+            .ok_or("baseline: shape missing speedup")?;
+        let cand = cand_shapes
+            .iter()
+            .find(|c| key(c) == Some((m, k, n)))
+            .ok_or_else(|| format!("candidate: shape {m}x{k} N={n} missing"))?;
+        let cand_speedup = cand
+            .get("speedup")
+            .and_then(|s| s.as_f64())
+            .ok_or("candidate: shape missing speedup")?;
+        let min_ok = (base_speedup * (1.0 - tolerance)).max(floor);
+        if cand_speedup < min_ok {
+            return Err(format!(
+                "regression at {m}x{k} N={n}: speedup {cand_speedup:.2}x \
+                 < {min_ok:.2}x (baseline {base_speedup:.2}x, tolerance \
+                 {:.0}%, floor {floor:.1}x)",
+                tolerance * 100.0
+            ));
+        }
+        report.push(format!(
+            "{m}x{k} N={n}: {cand_speedup:.2}x (baseline {base_speedup:.2}x)"
+        ));
+    }
+    Ok(report.join("; "))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +221,64 @@ mod tests {
         );
         let wrong_schema = good.replace("jigsaw-bench/v1", "jigsaw-bench/v0");
         assert!(check_bench_text(&wrong_schema).is_err());
+    }
+
+    #[derive(Serialize)]
+    struct ToyShape {
+        m: usize,
+        k: usize,
+        n: usize,
+        speedup: f64,
+    }
+
+    #[derive(Serialize)]
+    struct ToyExec {
+        shapes: Vec<ToyShape>,
+        required_speedup: f64,
+    }
+
+    fn exec_doc(speedups: &[(usize, f64)]) -> String {
+        let shapes = speedups
+            .iter()
+            .map(|&(n, speedup)| ToyShape {
+                m: 64,
+                k: 64,
+                n,
+                speedup,
+            })
+            .collect();
+        bench_doc(
+            "exec",
+            &ToyExec {
+                shapes,
+                required_speedup: 2.0,
+            },
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn perf_gate_passes_within_tolerance_and_catches_regressions() {
+        let base = exec_doc(&[(64, 3.0), (256, 4.0)]);
+        // Identical run passes; a run 5% slower passes at 10% tolerance.
+        assert!(check_perf_text(&base, &base, 0.10).is_ok());
+        let slower = exec_doc(&[(64, 2.85), (256, 3.8)]);
+        assert!(check_perf_text(&base, &slower, 0.10).is_ok());
+        // A 20% regression fails.
+        let regressed = exec_doc(&[(64, 2.4), (256, 4.0)]);
+        let err = check_perf_text(&base, &regressed, 0.10).unwrap_err();
+        assert!(err.contains("regression at 64x64 N=64"), "{err}");
+        // The absolute floor binds even inside tolerance: baseline 2.1x
+        // with 10% slack would allow 1.89x, but the committed 2.0x
+        // floor does not.
+        let base_low = exec_doc(&[(64, 2.1)]);
+        let below_floor = exec_doc(&[(64, 1.95)]);
+        assert!(check_perf_text(&base_low, &below_floor, 0.10).is_err());
+        // Missing shapes and malformed docs are errors, not passes.
+        let missing = exec_doc(&[(64, 3.0)]);
+        assert!(check_perf_text(&base, &missing, 0.10).is_err());
+        assert!(check_perf_text(&base, "{not json", 0.10).is_err());
+        assert!(check_perf_text(&base, &base, 1.5).is_err());
     }
 
     #[test]

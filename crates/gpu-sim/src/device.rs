@@ -147,18 +147,30 @@ pub fn simulate_kernel(launch: &KernelLaunch, spec: &GpuSpec) -> KernelStats {
     // splitting the share here as well would double-count it.
     let resident = 1;
 
-    // Deduplicate structurally identical blocks.
+    // Deduplicate structurally identical blocks. Arc-shared replicas
+    // (the common case: one trace per strip, repeated per N-tile) are
+    // recognized by pointer before falling back to hashing the trace.
     let mut unique: Vec<&BlockTrace> = Vec::new();
     let mut index_of: HashMap<u64, usize> = HashMap::new();
+    let mut by_ptr: HashMap<*const BlockTrace, usize> = HashMap::new();
     let mut counts: Vec<u64> = Vec::new();
     let mut block_kind: Vec<usize> = Vec::with_capacity(launch.blocks.len());
     for b in &launch.blocks {
-        let sig = signature(b);
-        let idx = *index_of.entry(sig).or_insert_with(|| {
-            unique.push(b);
-            counts.push(0);
-            unique.len() - 1
-        });
+        let ptr = std::sync::Arc::as_ptr(b);
+        let idx = match by_ptr.get(&ptr) {
+            Some(&i) => i,
+            None => {
+                let b: &BlockTrace = b;
+                let sig = signature(b);
+                let i = *index_of.entry(sig).or_insert_with(|| {
+                    unique.push(b);
+                    counts.push(0);
+                    unique.len() - 1
+                });
+                by_ptr.insert(ptr, i);
+                i
+            }
+        };
         counts[idx] += 1;
         block_kind.push(idx);
     }
@@ -303,10 +315,9 @@ mod tests {
     #[test]
     fn identical_blocks_dedup_and_scale() {
         let spec = GpuSpec::a100();
-        let launch = KernelLaunch {
-            blocks: vec![mma_block(64); 540],
-            dram_bytes: 0,
-        };
+        // Distinct allocations with identical content: exercises the
+        // signature-based dedup (not the Arc pointer shortcut).
+        let launch = KernelLaunch::from_blocks(vec![mma_block(64); 540], 0);
         let stats = simulate_kernel(&launch, &spec);
         assert_eq!(stats.blocks, 540);
         assert_eq!(stats.totals.mma_instructions, 540 * 64);
@@ -315,18 +326,9 @@ mod tests {
     #[test]
     fn more_blocks_than_slots_means_waves() {
         let spec = GpuSpec::a100();
-        let one_wave = simulate_kernel(
-            &KernelLaunch {
-                blocks: vec![mma_block(2048); 108],
-                dram_bytes: 0,
-            },
-            &spec,
-        );
+        let one_wave = simulate_kernel(&KernelLaunch::replicated(mma_block(2048), 108, 0), &spec);
         let six_waves_worth = simulate_kernel(
-            &KernelLaunch {
-                blocks: vec![mma_block(2048); 108 * 6 * 6],
-                dram_bytes: 0,
-            },
+            &KernelLaunch::replicated(mma_block(2048), 108 * 6 * 6, 0),
             &spec,
         );
         // 6 blocks fit per SM (24KiB smem), so 6*6 waves of work takes
@@ -338,10 +340,7 @@ mod tests {
     #[test]
     fn dram_roofline_binds_memory_heavy_kernels() {
         let spec = GpuSpec::a100();
-        let launch = KernelLaunch {
-            blocks: vec![mma_block(1); 10],
-            dram_bytes: 10 * 1024 * 1024 * 1024, // 10 GiB
-        };
+        let launch = KernelLaunch::replicated(mma_block(1), 10, 10 * 1024 * 1024 * 1024); // 10 GiB
         let stats = simulate_kernel(&launch, &spec);
         assert!(stats.dram_bound);
         // 10 GiB / 1103 B/cycle ≈ 9.7 Mcycles.
@@ -358,10 +357,7 @@ mod tests {
     #[test]
     fn per_kernel_counters_feed_the_obs_registry() {
         let reg = jigsaw_obs::global();
-        let launch = KernelLaunch {
-            blocks: vec![mma_block(8); 4],
-            dram_bytes: 1024,
-        };
+        let launch = KernelLaunch::replicated(mma_block(8), 4, 1024);
         // Flag starts (and stays) false everywhere else in this test
         // binary: a disabled run must record nothing.
         let frozen = reg.counter("sim.kernels").get();

@@ -8,6 +8,8 @@
 //! scoreboard, exactly as Nsight's `long_scoreboard` / `short_scoreboard`
 //! warp-state counters do.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a value produced by an instruction, scoped to one warp.
@@ -182,13 +184,37 @@ pub struct BlockTrace {
 
 /// A full kernel launch: every thread block (heterogeneous traces are
 /// allowed — sparse kernels do different work per block).
+///
+/// Blocks are `Arc`-shared: a grid where many blocks execute the same
+/// trace (e.g. one block per N-tile over the same strip) stores the
+/// trace once, not `n_blocks` deep copies.
 #[derive(Clone, Debug, Default)]
 pub struct KernelLaunch {
-    /// All blocks of the grid.
-    pub blocks: Vec<BlockTrace>,
+    /// All blocks of the grid, in launch order.
+    pub blocks: Vec<Arc<BlockTrace>>,
     /// Unique bytes the kernel must move from DRAM (for the roofline
     /// bound): compulsory traffic, not per-block re-reads that hit L2.
     pub dram_bytes: u64,
+}
+
+impl KernelLaunch {
+    /// Wraps owned blocks (each distinct) into a launch.
+    pub fn from_blocks(blocks: Vec<BlockTrace>, dram_bytes: u64) -> KernelLaunch {
+        KernelLaunch {
+            blocks: blocks.into_iter().map(Arc::new).collect(),
+            dram_bytes,
+        }
+    }
+
+    /// A grid of `copies` blocks all executing `block`'s trace —
+    /// stored once, referenced `copies` times.
+    pub fn replicated(block: BlockTrace, copies: usize, dram_bytes: u64) -> KernelLaunch {
+        let block = Arc::new(block);
+        KernelLaunch {
+            blocks: std::iter::repeat_n(block, copies).collect(),
+            dram_bytes,
+        }
+    }
 }
 
 /// Small builder helping kernel models hand out unique tokens.

@@ -64,22 +64,20 @@ mod tests {
     #[test]
     fn report_contains_all_sections() {
         let spec = GpuSpec::a100();
-        let launch = KernelLaunch {
-            blocks: vec![
-                BlockTrace {
-                    warps: vec![(0..32)
-                        .map(|_| WarpInstr::Mma {
-                            op: MmaOp::SparseM16N8K32,
-                            consumes: vec![],
-                            produces: None,
-                        })
-                        .collect()],
-                    smem_bytes: 1024,
-                };
-                4
-            ],
-            dram_bytes: 1 << 20,
-        };
+        let launch = KernelLaunch::replicated(
+            BlockTrace {
+                warps: vec![(0..32)
+                    .map(|_| WarpInstr::Mma {
+                        op: MmaOp::SparseM16N8K32,
+                        consumes: vec![],
+                        produces: None,
+                    })
+                    .collect()],
+                smem_bytes: 1024,
+            },
+            4,
+            1 << 20,
+        );
         let stats = simulate_kernel(&launch, &spec);
         let report = ncu_style_report("test_kernel", &stats, &spec);
         for section in [

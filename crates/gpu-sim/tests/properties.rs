@@ -121,8 +121,8 @@ proptest! {
     #[test]
     fn more_blocks_never_run_faster(block in arb_block(), extra in 1usize..40) {
         let spec = GpuSpec::a100();
-        let small = KernelLaunch { blocks: vec![block.clone(); extra], dram_bytes: 0 };
-        let large = KernelLaunch { blocks: vec![block; extra * 2], dram_bytes: 0 };
+        let small = KernelLaunch::replicated(block.clone(), extra, 0);
+        let large = KernelLaunch::replicated(block, extra * 2, 0);
         let t_small = simulate_kernel(&small, &spec).duration_cycles;
         let t_large = simulate_kernel(&large, &spec).duration_cycles;
         prop_assert!(t_large + 1e-9 >= t_small);
@@ -145,13 +145,13 @@ proptest! {
     #[test]
     fn dram_roofline_is_a_lower_bound(bytes in 0u64..1 << 32) {
         let spec = GpuSpec::a100();
-        let launch = KernelLaunch {
-            blocks: vec![BlockTrace {
+        let launch = KernelLaunch::from_blocks(
+            vec![BlockTrace {
                 warps: vec![vec![WarpInstr::CudaOp { cycles: 1, consumes: vec![], produces: None }]],
                 smem_bytes: 0,
             }],
-            dram_bytes: bytes,
-        };
+            bytes,
+        );
         let stats = simulate_kernel(&launch, &spec);
         let floor = bytes as f64 / spec.dram_bytes_per_cycle;
         prop_assert!(stats.duration_cycles >= floor);

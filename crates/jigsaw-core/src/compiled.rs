@@ -1,0 +1,611 @@
+//! Compiled execution plans: the functional hot path of the Jigsaw
+//! SpMM, restructured for the memory hierarchy.
+//!
+//! [`crate::execute_fast`] re-derives everything per call: it unpacks
+//! SpTC metadata words, walks `block_col_idx`/`col_idx` through
+//! [`crate::format_source_column`] per nonzero, and touches B in
+//! whatever column order the reorder produced. All of that is a pure
+//! function of the stationary [`JigsawFormat`] — so a
+//! [`CompiledKernel`] resolves it **once**, ahead of time, into a flat
+//! CSR-style nonzero stream per output row (`(value, source column)`
+//! with metadata already applied). Execution is then:
+//!
+//! 1. **N-panel blocking** — B is converted F16→f32 once per
+//!    cache-sized column panel into pooled scratch (the legacy path
+//!    converted per call at best, per nonzero at worst),
+//! 2. a **2-D `(row block × N panel)` rayon grid** — finer-grained
+//!    than the strip-only parallelism of `execute_fast`, so one tall
+//!    or dense strip no longer serializes the whole multiply,
+//! 3. a **k-unrolled axpy microkernel** — four nonzeros per pass over
+//!    the C row segment, quartering the C load/store traffic that
+//!    dominates wide-N multiplies.
+//!
+//! The stream preserves `execute_fast`'s per-row accumulation order
+//! and its zero/padding skip rules. The scalar microkernel applies the
+//! four products with sequential f32 adds and is **bit-identical** to
+//! `execute_fast` (which stays around as the differential-testing
+//! oracle). On x86-64 hosts with AVX2+FMA a runtime-dispatched fused
+//! microkernel takes over: still exact on integer-valued data (every
+//! product and partial sum is representable, so fusion cannot round),
+//! and within an ulp per accumulation step otherwise.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dlmc::Matrix;
+use rayon::prelude::*;
+use sptc::metadata::{unpack_row_metadata, ROWS};
+
+use crate::config::MMA_TILE;
+use crate::format::{format_source_column, JigsawFormat};
+use crate::pool::{PoolBuf, WorkspacePool};
+
+/// Rows of C per task of the 2-D execution grid.
+const ROW_BLOCK: usize = 128;
+
+/// Target footprint of one converted B panel (`k × panel_width` f32):
+/// sized to sit in the last-level cache while a row block streams
+/// against it. Every extra panel re-walks the whole nonzero stream
+/// once, so panels are cut as wide as the cache budget allows.
+const PANEL_TARGET_BYTES: usize = 2 << 20;
+
+/// The ahead-of-time-resolved execution plan of one [`JigsawFormat`].
+///
+/// Build once per format with [`CompiledKernel::compile`] (cached by
+/// [`crate::JigsawSpmm::compiled`], the serve registry, and
+/// [`crate::Session`]); execute many times with
+/// [`CompiledKernel::execute`] / [`CompiledKernel::execute_pooled`].
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    /// Output rows (C height).
+    pub m: usize,
+    /// Reduction dimension (required B height).
+    pub k: usize,
+    /// CSR row offsets into `vals`/`cols` (`m + 1` entries).
+    row_ptr: Vec<u32>,
+    /// Nonzero values, decompressed to f32, in `execute_fast`'s
+    /// per-row accumulation order.
+    vals: Vec<f32>,
+    /// Source column of each nonzero (the B row it multiplies).
+    cols: Vec<u32>,
+}
+
+impl CompiledKernel {
+    /// Resolves every `(strip, window, tile_row, row, slot)` of the
+    /// format into the flat per-row nonzero stream.
+    pub fn compile(format: &JigsawFormat) -> CompiledKernel {
+        Self::compile_traced(format, &jigsaw_obs::Span::disabled())
+    }
+
+    /// [`CompiledKernel::compile`] with an `exec.compile` span attached
+    /// to `parent` (carrying row/nonzero counts and wall time).
+    pub fn compile_traced(format: &JigsawFormat, parent: &jigsaw_obs::Span) -> CompiledKernel {
+        let started = Instant::now();
+        let span = parent.child("exec.compile");
+        let mut row_ptr: Vec<u32> = Vec::with_capacity(format.m + 1);
+        row_ptr.push(0);
+        let mut vals: Vec<f32> = Vec::new();
+        let mut cols: Vec<u32> = Vec::new();
+        for (si, strip) in format.strips.iter().enumerate() {
+            let tile_rows = strip.height / MMA_TILE;
+            let pairs = strip.windows.div_ceil(2);
+            for tr in 0..tile_rows {
+                // Metadata words per k-step, decoded once per tile row.
+                let words: Vec<[u32; ROWS]> = (0..pairs)
+                    .map(|p| format.metadata_words(si, tr, p))
+                    .collect();
+                // `r` also picks the lane out of each pair's metadata
+                // word array, so indexing (not iteration) is the shape.
+                #[allow(clippy::needless_range_loop)]
+                for r in 0..MMA_TILE {
+                    for w in 0..strip.windows {
+                        let idx = unpack_row_metadata(words[w / 2][r]);
+                        let off = (w % 2) * 8;
+                        for slot in 0..8 {
+                            let v = format.value(si, w, tr, r, slot);
+                            if v.is_zero() {
+                                continue;
+                            }
+                            let pos = (slot / 2) * 4 + idx[off + slot] as usize;
+                            let Some(col) = format_source_column(format, si, w, tr, pos) else {
+                                continue;
+                            };
+                            vals.push(v.to_f32());
+                            cols.push(col as u32);
+                        }
+                    }
+                    assert!(
+                        vals.len() < u32::MAX as usize,
+                        "nonzero stream overflows u32"
+                    );
+                    row_ptr.push(vals.len() as u32);
+                }
+            }
+        }
+        debug_assert_eq!(row_ptr.len(), format.m + 1, "strips cover every row");
+        let kernel = CompiledKernel {
+            m: format.m,
+            k: format.k,
+            row_ptr,
+            vals,
+            cols,
+        };
+        let elapsed = started.elapsed().as_nanos() as u64;
+        if jigsaw_obs::enabled() {
+            let reg = jigsaw_obs::global();
+            reg.counter("exec.compiles").inc();
+            reg.counter("exec.compile_ns").add(elapsed);
+        }
+        if span.is_recording() {
+            span.attr("rows", kernel.m);
+            span.attr("nnz", kernel.nnz());
+        }
+        span.finish();
+        kernel
+    }
+
+    /// Nonzeros in the compiled stream.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Bytes held by the compiled stream (values + columns + offsets).
+    pub fn stream_bytes(&self) -> usize {
+        self.vals.len() * 4 + self.cols.len() * 4 + self.row_ptr.len() * 4
+    }
+
+    /// The compiled nonzero stream of output row `row`:
+    /// `(value, source column)` pairs in accumulation order.
+    pub fn row_stream(&self, row: usize) -> impl Iterator<Item = (f32, usize)> + '_ {
+        let lo = self.row_ptr[row] as usize;
+        let hi = self.row_ptr[row + 1] as usize;
+        self.vals[lo..hi]
+            .iter()
+            .zip(&self.cols[lo..hi])
+            .map(|(&v, &c)| (v, c as usize))
+    }
+
+    /// Computes `C = A × B`, allocating the output and scratch.
+    pub fn execute(&self, b: &Matrix) -> Vec<f32> {
+        let mut c = vec![0.0f32; self.m * b.cols];
+        let mut scratch = vec![0.0f32; self.k * b.cols];
+        self.execute_into(b, &mut c, &mut scratch);
+        c
+    }
+
+    /// Computes `C = A × B` with the output and conversion scratch
+    /// drawn from `pool` — the zero-allocation steady-state path.
+    pub fn execute_pooled<'p>(&self, b: &Matrix, pool: &'p WorkspacePool) -> PoolBuf<'p> {
+        let mut c = pool.acquire(self.m * b.cols);
+        let mut scratch = pool.acquire(self.k * b.cols);
+        self.execute_into(b, &mut c, &mut scratch);
+        c
+    }
+
+    /// The core: panels B into `scratch` (f32, panel-major), then runs
+    /// the 2-D `(row block × panel)` grid writing `c` (row-major
+    /// `m × n`, fully overwritten).
+    pub fn execute_into(&self, b: &Matrix, c: &mut [f32], scratch: &mut [f32]) {
+        self.execute_into_dispatch(b, c, scratch, true);
+    }
+
+    /// [`CompiledKernel::execute_into`] with the microkernel pinned:
+    /// `allow_simd = false` forces the scalar kernel, whose result is
+    /// bit-identical to `execute_fast` on every input.
+    fn execute_into_dispatch(
+        &self,
+        b: &Matrix,
+        c: &mut [f32],
+        scratch: &mut [f32],
+        allow_simd: bool,
+    ) {
+        assert_eq!(b.rows, self.k, "A columns must match B rows");
+        let n = b.cols;
+        assert_eq!(c.len(), self.m * n, "C must be m*n");
+        assert!(scratch.len() >= self.k * n, "scratch must hold k*n f32");
+        if n == 0 || self.m == 0 {
+            return;
+        }
+        let pw = panel_width(self.k, n);
+        let panels: Vec<(usize, usize)> = (0..n)
+            .step_by(pw)
+            .map(|col0| (col0, pw.min(n - col0)))
+            .collect();
+
+        // Phase 1: convert B F16→f32 once per panel, panel-major.
+        {
+            let mut slabs: Vec<&mut [f32]> = Vec::with_capacity(panels.len());
+            let mut rest = &mut scratch[..self.k * n];
+            for &(_, w) in &panels {
+                let (head, tail) = rest.split_at_mut(self.k * w);
+                slabs.push(head);
+                rest = tail;
+            }
+            slabs
+                .into_par_iter()
+                .zip(panels.par_iter())
+                .for_each(|(slab, &(col0, w))| {
+                    for (r, out_row) in slab.chunks_mut(w).enumerate() {
+                        let b_row = &b.row(r)[col0..col0 + w];
+                        for (o, &v) in out_row.iter_mut().zip(b_row) {
+                            *o = v.to_f32();
+                        }
+                    }
+                });
+        }
+        let scratch: &[f32] = scratch;
+
+        // Phase 2: the 2-D grid. Tasks own disjoint `(row block,
+        // panel)` rectangles of C, so the raw-pointer writes below
+        // never alias; panel-major task order keeps concurrently
+        // running tasks on the same hot B panel.
+        let row_blocks = self.m.div_ceil(ROW_BLOCK);
+        let tasks: Vec<(usize, usize)> = (0..panels.len())
+            .flat_map(|pb| (0..row_blocks).map(move |rb| (pb, rb)))
+            .collect();
+        let axpy = select_axpy(allow_simd);
+        let c_ptr = SendPtr(c.as_mut_ptr());
+        let c_ptr = &c_ptr;
+        tasks.into_par_iter().for_each(|(pb, rb)| {
+            let (col0, w) = panels[pb];
+            // Panel offsets are uniform (`pw` wide) except the last.
+            let slab = &scratch[self.k * col0..self.k * col0 + self.k * w];
+            let r0 = rb * ROW_BLOCK;
+            let r1 = (r0 + ROW_BLOCK).min(self.m);
+            for row in r0..r1 {
+                let lo = self.row_ptr[row] as usize;
+                let hi = self.row_ptr[row + 1] as usize;
+                if lo == hi {
+                    continue;
+                }
+                // SAFETY: tasks partition C into disjoint rectangles
+                // (`rb` ranges over disjoint rows, `pb` over disjoint
+                // column panels); this row segment belongs to exactly
+                // one task.
+                let c_row =
+                    unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(row * n + col0), w) };
+                axpy(c_row, &self.vals[lo..hi], &self.cols[lo..hi], slab, w);
+            }
+        });
+
+        if jigsaw_obs::enabled() {
+            let reg = jigsaw_obs::global();
+            reg.counter("exec.compiled_runs").inc();
+            reg.counter("exec.panels").add(panels.len() as u64);
+        }
+    }
+}
+
+/// Width of one B panel: aim for [`PANEL_TARGET_BYTES`] of converted
+/// f32, clamped to a useful axpy width and the actual N.
+fn panel_width(k: usize, n: usize) -> usize {
+    let ideal = PANEL_TARGET_BYTES / (4 * k.max(1));
+    let pw = ideal.clamp(32, 512) & !15;
+    pw.min(n).max(1)
+}
+
+/// Per-row microkernel signature: one row's nonzero stream against one
+/// converted B panel, accumulating into the row's C segment.
+type AxpyFn = fn(&mut [f32], &[f32], &[u32], &[f32], usize);
+
+/// Picks the widest microkernel the host supports. The scalar kernel
+/// is the semantic reference (bit-identical to `execute_fast`); the
+/// AVX2+FMA kernel is dispatched at runtime and differs only by fusing
+/// each multiply-add (exact on integer data, ≤ 1 ulp per step else).
+fn select_axpy(allow_simd: bool) -> AxpyFn {
+    #[cfg(target_arch = "x86_64")]
+    if allow_simd && is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        return axpy_panel_avx2;
+    }
+    let _ = allow_simd;
+    axpy_panel_scalar
+}
+
+/// Scalar microkernel: four nonzeros per pass over the C segment
+/// (quartering C traffic), products applied as sequential f32 adds so
+/// the result is bit-identical to the one-at-a-time order.
+fn axpy_panel_scalar(c_row: &mut [f32], vals: &[f32], cols: &[u32], slab: &[f32], w: usize) {
+    let nnz = vals.len();
+    let mut i = 0;
+    while i + 4 <= nnz {
+        let b0 = &slab[cols[i] as usize * w..][..w];
+        let b1 = &slab[cols[i + 1] as usize * w..][..w];
+        let b2 = &slab[cols[i + 2] as usize * w..][..w];
+        let b3 = &slab[cols[i + 3] as usize * w..][..w];
+        let (v0, v1, v2, v3) = (vals[i], vals[i + 1], vals[i + 2], vals[i + 3]);
+        for (j, cj) in c_row.iter_mut().enumerate() {
+            let mut acc = *cj;
+            acc += v0 * b0[j];
+            acc += v1 * b1[j];
+            acc += v2 * b2[j];
+            acc += v3 * b3[j];
+            *cj = acc;
+        }
+        i += 4;
+    }
+    while i < nnz {
+        let bi = &slab[cols[i] as usize * w..][..w];
+        let v = vals[i];
+        for (cj, &bj) in c_row.iter_mut().zip(bi) {
+            *cj += v * bj;
+        }
+        i += 1;
+    }
+}
+
+/// AVX2+FMA microkernel: safe wrapper around the `target_feature`
+/// inner function — `select_axpy` only returns it after runtime
+/// feature detection.
+#[cfg(target_arch = "x86_64")]
+fn axpy_panel_avx2(c_row: &mut [f32], vals: &[f32], cols: &[u32], slab: &[f32], w: usize) {
+    // SAFETY: avx2+fma were verified by `select_axpy`; the slice
+    // invariants the inner kernel relies on are checked there.
+    unsafe { axpy_panel_avx2_inner(c_row, vals, cols, slab, w) }
+}
+
+/// Eight lanes per vector, four nonzeros per pass, fused
+/// multiply-adds. Accumulation stays in per-row `(window, slot)`
+/// order; only the rounding of each step changes versus the scalar
+/// kernel (none at all on integer-valued data).
+///
+/// # Safety
+///
+/// Requires avx2 and fma. Slice invariants (`c_row.len() == w`, every
+/// `cols[i] as usize * w + w <= slab.len()`, `vals.len() ==
+/// cols.len()`) are asserted on entry, so callers only owe the ISA
+/// guarantee.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_panel_avx2_inner(
+    c_row: &mut [f32],
+    vals: &[f32],
+    cols: &[u32],
+    slab: &[f32],
+    w: usize,
+) {
+    use std::arch::x86_64::*;
+    assert_eq!(c_row.len(), w);
+    assert_eq!(vals.len(), cols.len());
+    let rows = slab.len() / w.max(1);
+    assert!(cols.iter().all(|&c| (c as usize) < rows), "B row in slab");
+
+    let nnz = vals.len();
+    let c_ptr = c_row.as_mut_ptr();
+    let slab_ptr = slab.as_ptr();
+    let mut i = 0;
+    while i + 4 <= nnz {
+        let b0 = slab_ptr.add(cols[i] as usize * w);
+        let b1 = slab_ptr.add(cols[i + 1] as usize * w);
+        let b2 = slab_ptr.add(cols[i + 2] as usize * w);
+        let b3 = slab_ptr.add(cols[i + 3] as usize * w);
+        let (v0, v1, v2, v3) = (vals[i], vals[i + 1], vals[i + 2], vals[i + 3]);
+        let (s0, s1) = (_mm256_set1_ps(v0), _mm256_set1_ps(v1));
+        let (s2, s3) = (_mm256_set1_ps(v2), _mm256_set1_ps(v3));
+        let mut j = 0;
+        while j + 8 <= w {
+            let mut acc = _mm256_loadu_ps(c_ptr.add(j));
+            acc = _mm256_fmadd_ps(s0, _mm256_loadu_ps(b0.add(j)), acc);
+            acc = _mm256_fmadd_ps(s1, _mm256_loadu_ps(b1.add(j)), acc);
+            acc = _mm256_fmadd_ps(s2, _mm256_loadu_ps(b2.add(j)), acc);
+            acc = _mm256_fmadd_ps(s3, _mm256_loadu_ps(b3.add(j)), acc);
+            _mm256_storeu_ps(c_ptr.add(j), acc);
+            j += 8;
+        }
+        while j < w {
+            let mut acc = *c_ptr.add(j);
+            acc = v0.mul_add(*b0.add(j), acc);
+            acc = v1.mul_add(*b1.add(j), acc);
+            acc = v2.mul_add(*b2.add(j), acc);
+            acc = v3.mul_add(*b3.add(j), acc);
+            *c_ptr.add(j) = acc;
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < nnz {
+        let bi = slab_ptr.add(cols[i] as usize * w);
+        let v = vals[i];
+        let s = _mm256_set1_ps(v);
+        let mut j = 0;
+        while j + 8 <= w {
+            let acc = _mm256_fmadd_ps(s, _mm256_loadu_ps(bi.add(j)), _mm256_loadu_ps(c_ptr.add(j)));
+            _mm256_storeu_ps(c_ptr.add(j), acc);
+            j += 8;
+        }
+        while j < w {
+            *c_ptr.add(j) = v.mul_add(*bi.add(j), *c_ptr.add(j));
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+/// Shared raw base pointer for the disjoint-rectangle writes of the
+/// 2-D grid (see the SAFETY note at the use site).
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Compiles (or returns the cached) kernel behind an `Arc`, for
+/// callers that share one compiled plan across threads.
+pub fn compile_shared(format: &JigsawFormat) -> Arc<CompiledKernel> {
+    Arc::new(CompiledKernel::compile(format))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JigsawConfig;
+    use crate::exec::execute_fast;
+    use crate::reorder::ReorderPlan;
+    use dlmc::{dense_rhs, ValueDist, VectorSparseSpec};
+
+    fn setup(
+        rows: usize,
+        cols: usize,
+        sparsity: f64,
+        v: usize,
+        bt: usize,
+        interleaved: bool,
+        seed: u64,
+    ) -> (Matrix, JigsawFormat) {
+        let a = VectorSparseSpec {
+            rows,
+            cols,
+            sparsity,
+            v,
+            dist: ValueDist::SmallInt,
+            seed,
+        }
+        .generate();
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(bt));
+        let format = JigsawFormat::build(&a, &plan, interleaved);
+        (a, format)
+    }
+
+    #[test]
+    fn compiled_matches_fast_and_reference_exactly_on_integers() {
+        for (bt, v, s) in [(16, 2, 0.8), (32, 4, 0.9), (64, 8, 0.95)] {
+            for interleaved in [false, true] {
+                let (a, f) = setup(64, 96, s, v, bt, interleaved, 5);
+                let b = dense_rhs(96, 24, ValueDist::SmallInt, 6);
+                let kernel = CompiledKernel::compile(&f);
+                let got = kernel.execute(&b);
+                assert_eq!(
+                    got,
+                    execute_fast(&f, &b),
+                    "vs fast bt={bt} il={interleaved}"
+                );
+                assert_eq!(
+                    got,
+                    a.matmul_reference(&b),
+                    "vs ref bt={bt} il={interleaved}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_kernel_is_bit_identical_to_fast_even_on_floats() {
+        let a = VectorSparseSpec {
+            rows: 128,
+            cols: 128,
+            sparsity: 0.85,
+            v: 4,
+            dist: ValueDist::Uniform,
+            seed: 17,
+        }
+        .generate();
+        let b = dense_rhs(128, 40, ValueDist::Uniform, 18);
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(32));
+        let f = JigsawFormat::build(&a, &plan, true);
+        let kernel = CompiledKernel::compile(&f);
+        let oracle = execute_fast(&f, &b);
+
+        // Scalar microkernel: same per-row accumulation order and
+        // sequential f32 adds — equality holds bit-for-bit, not
+        // within a tolerance.
+        let mut c = vec![0.0f32; kernel.m * b.cols];
+        let mut scratch = vec![0.0f32; kernel.k * b.cols];
+        kernel.execute_into_dispatch(&b, &mut c, &mut scratch, false);
+        assert_eq!(c, oracle);
+
+        // Dispatched path (FMA where available): fusion perturbs each
+        // step by at most its own rounding, so the result stays within
+        // a tight relative band of the oracle.
+        for (got, want) in kernel.execute(&b).iter().zip(&oracle) {
+            let tol = 1e-4 * want.abs().max(1.0);
+            assert!((got - want).abs() <= tol, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn odd_n_and_narrow_panels() {
+        let (a, f) = setup(32, 64, 0.9, 2, 16, true, 3);
+        for n in [1usize, 13, 33] {
+            let b = dense_rhs(64, n, ValueDist::SmallInt, 9);
+            let kernel = CompiledKernel::compile(&f);
+            assert_eq!(kernel.execute(&b), a.matmul_reference(&b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dense_fallback_strips_compile_correctly() {
+        // Reorder "fails" on dense input (K grows); the compiled
+        // stream must still cover every nonzero.
+        let a = Matrix::from_f32(
+            32,
+            32,
+            &(0..1024)
+                .map(|i| ((i % 7) as f32) - 3.0)
+                .collect::<Vec<_>>(),
+        );
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(16));
+        let f = JigsawFormat::build(&a, &plan, true);
+        let kernel = CompiledKernel::compile(&f);
+        let b = dense_rhs(32, 8, ValueDist::SmallInt, 7);
+        assert_eq!(kernel.execute(&b), a.matmul_reference(&b));
+        assert_eq!(kernel.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn empty_strips_produce_empty_streams() {
+        let a = Matrix::zeros(64, 64);
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(32));
+        let f = JigsawFormat::build(&a, &plan, true);
+        let kernel = CompiledKernel::compile(&f);
+        assert_eq!(kernel.nnz(), 0);
+        let b = dense_rhs(64, 8, ValueDist::SmallInt, 1);
+        assert_eq!(kernel.execute(&b), vec![0.0; 64 * 8]);
+    }
+
+    #[test]
+    fn pooled_execution_reuses_buffers() {
+        let (a, f) = setup(64, 96, 0.9, 4, 32, true, 11);
+        let b = dense_rhs(96, 16, ValueDist::SmallInt, 12);
+        let kernel = CompiledKernel::compile(&f);
+        let pool = WorkspacePool::new();
+        let first = kernel.execute_pooled(&b, &pool).into_vec();
+        assert_eq!(first, a.matmul_reference(&b));
+        let before = pool.stats();
+        assert_eq!(before.hits, 0, "cold pool: both buffers were misses");
+        // `into_vec` kept C, so one buffer (scratch) returned; the
+        // second run reuses it and re-misses only once.
+        let second = kernel.execute_pooled(&b, &pool);
+        assert_eq!(&*second, first.as_slice());
+        drop(second);
+        let warm = pool.stats();
+        assert!(warm.hits >= 1, "scratch buffer was reused: {warm:?}");
+        // Fully warm: every subsequent run is allocation-free.
+        for _ in 0..3 {
+            drop(kernel.execute_pooled(&b, &pool));
+        }
+        let steady = pool.stats();
+        assert_eq!(steady.misses, warm.misses, "steady state acquires only hit");
+    }
+
+    #[test]
+    fn row_streams_match_format_walk() {
+        let (_, f) = setup(48, 80, 0.85, 2, 16, false, 21);
+        let kernel = CompiledKernel::compile(&f);
+        // Spot-check: every stream column is a real source column and
+        // values are the decompressed nonzeros.
+        let mut total = 0;
+        for row in 0..kernel.m {
+            for (v, col) in kernel.row_stream(row) {
+                assert!(col < kernel.k);
+                assert!(v != 0.0);
+                total += 1;
+            }
+        }
+        assert_eq!(total, kernel.nnz());
+    }
+
+    #[test]
+    fn panel_width_is_sane() {
+        assert_eq!(panel_width(4096, 256), 128);
+        assert_eq!(panel_width(64, 256), 256);
+        assert_eq!(panel_width(4096, 8), 8);
+        assert!(panel_width(1, 1) >= 1);
+    }
+}

@@ -28,6 +28,10 @@ pub fn execute_fast(f: &JigsawFormat, b: &Matrix) -> Vec<f32> {
     let n = b.cols;
     let mut c = vec![0.0f32; f.m * n];
 
+    // Convert B once up front: F16→f32 widening is exact, so hoisting
+    // it out of the per-nonzero loop cannot change any result bit.
+    let bf: Vec<f32> = b.data.iter().map(|v| v.to_f32()).collect();
+
     // Strips own disjoint row ranges of C: parallelize over strips.
     let strip_views: Vec<(usize, &mut [f32])> = {
         let mut views = Vec::new();
@@ -64,9 +68,9 @@ pub fn execute_fast(f: &JigsawFormat, b: &Matrix) -> Vec<f32> {
                             continue;
                         };
                         let vf = v.to_f32();
-                        let b_row = b.row(col);
-                        for (acc, bv) in c_row.iter_mut().zip(b_row) {
-                            *acc += vf * bv.to_f32();
+                        let b_row = &bf[col * n..][..n];
+                        for (acc, &bv) in c_row.iter_mut().zip(b_row) {
+                            *acc += vf * bv;
                         }
                     }
                 }

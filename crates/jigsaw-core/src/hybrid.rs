@@ -182,10 +182,9 @@ impl HybridPlan {
         let n_blocks = n.div_ceil(cfg.block_tile_n);
         let mut blocks = Vec::with_capacity(self.strips.len() * n_blocks);
         for strip in &self.strips {
-            let block = build_block(strip, cfg, spec);
-            for _ in 0..n_blocks {
-                blocks.push(block.clone());
-            }
+            // One trace per strip, shared across its N-tiles.
+            let block = std::sync::Arc::new(build_block(strip, cfg, spec));
+            blocks.extend(std::iter::repeat_n(block, n_blocks));
         }
         let stats = self.stats();
         let stored = (stats.sparse_windows + stats.dense_windows) * MMA_TILE * 16 * 2

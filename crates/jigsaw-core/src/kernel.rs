@@ -66,10 +66,11 @@ pub fn build_launch(format: &JigsawFormat, n: usize, config: &JigsawConfig) -> K
     let n_blocks = n.div_ceil(config.block_tile_n);
     let mut blocks = Vec::with_capacity(format.strips.len() * n_blocks);
     for (si, _) in format.strips.iter().enumerate() {
-        let block = build_block(format, si, config);
-        for _ in 0..n_blocks {
-            blocks.push(block.clone());
-        }
+        // All n-blocks of a strip execute the same trace: build it
+        // once and share it, so large-N launches stay O(strips) in
+        // memory instead of O(strips × n_blocks).
+        let block = std::sync::Arc::new(build_block(format, si, config));
+        blocks.extend(std::iter::repeat_n(block, n_blocks));
     }
 
     // Compulsory DRAM traffic: the stored format once, B once, C once.

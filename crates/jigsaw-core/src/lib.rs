@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod compiled;
 pub mod config;
 pub mod errors;
 pub mod exec;
 pub mod format;
 pub mod hybrid;
 pub mod kernel;
+pub mod pool;
 pub mod reorder;
 pub mod serialize;
 pub mod session;
@@ -46,12 +48,14 @@ pub mod spmm;
 pub mod swizzle;
 
 pub use analysis::{forecast, jigsaw_expected_win, strip_census, ReorderForecast, StripCensus};
+pub use compiled::CompiledKernel;
 pub use config::{ConfigBuilder, JigsawConfig, MMA_N, MMA_TILE};
 pub use errors::{ConfigError, PlanError};
 pub use exec::{execute_fast, execute_via_fragments, max_relative_error};
 pub use format::{format_source_column, JigsawFormat};
 pub use hybrid::{HybridConfig, HybridPlan, HybridStats, Route};
 pub use kernel::build_launch;
+pub use pool::{PoolBuf, PoolStats, WorkspacePool};
 pub use reorder::{ReorderPlan, ReorderStats};
 pub use session::{ForwardReport, Layer, Session, SessionError};
 pub use spmm::{JigsawSpmm, SpmmRun, TuneReport};

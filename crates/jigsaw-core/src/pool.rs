@@ -1,0 +1,242 @@
+//! Reusable f32 workspace buffers for the execution hot path.
+//!
+//! Every SpMM execution needs two large transient buffers — the output
+//! C and the converted-B panel scratch — whose sizes repeat from call
+//! to call in steady-state serving. A [`WorkspacePool`] keeps returned
+//! buffers on a shelf so the next acquisition is a `memset`, not an
+//! allocation: a warm server performs **zero** per-request C/scratch
+//! allocations, observable through [`WorkspacePool::stats`] (and the
+//! global `pool.hits` / `pool.misses` counters when tracing is on).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+use jigsaw_obs::Counter;
+
+/// Default number of buffers a pool retains.
+const DEFAULT_MAX_RETAINED: usize = 16;
+
+/// Snapshot of a pool's accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions satisfied by a shelved buffer of sufficient
+    /// capacity (no allocation).
+    pub hits: u64,
+    /// Acquisitions that had to allocate or grow a buffer.
+    pub misses: u64,
+    /// Buffers currently shelved.
+    pub resident: usize,
+}
+
+impl PoolStats {
+    /// Hit fraction of all acquisitions (0 when nothing was acquired).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe shelf of reusable `Vec<f32>` buffers.
+///
+/// Acquire with [`WorkspacePool::acquire`]; the returned [`PoolBuf`]
+/// hands its storage back on drop. Capacity-based matching means one
+/// pool serves mixed sizes (different models, different batch widths):
+/// a buffer big enough for the largest request satisfies every smaller
+/// one without reallocating.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    shelf: Mutex<Vec<Vec<f32>>>,
+    max_retained: usize,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl WorkspacePool {
+    /// A pool retaining up to a default number of buffers.
+    pub fn new() -> WorkspacePool {
+        Self::with_max_retained(DEFAULT_MAX_RETAINED)
+    }
+
+    /// A pool retaining up to `max_retained` returned buffers; further
+    /// returns are dropped (freed) instead of shelved.
+    pub fn with_max_retained(max_retained: usize) -> WorkspacePool {
+        WorkspacePool {
+            shelf: Mutex::new(Vec::new()),
+            max_retained,
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    /// Acquires a zeroed buffer of exactly `len` elements.
+    ///
+    /// A shelved buffer whose capacity already covers `len` is a *hit*
+    /// (re-zeroed, never reallocated); anything else is a *miss* that
+    /// allocates. Matching is best-fit — the smallest adequate buffer
+    /// is taken — so a small acquisition (C) never consumes the shelf's
+    /// large buffer (scratch) and forces the next large acquisition to
+    /// reallocate. Mirrored onto the global `pool.hits` /
+    /// `pool.misses` counters when `jigsaw_obs` tracing is enabled.
+    pub fn acquire(&self, len: usize) -> PoolBuf<'_> {
+        let reused = {
+            let mut shelf = self.shelf.lock().expect("pool lock");
+            let found = shelf
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.capacity() >= len)
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            found.map(|i| shelf.swap_remove(i))
+        };
+        let hit = reused.is_some();
+        if hit {
+            self.hits.inc();
+        } else {
+            self.misses.inc();
+        }
+        if jigsaw_obs::enabled() {
+            jigsaw_obs::global()
+                .counter(if hit { "pool.hits" } else { "pool.misses" })
+                .inc();
+        }
+        let mut buf = reused.unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        PoolBuf { buf, pool: self }
+    }
+
+    /// Accounting snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            resident: self.shelf.lock().expect("pool lock").len(),
+        }
+    }
+
+    fn give_back(&self, buf: Vec<f32>) {
+        let mut shelf = self.shelf.lock().expect("pool lock");
+        if shelf.len() < self.max_retained {
+            shelf.push(buf);
+        }
+    }
+}
+
+/// A pooled buffer; derefs to `[f32]` and returns its storage to the
+/// pool on drop. Use [`PoolBuf::into_vec`] to keep the storage instead
+/// (counts as permanently borrowing it from the pool).
+#[derive(Debug)]
+pub struct PoolBuf<'p> {
+    buf: Vec<f32>,
+    pool: &'p WorkspacePool,
+}
+
+impl PoolBuf<'_> {
+    /// Detaches the buffer from the pool, keeping its contents.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl Deref for PoolBuf<'_> {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl DerefMut for PoolBuf<'_> {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for PoolBuf<'_> {
+    fn drop(&mut self) {
+        if self.buf.capacity() > 0 {
+            self.pool.give_back(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_acquire_misses_then_hits() {
+        let pool = WorkspacePool::new();
+        {
+            let mut b = pool.acquire(128);
+            b[0] = 3.0;
+        }
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                hits: 0,
+                misses: 1,
+                resident: 1
+            }
+        );
+        {
+            let b = pool.acquire(100);
+            assert!(b.iter().all(|&v| v == 0.0), "reused buffer is zeroed");
+            assert_eq!(b.len(), 100);
+        }
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_small_shelved_buffer_is_a_miss() {
+        let pool = WorkspacePool::new();
+        drop(pool.acquire(16));
+        let b = pool.acquire(1024);
+        assert_eq!(b.len(), 1024);
+        let s = pool.stats();
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn best_fit_keeps_mixed_size_pairs_allocation_free() {
+        // The execute_pooled pattern: every call acquires a small C
+        // then a large scratch. First-fit would hand the large buffer
+        // to the small request and re-allocate the large one forever;
+        // best-fit reaches steady state after the cold call.
+        let pool = WorkspacePool::new();
+        for _ in 0..4 {
+            let c = pool.acquire(100);
+            let scratch = pool.acquire(1000);
+            drop(scratch);
+            drop(c);
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 2, "only the cold call allocates: {s:?}");
+        assert_eq!(s.hits, 6);
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let pool = WorkspacePool::with_max_retained(2);
+        let a = pool.acquire(8);
+        let b = pool.acquire(8);
+        let c = pool.acquire(8);
+        drop(a);
+        drop(b);
+        drop(c);
+        assert_eq!(pool.stats().resident, 2, "third return is dropped");
+    }
+
+    #[test]
+    fn into_vec_detaches_storage() {
+        let pool = WorkspacePool::new();
+        let v = pool.acquire(4).into_vec();
+        assert_eq!(v.len(), 4);
+        assert_eq!(pool.stats().resident, 0, "detached buffer never returns");
+    }
+}

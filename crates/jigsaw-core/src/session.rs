@@ -12,6 +12,7 @@ use sptc::F16;
 
 use crate::config::JigsawConfig;
 use crate::errors::PlanError;
+use crate::pool::{PoolStats, WorkspacePool};
 use crate::spmm::JigsawSpmm;
 
 /// Why a [`Session`] operation was rejected. A serving layer sits on
@@ -98,6 +99,9 @@ pub struct Layer {
 pub struct Session {
     layers: Vec<Layer>,
     spec: GpuSpec,
+    /// Reused C/scratch buffers across layers and passes: after the
+    /// first pass warms it, forward passes allocate nothing.
+    pool: WorkspacePool,
     /// Cumulative simulated cycles across all forward passes.
     pub total_cycles: f64,
     /// Forward passes run.
@@ -119,6 +123,7 @@ impl Session {
         Session {
             layers: Vec::new(),
             spec,
+            pool: WorkspacePool::new(),
             total_cycles: 0.0,
             passes: 0,
         }
@@ -176,19 +181,31 @@ impl Session {
             total_cycles: 0.0,
         };
         for layer in &self.layers {
-            let run = layer.spmm.run(&activations, &self.spec);
-            report.total_cycles += run.stats.duration_cycles;
-            report.layers.push((layer.name.clone(), run.stats));
+            // Pooled execution: C and the B-conversion scratch come
+            // from (and return to) the session's workspace pool.
+            let c = layer
+                .spmm
+                .compiled()
+                .execute_pooled(&activations, &self.pool);
+            let stats = layer.spmm.simulate(n, &self.spec);
+            report.total_cycles += stats.duration_cycles;
+            report.layers.push((layer.name.clone(), stats));
             // f32 accumulators round back to f16 activations.
             activations = Matrix {
                 rows: layer.rows,
                 cols: n,
-                data: run.c.iter().map(|&v| F16::from_f32(v)).collect(),
+                data: c.iter().map(|&v| F16::from_f32(v)).collect(),
             };
         }
         self.total_cycles += report.total_cycles;
         self.passes += 1;
         Ok((activations, report))
+    }
+
+    /// Workspace-pool accounting: after the first forward pass warms
+    /// the pool, `misses` stops growing.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// The amortization ledger: planning happened once, execution
@@ -311,6 +328,23 @@ mod tests {
             }))
         );
         assert_eq!(session.depth(), 0);
+    }
+
+    #[test]
+    fn forward_passes_reuse_pooled_workspace() {
+        let mut session = Session::new(GpuSpec::a100());
+        session
+            .add_layer("only", &weights(64, 64, 4), JigsawConfig::v4(32))
+            .unwrap();
+        let x = dense_rhs(64, 8, ValueDist::SmallInt, 5);
+        session.forward(&x).unwrap();
+        let cold = session.pool_stats();
+        assert!(cold.misses >= 2, "first pass allocates C + scratch");
+        session.forward(&x).unwrap();
+        session.forward(&x).unwrap();
+        let warm = session.pool_stats();
+        assert_eq!(warm.misses, cold.misses, "warm passes never allocate");
+        assert!(warm.hits >= 4, "warm passes are all pool hits: {warm:?}");
     }
 
     #[test]

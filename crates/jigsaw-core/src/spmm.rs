@@ -2,15 +2,18 @@
 //! that the weight matrix is stationary during inference, so the
 //! reorder is a one-time preprocessing whose cost amortizes.
 
+use std::sync::{Arc, OnceLock};
+
 use dlmc::Matrix;
 use gpu_sim::{simulate_kernel, GpuSpec, KernelStats};
 use serde::{Deserialize, Serialize};
 
 use jigsaw_obs::Span;
 
+use crate::compiled::CompiledKernel;
 use crate::config::{JigsawConfig, MMA_TILE};
 use crate::errors::PlanError;
-use crate::exec::{execute_fast, execute_via_fragments};
+use crate::exec::execute_via_fragments;
 use crate::format::JigsawFormat;
 use crate::kernel::build_launch;
 use crate::reorder::{ReorderPlan, ReorderStats};
@@ -25,6 +28,9 @@ pub struct JigsawSpmm {
     pub format: JigsawFormat,
     /// Reorder quality statistics (Figure 11's signals).
     pub reorder_stats: ReorderStats,
+    /// Lazily compiled execution plan (built on first run, shared by
+    /// clones made after that point).
+    compiled: OnceLock<Arc<CompiledKernel>>,
 }
 
 /// Result of a timed SpMM: the product and the simulated kernel report.
@@ -87,6 +93,7 @@ impl JigsawSpmm {
             config,
             format,
             reorder_stats,
+            compiled: OnceLock::new(),
         })
     }
 
@@ -138,9 +145,19 @@ impl JigsawSpmm {
         Ok((planned, report))
     }
 
+    /// The compiled execution plan of this format, built on first use
+    /// and cached for every later run (see [`CompiledKernel`]).
+    pub fn compiled(&self) -> &Arc<CompiledKernel> {
+        self.compiled
+            .get_or_init(|| Arc::new(CompiledKernel::compile(&self.format)))
+    }
+
     /// Computes `C = A × B` and simulates the kernel's execution.
+    ///
+    /// Values come from the compiled plan (bit-identical to
+    /// [`crate::execute_fast`], the differential-testing oracle).
     pub fn run(&self, b: &Matrix, spec: &GpuSpec) -> SpmmRun {
-        let c = execute_fast(&self.format, b);
+        let c = self.compiled().execute(b);
         let stats = self.simulate(b.cols, spec);
         SpmmRun { c, stats }
     }

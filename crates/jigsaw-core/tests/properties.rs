@@ -7,7 +7,7 @@ use jigsaw_core::reorder::tile::{
     reorder_satisfies, reorder_tile, tile_satisfies_in_place, ColumnMasks, DEFAULT_WORK_LIMIT,
 };
 use jigsaw_core::reorder::{ReorderPlan, PAD};
-use jigsaw_core::{execute_fast, JigsawConfig, JigsawFormat};
+use jigsaw_core::{execute_fast, format_source_column, CompiledKernel, JigsawConfig, JigsawFormat};
 
 /// Strategy: an arbitrary 16-column mask set with bounded density.
 fn arb_masks(max_bits: usize) -> impl Strategy<Value = ColumnMasks> {
@@ -92,6 +92,71 @@ proptest! {
             let format = JigsawFormat::build(&a, &plan, interleaved);
             prop_assert_eq!(execute_fast(&format, &b), a.matmul_reference(&b));
         }
+    }
+
+    /// The compiled nonzero stream is exactly the `(value, column)`
+    /// sequence a direct walk of the format produces: every slot's
+    /// metadata offset re-applied, every position re-resolved through
+    /// `format_source_column`, in `execute_fast`'s accumulation order.
+    #[test]
+    fn compiled_stream_matches_format_source_column_walk(
+        a in arb_matrix(),
+        interleaved in any::<bool>(),
+    ) {
+        let bt = if a.rows % 32 == 0 { 32 } else { 16 };
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(bt));
+        let format = JigsawFormat::build(&a, &plan, interleaved);
+        let kernel = CompiledKernel::compile(&format);
+        prop_assert_eq!(kernel.m, format.m);
+        prop_assert_eq!(kernel.k, format.k);
+        let mut rows_seen = 0usize;
+        let mut nnz_seen = 0usize;
+        for (si, strip) in format.strips.iter().enumerate() {
+            for tr in 0..strip.height / 16 {
+                for r in 0..16 {
+                    let row = strip.row0 + tr * 16 + r;
+                    let mut expect: Vec<(f32, usize)> = Vec::new();
+                    for w in 0..strip.windows {
+                        let words = format.metadata_words(si, tr, w / 2);
+                        let idx = sptc::metadata::unpack_row_metadata(words[r]);
+                        let off = (w % 2) * 8;
+                        for slot in 0..8 {
+                            let v = format.value(si, w, tr, r, slot);
+                            if v.is_zero() {
+                                continue;
+                            }
+                            let pos = (slot / 2) * 4 + idx[off + slot] as usize;
+                            if let Some(col) = format_source_column(&format, si, w, tr, pos) {
+                                expect.push((v.to_f32(), col));
+                            }
+                        }
+                    }
+                    let got: Vec<(f32, usize)> = kernel.row_stream(row).collect();
+                    prop_assert_eq!(&got, &expect, "row {}", row);
+                    rows_seen += 1;
+                    nnz_seen += got.len();
+                }
+            }
+        }
+        prop_assert_eq!(rows_seen, format.m);
+        prop_assert_eq!(nnz_seen, kernel.nnz());
+    }
+
+    /// Compiled execution is bit-identical to `execute_fast` (the
+    /// differential oracle) across layouts and odd N.
+    #[test]
+    fn compiled_execution_matches_fast_bit_exactly(
+        a in arb_matrix(),
+        n in 1usize..=24,
+        interleaved in any::<bool>(),
+    ) {
+        let b = dense_rhs(a.cols, n, ValueDist::SmallInt, 7);
+        let bt = if a.rows % 32 == 0 { 32 } else { 16 };
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(bt));
+        let format = JigsawFormat::build(&a, &plan, interleaved);
+        let kernel = CompiledKernel::compile(&format);
+        prop_assert_eq!(kernel.execute(&b), execute_fast(&format, &b));
+        prop_assert_eq!(kernel.execute(&b), a.matmul_reference(&b));
     }
 
     #[test]

@@ -23,7 +23,8 @@ use dlmc::Matrix;
 use gpu_sim::{simulate_kernel, GpuSpec, KernelStats};
 use jigsaw_core::serialize;
 use jigsaw_core::{
-    build_launch, execute_fast, JigsawConfig, JigsawFormat, JigsawSpmm, PlanError, ReorderStats,
+    build_launch, CompiledKernel, JigsawConfig, JigsawFormat, JigsawSpmm, PlanError, PoolBuf,
+    ReorderStats, WorkspacePool,
 };
 use jigsaw_obs::{Counter, Span};
 
@@ -66,8 +67,11 @@ pub struct PlannedModel {
     /// Serialized artifact size, the cache-accounting unit.
     pub artifact_bytes: usize,
     /// Host nanoseconds spent producing this resident copy (planning
-    /// or disk load).
+    /// or disk load, including kernel compilation).
     pub plan_host_ns: u64,
+    /// The compiled execution plan, built once next to the plan
+    /// artifact — every batch runs the pure-axpy hot path.
+    pub compiled: Arc<CompiledKernel>,
 }
 
 impl PlannedModel {
@@ -83,7 +87,13 @@ impl PlannedModel {
 
     /// Computes `C = W × b` (row-major f32).
     pub fn execute(&self, b: &Matrix) -> Vec<f32> {
-        execute_fast(&self.format, b)
+        self.compiled.execute(b)
+    }
+
+    /// Computes `C = W × b` with output and scratch drawn from `pool` —
+    /// the server's zero-allocation steady-state path.
+    pub fn execute_pooled<'p>(&self, b: &Matrix, pool: &'p WorkspacePool) -> PoolBuf<'p> {
+        self.compiled.execute_pooled(b, pool)
     }
 
     /// Simulates one kernel at output width `n`.
@@ -341,6 +351,7 @@ impl ModelRegistry {
             // The hardened decoder rejects corrupt artifacts with an
             // error; the server surfaces it instead of crashing.
             let format = serialize::from_bytes(&bytes)?;
+            let compiled = Arc::new(CompiledKernel::compile_traced(&format, parent));
             let source = inner.sources.get(name).expect("checked above");
             let model = PlannedModel {
                 name: name.to_string(),
@@ -349,6 +360,7 @@ impl ModelRegistry {
                 reorder_stats: None,
                 artifact_bytes: bytes.len(),
                 plan_host_ns: started.elapsed().as_nanos() as u64,
+                compiled,
             };
             self.counters.disk_loads.inc();
             (model, Fetch::DiskLoaded)
@@ -360,6 +372,7 @@ impl ModelRegistry {
             if let Some(path) = &artifact_path {
                 std::fs::write(path, &bytes)?;
             }
+            let compiled = Arc::new(CompiledKernel::compile_traced(&planned.format, parent));
             let model = PlannedModel {
                 name: name.to_string(),
                 format: planned.format,
@@ -367,6 +380,7 @@ impl ModelRegistry {
                 reorder_stats: Some(planned.reorder_stats),
                 artifact_bytes: bytes.len(),
                 plan_host_ns: started.elapsed().as_nanos() as u64,
+                compiled,
             };
             self.counters.plans.inc();
             (model, Fetch::Planned)

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use dlmc::Matrix;
 use gpu_sim::GpuSpec;
+use jigsaw_core::{PoolStats, WorkspacePool};
 use jigsaw_obs::{Span, TraceHandle};
 
 use crate::batch::{concat_columns, split_columns, AdmitError, RequestStats, SpmmResponse};
@@ -136,6 +137,9 @@ struct Shared {
     cv: Condvar,
     stop: AtomicBool,
     metrics: Mutex<ServeMetrics>,
+    /// Batch C/scratch buffers, reused across batches and workers: a
+    /// warm server performs zero per-request output allocations.
+    pool: WorkspacePool,
 }
 
 /// The serving engine. Create with [`Server::start`]; submit requests
@@ -157,6 +161,7 @@ impl Server {
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
             metrics: Mutex::new(ServeMetrics::default()),
+            pool: WorkspacePool::new(),
         });
         let workers = (0..cfg.workers)
             .map(|_| {
@@ -272,6 +277,12 @@ impl Server {
     /// Snapshot of the serving metrics so far.
     pub fn metrics(&self) -> ServeMetrics {
         self.shared.metrics.lock().expect("metrics lock").clone()
+    }
+
+    /// Workspace-pool accounting: in steady state `misses` stops
+    /// growing — every batch's C/scratch buffers are reused.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.pool.stats()
     }
 
     /// The shared registry.
@@ -410,13 +421,16 @@ fn execute_batch(
     let bcat = concat_columns(&parts);
     assemble.finish();
     let kernel = batch_span.child("kernel");
-    let c = planned.execute(&bcat);
+    // Pooled execution: the batch's C and conversion scratch come from
+    // (and return to) the server-wide workspace pool.
+    let c = planned.execute_pooled(&bcat, &shared.pool);
     let batch_cycles = planned.simulate(total_n, &cfg.spec).duration_cycles;
     kernel.cycles(batch_cycles);
     kernel.finish();
     let split_span = batch_span.child("split");
     let splits = split_columns(&c, planned.m(), &widths);
     split_span.finish();
+    drop(c);
     batch_span.attr("n", total_n);
     batch_span.finish();
     let batch_record = batch_handle.and_then(|h| h.take());
@@ -654,6 +668,38 @@ mod tests {
             .latest_trace("serve.request")
             .expect("trace recorded globally");
         assert!(from_ring.span_count() >= 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn steady_state_serving_allocates_nothing_per_request() {
+        let reg = small_registry();
+        let server = Server::start(
+            reg,
+            ServeConfig {
+                workers: 1,
+                max_wait: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        // Warm-up: the first batch allocates its C and scratch buffers.
+        let warm_up = |i| {
+            let b = dense_rhs(256, 8, ValueDist::SmallInt, i);
+            server.submit("attention-small", b).unwrap().wait().unwrap();
+        };
+        warm_up(0);
+        let cold = server.pool_stats();
+        assert!(cold.misses >= 2, "first batch allocates: {cold:?}");
+        // Steady state: identical shapes — every acquisition must hit.
+        for i in 1..6 {
+            warm_up(i);
+        }
+        let steady = server.pool_stats();
+        assert_eq!(
+            steady.misses, cold.misses,
+            "steady-state batches perform zero C/scratch allocations"
+        );
+        assert!(steady.hits >= cold.hits + 10, "5 batches x 2 buffers hit");
         server.shutdown();
     }
 

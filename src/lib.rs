@@ -42,9 +42,9 @@ pub use jigsaw_serve as serve;
 pub use sptc;
 
 pub use jigsaw_core::{
-    execute_fast, execute_via_fragments, max_relative_error, ConfigBuilder, ConfigError,
-    JigsawConfig, JigsawFormat, JigsawSpmm, PlanError, ReorderPlan, ReorderStats, SpmmRun,
-    TuneReport,
+    execute_fast, execute_via_fragments, max_relative_error, CompiledKernel, ConfigBuilder,
+    ConfigError, JigsawConfig, JigsawFormat, JigsawSpmm, PlanError, PoolBuf, PoolStats,
+    ReorderPlan, ReorderStats, SpmmRun, TuneReport, WorkspacePool,
 };
 
 #[cfg(test)]
