@@ -40,6 +40,14 @@ pub struct Row {
     pub cache_hits: u64,
     /// Registry misses over the run.
     pub cache_misses: u64,
+    /// Admitted requests that terminated with a typed error.
+    pub failed: u64,
+    /// Admitted requests shed on deadline expiry before dispatch.
+    pub shed_expired: u64,
+    /// Queue depth at end of run (0 once drained).
+    pub queue_depth: usize,
+    /// Models whose circuit breaker was not Closed at end of run.
+    pub breakers_open: u64,
 }
 
 /// The serving experiment result.
@@ -79,7 +87,8 @@ fn run_policy(
     } else {
         SimConfig::unbatched(spec.clone())
     };
-    let report = simulate_schedule(&registry, schedule, &cfg).expect("schedule runs");
+    let report = simulate_schedule(&registry, schedule, &cfg);
+    assert!(report.metrics.conserves(), "serving run conserves requests");
     let stats = registry.stats();
     Row {
         policy: label.to_string(),
@@ -93,6 +102,10 @@ fn run_policy(
         p99_latency_cycles: report.metrics.latency_cycles.percentile(99.0),
         cache_hits: stats.hits,
         cache_misses: stats.misses,
+        failed: report.metrics.failed,
+        shed_expired: report.metrics.shed_expired,
+        queue_depth: report.metrics.queue_depth,
+        breakers_open: report.metrics.breakers_open,
     }
 }
 
@@ -138,6 +151,7 @@ impl Serving {
             "p50 lat",
             "p99 lat",
             "cache hit/miss",
+            "failed/shed",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -154,6 +168,7 @@ impl Serving {
                     format!("{:.0}", r.p50_latency_cycles),
                     format!("{:.0}", r.p99_latency_cycles),
                     format!("{}/{}", r.cache_hits, r.cache_misses),
+                    format!("{}/{}", r.failed, r.shed_expired),
                 ]
             })
             .collect();
@@ -180,6 +195,10 @@ mod tests {
         for r in &result.rows {
             assert_eq!(r.completed, 48, "{} completed all", r.policy);
             assert!(r.requests_per_gcycle > 0.0);
+            assert_eq!(r.failed, 0, "{} healthy run has no failures", r.policy);
+            assert_eq!(r.shed_expired, 0);
+            assert_eq!(r.queue_depth, 0, "queues drained");
+            assert_eq!(r.breakers_open, 0);
         }
         let best = result.throughput("batched+warm").unwrap();
         let worst = result.throughput("unbatched+cold").unwrap();

@@ -96,6 +96,23 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
             obs.keys()
         ));
     }
+    if experiment == "serving" {
+        // The serving export carries the resilience columns (DESIGN.md
+        // §12) on every policy row; losing one is a schema regression.
+        let rows = doc
+            .get("data")
+            .and_then(|d| d.get("rows"))
+            .map(|r| r.items().to_vec())
+            .filter(|r| !r.is_empty())
+            .ok_or_else(|| "serving: data.rows missing or empty".to_string())?;
+        for row in &rows {
+            for key in ["failed", "shed_expired", "queue_depth", "breakers_open"] {
+                if row.get(key).is_none() {
+                    return Err(format!("serving row missing resilience key {key:?}"));
+                }
+            }
+        }
+    }
     Ok(experiment)
 }
 
@@ -221,6 +238,60 @@ mod tests {
         );
         let wrong_schema = good.replace("jigsaw-bench/v1", "jigsaw-bench/v0");
         assert!(check_bench_text(&wrong_schema).is_err());
+    }
+
+    #[derive(Serialize)]
+    struct ToyServingRow {
+        policy: String,
+        failed: u64,
+        shed_expired: u64,
+        queue_depth: usize,
+        breakers_open: u64,
+    }
+
+    #[derive(Serialize)]
+    struct ToyServing {
+        rows: Vec<ToyServingRow>,
+    }
+
+    #[test]
+    fn serving_docs_must_carry_resilience_columns() {
+        let full = bench_doc(
+            "serving",
+            &ToyServing {
+                rows: vec![ToyServingRow {
+                    policy: "batched+warm".to_string(),
+                    failed: 0,
+                    shed_expired: 2,
+                    queue_depth: 0,
+                    breakers_open: 0,
+                }],
+            },
+        )
+        .to_string();
+        assert_eq!(check_bench_text(&full), Ok("serving".to_string()));
+        // A row that lost a resilience column is rejected…
+        #[derive(Serialize)]
+        struct BareRow {
+            policy: String,
+            failed: u64,
+        }
+        #[derive(Serialize)]
+        struct BareServing {
+            rows: Vec<BareRow>,
+        }
+        let bare = BareServing {
+            rows: vec![BareRow {
+                policy: "batched+warm".to_string(),
+                failed: 0,
+            }],
+        };
+        let err = check_bench_text(&bench_doc("serving", &bare).to_string()).unwrap_err();
+        assert!(err.contains("shed_expired"), "{err}");
+        // …and so is a serving doc with no rows at all. The same shape
+        // under another experiment name is not row-checked.
+        assert!(check_bench_text(&bench_doc("serving", &toy()).to_string()).is_err());
+        assert!(check_bench_text(&bench_doc("other", &bare).to_string()).is_ok());
     }
 
     #[derive(Serialize)]

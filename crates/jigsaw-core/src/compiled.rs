@@ -37,6 +37,8 @@ use rayon::prelude::*;
 use sptc::metadata::{unpack_row_metadata, ROWS};
 
 use crate::config::MMA_TILE;
+use crate::errors::CompileError;
+use crate::fault::{self, points};
 use crate::format::{format_source_column, JigsawFormat};
 use crate::pool::{PoolBuf, WorkspacePool};
 
@@ -73,13 +75,33 @@ pub struct CompiledKernel {
 impl CompiledKernel {
     /// Resolves every `(strip, window, tile_row, row, slot)` of the
     /// format into the flat per-row nonzero stream.
+    ///
+    /// Infallible convenience over [`CompiledKernel::try_compile`] —
+    /// panics on the (pathological) error cases. Resilient callers
+    /// (the serve registry's degradation ladder) use the `try_`
+    /// variants and fall back to [`crate::execute_fast`].
     pub fn compile(format: &JigsawFormat) -> CompiledKernel {
-        Self::compile_traced(format, &jigsaw_obs::Span::disabled())
+        Self::try_compile(format).expect("kernel compiles")
     }
 
     /// [`CompiledKernel::compile`] with an `exec.compile` span attached
     /// to `parent` (carrying row/nonzero counts and wall time).
     pub fn compile_traced(format: &JigsawFormat, parent: &jigsaw_obs::Span) -> CompiledKernel {
+        Self::try_compile_traced(format, parent).expect("kernel compiles")
+    }
+
+    /// Fallible compilation: surfaces [`CompileError`] instead of
+    /// panicking, including injected `exec.compile` faults.
+    pub fn try_compile(format: &JigsawFormat) -> Result<CompiledKernel, CompileError> {
+        Self::try_compile_traced(format, &jigsaw_obs::Span::disabled())
+    }
+
+    /// [`CompiledKernel::try_compile`] with an `exec.compile` span.
+    pub fn try_compile_traced(
+        format: &JigsawFormat,
+        parent: &jigsaw_obs::Span,
+    ) -> Result<CompiledKernel, CompileError> {
+        fault::hit(points::COMPILE)?;
         let started = Instant::now();
         let span = parent.child("exec.compile");
         let mut row_ptr: Vec<u32> = Vec::with_capacity(format.m + 1);
@@ -114,10 +136,9 @@ impl CompiledKernel {
                             cols.push(col as u32);
                         }
                     }
-                    assert!(
-                        vals.len() < u32::MAX as usize,
-                        "nonzero stream overflows u32"
-                    );
+                    if vals.len() >= u32::MAX as usize {
+                        return Err(CompileError::StreamOverflow { nnz: vals.len() });
+                    }
                     row_ptr.push(vals.len() as u32);
                 }
             }
@@ -141,7 +162,7 @@ impl CompiledKernel {
             span.attr("nnz", kernel.nnz());
         }
         span.finish();
-        kernel
+        Ok(kernel)
     }
 
     /// Nonzeros in the compiled stream.
@@ -189,6 +210,22 @@ impl CompiledKernel {
         self.execute_into_dispatch(b, c, scratch, true);
     }
 
+    /// [`CompiledKernel::execute_into`] with the microkernel pinned to
+    /// scalar: the degraded path of the resilience ladder, bit-identical
+    /// to [`crate::execute_fast`] on every input (DESIGN.md §12).
+    pub fn execute_into_scalar(&self, b: &Matrix, c: &mut [f32], scratch: &mut [f32]) {
+        self.execute_into_dispatch(b, c, scratch, false);
+    }
+
+    /// Allocating convenience over
+    /// [`CompiledKernel::execute_into_scalar`].
+    pub fn execute_scalar(&self, b: &Matrix) -> Vec<f32> {
+        let mut c = vec![0.0f32; self.m * b.cols];
+        let mut scratch = vec![0.0f32; self.k * b.cols];
+        self.execute_into_scalar(b, &mut c, &mut scratch);
+        c
+    }
+
     /// [`CompiledKernel::execute_into`] with the microkernel pinned:
     /// `allow_simd = false` forces the scalar kernel, whose result is
     /// bit-identical to `execute_fast` on every input.
@@ -199,6 +236,12 @@ impl CompiledKernel {
         scratch: &mut [f32],
         allow_simd: bool,
     ) {
+        if allow_simd {
+            // Only the full-speed path carries the injection point: the
+            // degraded scalar path must stay fault-free so the ladder
+            // (SIMD → scalar → execute_fast) terminates.
+            fault::trip(points::EXECUTE);
+        }
         assert_eq!(b.rows, self.k, "A columns must match B rows");
         let n = b.cols;
         assert_eq!(c.len(), self.m * n, "C must be m*n");

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use crate::config::{MMA_N, MMA_TILE};
+use crate::fault::FaultError;
 
 /// Why a [`crate::JigsawConfig`] tiling is invalid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,6 +81,8 @@ pub enum PlanError {
     },
     /// Autotuning was asked to choose among zero candidates.
     NoCandidates,
+    /// An armed [`crate::fault`] injection point fired during planning.
+    Fault(FaultError),
 }
 
 impl fmt::Display for PlanError {
@@ -90,6 +93,7 @@ impl fmt::Display for PlanError {
                 write!(f, "matrix rows {rows} must be a multiple of {tile}")
             }
             PlanError::NoCandidates => write!(f, "autotune candidate list is empty"),
+            PlanError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
@@ -98,6 +102,7 @@ impl std::error::Error for PlanError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PlanError::Config(e) => Some(e),
+            PlanError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -106,6 +111,53 @@ impl std::error::Error for PlanError {
 impl From<ConfigError> for PlanError {
     fn from(e: ConfigError) -> PlanError {
         PlanError::Config(e)
+    }
+}
+
+impl From<FaultError> for PlanError {
+    fn from(e: FaultError) -> PlanError {
+        PlanError::Fault(e)
+    }
+}
+
+/// Why [`crate::CompiledKernel::try_compile`] could not lower a plan to
+/// an executable kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The plan's nonzero stream does not fit the kernel's `u32` column
+    /// indices.
+    StreamOverflow {
+        /// Number of nonzeros in the plan.
+        nnz: usize,
+    },
+    /// An armed [`crate::fault`] injection point fired during
+    /// compilation.
+    Fault(FaultError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::StreamOverflow { nnz } => {
+                write!(f, "nonzero stream of {nnz} elements overflows u32 indices")
+            }
+            CompileError::Fault(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultError> for CompileError {
+    fn from(e: FaultError) -> CompileError {
+        CompileError::Fault(e)
     }
 }
 

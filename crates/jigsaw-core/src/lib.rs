@@ -37,6 +37,7 @@ pub mod compiled;
 pub mod config;
 pub mod errors;
 pub mod exec;
+pub mod fault;
 pub mod format;
 pub mod hybrid;
 pub mod kernel;
@@ -46,12 +47,14 @@ pub mod serialize;
 pub mod session;
 pub mod spmm;
 pub mod swizzle;
+pub mod sync;
 
 pub use analysis::{forecast, jigsaw_expected_win, strip_census, ReorderForecast, StripCensus};
 pub use compiled::CompiledKernel;
 pub use config::{ConfigBuilder, JigsawConfig, MMA_N, MMA_TILE};
-pub use errors::{ConfigError, PlanError};
+pub use errors::{CompileError, ConfigError, PlanError};
 pub use exec::{execute_fast, execute_via_fragments, max_relative_error};
+pub use fault::{FaultError, FaultKind, FaultSpec};
 pub use format::{format_source_column, JigsawFormat};
 pub use hybrid::{HybridConfig, HybridPlan, HybridStats, Route};
 pub use kernel::build_launch;
@@ -59,3 +62,4 @@ pub use pool::{PoolBuf, PoolStats, WorkspacePool};
 pub use reorder::{ReorderPlan, ReorderStats};
 pub use session::{ForwardReport, Layer, Session, SessionError};
 pub use spmm::{JigsawSpmm, SpmmRun, TuneReport};
+pub use sync::{lock_recover, wait_recover, wait_timeout_recover};

@@ -13,6 +13,9 @@ use std::sync::Mutex;
 
 use jigsaw_obs::Counter;
 
+use crate::fault::{self, points};
+use crate::sync::lock_recover;
+
 /// Default number of buffers a pool retains.
 const DEFAULT_MAX_RETAINED: usize = 16;
 
@@ -82,8 +85,9 @@ impl WorkspacePool {
     /// reallocate. Mirrored onto the global `pool.hits` /
     /// `pool.misses` counters when `jigsaw_obs` tracing is enabled.
     pub fn acquire(&self, len: usize) -> PoolBuf<'_> {
+        fault::trip(points::POOL_ACQUIRE);
         let reused = {
-            let mut shelf = self.shelf.lock().expect("pool lock");
+            let mut shelf = lock_recover(&self.shelf);
             let found = shelf
                 .iter()
                 .enumerate()
@@ -114,12 +118,15 @@ impl WorkspacePool {
         PoolStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
-            resident: self.shelf.lock().expect("pool lock").len(),
+            resident: lock_recover(&self.shelf).len(),
         }
     }
 
+    // `lock_recover` matters here specifically: PoolBuf returns its
+    // storage from Drop, which also runs mid-unwind — a poisoned shelf
+    // must not turn one panic into a double panic (abort).
     fn give_back(&self, buf: Vec<f32>) {
-        let mut shelf = self.shelf.lock().expect("pool lock");
+        let mut shelf = lock_recover(&self.shelf);
         if shelf.len() < self.max_retained {
             shelf.push(buf);
         }

@@ -73,6 +73,7 @@ impl JigsawSpmm {
         config: JigsawConfig,
         parent: &Span,
     ) -> Result<JigsawSpmm, PlanError> {
+        crate::fault::hit(crate::fault::points::PLAN)?;
         config.validate()?;
         if !a.rows.is_multiple_of(MMA_TILE) {
             return Err(PlanError::RowsNotTileAligned {

@@ -1,0 +1,53 @@
+//! Poison-recovering lock helpers.
+//!
+//! A panic while holding a `std::sync::Mutex` poisons it, and every
+//! later `lock().expect(...)` turns one isolated panic into a cascade
+//! that takes down unrelated threads. All state guarded by mutexes in
+//! this workspace is kept consistent *before* any fallible call (or is
+//! repaired by a drop-guard), so recovering from poison is always
+//! safe — these helpers make that the workspace-wide idiom.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] that recovers from poison instead of panicking.
+pub fn wait_recover<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] that recovers from poison; returns the
+/// guard and whether the wait timed out.
+pub fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    g: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    let (g, res) = cv
+        .wait_timeout(g, dur)
+        .unwrap_or_else(PoisonError::into_inner);
+    (g, res.timed_out())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recover_survives_poison() {
+        let m = Mutex::new(41);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        let mut g = lock_recover(&m);
+        *g += 1;
+        assert_eq!(*g, 42);
+    }
+}

@@ -7,6 +7,7 @@
 //! Fig 10) without perturbing a single output bit.
 
 use std::fmt;
+use std::time::Duration;
 
 use dlmc::Matrix;
 
@@ -42,6 +43,14 @@ pub enum AdmitError {
     },
     /// The server is draining and accepts no new work.
     ShuttingDown,
+    /// The model's circuit breaker is open after repeated failures —
+    /// fast-reject instead of queuing behind a failing backend.
+    CircuitOpen {
+        /// Model whose circuit is open.
+        model: String,
+        /// How long until the breaker admits a probe.
+        retry_after: Duration,
+    },
 }
 
 impl fmt::Display for AdmitError {
@@ -65,6 +74,10 @@ impl fmt::Display for AdmitError {
                 write!(f, "queue for model {model:?} is full ({cap} requests)")
             }
             AdmitError::ShuttingDown => write!(f, "server is shutting down"),
+            AdmitError::CircuitOpen { model, retry_after } => write!(
+                f,
+                "circuit open for model {model:?}; retry after {retry_after:?}"
+            ),
         }
     }
 }

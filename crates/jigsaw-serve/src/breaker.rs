@@ -1,0 +1,233 @@
+//! Per-model circuit breaker: after K consecutive failures the model's
+//! circuit opens and requests are fast-rejected with a retry-after
+//! hint instead of queuing behind a backend that keeps failing.
+//!
+//! The clock is an abstract `f64` so one implementation serves both
+//! runtimes: the threaded [`crate::server`] feeds host nanoseconds, the
+//! virtual-clock [`crate::sim`] feeds cycles. State machine
+//! (DESIGN.md §12):
+//!
+//! ```text
+//! Closed --K consecutive failures--> Open
+//! Open   --retry window elapses----> HalfOpen (one probe admitted)
+//! HalfOpen --probe succeeds--------> Closed  (window resets)
+//! HalfOpen --probe fails-----------> Open    (window doubles, capped)
+//! ```
+
+/// Breaker tuning, in the caller's clock units.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the circuit.
+    pub failure_threshold: u32,
+    /// First open window: how long rejections last before a half-open
+    /// probe is admitted.
+    pub open_window: f64,
+    /// Cap on the exponentially-doubled window of repeated re-opens.
+    pub max_open_window: f64,
+}
+
+impl BreakerConfig {
+    /// Defaults for a host-nanosecond clock (5 failures, 10 ms → 1 s).
+    pub fn host_ns() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_window: 10_000_000.0,
+            max_open_window: 1_000_000_000.0,
+        }
+    }
+
+    /// Defaults for a device-cycle clock (5 failures, 100k → 10M
+    /// cycles).
+    pub fn cycles() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_window: 100_000.0,
+            max_open_window: 10_000_000.0,
+        }
+    }
+}
+
+/// Where the breaker's state machine currently sits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: everything is admitted.
+    Closed,
+    /// Tripped: fast-reject until the window elapses.
+    Open,
+    /// Window elapsed: exactly one probe is in flight.
+    HalfOpen,
+}
+
+/// Admission decision for one request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BreakerAdmit {
+    /// Proceed (Closed, or the HalfOpen probe slot).
+    Proceed,
+    /// Fast-reject; retry after this many clock units.
+    Reject {
+        /// Clock units until the next probe will be admitted.
+        retry_after: f64,
+    },
+}
+
+/// One model's breaker. Not internally synchronized — callers hold it
+/// in their own map behind their own lock.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// When the current open window admits a probe (Open state only).
+    probe_at: f64,
+    /// Current window length (doubles per re-open, capped).
+    window: f64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probe_at: 0.0,
+            window: cfg.open_window,
+        }
+    }
+
+    /// Current state, advancing Open → HalfOpen if the window has
+    /// elapsed by `now`.
+    pub fn state(&mut self, now: f64) -> BreakerState {
+        if self.state == BreakerState::Open && now >= self.probe_at {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// Decides admission at time `now`. A `Proceed` from HalfOpen
+    /// consumes the probe slot — further requests are rejected until
+    /// the probe reports back.
+    pub fn admit(&mut self, now: f64) -> BreakerAdmit {
+        match self.state(now) {
+            BreakerState::Closed => BreakerAdmit::Proceed,
+            BreakerState::HalfOpen => {
+                // One probe at a time: re-open pessimistically until
+                // the probe reports; on_success/on_failure settle it.
+                self.state = BreakerState::Open;
+                self.probe_at = now + self.window;
+                BreakerAdmit::Proceed
+            }
+            BreakerState::Open => BreakerAdmit::Reject {
+                retry_after: (self.probe_at - now).max(0.0),
+            },
+        }
+    }
+
+    /// Reports a success: closes the circuit and resets the window.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.window = self.cfg.open_window;
+    }
+
+    /// Reports a failure at time `now`: counts toward the threshold in
+    /// Closed, re-opens with a doubled (capped) window after a probe.
+    pub fn on_failure(&mut self, now: f64) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::Closed => {
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.probe_at = now + self.window;
+                }
+            }
+            BreakerState::Open | BreakerState::HalfOpen => {
+                // A failed probe (or a straggler failure) re-opens with
+                // a longer window.
+                self.window = (self.window * 2.0).min(self.cfg.max_open_window);
+                self.state = BreakerState::Open;
+                self.probe_at = now + self.window;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_window: 100.0,
+            max_open_window: 400.0,
+        }
+    }
+
+    #[test]
+    fn opens_after_k_consecutive_failures() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..2 {
+            b.on_failure(t as f64);
+            assert_eq!(b.admit(t as f64), BreakerAdmit::Proceed);
+        }
+        b.on_failure(2.0);
+        match b.admit(2.0) {
+            BreakerAdmit::Reject { retry_after } => {
+                assert!((retry_after - 100.0).abs() < 1e-9)
+            }
+            other => panic!("expected reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(0.0);
+        b.on_failure(1.0);
+        b.on_success();
+        b.on_failure(2.0);
+        b.on_failure(3.0);
+        assert_eq!(b.admit(4.0), BreakerAdmit::Proceed, "streak was reset");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.on_failure(t as f64);
+        }
+        assert!(matches!(b.admit(50.0), BreakerAdmit::Reject { .. }));
+        // Window elapsed: exactly one probe proceeds, followers reject.
+        assert_eq!(b.admit(150.0), BreakerAdmit::Proceed);
+        assert!(matches!(b.admit(151.0), BreakerAdmit::Reject { .. }));
+        b.on_success();
+        assert_eq!(b.state(152.0), BreakerState::Closed);
+        assert_eq!(b.admit(152.0), BreakerAdmit::Proceed);
+    }
+
+    #[test]
+    fn failed_probe_doubles_the_window_up_to_the_cap() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(0.0);
+        }
+        // The window anchors at the last failure (t=0), so the first
+        // probe is admitted at exactly t=100.
+        let mut now = 100.0;
+        for expected in [200.0, 400.0, 400.0] {
+            assert_eq!(b.admit(now), BreakerAdmit::Proceed, "probe admitted");
+            b.on_failure(now);
+            match b.admit(now) {
+                BreakerAdmit::Reject { retry_after } => {
+                    assert!(
+                        (retry_after - expected).abs() < 1e-9,
+                        "window {expected}, got {retry_after}"
+                    );
+                }
+                other => panic!("expected reject, got {other:?}"),
+            }
+            now += expected;
+        }
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod breaker;
 pub mod loadgen;
 pub mod metrics;
 pub mod registry;
@@ -34,9 +35,12 @@ pub mod sim;
 pub mod zoo;
 
 pub use batch::{concat_columns, split_columns, AdmitError, RequestStats, SpmmResponse};
+pub use breaker::{BreakerAdmit, BreakerConfig, BreakerState, CircuitBreaker};
 pub use loadgen::{generate_schedule, rhs_for, run_closed_loop, LoadSpec};
 pub use metrics::{Histogram, ServeMetrics};
-pub use registry::{CacheStats, Fetch, ModelRegistry, PlannedModel, RegistryConfig, RegistryError};
+pub use registry::{
+    CacheStats, ExecPlan, Fetch, ModelRegistry, PlannedModel, RegistryConfig, RegistryError,
+};
 pub use server::{ServeConfig, ServeError, Server, Ticket};
-pub use sim::{simulate_schedule, SimCompletion, SimConfig, SimReport, SimRequest};
+pub use sim::{simulate_schedule, SimCompletion, SimConfig, SimFailure, SimReport, SimRequest};
 pub use zoo::{default_zoo, ZooModel};

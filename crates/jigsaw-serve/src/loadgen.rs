@@ -55,6 +55,7 @@ pub fn generate_schedule(zoo: &[ZooModel], spec: &LoadSpec) -> Vec<SimRequest> {
                 model: model.name.clone(),
                 arrival_cycle: at,
                 n,
+                deadline_cycles: None,
             }
         })
         .collect()

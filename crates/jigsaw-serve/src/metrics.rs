@@ -61,8 +61,25 @@ pub struct ServeMetrics {
     pub submitted: u64,
     /// Requests completed.
     pub completed: u64,
-    /// Requests rejected at admission (backpressure, bad dims, …).
+    /// Requests rejected at admission (backpressure, bad dims, open
+    /// breaker, …) — never admitted, so outside the conservation sum.
     pub rejected: u64,
+    /// Admitted requests that terminated with an error (registry
+    /// failure, worker panic).
+    pub failed: u64,
+    /// Admitted requests shed from the queue because their deadline
+    /// expired before dispatch.
+    pub shed_expired: u64,
+    /// Worker panics caught and recovered (the worker re-entered its
+    /// loop; every in-flight ticket was failed, not hung).
+    pub worker_panics: u64,
+    /// Queue depth at snapshot time (filled by `Server::metrics`;
+    /// stays 0 inside the worker-held copy and in final reports, where
+    /// the queues have drained).
+    pub queue_depth: usize,
+    /// Models whose circuit breaker is not Closed at snapshot time
+    /// (filled by `Server::metrics` / the simulator).
+    pub breakers_open: u64,
     /// Batches executed.
     pub batches: u64,
     /// Σ requests over all batches (occupancy numerator).
@@ -83,6 +100,13 @@ pub struct ServeMetrics {
 }
 
 impl ServeMetrics {
+    /// The resilience conservation invariant: every admitted request
+    /// reaches exactly one terminal state, so
+    /// `submitted = completed + failed + shed_expired`.
+    pub fn conserves(&self) -> bool {
+        self.submitted == self.completed + self.failed + self.shed_expired
+    }
+
     /// Mean requests coalesced per batch.
     pub fn avg_batch_occupancy(&self) -> f64 {
         if self.batches == 0 {
@@ -136,6 +160,23 @@ impl ServeMetrics {
             out,
             "    Throughput                  {:>12.1} req/Gcycle",
             self.requests_per_gcycle()
+        );
+        out.push_str("  Section: Resilience\n");
+        let _ = writeln!(out, "    Requests failed             {:>12}", self.failed);
+        let _ = writeln!(
+            out,
+            "    Requests shed (expired)     {:>12}",
+            self.shed_expired
+        );
+        let _ = writeln!(
+            out,
+            "    Worker panics recovered     {:>12}",
+            self.worker_panics
+        );
+        let _ = writeln!(
+            out,
+            "    Queue depth / breakers open {:>12} / {}",
+            self.queue_depth, self.breakers_open
         );
         out.push_str("  Section: Batching\n");
         let _ = writeln!(out, "    Batches executed            {:>12}", self.batches);
@@ -257,6 +298,9 @@ mod tests {
         let report = m.report("serve_test", &CacheStats::default());
         for needle in [
             "Serving Throughput",
+            "Resilience",
+            "Requests shed (expired)",
+            "Worker panics recovered",
             "Batching",
             "Latency (simulated cycles)",
             "Latency (host time)",

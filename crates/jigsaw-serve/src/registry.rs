@@ -15,18 +15,27 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
-use std::path::PathBuf;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dlmc::Matrix;
 use gpu_sim::{simulate_kernel, GpuSpec, KernelStats};
+use jigsaw_core::fault::{self, points, FaultKind};
 use jigsaw_core::serialize;
 use jigsaw_core::{
-    build_launch, CompiledKernel, JigsawConfig, JigsawFormat, JigsawSpmm, PlanError, PoolBuf,
-    ReorderStats, WorkspacePool,
+    build_launch, execute_fast, lock_recover, CompiledKernel, JigsawConfig, JigsawFormat,
+    JigsawSpmm, PlanError, PoolBuf, ReorderStats, WorkspacePool,
 };
 use jigsaw_obs::{Counter, Span};
+
+/// Artifact-load retry policy: total attempts and the base backoff
+/// (doubled per retry). Kept small — the disk tier is local, so a
+/// transient fault either clears immediately or is not transient.
+const ARTIFACT_LOAD_ATTEMPTS: u32 = 3;
+const ARTIFACT_RETRY_BASE: Duration = Duration::from_micros(100);
 
 /// Registry configuration.
 #[derive(Clone, Debug)]
@@ -69,9 +78,39 @@ pub struct PlannedModel {
     /// Host nanoseconds spent producing this resident copy (planning
     /// or disk load, including kernel compilation).
     pub plan_host_ns: u64,
-    /// The compiled execution plan, built once next to the plan
-    /// artifact — every batch runs the pure-axpy hot path.
-    pub compiled: Arc<CompiledKernel>,
+    /// How this model executes — the top rung of the degradation
+    /// ladder it currently sits on (DESIGN.md §12).
+    pub exec: ExecPlan,
+}
+
+/// The degradation ladder of one resident model:
+/// compiled SIMD → compiled scalar → `execute_fast` on the format.
+/// Every rung computes the same product (the scalar rung and
+/// `execute_fast` are bit-identical; SIMD is within an ulp per step),
+/// so degrading is invisible to callers except in latency and the
+/// `degrade.*` counters.
+#[derive(Clone, Debug)]
+pub enum ExecPlan {
+    /// The compiled kernel is available. `simd_poisoned` goes sticky
+    /// after a caught SIMD-path panic; later runs go straight to the
+    /// compiled scalar microkernel.
+    Compiled {
+        /// The ahead-of-time-resolved execution plan.
+        kernel: Arc<CompiledKernel>,
+        /// Set after the SIMD path panicked once (injected or real).
+        simd_poisoned: Arc<AtomicBool>,
+    },
+    /// Kernel compilation itself failed — execute straight off the
+    /// compressed format via [`execute_fast`].
+    FormatFallback,
+}
+
+/// Bumps the degradation counters (always — they are cheap atomics and
+/// chaos tests read them without enabling tracing).
+fn count_degrade(rung: &'static str) {
+    let reg = jigsaw_obs::global();
+    reg.counter("degrade.fallbacks").inc();
+    reg.counter(rung).inc();
 }
 
 impl PlannedModel {
@@ -85,20 +124,95 @@ impl PlannedModel {
         self.format.k
     }
 
+    /// True when this model is executing below the full-speed compiled
+    /// SIMD rung.
+    pub fn is_degraded(&self) -> bool {
+        match &self.exec {
+            ExecPlan::Compiled { simd_poisoned, .. } => simd_poisoned.load(Ordering::Relaxed),
+            ExecPlan::FormatFallback => true,
+        }
+    }
+
     /// Computes `C = W × b` (row-major f32).
     pub fn execute(&self, b: &Matrix) -> Vec<f32> {
-        self.compiled.execute(b)
+        match &self.exec {
+            ExecPlan::Compiled {
+                kernel,
+                simd_poisoned,
+            } => {
+                if !simd_poisoned.load(Ordering::Relaxed) {
+                    match catch_unwind(AssertUnwindSafe(|| kernel.execute(b))) {
+                        Ok(c) => return c,
+                        Err(_) => {
+                            simd_poisoned.store(true, Ordering::Relaxed);
+                            count_degrade("degrade.exec");
+                        }
+                    }
+                }
+                kernel.execute_scalar(b)
+            }
+            ExecPlan::FormatFallback => execute_fast(&self.format, b),
+        }
     }
 
     /// Computes `C = W × b` with output and scratch drawn from `pool` —
-    /// the server's zero-allocation steady-state path.
+    /// the server's zero-allocation steady-state path. A SIMD-path
+    /// panic degrades in place: the buffers are re-zeroed (a partial
+    /// write may have landed) and the scalar rung recomputes.
     pub fn execute_pooled<'p>(&self, b: &Matrix, pool: &'p WorkspacePool) -> PoolBuf<'p> {
-        self.compiled.execute_pooled(b, pool)
+        match &self.exec {
+            ExecPlan::Compiled {
+                kernel,
+                simd_poisoned,
+            } => {
+                let mut c = pool.acquire(self.m() * b.cols);
+                let mut scratch = pool.acquire(self.k() * b.cols);
+                if !simd_poisoned.load(Ordering::Relaxed) {
+                    let ran = catch_unwind(AssertUnwindSafe(|| {
+                        kernel.execute_into(b, &mut c, &mut scratch)
+                    }));
+                    match ran {
+                        Ok(()) => return c,
+                        Err(_) => {
+                            simd_poisoned.store(true, Ordering::Relaxed);
+                            count_degrade("degrade.exec");
+                            c.fill(0.0);
+                        }
+                    }
+                }
+                kernel.execute_into_scalar(b, &mut c, &mut scratch);
+                c
+            }
+            ExecPlan::FormatFallback => {
+                let mut c = pool.acquire(self.m() * b.cols);
+                c.copy_from_slice(&execute_fast(&self.format, b));
+                c
+            }
+        }
     }
 
     /// Simulates one kernel at output width `n`.
     pub fn simulate(&self, n: usize, spec: &GpuSpec) -> KernelStats {
         simulate_kernel(&build_launch(&self.format, n, &self.config), spec)
+    }
+}
+
+/// Compiles the execution plan for a freshly planned / loaded format,
+/// degrading to [`ExecPlan::FormatFallback`] when compilation fails
+/// (injected `exec.compile` faults or a real stream overflow) instead
+/// of surfacing the error — the model still serves, slower.
+fn build_exec_plan(format: &JigsawFormat, parent: &Span) -> ExecPlan {
+    match catch_unwind(AssertUnwindSafe(|| {
+        CompiledKernel::try_compile_traced(format, parent)
+    })) {
+        Ok(Ok(kernel)) => ExecPlan::Compiled {
+            kernel: Arc::new(kernel),
+            simd_poisoned: Arc::new(AtomicBool::new(false)),
+        },
+        Ok(Err(_)) | Err(_) => {
+            count_degrade("degrade.compile");
+            ExecPlan::FormatFallback
+        }
     }
 }
 
@@ -197,6 +311,58 @@ impl From<PlanError> for RegistryError {
     }
 }
 
+/// One attempt at reading the artifact bytes, crossing the
+/// `registry.artifact_load` fault point: injected errors and latency
+/// surface here; injected corruption deterministically scrambles the
+/// bytes (the hardened decoder then rejects them downstream).
+fn read_artifact_once(path: &Path) -> io::Result<Vec<u8>> {
+    match fault::fire(points::ARTIFACT_LOAD) {
+        Some(f) => match f.kind {
+            FaultKind::Error => Err(io::Error::other(fault::FaultError {
+                point: points::ARTIFACT_LOAD,
+            })),
+            FaultKind::Panic => panic!("injected fault: panic at {}", points::ARTIFACT_LOAD),
+            FaultKind::Latency { ns } => {
+                std::thread::sleep(Duration::from_nanos(ns));
+                std::fs::read(path)
+            }
+            FaultKind::CorruptBytes => {
+                let mut bytes = std::fs::read(path)?;
+                fault::scramble(f.token, &mut bytes);
+                Ok(bytes)
+            }
+        },
+        None => std::fs::read(path),
+    }
+}
+
+/// Loads and decodes an artifact with bounded exponential-backoff
+/// retries: a transient fault (injected error, one corrupt read)
+/// recovers on a later attempt; a persistent one surfaces its final
+/// error. Retries are counted on `registry.load_retries`.
+fn load_artifact(path: &Path) -> io::Result<(JigsawFormat, usize)> {
+    let mut delay = ARTIFACT_RETRY_BASE;
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let result = read_artifact_once(path).and_then(|bytes| {
+            let format = serialize::from_bytes(&bytes)?;
+            Ok((format, bytes.len()))
+        });
+        match result {
+            Ok(ok) => return Ok(ok),
+            Err(e) => {
+                if attempt >= ARTIFACT_LOAD_ATTEMPTS {
+                    return Err(e);
+                }
+                jigsaw_obs::global().counter("registry.load_retries").inc();
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+        }
+    }
+}
+
 struct Source {
     weights: Matrix,
     config: JigsawConfig,
@@ -263,7 +429,7 @@ impl ModelRegistry {
     /// fetch; re-registering a name replaces the source and drops any
     /// resident plan.
     pub fn register(&self, name: &str, weights: Matrix, config: JigsawConfig) {
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = lock_recover(&self.inner);
         if let Some(old) = inner.resident.remove(name) {
             inner.resident_bytes -= old.model.artifact_bytes;
             inner.resident_models -= 1;
@@ -275,13 +441,13 @@ impl ModelRegistry {
 
     /// The registered model's reduction dimension, if known.
     pub fn model_k(&self, name: &str) -> Option<usize> {
-        let inner = self.inner.lock().expect("registry lock");
+        let inner = lock_recover(&self.inner);
         inner.sources.get(name).map(|s| s.weights.cols)
     }
 
     /// Registered model names, sorted.
     pub fn model_names(&self) -> Vec<String> {
-        let inner = self.inner.lock().expect("registry lock");
+        let inner = lock_recover(&self.inner);
         let mut names: Vec<String> = inner.sources.keys().cloned().collect();
         names.sort();
         names
@@ -289,7 +455,7 @@ impl ModelRegistry {
 
     /// Snapshot of the accounting counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("registry lock");
+        let inner = lock_recover(&self.inner);
         CacheStats {
             hits: self.counters.hits.get(),
             misses: self.counters.misses.get(),
@@ -319,7 +485,7 @@ impl ModelRegistry {
         name: &str,
         parent: &Span,
     ) -> Result<(Arc<PlannedModel>, Fetch), RegistryError> {
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = lock_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         let hit = inner.resident.get_mut(name).map(|r| {
@@ -347,20 +513,19 @@ impl ModelRegistry {
         let (model, kind) = if on_disk {
             parent.attr("fetch", "disk_load");
             let path = artifact_path.as_ref().expect("checked above");
-            let bytes = std::fs::read(path)?;
-            // The hardened decoder rejects corrupt artifacts with an
-            // error; the server surfaces it instead of crashing.
-            let format = serialize::from_bytes(&bytes)?;
-            let compiled = Arc::new(CompiledKernel::compile_traced(&format, parent));
+            // Retrying loader: transient faults recover; persistent
+            // corruption surfaces as a typed error, never a crash.
+            let (format, artifact_bytes) = load_artifact(path)?;
+            let exec = build_exec_plan(&format, parent);
             let source = inner.sources.get(name).expect("checked above");
             let model = PlannedModel {
                 name: name.to_string(),
                 format,
                 config: source.config,
                 reorder_stats: None,
-                artifact_bytes: bytes.len(),
+                artifact_bytes,
                 plan_host_ns: started.elapsed().as_nanos() as u64,
-                compiled,
+                exec,
             };
             self.counters.disk_loads.inc();
             (model, Fetch::DiskLoaded)
@@ -372,7 +537,7 @@ impl ModelRegistry {
             if let Some(path) = &artifact_path {
                 std::fs::write(path, &bytes)?;
             }
-            let compiled = Arc::new(CompiledKernel::compile_traced(&planned.format, parent));
+            let exec = build_exec_plan(&planned.format, parent);
             let model = PlannedModel {
                 name: name.to_string(),
                 format: planned.format,
@@ -380,7 +545,7 @@ impl ModelRegistry {
                 reorder_stats: Some(planned.reorder_stats),
                 artifact_bytes: bytes.len(),
                 plan_host_ns: started.elapsed().as_nanos() as u64,
-                compiled,
+                exec,
             };
             self.counters.plans.inc();
             (model, Fetch::Planned)
@@ -421,7 +586,7 @@ impl ModelRegistry {
     /// Drops every resident plan (artifacts remain on disk), as if the
     /// server restarted with a cold cache.
     pub fn drop_resident(&self) {
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = lock_recover(&self.inner);
         let n = inner.resident.len() as u64;
         inner.resident.clear();
         self.counters.evictions.add(n);

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -18,10 +19,12 @@ use std::time::{Duration, Instant};
 
 use dlmc::Matrix;
 use gpu_sim::GpuSpec;
-use jigsaw_core::{PoolStats, WorkspacePool};
+use jigsaw_core::fault::{self, points};
+use jigsaw_core::{lock_recover, wait_recover, wait_timeout_recover, PoolStats, WorkspacePool};
 use jigsaw_obs::{Span, TraceHandle};
 
 use crate::batch::{concat_columns, split_columns, AdmitError, RequestStats, SpmmResponse};
+use crate::breaker::{BreakerAdmit, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
 
@@ -38,6 +41,8 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Worker threads.
     pub workers: usize,
+    /// Per-model circuit-breaker tuning (host-nanosecond clock).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -48,17 +53,26 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(2),
             queue_cap: 64,
             workers: 2,
+            breaker: BreakerConfig::host_ns(),
         }
     }
 }
 
-/// Server-side failure delivered through a [`Ticket`].
-#[derive(Debug)]
+/// Server-side failure delivered through a [`Ticket`] — the typed
+/// terminal states an admitted request can reach besides completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServeError {
     /// The registry failed while fetching the model for a batch.
     Registry(String),
     /// The server stopped before the request could run.
     Canceled,
+    /// The worker executing this request's batch panicked; the panic
+    /// was isolated, the worker respawned, and every batch member got
+    /// this terminal state instead of hanging.
+    WorkerPanic,
+    /// The request's deadline expired while it was still queued; it
+    /// was shed before dispatch.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ServeError {
@@ -66,6 +80,8 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Registry(e) => write!(f, "registry failure: {e}"),
             ServeError::Canceled => write!(f, "request canceled by shutdown"),
+            ServeError::WorkerPanic => write!(f, "worker panicked while executing the batch"),
+            ServeError::DeadlineExceeded => write!(f, "deadline expired before dispatch"),
         }
     }
 }
@@ -86,22 +102,44 @@ pub struct Ticket {
 impl fmt::Debug for Ticket {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Ticket")
-            .field(
-                "done",
-                &self.state.done.lock().expect("ticket lock").is_some(),
-            )
+            .field("done", &lock_recover(&self.state.done).is_some())
             .finish()
     }
 }
 
 impl Ticket {
     /// Blocks until the response is ready.
+    ///
+    /// Never hangs: every admitted request reaches a terminal state —
+    /// workers complete, fail, or shed their tickets even when a batch
+    /// panics mid-execution (the unwind guard fulfills them with
+    /// [`ServeError::WorkerPanic`]).
     pub fn wait(self) -> Result<SpmmResponse, ServeError> {
-        let mut done = self.state.done.lock().expect("ticket lock");
+        let mut done = lock_recover(&self.state.done);
         while done.is_none() {
-            done = self.state.cv.wait(done).expect("ticket lock");
+            done = wait_recover(&self.state.cv, done);
         }
         done.take().expect("checked above")
+    }
+
+    /// Waits up to `dur` for the response. `None` means the wait timed
+    /// out — the request is still in flight and the ticket remains
+    /// usable (wait again, or drop it and let the server finish the
+    /// work unobserved).
+    pub fn wait_timeout(&self, dur: Duration) -> Option<Result<SpmmResponse, ServeError>> {
+        let deadline = Instant::now() + dur;
+        let mut done = lock_recover(&self.state.done);
+        loop {
+            if done.is_some() {
+                return done.take();
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (g, _) = wait_timeout_recover(&self.state.cv, done, remaining);
+            done = g;
+        }
     }
 }
 
@@ -117,13 +155,25 @@ struct ReqTrace {
 struct Pending {
     b: Matrix,
     enqueued: Instant,
+    /// Shed (with [`ServeError::DeadlineExceeded`]) if still queued at
+    /// this instant.
+    deadline: Option<Instant>,
     ticket: Arc<TicketState>,
     trace: Option<ReqTrace>,
 }
 
-fn fulfill(ticket: &TicketState, result: Result<SpmmResponse, ServeError>) {
-    *ticket.done.lock().expect("ticket lock") = Some(result);
+/// Completes a ticket, first write wins. The `false` return (already
+/// fulfilled) keeps the conservation ledger exact when the normal path
+/// and the unwind guard race for the same ticket.
+fn fulfill(ticket: &TicketState, result: Result<SpmmResponse, ServeError>) -> bool {
+    let mut done = lock_recover(&ticket.done);
+    if done.is_some() {
+        return false;
+    }
+    *done = Some(result);
+    drop(done);
     ticket.cv.notify_all();
+    true
 }
 
 #[derive(Default)]
@@ -137,9 +187,37 @@ struct Shared {
     cv: Condvar,
     stop: AtomicBool,
     metrics: Mutex<ServeMetrics>,
+    /// Per-model circuit breakers on a host-nanosecond clock (measured
+    /// from `epoch`). Lock order: never held together with `queues` or
+    /// `metrics`.
+    breakers: Mutex<HashMap<String, CircuitBreaker>>,
+    breaker_cfg: BreakerConfig,
+    epoch: Instant,
     /// Batch C/scratch buffers, reused across batches and workers: a
     /// warm server performs zero per-request output allocations.
     pool: WorkspacePool,
+}
+
+impl Shared {
+    /// The breaker clock: host nanoseconds since server start.
+    fn now_ns(&self) -> f64 {
+        self.epoch.elapsed().as_nanos() as f64
+    }
+
+    fn breaker_success(&self, model: &str) {
+        if let Some(br) = lock_recover(&self.breakers).get_mut(model) {
+            br.on_success();
+        }
+    }
+
+    fn breaker_failure(&self, model: &str) {
+        let now = self.now_ns();
+        let cfg = self.breaker_cfg;
+        lock_recover(&self.breakers)
+            .entry(model.to_string())
+            .or_insert_with(|| CircuitBreaker::new(cfg))
+            .on_failure(now);
+    }
 }
 
 /// The serving engine. Create with [`Server::start`]; submit requests
@@ -161,6 +239,9 @@ impl Server {
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
             metrics: Mutex::new(ServeMetrics::default()),
+            breakers: Mutex::new(HashMap::new()),
+            breaker_cfg: cfg.breaker,
+            epoch: Instant::now(),
             pool: WorkspacePool::new(),
         });
         let workers = (0..cfg.workers)
@@ -168,7 +249,21 @@ impl Server {
                 let shared = shared.clone();
                 let registry = registry.clone();
                 let cfg = cfg.clone();
-                std::thread::spawn(move || worker_loop(&shared, &registry, &cfg))
+                // Panic isolation: a panic anywhere in a batch unwinds
+                // to here (tickets already terminally fulfilled by the
+                // unwind guard), is counted, and the worker re-enters
+                // its loop — the pool never shrinks, nothing hangs.
+                std::thread::spawn(move || loop {
+                    match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, &registry, &cfg))) {
+                        Ok(()) => return,
+                        Err(_) => {
+                            lock_recover(&shared.metrics).worker_panics += 1;
+                            if jigsaw_obs::enabled() {
+                                jigsaw_obs::global().counter("serve.worker_panics").inc();
+                            }
+                        }
+                    }
+                })
             })
             .collect();
         Server {
@@ -179,10 +274,26 @@ impl Server {
         }
     }
 
-    /// Admission control: validates the request against the registry
-    /// and the queue bound, then enqueues it. Rejections are values —
-    /// the caller sees *why* (backpressure vs. a malformed request).
+    /// Admission control: validates the request against the registry,
+    /// the circuit breaker, and the queue bound, then enqueues it.
+    /// Rejections are values — the caller sees *why* (backpressure vs.
+    /// a malformed request vs. an open breaker).
     pub fn submit(&self, model: &str, b: Matrix) -> Result<Ticket, AdmitError> {
+        self.submit_with_deadline(model, b, None)
+    }
+
+    /// [`Server::submit`] with a per-request deadline: if the request
+    /// is still queued when the deadline elapses, it is shed before
+    /// dispatch and its ticket resolves to
+    /// [`ServeError::DeadlineExceeded`]. (A request already dispatched
+    /// into a batch runs to completion — deadlines bound queue time,
+    /// not device time.)
+    pub fn submit_with_deadline(
+        &self,
+        model: &str,
+        b: Matrix,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, AdmitError> {
         // Per-request trace: the root spans the request's whole life;
         // `admission` covers validation here, `queue` stays open until
         // a worker dispatches the batch. A rejected request's spans are
@@ -200,7 +311,7 @@ impl Server {
             .map(|(root, _)| root.child("admission"))
             .unwrap_or_else(Span::disabled);
         let reject = |shared: &Shared, e: AdmitError| {
-            shared.metrics.lock().expect("metrics lock").rejected += 1;
+            lock_recover(&shared.metrics).rejected += 1;
             Err(e)
         };
         if self.shared.stop.load(Ordering::SeqCst) {
@@ -209,6 +320,25 @@ impl Server {
         let Some(k) = self.registry.model_k(model) else {
             return reject(&self.shared, AdmitError::UnknownModel(model.to_string()));
         };
+        // Circuit breaker: a model that keeps failing fast-rejects
+        // instead of queuing more doomed work (scoped lock — never
+        // held together with queues/metrics).
+        {
+            let now = self.shared.now_ns();
+            let mut breakers = lock_recover(&self.shared.breakers);
+            if let Some(br) = breakers.get_mut(model) {
+                if let BreakerAdmit::Reject { retry_after } = br.admit(now) {
+                    drop(breakers);
+                    return reject(
+                        &self.shared,
+                        AdmitError::CircuitOpen {
+                            model: model.to_string(),
+                            retry_after: Duration::from_nanos(retry_after as u64),
+                        },
+                    );
+                }
+            }
+        }
         if b.cols == 0 {
             return reject(&self.shared, AdmitError::EmptyRequest);
         }
@@ -236,7 +366,7 @@ impl Server {
             cv: Condvar::new(),
         });
         {
-            let mut queues = self.shared.queues.lock().expect("queue lock");
+            let mut queues = lock_recover(&self.shared.queues);
             let q = queues.by_model.entry(model.to_string()).or_default();
             if q.len() >= self.cfg.queue_cap {
                 drop(queues);
@@ -257,16 +387,18 @@ impl Server {
                     handle,
                 }
             });
+            let now = Instant::now();
             q.push_back(Pending {
                 b,
-                enqueued: Instant::now(),
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
                 ticket: state.clone(),
                 trace,
             });
             queues.depth += 1;
             let depth = queues.depth;
             drop(queues);
-            let mut m = self.shared.metrics.lock().expect("metrics lock");
+            let mut m = lock_recover(&self.shared.metrics);
             m.submitted += 1;
             m.peak_queue_depth = m.peak_queue_depth.max(depth);
         }
@@ -274,9 +406,27 @@ impl Server {
         Ok(Ticket { state })
     }
 
-    /// Snapshot of the serving metrics so far.
+    /// Snapshot of the serving metrics so far, stitched with the live
+    /// queue depth and open-breaker count.
     pub fn metrics(&self) -> ServeMetrics {
-        self.shared.metrics.lock().expect("metrics lock").clone()
+        let mut m = lock_recover(&self.shared.metrics).clone();
+        m.queue_depth = lock_recover(&self.shared.queues).depth;
+        let now = self.shared.now_ns();
+        m.breakers_open = lock_recover(&self.shared.breakers)
+            .values_mut()
+            .map(|br| br.state(now))
+            .filter(|s| *s != BreakerState::Closed)
+            .count() as u64;
+        m
+    }
+
+    /// The named model's breaker state (`None` until its first
+    /// failure creates a breaker).
+    pub fn breaker_state(&self, model: &str) -> Option<BreakerState> {
+        let now = self.shared.now_ns();
+        lock_recover(&self.shared.breakers)
+            .get_mut(model)
+            .map(|br| br.state(now))
     }
 
     /// Workspace-pool accounting: in steady state `misses` stops
@@ -300,7 +450,7 @@ impl Server {
         }
         let metrics = self.metrics();
         debug_assert_eq!(
-            self.shared.queues.lock().expect("queue lock").depth,
+            lock_recover(&self.shared.queues).depth,
             0,
             "shutdown drains every request"
         );
@@ -329,17 +479,53 @@ fn oldest_head(queues: &QueueMap) -> Option<(String, Instant)> {
         .min_by_key(|(name, t)| (*t, name.clone()))
 }
 
+/// Sheds every queued request whose deadline has passed, fulfilling
+/// its ticket with [`ServeError::DeadlineExceeded`]. Returns the shed
+/// count; caller accounts it.
+fn shed_expired_locked(queues: &mut QueueMap) -> usize {
+    let now = Instant::now();
+    let mut shed = 0;
+    for q in queues.by_model.values_mut() {
+        q.retain(|p| {
+            let expired = p.deadline.is_some_and(|d| d <= now);
+            if expired && fulfill(&p.ticket, Err(ServeError::DeadlineExceeded)) {
+                shed += 1;
+            }
+            !expired
+        });
+    }
+    queues.depth -= shed;
+    shed
+}
+
+/// The earliest deadline among all queued requests, so batching waits
+/// can wake in time to shed.
+fn earliest_deadline(queues: &QueueMap) -> Option<Instant> {
+    queues
+        .by_model
+        .values()
+        .flat_map(|q| q.iter().filter_map(|p| p.deadline))
+        .min()
+}
+
 fn worker_loop(shared: &Shared, registry: &ModelRegistry, cfg: &ServeConfig) {
     loop {
         let batch = {
-            let mut queues = shared.queues.lock().expect("queue lock");
+            let mut queues = lock_recover(&shared.queues);
             loop {
+                let shed = shed_expired_locked(&mut queues);
+                if shed > 0 {
+                    // The one permitted nested order: queues → metrics.
+                    lock_recover(&shared.metrics).shed_expired += shed as u64;
+                }
                 let stopping = shared.stop.load(Ordering::SeqCst);
                 let Some((model, head_enqueued)) = oldest_head(&queues) else {
                     if stopping {
                         return;
                     }
-                    queues = shared.cv.wait(queues).expect("queue lock");
+                    // No head means every queue is empty — nothing can
+                    // expire; sleep until the next submit or stop.
+                    queues = wait_recover(&shared.cv, queues);
                     continue;
                 };
                 let q = queues.by_model.get(&model).expect("head exists");
@@ -348,12 +534,16 @@ fn worker_loop(shared: &Shared, registry: &ModelRegistry, cfg: &ServeConfig) {
                 let full = queued_n >= cfg.max_batch_n;
                 if !(full || age >= cfg.max_wait || stopping) {
                     // Hold the batch open for co-riders, but wake at
-                    // the deadline so the head is never starved.
-                    let remaining = cfg.max_wait - age;
-                    let (guard, _) = shared
-                        .cv
-                        .wait_timeout(queues, remaining)
-                        .expect("queue lock");
+                    // the window deadline (so the head is never
+                    // starved) or the earliest request deadline (so
+                    // expired entries shed promptly) — whichever is
+                    // sooner.
+                    let mut remaining = cfg.max_wait - age;
+                    if let Some(d) = earliest_deadline(&queues) {
+                        let until = d.saturating_duration_since(Instant::now());
+                        remaining = remaining.min(until.max(Duration::from_micros(50)));
+                    }
+                    let (guard, _) = wait_timeout_recover(&shared.cv, queues, remaining);
                     queues = guard;
                     continue;
                 }
@@ -378,6 +568,41 @@ fn worker_loop(shared: &Shared, registry: &ModelRegistry, cfg: &ServeConfig) {
     }
 }
 
+/// Unwind guard for one batch: created before any fallible work, it
+/// owns a handle to every member ticket. If the batch unwinds (an
+/// injected `serve.worker_batch` panic, a kernel bug, anything), Drop
+/// runs mid-unwind, completes every still-unfulfilled ticket with the
+/// typed [`ServeError::WorkerPanic`], accounts them as failed, and
+/// trips the model's breaker — no waiter ever hangs. The normal path
+/// calls [`BatchGuard::disarm`] after the last fulfill.
+struct BatchGuard<'a> {
+    shared: &'a Shared,
+    model: String,
+    tickets: Vec<Arc<TicketState>>,
+}
+
+impl BatchGuard<'_> {
+    fn disarm(mut self) {
+        self.tickets.clear();
+    }
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        if self.tickets.is_empty() {
+            return;
+        }
+        let mut failed = 0u64;
+        for t in &self.tickets {
+            if fulfill(t, Err(ServeError::WorkerPanic)) {
+                failed += 1;
+            }
+        }
+        lock_recover(&self.shared.metrics).failed += failed;
+        self.shared.breaker_failure(&self.model);
+    }
+}
+
 fn execute_batch(
     shared: &Shared,
     registry: &ModelRegistry,
@@ -386,6 +611,13 @@ fn execute_batch(
 ) {
     let mut members = members;
     let dispatched = Instant::now();
+    let guard = BatchGuard {
+        shared,
+        model: model.clone(),
+        tickets: members.iter().map(|p| p.ticket.clone()).collect(),
+    };
+    // Injected worker faults land here, inside the guard's cover.
+    fault::trip(points::WORKER_BATCH);
     // Close every member's queue span: the wait ends at dispatch.
     for p in &mut members {
         if let Some(t) = &mut p.trace {
@@ -409,9 +641,15 @@ fn execute_batch(
         Ok(pair) => pair,
         Err(e) => {
             let msg = e.to_string();
+            let mut failed = 0u64;
             for p in &members {
-                fulfill(&p.ticket, Err(ServeError::Registry(msg.clone())));
+                if fulfill(&p.ticket, Err(ServeError::Registry(msg.clone()))) {
+                    failed += 1;
+                }
             }
+            guard.disarm();
+            lock_recover(&shared.metrics).failed += failed;
+            shared.breaker_failure(&model);
             return;
         }
     };
@@ -435,7 +673,7 @@ fn execute_batch(
     batch_span.finish();
     let batch_record = batch_handle.and_then(|h| h.take());
 
-    let mut metrics = shared.metrics.lock().expect("metrics lock");
+    let mut metrics = lock_recover(&shared.metrics);
     metrics.batches += 1;
     metrics.batch_requests_total += members.len() as u64;
     metrics.batch_n_total += total_n as u64;
@@ -486,6 +724,9 @@ fn execute_batch(
             }),
         );
     }
+    drop(metrics);
+    guard.disarm();
+    shared.breaker_success(&model);
 }
 
 #[cfg(test)]

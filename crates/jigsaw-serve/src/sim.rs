@@ -11,11 +11,14 @@
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use gpu_sim::GpuSpec;
 
+use crate::breaker::{BreakerAdmit, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::metrics::ServeMetrics;
-use crate::registry::{ModelRegistry, RegistryError};
+use crate::registry::ModelRegistry;
+use crate::server::ServeError;
 
 /// Virtual-clock serving policy knobs.
 #[derive(Clone, Debug)]
@@ -31,6 +34,8 @@ pub struct SimConfig {
     /// Charge cold-fetch host time (ns → cycles at the device clock)
     /// to the virtual timeline.
     pub charge_cold_fetch: bool,
+    /// Per-model circuit breaker, on the cycle clock.
+    pub breaker: BreakerConfig,
 }
 
 impl SimConfig {
@@ -42,6 +47,7 @@ impl SimConfig {
             max_batch_requests: usize::MAX,
             max_wait_cycles,
             charge_cold_fetch: true,
+            breaker: BreakerConfig::cycles(),
         }
     }
 
@@ -53,6 +59,7 @@ impl SimConfig {
             max_batch_requests: 1,
             max_wait_cycles: 0.0,
             charge_cold_fetch: true,
+            breaker: BreakerConfig::cycles(),
         }
     }
 }
@@ -68,6 +75,11 @@ pub struct SimRequest {
     pub arrival_cycle: f64,
     /// Requested output width (B columns).
     pub n: usize,
+    /// Cycles after arrival by which the request must *dispatch*; a
+    /// still-queued request past this budget is shed with
+    /// [`ServeError::DeadlineExceeded`] instead of executed. `None`
+    /// waits forever.
+    pub deadline_cycles: Option<f64>,
 }
 
 /// Completion record for one simulated request.
@@ -93,11 +105,35 @@ pub struct SimCompletion {
     pub cold: bool,
 }
 
+/// Terminal non-success record for one *admitted* simulated request:
+/// shed on deadline expiry, failed by a registry error, or failed by a
+/// panic caught at dispatch.
+#[derive(Clone, Debug)]
+pub struct SimFailure {
+    /// Request id.
+    pub id: usize,
+    /// Target model.
+    pub model: String,
+    /// Arrival time, cycles.
+    pub arrival_cycle: f64,
+    /// Cycle at which the request reached its terminal state.
+    pub cycle: f64,
+    /// Why it did not complete.
+    pub error: ServeError,
+}
+
 /// Result of a virtual-clock run.
 #[derive(Clone, Debug)]
 pub struct SimReport {
     /// Per-request completions, in completion order.
     pub completions: Vec<SimCompletion>,
+    /// Admitted requests that did not complete (shed or failed), in
+    /// terminal order. Every admitted request appears in exactly one of
+    /// `completions` / `failures` — `metrics.conserves()` checks this.
+    pub failures: Vec<SimFailure>,
+    /// Ids rejected at admission by an open circuit breaker (never
+    /// admitted, so outside the conservation sum).
+    pub rejected_ids: Vec<usize>,
     /// Aggregated metrics (`latency_host_ns` stays empty — there is no
     /// host time on a virtual clock).
     pub metrics: ServeMetrics,
@@ -131,11 +167,18 @@ struct Queued<'a> {
 /// (Cold-fetch charges use measured host time, so *magnitudes* vary
 /// run to run when `charge_cold_fetch` is set and the registry is
 /// cold; the schedule itself does not.)
+///
+/// Infallible by construction: registry errors and panics raised at
+/// dispatch (e.g. injected via [`jigsaw_core::fault`]) fail that
+/// batch's members with a typed [`SimFailure`] instead of aborting the
+/// run, expired queue entries are shed, and an open per-model circuit
+/// breaker fast-rejects at admission — so every request in the
+/// schedule reaches exactly one terminal state.
 pub fn simulate_schedule(
     registry: &ModelRegistry,
     schedule: &[SimRequest],
     cfg: &SimConfig,
-) -> Result<SimReport, RegistryError> {
+) -> SimReport {
     assert!(cfg.max_batch_n >= 1 && cfg.max_batch_requests >= 1);
     let mut order: Vec<&SimRequest> = schedule.iter().collect();
     order.sort_by(|a, b| {
@@ -146,6 +189,7 @@ pub fn simulate_schedule(
     });
 
     let mut queues: BTreeMap<String, VecDeque<Queued<'_>>> = BTreeMap::new();
+    let mut breakers: BTreeMap<String, CircuitBreaker> = BTreeMap::new();
     let mut next_arrival = 0usize;
     let mut now = 0.0f64;
     let mut free_at = 0.0f64;
@@ -153,17 +197,28 @@ pub fn simulate_schedule(
     let mut makespan = 0.0f64;
     let mut metrics = ServeMetrics::default();
     let mut completions = Vec::with_capacity(order.len());
+    let mut failures: Vec<SimFailure> = Vec::new();
+    let mut rejected_ids: Vec<usize> = Vec::new();
 
     loop {
-        // Admit everything that has arrived by `now`.
+        // Admit everything that has arrived by `now`. A model whose
+        // breaker is open fast-rejects instead of queuing behind a
+        // failing backend.
         while next_arrival < order.len() && order[next_arrival].arrival_cycle <= now {
             let req = order[next_arrival];
+            next_arrival += 1;
+            if let Some(br) = breakers.get_mut(&req.model) {
+                if let BreakerAdmit::Reject { .. } = br.admit(now) {
+                    metrics.rejected += 1;
+                    rejected_ids.push(req.id);
+                    continue;
+                }
+            }
             queues
                 .entry(req.model.clone())
                 .or_default()
                 .push_back(Queued { req });
             metrics.submitted += 1;
-            next_arrival += 1;
         }
         let depth: usize = queues.values().map(|q| q.len()).sum();
         metrics.peak_queue_depth = metrics.peak_queue_depth.max(depth);
@@ -214,8 +269,14 @@ pub fn simulate_schedule(
         let full = queued_reqs >= cfg.max_batch_requests
             || queued_n >= cfg.max_batch_n
             || queued_reqs == q.len() && next_arrival >= order.len();
-        let head_arrival = q.front().expect("non-empty").req.arrival_cycle;
-        let window_closes = head_arrival + cfg.max_wait_cycles;
+        let head = q.front().expect("non-empty").req;
+        // The batching window never outlives the head's deadline: close
+        // it early so a deadline-carrying head dispatches just in time
+        // rather than being shed while waiting for co-riders.
+        let head_deadline = head
+            .deadline_cycles
+            .map_or(f64::INFINITY, |d| head.arrival_cycle + d);
+        let window_closes = (head.arrival_cycle + cfg.max_wait_cycles).min(head_deadline);
         let dispatch_at = if full {
             now.max(free_at)
         } else {
@@ -231,10 +292,29 @@ pub fn simulate_schedule(
             }
         }
 
-        // Dispatch: pop whole requests while they fit.
+        // Dispatch: shed expired entries, then pop whole requests
+        // while they fit. Expiry is strict (`dispatch_at > deadline`):
+        // a head whose window was clamped to its deadline dispatches
+        // exactly at the edge and is served.
         let mut members = Vec::new();
         let mut total_n = 0usize;
         while let Some(front) = q.front() {
+            let expired = front
+                .req
+                .deadline_cycles
+                .is_some_and(|d| dispatch_at > front.req.arrival_cycle + d);
+            if expired {
+                let req = q.pop_front().expect("front exists").req;
+                metrics.shed_expired += 1;
+                failures.push(SimFailure {
+                    id: req.id,
+                    model: model.clone(),
+                    arrival_cycle: req.arrival_cycle,
+                    cycle: dispatch_at,
+                    error: ServeError::DeadlineExceeded,
+                });
+                continue;
+            }
             if members.len() + 1 > cfg.max_batch_requests
                 || (!members.is_empty() && total_n + front.req.n > cfg.max_batch_n)
             {
@@ -246,8 +326,46 @@ pub fn simulate_schedule(
         if q.is_empty() {
             queues.remove(&model);
         }
+        if members.is_empty() {
+            // Everything at the head had expired; re-decide at the
+            // shedding instant.
+            now = dispatch_at;
+            continue;
+        }
 
-        let (planned, fetch) = registry.fetch(&model)?;
+        // A fetch failure (or a panic escaping it — injected faults
+        // included) fails the whole batch with a typed terminal state,
+        // trips the model's breaker once, and keeps the run alive.
+        let fetched = catch_unwind(AssertUnwindSafe(|| registry.fetch(&model)));
+        let (planned, fetch) = match fetched {
+            Ok(Ok(pair)) => pair,
+            other => {
+                let error = match other {
+                    Ok(Err(e)) => ServeError::Registry(e.to_string()),
+                    _ => ServeError::WorkerPanic,
+                };
+                if matches!(error, ServeError::WorkerPanic) {
+                    metrics.worker_panics += 1;
+                }
+                for req in members {
+                    metrics.failed += 1;
+                    failures.push(SimFailure {
+                        id: req.id,
+                        model: model.clone(),
+                        arrival_cycle: req.arrival_cycle,
+                        cycle: dispatch_at,
+                        error: error.clone(),
+                    });
+                }
+                breakers
+                    .entry(model.clone())
+                    .or_insert_with(|| CircuitBreaker::new(cfg.breaker))
+                    .on_failure(dispatch_at);
+                now = dispatch_at;
+                makespan = makespan.max(dispatch_at);
+                continue;
+            }
+        };
         let cold_cycles = if cfg.charge_cold_fetch && fetch.is_cold() {
             planned.plan_host_ns as f64 * cfg.spec.clock_ghz
         } else {
@@ -281,14 +399,24 @@ pub fn simulate_schedule(
                 cold: fetch.is_cold(),
             });
         }
+        if let Some(br) = breakers.get_mut(&model) {
+            br.on_success();
+        }
     }
 
-    Ok(SimReport {
+    metrics.breakers_open = breakers
+        .values_mut()
+        .map(|b| b.state(makespan))
+        .filter(|s| *s != BreakerState::Closed)
+        .count() as u64;
+    SimReport {
         completions,
+        failures,
+        rejected_ids,
         metrics,
         busy_cycles,
         makespan_cycles: makespan,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +440,7 @@ mod tests {
                 model: model.to_string(),
                 arrival_cycle: i as f64 * gap,
                 n,
+                deadline_cycles: None,
             })
             .collect()
     }
@@ -326,9 +455,8 @@ mod tests {
             &reg,
             &schedule,
             &SimConfig::batched(spec.clone(), 256, 50_000.0),
-        )
-        .unwrap();
-        let unbatched = simulate_schedule(&reg, &schedule, &SimConfig::unbatched(spec)).unwrap();
+        );
+        let unbatched = simulate_schedule(&reg, &schedule, &SimConfig::unbatched(spec));
         assert_eq!(batched.completions.len(), 16);
         assert_eq!(unbatched.completions.len(), 16);
         assert!(unbatched.metrics.batches == 16, "one kernel per request");
@@ -356,8 +484,8 @@ mod tests {
                 }),
         );
         let cfg = SimConfig::batched(GpuSpec::a100(), 64, 20_000.0);
-        let a = simulate_schedule(&reg, &schedule, &cfg).unwrap();
-        let b = simulate_schedule(&reg, &schedule, &cfg).unwrap();
+        let a = simulate_schedule(&reg, &schedule, &cfg);
+        let b = simulate_schedule(&reg, &schedule, &cfg);
         let key = |r: &SimReport| -> Vec<(usize, u64, u64)> {
             r.completions
                 .iter()
@@ -374,10 +502,10 @@ mod tests {
         let cfg = SimConfig::batched(GpuSpec::a100(), 64, 10_000.0);
 
         let cold_reg = registry();
-        let cold = simulate_schedule(&cold_reg, &schedule, &cfg).unwrap();
+        let cold = simulate_schedule(&cold_reg, &schedule, &cfg);
         let warm_reg = registry();
         warm_reg.warm_all().unwrap();
-        let warm = simulate_schedule(&warm_reg, &schedule, &cfg).unwrap();
+        let warm = simulate_schedule(&warm_reg, &schedule, &cfg);
         assert!(cold.completions.iter().any(|c| c.cold));
         assert!(warm.completions.iter().all(|c| !c.cold));
         assert!(
@@ -396,16 +524,67 @@ mod tests {
             &reg,
             &schedule,
             &SimConfig::batched(GpuSpec::a100(), 64, 5_000.0),
-        )
-        .unwrap();
+        );
         assert_eq!(joined.metrics.batches, 1);
         // Window 10 cycles: the second request misses the batch.
         let split = simulate_schedule(
             &reg,
             &schedule,
             &SimConfig::batched(GpuSpec::a100(), 64, 10.0),
-        )
-        .unwrap();
+        );
         assert_eq!(split.metrics.batches, 2);
+    }
+
+    #[test]
+    fn expired_requests_are_shed_and_conserved() {
+        let reg = registry();
+        reg.warm_all().unwrap();
+        // Back-to-back arrivals: the first batch occupies the device
+        // long enough that tight-deadline stragglers expire in queue.
+        let mut schedule = burst("attention-small", 6, 32, 10.0);
+        for r in schedule.iter_mut().skip(2) {
+            r.deadline_cycles = Some(50.0);
+        }
+        let report = simulate_schedule(
+            &reg,
+            &schedule,
+            &SimConfig::batched(GpuSpec::a100(), 32, 0.0),
+        );
+        assert!(report.metrics.shed_expired > 0, "stragglers were shed");
+        assert!(report
+            .failures
+            .iter()
+            .all(|f| f.error == ServeError::DeadlineExceeded));
+        assert!(
+            report.metrics.conserves(),
+            "admitted = done + failed + shed"
+        );
+        assert_eq!(
+            report.completions.len() + report.failures.len(),
+            schedule.len(),
+            "every request reached a terminal state"
+        );
+    }
+
+    #[test]
+    fn unknown_model_fails_batch_and_opens_breaker() {
+        let reg = registry();
+        let schedule = burst("no-such-model", 12, 8, 10_000.0);
+        let report = simulate_schedule(&reg, &schedule, &SimConfig::unbatched(GpuSpec::a100()));
+        assert_eq!(report.completions.len(), 0);
+        assert!(report.metrics.failed > 0, "typed failures, no abort");
+        assert!(
+            report.metrics.rejected > 0,
+            "breaker opened and fast-rejected later arrivals"
+        );
+        assert!(report
+            .failures
+            .iter()
+            .all(|f| matches!(f.error, ServeError::Registry(_))));
+        assert!(report.metrics.conserves());
+        assert_eq!(
+            report.completions.len() + report.failures.len() + report.rejected_ids.len(),
+            schedule.len()
+        );
     }
 }

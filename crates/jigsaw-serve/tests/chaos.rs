@@ -1,0 +1,514 @@
+//! Chaos suite for the resilience layer (DESIGN.md §12): seeded fault
+//! schedules driven through the threaded server, the model registry,
+//! and the deterministic virtual-clock simulator, asserting the three
+//! invariants the layer promises:
+//!
+//! 1. **No hung ticket** — every admitted request reaches a terminal
+//!    state even when workers panic mid-batch.
+//! 2. **Typed terminal states** — failures surface as `ServeError` /
+//!    `RegistryError` values, never as a crashed process.
+//! 3. **Conservation** — `submitted = completed + failed + shed`
+//!    (`ServeMetrics::conserves`), with admission rejections counted
+//!    separately.
+//!
+//! The fault registry is process-global, so every test serializes on
+//! one mutex and disarms (`fault::reset`) before releasing it.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use dlmc::{dense_rhs, ValueDist};
+use gpu_sim::GpuSpec;
+use jigsaw_core::fault::{self, points, FaultKind, FaultSpec};
+use jigsaw_core::{execute_fast, CompiledKernel};
+use jigsaw_serve::{
+    default_zoo, simulate_schedule, BreakerConfig, BreakerState, ModelRegistry, RegistryConfig,
+    RegistryError, ServeConfig, ServeError, Server, SimConfig, SimRequest,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes chaos tests and guarantees a disarmed registry on entry
+/// (a previous test may have poisoned the mutex by panicking while
+/// armed).
+fn guard() -> MutexGuard<'static, ()> {
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::reset();
+    g
+}
+
+fn registry(take: usize) -> Arc<ModelRegistry> {
+    let reg = ModelRegistry::new(RegistryConfig::default()).unwrap();
+    for m in default_zoo(77).into_iter().take(take) {
+        reg.register(&m.name, m.weights(), m.config);
+    }
+    Arc::new(reg)
+}
+
+fn burst(model: &str, count: usize, n: usize, gap: f64) -> Vec<SimRequest> {
+    (0..count)
+        .map(|i| SimRequest {
+            id: i,
+            model: model.to_string(),
+            arrival_cycle: i as f64 * gap,
+            n,
+            deadline_cycles: None,
+        })
+        .collect()
+}
+
+/// Bounded wait that proves the no-hang invariant: a test fails loudly
+/// instead of deadlocking the suite.
+fn wait_bounded(t: jigsaw_serve::Ticket) -> Result<jigsaw_serve::SpmmResponse, ServeError> {
+    t.wait_timeout(Duration::from_secs(30))
+        .expect("ticket reached a terminal state (no hang)")
+}
+
+// ---------------------------------------------------------------------
+// Worker panic isolation (threaded server)
+// ---------------------------------------------------------------------
+
+/// Regression test for the ticket-hang bug: a worker dying mid-batch
+/// must fail every waiter, not strand them.
+#[test]
+fn killed_worker_mid_batch_fails_all_waiters_and_respawns() {
+    let _g = guard();
+    fault::inject(FaultSpec::once(points::WORKER_BATCH, FaultKind::Panic));
+    let server = Server::start(
+        registry(2),
+        ServeConfig {
+            workers: 1,
+            max_wait: Duration::from_millis(5),
+            ..ServeConfig::default()
+        },
+    );
+    // Both requests land in the first (panicking) batch or, if the
+    // worker dispatches eagerly, across two — either way every ticket
+    // resolves.
+    let t1 = server
+        .submit("attention-small", dense_rhs(256, 4, ValueDist::SmallInt, 1))
+        .unwrap();
+    let t2 = server
+        .submit("attention-small", dense_rhs(256, 4, ValueDist::SmallInt, 2))
+        .unwrap();
+    let (r1, r2) = (wait_bounded(t1), wait_bounded(t2));
+    assert!(
+        r1.is_err() || r2.is_err(),
+        "the injected panic failed at least one request"
+    );
+    for r in [&r1, &r2] {
+        if let Err(e) = r {
+            assert_eq!(e, &ServeError::WorkerPanic, "typed terminal state");
+        }
+    }
+    fault::reset();
+    // The worker respawned: the server still serves.
+    let resp = wait_bounded(
+        server
+            .submit("attention-small", dense_rhs(256, 4, ValueDist::SmallInt, 3))
+            .unwrap(),
+    )
+    .expect("respawned worker serves");
+    assert_eq!((resp.rows, resp.cols), (256, 4));
+    let metrics = server.shutdown();
+    assert!(metrics.worker_panics >= 1, "panic was counted");
+    assert!(metrics.failed >= 1);
+    assert!(metrics.conserves(), "admitted = completed + failed + shed");
+}
+
+/// A panic *inside* the batch (pool acquisition, after the registry
+/// fetch) unwinds through the batch guard: same invariants.
+#[test]
+fn pool_fault_inside_batch_is_isolated() {
+    let _g = guard();
+    let server = Server::start(
+        registry(2),
+        ServeConfig {
+            workers: 1,
+            max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    // Warm the model first so the fault hits pool.acquire in the batch
+    // path, not some allocation during planning.
+    wait_bounded(
+        server
+            .submit("attention-small", dense_rhs(256, 4, ValueDist::SmallInt, 0))
+            .unwrap(),
+    )
+    .expect("warm-up serves");
+    fault::inject(FaultSpec::once(points::POOL_ACQUIRE, FaultKind::Error));
+    let failed = wait_bounded(
+        server
+            .submit("attention-small", dense_rhs(256, 4, ValueDist::SmallInt, 1))
+            .unwrap(),
+    );
+    assert_eq!(failed.unwrap_err(), ServeError::WorkerPanic);
+    fault::reset();
+    wait_bounded(
+        server
+            .submit("attention-small", dense_rhs(256, 4, ValueDist::SmallInt, 2))
+            .unwrap(),
+    )
+    .expect("server recovered");
+    let metrics = server.shutdown();
+    assert!(metrics.conserves());
+}
+
+/// An injected latency spike delays but does not fail the batch.
+#[test]
+fn latency_spike_completes_late_not_never() {
+    let _g = guard();
+    fault::inject(FaultSpec::once(
+        points::WORKER_BATCH,
+        FaultKind::Latency { ns: 20_000_000 },
+    ));
+    let server = Server::start(registry(2), ServeConfig::default());
+    let started = std::time::Instant::now();
+    let resp = wait_bounded(
+        server
+            .submit("attention-small", dense_rhs(256, 4, ValueDist::SmallInt, 9))
+            .unwrap(),
+    )
+    .expect("latency fault still completes");
+    assert!(started.elapsed() >= Duration::from_millis(20));
+    assert_eq!(resp.cols, 4);
+    fault::reset();
+    let metrics = server.shutdown();
+    assert_eq!(metrics.failed, 0);
+    assert!(metrics.conserves());
+}
+
+// ---------------------------------------------------------------------
+// Deadlines and the circuit breaker (threaded server)
+// ---------------------------------------------------------------------
+
+#[test]
+fn expired_deadline_sheds_before_dispatch() {
+    let _g = guard();
+    let server = Server::start(
+        registry(2),
+        ServeConfig {
+            workers: 1,
+            // Long batching window: the head sits in queue waiting for
+            // co-riders, long past its deadline.
+            max_wait: Duration::from_millis(250),
+            ..ServeConfig::default()
+        },
+    );
+    let t = server
+        .submit_with_deadline(
+            "attention-small",
+            dense_rhs(256, 4, ValueDist::SmallInt, 1),
+            Some(Duration::from_millis(2)),
+        )
+        .unwrap();
+    let started = std::time::Instant::now();
+    assert_eq!(wait_bounded(t).unwrap_err(), ServeError::DeadlineExceeded);
+    assert!(
+        started.elapsed() < Duration::from_millis(200),
+        "shed at the deadline, not at the batch window"
+    );
+    let metrics = server.shutdown();
+    assert_eq!(metrics.shed_expired, 1);
+    assert_eq!(metrics.completed, 0);
+    assert!(metrics.conserves());
+}
+
+#[test]
+fn repeated_failures_open_the_breaker_and_fast_reject() {
+    let _g = guard();
+    fault::inject(FaultSpec::always(points::WORKER_BATCH, FaultKind::Panic));
+    let server = Server::start(
+        registry(2),
+        ServeConfig {
+            workers: 1,
+            max_wait: Duration::from_millis(1),
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                open_window: 60e9, // 60 s: stays open for the test
+                max_open_window: 60e9,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    for i in 0..2 {
+        let r = wait_bounded(
+            server
+                .submit("attention-small", dense_rhs(256, 4, ValueDist::SmallInt, i))
+                .unwrap(),
+        );
+        assert_eq!(r.unwrap_err(), ServeError::WorkerPanic);
+    }
+    assert_eq!(
+        server.breaker_state("attention-small"),
+        Some(BreakerState::Open),
+        "two consecutive failures tripped the breaker"
+    );
+    let rejected = server
+        .submit("attention-small", dense_rhs(256, 4, ValueDist::SmallInt, 9))
+        .unwrap_err();
+    assert!(
+        matches!(rejected, jigsaw_serve::AdmitError::CircuitOpen { ref model, retry_after }
+            if model == "attention-small" && retry_after > Duration::ZERO),
+        "open breaker fast-rejects with a retry hint: {rejected:?}"
+    );
+    // Another model is unaffected.
+    fault::reset();
+    wait_bounded(
+        server
+            .submit("embedding-proj", dense_rhs(512, 4, ValueDist::SmallInt, 1))
+            .unwrap(),
+    )
+    .expect("healthy model keeps serving");
+    let metrics = server.metrics();
+    assert_eq!(metrics.breakers_open, 1);
+    assert_eq!(metrics.rejected, 1);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Artifact tier: corruption, retry, recovery
+// ---------------------------------------------------------------------
+
+fn artifact_registry(dir: &std::path::Path) -> ModelRegistry {
+    let reg = ModelRegistry::new(RegistryConfig {
+        artifact_dir: Some(dir.to_path_buf()),
+        ..RegistryConfig::default()
+    })
+    .unwrap();
+    for m in default_zoo(77).into_iter().take(1) {
+        reg.register(&m.name, m.weights(), m.config);
+    }
+    reg
+}
+
+#[test]
+fn transient_artifact_corruption_recovers_via_retry() {
+    let _g = guard();
+    let dir = std::env::temp_dir().join(format!("jigsaw-chaos-retry-{}", std::process::id()));
+    let reg = artifact_registry(&dir);
+    let name = reg.model_names().remove(0);
+    reg.warm_all().unwrap(); // plans + writes the artifact
+    reg.drop_resident(); // next fetch must disk-load
+    let retries_before = jigsaw_obs::global().counter("registry.load_retries").get();
+    fault::set_seed(0xC0FFEE);
+    fault::inject(FaultSpec::once(
+        points::ARTIFACT_LOAD,
+        FaultKind::CorruptBytes,
+    ));
+    let (model, fetch) = reg.fetch(&name).expect("one corrupt read is retried");
+    assert!(fetch.is_cold());
+    assert_eq!(model.name, name);
+    let retries_after = jigsaw_obs::global().counter("registry.load_retries").get();
+    assert!(retries_after > retries_before, "the retry was counted");
+    fault::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistent_artifact_corruption_is_a_typed_error_then_recovers() {
+    let _g = guard();
+    let dir = std::env::temp_dir().join(format!("jigsaw-chaos-corrupt-{}", std::process::id()));
+    let reg = artifact_registry(&dir);
+    let name = reg.model_names().remove(0);
+    reg.warm_all().unwrap();
+    reg.drop_resident();
+    fault::set_seed(0xBADCAB);
+    fault::inject(FaultSpec::always(
+        points::ARTIFACT_LOAD,
+        FaultKind::CorruptBytes,
+    ));
+    match reg.fetch(&name) {
+        Err(RegistryError::Io(_)) => {}
+        other => panic!("expected a typed artifact error, got {other:?}"),
+    }
+    // Disarm: the same registry heals on the next fetch.
+    fault::reset();
+    let (_, fetch) = reg.fetch(&name).expect("clean read succeeds");
+    assert!(fetch.is_cold());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: compile failure and SIMD poisoning
+// ---------------------------------------------------------------------
+
+/// Parity satellite: a model degraded by compile failure serves
+/// bit-identical results to both `execute_fast` and the compiled
+/// scalar rung.
+#[test]
+fn compile_failure_degrades_with_bit_identical_results() {
+    let _g = guard();
+    let fallbacks_before = jigsaw_obs::global().counter("degrade.fallbacks").get();
+    fault::inject(FaultSpec::always(points::COMPILE, FaultKind::Error));
+    let degraded_reg = registry(1);
+    let name = degraded_reg.model_names().remove(0);
+    let degraded = degraded_reg.get(&name).unwrap();
+    assert!(degraded.is_degraded(), "compile fault forced the fallback");
+    assert!(
+        jigsaw_obs::global().counter("degrade.fallbacks").get() > fallbacks_before,
+        "degradation was counted"
+    );
+    fault::reset();
+
+    let healthy_reg = registry(1);
+    let healthy = healthy_reg.get(&name).unwrap();
+    assert!(!healthy.is_degraded());
+
+    let b = dense_rhs(degraded.k(), 8, ValueDist::SmallInt, 42);
+    let via_fallback = degraded.execute(&b);
+    let via_fast = execute_fast(&degraded.format, &b);
+    let via_scalar = CompiledKernel::compile(&healthy.format).execute_scalar(&b);
+    assert_eq!(via_fallback, via_fast, "fallback = execute_fast, bit-exact");
+    assert_eq!(via_fallback, via_scalar, "fallback = compiled scalar rung");
+    assert_eq!(
+        via_fallback,
+        healthy.execute(&b),
+        "degradation is invisible"
+    );
+}
+
+/// A SIMD-path panic poisons that rung in place; the scalar rung
+/// recomputes the same batch and every later one.
+#[test]
+fn simd_panic_poisons_to_scalar_with_correct_results() {
+    let _g = guard();
+    let reg = registry(1);
+    let name = reg.model_names().remove(0);
+    let model = reg.get(&name).unwrap();
+    assert!(!model.is_degraded());
+    let b = dense_rhs(model.k(), 8, ValueDist::SmallInt, 7);
+    let expect = execute_fast(&model.format, &b);
+    fault::inject(FaultSpec::once(points::EXECUTE, FaultKind::Panic));
+    assert_eq!(
+        model.execute(&b),
+        expect,
+        "panicked run recomputed on scalar"
+    );
+    fault::reset();
+    assert!(model.is_degraded(), "SIMD rung is sticky-poisoned");
+    assert_eq!(model.execute(&b), expect, "later runs stay correct");
+}
+
+// ---------------------------------------------------------------------
+// Virtual-clock chaos: pinned seeds, then randomized schedules
+// ---------------------------------------------------------------------
+
+fn sim_registry() -> ModelRegistry {
+    let reg = ModelRegistry::new(RegistryConfig::default()).unwrap();
+    for m in default_zoo(77).into_iter().take(2) {
+        reg.register(&m.name, m.weights(), m.config);
+    }
+    reg
+}
+
+/// Pinned fault schedules through the simulator: plan errors, plan
+/// panics, and deadline pressure — every request terminal, every
+/// failure typed, the ledger conserved.
+#[test]
+fn pinned_sim_fault_schedules_conserve_requests() {
+    let _g = guard();
+    let cases: [(u64, FaultKind); 2] = [(0xC0FFEE, FaultKind::Error), (0xBADCAB, FaultKind::Panic)];
+    for (seed, kind) in cases {
+        fault::reset();
+        fault::set_seed(seed);
+        // The two models' first (cold) fetches fail; the re-fetches
+        // behind them succeed.
+        fault::inject(FaultSpec::at(points::PLAN, kind, 1).times(2));
+        let reg = sim_registry();
+        let mut schedule = burst("attention-small", 8, 8, 40_000.0);
+        schedule.extend(
+            burst("embedding-proj", 8, 8, 40_000.0)
+                .into_iter()
+                .map(|mut r| {
+                    r.id += 100;
+                    r.arrival_cycle += 5_000.0;
+                    r
+                }),
+        );
+        let report = simulate_schedule(
+            &reg,
+            &schedule,
+            &SimConfig::batched(GpuSpec::a100(), 64, 10_000.0),
+        );
+        fault::reset();
+        assert!(report.metrics.failed > 0, "seed {seed:#x}: faults fired");
+        assert!(report.metrics.completed > 0, "seed {seed:#x}: recovered");
+        assert!(report.metrics.conserves(), "seed {seed:#x}: conservation");
+        assert_eq!(
+            report.completions.len() + report.failures.len() + report.rejected_ids.len(),
+            schedule.len(),
+            "seed {seed:#x}: every request reached a terminal state"
+        );
+        for f in &report.failures {
+            match (&f.error, kind) {
+                (ServeError::Registry(_), FaultKind::Error) => {}
+                (ServeError::WorkerPanic, FaultKind::Panic) => {}
+                (e, k) => panic!("seed {seed:#x}: fault {k:?} surfaced as {e:?}"),
+            }
+        }
+        if kind == FaultKind::Panic {
+            assert!(report.metrics.worker_panics > 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized fault schedules over the deterministic simulator:
+    /// whatever fires, wherever it fires, the invariants hold.
+    #[test]
+    fn random_fault_schedules_keep_the_invariants(
+        seed in any::<u64>(),
+        requests in 4usize..16,
+        kind_sel in 0u8..4,
+        first_hit in 1u64..4,
+        count in 1u64..3,
+        deadline_every in 0usize..4,
+    ) {
+        let _g = guard();
+        fault::set_seed(seed);
+        match kind_sel {
+            1 => fault::inject(FaultSpec::at(points::PLAN, FaultKind::Error, first_hit).times(count)),
+            2 => fault::inject(FaultSpec::at(points::PLAN, FaultKind::Panic, first_hit).times(count)),
+            3 => fault::inject(FaultSpec::at(points::COMPILE, FaultKind::Error, first_hit).times(count)),
+            _ => {}
+        }
+        let reg = sim_registry();
+        let mut schedule = burst("attention-small", requests, 8, 30_000.0);
+        if deadline_every > 0 {
+            for r in schedule.iter_mut().filter(|r| r.id % deadline_every == 0) {
+                r.deadline_cycles = Some(20_000.0);
+            }
+        }
+        let report = simulate_schedule(
+            &reg,
+            &schedule,
+            &SimConfig::batched(GpuSpec::a100(), 64, 10_000.0),
+        );
+        fault::reset();
+        prop_assert!(report.metrics.conserves(), "conservation: {:?}", report.metrics);
+        prop_assert_eq!(
+            report.completions.len() + report.failures.len() + report.rejected_ids.len(),
+            schedule.len()
+        );
+        for f in &report.failures {
+            prop_assert!(
+                matches!(
+                    f.error,
+                    ServeError::Registry(_) | ServeError::WorkerPanic | ServeError::DeadlineExceeded
+                ),
+                "untyped terminal state {:?}",
+                f.error
+            );
+        }
+        // A compile fault degrades, never fails: the model still serves.
+        if kind_sel == 3 {
+            prop_assert_eq!(report.metrics.failed, 0, "compile faults degrade, not fail");
+        }
+    }
+}
