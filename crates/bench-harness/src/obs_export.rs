@@ -96,6 +96,33 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
             obs.keys()
         ));
     }
+    if experiment == "exec" {
+        // Exec exports carry one row per (shape, N, microkernel
+        // variant). Every row needs the perf-gate keys; the `variant`
+        // column is optional (legacy docs predate the dispatch layer)
+        // but when present must name a registry variant.
+        let rows = doc
+            .get("data")
+            .and_then(|d| d.get("shapes"))
+            .map(|r| r.items().to_vec())
+            .filter(|r| !r.is_empty())
+            .ok_or_else(|| "exec: data.shapes missing or empty".to_string())?;
+        for row in &rows {
+            for key in ["m", "k", "n", "speedup"] {
+                if row.get(key).is_none() {
+                    return Err(format!("exec shape row missing key {key:?}"));
+                }
+            }
+            if let Some(variant) = row.get("variant") {
+                let name = variant
+                    .as_str()
+                    .ok_or_else(|| "exec: variant must be a string".to_string())?;
+                if jigsaw_core::KernelKind::parse(name).is_none() {
+                    return Err(format!("exec: unknown microkernel variant {name:?}"));
+                }
+            }
+        }
+    }
     if experiment == "serving" {
         // The serving export carries the resilience columns (DESIGN.md
         // §12) on every policy row; losing one is a schema regression.
@@ -122,14 +149,24 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
 /// The gated quantity is the *speedup ratio* (`data.shapes[].speedup`:
 /// compiled over `execute_fast`, both timed in the same process), which
 /// is stable across host speeds — absolute wall times are deliberately
-/// not compared. For every shape in the baseline the candidate must
-/// contain a matching `(m, k, n)` entry whose speedup is at least
-/// `(1 - tolerance)` × the baseline's, and no candidate speedup may
-/// fall below the baseline's committed `data.required_speedup` floor.
+/// not compared. The gate reads only the `avx2_fma` rows (rows
+/// without a `variant` column — legacy single-variant docs — also
+/// count); other variants are informational, so a baseline carrying
+/// `avx512f` or `neon` rows never moves the bar. For every gated
+/// shape in the baseline the candidate must contain a matching
+/// `(m, k, n)` gated entry whose speedup is at least `(1 - tolerance)`
+/// × the baseline's, and no candidate speedup may fall below the
+/// baseline's committed `data.required_speedup` floor.
 pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Result<String, String> {
     if !(0.0..1.0).contains(&tolerance) {
         return Err(format!("tolerance {tolerance} outside [0, 1)"));
     }
+    let gated = |row: &Json| -> bool {
+        match row.get("variant").and_then(|v| v.as_str()) {
+            None => true, // legacy doc predating the dispatch layer
+            Some(name) => name == "avx2_fma",
+        }
+    };
     let shapes = |text: &str, role: &str| -> Result<(Json, Vec<Json>), String> {
         check_bench_text(text).map_err(|e| format!("{role} is not a valid bench doc: {e}"))?;
         let doc = jigsaw_obs::parse(text).map_err(|e| format!("{role}: {e}"))?;
@@ -137,11 +174,19 @@ pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Resul
             .get("data")
             .cloned()
             .ok_or_else(|| format!("{role}: missing data"))?;
-        let shapes = data
+        let shapes: Vec<Json> = data
             .get("shapes")
             .map(|s| s.items().to_vec())
             .filter(|s| !s.is_empty())
-            .ok_or_else(|| format!("{role}: data.shapes missing or empty"))?;
+            .ok_or_else(|| format!("{role}: data.shapes missing or empty"))?
+            .into_iter()
+            .filter(|row| gated(row))
+            .collect();
+        if shapes.is_empty() {
+            return Err(format!(
+                "{role}: no gated (avx2_fma) rows — regenerate the doc on an AVX2 host"
+            ));
+        }
         Ok((data, shapes))
     };
     let (base_data, base_shapes) = shapes(baseline, "baseline")?;
@@ -350,6 +395,103 @@ mod tests {
         assert!(check_perf_text(&base, &missing, 0.10).is_err());
         assert!(check_perf_text(&base, "{not json", 0.10).is_err());
         assert!(check_perf_text(&base, &base, 1.5).is_err());
+    }
+
+    #[derive(Serialize)]
+    struct VariantShape {
+        m: usize,
+        k: usize,
+        n: usize,
+        variant: String,
+        speedup: f64,
+    }
+
+    fn exec_doc_variants(rows: &[(usize, &str, f64)]) -> String {
+        let shapes = rows
+            .iter()
+            .map(|&(n, variant, speedup)| VariantShape {
+                m: 64,
+                k: 64,
+                n,
+                variant: variant.to_string(),
+                speedup,
+            })
+            .collect::<Vec<_>>();
+        bench_doc(
+            "exec",
+            &ToyExec2 {
+                shapes,
+                required_speedup: 2.0,
+            },
+        )
+        .to_string()
+    }
+
+    #[derive(Serialize)]
+    struct ToyExec2 {
+        shapes: Vec<VariantShape>,
+        required_speedup: f64,
+    }
+
+    #[test]
+    fn exec_docs_validate_per_variant_rows() {
+        // Per-variant rows with registry names pass…
+        let good = exec_doc_variants(&[(64, "scalar", 1.5), (64, "avx2_fma", 3.0)]);
+        assert_eq!(check_bench_text(&good), Ok("exec".to_string()));
+        // …legacy rows without a variant column still pass…
+        assert_eq!(
+            check_bench_text(&exec_doc(&[(64, 3.0)])),
+            Ok("exec".to_string())
+        );
+        // …but an unknown variant name is a schema error…
+        let unknown = exec_doc_variants(&[(64, "warp_specialized", 3.0)]);
+        let err = check_bench_text(&unknown).unwrap_err();
+        assert!(err.contains("warp_specialized"), "{err}");
+        // …and so is a row missing a perf-gate key or an empty table.
+        #[derive(Serialize)]
+        struct NoSpeedup {
+            m: usize,
+            k: usize,
+            n: usize,
+        }
+        #[derive(Serialize)]
+        struct NoSpeedupExec {
+            shapes: Vec<NoSpeedup>,
+        }
+        let bad = bench_doc(
+            "exec",
+            &NoSpeedupExec {
+                shapes: vec![NoSpeedup { m: 64, k: 64, n: 8 }],
+            },
+        )
+        .to_string();
+        assert!(check_bench_text(&bad).unwrap_err().contains("speedup"));
+        let empty = bench_doc("exec", &NoSpeedupExec { shapes: vec![] }).to_string();
+        assert!(check_bench_text(&empty).is_err());
+    }
+
+    #[test]
+    fn perf_gate_reads_only_avx2_rows() {
+        // A legacy variant-less baseline gates against the candidate's
+        // avx2_fma rows; the candidate's other variants are free to be
+        // slow (scalar always is).
+        let base = exec_doc(&[(64, 3.0)]);
+        let cand = exec_doc_variants(&[
+            (64, "scalar", 2.1),
+            (64, "avx2_fma", 2.9),
+            (64, "avx512f", 2.2),
+        ]);
+        assert!(check_perf_text(&base, &cand, 0.10).is_ok());
+        // A regressed avx2 row fails even when a wider variant is fast.
+        let regressed = exec_doc_variants(&[(64, "avx2_fma", 2.0), (64, "avx512f", 9.0)]);
+        assert!(check_perf_text(&base, &regressed, 0.10).is_err());
+        // Per-variant baselines gate row-for-row.
+        let vbase = exec_doc_variants(&[(64, "scalar", 2.1), (64, "avx2_fma", 3.0)]);
+        assert!(check_perf_text(&vbase, &cand, 0.10).is_ok());
+        // A candidate with no gated rows at all is an error, not a pass.
+        let no_gate = exec_doc_variants(&[(64, "neon", 3.0)]);
+        let err = check_perf_text(&base, &no_gate, 0.10).unwrap_err();
+        assert!(err.contains("no gated"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! The microkernel dispatch layer: a registry of named axpy variants
+//! with runtime ISA detection, forced selection for testing, and
+//! per-variant poisoning for the resilience ladder.
+//!
+//! [`CompiledKernel::execute_into_opts`](super::CompiledKernel::execute_into_opts)
+//! calls [`select`] once per execution. Selection precedence:
+//!
+//! 1. an explicit [`ExecOptions::kernel`] force,
+//! 2. the `JIGSAW_KERNEL` environment variable
+//!    (`scalar|avx2|avx512|neon|sorted`, re-read per execution so test
+//!    harnesses can flip it),
+//! 3. [`ExecOptions::sorted_stream`] opting into the
+//!    accumulation-order-changing sorted variant,
+//! 4. auto: the widest available, un-poisoned ISA
+//!    (avx512f → avx2_fma → neon → scalar).
+//!
+//! A forced variant whose ISA is absent (or which has been poisoned)
+//! **falls back cleanly** to the auto ladder — never a panic, always a
+//! correct product — and bumps `kernel.forced_fallbacks`. Poisoning a
+//! variant ([`poison`], used by the serve degradation ladder after a
+//! caught panic) removes it from auto selection process-wide and bumps
+//! `degrade.kernel.<name>`; the scalar floor can never be poisoned.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use super::kernels_scalar::axpy_panel_scalar;
+
+/// Per-row microkernel signature: one row's nonzero stream against one
+/// converted B panel (`slab`, panel-major `k × w` f32), accumulating
+/// into the row's C segment of width `w`.
+pub type AxpyFn = fn(&mut [f32], &[f32], &[u32], &[f32], usize);
+
+/// The named microkernel variants of the dispatch registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Sequential f32 adds, bit-identical to `execute_fast` — the
+    /// semantic reference and the un-poisonable floor.
+    Scalar,
+    /// 8-lane AVX2 with fused multiply-adds (x86-64).
+    Avx2Fma,
+    /// 16-lane AVX-512F with fused multiply-adds (x86-64).
+    Avx512f,
+    /// 4×f32x4 NEON with fused multiply-adds (aarch64).
+    Neon,
+    /// Per-row column-sorted stream for sequential DRAM-resident
+    /// B-panel access, executed by the widest available fused axpy.
+    /// Changes accumulation order — opt-in only, excluded from the
+    /// bit-exact contract.
+    SortedStream,
+}
+
+/// Every variant the registry knows, in auto-selection preference
+/// order for the ISA kernels ([`KernelKind::SortedStream`] is never
+/// auto-selected; [`KernelKind::Scalar`] is the floor).
+pub const ALL_KERNELS: [KernelKind; 5] = [
+    KernelKind::Avx512f,
+    KernelKind::Avx2Fma,
+    KernelKind::Neon,
+    KernelKind::SortedStream,
+    KernelKind::Scalar,
+];
+
+impl KernelKind {
+    /// Stable registry name (used in counters and bench rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Avx2Fma => "avx2_fma",
+            KernelKind::Avx512f => "avx512f",
+            KernelKind::Neon => "neon",
+            KernelKind::SortedStream => "sorted_stream",
+        }
+    }
+
+    /// Parses a registry or `JIGSAW_KERNEL` short name.
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelKind::Scalar),
+            "avx2" | "avx2_fma" => Some(KernelKind::Avx2Fma),
+            "avx512" | "avx512f" => Some(KernelKind::Avx512f),
+            "neon" => Some(KernelKind::Neon),
+            "sorted" | "sorted_stream" => Some(KernelKind::SortedStream),
+            _ => None,
+        }
+    }
+
+    /// True when this variant's result is bit-identical to
+    /// `execute_fast` on every input. Fused and reordered variants are
+    /// only ULP-bounded relative to the scalar oracle (DESIGN.md §13).
+    pub fn bit_exact(self) -> bool {
+        matches!(self, KernelKind::Scalar)
+    }
+
+    /// True when the running host can execute this variant right now.
+    /// [`KernelKind::SortedStream`] is a stream-order transform on top
+    /// of whatever axpy is available, so it is always runnable.
+    pub fn available(self) -> bool {
+        match self {
+            KernelKind::Scalar | KernelKind::SortedStream => true,
+            KernelKind::Avx2Fma => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            KernelKind::Avx512f => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    is_x86_feature_detected!("avx512f")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            KernelKind::Neon => {
+                #[cfg(target_arch = "aarch64")]
+                {
+                    std::arch::is_aarch64_feature_detected!("neon")
+                }
+                #[cfg(not(target_arch = "aarch64"))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    fn poison_slot(self) -> usize {
+        match self {
+            KernelKind::Scalar => 0,
+            KernelKind::Avx2Fma => 1,
+            KernelKind::Avx512f => 2,
+            KernelKind::Neon => 3,
+            KernelKind::SortedStream => 4,
+        }
+    }
+
+    /// The variant's axpy function (callers must have verified
+    /// [`KernelKind::available`]; the scalar floor backs the rest).
+    fn axpy(self) -> AxpyFn {
+        match self {
+            KernelKind::Scalar => axpy_panel_scalar,
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx2Fma => super::kernels_x86::axpy_panel_avx2,
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx512f => super::kernels_x86::axpy_panel_avx512,
+            #[cfg(target_arch = "aarch64")]
+            KernelKind::Neon => super::kernels_aarch64::axpy_panel_neon,
+            // Cross-compiled-out ISAs and the sorted transform resolve
+            // through the auto ladder, never through this arm.
+            _ => axpy_panel_scalar,
+        }
+    }
+}
+
+/// Execution options threaded from the public API ([`crate::JigsawSpmm`],
+/// the serve registry's per-model configuration) down to [`select`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Force one variant by name. An unavailable or poisoned force
+    /// falls back to auto selection (correct results, counted on
+    /// `kernel.forced_fallbacks`) — except [`KernelKind::Scalar`],
+    /// which is always honored.
+    pub kernel: Option<KernelKind>,
+    /// Opt into the accumulation-order-changing sorted-stream variant
+    /// when no explicit force is set. Off by default: results are then
+    /// excluded from the bit-exact guarantee (ULP-bounded only).
+    pub sorted_stream: bool,
+}
+
+impl ExecOptions {
+    /// The forced-scalar options of the degradation ladder's middle
+    /// rung: bit-identical to `execute_fast`, never falls back.
+    pub fn scalar() -> ExecOptions {
+        ExecOptions {
+            kernel: Some(KernelKind::Scalar),
+            sorted_stream: false,
+        }
+    }
+
+    /// Options forcing one named variant.
+    pub fn forced(kind: KernelKind) -> ExecOptions {
+        ExecOptions {
+            kernel: Some(kind),
+            sorted_stream: false,
+        }
+    }
+}
+
+/// Process-wide per-variant poison flags (index = `poison_slot`).
+static POISONED: [AtomicBool; 5] = [
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+];
+
+/// Marks one variant unusable process-wide (sticky until
+/// [`unpoison_all`]); the serve ladder calls this after catching a
+/// panic out of the variant. Poisoning the scalar floor is ignored —
+/// selection must always terminate at a usable kernel.
+pub fn poison(kind: KernelKind) {
+    if kind == KernelKind::Scalar {
+        return;
+    }
+    if !POISONED[kind.poison_slot()].swap(true, Ordering::Relaxed) {
+        let reg = jigsaw_obs::global();
+        reg.counter("degrade.fallbacks").inc();
+        reg.counter(match kind {
+            KernelKind::Avx2Fma => "degrade.kernel.avx2_fma",
+            KernelKind::Avx512f => "degrade.kernel.avx512f",
+            KernelKind::Neon => "degrade.kernel.neon",
+            KernelKind::SortedStream => "degrade.kernel.sorted_stream",
+            KernelKind::Scalar => unreachable!("scalar is never poisoned"),
+        })
+        .inc();
+    }
+}
+
+/// True when [`poison`] has marked the variant unusable.
+pub fn is_poisoned(kind: KernelKind) -> bool {
+    POISONED[kind.poison_slot()].load(Ordering::Relaxed)
+}
+
+/// Clears every poison flag (tests and operator resets).
+pub fn unpoison_all() {
+    for flag in &POISONED {
+        flag.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Variants the running host can execute right now (detection only;
+/// poisoning is a separate, resettable axis).
+pub fn available_kernels() -> Vec<KernelKind> {
+    ALL_KERNELS.into_iter().filter(|k| k.available()).collect()
+}
+
+/// One resolved selection: which variant runs, whether the stream is
+/// the column-sorted copy, and the axpy that executes it.
+#[derive(Clone, Copy, Debug)]
+pub struct Selection {
+    /// The variant that will run (after any fallback).
+    pub kind: KernelKind,
+    /// True when the per-row column-sorted stream feeds the axpy.
+    pub sorted: bool,
+    pub(crate) axpy: AxpyFn,
+}
+
+/// Widest available un-poisoned ISA kernel (the auto ladder's floor is
+/// the scalar kernel, which is always available and never poisoned).
+fn auto_kind() -> KernelKind {
+    for kind in [KernelKind::Avx512f, KernelKind::Avx2Fma, KernelKind::Neon] {
+        if kind.available() && !is_poisoned(kind) {
+            return kind;
+        }
+    }
+    KernelKind::Scalar
+}
+
+fn usable(kind: KernelKind) -> bool {
+    kind.available() && !is_poisoned(kind)
+}
+
+/// Resolves `opts` (plus the `JIGSAW_KERNEL` environment override) to
+/// the microkernel that will execute, falling back cleanly when a
+/// forced variant is absent or poisoned.
+pub fn select(opts: &ExecOptions) -> Selection {
+    let env_force = opts.kernel.is_none().then(|| {
+        std::env::var("JIGSAW_KERNEL")
+            .ok()
+            .as_deref()
+            .and_then(KernelKind::parse)
+    });
+    let forced = opts.kernel.or(env_force.flatten());
+    let kind = match forced {
+        Some(KernelKind::Scalar) => KernelKind::Scalar,
+        Some(k) if usable(k) => k,
+        Some(_) => {
+            // Absent ISA or poisoned variant: fall back, never fail.
+            if jigsaw_obs::enabled() {
+                jigsaw_obs::global()
+                    .counter("kernel.forced_fallbacks")
+                    .inc();
+            }
+            auto_kind()
+        }
+        None if opts.sorted_stream && usable(KernelKind::SortedStream) => KernelKind::SortedStream,
+        None => auto_kind(),
+    };
+    let sorted = kind == KernelKind::SortedStream;
+    // The sorted transform reorders the stream; the arithmetic runs on
+    // the widest un-poisoned ISA kernel available.
+    let axpy = if sorted {
+        auto_kind().axpy()
+    } else {
+        kind.axpy()
+    };
+    Selection { kind, sorted, axpy }
+}
+
+/// The variant [`select`] would run for `opts` — what the serve ladder
+/// poisons after catching a panic out of an execution.
+pub fn selected_kind(opts: &ExecOptions) -> KernelKind {
+    select(opts).kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the process-global poison flags.
+    static POISON_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn names_round_trip_and_short_forms_parse() {
+        for kind in ALL_KERNELS {
+            assert_eq!(KernelKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(KernelKind::parse("avx2"), Some(KernelKind::Avx2Fma));
+        assert_eq!(KernelKind::parse("avx512"), Some(KernelKind::Avx512f));
+        assert_eq!(KernelKind::parse("sorted"), Some(KernelKind::SortedStream));
+        assert_eq!(KernelKind::parse("AVX2 "), Some(KernelKind::Avx2Fma));
+        assert_eq!(KernelKind::parse("mma.sp"), None);
+    }
+
+    #[test]
+    fn scalar_is_the_only_bit_exact_variant_and_always_available() {
+        assert!(KernelKind::Scalar.bit_exact());
+        assert!(KernelKind::Scalar.available());
+        for kind in [
+            KernelKind::Avx2Fma,
+            KernelKind::Avx512f,
+            KernelKind::Neon,
+            KernelKind::SortedStream,
+        ] {
+            assert!(!kind.bit_exact(), "{kind:?} must not claim bit-exactness");
+        }
+        assert!(available_kernels().contains(&KernelKind::Scalar));
+    }
+
+    #[test]
+    fn forced_absent_isa_falls_back_cleanly() {
+        // At most one of NEON / AVX-512 is available on any host, so
+        // one of these forces must fall back — and both must resolve
+        // to *some* usable kernel without panicking.
+        for kind in [KernelKind::Neon, KernelKind::Avx512f] {
+            let sel = select(&ExecOptions::forced(kind));
+            assert!(sel.kind.available(), "fell back to a runnable kernel");
+        }
+    }
+
+    #[test]
+    fn poisoning_removes_a_variant_from_auto_and_forced_selection() {
+        let _g = POISON_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        unpoison_all();
+        let auto = select(&ExecOptions::default()).kind;
+        if auto == KernelKind::Scalar {
+            // Scalar host: poisoning is a no-op by contract.
+            poison(KernelKind::Scalar);
+            assert!(!is_poisoned(KernelKind::Scalar));
+            return;
+        }
+        poison(auto);
+        assert!(is_poisoned(auto));
+        let after = select(&ExecOptions::default()).kind;
+        assert_ne!(after, auto, "poisoned variant is skipped");
+        let forced = select(&ExecOptions::forced(auto)).kind;
+        assert_ne!(forced, auto, "forcing a poisoned variant falls back");
+        unpoison_all();
+        assert_eq!(select(&ExecOptions::default()).kind, auto);
+    }
+
+    #[test]
+    fn sorted_stream_is_opt_in_only() {
+        let _g = POISON_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        unpoison_all();
+        assert_ne!(
+            select(&ExecOptions::default()).kind,
+            KernelKind::SortedStream,
+            "auto never picks the accumulation-order-changing variant"
+        );
+        let sel = select(&ExecOptions {
+            kernel: None,
+            sorted_stream: true,
+        });
+        assert_eq!(sel.kind, KernelKind::SortedStream);
+        assert!(sel.sorted);
+        let forced = select(&ExecOptions::forced(KernelKind::SortedStream));
+        assert!(forced.sorted);
+    }
+
+    #[test]
+    fn forced_scalar_is_always_honored() {
+        let sel = select(&ExecOptions::scalar());
+        assert_eq!(sel.kind, KernelKind::Scalar);
+        assert!(!sel.sorted);
+    }
+}

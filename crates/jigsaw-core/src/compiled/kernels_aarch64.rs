@@ -1,0 +1,74 @@
+//! aarch64 NEON microkernel of the dispatch registry: 4×f32x4 (16
+//! floats per pass over the C segment), fused multiply-adds via
+//! `vfmaq_n_f32`. Keeps the per-row `(window, slot)` accumulation
+//! order of the scalar reference; only per-step rounding changes
+//! (exact on integer-valued data, ≤ 1 ulp per step otherwise).
+#![cfg(target_arch = "aarch64")]
+
+/// NEON microkernel: safe wrapper around the `target_feature` inner
+/// function — the dispatch layer only returns it after runtime
+/// feature detection ([`super::dispatch::KernelKind::available`]).
+pub fn axpy_panel_neon(c_row: &mut [f32], vals: &[f32], cols: &[u32], slab: &[f32], w: usize) {
+    // SAFETY: neon was verified by the dispatch layer; the slice
+    // invariants the inner kernel relies on are asserted there.
+    unsafe { axpy_panel_neon_inner(c_row, vals, cols, slab, w) }
+}
+
+/// Four f32x4 vectors per pass (16 lanes), one nonzero broadcast per
+/// `vfmaq_n_f32`, scalar `mul_add` cleanup under 4 lanes.
+///
+/// # Safety
+///
+/// Requires neon. Slice invariants (`c_row.len() == w`, every
+/// `cols[i] as usize * w + w <= slab.len()`, `vals.len() ==
+/// cols.len()`) are asserted on entry, so callers only owe the ISA
+/// guarantee.
+#[target_feature(enable = "neon")]
+unsafe fn axpy_panel_neon_inner(
+    c_row: &mut [f32],
+    vals: &[f32],
+    cols: &[u32],
+    slab: &[f32],
+    w: usize,
+) {
+    use std::arch::aarch64::*;
+    assert_eq!(c_row.len(), w);
+    assert_eq!(vals.len(), cols.len());
+    let rows = slab.len() / w.max(1);
+    assert!(cols.iter().all(|&c| (c as usize) < rows), "B row in slab");
+
+    let nnz = vals.len();
+    let c_ptr = c_row.as_mut_ptr();
+    let slab_ptr = slab.as_ptr();
+    for i in 0..nnz {
+        let bi = slab_ptr.add(cols[i] as usize * w);
+        let v = vals[i];
+        let mut j = 0;
+        // 4×f32x4: four independent accumulator vectors per pass keep
+        // the FMA pipeline full without reassociating across lanes.
+        while j + 16 <= w {
+            let mut a0 = vld1q_f32(c_ptr.add(j));
+            let mut a1 = vld1q_f32(c_ptr.add(j + 4));
+            let mut a2 = vld1q_f32(c_ptr.add(j + 8));
+            let mut a3 = vld1q_f32(c_ptr.add(j + 12));
+            a0 = vfmaq_n_f32(a0, vld1q_f32(bi.add(j)), v);
+            a1 = vfmaq_n_f32(a1, vld1q_f32(bi.add(j + 4)), v);
+            a2 = vfmaq_n_f32(a2, vld1q_f32(bi.add(j + 8)), v);
+            a3 = vfmaq_n_f32(a3, vld1q_f32(bi.add(j + 12)), v);
+            vst1q_f32(c_ptr.add(j), a0);
+            vst1q_f32(c_ptr.add(j + 4), a1);
+            vst1q_f32(c_ptr.add(j + 8), a2);
+            vst1q_f32(c_ptr.add(j + 12), a3);
+            j += 16;
+        }
+        while j + 4 <= w {
+            let acc = vfmaq_n_f32(vld1q_f32(c_ptr.add(j)), vld1q_f32(bi.add(j)), v);
+            vst1q_f32(c_ptr.add(j), acc);
+            j += 4;
+        }
+        while j < w {
+            *c_ptr.add(j) = v.mul_add(*bi.add(j), *c_ptr.add(j));
+            j += 1;
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The scalar microkernel: the semantic reference every other variant
+//! in the dispatch registry is measured against.
+
+/// Scalar microkernel: four nonzeros per pass over the C segment
+/// (quartering C traffic), products applied as sequential f32 adds so
+/// the result is bit-identical to the one-at-a-time order — and
+/// therefore to `execute_fast`, the differential oracle.
+pub fn axpy_panel_scalar(c_row: &mut [f32], vals: &[f32], cols: &[u32], slab: &[f32], w: usize) {
+    let nnz = vals.len();
+    let mut i = 0;
+    while i + 4 <= nnz {
+        let b0 = &slab[cols[i] as usize * w..][..w];
+        let b1 = &slab[cols[i + 1] as usize * w..][..w];
+        let b2 = &slab[cols[i + 2] as usize * w..][..w];
+        let b3 = &slab[cols[i + 3] as usize * w..][..w];
+        let (v0, v1, v2, v3) = (vals[i], vals[i + 1], vals[i + 2], vals[i + 3]);
+        for (j, cj) in c_row.iter_mut().enumerate() {
+            let mut acc = *cj;
+            acc += v0 * b0[j];
+            acc += v1 * b1[j];
+            acc += v2 * b2[j];
+            acc += v3 * b3[j];
+            *cj = acc;
+        }
+        i += 4;
+    }
+    while i < nnz {
+        let bi = &slab[cols[i] as usize * w..][..w];
+        let v = vals[i];
+        for (cj, &bj) in c_row.iter_mut().zip(bi) {
+            *cj += v * bj;
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,177 @@
+//! x86-64 microkernels of the dispatch registry: 8-lane AVX2+FMA and
+//! 16-lane AVX-512F. Both keep the per-row `(window, slot)`
+//! accumulation order of the scalar reference; only the rounding of
+//! each step changes (fused multiply-adds — exact on integer-valued
+//! data, ≤ 1 ulp per step otherwise).
+#![cfg(target_arch = "x86_64")]
+
+/// AVX2+FMA microkernel: safe wrapper around the `target_feature`
+/// inner function — the dispatch layer only returns it after runtime
+/// feature detection ([`super::dispatch::KernelKind::available`]).
+pub fn axpy_panel_avx2(c_row: &mut [f32], vals: &[f32], cols: &[u32], slab: &[f32], w: usize) {
+    // SAFETY: avx2+fma were verified by the dispatch layer; the slice
+    // invariants the inner kernel relies on are asserted there.
+    unsafe { axpy_panel_avx2_inner(c_row, vals, cols, slab, w) }
+}
+
+/// Eight lanes per vector, four nonzeros per pass, fused
+/// multiply-adds.
+///
+/// # Safety
+///
+/// Requires avx2 and fma. Slice invariants (`c_row.len() == w`, every
+/// `cols[i] as usize * w + w <= slab.len()`, `vals.len() ==
+/// cols.len()`) are asserted on entry, so callers only owe the ISA
+/// guarantee.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_panel_avx2_inner(
+    c_row: &mut [f32],
+    vals: &[f32],
+    cols: &[u32],
+    slab: &[f32],
+    w: usize,
+) {
+    use std::arch::x86_64::*;
+    assert_eq!(c_row.len(), w);
+    assert_eq!(vals.len(), cols.len());
+    let rows = slab.len() / w.max(1);
+    assert!(cols.iter().all(|&c| (c as usize) < rows), "B row in slab");
+
+    let nnz = vals.len();
+    let c_ptr = c_row.as_mut_ptr();
+    let slab_ptr = slab.as_ptr();
+    let mut i = 0;
+    while i + 4 <= nnz {
+        let b0 = slab_ptr.add(cols[i] as usize * w);
+        let b1 = slab_ptr.add(cols[i + 1] as usize * w);
+        let b2 = slab_ptr.add(cols[i + 2] as usize * w);
+        let b3 = slab_ptr.add(cols[i + 3] as usize * w);
+        let (v0, v1, v2, v3) = (vals[i], vals[i + 1], vals[i + 2], vals[i + 3]);
+        let (s0, s1) = (_mm256_set1_ps(v0), _mm256_set1_ps(v1));
+        let (s2, s3) = (_mm256_set1_ps(v2), _mm256_set1_ps(v3));
+        let mut j = 0;
+        while j + 8 <= w {
+            let mut acc = _mm256_loadu_ps(c_ptr.add(j));
+            acc = _mm256_fmadd_ps(s0, _mm256_loadu_ps(b0.add(j)), acc);
+            acc = _mm256_fmadd_ps(s1, _mm256_loadu_ps(b1.add(j)), acc);
+            acc = _mm256_fmadd_ps(s2, _mm256_loadu_ps(b2.add(j)), acc);
+            acc = _mm256_fmadd_ps(s3, _mm256_loadu_ps(b3.add(j)), acc);
+            _mm256_storeu_ps(c_ptr.add(j), acc);
+            j += 8;
+        }
+        while j < w {
+            let mut acc = *c_ptr.add(j);
+            acc = v0.mul_add(*b0.add(j), acc);
+            acc = v1.mul_add(*b1.add(j), acc);
+            acc = v2.mul_add(*b2.add(j), acc);
+            acc = v3.mul_add(*b3.add(j), acc);
+            *c_ptr.add(j) = acc;
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < nnz {
+        let bi = slab_ptr.add(cols[i] as usize * w);
+        let v = vals[i];
+        let s = _mm256_set1_ps(v);
+        let mut j = 0;
+        while j + 8 <= w {
+            let acc = _mm256_fmadd_ps(s, _mm256_loadu_ps(bi.add(j)), _mm256_loadu_ps(c_ptr.add(j)));
+            _mm256_storeu_ps(c_ptr.add(j), acc);
+            j += 8;
+        }
+        while j < w {
+            *c_ptr.add(j) = v.mul_add(*bi.add(j), *c_ptr.add(j));
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+/// AVX-512F microkernel: safe wrapper around the `target_feature`
+/// inner function — dispatched only after runtime detection.
+pub fn axpy_panel_avx512(c_row: &mut [f32], vals: &[f32], cols: &[u32], slab: &[f32], w: usize) {
+    // SAFETY: avx512f was verified by the dispatch layer; the slice
+    // invariants the inner kernel relies on are asserted there.
+    unsafe { axpy_panel_avx512_inner(c_row, vals, cols, slab, w) }
+}
+
+/// Sixteen lanes per vector, four nonzeros per pass, fused
+/// multiply-adds; the sub-16 tail falls through the masked AVX-512
+/// load/store so no scalar cleanup loop is needed.
+///
+/// # Safety
+///
+/// Requires avx512f. Slice invariants (`c_row.len() == w`, every
+/// `cols[i] as usize * w + w <= slab.len()`, `vals.len() ==
+/// cols.len()`) are asserted on entry, so callers only owe the ISA
+/// guarantee.
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_panel_avx512_inner(
+    c_row: &mut [f32],
+    vals: &[f32],
+    cols: &[u32],
+    slab: &[f32],
+    w: usize,
+) {
+    use std::arch::x86_64::*;
+    assert_eq!(c_row.len(), w);
+    assert_eq!(vals.len(), cols.len());
+    let rows = slab.len() / w.max(1);
+    assert!(cols.iter().all(|&c| (c as usize) < rows), "B row in slab");
+
+    let nnz = vals.len();
+    let c_ptr = c_row.as_mut_ptr();
+    let slab_ptr = slab.as_ptr();
+    let full = w & !15;
+    let tail_mask: __mmask16 = (1u16 << (w - full)).wrapping_sub(1);
+    let mut i = 0;
+    while i + 4 <= nnz {
+        let b0 = slab_ptr.add(cols[i] as usize * w);
+        let b1 = slab_ptr.add(cols[i + 1] as usize * w);
+        let b2 = slab_ptr.add(cols[i + 2] as usize * w);
+        let b3 = slab_ptr.add(cols[i + 3] as usize * w);
+        let s0 = _mm512_set1_ps(vals[i]);
+        let s1 = _mm512_set1_ps(vals[i + 1]);
+        let s2 = _mm512_set1_ps(vals[i + 2]);
+        let s3 = _mm512_set1_ps(vals[i + 3]);
+        let mut j = 0;
+        while j + 16 <= w {
+            let mut acc = _mm512_loadu_ps(c_ptr.add(j));
+            acc = _mm512_fmadd_ps(s0, _mm512_loadu_ps(b0.add(j)), acc);
+            acc = _mm512_fmadd_ps(s1, _mm512_loadu_ps(b1.add(j)), acc);
+            acc = _mm512_fmadd_ps(s2, _mm512_loadu_ps(b2.add(j)), acc);
+            acc = _mm512_fmadd_ps(s3, _mm512_loadu_ps(b3.add(j)), acc);
+            _mm512_storeu_ps(c_ptr.add(j), acc);
+            j += 16;
+        }
+        if tail_mask != 0 {
+            let mut acc = _mm512_maskz_loadu_ps(tail_mask, c_ptr.add(j));
+            acc = _mm512_fmadd_ps(s0, _mm512_maskz_loadu_ps(tail_mask, b0.add(j)), acc);
+            acc = _mm512_fmadd_ps(s1, _mm512_maskz_loadu_ps(tail_mask, b1.add(j)), acc);
+            acc = _mm512_fmadd_ps(s2, _mm512_maskz_loadu_ps(tail_mask, b2.add(j)), acc);
+            acc = _mm512_fmadd_ps(s3, _mm512_maskz_loadu_ps(tail_mask, b3.add(j)), acc);
+            _mm512_mask_storeu_ps(c_ptr.add(j), tail_mask, acc);
+        }
+        i += 4;
+    }
+    while i < nnz {
+        let bi = slab_ptr.add(cols[i] as usize * w);
+        let s = _mm512_set1_ps(vals[i]);
+        let mut j = 0;
+        while j + 16 <= w {
+            let acc = _mm512_fmadd_ps(s, _mm512_loadu_ps(bi.add(j)), _mm512_loadu_ps(c_ptr.add(j)));
+            _mm512_storeu_ps(c_ptr.add(j), acc);
+            j += 16;
+        }
+        if tail_mask != 0 {
+            let acc = _mm512_fmadd_ps(
+                s,
+                _mm512_maskz_loadu_ps(tail_mask, bi.add(j)),
+                _mm512_maskz_loadu_ps(tail_mask, c_ptr.add(j)),
+            );
+            _mm512_mask_storeu_ps(c_ptr.add(j), tail_mask, acc);
+        }
+        i += 1;
+    }
+}

@@ -16,20 +16,30 @@
 //! 2. a **2-D `(row block × N panel)` rayon grid** — finer-grained
 //!    than the strip-only parallelism of `execute_fast`, so one tall
 //!    or dense strip no longer serializes the whole multiply,
-//! 3. a **k-unrolled axpy microkernel** — four nonzeros per pass over
-//!    the C row segment, quartering the C load/store traffic that
-//!    dominates wide-N multiplies.
+//! 3. a **k-unrolled axpy microkernel**, resolved per execution by the
+//!    [`dispatch`] layer: a registry of named variants (`scalar`,
+//!    `avx2_fma`, `avx512f`, `neon`, `sorted_stream`) with runtime ISA
+//!    detection, `JIGSAW_KERNEL` forced selection for testing, and
+//!    per-variant poisoning for the resilience ladder.
 //!
 //! The stream preserves `execute_fast`'s per-row accumulation order
-//! and its zero/padding skip rules. The scalar microkernel applies the
-//! four products with sequential f32 adds and is **bit-identical** to
+//! and its zero/padding skip rules. The scalar microkernel applies
+//! products with sequential f32 adds and is **bit-identical** to
 //! `execute_fast` (which stays around as the differential-testing
-//! oracle). On x86-64 hosts with AVX2+FMA a runtime-dispatched fused
-//! microkernel takes over: still exact on integer-valued data (every
-//! product and partial sum is representable, so fusion cannot round),
-//! and within an ulp per accumulation step otherwise.
+//! oracle). The fused SIMD variants keep the stream order and differ
+//! only by per-step rounding (exact on integer-valued data, ≤ 1 ulp
+//! per step otherwise). The opt-in [`stream::SortedStream`] variant
+//! additionally re-sorts each row's nonzeros by source column —
+//! accumulation-order-changing, so it is excluded from the bit-exact
+//! contract and gated behind [`ExecOptions`] (DESIGN.md §13).
 
-use std::sync::Arc;
+pub mod dispatch;
+mod kernels_aarch64;
+mod kernels_scalar;
+mod kernels_x86;
+pub mod stream;
+
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use dlmc::Matrix;
@@ -41,6 +51,9 @@ use crate::errors::CompileError;
 use crate::fault::{self, points};
 use crate::format::{format_source_column, JigsawFormat};
 use crate::pool::{PoolBuf, WorkspacePool};
+
+pub use dispatch::{ExecOptions, KernelKind, Selection};
+pub use stream::SortedStream;
 
 /// Rows of C per task of the 2-D execution grid.
 const ROW_BLOCK: usize = 128;
@@ -70,6 +83,9 @@ pub struct CompiledKernel {
     vals: Vec<f32>,
     /// Source column of each nonzero (the B row it multiplies).
     cols: Vec<u32>,
+    /// Lazily built column-sorted copy of the stream, shared by every
+    /// sorted execution of this kernel (built at most once).
+    sorted: OnceLock<SortedStream>,
 }
 
 impl CompiledKernel {
@@ -150,6 +166,7 @@ impl CompiledKernel {
             row_ptr,
             vals,
             cols,
+            sorted: OnceLock::new(),
         };
         let elapsed = started.elapsed().as_nanos() as u64;
         if jigsaw_obs::enabled() {
@@ -170,9 +187,14 @@ impl CompiledKernel {
         self.vals.len()
     }
 
-    /// Bytes held by the compiled stream (values + columns + offsets).
+    /// Bytes held by the compiled stream (values + columns + offsets;
+    /// doubled once the sorted copy has been materialized).
     pub fn stream_bytes(&self) -> usize {
-        self.vals.len() * 4 + self.cols.len() * 4 + self.row_ptr.len() * 4
+        let base = self.vals.len() * 4 + self.cols.len() * 4 + self.row_ptr.len() * 4;
+        match self.sorted.get() {
+            Some(s) => base + s.vals.len() * 4 + s.cols.len() * 4,
+            None => base,
+        }
     }
 
     /// The compiled nonzero stream of output row `row`:
@@ -186,58 +208,79 @@ impl CompiledKernel {
             .map(|(&v, &c)| (v, c as usize))
     }
 
+    /// The column-sorted copy of the stream, built on first use.
+    fn sorted_stream(&self) -> &SortedStream {
+        self.sorted
+            .get_or_init(|| stream::build_sorted(&self.row_ptr, &self.vals, &self.cols))
+    }
+
     /// Computes `C = A × B`, allocating the output and scratch.
     pub fn execute(&self, b: &Matrix) -> Vec<f32> {
+        self.execute_opts(b, &ExecOptions::default())
+    }
+
+    /// [`CompiledKernel::execute`] with explicit microkernel options.
+    pub fn execute_opts(&self, b: &Matrix, opts: &ExecOptions) -> Vec<f32> {
         let mut c = vec![0.0f32; self.m * b.cols];
         let mut scratch = vec![0.0f32; self.k * b.cols];
-        self.execute_into(b, &mut c, &mut scratch);
+        self.execute_into_opts(b, &mut c, &mut scratch, opts);
         c
     }
 
     /// Computes `C = A × B` with the output and conversion scratch
     /// drawn from `pool` — the zero-allocation steady-state path.
     pub fn execute_pooled<'p>(&self, b: &Matrix, pool: &'p WorkspacePool) -> PoolBuf<'p> {
+        self.execute_pooled_opts(b, pool, &ExecOptions::default())
+    }
+
+    /// [`CompiledKernel::execute_pooled`] with explicit microkernel
+    /// options (the serve registry's per-model selection path).
+    pub fn execute_pooled_opts<'p>(
+        &self,
+        b: &Matrix,
+        pool: &'p WorkspacePool,
+        opts: &ExecOptions,
+    ) -> PoolBuf<'p> {
         let mut c = pool.acquire(self.m * b.cols);
         let mut scratch = pool.acquire(self.k * b.cols);
-        self.execute_into(b, &mut c, &mut scratch);
+        self.execute_into_opts(b, &mut c, &mut scratch, opts);
         c
     }
 
-    /// The core: panels B into `scratch` (f32, panel-major), then runs
-    /// the 2-D `(row block × panel)` grid writing `c` (row-major
-    /// `m × n`, fully overwritten).
+    /// The core with auto microkernel selection: panels B into
+    /// `scratch` (f32, panel-major), then runs the 2-D `(row block ×
+    /// panel)` grid writing `c` (row-major `m × n`, fully overwritten).
     pub fn execute_into(&self, b: &Matrix, c: &mut [f32], scratch: &mut [f32]) {
-        self.execute_into_dispatch(b, c, scratch, true);
+        self.execute_into_opts(b, c, scratch, &ExecOptions::default());
     }
 
     /// [`CompiledKernel::execute_into`] with the microkernel pinned to
     /// scalar: the degraded path of the resilience ladder, bit-identical
     /// to [`crate::execute_fast`] on every input (DESIGN.md §12).
     pub fn execute_into_scalar(&self, b: &Matrix, c: &mut [f32], scratch: &mut [f32]) {
-        self.execute_into_dispatch(b, c, scratch, false);
+        self.execute_into_opts(b, c, scratch, &ExecOptions::scalar());
     }
 
     /// Allocating convenience over
     /// [`CompiledKernel::execute_into_scalar`].
     pub fn execute_scalar(&self, b: &Matrix) -> Vec<f32> {
-        let mut c = vec![0.0f32; self.m * b.cols];
-        let mut scratch = vec![0.0f32; self.k * b.cols];
-        self.execute_into_scalar(b, &mut c, &mut scratch);
-        c
+        self.execute_opts(b, &ExecOptions::scalar())
     }
 
-    /// [`CompiledKernel::execute_into`] with the microkernel pinned:
-    /// `allow_simd = false` forces the scalar kernel, whose result is
-    /// bit-identical to `execute_fast` on every input.
-    fn execute_into_dispatch(
+    /// The core: resolves `opts` through the [`dispatch`] registry
+    /// (forced selection falls back cleanly when the ISA is absent or
+    /// poisoned), then panels B and runs the 2-D grid with the chosen
+    /// axpy over the chosen stream order.
+    pub fn execute_into_opts(
         &self,
         b: &Matrix,
         c: &mut [f32],
         scratch: &mut [f32],
-        allow_simd: bool,
+        opts: &ExecOptions,
     ) {
-        if allow_simd {
-            // Only the full-speed path carries the injection point: the
+        let sel = dispatch::select(opts);
+        if sel.kind != KernelKind::Scalar {
+            // Only the full-speed paths carry the injection point: the
             // degraded scalar path must stay fault-free so the ladder
             // (SIMD → scalar → execute_fast) terminates.
             fault::trip(points::EXECUTE);
@@ -249,6 +292,14 @@ impl CompiledKernel {
         if n == 0 || self.m == 0 {
             return;
         }
+        // Accumulation-order-changing stream copy only when the opt-in
+        // sorted variant was selected.
+        let (vals, cols): (&[f32], &[u32]) = if sel.sorted {
+            let s = self.sorted_stream();
+            (&s.vals, &s.cols)
+        } else {
+            (&self.vals, &self.cols)
+        };
         let pw = panel_width(self.k, n);
         let panels: Vec<(usize, usize)> = (0..n)
             .step_by(pw)
@@ -286,7 +337,7 @@ impl CompiledKernel {
         let tasks: Vec<(usize, usize)> = (0..panels.len())
             .flat_map(|pb| (0..row_blocks).map(move |rb| (pb, rb)))
             .collect();
-        let axpy = select_axpy(allow_simd);
+        let axpy = sel.axpy;
         let c_ptr = SendPtr(c.as_mut_ptr());
         let c_ptr = &c_ptr;
         tasks.into_par_iter().for_each(|(pb, rb)| {
@@ -307,7 +358,7 @@ impl CompiledKernel {
                 // one task.
                 let c_row =
                     unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(row * n + col0), w) };
-                axpy(c_row, &self.vals[lo..hi], &self.cols[lo..hi], slab, w);
+                axpy(c_row, &vals[lo..hi], &cols[lo..hi], slab, w);
             }
         });
 
@@ -315,6 +366,14 @@ impl CompiledKernel {
             let reg = jigsaw_obs::global();
             reg.counter("exec.compiled_runs").inc();
             reg.counter("exec.panels").add(panels.len() as u64);
+            reg.counter(match sel.kind {
+                KernelKind::Scalar => "kernel.runs.scalar",
+                KernelKind::Avx2Fma => "kernel.runs.avx2_fma",
+                KernelKind::Avx512f => "kernel.runs.avx512f",
+                KernelKind::Neon => "kernel.runs.neon",
+                KernelKind::SortedStream => "kernel.runs.sorted_stream",
+            })
+            .inc();
         }
     }
 }
@@ -325,142 +384,6 @@ fn panel_width(k: usize, n: usize) -> usize {
     let ideal = PANEL_TARGET_BYTES / (4 * k.max(1));
     let pw = ideal.clamp(32, 512) & !15;
     pw.min(n).max(1)
-}
-
-/// Per-row microkernel signature: one row's nonzero stream against one
-/// converted B panel, accumulating into the row's C segment.
-type AxpyFn = fn(&mut [f32], &[f32], &[u32], &[f32], usize);
-
-/// Picks the widest microkernel the host supports. The scalar kernel
-/// is the semantic reference (bit-identical to `execute_fast`); the
-/// AVX2+FMA kernel is dispatched at runtime and differs only by fusing
-/// each multiply-add (exact on integer data, ≤ 1 ulp per step else).
-fn select_axpy(allow_simd: bool) -> AxpyFn {
-    #[cfg(target_arch = "x86_64")]
-    if allow_simd && is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
-        return axpy_panel_avx2;
-    }
-    let _ = allow_simd;
-    axpy_panel_scalar
-}
-
-/// Scalar microkernel: four nonzeros per pass over the C segment
-/// (quartering C traffic), products applied as sequential f32 adds so
-/// the result is bit-identical to the one-at-a-time order.
-fn axpy_panel_scalar(c_row: &mut [f32], vals: &[f32], cols: &[u32], slab: &[f32], w: usize) {
-    let nnz = vals.len();
-    let mut i = 0;
-    while i + 4 <= nnz {
-        let b0 = &slab[cols[i] as usize * w..][..w];
-        let b1 = &slab[cols[i + 1] as usize * w..][..w];
-        let b2 = &slab[cols[i + 2] as usize * w..][..w];
-        let b3 = &slab[cols[i + 3] as usize * w..][..w];
-        let (v0, v1, v2, v3) = (vals[i], vals[i + 1], vals[i + 2], vals[i + 3]);
-        for (j, cj) in c_row.iter_mut().enumerate() {
-            let mut acc = *cj;
-            acc += v0 * b0[j];
-            acc += v1 * b1[j];
-            acc += v2 * b2[j];
-            acc += v3 * b3[j];
-            *cj = acc;
-        }
-        i += 4;
-    }
-    while i < nnz {
-        let bi = &slab[cols[i] as usize * w..][..w];
-        let v = vals[i];
-        for (cj, &bj) in c_row.iter_mut().zip(bi) {
-            *cj += v * bj;
-        }
-        i += 1;
-    }
-}
-
-/// AVX2+FMA microkernel: safe wrapper around the `target_feature`
-/// inner function — `select_axpy` only returns it after runtime
-/// feature detection.
-#[cfg(target_arch = "x86_64")]
-fn axpy_panel_avx2(c_row: &mut [f32], vals: &[f32], cols: &[u32], slab: &[f32], w: usize) {
-    // SAFETY: avx2+fma were verified by `select_axpy`; the slice
-    // invariants the inner kernel relies on are checked there.
-    unsafe { axpy_panel_avx2_inner(c_row, vals, cols, slab, w) }
-}
-
-/// Eight lanes per vector, four nonzeros per pass, fused
-/// multiply-adds. Accumulation stays in per-row `(window, slot)`
-/// order; only the rounding of each step changes versus the scalar
-/// kernel (none at all on integer-valued data).
-///
-/// # Safety
-///
-/// Requires avx2 and fma. Slice invariants (`c_row.len() == w`, every
-/// `cols[i] as usize * w + w <= slab.len()`, `vals.len() ==
-/// cols.len()`) are asserted on entry, so callers only owe the ISA
-/// guarantee.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2,fma")]
-unsafe fn axpy_panel_avx2_inner(
-    c_row: &mut [f32],
-    vals: &[f32],
-    cols: &[u32],
-    slab: &[f32],
-    w: usize,
-) {
-    use std::arch::x86_64::*;
-    assert_eq!(c_row.len(), w);
-    assert_eq!(vals.len(), cols.len());
-    let rows = slab.len() / w.max(1);
-    assert!(cols.iter().all(|&c| (c as usize) < rows), "B row in slab");
-
-    let nnz = vals.len();
-    let c_ptr = c_row.as_mut_ptr();
-    let slab_ptr = slab.as_ptr();
-    let mut i = 0;
-    while i + 4 <= nnz {
-        let b0 = slab_ptr.add(cols[i] as usize * w);
-        let b1 = slab_ptr.add(cols[i + 1] as usize * w);
-        let b2 = slab_ptr.add(cols[i + 2] as usize * w);
-        let b3 = slab_ptr.add(cols[i + 3] as usize * w);
-        let (v0, v1, v2, v3) = (vals[i], vals[i + 1], vals[i + 2], vals[i + 3]);
-        let (s0, s1) = (_mm256_set1_ps(v0), _mm256_set1_ps(v1));
-        let (s2, s3) = (_mm256_set1_ps(v2), _mm256_set1_ps(v3));
-        let mut j = 0;
-        while j + 8 <= w {
-            let mut acc = _mm256_loadu_ps(c_ptr.add(j));
-            acc = _mm256_fmadd_ps(s0, _mm256_loadu_ps(b0.add(j)), acc);
-            acc = _mm256_fmadd_ps(s1, _mm256_loadu_ps(b1.add(j)), acc);
-            acc = _mm256_fmadd_ps(s2, _mm256_loadu_ps(b2.add(j)), acc);
-            acc = _mm256_fmadd_ps(s3, _mm256_loadu_ps(b3.add(j)), acc);
-            _mm256_storeu_ps(c_ptr.add(j), acc);
-            j += 8;
-        }
-        while j < w {
-            let mut acc = *c_ptr.add(j);
-            acc = v0.mul_add(*b0.add(j), acc);
-            acc = v1.mul_add(*b1.add(j), acc);
-            acc = v2.mul_add(*b2.add(j), acc);
-            acc = v3.mul_add(*b3.add(j), acc);
-            *c_ptr.add(j) = acc;
-            j += 1;
-        }
-        i += 4;
-    }
-    while i < nnz {
-        let bi = slab_ptr.add(cols[i] as usize * w);
-        let v = vals[i];
-        let s = _mm256_set1_ps(v);
-        let mut j = 0;
-        while j + 8 <= w {
-            let acc = _mm256_fmadd_ps(s, _mm256_loadu_ps(bi.add(j)), _mm256_loadu_ps(c_ptr.add(j)));
-            _mm256_storeu_ps(c_ptr.add(j), acc);
-            j += 8;
-        }
-        while j < w {
-            *c_ptr.add(j) = v.mul_add(*bi.add(j), *c_ptr.add(j));
-            j += 1;
-        }
-        i += 1;
-    }
 }
 
 /// Shared raw base pointer for the disjoint-rectangle writes of the
@@ -548,18 +471,62 @@ mod tests {
         // Scalar microkernel: same per-row accumulation order and
         // sequential f32 adds — equality holds bit-for-bit, not
         // within a tolerance.
-        let mut c = vec![0.0f32; kernel.m * b.cols];
-        let mut scratch = vec![0.0f32; kernel.k * b.cols];
-        kernel.execute_into_dispatch(&b, &mut c, &mut scratch, false);
-        assert_eq!(c, oracle);
+        assert_eq!(kernel.execute_scalar(&b), oracle);
 
-        // Dispatched path (FMA where available): fusion perturbs each
-        // step by at most its own rounding, so the result stays within
-        // a tight relative band of the oracle.
+        // Dispatched path (fused SIMD where available): fusion
+        // perturbs each step by at most its own rounding, so the
+        // result stays within a tight relative band of the oracle.
         for (got, want) in kernel.execute(&b).iter().zip(&oracle) {
             let tol = 1e-4 * want.abs().max(1.0);
             assert!((got - want).abs() <= tol, "{got} vs {want}");
         }
+    }
+
+    #[test]
+    fn every_available_variant_computes_the_product() {
+        let (a, f) = setup(64, 96, 0.9, 4, 32, true, 5);
+        let b = dense_rhs(96, 24, ValueDist::SmallInt, 6);
+        let kernel = CompiledKernel::compile(&f);
+        let expect = a.matmul_reference(&b);
+        for kind in dispatch::available_kernels() {
+            let got = kernel.execute_opts(&b, &ExecOptions::forced(kind));
+            // Integer-valued data: fusion and reordering are both
+            // exact, so every variant agrees bit-for-bit.
+            assert_eq!(got, expect, "variant {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn sorted_stream_orders_columns_and_stays_within_tolerance() {
+        let a = VectorSparseSpec {
+            rows: 64,
+            cols: 128,
+            sparsity: 0.85,
+            v: 4,
+            dist: ValueDist::Uniform,
+            seed: 29,
+        }
+        .generate();
+        let b = dense_rhs(128, 24, ValueDist::Uniform, 30);
+        let plan = ReorderPlan::build(&a, &JigsawConfig::v4(32));
+        let f = JigsawFormat::build(&a, &plan, true);
+        let kernel = CompiledKernel::compile(&f);
+        let oracle = kernel.execute_scalar(&b);
+        let sorted = kernel.execute_opts(&b, &ExecOptions::forced(KernelKind::SortedStream));
+        let err = crate::exec::max_relative_error(&sorted, &oracle);
+        assert!(err < 1e-4, "sorted stream within tolerance, err {err}");
+        // The sorted copy is column-monotone within every row.
+        let s = kernel.sorted_stream();
+        for row in 0..kernel.m {
+            let lo = kernel.row_ptr[row] as usize;
+            let hi = kernel.row_ptr[row + 1] as usize;
+            assert!(
+                s.cols[lo..hi].windows(2).all(|w| w[0] <= w[1]),
+                "row {row} sorted"
+            );
+        }
+        // Built once, reported in the stream footprint.
+        assert!(kernel.stream_bytes() > kernel.nnz() * 8);
     }
 
     #[test]
@@ -568,7 +535,14 @@ mod tests {
         for n in [1usize, 13, 33] {
             let b = dense_rhs(64, n, ValueDist::SmallInt, 9);
             let kernel = CompiledKernel::compile(&f);
-            assert_eq!(kernel.execute(&b), a.matmul_reference(&b), "n={n}");
+            for kind in dispatch::available_kernels() {
+                assert_eq!(
+                    kernel.execute_opts(&b, &ExecOptions::forced(kind)),
+                    a.matmul_reference(&b),
+                    "n={n} variant={}",
+                    kind.name()
+                );
+            }
         }
     }
 

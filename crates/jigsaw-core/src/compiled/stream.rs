@@ -1,0 +1,84 @@
+//! The opt-in column-sorted nonzero stream: each row's `(value,
+//! source column)` pairs re-sorted by ascending source column, so the
+//! axpy touches a DRAM-resident B panel strictly front-to-back instead
+//! of in the reorder's `(window, slot)` order.
+//!
+//! Sorting **changes the accumulation order**, so this variant is
+//! excluded from the bit-exact contract (ULP-bounded against the
+//! scalar oracle only) and is gated behind
+//! [`ExecOptions::sorted_stream`](super::ExecOptions) or an explicit
+//! force — auto selection never picks it (DESIGN.md §13).
+
+/// The per-row column-sorted copy of a compiled kernel's nonzero
+/// stream. Shares the kernel's `row_ptr`; only `vals`/`cols` are
+/// permuted, row-locally, by ascending source column.
+#[derive(Clone, Debug)]
+pub struct SortedStream {
+    /// Nonzero values in per-row ascending-column order.
+    pub(crate) vals: Vec<f32>,
+    /// Source columns, ascending within each row.
+    pub(crate) cols: Vec<u32>,
+}
+
+/// Builds the sorted copy from a compiled stream (stable sort, so
+/// duplicate source columns — impossible today, but harmless — keep
+/// their original relative order).
+pub(crate) fn build_sorted(row_ptr: &[u32], vals: &[f32], cols: &[u32]) -> SortedStream {
+    let mut s_vals = vals.to_vec();
+    let mut s_cols = cols.to_vec();
+    let mut perm: Vec<u32> = Vec::new();
+    for win in row_ptr.windows(2) {
+        let (lo, hi) = (win[0] as usize, win[1] as usize);
+        perm.clear();
+        perm.extend(lo as u32..hi as u32);
+        perm.sort_by_key(|&i| cols[i as usize]);
+        for (out, &src) in (lo..hi).zip(&perm) {
+            s_vals[out] = vals[src as usize];
+            s_cols[out] = cols[src as usize];
+        }
+    }
+    if jigsaw_obs::enabled() {
+        jigsaw_obs::global().counter("kernel.sorted_builds").inc();
+    }
+    SortedStream {
+        vals: s_vals,
+        cols: s_cols,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_each_row_independently_and_preserves_pairs() {
+        let row_ptr = [0u32, 3, 3, 6];
+        let vals = [1.0f32, 2.0, 3.0, 6.0, 5.0, 4.0];
+        let cols = [9u32, 4, 7, 2, 1, 0];
+        let s = build_sorted(&row_ptr, &vals, &cols);
+        assert_eq!(s.cols, vec![4, 7, 9, 0, 1, 2]);
+        assert_eq!(s.vals, vec![2.0, 3.0, 1.0, 4.0, 5.0, 6.0]);
+        // Pairs travel together: multiset of (val, col) is unchanged.
+        let mut orig: Vec<(u32, u32)> = vals
+            .iter()
+            .zip(&cols)
+            .map(|(v, &c)| (v.to_bits(), c))
+            .collect();
+        let mut got: Vec<(u32, u32)> = s
+            .vals
+            .iter()
+            .zip(&s.cols)
+            .map(|(v, &c)| (v.to_bits(), c))
+            .collect();
+        orig.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(orig, got);
+    }
+
+    #[test]
+    fn empty_rows_are_untouched() {
+        let s = build_sorted(&[0, 0, 0], &[], &[]);
+        assert!(s.vals.is_empty());
+        assert!(s.cols.is_empty());
+    }
+}

@@ -12,6 +12,12 @@
 //!
 //! Both must agree with the dense reference (and do, bit-exactly, for
 //! integer-valued inputs).
+//!
+//! [`execute_fast`] is also the **differential oracle** of the
+//! compiled microkernel family ([`crate::compiled::dispatch`]): the
+//! `scalar` variant must match it bit-for-bit on every input, and the
+//! fused/reordered variants are held within a stated ULP bound of it
+//! by the `kernel_parity` cross-ISA test suite.
 
 use dlmc::Matrix;
 use rayon::prelude::*;

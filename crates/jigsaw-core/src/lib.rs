@@ -50,7 +50,7 @@ pub mod swizzle;
 pub mod sync;
 
 pub use analysis::{forecast, jigsaw_expected_win, strip_census, ReorderForecast, StripCensus};
-pub use compiled::CompiledKernel;
+pub use compiled::{CompiledKernel, ExecOptions, KernelKind};
 pub use config::{ConfigBuilder, JigsawConfig, MMA_N, MMA_TILE};
 pub use errors::{CompileError, ConfigError, PlanError};
 pub use exec::{execute_fast, execute_via_fragments, max_relative_error};

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use jigsaw_obs::Span;
 
-use crate::compiled::CompiledKernel;
+use crate::compiled::{CompiledKernel, ExecOptions};
 use crate::config::{JigsawConfig, MMA_TILE};
 use crate::errors::PlanError;
 use crate::exec::execute_via_fragments;
@@ -28,6 +28,11 @@ pub struct JigsawSpmm {
     pub format: JigsawFormat,
     /// Reorder quality statistics (Figure 11's signals).
     pub reorder_stats: ReorderStats,
+    /// Microkernel selection for [`JigsawSpmm::run`]: which dispatch
+    /// variant executes and whether the opt-in sorted stream is
+    /// allowed (defaults to auto selection, bit-exact guarantees
+    /// intact).
+    pub exec_options: ExecOptions,
     /// Lazily compiled execution plan (built on first run, shared by
     /// clones made after that point).
     compiled: OnceLock<Arc<CompiledKernel>>,
@@ -94,6 +99,7 @@ impl JigsawSpmm {
             config,
             format,
             reorder_stats,
+            exec_options: ExecOptions::default(),
             compiled: OnceLock::new(),
         })
     }
@@ -153,12 +159,21 @@ impl JigsawSpmm {
             .get_or_init(|| Arc::new(CompiledKernel::compile(&self.format)))
     }
 
+    /// Sets the microkernel selection for later [`JigsawSpmm::run`]
+    /// calls (builder-style; see [`ExecOptions`]).
+    pub fn with_exec_options(mut self, opts: ExecOptions) -> JigsawSpmm {
+        self.exec_options = opts;
+        self
+    }
+
     /// Computes `C = A × B` and simulates the kernel's execution.
     ///
-    /// Values come from the compiled plan (bit-identical to
+    /// Values come from the compiled plan through the microkernel
+    /// dispatch layer under [`JigsawSpmm::exec_options`] (default:
+    /// auto selection — the scalar rung stays bit-identical to
     /// [`crate::execute_fast`], the differential-testing oracle).
     pub fn run(&self, b: &Matrix, spec: &GpuSpec) -> SpmmRun {
-        let c = self.compiled().execute(b);
+        let c = self.compiled().execute_opts(b, &self.exec_options);
         let stats = self.simulate(b.cols, spec);
         SpmmRun { c, stats }
     }

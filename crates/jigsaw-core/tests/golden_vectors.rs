@@ -1,0 +1,144 @@
+//! Checked-in golden vectors for the scalar SpMM path.
+//!
+//! The differential suites (`properties.rs`, `kernel_parity.rs`) prove
+//! the variants agree with *each other*; these tests pin the scalar
+//! path to committed outputs so drift that moves the whole family at
+//! once — a format change, an RNG change in `dlmc`, a reorder tweak —
+//! fails CI on any host, x86 or aarch64, with or without SIMD.
+//!
+//! Expected products are committed as hex-encoded f32 bit patterns
+//! (bit-exact comparison; no tolerance). To regenerate after an
+//! *intentional* semantic change, run:
+//!
+//! ```text
+//! JIGSAW_GOLDEN_PRINT=1 cargo test -p jigsaw-core --test golden_vectors -- --nocapture
+//! ```
+//!
+//! and paste the printed arrays over the constants below.
+
+use dlmc::{dense_rhs, ValueDist, VectorSparseSpec};
+use jigsaw_core::{
+    execute_fast, CompiledKernel, ExecOptions, JigsawConfig, JigsawFormat, ReorderPlan,
+};
+
+struct GoldenCase {
+    name: &'static str,
+    rows: usize,
+    cols: usize,
+    n: usize,
+    sparsity: f64,
+    v: usize,
+    dist: ValueDist,
+    seed: u64,
+    expected_bits: &'static [u32],
+}
+
+fn run_case(case: &GoldenCase) {
+    let a = VectorSparseSpec {
+        rows: case.rows,
+        cols: case.cols,
+        sparsity: case.sparsity,
+        v: case.v,
+        dist: case.dist,
+        seed: case.seed,
+    }
+    .generate();
+    let b = dense_rhs(case.cols, case.n, case.dist, case.seed + 1);
+    let plan = ReorderPlan::build(&a, &JigsawConfig::v4(16));
+    let format = JigsawFormat::build(&a, &plan, true);
+    let fast = execute_fast(&format, &b);
+    let compiled = CompiledKernel::compile(&format).execute_opts(&b, &ExecOptions::scalar());
+    assert_eq!(fast, compiled, "{}: scalar == execute_fast", case.name);
+
+    let got_bits: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+    if std::env::var_os("JIGSAW_GOLDEN_PRINT").is_some() {
+        let hex: Vec<String> = got_bits.iter().map(|b| format!("0x{b:08x}")).collect();
+        println!(
+            "// {} ({} values)\n&[{}],",
+            case.name,
+            hex.len(),
+            hex.join(", ")
+        );
+        return;
+    }
+    assert_eq!(
+        got_bits.len(),
+        case.expected_bits.len(),
+        "{}: product size",
+        case.name
+    );
+    for (i, (&got, &want)) in got_bits.iter().zip(case.expected_bits).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "{}: C[{}] = {} (bits 0x{:08x}), golden 0x{:08x}",
+            case.name,
+            i,
+            f32::from_bits(got),
+            got,
+            want
+        );
+    }
+}
+
+/// 16×32 A (SmallInt, s=0.85, v=2, seed 1001) × 32×4 B (seed 1002),
+/// 64 values. Every entry is an exactly-representable small integer.
+#[rustfmt::skip]
+const SMALL_INT_BITS: &[u32] = &[
+    0x41880000, 0xc1b80000, 0xc1b00000, 0x41900000, 0xbf800000, 0x41c80000, 0x41c00000, 0xc1d80000,
+    0x40400000, 0xbf800000, 0x41c00000, 0x41e00000, 0xc0a00000, 0x40a00000, 0xc1e80000, 0xc2080000,
+    0xc1200000, 0x41300000, 0xc1500000, 0x42080000, 0xc1600000, 0xc0e00000, 0xc0800000, 0x41c00000,
+    0xc2180000, 0xc0e00000, 0xbf800000, 0xc1100000, 0x41c00000, 0x41c80000, 0xc0800000, 0x40800000,
+    0xc1a00000, 0xc21c0000, 0xc0400000, 0xc1700000, 0xc0e00000, 0xc2100000, 0xc0000000, 0xc0a00000,
+    0xc1880000, 0xc1600000, 0xc0e00000, 0x41e80000, 0xc2180000, 0xc1d80000, 0xc0a00000, 0xc0a00000,
+    0xc1700000, 0x41600000, 0x41e00000, 0xc1a80000, 0xc1500000, 0x41800000, 0x41c00000, 0xc1d80000,
+    0xc2200000, 0xc0a00000, 0xc1000000, 0xc1400000, 0x41100000, 0x41800000, 0x41500000, 0x41100000,
+];
+
+/// 32×48 A (Uniform, s=0.9, v=4, seed 2002) × 48×3 B (seed 2003),
+/// 96 values in scalar (execute_fast) accumulation order.
+#[rustfmt::skip]
+const UNIFORM_BITS: &[u32] = &[
+    0x3e74e91c, 0x3f81b114, 0x3ef47650, 0xbf5caccd, 0x3ed4658a, 0xbf5a808d, 0xbed9c10e, 0xbe2e103c,
+    0x3da945ca, 0x3db74480, 0x3f27d434, 0x3f22ea34, 0xbed96747, 0xbecc61c6, 0xbeaf83fe, 0xbea2b497,
+    0xbf93cf49, 0xbf9ebaf0, 0x3f493d50, 0x3fad5e4a, 0x3f527db2, 0x3fb82b50, 0x3fa11c04, 0x3eb750fe,
+    0xbf80dfac, 0x3ee6fc9c, 0xbf9d3aba, 0x3f093554, 0x3e33ee7e, 0x3e813790, 0xbed7a5be, 0x3e38d3c3,
+    0xbeea9fa6, 0x3f01260a, 0xbe1dbb3c, 0x3db1f3cc, 0xbe9cfc40, 0x3ee8b1e2, 0xbfa678c7, 0x3edf8fb7,
+    0x3f19f724, 0x3f605c91, 0x3e73be94, 0xbe08b809, 0x3e910cbc, 0x3ed7eb3a, 0x3ee15b26, 0x3e77f6b6,
+    0x3ed417e7, 0x3f0b0d01, 0x3ea34050, 0xbec925c7, 0x3f0a11ea, 0xbf088804, 0x3e8e2ec6, 0xbe267508,
+    0xbf79e003, 0x3e87b4f4, 0x3f2164fa, 0x3f99d028, 0x3dd49f00, 0x3efd5786, 0xbfa1aade, 0xbdd90d68,
+    0x3f02dcb3, 0x3f97bca7, 0xbf1a4ef5, 0x3d75c610, 0x400d34de, 0x3f33625a, 0x3e1231c8, 0xbfafa92f,
+    0x3e97310a, 0xbf169455, 0xbfe1f13e, 0xbf360d61, 0xbce45b40, 0x3d6b19b0, 0xbf2f7e9e, 0x3d387c9c,
+    0xbfe53989, 0x3d87f51c, 0x3e8e5c4c, 0xbd8f87ec, 0x3f1a941c, 0xbeb92b85, 0x3fa76782, 0x3faa2a4a,
+    0x3f6f0a11, 0xbd1dd720, 0xbfb092c0, 0xbe1d4fe0, 0xbed1d6da, 0xc01f90d0, 0xbf0d7915, 0xbf97a6f3,
+];
+
+#[test]
+fn golden_small_int_16x32_n4() {
+    run_case(&GoldenCase {
+        name: "small_int_16x32_n4",
+        rows: 16,
+        cols: 32,
+        n: 4,
+        sparsity: 0.85,
+        v: 2,
+        dist: ValueDist::SmallInt,
+        seed: 1001,
+        expected_bits: SMALL_INT_BITS,
+    });
+}
+
+#[test]
+fn golden_uniform_32x48_n3() {
+    run_case(&GoldenCase {
+        name: "uniform_32x48_n3",
+        rows: 32,
+        cols: 48,
+        n: 3,
+        sparsity: 0.9,
+        v: 4,
+        dist: ValueDist::Uniform,
+        seed: 2002,
+        expected_bits: UNIFORM_BITS,
+    });
+}

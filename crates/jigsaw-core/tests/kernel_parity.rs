@@ -1,0 +1,287 @@
+//! Cross-ISA differential parity suite for the microkernel dispatch
+//! registry (`jigsaw_core::compiled::dispatch`).
+//!
+//! Contract under test (DESIGN.md §13):
+//!
+//! * the `scalar` variant is **bit-identical** to [`execute_fast`] —
+//!   the differential oracle — on every input,
+//! * every fused ISA variant (`avx2_fma`, `avx512f`, `neon`) keeps the
+//!   oracle's accumulation *order* and differs only by per-step fused
+//!   rounding: bit-exact on integer-valued data, within the stated
+//!   tolerance (floored relative error ≤ 1e-5, ≈ 84 ulps at unit
+//!   scale) on arbitrary data,
+//! * the opt-in `sorted_stream` variant changes accumulation order and
+//!   is held to ≤ 1e-4,
+//! * forced selection works by name through the `JIGSAW_KERNEL`
+//!   environment variable, and a forced-but-absent ISA falls back
+//!   cleanly to a correct product — never a panic.
+//!
+//! Variants whose ISA the host lacks are **skipped with a log line**
+//! (not silently passed) so CI output shows exactly what ran.
+
+use proptest::prelude::*;
+
+use dlmc::{dense_rhs, Matrix, ValueDist, VectorSparseSpec};
+use jigsaw_core::compiled::dispatch::{self, ALL_KERNELS};
+use jigsaw_core::{
+    execute_fast, max_relative_error, CompiledKernel, ExecOptions, JigsawConfig, JigsawFormat,
+    KernelKind, ReorderPlan,
+};
+
+/// Serializes tests that read or write the process-global
+/// `JIGSAW_KERNEL` environment variable.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn compile(a: &Matrix, interleaved: bool) -> (JigsawFormat, CompiledKernel) {
+    let bt = if a.rows.is_multiple_of(32) { 32 } else { 16 };
+    let plan = ReorderPlan::build(a, &JigsawConfig::v4(bt));
+    let format = JigsawFormat::build(a, &plan, interleaved);
+    let kernel = CompiledKernel::compile(&format);
+    (format, kernel)
+}
+
+/// Logs and returns the variants this host can actually execute.
+/// Skipping is loud by design: a parity suite that silently passes on
+/// a host without the ISA is indistinguishable from one that ran.
+fn runnable_variants() -> Vec<KernelKind> {
+    let mut out = Vec::new();
+    for kind in ALL_KERNELS {
+        if kind.available() {
+            out.push(kind);
+        } else {
+            eprintln!(
+                "kernel_parity: SKIP variant {:?} ({}) — ISA not available on this host",
+                kind,
+                kind.name()
+            );
+        }
+    }
+    out
+}
+
+/// A kind that no single host can run: x86-64 lacks NEON, aarch64
+/// lacks AVX-512F, and other architectures lack both.
+fn absent_kind() -> KernelKind {
+    if KernelKind::Neon.available() {
+        KernelKind::Avx512f
+    } else {
+        KernelKind::Neon
+    }
+}
+
+/// Strategy: a small vector-sparse matrix spec, including very sparse
+/// configurations that leave whole strips empty.
+fn arb_matrix(dist: ValueDist) -> impl Strategy<Value = Matrix> {
+    (
+        1usize..=4,   // strips of 16 rows
+        1usize..=6,   // column blocks of 16
+        0.5f64..0.99, // sparsity
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        any::<u64>(),
+    )
+        .prop_map(move |(mr, kc, sparsity, v, seed)| {
+            VectorSparseSpec {
+                rows: mr * 16,
+                cols: kc * 16,
+                sparsity,
+                v,
+                dist,
+                seed,
+            }
+            .generate()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The scalar variant — forced explicitly, so immune to any
+    /// `JIGSAW_KERNEL` value — is bit-identical to `execute_fast` on
+    /// arbitrary (non-integer) values, layouts, and odd N.
+    #[test]
+    fn scalar_is_bit_identical_to_execute_fast(
+        a in arb_matrix(ValueDist::Uniform),
+        n in 1usize..=24,
+        interleaved in any::<bool>(),
+    ) {
+        let b = dense_rhs(a.cols, n, ValueDist::Uniform, 17);
+        let (format, kernel) = compile(&a, interleaved);
+        prop_assert_eq!(
+            kernel.execute_opts(&b, &ExecOptions::scalar()),
+            execute_fast(&format, &b)
+        );
+    }
+
+    /// On integer-valued data every product and partial sum is exactly
+    /// representable, so fused rounding and reordered accumulation
+    /// both vanish: every runnable variant must be bit-identical to
+    /// the oracle.
+    #[test]
+    fn all_variants_are_bit_exact_on_integer_data(
+        a in arb_matrix(ValueDist::SmallInt),
+        n in 1usize..=24,
+        interleaved in any::<bool>(),
+    ) {
+        let b = dense_rhs(a.cols, n, ValueDist::SmallInt, 23);
+        let (format, kernel) = compile(&a, interleaved);
+        let oracle = execute_fast(&format, &b);
+        for &kind in available_for_proptest() {
+            prop_assert_eq!(
+                &kernel.execute_opts(&b, &ExecOptions::forced(kind)),
+                &oracle,
+                "variant {}",
+                kind.name()
+            );
+        }
+    }
+
+    /// On arbitrary values the fused same-order variants stay within
+    /// 1e-5 floored relative error of the scalar oracle; the
+    /// order-changing sorted stream stays within 1e-4.
+    #[test]
+    fn fused_variants_stay_within_stated_tolerance(
+        a in arb_matrix(ValueDist::Uniform),
+        n in 1usize..=24,
+        interleaved in any::<bool>(),
+    ) {
+        let b = dense_rhs(a.cols, n, ValueDist::Uniform, 29);
+        let (_, kernel) = compile(&a, interleaved);
+        let oracle = kernel.execute_opts(&b, &ExecOptions::scalar());
+        for &kind in available_for_proptest() {
+            let got = kernel.execute_opts(&b, &ExecOptions::forced(kind));
+            let bound = if kind == KernelKind::SortedStream { 1e-4 } else { 1e-5 };
+            let err = max_relative_error(&got, &oracle);
+            prop_assert!(
+                err <= bound,
+                "variant {} err {} exceeds {}",
+                kind.name(),
+                err,
+                bound
+            );
+        }
+    }
+}
+
+/// `runnable_variants` would flood proptest output with one skip line
+/// per case; log once per process instead.
+fn available_for_proptest() -> &'static [KernelKind] {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<Vec<KernelKind>> = OnceLock::new();
+    AVAILABLE.get_or_init(runnable_variants)
+}
+
+/// Fixed config exercising the edge shapes the proptest strategies
+/// only sometimes reach: an entirely empty strip, an empty leading
+/// strip, and N not divisible by any lane width.
+#[test]
+fn every_variant_handles_empty_strips_and_odd_n() {
+    // Rows 16..32 (the second of three strips) are all zero.
+    let mut data = vec![0.0f32; 48 * 64];
+    for r in (0..48).filter(|r| !(16..32).contains(r)) {
+        for c in 0..64 {
+            if (r * 31 + c * 7) % 5 == 0 {
+                data[r * 64 + c] = ((r + c) % 7) as f32 - 3.0;
+            }
+        }
+    }
+    let a = Matrix::from_f32(48, 64, &data);
+    for n in [1, 13, 17] {
+        let b = dense_rhs(64, n, ValueDist::SmallInt, 31);
+        let (format, kernel) = compile(&a, true);
+        let oracle = execute_fast(&format, &b);
+        assert_eq!(oracle, a.matmul_reference(&b), "oracle sanity, n={n}");
+        for kind in runnable_variants() {
+            assert_eq!(
+                kernel.execute_opts(&b, &ExecOptions::forced(kind)),
+                oracle,
+                "variant {} n={n}",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// `JIGSAW_KERNEL=<name>` forces each runnable variant by name (both
+/// full and short spellings), and the forced run still computes the
+/// right product.
+#[test]
+fn env_var_forces_each_available_variant_by_name() {
+    let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    dispatch::unpoison_all();
+    let a = VectorSparseSpec {
+        rows: 32,
+        cols: 64,
+        sparsity: 0.9,
+        v: 4,
+        dist: ValueDist::SmallInt,
+        seed: 41,
+    }
+    .generate();
+    let b = dense_rhs(64, 9, ValueDist::SmallInt, 42);
+    let (format, kernel) = compile(&a, true);
+    let oracle = execute_fast(&format, &b);
+    for kind in runnable_variants() {
+        for name in [kind.name().to_string(), kind.name().to_uppercase()] {
+            std::env::set_var("JIGSAW_KERNEL", &name);
+            assert_eq!(
+                dispatch::selected_kind(&ExecOptions::default()),
+                kind,
+                "JIGSAW_KERNEL={name} selects {kind:?}"
+            );
+            assert_eq!(
+                kernel.execute_opts(&b, &ExecOptions::default()),
+                oracle,
+                "JIGSAW_KERNEL={name} computes the product"
+            );
+        }
+    }
+    std::env::remove_var("JIGSAW_KERNEL");
+}
+
+/// Forcing an ISA the host lacks — by env var or by options — never
+/// panics: selection falls back to a runnable kernel and the product
+/// is still bit-exact on integer data.
+#[test]
+fn forcing_an_absent_isa_falls_back_to_a_correct_product() {
+    let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    dispatch::unpoison_all();
+    let absent = absent_kind();
+    assert!(!absent.available(), "picked a truly absent ISA");
+    let a = VectorSparseSpec {
+        rows: 48,
+        cols: 80,
+        sparsity: 0.85,
+        v: 2,
+        dist: ValueDist::SmallInt,
+        seed: 51,
+    }
+    .generate();
+    let b = dense_rhs(80, 11, ValueDist::SmallInt, 52);
+    let (format, kernel) = compile(&a, false);
+    let oracle = execute_fast(&format, &b);
+
+    let sel = dispatch::selected_kind(&ExecOptions::forced(absent));
+    assert_ne!(sel, absent, "absent force resolves elsewhere");
+    assert!(sel.available(), "fallback is runnable");
+    assert_eq!(
+        kernel.execute_opts(&b, &ExecOptions::forced(absent)),
+        oracle
+    );
+
+    std::env::set_var("JIGSAW_KERNEL", absent.name());
+    assert_eq!(kernel.execute_opts(&b, &ExecOptions::default()), oracle);
+    std::env::remove_var("JIGSAW_KERNEL");
+}
+
+/// An unparseable `JIGSAW_KERNEL` value is ignored (auto selection),
+/// not an error.
+#[test]
+fn garbage_env_value_is_ignored() {
+    let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    dispatch::unpoison_all();
+    std::env::set_var("JIGSAW_KERNEL", "warp-specialized");
+    let kind = dispatch::selected_kind(&ExecOptions::default());
+    std::env::remove_var("JIGSAW_KERNEL");
+    assert!(kind.available());
+    assert_ne!(kind, KernelKind::SortedStream, "auto never picks sorted");
+}

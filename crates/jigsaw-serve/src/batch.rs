@@ -124,17 +124,93 @@ pub struct SpmmResponse {
     pub trace: Option<jigsaw_obs::SpanRecord>,
 }
 
+/// Why a batch could not be assembled or split — the typed edges of
+/// the column-concatenation algebra. Admission validates requests
+/// before they reach a batch, so hitting one of these in the server is
+/// a logic bug surfaced as a value (and a failed batch), never a
+/// panic; it also guards the ROADMAP batched-B fusion follow-up, where
+/// `concat_columns` grows a panel-major emit path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// A batch of zero parts has no well-defined K.
+    EmptyBatch,
+    /// A part carries zero columns — admission rejects these as
+    /// [`AdmitError::EmptyRequest`], so one inside a batch means the
+    /// batch was assembled from an unvalidated path.
+    ZeroWidthPart {
+        /// Index of the offending part / width.
+        index: usize,
+    },
+    /// Parts disagree on the reduction dimension.
+    RowMismatch {
+        /// Rows of part 0 (the batch's K).
+        expected: usize,
+        /// Rows of the offending part.
+        got: usize,
+        /// Index of the offending part.
+        index: usize,
+    },
+    /// The product buffer does not hold `m × Σwidths` elements.
+    SizeMismatch {
+        /// Elements in the product buffer.
+        c_len: usize,
+        /// Output rows.
+        m: usize,
+        /// Sum of the requested widths.
+        total: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::EmptyBatch => write!(f, "cannot assemble a batch of zero parts"),
+            BatchError::ZeroWidthPart { index } => {
+                write!(f, "batch part {index} has zero columns")
+            }
+            BatchError::RowMismatch {
+                expected,
+                got,
+                index,
+            } => write!(
+                f,
+                "batch part {index} has {got} rows, batch K is {expected}"
+            ),
+            BatchError::SizeMismatch { c_len, m, total } => write!(
+                f,
+                "product of {c_len} elements cannot split into {m}x{total}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
 /// Concatenates same-height matrices along the column axis.
 ///
-/// Panics if the parts disagree on `rows`; admission validates this
-/// before a request can reach a batch.
-pub fn concat_columns(parts: &[&Matrix]) -> Matrix {
-    assert!(!parts.is_empty(), "cannot concatenate zero matrices");
-    let rows = parts[0].rows;
-    assert!(
-        parts.iter().all(|p| p.rows == rows),
-        "all batch members must share K"
-    );
+/// Typed-error edges: an empty `parts` slice is
+/// [`BatchError::EmptyBatch`], a zero-width part is
+/// [`BatchError::ZeroWidthPart`], and disagreeing heights are
+/// [`BatchError::RowMismatch`] — admission validates all three before
+/// a request can reach a batch, so the server treats an `Err` here as
+/// a failed batch, not a panic.
+pub fn concat_columns(parts: &[&Matrix]) -> Result<Matrix, BatchError> {
+    let Some(first) = parts.first() else {
+        return Err(BatchError::EmptyBatch);
+    };
+    let rows = first.rows;
+    for (index, p) in parts.iter().enumerate() {
+        if p.cols == 0 {
+            return Err(BatchError::ZeroWidthPart { index });
+        }
+        if p.rows != rows {
+            return Err(BatchError::RowMismatch {
+                expected: rows,
+                got: p.rows,
+                index,
+            });
+        }
+    }
     let cols: usize = parts.iter().map(|p| p.cols).sum();
     let mut data = Vec::with_capacity(rows * cols);
     for r in 0..rows {
@@ -142,14 +218,31 @@ pub fn concat_columns(parts: &[&Matrix]) -> Matrix {
             data.extend_from_slice(p.row(r));
         }
     }
-    Matrix { rows, cols, data }
+    Ok(Matrix { rows, cols, data })
 }
 
 /// Splits a row-major `m × Σwidths` product back into per-request
 /// row-major blocks, inverting [`concat_columns`].
-pub fn split_columns(c: &[f32], m: usize, widths: &[usize]) -> Vec<Vec<f32>> {
+///
+/// Typed-error edges mirror [`concat_columns`]: an empty `widths`
+/// slice is [`BatchError::EmptyBatch`], a zero width is
+/// [`BatchError::ZeroWidthPart`], and a product buffer that is not
+/// `m × Σwidths` is [`BatchError::SizeMismatch`].
+pub fn split_columns(c: &[f32], m: usize, widths: &[usize]) -> Result<Vec<Vec<f32>>, BatchError> {
+    if widths.is_empty() {
+        return Err(BatchError::EmptyBatch);
+    }
+    if let Some(index) = widths.iter().position(|&w| w == 0) {
+        return Err(BatchError::ZeroWidthPart { index });
+    }
     let total: usize = widths.iter().sum();
-    assert_eq!(c.len(), m * total, "product size mismatch");
+    if c.len() != m * total {
+        return Err(BatchError::SizeMismatch {
+            c_len: c.len(),
+            m,
+            total,
+        });
+    }
     let mut out: Vec<Vec<f32>> = widths.iter().map(|&w| Vec::with_capacity(m * w)).collect();
     let mut off = 0;
     for (j, &w) in widths.iter().enumerate() {
@@ -158,7 +251,7 @@ pub fn split_columns(c: &[f32], m: usize, widths: &[usize]) -> Vec<Vec<f32>> {
         }
         off += w;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -171,7 +264,7 @@ mod tests {
     fn concat_then_split_roundtrips() {
         let b1 = dense_rhs(8, 3, ValueDist::SmallInt, 1);
         let b2 = dense_rhs(8, 5, ValueDist::SmallInt, 2);
-        let cat = concat_columns(&[&b1, &b2]);
+        let cat = concat_columns(&[&b1, &b2]).unwrap();
         assert_eq!(cat.rows, 8);
         assert_eq!(cat.cols, 8);
         for r in 0..8 {
@@ -196,9 +289,9 @@ mod tests {
             .map(|i| dense_rhs(96, 4 + i, ValueDist::Uniform, 20 + i as u64))
             .collect();
         let refs: Vec<&Matrix> = parts.iter().collect();
-        let batch_c = execute_fast(&planned.format, &concat_columns(&refs));
+        let batch_c = execute_fast(&planned.format, &concat_columns(&refs).unwrap());
         let widths: Vec<usize> = parts.iter().map(|p| p.cols).collect();
-        let splits = split_columns(&batch_c, 64, &widths);
+        let splits = split_columns(&batch_c, 64, &widths).unwrap();
         for (part, split) in parts.iter().zip(&splits) {
             assert_eq!(split, &execute_fast(&planned.format, part), "bit-exact");
         }
@@ -207,8 +300,56 @@ mod tests {
     #[test]
     fn split_handles_degenerate_widths() {
         let c = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
-        let parts = split_columns(&c, 2, &[1, 2]);
+        let parts = split_columns(&c, 2, &[1, 2]).unwrap();
         assert_eq!(parts[0], vec![1.0, 4.0]);
         assert_eq!(parts[1], vec![2.0, 3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_rejects_empty_batch_and_zero_width_parts() {
+        assert_eq!(concat_columns(&[]), Err(BatchError::EmptyBatch));
+
+        let ok = dense_rhs(8, 3, ValueDist::SmallInt, 1);
+        let empty = Matrix {
+            rows: 8,
+            cols: 0,
+            data: Vec::new(),
+        };
+        assert_eq!(
+            concat_columns(&[&ok, &empty]),
+            Err(BatchError::ZeroWidthPart { index: 1 })
+        );
+    }
+
+    #[test]
+    fn concat_rejects_row_mismatch_with_the_offending_index() {
+        let b1 = dense_rhs(8, 3, ValueDist::SmallInt, 1);
+        let b2 = dense_rhs(6, 2, ValueDist::SmallInt, 2);
+        assert_eq!(
+            concat_columns(&[&b1, &b2]),
+            Err(BatchError::RowMismatch {
+                expected: 8,
+                got: 6,
+                index: 1
+            })
+        );
+    }
+
+    #[test]
+    fn split_rejects_empty_zero_width_and_size_mismatch() {
+        let c = vec![0.0; 6];
+        assert_eq!(split_columns(&c, 2, &[]), Err(BatchError::EmptyBatch));
+        assert_eq!(
+            split_columns(&c, 2, &[1, 0, 2]),
+            Err(BatchError::ZeroWidthPart { index: 1 })
+        );
+        assert_eq!(
+            split_columns(&c, 2, &[1, 3]),
+            Err(BatchError::SizeMismatch {
+                c_len: 6,
+                m: 2,
+                total: 4
+            })
+        );
     }
 }

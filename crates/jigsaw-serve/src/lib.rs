@@ -34,7 +34,9 @@ pub mod server;
 pub mod sim;
 pub mod zoo;
 
-pub use batch::{concat_columns, split_columns, AdmitError, RequestStats, SpmmResponse};
+pub use batch::{
+    concat_columns, split_columns, AdmitError, BatchError, RequestStats, SpmmResponse,
+};
 pub use breaker::{BreakerAdmit, BreakerConfig, BreakerState, CircuitBreaker};
 pub use loadgen::{generate_schedule, rhs_for, run_closed_loop, LoadSpec};
 pub use metrics::{Histogram, ServeMetrics};

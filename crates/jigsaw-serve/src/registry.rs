@@ -23,11 +23,12 @@ use std::time::{Duration, Instant};
 
 use dlmc::Matrix;
 use gpu_sim::{simulate_kernel, GpuSpec, KernelStats};
+use jigsaw_core::compiled::dispatch;
 use jigsaw_core::fault::{self, points, FaultKind};
 use jigsaw_core::serialize;
 use jigsaw_core::{
-    build_launch, execute_fast, lock_recover, CompiledKernel, JigsawConfig, JigsawFormat,
-    JigsawSpmm, PlanError, PoolBuf, ReorderStats, WorkspacePool,
+    build_launch, execute_fast, lock_recover, CompiledKernel, ExecOptions, JigsawConfig,
+    JigsawFormat, JigsawSpmm, PlanError, PoolBuf, ReorderStats, WorkspacePool,
 };
 use jigsaw_obs::{Counter, Span};
 
@@ -47,6 +48,10 @@ pub struct RegistryConfig {
     /// Directory for serialized artifacts; `None` disables the disk
     /// tier (cold fetches then always re-plan).
     pub artifact_dir: Option<PathBuf>,
+    /// Default microkernel selection for models registered without
+    /// per-model options ([`ModelRegistry::register_with_options`]
+    /// overrides it per model).
+    pub exec_options: ExecOptions,
 }
 
 impl Default for RegistryConfig {
@@ -54,6 +59,7 @@ impl Default for RegistryConfig {
         RegistryConfig {
             budget_bytes: 64 << 20,
             artifact_dir: None,
+            exec_options: ExecOptions::default(),
         }
     }
 }
@@ -81,6 +87,10 @@ pub struct PlannedModel {
     /// How this model executes — the top rung of the degradation
     /// ladder it currently sits on (DESIGN.md §12).
     pub exec: ExecPlan,
+    /// Per-model microkernel selection threaded into every execution
+    /// (DESIGN.md §13): which dispatch variant runs and whether the
+    /// opt-in sorted stream is allowed.
+    pub exec_options: ExecOptions,
 }
 
 /// The degradation ladder of one resident model:
@@ -133,6 +143,16 @@ impl PlannedModel {
         }
     }
 
+    /// Marks this model's full-speed rung unusable and poisons the
+    /// dispatch variant that was executing, so the resilience ladder
+    /// retires a single bad microkernel process-wide while this model
+    /// drops to its bit-exact scalar rung.
+    fn poison_after_panic(&self, simd_poisoned: &AtomicBool) {
+        simd_poisoned.store(true, Ordering::Relaxed);
+        dispatch::poison(dispatch::selected_kind(&self.exec_options));
+        count_degrade("degrade.exec");
+    }
+
     /// Computes `C = W × b` (row-major f32).
     pub fn execute(&self, b: &Matrix) -> Vec<f32> {
         match &self.exec {
@@ -141,12 +161,12 @@ impl PlannedModel {
                 simd_poisoned,
             } => {
                 if !simd_poisoned.load(Ordering::Relaxed) {
-                    match catch_unwind(AssertUnwindSafe(|| kernel.execute(b))) {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        kernel.execute_opts(b, &self.exec_options)
+                    }));
+                    match run {
                         Ok(c) => return c,
-                        Err(_) => {
-                            simd_poisoned.store(true, Ordering::Relaxed);
-                            count_degrade("degrade.exec");
-                        }
+                        Err(_) => self.poison_after_panic(simd_poisoned),
                     }
                 }
                 kernel.execute_scalar(b)
@@ -169,13 +189,12 @@ impl PlannedModel {
                 let mut scratch = pool.acquire(self.k() * b.cols);
                 if !simd_poisoned.load(Ordering::Relaxed) {
                     let ran = catch_unwind(AssertUnwindSafe(|| {
-                        kernel.execute_into(b, &mut c, &mut scratch)
+                        kernel.execute_into_opts(b, &mut c, &mut scratch, &self.exec_options)
                     }));
                     match ran {
                         Ok(()) => return c,
                         Err(_) => {
-                            simd_poisoned.store(true, Ordering::Relaxed);
-                            count_degrade("degrade.exec");
+                            self.poison_after_panic(simd_poisoned);
                             c.fill(0.0);
                         }
                     }
@@ -366,6 +385,7 @@ fn load_artifact(path: &Path) -> io::Result<(JigsawFormat, usize)> {
 struct Source {
     weights: Matrix,
     config: JigsawConfig,
+    exec_options: ExecOptions,
 }
 
 struct Resident {
@@ -425,18 +445,38 @@ impl ModelRegistry {
         })
     }
 
-    /// Registers a model's weights. Planning is deferred to the first
-    /// fetch; re-registering a name replaces the source and drops any
+    /// Registers a model's weights with the registry-default
+    /// microkernel selection. Planning is deferred to the first fetch;
+    /// re-registering a name replaces the source and drops any
     /// resident plan.
     pub fn register(&self, name: &str, weights: Matrix, config: JigsawConfig) {
+        self.register_with_options(name, weights, config, self.cfg.exec_options);
+    }
+
+    /// [`ModelRegistry::register`] with per-model microkernel
+    /// selection: this model's executions force the given dispatch
+    /// variant / sorted-stream opt-in (DESIGN.md §13) instead of the
+    /// registry default.
+    pub fn register_with_options(
+        &self,
+        name: &str,
+        weights: Matrix,
+        config: JigsawConfig,
+        exec_options: ExecOptions,
+    ) {
         let mut inner = lock_recover(&self.inner);
         if let Some(old) = inner.resident.remove(name) {
             inner.resident_bytes -= old.model.artifact_bytes;
             inner.resident_models -= 1;
         }
-        inner
-            .sources
-            .insert(name.to_string(), Source { weights, config });
+        inner.sources.insert(
+            name.to_string(),
+            Source {
+                weights,
+                config,
+                exec_options,
+            },
+        );
     }
 
     /// The registered model's reduction dimension, if known.
@@ -526,6 +566,7 @@ impl ModelRegistry {
                 artifact_bytes,
                 plan_host_ns: started.elapsed().as_nanos() as u64,
                 exec,
+                exec_options: source.exec_options,
             };
             self.counters.disk_loads.inc();
             (model, Fetch::DiskLoaded)
@@ -546,6 +587,7 @@ impl ModelRegistry {
                 artifact_bytes: bytes.len(),
                 plan_host_ns: started.elapsed().as_nanos() as u64,
                 exec,
+                exec_options: source.exec_options,
             };
             self.counters.plans.inc();
             (model, Fetch::Planned)
@@ -626,6 +668,7 @@ mod tests {
         let reg = ModelRegistry::new(RegistryConfig {
             budget_bytes: budget,
             artifact_dir: dir,
+            exec_options: ExecOptions::default(),
         })
         .unwrap();
         for m in default_zoo(40).into_iter().take(2) {
@@ -709,6 +752,26 @@ mod tests {
         let b = dlmc::dense_rhs(m.k(), 8, dlmc::ValueDist::SmallInt, 77);
         assert_eq!(m.execute(&b), f.execute(&b));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn per_model_kernel_selection_is_honored() {
+        use jigsaw_core::KernelKind;
+        let reg = ModelRegistry::new(RegistryConfig::default()).unwrap();
+        let m = &default_zoo(40)[0];
+        reg.register_with_options(
+            "pinned-scalar",
+            m.weights(),
+            m.config,
+            ExecOptions::forced(KernelKind::Scalar),
+        );
+        let model = reg.get("pinned-scalar").unwrap();
+        assert_eq!(model.exec_options.kernel, Some(KernelKind::Scalar));
+        assert!(!model.is_degraded(), "a forced variant is not degraded");
+        // Forced scalar goes through the dispatch layer and stays
+        // bit-identical to the format-walk oracle, floats included.
+        let b = dlmc::dense_rhs(model.k(), 8, dlmc::ValueDist::Uniform, 3);
+        assert_eq!(model.execute(&b), execute_fast(&model.format, &b));
     }
 
     #[test]

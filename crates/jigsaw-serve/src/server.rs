@@ -64,6 +64,10 @@ impl Default for ServeConfig {
 pub enum ServeError {
     /// The registry failed while fetching the model for a batch.
     Registry(String),
+    /// Batch assembly or splitting hit a [`crate::batch::BatchError`]
+    /// — admission should make this unreachable, so every member of
+    /// the batch fails loudly instead of panicking the worker.
+    Batch(String),
     /// The server stopped before the request could run.
     Canceled,
     /// The worker executing this request's batch panicked; the panic
@@ -79,6 +83,7 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Registry(e) => write!(f, "registry failure: {e}"),
+            ServeError::Batch(e) => write!(f, "batch assembly failure: {e}"),
             ServeError::Canceled => write!(f, "request canceled by shutdown"),
             ServeError::WorkerPanic => write!(f, "worker panicked while executing the batch"),
             ServeError::DeadlineExceeded => write!(f, "deadline expired before dispatch"),
@@ -592,6 +597,11 @@ impl Drop for BatchGuard<'_> {
         if self.tickets.is_empty() {
             return;
         }
+        // Strike the breaker before waking any waiter: a client that
+        // observes its failure must also observe the recorded strike
+        // (an immediate retry after the threshold sees Open, and the
+        // chaos suite's breaker assertions don't race the worker).
+        self.shared.breaker_failure(&self.model);
         let mut failed = 0u64;
         for t in &self.tickets {
             if fulfill(t, Err(ServeError::WorkerPanic)) {
@@ -599,8 +609,29 @@ impl Drop for BatchGuard<'_> {
             }
         }
         lock_recover(&self.shared.metrics).failed += failed;
-        self.shared.breaker_failure(&self.model);
     }
+}
+
+/// Terminal path for batch-level failures before any member has been
+/// fulfilled: every ticket gets `err`, the guard is disarmed, the
+/// failures are accounted, and the model's breaker records one strike.
+fn fail_batch(
+    shared: &Shared,
+    guard: BatchGuard<'_>,
+    members: &[Pending],
+    model: &str,
+    err: ServeError,
+) {
+    // Same ordering as the guard's Drop: strike first, then wake.
+    shared.breaker_failure(model);
+    let mut failed = 0u64;
+    for p in members {
+        if fulfill(&p.ticket, Err(err.clone())) {
+            failed += 1;
+        }
+    }
+    guard.disarm();
+    lock_recover(&shared.metrics).failed += failed;
 }
 
 fn execute_batch(
@@ -640,23 +671,25 @@ fn execute_batch(
     let (planned, fetch) = match registry.fetch_traced(&model, &assemble) {
         Ok(pair) => pair,
         Err(e) => {
-            let msg = e.to_string();
-            let mut failed = 0u64;
-            for p in &members {
-                if fulfill(&p.ticket, Err(ServeError::Registry(msg.clone()))) {
-                    failed += 1;
-                }
-            }
-            guard.disarm();
-            lock_recover(&shared.metrics).failed += failed;
-            shared.breaker_failure(&model);
+            let err = ServeError::Registry(e.to_string());
+            fail_batch(shared, guard, &members, &model, err);
             return;
         }
     };
     let parts: Vec<&Matrix> = members.iter().map(|p| &p.b).collect();
     let widths: Vec<usize> = parts.iter().map(|p| p.cols).collect();
     let total_n: usize = widths.iter().sum();
-    let bcat = concat_columns(&parts);
+    // Admission validates K and rejects empty requests, so a
+    // BatchError here is a server logic bug — fail the batch as a
+    // typed error rather than unwinding the worker.
+    let bcat = match concat_columns(&parts) {
+        Ok(b) => b,
+        Err(e) => {
+            let err = ServeError::Batch(e.to_string());
+            fail_batch(shared, guard, &members, &model, err);
+            return;
+        }
+    };
     assemble.finish();
     let kernel = batch_span.child("kernel");
     // Pooled execution: the batch's C and conversion scratch come from
@@ -666,7 +699,14 @@ fn execute_batch(
     kernel.cycles(batch_cycles);
     kernel.finish();
     let split_span = batch_span.child("split");
-    let splits = split_columns(&c, planned.m(), &widths);
+    let splits = match split_columns(&c, planned.m(), &widths) {
+        Ok(s) => s,
+        Err(e) => {
+            let err = ServeError::Batch(e.to_string());
+            fail_batch(shared, guard, &members, &model, err);
+            return;
+        }
+    };
     split_span.finish();
     drop(c);
     batch_span.attr("n", total_n);

@@ -96,6 +96,7 @@ fn registry_eviction_respects_byte_budget() {
     let reg = ModelRegistry::new(RegistryConfig {
         budget_bytes: budget,
         artifact_dir: None,
+        exec_options: Default::default(),
     })
     .unwrap();
     for m in default_zoo(33).into_iter().take(2) {
@@ -132,6 +133,7 @@ fn corrupt_artifact_is_rejected_end_to_end() {
     let reg = ModelRegistry::new(RegistryConfig {
         budget_bytes: usize::MAX,
         artifact_dir: Some(dir.clone()),
+        exec_options: Default::default(),
     })
     .unwrap();
     for m in default_zoo(44).into_iter().take(1) {
