@@ -9,8 +9,9 @@ use gpu_sim::GpuSpec;
 use serde::{Deserialize, Serialize};
 
 use jigsaw_serve::{
-    default_zoo, generate_schedule, simulate_schedule, LoadSpec, ModelRegistry, RegistryConfig,
-    SimConfig,
+    default_zoo, generate_schedule, generate_zipf_schedule, scaled_zoo, simulate_schedule,
+    simulate_sharded, LoadSpec, ModelRegistry, RegistryConfig, ReplicationConfig, ShardConfig,
+    ShardSimConfig, SimConfig, SimRequest, StealConfig, ZipfLoadSpec,
 };
 
 use crate::runner::render_table;
@@ -50,6 +51,78 @@ pub struct Row {
     pub breakers_open: u64,
 }
 
+/// One shard count's outcome under the shared zipf workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardRow {
+    /// Shards in the ring.
+    pub shards: usize,
+    /// Requests completed across all shards.
+    pub completed: u64,
+    /// Requests redirected to a less-loaded replica at admission.
+    pub forwarded: u64,
+    /// Requests an idle shard pulled from an overloaded peer.
+    pub stolen: u64,
+    /// Breaker fast-rejects summed over shards.
+    pub breaker_rejects: u64,
+    /// Requests shed on deadline expiry.
+    pub shed_expired: u64,
+    /// Requests that terminated with a typed error.
+    pub failed: u64,
+    /// Hot-model promotions over the run.
+    pub promotions: u64,
+    /// Hot-model demotions over the run.
+    pub demotions: u64,
+    /// Cluster-wide p50 request latency, cycles.
+    pub p50_latency_cycles: f64,
+    /// Cluster-wide p95 request latency, cycles.
+    pub p95_latency_cycles: f64,
+    /// Cluster-wide p99 request latency, cycles.
+    pub p99_latency_cycles: f64,
+    /// Virtual-time makespan, cycles.
+    pub makespan_cycles: f64,
+    /// Completed requests per 10⁹ cycles of elapsed virtual time.
+    pub requests_per_gcycle: f64,
+    /// Per-shard submitted counts (routing balance).
+    pub per_shard_submitted: Vec<u64>,
+    /// Per-shard completed counts.
+    pub per_shard_completed: Vec<u64>,
+    /// Per-shard p99 latency, cycles (0 for an idle shard).
+    pub per_shard_p99_latency_cycles: Vec<f64>,
+}
+
+/// Workload shape for the sharded sweep. The same schedule (same
+/// offered load) runs at every shard count, so rows compare scaling,
+/// not workload drift.
+#[derive(Clone, Debug)]
+pub struct ShardSweepSpec {
+    /// Requests in the zipf workload.
+    pub requests: usize,
+    /// Distinct models in the scaled zoo.
+    pub models: usize,
+    /// Simulated user population.
+    pub users: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Shard counts to sweep.
+    pub shard_counts: Vec<usize>,
+    /// Mean inter-arrival gap, cycles — sized to saturate one shard so
+    /// the sweep shows queueing relief, not idle devices.
+    pub mean_gap_cycles: f64,
+}
+
+impl Default for ShardSweepSpec {
+    fn default() -> Self {
+        ShardSweepSpec {
+            requests: 20_000,
+            models: 24,
+            users: 1_000_000,
+            seed: 0x51AB,
+            shard_counts: vec![1, 2, 4, 8],
+            mean_gap_cycles: 600.0,
+        }
+    }
+}
+
 /// The serving experiment result.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Serving {
@@ -59,6 +132,14 @@ pub struct Serving {
     pub seed: u64,
     /// One row per policy.
     pub rows: Vec<Row>,
+    /// Requests in the sharded zipf workload.
+    pub shard_requests: usize,
+    /// Simulated user population behind the zipf workload.
+    pub users: usize,
+    /// Zipf workload seed.
+    pub zipf_seed: u64,
+    /// One row per shard count, same offered load.
+    pub shard_rows: Vec<ShardRow>,
 }
 
 /// Batching window, cycles (~35 µs at the A100 clock).
@@ -109,8 +190,76 @@ fn run_policy(
     }
 }
 
-/// Runs all four policies over one seeded workload.
-pub fn run(spec: &GpuSpec, requests: usize) -> Serving {
+/// Runs the zipf workload at each shard count. One warm registry and
+/// one schedule serve every row, so differences are pure topology.
+fn run_shard_sweep(spec: &GpuSpec, sweep: &ShardSweepSpec) -> Vec<ShardRow> {
+    let zoo = scaled_zoo(sweep.models, 90);
+    let registry = ModelRegistry::new(RegistryConfig {
+        // The scaled zoo must stay fully resident: an eviction mid-run
+        // would surface as a cold fetch the sharded sim rejects.
+        budget_bytes: 1 << 30,
+        ..RegistryConfig::default()
+    })
+    .expect("no artifact dir");
+    for m in &zoo {
+        registry.register(&m.name, m.weights(), m.config);
+    }
+    registry.warm_all().expect("zoo models plan");
+    let schedule: Vec<SimRequest> = generate_zipf_schedule(
+        &zoo,
+        &ZipfLoadSpec {
+            requests: sweep.requests,
+            users: sweep.users,
+            seed: sweep.seed,
+            mean_gap_cycles: sweep.mean_gap_cycles,
+            ..ZipfLoadSpec::default()
+        },
+    )
+    .into_iter()
+    .map(|z| z.req)
+    .collect();
+    sweep
+        .shard_counts
+        .iter()
+        .map(|&shards| {
+            let cfg = ShardSimConfig {
+                shard: ShardConfig::new(shards)
+                    .with_replication(ReplicationConfig::cycles(48, 2, 1_000_000.0))
+                    .with_steal(StealConfig::threshold(16)),
+                sim: SimConfig::batched(spec.clone(), MAX_BATCH_N, WINDOW_CYCLES),
+            };
+            let report = simulate_sharded(&registry, &schedule, &cfg);
+            assert!(report.totals.conserves(), "sharded run conserves requests");
+            ShardRow {
+                shards,
+                completed: report.totals.completed,
+                forwarded: report.forwarded,
+                stolen: report.stolen,
+                breaker_rejects: report.totals.breaker_rejects,
+                shed_expired: report.totals.shed_expired,
+                failed: report.totals.failed,
+                promotions: report.promotions,
+                demotions: report.demotions,
+                p50_latency_cycles: report.latency_cycles.percentile(50.0),
+                p95_latency_cycles: report.latency_cycles.percentile(95.0),
+                p99_latency_cycles: report.latency_cycles.percentile(99.0),
+                makespan_cycles: report.makespan_cycles,
+                requests_per_gcycle: report.requests_per_gcycle(),
+                per_shard_submitted: report.lanes.iter().map(|l| l.metrics.submitted).collect(),
+                per_shard_completed: report.lanes.iter().map(|l| l.metrics.completed).collect(),
+                per_shard_p99_latency_cycles: report
+                    .lanes
+                    .iter()
+                    .map(|l| l.metrics.latency_cycles.percentile(99.0))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Runs all four policies over one seeded workload, then the sharded
+/// zipf sweep over the same device spec.
+pub fn run(spec: &GpuSpec, requests: usize, sweep: &ShardSweepSpec) -> Serving {
     let zoo_seed = 90;
     let load = LoadSpec {
         requests,
@@ -125,10 +274,15 @@ pub fn run(spec: &GpuSpec, requests: usize) -> Serving {
         run_policy("unbatched+warm", false, true, &schedule, zoo_seed, spec),
         run_policy("unbatched+cold", false, false, &schedule, zoo_seed, spec),
     ];
+    let shard_rows = run_shard_sweep(spec, sweep);
     Serving {
         requests,
         seed: load.seed,
         rows,
+        shard_requests: sweep.requests,
+        users: sweep.users,
+        zipf_seed: sweep.seed,
+        shard_rows,
     }
 }
 
@@ -172,14 +326,47 @@ impl Serving {
                 ]
             })
             .collect();
+        let shard_header: Vec<String> = [
+            "shards",
+            "completed",
+            "p50 lat",
+            "p99 lat",
+            "fwd/stolen",
+            "brk/shed/failed",
+            "req/Gcycle",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let shard_rows: Vec<Vec<String>> = self
+            .shard_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.shards.to_string(),
+                    r.completed.to_string(),
+                    format!("{:.0}", r.p50_latency_cycles),
+                    format!("{:.0}", r.p99_latency_cycles),
+                    format!("{}/{}", r.forwarded, r.stolen),
+                    format!("{}/{}/{}", r.breaker_rejects, r.shed_expired, r.failed),
+                    format!("{:.1}", r.requests_per_gcycle),
+                ]
+            })
+            .collect();
         format!(
             "Serving — {} requests, seed {:#x}; batching window {} cycles,\n\
-             max batch {} columns (virtual-clock scheduler, A100 spec)\n{}",
+             max batch {} columns (virtual-clock scheduler, A100 spec)\n{}\n\
+             Sharded — {} zipf requests from {} users, seed {:#x};\n\
+             consistent-hash ring, hot-model replication, work stealing\n{}",
             self.requests,
             self.seed,
             WINDOW_CYCLES,
             MAX_BATCH_N,
-            render_table(&header, &rows)
+            render_table(&header, &rows),
+            self.shard_requests,
+            self.users,
+            self.zipf_seed,
+            render_table(&shard_header, &shard_rows)
         )
     }
 }
@@ -188,9 +375,22 @@ impl Serving {
 mod tests {
     use super::*;
 
+    /// A sweep shape small enough for debug-mode CI: 8 models, two
+    /// shard counts, a load that still queues on one shard.
+    fn tiny_sweep() -> ShardSweepSpec {
+        ShardSweepSpec {
+            requests: 600,
+            models: 8,
+            users: 10_000,
+            seed: 0x51AB,
+            shard_counts: vec![1, 4],
+            mean_gap_cycles: 300.0,
+        }
+    }
+
     #[test]
     fn batched_warm_beats_unbatched_cold() {
-        let result = run(&GpuSpec::a100(), 48);
+        let result = run(&GpuSpec::a100(), 48, &tiny_sweep());
         assert_eq!(result.rows.len(), 4);
         for r in &result.rows {
             assert_eq!(r.completed, 48, "{} completed all", r.policy);
@@ -222,5 +422,32 @@ mod tests {
         assert!(warm_row.avg_occupancy > 1.0, "requests were coalesced");
         let text = result.to_text();
         assert!(text.contains("batched+warm") && text.contains("req/Gcycle"));
+        assert!(text.contains("Sharded") && text.contains("fwd/stolen"));
+    }
+
+    #[test]
+    fn shard_sweep_scales_tail_latency() {
+        let result = run(&GpuSpec::a100(), 16, &tiny_sweep());
+        assert_eq!(result.shard_rows.len(), 2);
+        let one = &result.shard_rows[0];
+        let four = &result.shard_rows[1];
+        assert_eq!(one.shards, 1);
+        assert_eq!(four.shards, 4);
+        for row in &result.shard_rows {
+            assert_eq!(row.completed, 600, "no drops at this load");
+            assert_eq!(row.per_shard_submitted.len(), row.shards);
+            assert_eq!(
+                row.per_shard_completed.iter().sum::<u64>(),
+                row.completed,
+                "lane counts fold to the total"
+            );
+        }
+        assert!(
+            four.p99_latency_cycles < one.p99_latency_cycles,
+            "4-shard p99 {} must beat 1-shard p99 {} at the same offered load",
+            four.p99_latency_cycles,
+            one.p99_latency_cycles
+        );
+        assert!(four.promotions > 0, "zipf head went hot");
     }
 }

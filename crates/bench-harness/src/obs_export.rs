@@ -139,6 +139,35 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
                 }
             }
         }
+        // Since the shard router landed (DESIGN.md §14), the export
+        // also carries one row per shard count with the per-shard
+        // columns; an empty or truncated sweep is a schema regression.
+        let shard_rows = doc
+            .get("data")
+            .and_then(|d| d.get("shard_rows"))
+            .map(|r| r.items().to_vec())
+            .filter(|r| !r.is_empty())
+            .ok_or_else(|| "serving: data.shard_rows missing or empty".to_string())?;
+        for row in &shard_rows {
+            for key in [
+                "shards",
+                "completed",
+                "forwarded",
+                "stolen",
+                "breaker_rejects",
+                "shed_expired",
+                "failed",
+                "p50_latency_cycles",
+                "p95_latency_cycles",
+                "p99_latency_cycles",
+                "per_shard_submitted",
+                "per_shard_completed",
+            ] {
+                if row.get(key).is_none() {
+                    return Err(format!("serving shard row missing key {key:?}"));
+                }
+            }
+        }
     }
     Ok(experiment)
 }
@@ -295,25 +324,60 @@ mod tests {
     }
 
     #[derive(Serialize)]
+    struct ToyShardRow {
+        shards: usize,
+        completed: u64,
+        forwarded: u64,
+        stolen: u64,
+        breaker_rejects: u64,
+        shed_expired: u64,
+        failed: u64,
+        p50_latency_cycles: f64,
+        p95_latency_cycles: f64,
+        p99_latency_cycles: f64,
+        per_shard_submitted: Vec<u64>,
+        per_shard_completed: Vec<u64>,
+    }
+
+    fn toy_shard_row(shards: usize) -> ToyShardRow {
+        ToyShardRow {
+            shards,
+            completed: 100,
+            forwarded: 3,
+            stolen: 1,
+            breaker_rejects: 0,
+            shed_expired: 0,
+            failed: 0,
+            p50_latency_cycles: 1_000.0,
+            p95_latency_cycles: 5_000.0,
+            p99_latency_cycles: 9_000.0,
+            per_shard_submitted: vec![100 / shards as u64; shards],
+            per_shard_completed: vec![100 / shards as u64; shards],
+        }
+    }
+
+    #[derive(Serialize)]
     struct ToyServing {
         rows: Vec<ToyServingRow>,
+        shard_rows: Vec<ToyShardRow>,
+    }
+
+    fn toy_serving() -> ToyServing {
+        ToyServing {
+            rows: vec![ToyServingRow {
+                policy: "batched+warm".to_string(),
+                failed: 0,
+                shed_expired: 2,
+                queue_depth: 0,
+                breakers_open: 0,
+            }],
+            shard_rows: vec![toy_shard_row(1), toy_shard_row(4)],
+        }
     }
 
     #[test]
     fn serving_docs_must_carry_resilience_columns() {
-        let full = bench_doc(
-            "serving",
-            &ToyServing {
-                rows: vec![ToyServingRow {
-                    policy: "batched+warm".to_string(),
-                    failed: 0,
-                    shed_expired: 2,
-                    queue_depth: 0,
-                    breakers_open: 0,
-                }],
-            },
-        )
-        .to_string();
+        let full = bench_doc("serving", &toy_serving()).to_string();
         assert_eq!(check_bench_text(&full), Ok("serving".to_string()));
         // A row that lost a resilience column is rejected…
         #[derive(Serialize)]
@@ -337,6 +401,50 @@ mod tests {
         // under another experiment name is not row-checked.
         assert!(check_bench_text(&bench_doc("serving", &toy()).to_string()).is_err());
         assert!(check_bench_text(&bench_doc("other", &bare).to_string()).is_ok());
+    }
+
+    #[test]
+    fn serving_docs_must_carry_shard_sweep() {
+        // Policy rows alone no longer pass: the sweep is part of the
+        // serving schema.
+        #[derive(Serialize)]
+        struct NoSweep {
+            rows: Vec<ToyServingRow>,
+        }
+        let no_sweep = NoSweep {
+            rows: vec![ToyServingRow {
+                policy: "batched+warm".to_string(),
+                failed: 0,
+                shed_expired: 0,
+                queue_depth: 0,
+                breakers_open: 0,
+            }],
+        };
+        let err = check_bench_text(&bench_doc("serving", &no_sweep).to_string()).unwrap_err();
+        assert!(err.contains("shard_rows"), "{err}");
+        // A shard row that lost a per-shard column is rejected.
+        #[derive(Serialize)]
+        struct BareShardRow {
+            shards: usize,
+            completed: u64,
+        }
+        #[derive(Serialize)]
+        struct BareSweep {
+            rows: Vec<ToyServingRow>,
+            shard_rows: Vec<BareShardRow>,
+        }
+        let bare = BareSweep {
+            rows: no_sweep.rows,
+            shard_rows: vec![BareShardRow {
+                shards: 1,
+                completed: 100,
+            }],
+        };
+        let err = check_bench_text(&bench_doc("serving", &bare).to_string()).unwrap_err();
+        assert!(err.contains("forwarded"), "{err}");
+        // The full shape passes.
+        let ok = bench_doc("serving", &toy_serving()).to_string();
+        assert_eq!(check_bench_text(&ok), Ok("serving".to_string()));
     }
 
     #[derive(Serialize)]

@@ -40,6 +40,11 @@ pub mod points {
     pub const ARTIFACT_LOAD: &str = "registry.artifact_load";
     /// Start of one serve worker batch execution.
     pub const WORKER_BATCH: &str = "serve.worker_batch";
+    /// One shard-router routing decision (before the request reaches
+    /// its home shard's admission).
+    pub const SHARD_ROUTE: &str = "shard.route";
+    /// One shard-router forward/steal redirect to a replica shard.
+    pub const SHARD_FORWARD: &str = "shard.forward";
 }
 
 /// What an armed fault does when it fires.

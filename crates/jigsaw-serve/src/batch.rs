@@ -50,6 +50,18 @@ pub enum AdmitError {
         model: String,
         /// How long until the breaker admits a probe.
         retry_after: Duration,
+        /// Shard whose breaker tripped (`None` on an unsharded
+        /// server; the shard router always fills it in).
+        shard: Option<usize>,
+    },
+    /// No live shard can take the request: the model's home shard is
+    /// down and it holds no replicas elsewhere (or routing itself was
+    /// fault-injected). Only the shard router produces this.
+    ShardUnavailable {
+        /// Model the request addressed.
+        model: String,
+        /// The model's home shard on the ring.
+        shard: usize,
     },
 }
 
@@ -74,9 +86,23 @@ impl fmt::Display for AdmitError {
                 write!(f, "queue for model {model:?} is full ({cap} requests)")
             }
             AdmitError::ShuttingDown => write!(f, "server is shutting down"),
-            AdmitError::CircuitOpen { model, retry_after } => write!(
+            AdmitError::CircuitOpen {
+                model,
+                retry_after,
+                shard,
+            } => match shard {
+                Some(s) => write!(
+                    f,
+                    "circuit open for model {model:?} on shard {s}; retry after {retry_after:?}"
+                ),
+                None => write!(
+                    f,
+                    "circuit open for model {model:?}; retry after {retry_after:?}"
+                ),
+            },
+            AdmitError::ShardUnavailable { model, shard } => write!(
                 f,
-                "circuit open for model {model:?}; retry after {retry_after:?}"
+                "no live shard for model {model:?} (home shard {shard} down, no replicas)"
             ),
         }
     }

@@ -22,6 +22,13 @@
 //! A deterministic virtual-clock twin of the policy ([`sim`]) plus a
 //! seeded load generator ([`loadgen`], [`zoo`]) make serving
 //! experiments reproducible end to end.
+//!
+//! Above the single-server stack, the [`shard`] subsystem scales out:
+//! a consistent-hash [`shard::ShardRouter`] spreads model ids over N
+//! independent server shards (each with its own registry LRU, worker
+//! pool, and breakers), replicates hot models onto ring neighbors,
+//! forwards/steals work off overloaded shards, and isolates shard
+//! failures behind typed errors (DESIGN.md §14).
 
 #![warn(missing_docs)]
 
@@ -31,6 +38,7 @@ pub mod loadgen;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod shard;
 pub mod sim;
 pub mod zoo;
 
@@ -38,11 +46,18 @@ pub use batch::{
     concat_columns, split_columns, AdmitError, BatchError, RequestStats, SpmmResponse,
 };
 pub use breaker::{BreakerAdmit, BreakerConfig, BreakerState, CircuitBreaker};
-pub use loadgen::{generate_schedule, rhs_for, run_closed_loop, LoadSpec};
+pub use loadgen::{
+    generate_schedule, generate_zipf_schedule, rhs_for, run_closed_loop, LoadSpec, ZipfLoadSpec,
+    ZipfRequest,
+};
 pub use metrics::{Histogram, ServeMetrics};
 pub use registry::{
     CacheStats, ExecPlan, Fetch, ModelRegistry, PlannedModel, RegistryConfig, RegistryError,
 };
 pub use server::{ServeConfig, ServeError, Server, Ticket};
+pub use shard::{
+    simulate_sharded, HashRing, HotTracker, ReplicationConfig, RouterMetrics, ShardConfig,
+    ShardLane, ShardRouter, ShardSimConfig, ShardSimReport, StealConfig,
+};
 pub use sim::{simulate_schedule, SimCompletion, SimConfig, SimFailure, SimReport, SimRequest};
-pub use zoo::{default_zoo, ZooModel};
+pub use zoo::{default_zoo, scaled_zoo, ZooModel};

@@ -61,6 +61,104 @@ pub fn generate_schedule(zoo: &[ZooModel], spec: &LoadSpec) -> Vec<SimRequest> {
         .collect()
 }
 
+/// Zipf-skewed open-loop workload: a large simulated user population
+/// whose model choices follow a zipf popularity law, the traffic shape
+/// that hot-spots a naive hash-sharded cluster.
+#[derive(Clone, Debug)]
+pub struct ZipfLoadSpec {
+    /// Requests to generate.
+    pub requests: usize,
+    /// Simulated user population. Each request is issued by one user
+    /// (drawn uniformly); the user id is deterministic in
+    /// `(seed, request id)`, so ~10⁶-user runs need no per-user state.
+    pub users: usize,
+    /// RNG seed (popularity ranks, schedule, widths, users).
+    pub seed: u64,
+    /// Zipf exponent `s` (weight of rank r ∝ 1/rᔆ). 0 = uniform;
+    /// ~1.0 is classic web-traffic skew.
+    pub exponent: f64,
+    /// Request widths drawn uniformly from this set.
+    pub n_choices: Vec<usize>,
+    /// Mean inter-arrival gap, cycles (exponential).
+    pub mean_gap_cycles: f64,
+    /// Dispatch deadline applied to every request, cycles after
+    /// arrival (`None` waits forever).
+    pub deadline_cycles: Option<f64>,
+}
+
+impl Default for ZipfLoadSpec {
+    fn default() -> Self {
+        ZipfLoadSpec {
+            requests: 4096,
+            users: 1_000_000,
+            seed: 0x21BF,
+            exponent: 1.0,
+            n_choices: vec![8, 16, 32],
+            mean_gap_cycles: 2_000.0,
+            deadline_cycles: None,
+        }
+    }
+}
+
+/// One generated request plus the simulated user who issued it.
+#[derive(Clone, Debug)]
+pub struct ZipfRequest {
+    /// The schedule entry (feed to the simulator / router).
+    pub req: SimRequest,
+    /// Simulated user id in `0..spec.users`.
+    pub user: u64,
+}
+
+/// Generates a deterministic zipf-skewed schedule over the zoo.
+///
+/// Popularity ranks are a seeded shuffle of the zoo (so which model is
+/// hot depends on the seed, not the zoo order), then each request
+/// samples a model from the zipf cumulative weights, a width uniformly,
+/// and a user uniformly from the population. Same `(zoo, spec)` ⇒
+/// bit-identical schedule.
+pub fn generate_zipf_schedule(zoo: &[ZooModel], spec: &ZipfLoadSpec) -> Vec<ZipfRequest> {
+    assert!(!zoo.is_empty(), "zoo must not be empty");
+    assert!(!spec.n_choices.is_empty(), "need at least one width");
+    assert!(spec.users >= 1, "need at least one user");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Seeded shuffle assigns popularity ranks to models.
+    let mut ranked: Vec<usize> = (0..zoo.len()).collect();
+    for i in (1..ranked.len()).rev() {
+        ranked.swap(i, rng.gen_range(0..=i));
+    }
+    // Cumulative zipf weights over the ranked models.
+    let mut cum: Vec<f64> = Vec::with_capacity(zoo.len());
+    let mut total = 0.0f64;
+    for rank in 0..zoo.len() {
+        total += 1.0 / ((rank + 1) as f64).powf(spec.exponent);
+        cum.push(total);
+    }
+
+    let mut at = 0.0f64;
+    (0..spec.requests)
+        .map(|id| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            at += -(1.0 - u).ln() * spec.mean_gap_cycles;
+            let pick: f64 = rng.gen_range(0.0..total);
+            let rank = cum.partition_point(|c| *c <= pick).min(zoo.len() - 1);
+            let model = &zoo[ranked[rank]];
+            let n = spec.n_choices[rng.gen_range(0..spec.n_choices.len())];
+            let user = rng.gen_range(0..spec.users as u64);
+            ZipfRequest {
+                req: SimRequest {
+                    id,
+                    model: model.name.clone(),
+                    arrival_cycle: at,
+                    n,
+                    deadline_cycles: spec.deadline_cycles,
+                },
+                user,
+            }
+        })
+        .collect()
+}
+
 /// The B operand for a scheduled request — deterministic in
 /// `(load seed, request id)`, so the threaded server and the solo
 /// reference run see byte-identical inputs.
@@ -167,6 +265,67 @@ mod tests {
         let models: std::collections::HashSet<&str> =
             sched.iter().map(|r| r.model.as_str()).collect();
         assert!(models.len() > 1, "traffic mixes models");
+    }
+
+    #[test]
+    fn zipf_schedule_is_seed_deterministic() {
+        let zoo = crate::zoo::scaled_zoo(16, 5);
+        let spec = ZipfLoadSpec {
+            requests: 512,
+            users: 1_000_000,
+            ..ZipfLoadSpec::default()
+        };
+        let a = generate_zipf_schedule(&zoo, &spec);
+        let b = generate_zipf_schedule(&zoo, &spec);
+        assert_eq!(a.len(), 512);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.req.id, y.req.id);
+            assert_eq!(x.req.model, y.req.model);
+            assert_eq!(x.req.n, y.req.n);
+            assert_eq!(x.user, y.user);
+            assert_eq!(x.req.arrival_cycle.to_bits(), y.req.arrival_cycle.to_bits());
+        }
+        let c = generate_zipf_schedule(&zoo, &ZipfLoadSpec { seed: 7, ..spec });
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.req.model != y.req.model
+                    || x.req.arrival_cycle != y.req.arrival_cycle),
+            "different seed, different schedule"
+        );
+    }
+
+    #[test]
+    fn zipf_traffic_is_skewed_and_users_are_spread() {
+        let zoo = crate::zoo::scaled_zoo(16, 5);
+        let sched = generate_zipf_schedule(
+            &zoo,
+            &ZipfLoadSpec {
+                requests: 4096,
+                exponent: 1.1,
+                ..ZipfLoadSpec::default()
+            },
+        );
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        let mut users: std::collections::HashSet<u64> = Default::default();
+        for r in &sched {
+            *counts.entry(r.req.model.as_str()).or_default() += 1;
+            users.insert(r.user);
+        }
+        let max = *counts.values().max().unwrap();
+        let uniform_share = sched.len() / zoo.len();
+        assert!(
+            max > uniform_share * 2,
+            "zipf head concentrates traffic: max {max}, uniform {uniform_share}"
+        );
+        assert!(
+            users.len() > 3000,
+            "10⁶-user population: 4096 draws nearly all distinct ({})",
+            users.len()
+        );
+        for w in sched.windows(2) {
+            assert!(w[0].req.arrival_cycle <= w[1].req.arrival_cycle);
+        }
     }
 
     #[test]

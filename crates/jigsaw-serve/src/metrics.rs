@@ -80,6 +80,10 @@ pub struct ServeMetrics {
     /// Models whose circuit breaker is not Closed at snapshot time
     /// (filled by `Server::metrics` / the simulator).
     pub breakers_open: u64,
+    /// Requests fast-rejected at admission because a circuit breaker
+    /// was open (a subset of `rejected`). The shard router attributes
+    /// these to the owning shard.
+    pub breaker_rejects: u64,
     /// Batches executed.
     pub batches: u64,
     /// Σ requests over all batches (occupancy numerator).
@@ -177,6 +181,11 @@ impl ServeMetrics {
             out,
             "    Queue depth / breakers open {:>12} / {}",
             self.queue_depth, self.breakers_open
+        );
+        let _ = writeln!(
+            out,
+            "    Breaker fast-rejects        {:>12}",
+            self.breaker_rejects
         );
         out.push_str("  Section: Batching\n");
         let _ = writeln!(out, "    Batches executed            {:>12}", self.batches);

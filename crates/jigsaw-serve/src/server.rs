@@ -334,11 +334,16 @@ impl Server {
             if let Some(br) = breakers.get_mut(model) {
                 if let BreakerAdmit::Reject { retry_after } = br.admit(now) {
                     drop(breakers);
+                    lock_recover(&self.shared.metrics).breaker_rejects += 1;
+                    if jigsaw_obs::enabled() {
+                        jigsaw_obs::global().counter("shard.breaker_rejects").inc();
+                    }
                     return reject(
                         &self.shared,
                         AdmitError::CircuitOpen {
                             model: model.to_string(),
                             retry_after: Duration::from_nanos(retry_after as u64),
+                            shard: None,
                         },
                     );
                 }
@@ -423,6 +428,13 @@ impl Server {
             .filter(|s| *s != BreakerState::Closed)
             .count() as u64;
         m
+    }
+
+    /// Current total queue depth — one lock, no metric cloning. The
+    /// shard router polls this per routing decision, so it must stay
+    /// cheap.
+    pub fn queue_depth(&self) -> usize {
+        lock_recover(&self.shared.queues).depth
     }
 
     /// The named model's breaker state (`None` until its first

@@ -1,0 +1,74 @@
+//! Sharded serving: a consistent-hash router in front of N independent
+//! server shards, with hot-model replication and work stealing.
+//!
+//! One [`crate::server::Server`] owns one registry, one worker pool,
+//! and one queue — a single-shard ceiling. This module scales that
+//! stack out (DESIGN.md §14):
+//!
+//! * [`ring`] — the consistent-hash ring placing model ids on shards;
+//! * [`replicate`] — windowed popularity tracking that promotes hot
+//!   models onto their ring neighbors and demotes them on cooldown;
+//! * [`steal`] — the queue-depth policy that forwards arrivals to the
+//!   least-loaded replica and lets idle shards pull queued work;
+//! * [`router`] — the threaded [`router::ShardRouter`] wrapping N full
+//!   server stacks (own registry LRU, workers, breakers, deadlines,
+//!   degrade ladder) with failure isolation across shards;
+//! * [`sim`] — the deterministic multi-shard virtual-clock simulator
+//!   behind `results/BENCH_serving.json`.
+//!
+//! The failure-isolation contract: a shard-local failure (worker
+//! panic, open breaker, or the whole shard killed) never crosses a
+//! shard boundary. Requests for models replicated elsewhere fail over;
+//! requests with no live replica fail with a typed
+//! [`crate::batch::AdmitError::ShardUnavailable`], never a hang.
+
+pub mod replicate;
+pub mod ring;
+pub mod router;
+pub mod sim;
+pub mod steal;
+
+pub use replicate::{HotEvent, HotTracker, ReplicationConfig};
+pub use ring::{fnv1a64, HashRing};
+pub use router::{RouterMetrics, ShardRouter};
+pub use sim::{simulate_sharded, ShardLane, ShardSimConfig, ShardSimReport};
+pub use steal::{least_loaded, should_forward, StealConfig};
+
+/// Topology + policy for one sharded deployment, shared by the
+/// threaded router and the simulator.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Number of shards.
+    pub shards: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Hot-model replication policy.
+    pub replication: ReplicationConfig,
+    /// Forward/steal policy.
+    pub steal: StealConfig,
+}
+
+impl ShardConfig {
+    /// `shards` shards with the module defaults: 64 vnodes, no
+    /// replication, no stealing. Policies opt in via the builders.
+    pub fn new(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards: shards.max(1),
+            vnodes: 64,
+            replication: ReplicationConfig::disabled(),
+            steal: StealConfig::disabled(),
+        }
+    }
+
+    /// Enables hot-model replication with the given policy.
+    pub fn with_replication(mut self, replication: ReplicationConfig) -> ShardConfig {
+        self.replication = replication;
+        self
+    }
+
+    /// Enables forwarding/stealing with the given policy.
+    pub fn with_steal(mut self, steal: StealConfig) -> ShardConfig {
+        self.steal = steal;
+        self
+    }
+}

@@ -1,0 +1,225 @@
+//! Hot-model replication policy: windowed per-model request counters
+//! decide which models get promoted onto their ring neighbors.
+//!
+//! The tracker is deliberately clock-agnostic — it takes "now" as an
+//! `f64` so the threaded router can feed host nanoseconds while the
+//! virtual-clock sim feeds device cycles, and both replay identically
+//! for a given request sequence.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Replication policy knobs.
+#[derive(Clone, Debug)]
+pub struct ReplicationConfig {
+    /// Master switch; when off the tracker never promotes.
+    pub enabled: bool,
+    /// Total replica count for a hot model (home shard included), so
+    /// `replicas: 2` means one extra copy on the next ring neighbor.
+    pub replicas: usize,
+    /// Requests within one window that promote a model to hot.
+    pub hot_threshold: u64,
+    /// A hot model whose next full window stays *below* this count is
+    /// demoted (cooldown). Must be ≤ `hot_threshold`.
+    pub cool_threshold: u64,
+    /// Window length in clock units (host ns or sim cycles).
+    pub window: f64,
+}
+
+impl ReplicationConfig {
+    /// Policy in host-nanosecond units for the threaded router.
+    pub fn host_ns(hot_threshold: u64, replicas: usize, window_ns: u64) -> ReplicationConfig {
+        ReplicationConfig {
+            enabled: true,
+            replicas: replicas.max(1),
+            hot_threshold: hot_threshold.max(1),
+            cool_threshold: (hot_threshold / 2).max(1),
+            window: window_ns as f64,
+        }
+    }
+
+    /// Policy in device-cycle units for the virtual-clock sim.
+    pub fn cycles(hot_threshold: u64, replicas: usize, window_cycles: f64) -> ReplicationConfig {
+        ReplicationConfig {
+            enabled: true,
+            replicas: replicas.max(1),
+            hot_threshold: hot_threshold.max(1),
+            cool_threshold: (hot_threshold / 2).max(1),
+            window: window_cycles,
+        }
+    }
+
+    /// Replication switched off: every model stays on its home shard.
+    pub fn disabled() -> ReplicationConfig {
+        ReplicationConfig {
+            enabled: false,
+            replicas: 1,
+            hot_threshold: u64::MAX,
+            cool_threshold: 0,
+            window: f64::INFINITY,
+        }
+    }
+}
+
+/// Outcome of recording one request against the tracker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HotEvent {
+    /// No state change.
+    None,
+    /// The model just crossed `hot_threshold` and is now replicated.
+    Promoted,
+    /// The model cooled off at a window roll and lost its replicas.
+    Demoted,
+}
+
+/// Windowed popularity tracker. `BTreeMap`/`BTreeSet` keep iteration
+/// deterministic so promotion order replays exactly per seed.
+#[derive(Debug)]
+pub struct HotTracker {
+    config: ReplicationConfig,
+    window_start: f64,
+    counts: BTreeMap<String, u64>,
+    hot: BTreeSet<String>,
+    promotions: u64,
+    demotions: u64,
+}
+
+impl HotTracker {
+    /// A fresh tracker; the first window starts at the first `record`.
+    pub fn new(config: ReplicationConfig) -> HotTracker {
+        HotTracker {
+            config,
+            window_start: f64::NAN,
+            counts: BTreeMap::new(),
+            hot: BTreeSet::new(),
+            promotions: 0,
+            demotions: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &ReplicationConfig {
+        &self.config
+    }
+
+    /// Whether `model` currently holds replicas.
+    pub fn is_hot(&self, model: &str) -> bool {
+        self.hot.contains(model)
+    }
+
+    /// Lifetime `(promotions, demotions)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.promotions, self.demotions)
+    }
+
+    /// Records one request for `model` at time `now` and reports any
+    /// promotion/demotion it caused. Promotion fires mid-window the
+    /// moment the threshold is crossed; demotion only happens at a
+    /// window roll, so a hot model keeps its replicas for at least the
+    /// remainder of the window in which it went hot.
+    pub fn record(&mut self, model: &str, now: f64) -> HotEvent {
+        if !self.config.enabled {
+            return HotEvent::None;
+        }
+        let mut event = HotEvent::None;
+        if self.window_start.is_nan() {
+            self.window_start = now;
+        }
+        if now - self.window_start >= self.config.window {
+            // Roll the window: demote hot models that went quiet.
+            // (The caller sees at most one demotion event; the counter
+            // tracks the full set.)
+            let cooled: Vec<String> = self
+                .hot
+                .iter()
+                .filter(|m| {
+                    self.counts.get(m.as_str()).copied().unwrap_or(0) < self.config.cool_threshold
+                })
+                .cloned()
+                .collect();
+            for m in &cooled {
+                self.hot.remove(m);
+                self.demotions += 1;
+            }
+            if !cooled.is_empty() {
+                event = HotEvent::Demoted;
+            }
+            self.counts.clear();
+            // Advance in whole windows so bursty gaps don't smear the
+            // window boundary.
+            let skipped = ((now - self.window_start) / self.config.window).floor();
+            self.window_start += skipped * self.config.window;
+        }
+        let count = self.counts.entry(model.to_string()).or_insert(0);
+        *count += 1;
+        if *count >= self.config.hot_threshold && self.hot.insert(model.to_string()) {
+            self.promotions += 1;
+            event = HotEvent::Promoted;
+        }
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(hot: u64, window: f64) -> ReplicationConfig {
+        ReplicationConfig {
+            enabled: true,
+            replicas: 2,
+            hot_threshold: hot,
+            cool_threshold: hot / 2,
+            window,
+        }
+    }
+
+    #[test]
+    fn promotes_on_threshold_cross_mid_window() {
+        let mut t = HotTracker::new(config(3, 1000.0));
+        assert_eq!(t.record("m", 0.0), HotEvent::None);
+        assert_eq!(t.record("m", 1.0), HotEvent::None);
+        assert_eq!(t.record("m", 2.0), HotEvent::Promoted);
+        assert!(t.is_hot("m"));
+        // Further traffic is a no-op, not a re-promotion.
+        assert_eq!(t.record("m", 3.0), HotEvent::None);
+        assert_eq!(t.stats(), (1, 0));
+    }
+
+    #[test]
+    fn demotes_only_at_window_roll_after_cooldown() {
+        let mut t = HotTracker::new(config(4, 100.0));
+        for i in 0..4 {
+            t.record("m", i as f64);
+        }
+        assert!(t.is_hot("m"));
+        // Next window: one lonely request (< cool_threshold 2). The
+        // model survives *this* window and is demoted when the window
+        // after it rolls.
+        assert_eq!(t.record("m", 150.0), HotEvent::None);
+        assert!(t.is_hot("m"));
+        assert_eq!(t.record("other", 260.0), HotEvent::Demoted);
+        assert!(!t.is_hot("m"));
+        assert_eq!(t.stats(), (1, 1));
+    }
+
+    #[test]
+    fn busy_model_stays_hot_across_windows() {
+        let mut t = HotTracker::new(config(4, 100.0));
+        for w in 0..5 {
+            for i in 0..6 {
+                t.record("m", (w * 100 + i) as f64);
+            }
+        }
+        assert!(t.is_hot("m"));
+        assert_eq!(t.stats(), (1, 0));
+    }
+
+    #[test]
+    fn disabled_tracker_never_promotes() {
+        let mut t = HotTracker::new(ReplicationConfig::disabled());
+        for i in 0..1000 {
+            assert_eq!(t.record("m", i as f64), HotEvent::None);
+        }
+        assert!(!t.is_hot("m"));
+    }
+}

@@ -1,0 +1,521 @@
+//! The threaded shard router: N independent [`Server`] stacks behind a
+//! consistent-hash ring, with hot-model replication, queue-depth
+//! forwarding, and shard-down failover.
+//!
+//! Each shard owns a full server stack — its own registry LRU byte
+//! budget, worker pool, per-model circuit breakers, deadlines, and
+//! degrade ladder — so a shard-local failure never crosses a shard
+//! boundary. The router only *routes*: it holds no model state beyond
+//! the popularity tracker and per-model round-robin cursors.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use dlmc::Matrix;
+use jigsaw_core::fault;
+use jigsaw_core::sync::lock_recover;
+use jigsaw_core::JigsawConfig;
+
+use crate::batch::AdmitError;
+use crate::metrics::ServeMetrics;
+use crate::registry::{ModelRegistry, RegistryConfig};
+use crate::server::{ServeConfig, Server, Ticket};
+use crate::shard::replicate::{HotEvent, HotTracker};
+use crate::shard::ring::HashRing;
+use crate::shard::steal::{least_loaded, should_forward};
+use crate::shard::ShardConfig;
+
+/// Aggregated router metrics: per-shard server snapshots plus the
+/// router's own routing counters.
+#[derive(Clone, Debug)]
+pub struct RouterMetrics {
+    /// One [`Server::metrics`] snapshot per shard (dead shards report
+    /// their final drained metrics).
+    pub per_shard: Vec<ServeMetrics>,
+    /// Requests redirected off their round-robin target to a
+    /// less-loaded replica.
+    pub forwarded: u64,
+    /// Requests that fell over to another replica after their target
+    /// shard refused admission (shutting down / killed).
+    pub failovers: u64,
+    /// Hot-model promotions the popularity tracker performed.
+    pub promotions: u64,
+    /// Hot-model demotions (cooldown at a window roll).
+    pub demotions: u64,
+    /// Requests rejected by an injected `shard.route` fault.
+    pub route_faults: u64,
+}
+
+impl RouterMetrics {
+    /// Sum of breaker fast-rejects across shards.
+    pub fn breaker_rejects(&self) -> u64 {
+        self.per_shard.iter().map(|m| m.breaker_rejects).sum()
+    }
+}
+
+struct Lane {
+    /// `None` after [`ShardRouter::kill_shard`] — the shard is down.
+    server: RwLock<Option<Server>>,
+    registry: Arc<ModelRegistry>,
+    /// Final metrics captured when the shard was killed.
+    last_metrics: Mutex<ServeMetrics>,
+}
+
+/// The shard router. Create with [`ShardRouter::start`], register
+/// models (they land on every shard's registry; residency follows
+/// traffic), submit from any thread, and [`ShardRouter::shutdown`] to
+/// drain.
+pub struct ShardRouter {
+    config: ShardConfig,
+    ring: HashRing,
+    lanes: Vec<Lane>,
+    hot: Mutex<HotTracker>,
+    /// Per-model round-robin cursor over the model's replica set.
+    cursors: Mutex<BTreeMap<String, usize>>,
+    epoch: Instant,
+    forwarded: AtomicU64,
+    failovers: AtomicU64,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
+    route_faults: AtomicU64,
+}
+
+impl ShardRouter {
+    /// Spawns `config.shards` independent server stacks. Every shard
+    /// gets its own registry built from `registry_cfg` (share an
+    /// `artifact_dir` to let one shard's plan warm the others from
+    /// disk) and its own worker pool from `serve_cfg`.
+    pub fn start(
+        config: ShardConfig,
+        registry_cfg: RegistryConfig,
+        serve_cfg: ServeConfig,
+    ) -> ShardRouter {
+        let ring = HashRing::new(config.shards, config.vnodes);
+        let lanes = (0..config.shards)
+            .map(|_| {
+                let registry = Arc::new(
+                    ModelRegistry::new(registry_cfg.clone()).expect("registry artifact dir"),
+                );
+                Lane {
+                    server: RwLock::new(Some(Server::start(registry.clone(), serve_cfg.clone()))),
+                    registry,
+                    last_metrics: Mutex::new(ServeMetrics::default()),
+                }
+            })
+            .collect();
+        ShardRouter {
+            hot: Mutex::new(HotTracker::new(config.replication.clone())),
+            config,
+            ring,
+            lanes,
+            cursors: Mutex::new(BTreeMap::new()),
+            epoch: Instant::now(),
+            forwarded: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+            route_faults: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a model on **every** shard's registry. Registration
+    /// is metadata-only (planning is lazy), so the cost of N-way
+    /// registration is one weights clone per shard; each shard's LRU
+    /// only ever plans the models its traffic actually touches.
+    pub fn register(&self, name: &str, weights: Matrix, config: JigsawConfig) {
+        for lane in &self.lanes {
+            lane.registry.register(name, weights.clone(), config);
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// The home shard the ring assigns to `model`.
+    pub fn home_shard(&self, model: &str) -> usize {
+        self.ring.shard_for(model)
+    }
+
+    /// Whether `model` currently holds replicas.
+    pub fn is_hot(&self, model: &str) -> bool {
+        lock_recover(&self.hot).is_hot(model)
+    }
+
+    /// The shard ids `model` may be served from right now (home shard
+    /// first; grows to the ring-neighbor replica set while hot).
+    pub fn replica_set(&self, model: &str) -> Vec<usize> {
+        if self.is_hot(model) {
+            self.ring
+                .replica_set(model, self.config.replication.replicas)
+        } else {
+            vec![self.ring.shard_for(model)]
+        }
+    }
+
+    /// Kills one shard: takes its server out of service and drains it
+    /// (queued requests resolve with typed errors — no waiter hangs).
+    /// Requests homed there fail over to live replicas; models with no
+    /// replica reject with [`AdmitError::ShardUnavailable`]. Returns
+    /// the shard's final metrics, or `None` if already down.
+    pub fn kill_shard(&self, shard: usize) -> Option<ServeMetrics> {
+        let server = lock_recover_write(&self.lanes[shard].server).take()?;
+        let metrics = server.shutdown();
+        *lock_recover(&self.lanes[shard].last_metrics) = metrics.clone();
+        if jigsaw_obs::enabled() {
+            jigsaw_obs::global().counter("shard.killed").inc();
+        }
+        Some(metrics)
+    }
+
+    /// Routes and submits one request. The routing pipeline:
+    /// 1. resolve the model's live replica set (popularity tracker
+    ///    promotes/demotes here),
+    /// 2. round-robin a target replica,
+    /// 3. if the target's queue depth crosses the steal threshold,
+    ///    forward to the least-loaded live replica,
+    /// 4. submit; a shard that refuses because it is down fails over
+    ///    to the next live replica.
+    pub fn submit(&self, model: &str, b: Matrix) -> Result<Ticket, AdmitError> {
+        self.submit_with_deadline(model, b, None)
+    }
+
+    /// [`ShardRouter::submit`] with a per-request dispatch deadline
+    /// (bounds queue time on whichever shard admits the request).
+    pub fn submit_with_deadline(
+        &self,
+        model: &str,
+        b: Matrix,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, AdmitError> {
+        let home = self.ring.shard_for(model);
+        // Injected routing fault: the router rejects before touching
+        // any shard — typed, counted, isolated.
+        if fault::armed() && fault::hit(fault::points::SHARD_ROUTE).is_err() {
+            self.route_faults.fetch_add(1, Ordering::Relaxed);
+            if jigsaw_obs::enabled() {
+                jigsaw_obs::global().counter("shard.route_faults").inc();
+            }
+            return Err(AdmitError::ShardUnavailable {
+                model: model.to_string(),
+                shard: home,
+            });
+        }
+        let now_ns = self.epoch.elapsed().as_nanos() as f64;
+        match lock_recover(&self.hot).record(model, now_ns) {
+            HotEvent::Promoted => {
+                self.promotions.fetch_add(1, Ordering::Relaxed);
+                if jigsaw_obs::enabled() {
+                    jigsaw_obs::global().counter("shard.promotions").inc();
+                }
+            }
+            HotEvent::Demoted => {
+                self.demotions.fetch_add(1, Ordering::Relaxed);
+                if jigsaw_obs::enabled() {
+                    jigsaw_obs::global().counter("shard.demotions").inc();
+                }
+            }
+            HotEvent::None => {}
+        }
+        let replicas = self.replica_set(model);
+        let live: Vec<usize> = replicas
+            .iter()
+            .copied()
+            .filter(|&s| lock_recover_read(&self.lanes[s].server).is_some())
+            .collect();
+        if live.is_empty() {
+            return Err(AdmitError::ShardUnavailable {
+                model: model.to_string(),
+                shard: home,
+            });
+        }
+
+        // Round-robin over the live replicas.
+        let cursor = {
+            let mut cursors = lock_recover(&self.cursors);
+            let c = cursors.entry(model.to_string()).or_insert(0);
+            *c = c.wrapping_add(1);
+            *c
+        };
+        let mut target = live[cursor % live.len()];
+
+        // Queue-depth forwarding: an overloaded target sheds the new
+        // arrival to the least-loaded live replica. An injected
+        // `shard.forward` fault degrades to the original target — the
+        // request still runs, the redirect just doesn't happen.
+        if self.config.steal.enabled && live.len() > 1 {
+            let depth_of = |s: usize| {
+                lock_recover_read(&self.lanes[s].server)
+                    .as_ref()
+                    .map_or(usize::MAX, |srv| srv.queue_depth())
+            };
+            let target_depth = depth_of(target);
+            if let Some(best) = least_loaded(&live, depth_of) {
+                if best != target
+                    && should_forward(&self.config.steal, target_depth, depth_of(best))
+                {
+                    if fault::armed() && fault::hit(fault::points::SHARD_FORWARD).is_err() {
+                        if jigsaw_obs::enabled() {
+                            jigsaw_obs::global().counter("shard.forward_faults").inc();
+                        }
+                    } else {
+                        target = best;
+                        self.forwarded.fetch_add(1, Ordering::Relaxed);
+                        if jigsaw_obs::enabled() {
+                            jigsaw_obs::global().counter("shard.forwarded").inc();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Submit, failing over across the remaining live replicas if a
+        // shard shut down between the liveness check and admission.
+        let mut tried = Vec::with_capacity(live.len());
+        tried.push(target);
+        for attempt in 0..live.len() {
+            let shard = if attempt == 0 {
+                target
+            } else {
+                match live.iter().find(|s| !tried.contains(s)) {
+                    Some(&s) => {
+                        tried.push(s);
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        if jigsaw_obs::enabled() {
+                            jigsaw_obs::global().counter("shard.failovers").inc();
+                        }
+                        s
+                    }
+                    None => break,
+                }
+            };
+            let guard = lock_recover_read(&self.lanes[shard].server);
+            let Some(server) = guard.as_ref() else {
+                continue;
+            };
+            match server.submit_with_deadline(model, b.clone(), deadline) {
+                Ok(ticket) => return Ok(ticket),
+                // The shard died under us: try the next replica.
+                Err(AdmitError::ShuttingDown) => continue,
+                // Attribute the tripped breaker to its owning shard.
+                Err(AdmitError::CircuitOpen {
+                    model, retry_after, ..
+                }) => {
+                    return Err(AdmitError::CircuitOpen {
+                        model,
+                        retry_after,
+                        shard: Some(shard),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(AdmitError::ShardUnavailable {
+            model: model.to_string(),
+            shard: home,
+        })
+    }
+
+    /// Snapshot of per-shard and router metrics.
+    pub fn metrics(&self) -> RouterMetrics {
+        let per_shard = self
+            .lanes
+            .iter()
+            .map(|lane| match lock_recover_read(&lane.server).as_ref() {
+                Some(server) => server.metrics(),
+                None => lock_recover(&lane.last_metrics).clone(),
+            })
+            .collect();
+        RouterMetrics {
+            per_shard,
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            route_faults: self.route_faults.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains and joins every live shard; returns the final metrics.
+    pub fn shutdown(self) -> RouterMetrics {
+        let mut per_shard = Vec::with_capacity(self.lanes.len());
+        for lane in &self.lanes {
+            let final_metrics = match lock_recover_write(&lane.server).take() {
+                Some(server) => server.shutdown(),
+                None => lock_recover(&lane.last_metrics).clone(),
+            };
+            per_shard.push(final_metrics);
+        }
+        RouterMetrics {
+            per_shard,
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            route_faults: self.route_faults.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn lock_recover_read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_recover_write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::replicate::ReplicationConfig;
+    use crate::shard::steal::StealConfig;
+    use crate::zoo::scaled_zoo;
+    use dlmc::{dense_rhs, ValueDist};
+
+    fn router(
+        shards: usize,
+        replication: ReplicationConfig,
+    ) -> (ShardRouter, Vec<crate::zoo::ZooModel>) {
+        let zoo = scaled_zoo(8, 21);
+        let router = ShardRouter::start(
+            ShardConfig::new(shards)
+                .with_replication(replication)
+                .with_steal(StealConfig::threshold(8)),
+            RegistryConfig::default(),
+            ServeConfig {
+                workers: 1,
+                max_wait: Duration::from_micros(200),
+                ..ServeConfig::default()
+            },
+        );
+        for m in &zoo {
+            router.register(&m.name, m.weights(), m.config);
+        }
+        (router, zoo)
+    }
+
+    #[test]
+    fn routes_serve_and_results_match_reference() {
+        let (router, zoo) = router(4, ReplicationConfig::disabled());
+        let mut tickets = Vec::new();
+        for (i, m) in zoo.iter().enumerate() {
+            let b = dense_rhs(m.k(), 4, ValueDist::SmallInt, i as u64);
+            tickets.push((m, b.clone(), router.submit(&m.name, b).unwrap()));
+        }
+        for (m, b, t) in tickets {
+            let r = t.wait().expect("request served");
+            assert_eq!(r.rows, m.m());
+            assert_eq!(r.c, m.weights().matmul_reference(&b), "routed result exact");
+        }
+        let metrics = router.shutdown();
+        let total: u64 = metrics.per_shard.iter().map(|m| m.completed).sum();
+        assert_eq!(total, zoo.len() as u64);
+        assert!(
+            metrics.per_shard.iter().filter(|m| m.submitted > 0).count() > 1,
+            "traffic spread over shards"
+        );
+    }
+
+    #[test]
+    fn routing_is_stable_per_model() {
+        let (router, zoo) = router(4, ReplicationConfig::disabled());
+        for m in &zoo {
+            let home = router.home_shard(&m.name);
+            for _ in 0..3 {
+                assert_eq!(router.home_shard(&m.name), home);
+            }
+            assert_eq!(router.replica_set(&m.name), vec![home]);
+        }
+        router.shutdown();
+    }
+
+    #[test]
+    fn hot_model_gains_replicas_and_round_robins() {
+        let (router, zoo) = router(4, ReplicationConfig::host_ns(8, 2, 60_000_000_000));
+        let hot = &zoo[0];
+        let mut tickets = Vec::new();
+        for i in 0..32 {
+            let b = dense_rhs(hot.k(), 2, ValueDist::SmallInt, i);
+            tickets.push(router.submit(&hot.name, b).unwrap());
+        }
+        for t in tickets {
+            t.wait().expect("served");
+        }
+        assert!(router.is_hot(&hot.name), "threshold crossed");
+        let set = router.replica_set(&hot.name);
+        assert_eq!(set.len(), 2, "hot model spans two shards");
+        let metrics = router.shutdown();
+        assert_eq!(metrics.promotions, 1);
+        let served: Vec<u64> = set
+            .iter()
+            .map(|&s| metrics.per_shard[s].submitted)
+            .collect();
+        assert!(
+            served.iter().all(|&c| c > 0),
+            "round-robin hit both replicas: {served:?}"
+        );
+    }
+
+    #[test]
+    fn killed_shard_fails_over_for_replicated_models() {
+        let (router, zoo) = router(4, ReplicationConfig::host_ns(4, 2, 60_000_000_000));
+        let hot = &zoo[0];
+        for i in 0..8 {
+            router
+                .submit(&hot.name, dense_rhs(hot.k(), 2, ValueDist::SmallInt, i))
+                .unwrap()
+                .wait()
+                .expect("served before kill");
+        }
+        assert!(router.is_hot(&hot.name));
+        let home = router.home_shard(&hot.name);
+        assert!(router.kill_shard(home).is_some());
+        assert!(router.kill_shard(home).is_none(), "idempotent");
+        // The dead home shard no longer serves, but the replica does.
+        let t = router
+            .submit(&hot.name, dense_rhs(hot.k(), 2, ValueDist::SmallInt, 99))
+            .expect("replica admits");
+        t.wait().expect("replica serves");
+        let metrics = router.shutdown();
+        assert!(metrics.per_shard[home].conserves(), "dead shard drained");
+    }
+
+    #[test]
+    fn unreplicated_model_on_dead_shard_rejects_typed() {
+        let (router, zoo) = router(2, ReplicationConfig::disabled());
+        let victim = &zoo[0];
+        let home = router.home_shard(&victim.name);
+        router.kill_shard(home);
+        let err = router
+            .submit(
+                &victim.name,
+                dense_rhs(victim.k(), 2, ValueDist::SmallInt, 1),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::ShardUnavailable {
+                model: victim.name.clone(),
+                shard: home,
+            }
+        );
+        // Models homed on the surviving shard still serve.
+        let survivor = zoo
+            .iter()
+            .find(|m| router.home_shard(&m.name) != home)
+            .expect("two shards split eight models");
+        router
+            .submit(
+                &survivor.name,
+                dense_rhs(survivor.k(), 2, ValueDist::SmallInt, 2),
+            )
+            .unwrap()
+            .wait()
+            .expect("isolation: surviving shard unaffected");
+        router.shutdown();
+    }
+}

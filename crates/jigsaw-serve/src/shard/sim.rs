@@ -1,0 +1,688 @@
+//! Deterministic multi-shard virtual-clock simulation: N simulated
+//! devices behind the consistent-hash ring, with hot-model
+//! replication, queue-depth forwarding, and idle-shard work stealing —
+//! the policy engine behind `results/BENCH_serving.json`.
+//!
+//! Determinism contract: the only clock is the cycle counter; shard
+//! state lives in `BTreeMap`s; every tie (event time, head age, steal
+//! victim) breaks by id/name; and kernel costs come from a warm
+//! registry via a memo table keyed on `(model, batch N)`. Same
+//! `(schedule, config, warm registry)` ⇒ bit-identical report. The
+//! registry **must be warmed** (`warm_all`) — a cold fetch would
+//! charge measured host time to the virtual timeline and break
+//! replayability; `simulate_sharded` asserts this by treating any
+//! cold fetch as a logic error in debug builds.
+//!
+//! Scale: requests only carry `(model, arrival, n)` — no operand
+//! bytes — and the cost memo collapses repeated `(model, n)` batch
+//! shapes into one `simulate` call, so driving a ~10⁶-user zipf
+//! population through hundreds of thousands of requests stays cheap.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::breaker::{BreakerAdmit, BreakerState, CircuitBreaker};
+use crate::metrics::{Histogram, ServeMetrics};
+use crate::registry::ModelRegistry;
+use crate::shard::replicate::{HotEvent, HotTracker};
+use crate::shard::ring::HashRing;
+use crate::shard::steal::{least_loaded, should_forward};
+use crate::shard::ShardConfig;
+use crate::sim::{SimConfig, SimRequest};
+
+/// Multi-shard simulation config: the shard topology/policies plus the
+/// per-shard serving policy (batching window, breaker, device spec).
+#[derive(Clone, Debug)]
+pub struct ShardSimConfig {
+    /// Topology and replication/steal policies. The replication window
+    /// and thresholds are on the **cycle** clock here.
+    pub shard: ShardConfig,
+    /// Per-shard serving policy; every shard gets an identical device.
+    pub sim: SimConfig,
+}
+
+/// Per-shard outcome of a sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardLane {
+    /// Shard id (ring position owner).
+    pub shard: usize,
+    /// This shard's serving metrics (its own breakers, queues, device).
+    pub metrics: ServeMetrics,
+    /// Arrivals redirected *to another shard* because this home/target
+    /// was over the queue threshold.
+    pub forwarded_out: u64,
+    /// Queued requests another shard pulled from this one.
+    pub stolen_from: u64,
+    /// Cycles this shard's device spent busy.
+    pub busy_cycles: f64,
+}
+
+/// Result of a sharded virtual-clock run.
+#[derive(Clone, Debug)]
+pub struct ShardSimReport {
+    /// One lane per shard.
+    pub lanes: Vec<ShardLane>,
+    /// Cluster-wide latency across all completed requests, cycles.
+    pub latency_cycles: Histogram,
+    /// Total completed / failed / shed / rejected over all shards.
+    pub totals: ServeMetrics,
+    /// Requests forwarded at admission (sender-initiated).
+    pub forwarded: u64,
+    /// Requests moved by idle-shard stealing (receiver-initiated).
+    pub stolen: u64,
+    /// Hot-model promotions / demotions.
+    pub promotions: u64,
+    /// Demotions at window rolls.
+    pub demotions: u64,
+    /// Finish time of the last batch anywhere, cycles.
+    pub makespan_cycles: f64,
+}
+
+impl ShardSimReport {
+    /// Completed requests per 10⁹ cycles of elapsed virtual time.
+    pub fn requests_per_gcycle(&self) -> f64 {
+        if self.makespan_cycles <= 0.0 {
+            0.0
+        } else {
+            self.totals.completed as f64 / (self.makespan_cycles / 1e9)
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Queued<'a> {
+    req: &'a SimRequest,
+}
+
+/// One shard's mutable state.
+struct Shard<'a> {
+    queues: BTreeMap<String, VecDeque<Queued<'a>>>,
+    breakers: BTreeMap<String, CircuitBreaker>,
+    free_at: f64,
+    busy_cycles: f64,
+    metrics: ServeMetrics,
+    forwarded_out: u64,
+    stolen_from: u64,
+}
+
+impl<'a> Shard<'a> {
+    fn depth(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+}
+
+/// The dispatch decision one shard would take at time `now`: which
+/// model queue fires, when, and whether the batch is already full.
+fn decide(
+    shard: &Shard<'_>,
+    cfg: &SimConfig,
+    now: f64,
+    more_arrivals: bool,
+) -> Option<(String, f64)> {
+    let (model, q) =
+        shard
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .min_by(|(na, qa), (nb, qb)| {
+                let (a, b) = (
+                    qa.front().expect("non-empty"),
+                    qb.front().expect("non-empty"),
+                );
+                a.req
+                    .arrival_cycle
+                    .partial_cmp(&b.req.arrival_cycle)
+                    .expect("finite arrivals")
+                    .then(a.req.id.cmp(&b.req.id))
+                    .then(na.cmp(nb))
+            })?;
+    let mut queued_n = 0usize;
+    let mut queued_reqs = 0usize;
+    for p in q.iter() {
+        if queued_reqs + 1 > cfg.max_batch_requests
+            || (queued_reqs > 0 && queued_n + p.req.n > cfg.max_batch_n)
+        {
+            break;
+        }
+        queued_reqs += 1;
+        queued_n += p.req.n;
+    }
+    let full = queued_reqs >= cfg.max_batch_requests
+        || queued_n >= cfg.max_batch_n
+        || queued_reqs == q.len() && !more_arrivals;
+    let head = q.front().expect("non-empty").req;
+    let head_deadline = head
+        .deadline_cycles
+        .map_or(f64::INFINITY, |d| head.arrival_cycle + d);
+    let window_closes = (head.arrival_cycle + cfg.max_wait_cycles).min(head_deadline);
+    let dispatch_at = if full {
+        now.max(shard.free_at)
+    } else {
+        now.max(shard.free_at).max(window_closes)
+    };
+    Some((model.clone(), dispatch_at))
+}
+
+/// Runs a schedule across `cfg.shard.shards` simulated shards.
+///
+/// Routing per arrival: the popularity tracker records the model
+/// (promoting/demoting), the live replica set is resolved on the ring,
+/// a per-model round-robin cursor picks the target, and an
+/// over-threshold target forwards to the least-loaded replica. Between
+/// dispatches, an idle shard with a free device steals the back half
+/// of the deepest over-threshold peer's queue for a model it
+/// replicates. Every shard runs the same batching/breaker policy as
+/// the single-shard [`crate::sim::simulate_schedule`].
+pub fn simulate_sharded(
+    registry: &ModelRegistry,
+    schedule: &[SimRequest],
+    cfg: &ShardSimConfig,
+) -> ShardSimReport {
+    assert!(cfg.sim.max_batch_n >= 1 && cfg.sim.max_batch_requests >= 1);
+    let n_shards = cfg.shard.shards;
+    let ring = HashRing::new(n_shards, cfg.shard.vnodes);
+    let mut order: Vec<&SimRequest> = schedule.iter().collect();
+    order.sort_by(|a, b| {
+        a.arrival_cycle
+            .partial_cmp(&b.arrival_cycle)
+            .expect("finite arrivals")
+            .then(a.id.cmp(&b.id))
+    });
+
+    let mut shards: Vec<Shard<'_>> = (0..n_shards)
+        .map(|_| Shard {
+            queues: BTreeMap::new(),
+            breakers: BTreeMap::new(),
+            free_at: 0.0,
+            busy_cycles: 0.0,
+            metrics: ServeMetrics::default(),
+            forwarded_out: 0,
+            stolen_from: 0,
+        })
+        .collect();
+    let mut hot = HotTracker::new(cfg.shard.replication.clone());
+    let mut cursors: BTreeMap<String, usize> = BTreeMap::new();
+    // Kernel-cost memo: cycles for one batch of (model, total_n). This
+    // is what makes ~10⁶-user sweeps feasible — repeated batch shapes
+    // cost one BTreeMap probe, not a device-model evaluation.
+    let mut cost: BTreeMap<(String, usize), Option<f64>> = BTreeMap::new();
+    let mut latency = Histogram::default();
+    let mut forwarded = 0u64;
+    let mut stolen = 0u64;
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+    let mut makespan = 0.0f64;
+
+    loop {
+        // --- Admit + route every arrival at or before `now`. ---
+        while next_arrival < order.len() && order[next_arrival].arrival_cycle <= now {
+            let req = order[next_arrival];
+            next_arrival += 1;
+            match hot.record(&req.model, req.arrival_cycle) {
+                HotEvent::Promoted if jigsaw_obs::enabled() => {
+                    jigsaw_obs::global().counter("shard.promotions").inc();
+                }
+                HotEvent::Demoted if jigsaw_obs::enabled() => {
+                    jigsaw_obs::global().counter("shard.demotions").inc();
+                }
+                _ => {}
+            }
+            let replicas = if hot.is_hot(&req.model) {
+                ring.replica_set(&req.model, cfg.shard.replication.replicas)
+            } else {
+                vec![ring.shard_for(&req.model)]
+            };
+            let cursor = cursors.entry(req.model.clone()).or_insert(0);
+            *cursor = cursor.wrapping_add(1);
+            let mut target = replicas[*cursor % replicas.len()];
+            // Sender-initiated forwarding off an over-threshold target.
+            if cfg.shard.steal.enabled && replicas.len() > 1 {
+                let target_depth = shards[target].depth();
+                if let Some(best) = least_loaded(&replicas, |s| shards[s].depth()) {
+                    if best != target
+                        && should_forward(&cfg.shard.steal, target_depth, shards[best].depth())
+                    {
+                        shards[target].forwarded_out += 1;
+                        forwarded += 1;
+                        if jigsaw_obs::enabled() {
+                            jigsaw_obs::global().counter("shard.forwarded").inc();
+                        }
+                        target = best;
+                    }
+                }
+            }
+            let lane = &mut shards[target];
+            if let Some(br) = lane.breakers.get_mut(&req.model) {
+                if let BreakerAdmit::Reject { .. } = br.admit(now) {
+                    lane.metrics.rejected += 1;
+                    lane.metrics.breaker_rejects += 1;
+                    if jigsaw_obs::enabled() {
+                        jigsaw_obs::global().counter("shard.breaker_rejects").inc();
+                    }
+                    continue;
+                }
+            }
+            lane.queues
+                .entry(req.model.clone())
+                .or_default()
+                .push_back(Queued { req });
+            lane.metrics.submitted += 1;
+            let depth = lane.depth();
+            lane.metrics.peak_queue_depth = lane.metrics.peak_queue_depth.max(depth);
+        }
+
+        // --- Receiver-initiated stealing: an idle, free shard pulls
+        // the back half of the deepest over-threshold peer queue for a
+        // model whose replica set includes it. ---
+        if cfg.shard.steal.enabled && n_shards > 1 {
+            for thief in 0..n_shards {
+                if shards[thief].depth() > 0 || shards[thief].free_at > now {
+                    continue;
+                }
+                // Deepest victim first; ties break low.
+                let Some(victim) = (0..n_shards)
+                    .filter(|&s| s != thief && shards[s].depth() >= cfg.shard.steal.queue_threshold)
+                    .max_by_key(|&s| (shards[s].depth(), usize::MAX - s))
+                else {
+                    continue;
+                };
+                // First model (name order) in the victim's queues that
+                // the thief replicates.
+                let movable: Option<String> = shards[victim]
+                    .queues
+                    .iter()
+                    .find(|(name, q)| {
+                        q.len() > 1
+                            && hot.is_hot(name)
+                            && ring
+                                .replica_set(name, cfg.shard.replication.replicas)
+                                .contains(&thief)
+                    })
+                    .map(|(name, _)| name.clone());
+                let Some(model) = movable else { continue };
+                let q = shards[victim].queues.get_mut(&model).expect("found above");
+                let take = q.len() / 2;
+                let moved: Vec<Queued<'_>> = (0..take).filter_map(|_| q.pop_back()).collect();
+                if q.is_empty() {
+                    shards[victim].queues.remove(&model);
+                }
+                shards[victim].stolen_from += take as u64;
+                stolen += take as u64;
+                if jigsaw_obs::enabled() {
+                    jigsaw_obs::global()
+                        .counter("shard.stolen")
+                        .add(take as u64);
+                }
+                // Stolen work changes accounting shard: admit on the
+                // thief, un-admit on the victim.
+                shards[victim].metrics.submitted -= take as u64;
+                let thief_lane = &mut shards[thief];
+                thief_lane.metrics.submitted += take as u64;
+                let tq = thief_lane.queues.entry(model).or_default();
+                // Preserve arrival order on the thief.
+                for qd in moved.into_iter().rev() {
+                    tq.push_back(qd);
+                }
+                let depth = thief_lane.depth();
+                thief_lane.metrics.peak_queue_depth =
+                    thief_lane.metrics.peak_queue_depth.max(depth);
+            }
+        }
+
+        // --- Pick the next event: earliest shard dispatch vs arrival. ---
+        let more_arrivals = next_arrival < order.len();
+        let next_dispatch: Option<(f64, usize, String)> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, lane)| {
+                decide(lane, &cfg.sim, now, more_arrivals).map(|(m, at)| (at, s, m))
+            })
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("finite dispatch times")
+                    .then(a.1.cmp(&b.1))
+            });
+
+        let Some((dispatch_at, s, model)) = next_dispatch else {
+            // Nothing queued anywhere: jump to the next arrival or end.
+            match order.get(next_arrival) {
+                Some(req) => {
+                    now = now.max(req.arrival_cycle);
+                    continue;
+                }
+                None => break,
+            }
+        };
+        // An arrival before the dispatch instant may join a batch or
+        // change routing — advance to it and re-decide.
+        if let Some(next) = order.get(next_arrival) {
+            if next.arrival_cycle <= dispatch_at {
+                now = next.arrival_cycle;
+                continue;
+            }
+        }
+
+        // --- Execute the dispatch on shard `s` (same batch semantics
+        // as the single-shard simulator). ---
+        let lane = &mut shards[s];
+        let q = lane.queues.get_mut(&model).expect("decided above");
+        let mut members: Vec<&SimRequest> = Vec::new();
+        let mut total_n = 0usize;
+        let mut shed: Vec<&SimRequest> = Vec::new();
+        while let Some(front) = q.front() {
+            let expired = front
+                .req
+                .deadline_cycles
+                .is_some_and(|d| dispatch_at > front.req.arrival_cycle + d);
+            if expired {
+                shed.push(q.pop_front().expect("front exists").req);
+                continue;
+            }
+            if members.len() + 1 > cfg.sim.max_batch_requests
+                || (!members.is_empty() && total_n + front.req.n > cfg.sim.max_batch_n)
+            {
+                break;
+            }
+            total_n += front.req.n;
+            members.push(q.pop_front().expect("front exists").req);
+        }
+        if q.is_empty() {
+            lane.queues.remove(&model);
+        }
+        for _req in &shed {
+            lane.metrics.shed_expired += 1;
+        }
+        if members.is_empty() {
+            now = dispatch_at;
+            continue;
+        }
+
+        // Kernel cost through the memo. A registry error (unknown
+        // model) fails the batch and strikes this shard's breaker —
+        // the failure stays inside the shard.
+        let batch_cycles = cost
+            .entry((model.clone(), total_n))
+            .or_insert_with(|| {
+                let (planned, fetch) = registry.fetch(&model).ok()?;
+                debug_assert!(
+                    !fetch.is_cold(),
+                    "simulate_sharded requires a warmed registry (cold fetch of {model})"
+                );
+                let _ = &fetch;
+                Some(planned.simulate(total_n, &cfg.sim.spec).duration_cycles)
+            })
+            .to_owned();
+        let Some(batch_cycles) = batch_cycles else {
+            lane.metrics.failed += members.len() as u64;
+            lane.breakers
+                .entry(model.clone())
+                .or_insert_with(|| CircuitBreaker::new(cfg.sim.breaker))
+                .on_failure(dispatch_at);
+            now = dispatch_at;
+            makespan = makespan.max(dispatch_at);
+            continue;
+        };
+        let finish = dispatch_at + batch_cycles;
+        lane.free_at = finish;
+        lane.busy_cycles += batch_cycles;
+        makespan = makespan.max(finish);
+        lane.metrics.batches += 1;
+        lane.metrics.batch_requests_total += members.len() as u64;
+        lane.metrics.batch_n_total += total_n as u64;
+        lane.metrics.device_cycles += batch_cycles;
+        for req in &members {
+            lane.metrics.completed += 1;
+            let l = finish - req.arrival_cycle;
+            lane.metrics.latency_cycles.record(l);
+            latency.record(l);
+        }
+        if let Some(br) = lane.breakers.get_mut(&model) {
+            br.on_success();
+        }
+        now = dispatch_at;
+    }
+
+    // --- Fold lanes into the report. ---
+    let mut totals = ServeMetrics::default();
+    let lanes: Vec<ShardLane> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(shard, mut lane)| {
+            lane.metrics.breakers_open = lane
+                .breakers
+                .values_mut()
+                .map(|b| b.state(makespan))
+                .filter(|st| *st != BreakerState::Closed)
+                .count() as u64;
+            totals.submitted += lane.metrics.submitted;
+            totals.completed += lane.metrics.completed;
+            totals.rejected += lane.metrics.rejected;
+            totals.breaker_rejects += lane.metrics.breaker_rejects;
+            totals.failed += lane.metrics.failed;
+            totals.shed_expired += lane.metrics.shed_expired;
+            totals.breakers_open += lane.metrics.breakers_open;
+            totals.batches += lane.metrics.batches;
+            totals.batch_requests_total += lane.metrics.batch_requests_total;
+            totals.batch_n_total += lane.metrics.batch_n_total;
+            totals.peak_queue_depth = totals.peak_queue_depth.max(lane.metrics.peak_queue_depth);
+            totals.device_cycles += lane.metrics.device_cycles;
+            ShardLane {
+                shard,
+                busy_cycles: lane.busy_cycles,
+                forwarded_out: lane.forwarded_out,
+                stolen_from: lane.stolen_from,
+                metrics: lane.metrics,
+            }
+        })
+        .collect();
+    let (promotions, demotions) = hot.stats();
+    ShardSimReport {
+        lanes,
+        latency_cycles: latency,
+        totals,
+        forwarded,
+        stolen,
+        promotions,
+        demotions,
+        makespan_cycles: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::{generate_zipf_schedule, ZipfLoadSpec};
+    use crate::registry::{ModelRegistry, RegistryConfig};
+    use crate::shard::replicate::ReplicationConfig;
+    use crate::shard::steal::StealConfig;
+    use crate::sim::simulate_schedule;
+    use crate::zoo::scaled_zoo;
+    use gpu_sim::GpuSpec;
+
+    fn warm_registry(models: usize) -> (ModelRegistry, Vec<crate::zoo::ZooModel>) {
+        let zoo = scaled_zoo(models, 33);
+        let reg = ModelRegistry::new(RegistryConfig {
+            budget_bytes: 1 << 30,
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        for m in &zoo {
+            reg.register(&m.name, m.weights(), m.config);
+        }
+        reg.warm_all().unwrap();
+        (reg, zoo)
+    }
+
+    fn sharded_cfg(shards: usize) -> ShardSimConfig {
+        ShardSimConfig {
+            shard: ShardConfig::new(shards)
+                .with_replication(ReplicationConfig::cycles(32, 2, 500_000.0))
+                .with_steal(StealConfig::threshold(8)),
+            sim: SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
+        }
+    }
+
+    fn zipf(requests: usize, seed: u64, zoo: &[crate::zoo::ZooModel]) -> Vec<SimRequest> {
+        generate_zipf_schedule(
+            zoo,
+            &ZipfLoadSpec {
+                requests,
+                seed,
+                mean_gap_cycles: 300.0,
+                ..ZipfLoadSpec::default()
+            },
+        )
+        .into_iter()
+        .map(|z| z.req)
+        .collect()
+    }
+
+    #[test]
+    fn sharded_sim_conserves_and_spreads_load() {
+        let (reg, zoo) = warm_registry(8);
+        let schedule = zipf(1500, 11, &zoo);
+        let report = simulate_sharded(&reg, &schedule, &sharded_cfg(4));
+        assert_eq!(
+            report.totals.completed + report.totals.failed + report.totals.shed_expired,
+            report.totals.submitted,
+            "conservation across shards"
+        );
+        assert_eq!(
+            report.totals.submitted + report.totals.rejected,
+            schedule.len() as u64,
+            "every request admitted or rejected"
+        );
+        assert!(
+            report
+                .lanes
+                .iter()
+                .filter(|l| l.metrics.submitted > 0)
+                .count()
+                >= 2,
+            "traffic spread over shards"
+        );
+        assert!(report.promotions > 0, "zipf head went hot");
+    }
+
+    #[test]
+    fn sharded_sim_is_bit_deterministic() {
+        let (reg, zoo) = warm_registry(8);
+        let schedule = zipf(1000, 17, &zoo);
+        let cfg = sharded_cfg(4);
+        let a = simulate_sharded(&reg, &schedule, &cfg);
+        let b = simulate_sharded(&reg, &schedule, &cfg);
+        assert_eq!(a.makespan_cycles.to_bits(), b.makespan_cycles.to_bits());
+        assert_eq!(
+            a.latency_cycles.percentile(99.0).to_bits(),
+            b.latency_cycles.percentile(99.0).to_bits()
+        );
+        assert_eq!(a.forwarded, b.forwarded);
+        assert_eq!(a.stolen, b.stolen);
+        assert_eq!(a.promotions, b.promotions);
+        for (la, lb) in a.lanes.iter().zip(&b.lanes) {
+            assert_eq!(la.metrics.submitted, lb.metrics.submitted);
+            assert_eq!(la.metrics.completed, lb.metrics.completed);
+            assert_eq!(la.busy_cycles.to_bits(), lb.busy_cycles.to_bits());
+        }
+    }
+
+    #[test]
+    fn one_shard_matches_single_shard_simulator_totals() {
+        let (reg, zoo) = warm_registry(4);
+        let schedule = zipf(400, 23, &zoo);
+        let cfg = ShardSimConfig {
+            shard: ShardConfig::new(1),
+            sim: SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
+        };
+        let sharded = simulate_sharded(&reg, &schedule, &cfg);
+        let single = simulate_schedule(&reg, &schedule, &cfg.sim);
+        assert_eq!(sharded.totals.completed, single.metrics.completed);
+        assert_eq!(sharded.totals.batches, single.metrics.batches);
+        assert_eq!(
+            sharded.makespan_cycles.to_bits(),
+            single.makespan_cycles.to_bits(),
+            "one shard degenerates to the single-shard simulator"
+        );
+    }
+
+    #[test]
+    fn more_shards_cut_tail_latency_under_saturating_load() {
+        let (reg, zoo) = warm_registry(8);
+        let schedule = zipf(1200, 29, &zoo);
+        let one = simulate_sharded(&reg, &schedule, &sharded_cfg(1));
+        let four = simulate_sharded(&reg, &schedule, &sharded_cfg(4));
+        assert!(
+            four.latency_cycles.percentile(99.0) < one.latency_cycles.percentile(99.0),
+            "4-shard p99 {} vs 1-shard p99 {}",
+            four.latency_cycles.percentile(99.0),
+            one.latency_cycles.percentile(99.0)
+        );
+        assert!(four.makespan_cycles < one.makespan_cycles);
+    }
+
+    #[test]
+    fn forwarding_and_stealing_fire_under_skew() {
+        let (reg, zoo) = warm_registry(8);
+        // Heavy skew + tight arrivals: the hot model's home shard
+        // saturates, so replicas absorb forwarded/stolen work.
+        let schedule: Vec<SimRequest> = generate_zipf_schedule(
+            &zoo,
+            &ZipfLoadSpec {
+                requests: 1500,
+                seed: 31,
+                exponent: 1.6,
+                mean_gap_cycles: 120.0,
+                ..ZipfLoadSpec::default()
+            },
+        )
+        .into_iter()
+        .map(|z| z.req)
+        .collect();
+        let report = simulate_sharded(&reg, &schedule, &sharded_cfg(4));
+        assert!(report.promotions > 0, "hot model promoted");
+        assert!(
+            report.forwarded > 0 || report.stolen > 0,
+            "load moved off the hot shard (forwarded {} stolen {})",
+            report.forwarded,
+            report.stolen
+        );
+        assert_eq!(
+            report.totals.completed + report.totals.failed + report.totals.shed_expired,
+            report.totals.submitted
+        );
+    }
+
+    #[test]
+    fn unknown_model_fails_inside_its_shard_only() {
+        let (reg, zoo) = warm_registry(4);
+        let mut schedule = zipf(200, 41, &zoo);
+        // Interleave traffic for a model no registry knows.
+        for i in 0..40 {
+            schedule.push(SimRequest {
+                id: 10_000 + i,
+                model: "ghost-model".to_string(),
+                arrival_cycle: (i as f64) * 400.0,
+                n: 8,
+                deadline_cycles: None,
+            });
+        }
+        // No replication: a failing model must stay pinned to its home
+        // shard for the isolation assertion to be meaningful.
+        let cfg = ShardSimConfig {
+            shard: ShardConfig::new(2),
+            sim: SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
+        };
+        let report = simulate_sharded(&reg, &schedule, &cfg);
+        assert!(report.totals.failed > 0, "ghost batches failed typed");
+        assert!(report.totals.completed > 0, "real traffic kept serving");
+        let ghost_shard = HashRing::new(2, 64).shard_for("ghost-model");
+        assert!(
+            report.lanes[ghost_shard].metrics.failed > 0,
+            "failures stayed on the ghost's home shard"
+        );
+        assert_eq!(
+            report.lanes[1 - ghost_shard].metrics.failed,
+            0,
+            "other shard saw no failures"
+        );
+    }
+}

@@ -210,6 +210,7 @@ pub fn simulate_schedule(
             if let Some(br) = breakers.get_mut(&req.model) {
                 if let BreakerAdmit::Reject { .. } = br.admit(now) {
                     metrics.rejected += 1;
+                    metrics.breaker_rejects += 1;
                     rejected_ids.push(req.id);
                     continue;
                 }

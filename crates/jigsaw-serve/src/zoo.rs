@@ -86,9 +86,46 @@ pub fn default_zoo(seed: u64) -> Vec<ZooModel> {
     ]
 }
 
+/// A zoo of `count` models for sharded-serving experiments: cycles the
+/// four [`default_zoo`] base shapes under distinct names
+/// (`<base>-NNN`) and per-model weight seeds. Shapes repeat, so
+/// planning cost stays proportional to the *distinct shapes actually
+/// served*, while names (the shard-routing key) and weights are unique
+/// per model.
+pub fn scaled_zoo(count: usize, seed: u64) -> Vec<ZooModel> {
+    let base = default_zoo(seed);
+    (0..count)
+        .map(|i| {
+            let mut m = base[i % base.len()].clone();
+            m.name = format!("{}-{i:03}", m.name);
+            m.spec.seed = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
+            m
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scaled_zoo_has_unique_names_and_cycled_shapes() {
+        let zoo = scaled_zoo(10, 3);
+        assert_eq!(zoo.len(), 10);
+        let names: std::collections::HashSet<&str> = zoo.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names.len(), 10, "names are unique");
+        let base = default_zoo(3);
+        for (i, m) in zoo.iter().enumerate() {
+            assert_eq!(m.m(), base[i % base.len()].m());
+            assert_eq!(m.k(), base[i % base.len()].k());
+        }
+        // Same (count, seed) reproduces the zoo exactly.
+        let again = scaled_zoo(10, 3);
+        for (a, b) in zoo.iter().zip(&again) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.spec.seed, b.spec.seed);
+        }
+    }
 
     #[test]
     fn default_zoo_shapes_are_tileable() {

@@ -22,8 +22,9 @@ use gpu_sim::GpuSpec;
 use jigsaw_core::fault::{self, points, FaultKind, FaultSpec};
 use jigsaw_core::{execute_fast, CompiledKernel};
 use jigsaw_serve::{
-    default_zoo, simulate_schedule, BreakerConfig, BreakerState, ModelRegistry, RegistryConfig,
-    RegistryError, ServeConfig, ServeError, Server, SimConfig, SimRequest,
+    default_zoo, scaled_zoo, simulate_schedule, AdmitError, BreakerConfig, BreakerState,
+    ModelRegistry, RegistryConfig, RegistryError, ReplicationConfig, ServeConfig, ServeError,
+    Server, ShardConfig, ShardRouter, SimConfig, SimRequest, StealConfig,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -251,8 +252,8 @@ fn repeated_failures_open_the_breaker_and_fast_reject() {
         .submit("attention-small", dense_rhs(256, 4, ValueDist::SmallInt, 9))
         .unwrap_err();
     assert!(
-        matches!(rejected, jigsaw_serve::AdmitError::CircuitOpen { ref model, retry_after }
-            if model == "attention-small" && retry_after > Duration::ZERO),
+        matches!(rejected, jigsaw_serve::AdmitError::CircuitOpen { ref model, retry_after, shard }
+            if model == "attention-small" && retry_after > Duration::ZERO && shard.is_none()),
         "open breaker fast-rejects with a retry hint: {rejected:?}"
     );
     // Another model is unaffected.
@@ -391,6 +392,243 @@ fn simd_panic_poisons_to_scalar_with_correct_results() {
     fault::reset();
     assert!(model.is_degraded(), "SIMD rung is sticky-poisoned");
     assert_eq!(model.execute(&b), expect, "later runs stay correct");
+}
+
+// ---------------------------------------------------------------------
+// Shard router chaos (DESIGN.md §14): a dead shard stays a dead shard
+// ---------------------------------------------------------------------
+
+fn shard_router(
+    shards: usize,
+    replication: ReplicationConfig,
+) -> (ShardRouter, Vec<jigsaw_serve::ZooModel>) {
+    let zoo = scaled_zoo(8, 21);
+    let router = ShardRouter::start(
+        ShardConfig::new(shards)
+            .with_replication(replication)
+            .with_steal(StealConfig::threshold(8)),
+        RegistryConfig::default(),
+        ServeConfig {
+            workers: 1,
+            max_wait: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    );
+    for m in &zoo {
+        router.register(&m.name, m.weights(), m.config);
+    }
+    (router, zoo)
+}
+
+/// The tentpole isolation contract: killing one shard's worker stack
+/// mid-traffic fails over replicated models, rejects unreplicated ones
+/// with a typed error naming the dead shard, and strands no waiter.
+#[test]
+fn killed_shard_isolates_failure_without_hanging_waiters() {
+    let _g = guard();
+    let (router, zoo) = shard_router(4, ReplicationConfig::host_ns(4, 2, 60_000_000_000));
+    // Promote one model past the threshold so it holds a replica.
+    let hot = &zoo[0];
+    for i in 0..8 {
+        wait_bounded(
+            router
+                .submit(&hot.name, dense_rhs(hot.k(), 2, ValueDist::SmallInt, i))
+                .unwrap(),
+        )
+        .expect("served before the kill");
+    }
+    assert!(router.is_hot(&hot.name), "replica exists before the kill");
+    let home = router.home_shard(&hot.name);
+    // A model that is NOT replicated and homes on the doomed shard.
+    let pinned = zoo[1..]
+        .iter()
+        .find(|m| router.home_shard(&m.name) == home)
+        .cloned();
+    // In-flight work on the doomed shard must resolve, not hang: the
+    // kill drains its queues into typed terminal states.
+    let inflight: Vec<_> = (0..4)
+        .filter_map(|i| {
+            router
+                .submit(
+                    &hot.name,
+                    dense_rhs(hot.k(), 2, ValueDist::SmallInt, 100 + i),
+                )
+                .ok()
+        })
+        .collect();
+    let killed = router.kill_shard(home).expect("first kill wins");
+    assert!(killed.conserves(), "drained shard ledger balances");
+    for t in inflight {
+        // Completed before the kill, or typed-failed by the drain —
+        // either way `wait_bounded` proves no waiter hangs.
+        let _ = wait_bounded(t);
+    }
+    // Replicated model keeps serving from the surviving replica.
+    wait_bounded(
+        router
+            .submit(&hot.name, dense_rhs(hot.k(), 2, ValueDist::SmallInt, 999))
+            .expect("replica admits"),
+    )
+    .expect("replica serves after the kill");
+    // Unreplicated model homed on the dead shard rejects typed.
+    if let Some(pinned) = pinned {
+        let err = router
+            .submit(
+                &pinned.name,
+                dense_rhs(pinned.k(), 2, ValueDist::SmallInt, 1),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::ShardUnavailable {
+                model: pinned.name.clone(),
+                shard: home,
+            },
+            "typed rejection names the dead shard"
+        );
+    }
+    // Models homed elsewhere never notice.
+    let survivor = zoo
+        .iter()
+        .find(|m| router.home_shard(&m.name) != home)
+        .expect("four shards split eight models");
+    wait_bounded(
+        router
+            .submit(
+                &survivor.name,
+                dense_rhs(survivor.k(), 2, ValueDist::SmallInt, 7),
+            )
+            .unwrap(),
+    )
+    .expect("isolation: surviving shard unaffected");
+    let metrics = router.shutdown();
+    for (s, m) in metrics.per_shard.iter().enumerate() {
+        assert!(m.conserves(), "shard {s} ledger balances");
+    }
+}
+
+/// An injected `shard.route` fault is a typed, counted router-level
+/// rejection — no shard sees the request, and the router recovers the
+/// moment the fault disarms.
+#[test]
+fn shard_route_fault_rejects_typed_then_recovers() {
+    let _g = guard();
+    let (router, zoo) = shard_router(2, ReplicationConfig::disabled());
+    let m = &zoo[0];
+    fault::inject(FaultSpec::once(points::SHARD_ROUTE, FaultKind::Error));
+    let err = router
+        .submit(&m.name, dense_rhs(m.k(), 2, ValueDist::SmallInt, 1))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        AdmitError::ShardUnavailable {
+            model: m.name.clone(),
+            shard: router.home_shard(&m.name),
+        },
+        "route fault surfaces as a typed shard rejection"
+    );
+    fault::reset();
+    wait_bounded(
+        router
+            .submit(&m.name, dense_rhs(m.k(), 2, ValueDist::SmallInt, 2))
+            .unwrap(),
+    )
+    .expect("router recovered");
+    let metrics = router.shutdown();
+    assert_eq!(metrics.route_faults, 1, "route fault was counted");
+    assert_eq!(
+        metrics.per_shard.iter().map(|m| m.submitted).sum::<u64>(),
+        1
+    );
+}
+
+/// An armed `shard.forward` fault degrades the redirect: every request
+/// still runs on its round-robin target, so the forwarded counter must
+/// stay zero while traffic completes normally.
+#[test]
+fn shard_forward_fault_degrades_to_original_target() {
+    let _g = guard();
+    let (router, zoo) = shard_router(4, ReplicationConfig::host_ns(4, 2, 60_000_000_000));
+    let hot = &zoo[0];
+    fault::inject(FaultSpec::always(points::SHARD_FORWARD, FaultKind::Error));
+    let tickets: Vec<_> = (0..24)
+        .map(|i| {
+            router
+                .submit(&hot.name, dense_rhs(hot.k(), 2, ValueDist::SmallInt, i))
+                .expect("forward fault never blocks admission")
+        })
+        .collect();
+    for t in tickets {
+        wait_bounded(t).expect("degraded routing still serves");
+    }
+    fault::reset();
+    let metrics = router.shutdown();
+    assert_eq!(
+        metrics.forwarded, 0,
+        "armed fault suppressed every redirect"
+    );
+    assert_eq!(
+        metrics.per_shard.iter().map(|m| m.completed).sum::<u64>(),
+        24
+    );
+}
+
+/// A breaker tripped inside one shard fast-rejects with that shard's
+/// id attached and the reject counted per shard — the caller can tell
+/// *which* shard is refusing without a round trip.
+#[test]
+fn tripped_shard_breaker_reports_owning_shard() {
+    let _g = guard();
+    let zoo = scaled_zoo(8, 21);
+    let router = ShardRouter::start(
+        ShardConfig::new(2),
+        RegistryConfig::default(),
+        ServeConfig {
+            workers: 1,
+            max_wait: Duration::from_millis(1),
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                open_window: 60e9,
+                max_open_window: 60e9,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    for m in &zoo {
+        router.register(&m.name, m.weights(), m.config);
+    }
+    let victim = &zoo[0];
+    let home = router.home_shard(&victim.name);
+    fault::inject(FaultSpec::always(points::WORKER_BATCH, FaultKind::Panic));
+    for i in 0..2 {
+        let r = wait_bounded(
+            router
+                .submit(
+                    &victim.name,
+                    dense_rhs(victim.k(), 2, ValueDist::SmallInt, i),
+                )
+                .unwrap(),
+        );
+        assert_eq!(r.unwrap_err(), ServeError::WorkerPanic);
+    }
+    fault::reset();
+    let rejected = router
+        .submit(
+            &victim.name,
+            dense_rhs(victim.k(), 2, ValueDist::SmallInt, 9),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(rejected, AdmitError::CircuitOpen { ref model, retry_after, shard }
+            if model == &victim.name && retry_after > Duration::ZERO && shard == Some(home)),
+        "fast-reject names the owning shard: {rejected:?}"
+    );
+    let metrics = router.shutdown();
+    assert_eq!(
+        metrics.per_shard[home].breaker_rejects, 1,
+        "counted on the owner"
+    );
+    assert_eq!(metrics.breaker_rejects(), 1, "router-level sum agrees");
 }
 
 // ---------------------------------------------------------------------

@@ -8,8 +8,10 @@ use std::time::Duration;
 
 use jigsaw::data::{dense_rhs, ValueDist};
 use jigsaw::serve::{
-    default_zoo, generate_schedule, simulate_schedule, LoadSpec, ModelRegistry, RegistryConfig,
-    RegistryError, ServeConfig, Server, SimConfig,
+    default_zoo, generate_schedule, generate_zipf_schedule, scaled_zoo, simulate_schedule,
+    simulate_sharded, LoadSpec, ModelRegistry, RegistryConfig, RegistryError, ReplicationConfig,
+    ServeConfig, Server, ShardConfig, ShardSimConfig, SimConfig, SimRequest, StealConfig,
+    ZipfLoadSpec,
 };
 use jigsaw::sim::GpuSpec;
 
@@ -196,5 +198,78 @@ fn simulated_batching_beats_unbatched_on_mixed_traffic() {
         "batched {:.0} vs unbatched {:.0} req/Gcycle",
         batched.requests_per_gcycle(),
         unbatched.requests_per_gcycle()
+    );
+}
+
+/// Sharded serving end to end (DESIGN.md §14): the zipf load generator
+/// and the multi-shard simulator are deterministic per `(seed, shard
+/// count)` — same seed ⇒ bit-identical schedule and bit-identical
+/// percentiles — and adding shards at the same offered load strictly
+/// improves the tail.
+#[test]
+fn sharded_zipf_serving_is_deterministic_and_scales() {
+    let zoo = scaled_zoo(8, 66);
+    let registry = ModelRegistry::new(RegistryConfig {
+        budget_bytes: 1 << 30,
+        ..RegistryConfig::default()
+    })
+    .unwrap();
+    for m in &zoo {
+        registry.register(&m.name, m.weights(), m.config);
+    }
+    registry.warm_all().unwrap();
+
+    let load = ZipfLoadSpec {
+        requests: 600,
+        users: 100_000,
+        seed: 0xE2E5,
+        mean_gap_cycles: 300.0,
+        ..ZipfLoadSpec::default()
+    };
+    // Identical schedule from an identical seed, down to user ids.
+    let a = generate_zipf_schedule(&zoo, &load);
+    let b = generate_zipf_schedule(&zoo, &load);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.user, y.user);
+        assert_eq!(x.req.model, y.req.model);
+        assert_eq!(
+            x.req.arrival_cycle.to_bits(),
+            y.req.arrival_cycle.to_bits(),
+            "arrivals replay bit-exactly"
+        );
+    }
+    let schedule: Vec<SimRequest> = a.into_iter().map(|z| z.req).collect();
+
+    let cfg = |shards: usize| ShardSimConfig {
+        shard: ShardConfig::new(shards)
+            .with_replication(ReplicationConfig::cycles(32, 2, 1_000_000.0))
+            .with_steal(StealConfig::threshold(8)),
+        sim: SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
+    };
+    // Same seed + shard count ⇒ identical sim percentiles, bit for bit.
+    let one = simulate_sharded(&registry, &schedule, &cfg(1));
+    let one_again = simulate_sharded(&registry, &schedule, &cfg(1));
+    for p in [50.0, 95.0, 99.0] {
+        assert_eq!(
+            one.latency_cycles.percentile(p).to_bits(),
+            one_again.latency_cycles.percentile(p).to_bits(),
+            "p{p} replays bit-exactly"
+        );
+    }
+    assert_eq!(
+        one.makespan_cycles.to_bits(),
+        one_again.makespan_cycles.to_bits()
+    );
+
+    // More shards at the same offered load: strictly better tail.
+    let four = simulate_sharded(&registry, &schedule, &cfg(4));
+    assert!(one.totals.conserves() && four.totals.conserves());
+    assert_eq!(four.totals.completed, one.totals.completed, "same load");
+    assert!(
+        four.latency_cycles.percentile(99.0) < one.latency_cycles.percentile(99.0),
+        "4-shard p99 {:.0} vs 1-shard p99 {:.0}",
+        four.latency_cycles.percentile(99.0),
+        one.latency_cycles.percentile(99.0)
     );
 }
