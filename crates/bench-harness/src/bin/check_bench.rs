@@ -8,9 +8,11 @@
 //!
 //! Perf mode (`--perf <baseline> <candidate> [--tolerance F]`):
 //! compares two exec-bench documents' machine-neutral speedup ratios
-//! (compiled kernel over `execute_fast`) and fails on regression —
-//! candidate speedup below `(1 - tolerance) ×` baseline on any shape,
-//! or below the baseline's committed absolute floor.
+//! (compiled kernel over `execute_fast`) row-for-row per
+//! `(shape, variant, selection)` and fails on regression — candidate
+//! speedup below `(1 - tolerance) ×` its baseline row on any shape, or
+//! an `avx2_fma` row below the baseline's committed absolute floor.
+//! Baseline rows for ISAs this host lacks are skipped with a note.
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -98,15 +98,21 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
     }
     if experiment == "exec" {
         // Exec exports carry one row per (shape, N, microkernel
-        // variant). Every row needs the perf-gate keys; the `variant`
-        // column is optional (legacy docs predate the dispatch layer)
-        // but when present must name a registry variant.
+        // variant, selection). Every row needs the perf-gate keys; the
+        // `variant` and `selection` columns are optional (legacy docs
+        // predate the dispatch and tuning layers) but when present
+        // must name a registry variant / a known selection mode, and a
+        // per-variant doc must include the portable `narrow_n` variant
+        // — it has no ISA gate, so its absence means the bench sweep
+        // silently shrank.
         let rows = doc
             .get("data")
             .and_then(|d| d.get("shapes"))
             .map(|r| r.items().to_vec())
             .filter(|r| !r.is_empty())
             .ok_or_else(|| "exec: data.shapes missing or empty".to_string())?;
+        let mut saw_variant = false;
+        let mut saw_narrow = false;
         for row in &rows {
             for key in ["m", "k", "n", "speedup"] {
                 if row.get(key).is_none() {
@@ -120,7 +126,26 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
                 if jigsaw_core::KernelKind::parse(name).is_none() {
                     return Err(format!("exec: unknown microkernel variant {name:?}"));
                 }
+                saw_variant = true;
+                saw_narrow |= name == "narrow_n";
             }
+            if let Some(selection) = row.get("selection") {
+                let mode = selection
+                    .as_str()
+                    .ok_or_else(|| "exec: selection must be a string".to_string())?;
+                if mode != "static" && mode != "tuned" {
+                    return Err(format!(
+                        "exec: unknown selection mode {mode:?}, expected \"static\" or \"tuned\""
+                    ));
+                }
+            }
+        }
+        if saw_variant && !saw_narrow {
+            return Err(
+                "exec: per-variant doc has no narrow_n rows — the register-blocked \
+                 variant is portable and must be benched"
+                    .to_string(),
+            );
         }
     }
     if experiment == "serving" {
@@ -178,23 +203,53 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
 /// The gated quantity is the *speedup ratio* (`data.shapes[].speedup`:
 /// compiled over `execute_fast`, both timed in the same process), which
 /// is stable across host speeds — absolute wall times are deliberately
-/// not compared. The gate reads only the `avx2_fma` rows (rows
-/// without a `variant` column — legacy single-variant docs — also
-/// count); other variants are informational, so a baseline carrying
-/// `avx512f` or `neon` rows never moves the bar. For every gated
-/// shape in the baseline the candidate must contain a matching
-/// `(m, k, n)` gated entry whose speedup is at least `(1 - tolerance)`
-/// × the baseline's, and no candidate speedup may fall below the
-/// baseline's committed `data.required_speedup` floor.
+/// not compared. Every baseline row gates against its matching
+/// candidate row:
+///
+/// * rows match on `(m, k, n, variant, selection)`, where a missing
+///   `variant` column (legacy single-variant docs) reads as `avx2_fma`
+///   and a missing `selection` reads as `static`; `selection=tuned`
+///   rows match on `(m, k, n)` alone, because the cost table is free
+///   to pick a different winning variant on a different host,
+/// * a baseline row whose variant's ISA the gating host lacks (e.g. an
+///   `avx512f` row from an exotic baseline host) is skipped with a
+///   note, never an error — baselines regenerated on wide hosts do
+///   not move the bar for narrow ones,
+/// * each matched candidate speedup must be at least `(1 - tolerance)`
+///   × its baseline row's, and the `avx2_fma` static rows must
+///   additionally clear the baseline's committed
+///   `data.required_speedup` absolute floor (the one ISA every gating
+///   host has; the portable variants have no absolute floor because
+///   their ratios legitimately sit below it).
 pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Result<String, String> {
     if !(0.0..1.0).contains(&tolerance) {
         return Err(format!("tolerance {tolerance} outside [0, 1)"));
     }
-    let gated = |row: &Json| -> bool {
-        match row.get("variant").and_then(|v| v.as_str()) {
-            None => true, // legacy doc predating the dispatch layer
-            Some(name) => name == "avx2_fma",
-        }
+    // `(m, k, n, variant-or-tuned, selection)` identity of one row.
+    type RowKey = (u64, u64, u64, String, String);
+    let key = |row: &Json| -> Option<RowKey> {
+        let selection = row
+            .get("selection")
+            .and_then(|s| s.as_str())
+            .unwrap_or("static")
+            .to_string();
+        let variant = if selection == "tuned" {
+            // Tuned rows are matched by selection mode, not by the
+            // variant the table happened to pick.
+            "tuned".to_string()
+        } else {
+            row.get("variant")
+                .and_then(|v| v.as_str())
+                .unwrap_or("avx2_fma")
+                .to_string()
+        };
+        Some((
+            row.get("m")?.as_u64()?,
+            row.get("k")?.as_u64()?,
+            row.get("n")?.as_u64()?,
+            variant,
+            selection,
+        ))
     };
     let shapes = |text: &str, role: &str| -> Result<(Json, Vec<Json>), String> {
         check_bench_text(text).map_err(|e| format!("{role} is not a valid bench doc: {e}"))?;
@@ -207,15 +262,7 @@ pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Resul
             .get("shapes")
             .map(|s| s.items().to_vec())
             .filter(|s| !s.is_empty())
-            .ok_or_else(|| format!("{role}: data.shapes missing or empty"))?
-            .into_iter()
-            .filter(|row| gated(row))
-            .collect();
-        if shapes.is_empty() {
-            return Err(format!(
-                "{role}: no gated (avx2_fma) rows — regenerate the doc on an AVX2 host"
-            ));
-        }
+            .ok_or_else(|| format!("{role}: data.shapes missing or empty"))?;
         Ok((data, shapes))
     };
     let (base_data, base_shapes) = shapes(baseline, "baseline")?;
@@ -225,40 +272,61 @@ pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Resul
         .and_then(|f| f.as_f64())
         .ok_or_else(|| "baseline: missing data.required_speedup".to_string())?;
 
-    let key = |s: &Json| -> Option<(u64, u64, u64)> {
-        Some((
-            s.get("m")?.as_u64()?,
-            s.get("k")?.as_u64()?,
-            s.get("n")?.as_u64()?,
-        ))
-    };
     let mut report = Vec::new();
+    let mut gated_any = false;
     for base in &base_shapes {
-        let (m, k, n) = key(base).ok_or("baseline: shape missing m/k/n")?;
+        let (m, k, n, variant, selection) = key(base).ok_or("baseline: shape missing m/k/n")?;
         let base_speedup = base
             .get("speedup")
             .and_then(|s| s.as_f64())
             .ok_or("baseline: shape missing speedup")?;
+        if variant != "tuned" {
+            let kind = jigsaw_core::KernelKind::parse(&variant)
+                .ok_or_else(|| format!("baseline: unknown variant {variant:?}"))?;
+            if !kind.available() {
+                report.push(format!("{variant} N={n}: SKIP (ISA not on this host)"));
+                continue;
+            }
+        }
         let cand = cand_shapes
             .iter()
-            .find(|c| key(c) == Some((m, k, n)))
-            .ok_or_else(|| format!("candidate: shape {m}x{k} N={n} missing"))?;
+            .find(|c| key(c).as_ref() == Some(&(m, k, n, variant.clone(), selection.clone())))
+            .ok_or_else(|| {
+                format!("candidate: {variant} ({selection}) row at {m}x{k} N={n} missing")
+            })?;
         let cand_speedup = cand
             .get("speedup")
             .and_then(|s| s.as_f64())
             .ok_or("candidate: shape missing speedup")?;
-        let min_ok = (base_speedup * (1.0 - tolerance)).max(floor);
+        let floored = variant == "avx2_fma" && selection == "static";
+        let mut min_ok = base_speedup * (1.0 - tolerance);
+        if floored {
+            min_ok = min_ok.max(floor);
+        }
+        gated_any = true;
         if cand_speedup < min_ok {
             return Err(format!(
-                "regression at {m}x{k} N={n}: speedup {cand_speedup:.2}x \
-                 < {min_ok:.2}x (baseline {base_speedup:.2}x, tolerance \
-                 {:.0}%, floor {floor:.1}x)",
-                tolerance * 100.0
+                "regression in {variant} ({selection}) at {m}x{k} N={n}: speedup \
+                 {cand_speedup:.2}x < {min_ok:.2}x (baseline {base_speedup:.2}x, \
+                 tolerance {:.0}%{})",
+                tolerance * 100.0,
+                if floored {
+                    format!(", floor {floor:.1}x")
+                } else {
+                    String::new()
+                }
             ));
         }
         report.push(format!(
-            "{m}x{k} N={n}: {cand_speedup:.2}x (baseline {base_speedup:.2}x)"
+            "{variant} ({selection}) N={n}: {cand_speedup:.2}x (baseline {base_speedup:.2}x)"
         ));
+    }
+    if !gated_any {
+        return Err(
+            "baseline: every row was skipped as ISA-gated — regenerate the baseline \
+             on a host this gate runs on"
+                .to_string(),
+        );
     }
     Ok(report.join("; "))
 }
@@ -491,7 +559,7 @@ mod tests {
         // A 20% regression fails.
         let regressed = exec_doc(&[(64, 2.4), (256, 4.0)]);
         let err = check_perf_text(&base, &regressed, 0.10).unwrap_err();
-        assert!(err.contains("regression at 64x64 N=64"), "{err}");
+        assert!(err.contains("at 64x64 N=64"), "{err}");
         // The absolute floor binds even inside tolerance: baseline 2.1x
         // with 10% slack would allow 1.89x, but the committed 2.0x
         // floor does not.
@@ -544,7 +612,11 @@ mod tests {
     #[test]
     fn exec_docs_validate_per_variant_rows() {
         // Per-variant rows with registry names pass…
-        let good = exec_doc_variants(&[(64, "scalar", 1.5), (64, "avx2_fma", 3.0)]);
+        let good = exec_doc_variants(&[
+            (64, "scalar", 1.5),
+            (64, "avx2_fma", 3.0),
+            (64, "narrow_n", 2.5),
+        ]);
         assert_eq!(check_bench_text(&good), Ok("exec".to_string()));
         // …legacy rows without a variant column still pass…
         assert_eq!(
@@ -552,9 +624,15 @@ mod tests {
             Ok("exec".to_string())
         );
         // …but an unknown variant name is a schema error…
-        let unknown = exec_doc_variants(&[(64, "warp_specialized", 3.0)]);
+        let unknown = exec_doc_variants(&[(64, "warp_specialized", 3.0), (64, "narrow_n", 2.5)]);
         let err = check_bench_text(&unknown).unwrap_err();
         assert!(err.contains("warp_specialized"), "{err}");
+        // …a per-variant doc that lost its narrow_n rows is a schema
+        // error (the variant is portable — absence means the sweep
+        // shrank)…
+        let no_narrow = exec_doc_variants(&[(64, "scalar", 1.5), (64, "avx2_fma", 3.0)]);
+        let err = check_bench_text(&no_narrow).unwrap_err();
+        assert!(err.contains("narrow_n"), "{err}");
         // …and so is a row missing a perf-gate key or an empty table.
         #[derive(Serialize)]
         struct NoSpeedup {
@@ -579,27 +657,125 @@ mod tests {
     }
 
     #[test]
-    fn perf_gate_reads_only_avx2_rows() {
+    fn perf_gate_matches_rows_per_variant() {
         // A legacy variant-less baseline gates against the candidate's
-        // avx2_fma rows; the candidate's other variants are free to be
-        // slow (scalar always is).
+        // avx2_fma rows; the candidate's extra variants ride along.
         let base = exec_doc(&[(64, 3.0)]);
         let cand = exec_doc_variants(&[
             (64, "scalar", 2.1),
             (64, "avx2_fma", 2.9),
-            (64, "avx512f", 2.2),
+            (64, "narrow_n", 2.5),
         ]);
         assert!(check_perf_text(&base, &cand, 0.10).is_ok());
-        // A regressed avx2 row fails even when a wider variant is fast.
-        let regressed = exec_doc_variants(&[(64, "avx2_fma", 2.0), (64, "avx512f", 9.0)]);
+        // A regressed avx2 row fails even when another variant is fast.
+        let regressed = exec_doc_variants(&[(64, "avx2_fma", 2.0), (64, "narrow_n", 9.0)]);
         assert!(check_perf_text(&base, &regressed, 0.10).is_err());
-        // Per-variant baselines gate row-for-row.
-        let vbase = exec_doc_variants(&[(64, "scalar", 2.1), (64, "avx2_fma", 3.0)]);
+        // Per-variant baselines gate row-for-row: a narrow_n collapse
+        // is caught even with the floored avx2 row healthy.
+        let vbase = exec_doc_variants(&[
+            (64, "scalar", 2.1),
+            (64, "avx2_fma", 3.0),
+            (64, "narrow_n", 2.5),
+        ]);
         assert!(check_perf_text(&vbase, &cand, 0.10).is_ok());
-        // A candidate with no gated rows at all is an error, not a pass.
-        let no_gate = exec_doc_variants(&[(64, "neon", 3.0)]);
-        let err = check_perf_text(&base, &no_gate, 0.10).unwrap_err();
-        assert!(err.contains("no gated"), "{err}");
+        let narrow_collapse = exec_doc_variants(&[
+            (64, "scalar", 2.1),
+            (64, "avx2_fma", 3.0),
+            (64, "narrow_n", 1.0),
+        ]);
+        let err = check_perf_text(&vbase, &narrow_collapse, 0.10).unwrap_err();
+        assert!(err.contains("narrow_n"), "{err}");
+        // The absolute floor binds only the avx2 rows: scalar drifting
+        // from 2.1x to 1.95x stays inside tolerance even though 1.95x
+        // is under the 2.0x floor.
+        let scalar_drift = exec_doc_variants(&[
+            (64, "scalar", 1.95),
+            (64, "avx2_fma", 3.0),
+            (64, "narrow_n", 2.5),
+        ]);
+        assert!(check_perf_text(&vbase, &scalar_drift, 0.10).is_ok());
+        // A candidate missing the gated row is an error, not a pass.
+        let no_avx2 = exec_doc_variants(&[(64, "neon", 3.0), (64, "narrow_n", 2.5)]);
+        let err = check_perf_text(&base, &no_avx2, 0.10).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[derive(Serialize)]
+    struct FullShape {
+        m: usize,
+        k: usize,
+        n: usize,
+        variant: String,
+        selection: String,
+        speedup: f64,
+    }
+
+    #[derive(Serialize)]
+    struct ToyExec3 {
+        shapes: Vec<FullShape>,
+        required_speedup: f64,
+    }
+
+    fn exec_doc_full(rows: &[(usize, &str, &str, f64)]) -> String {
+        let shapes = rows
+            .iter()
+            .map(|&(n, variant, selection, speedup)| FullShape {
+                m: 64,
+                k: 64,
+                n,
+                variant: variant.to_string(),
+                selection: selection.to_string(),
+                speedup,
+            })
+            .collect();
+        bench_doc(
+            "exec",
+            &ToyExec3 {
+                shapes,
+                required_speedup: 2.0,
+            },
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn perf_gate_skips_absent_isas_and_matches_tuned_rows_by_mode() {
+        use jigsaw_core::KernelKind;
+        // An ISA no single host has alongside the others: x86-64 lacks
+        // NEON, aarch64 lacks AVX-512F.
+        let absent = if KernelKind::Neon.available() {
+            "avx512f"
+        } else {
+            "neon"
+        };
+        let base = exec_doc_full(&[
+            (64, "avx2_fma", "static", 3.0),
+            (64, "narrow_n", "static", 2.5),
+            (64, absent, "static", 9.0),
+            (64, "avx2_fma", "tuned", 3.0),
+        ]);
+        let cand = exec_doc_full(&[
+            (64, "avx2_fma", "static", 3.0),
+            (64, "narrow_n", "static", 2.5),
+            // The tuned run picked a different winner here — still
+            // matched, because tuned rows match on mode, not variant.
+            (64, "narrow_n", "tuned", 2.9),
+        ]);
+        let report = check_perf_text(&base, &cand, 0.10).unwrap();
+        assert!(report.contains("SKIP"), "{report}");
+        assert!(report.contains("tuned"), "{report}");
+        // A tuned regression is caught like any other row.
+        let slow_tuned = exec_doc_full(&[
+            (64, "avx2_fma", "static", 3.0),
+            (64, "narrow_n", "static", 2.5),
+            (64, "scalar", "tuned", 1.5),
+        ]);
+        let err = check_perf_text(&base, &slow_tuned, 0.10).unwrap_err();
+        assert!(err.contains("tuned"), "{err}");
+        // An unknown selection mode is a schema error.
+        let bad_mode = exec_doc_full(&[(64, "narrow_n", "oracle", 2.5)]);
+        let err = check_bench_text(&bad_mode).unwrap_err();
+        assert!(err.contains("oracle"), "{err}");
     }
 
     #[test]

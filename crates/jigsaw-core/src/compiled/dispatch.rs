@@ -1,29 +1,43 @@
 //! The microkernel dispatch layer: a registry of named axpy variants
-//! with runtime ISA detection, forced selection for testing, and
+//! with runtime ISA detection, a typed selection policy, and
 //! per-variant poisoning for the resilience ladder.
 //!
 //! [`CompiledKernel::execute_into_opts`](super::CompiledKernel::execute_into_opts)
-//! calls [`select`] once per execution. Selection precedence:
+//! resolves one [`Selection`] per execution through [`select_shaped`].
+//! Selection is governed by a single typed [`KernelPolicy`] on
+//! [`ExecOptions`] (built via the validating [`ExecOptions::builder`]),
+//! with exactly one documented override layer between it and the
+//! hardware:
 //!
-//! 1. an explicit [`ExecOptions::kernel`] force,
+//! 1. [`KernelPolicy::Forced`] — an explicit per-call/per-model pin.
+//!    Beats everything, including the environment.
 //! 2. the `JIGSAW_KERNEL` environment variable
-//!    (`scalar|avx2|avx512|neon|sorted`, re-read per execution so test
-//!    harnesses can flip it),
-//! 3. [`ExecOptions::sorted_stream`] opting into the
-//!    accumulation-order-changing sorted variant,
-//! 4. auto: the widest available, un-poisoned ISA
+//!    (`scalar|avx2|avx512|neon|narrow|sorted`) — the operator
+//!    override for `Auto`/`Tuned` policies, re-read per execution so
+//!    test harnesses can flip it,
+//! 3. [`KernelPolicy::Tuned`] — the cheapest measured, available,
+//!    un-poisoned variant for the execution's shape/sparsity bucket
+//!    from the [`tune`](super::tune) cost table (never the
+//!    accumulation-order-changing sorted variant, never a poisoned
+//!    one); an unmeasured bucket falls through to the auto ladder,
+//! 4. [`ExecOptions::sorted_stream`] opting into the sorted variant
+//!    (valid with `Auto` only — the builder rejects the rest),
+//! 5. auto: the widest available, un-poisoned ISA
 //!    (avx512f → avx2_fma → neon → scalar).
 //!
 //! A forced variant whose ISA is absent (or which has been poisoned)
 //! **falls back cleanly** to the auto ladder — never a panic, always a
 //! correct product — and bumps `kernel.forced_fallbacks`. Poisoning a
 //! variant ([`poison`], used by the serve degradation ladder after a
-//! caught panic) removes it from auto selection process-wide and bumps
-//! `degrade.kernel.<name>`; the scalar floor can never be poisoned.
+//! caught panic) removes it from auto *and* tuned selection
+//! process-wide and bumps `degrade.kernel.<name>`; the scalar floor
+//! can never be poisoned.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use super::kernels_scalar::axpy_panel_scalar;
+use super::kernels_scalar::{axpy_panel_narrow_portable, axpy_panel_scalar};
+use super::tune::{self, Workload};
+use crate::errors::OptionsError;
 
 /// Per-row microkernel signature: one row's nonzero stream against one
 /// converted B panel (`slab`, panel-major `k × w` f32), accumulating
@@ -42,6 +56,13 @@ pub enum KernelKind {
     Avx512f,
     /// 4×f32x4 NEON with fused multiply-adds (aarch64).
     Neon,
+    /// FlashSparse-style narrow-N kernel: holds the whole C row in
+    /// registers across the row's entire nonzero stream (≤64-column
+    /// blocks), so narrow outputs stop round-tripping C through memory
+    /// once per nonzero and tails stop wasting vector lanes. Runs an
+    /// AVX2+FMA register-block where available and a portable fused
+    /// block everywhere else — always runnable, like the scalar floor.
+    NarrowN,
     /// Per-row column-sorted stream for sequential DRAM-resident
     /// B-panel access, executed by the widest available fused axpy.
     /// Changes accumulation order — opt-in only, excluded from the
@@ -51,11 +72,14 @@ pub enum KernelKind {
 
 /// Every variant the registry knows, in auto-selection preference
 /// order for the ISA kernels ([`KernelKind::SortedStream`] is never
-/// auto-selected; [`KernelKind::Scalar`] is the floor).
-pub const ALL_KERNELS: [KernelKind; 5] = [
+/// auto-selected; [`KernelKind::NarrowN`] is picked by measurement or
+/// force, not by the static ladder; [`KernelKind::Scalar`] is the
+/// floor).
+pub const ALL_KERNELS: [KernelKind; 6] = [
     KernelKind::Avx512f,
     KernelKind::Avx2Fma,
     KernelKind::Neon,
+    KernelKind::NarrowN,
     KernelKind::SortedStream,
     KernelKind::Scalar,
 ];
@@ -68,6 +92,7 @@ impl KernelKind {
             KernelKind::Avx2Fma => "avx2_fma",
             KernelKind::Avx512f => "avx512f",
             KernelKind::Neon => "neon",
+            KernelKind::NarrowN => "narrow_n",
             KernelKind::SortedStream => "sorted_stream",
         }
     }
@@ -79,6 +104,7 @@ impl KernelKind {
             "avx2" | "avx2_fma" => Some(KernelKind::Avx2Fma),
             "avx512" | "avx512f" => Some(KernelKind::Avx512f),
             "neon" => Some(KernelKind::Neon),
+            "narrow" | "narrow_n" => Some(KernelKind::NarrowN),
             "sorted" | "sorted_stream" => Some(KernelKind::SortedStream),
             _ => None,
         }
@@ -93,10 +119,11 @@ impl KernelKind {
 
     /// True when the running host can execute this variant right now.
     /// [`KernelKind::SortedStream`] is a stream-order transform on top
-    /// of whatever axpy is available, so it is always runnable.
+    /// of whatever axpy is available, and [`KernelKind::NarrowN`]
+    /// carries its own portable fallback, so both are always runnable.
     pub fn available(self) -> bool {
         match self {
-            KernelKind::Scalar | KernelKind::SortedStream => true,
+            KernelKind::Scalar | KernelKind::SortedStream | KernelKind::NarrowN => true,
             KernelKind::Avx2Fma => {
                 #[cfg(target_arch = "x86_64")]
                 {
@@ -137,6 +164,7 @@ impl KernelKind {
             KernelKind::Avx512f => 2,
             KernelKind::Neon => 3,
             KernelKind::SortedStream => 4,
+            KernelKind::NarrowN => 5,
         }
     }
 
@@ -145,6 +173,7 @@ impl KernelKind {
     fn axpy(self) -> AxpyFn {
         match self {
             KernelKind::Scalar => axpy_panel_scalar,
+            KernelKind::NarrowN => axpy_panel_narrow,
             #[cfg(target_arch = "x86_64")]
             KernelKind::Avx2Fma => super::kernels_x86::axpy_panel_avx2,
             #[cfg(target_arch = "x86_64")]
@@ -153,47 +182,195 @@ impl KernelKind {
             KernelKind::Neon => super::kernels_aarch64::axpy_panel_neon,
             // Cross-compiled-out ISAs and the sorted transform resolve
             // through the auto ladder, never through this arm.
+            #[allow(unreachable_patterns)]
             _ => axpy_panel_scalar,
         }
     }
 }
 
-/// Execution options threaded from the public API ([`crate::JigsawSpmm`],
-/// the serve registry's per-model configuration) down to [`select`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ExecOptions {
-    /// Force one variant by name. An unavailable or poisoned force
-    /// falls back to auto selection (correct results, counted on
+/// The narrow-N axpy with its own runtime dispatch: AVX2+FMA
+/// register-block when the host has it, portable fused block
+/// otherwise. Detection is cached — the per-call cost is one relaxed
+/// load.
+fn axpy_panel_narrow(c_row: &mut [f32], vals: &[f32], cols: &[u32], slab: &[f32], w: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static HAS_AVX2: OnceLock<bool> = OnceLock::new();
+        let has = *HAS_AVX2
+            .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"));
+        if has {
+            return super::kernels_x86::axpy_panel_narrow_avx2(c_row, vals, cols, slab, w);
+        }
+    }
+    axpy_panel_narrow_portable(c_row, vals, cols, slab, w)
+}
+
+/// The raw axpy behind a variant, for the calibration micro-bench
+/// (which times kernels directly, outside the selection ladder).
+pub(crate) fn calibration_axpy(kind: KernelKind) -> AxpyFn {
+    kind.axpy()
+}
+
+/// How [`select_shaped`] picks the variant that executes — the single
+/// typed replacement for the old trio of ad-hoc mechanisms (ISA
+/// ladder, `ExecOptions` field force, env string). See the module docs
+/// for the full precedence including the `JIGSAW_KERNEL` override
+/// layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelPolicy {
+    /// Static widest-ISA ladder (the pre-tuning default).
+    #[default]
+    Auto,
+    /// Pin one named variant. An unavailable or poisoned pin falls
+    /// back to the auto ladder (correct results, counted on
     /// `kernel.forced_fallbacks`) — except [`KernelKind::Scalar`],
     /// which is always honored.
-    pub kernel: Option<KernelKind>,
-    /// Opt into the accumulation-order-changing sorted-stream variant
-    /// when no explicit force is set. Off by default: results are then
-    /// excluded from the bit-exact guarantee (ULP-bounded only).
-    pub sorted_stream: bool,
+    Forced(KernelKind),
+    /// Measured-feedback selection from the [`tune`](super::tune) cost
+    /// table: cheapest available un-poisoned variant for the
+    /// execution's (shape, sparsity) bucket. Never picks the
+    /// accumulation-order-changing sorted variant; an unmeasured
+    /// bucket degrades to `Auto`.
+    Tuned,
+}
+
+/// Execution options threaded from the public API ([`crate::JigsawSpmm`],
+/// the serve registry's per-model configuration) down to
+/// [`select_shaped`]. Construct through [`ExecOptions::builder`] (or
+/// the [`ExecOptions::auto`] / [`ExecOptions::tuned`] /
+/// [`ExecOptions::scalar`] shorthands); the fields are private so
+/// every combination in circulation has passed validation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecOptions {
+    policy: KernelPolicy,
+    sorted_stream: bool,
 }
 
 impl ExecOptions {
+    /// A validating builder — the one way to combine a policy with the
+    /// sorted-stream opt-in.
+    pub fn builder() -> ExecOptionsBuilder {
+        ExecOptionsBuilder {
+            policy: KernelPolicy::Auto,
+            sorted_stream: false,
+        }
+    }
+
+    /// The default static-ladder options ([`KernelPolicy::Auto`]).
+    pub fn auto() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// Measured-feedback selection ([`KernelPolicy::Tuned`]).
+    pub fn tuned() -> ExecOptions {
+        ExecOptions {
+            policy: KernelPolicy::Tuned,
+            sorted_stream: false,
+        }
+    }
+
     /// The forced-scalar options of the degradation ladder's middle
     /// rung: bit-identical to `execute_fast`, never falls back.
     pub fn scalar() -> ExecOptions {
         ExecOptions {
-            kernel: Some(KernelKind::Scalar),
+            policy: KernelPolicy::Forced(KernelKind::Scalar),
             sorted_stream: false,
         }
     }
 
     /// Options forcing one named variant.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `ExecOptions::builder().force(kind).build()` (or \
+                `ExecOptions::from(KernelPolicy::Forced(kind))`); the \
+                ad-hoc force constructor predates `KernelPolicy`"
+    )]
     pub fn forced(kind: KernelKind) -> ExecOptions {
+        ExecOptions::from(KernelPolicy::Forced(kind))
+    }
+
+    /// The selection policy these options carry.
+    pub fn policy(&self) -> KernelPolicy {
+        self.policy
+    }
+
+    /// The variant pinned by a [`KernelPolicy::Forced`] policy, if any.
+    pub fn forced_kernel(&self) -> Option<KernelKind> {
+        match self.policy {
+            KernelPolicy::Forced(kind) => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// True when these options opt into the accumulation-order-changing
+    /// sorted-stream variant.
+    pub fn sorted_stream(&self) -> bool {
+        self.sorted_stream
+    }
+}
+
+/// Any policy is valid on its own; the builder only rejects
+/// combinations.
+impl From<KernelPolicy> for ExecOptions {
+    fn from(policy: KernelPolicy) -> ExecOptions {
         ExecOptions {
-            kernel: Some(kind),
-            sorted_stream: false,
+            policy,
+            sorted_stream: policy == KernelPolicy::Forced(KernelKind::SortedStream),
         }
     }
 }
 
+/// Builder for [`ExecOptions`]; [`ExecOptionsBuilder::build`] rejects
+/// contradictory combinations with a typed [`OptionsError`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptionsBuilder {
+    policy: KernelPolicy,
+    sorted_stream: bool,
+}
+
+impl ExecOptionsBuilder {
+    /// Sets the selection policy (default [`KernelPolicy::Auto`]).
+    pub fn policy(mut self, policy: KernelPolicy) -> ExecOptionsBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Shorthand for `policy(KernelPolicy::Forced(kind))`.
+    pub fn force(self, kind: KernelKind) -> ExecOptionsBuilder {
+        self.policy(KernelPolicy::Forced(kind))
+    }
+
+    /// Opts into the sorted-stream variant. Only meaningful with
+    /// [`KernelPolicy::Auto`] (or a redundant
+    /// `Forced(SortedStream)`) — [`ExecOptionsBuilder::build`] rejects
+    /// it on `Tuned` and on any other force, where it could never take
+    /// effect.
+    pub fn sorted_stream(mut self, on: bool) -> ExecOptionsBuilder {
+        self.sorted_stream = on;
+        self
+    }
+
+    /// Validates and produces the options.
+    pub fn build(self) -> Result<ExecOptions, OptionsError> {
+        if self.sorted_stream {
+            match self.policy {
+                KernelPolicy::Auto | KernelPolicy::Forced(KernelKind::SortedStream) => {}
+                policy => return Err(OptionsError::SortedStreamConflict { policy }),
+            }
+        }
+        let sorted_stream =
+            self.sorted_stream || self.policy == KernelPolicy::Forced(KernelKind::SortedStream);
+        Ok(ExecOptions {
+            policy: self.policy,
+            sorted_stream,
+        })
+    }
+}
+
 /// Process-wide per-variant poison flags (index = `poison_slot`).
-static POISONED: [AtomicBool; 5] = [
+static POISONED: [AtomicBool; 6] = [
+    AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
@@ -216,6 +393,7 @@ pub fn poison(kind: KernelKind) {
             KernelKind::Avx2Fma => "degrade.kernel.avx2_fma",
             KernelKind::Avx512f => "degrade.kernel.avx512f",
             KernelKind::Neon => "degrade.kernel.neon",
+            KernelKind::NarrowN => "degrade.kernel.narrow_n",
             KernelKind::SortedStream => "degrade.kernel.sorted_stream",
             KernelKind::Scalar => unreachable!("scalar is never poisoned"),
         })
@@ -267,17 +445,30 @@ fn usable(kind: KernelKind) -> bool {
     kind.available() && !is_poisoned(kind)
 }
 
+/// Shape-blind selection: [`select_shaped`] with no workload. A
+/// `Tuned` policy degrades to the auto ladder here — callers that know
+/// their shape (the compiled execute path, the serve ladder) pass it.
+pub fn select(opts: &ExecOptions) -> Selection {
+    select_shaped(opts, None)
+}
+
 /// Resolves `opts` (plus the `JIGSAW_KERNEL` environment override) to
 /// the microkernel that will execute, falling back cleanly when a
-/// forced variant is absent or poisoned.
-pub fn select(opts: &ExecOptions) -> Selection {
-    let env_force = opts.kernel.is_none().then(|| {
+/// forced variant is absent or poisoned. `workload` feeds
+/// [`KernelPolicy::Tuned`]; the first tuned selection runs the
+/// one-shot calibration pass unless a persisted table was already
+/// loaded.
+pub fn select_shaped(opts: &ExecOptions, workload: Option<Workload>) -> Selection {
+    let env_force = || {
         std::env::var("JIGSAW_KERNEL")
             .ok()
             .as_deref()
             .and_then(KernelKind::parse)
-    });
-    let forced = opts.kernel.or(env_force.flatten());
+    };
+    let forced = match opts.policy {
+        KernelPolicy::Forced(kind) => Some(kind),
+        KernelPolicy::Auto | KernelPolicy::Tuned => env_force(),
+    };
     let kind = match forced {
         Some(KernelKind::Scalar) => KernelKind::Scalar,
         Some(k) if usable(k) => k,
@@ -290,8 +481,20 @@ pub fn select(opts: &ExecOptions) -> Selection {
             }
             auto_kind()
         }
-        None if opts.sorted_stream && usable(KernelKind::SortedStream) => KernelKind::SortedStream,
-        None => auto_kind(),
+        None => match opts.policy {
+            KernelPolicy::Tuned => {
+                let tuned = workload.and_then(|wl| {
+                    let table = tune::table();
+                    table.ensure_seeded();
+                    table.best(wl)
+                });
+                // best() only returns available, un-poisoned variants;
+                // an unmeasured bucket degrades to the static ladder.
+                tuned.unwrap_or_else(auto_kind)
+            }
+            _ if opts.sorted_stream && usable(KernelKind::SortedStream) => KernelKind::SortedStream,
+            _ => auto_kind(),
+        },
     };
     let sorted = kind == KernelKind::SortedStream;
     // The sorted transform reorders the stream; the arithmetic runs on
@@ -305,9 +508,16 @@ pub fn select(opts: &ExecOptions) -> Selection {
 }
 
 /// The variant [`select`] would run for `opts` — what the serve ladder
-/// poisons after catching a panic out of an execution.
+/// poisons after catching a panic out of a shape-blind execution.
 pub fn selected_kind(opts: &ExecOptions) -> KernelKind {
     select(opts).kind
+}
+
+/// Shape-aware [`selected_kind`]: what a tuned execution of `workload`
+/// would run right now. The serve ladder uses this so a panic out of a
+/// tuned pick poisons the variant that actually executed.
+pub fn selected_kind_shaped(opts: &ExecOptions, workload: Option<Workload>) -> KernelKind {
+    select_shaped(opts, workload).kind
 }
 
 #[cfg(test)]
@@ -324,6 +534,7 @@ mod tests {
         }
         assert_eq!(KernelKind::parse("avx2"), Some(KernelKind::Avx2Fma));
         assert_eq!(KernelKind::parse("avx512"), Some(KernelKind::Avx512f));
+        assert_eq!(KernelKind::parse("narrow"), Some(KernelKind::NarrowN));
         assert_eq!(KernelKind::parse("sorted"), Some(KernelKind::SortedStream));
         assert_eq!(KernelKind::parse("AVX2 "), Some(KernelKind::Avx2Fma));
         assert_eq!(KernelKind::parse("mma.sp"), None);
@@ -337,11 +548,73 @@ mod tests {
             KernelKind::Avx2Fma,
             KernelKind::Avx512f,
             KernelKind::Neon,
+            KernelKind::NarrowN,
             KernelKind::SortedStream,
         ] {
             assert!(!kind.bit_exact(), "{kind:?} must not claim bit-exactness");
         }
         assert!(available_kernels().contains(&KernelKind::Scalar));
+        assert!(
+            available_kernels().contains(&KernelKind::NarrowN),
+            "narrow_n carries a portable fallback, so it is never absent"
+        );
+    }
+
+    #[test]
+    fn builder_validates_and_shorthands_agree() {
+        assert_eq!(ExecOptions::auto().policy(), KernelPolicy::Auto);
+        assert_eq!(ExecOptions::tuned().policy(), KernelPolicy::Tuned);
+        assert_eq!(
+            ExecOptions::scalar().forced_kernel(),
+            Some(KernelKind::Scalar)
+        );
+        let forced = ExecOptions::builder()
+            .force(KernelKind::NarrowN)
+            .build()
+            .unwrap();
+        assert_eq!(forced.forced_kernel(), Some(KernelKind::NarrowN));
+        assert_eq!(
+            forced,
+            ExecOptions::from(KernelPolicy::Forced(KernelKind::NarrowN))
+        );
+
+        // sorted_stream composes with Auto and Forced(SortedStream)…
+        let sorted = ExecOptions::builder().sorted_stream(true).build().unwrap();
+        assert!(sorted.sorted_stream());
+        let forced_sorted = ExecOptions::builder()
+            .force(KernelKind::SortedStream)
+            .sorted_stream(true)
+            .build()
+            .unwrap();
+        assert!(forced_sorted.sorted_stream());
+        // …and Forced(SortedStream) implies the sorted stream on its own.
+        assert!(ExecOptions::from(KernelPolicy::Forced(KernelKind::SortedStream)).sorted_stream());
+
+        // …but is rejected where it could never take effect.
+        for policy in [
+            KernelPolicy::Tuned,
+            KernelPolicy::Forced(KernelKind::Avx2Fma),
+            KernelPolicy::Forced(KernelKind::Scalar),
+        ] {
+            let err = ExecOptions::builder()
+                .policy(policy)
+                .sorted_stream(true)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, OptionsError::SortedStreamConflict { .. }));
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn deprecated_force_shim_still_builds_the_same_options() {
+        #[allow(deprecated)]
+        let old = ExecOptions::forced(KernelKind::Avx2Fma);
+        let new = ExecOptions::builder()
+            .force(KernelKind::Avx2Fma)
+            .build()
+            .unwrap();
+        assert_eq!(old, new);
     }
 
     #[test]
@@ -350,7 +623,7 @@ mod tests {
         // one of these forces must fall back — and both must resolve
         // to *some* usable kernel without panicking.
         for kind in [KernelKind::Neon, KernelKind::Avx512f] {
-            let sel = select(&ExecOptions::forced(kind));
+            let sel = select(&ExecOptions::from(KernelPolicy::Forced(kind)));
             assert!(sel.kind.available(), "fell back to a runnable kernel");
         }
     }
@@ -370,7 +643,7 @@ mod tests {
         assert!(is_poisoned(auto));
         let after = select(&ExecOptions::default()).kind;
         assert_ne!(after, auto, "poisoned variant is skipped");
-        let forced = select(&ExecOptions::forced(auto)).kind;
+        let forced = select(&ExecOptions::from(KernelPolicy::Forced(auto))).kind;
         assert_ne!(forced, auto, "forcing a poisoned variant falls back");
         unpoison_all();
         assert_eq!(select(&ExecOptions::default()).kind, auto);
@@ -385,13 +658,12 @@ mod tests {
             KernelKind::SortedStream,
             "auto never picks the accumulation-order-changing variant"
         );
-        let sel = select(&ExecOptions {
-            kernel: None,
-            sorted_stream: true,
-        });
+        let sel = select(&ExecOptions::builder().sorted_stream(true).build().unwrap());
         assert_eq!(sel.kind, KernelKind::SortedStream);
         assert!(sel.sorted);
-        let forced = select(&ExecOptions::forced(KernelKind::SortedStream));
+        let forced = select(&ExecOptions::from(KernelPolicy::Forced(
+            KernelKind::SortedStream,
+        )));
         assert!(forced.sorted);
     }
 
@@ -400,5 +672,39 @@ mod tests {
         let sel = select(&ExecOptions::scalar());
         assert_eq!(sel.kind, KernelKind::Scalar);
         assert!(!sel.sorted);
+    }
+
+    #[test]
+    fn tuned_policy_follows_the_table_and_skips_poisoned_winners() {
+        let _g = POISON_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        unpoison_all();
+        let table = tune::table();
+        // An out-of-the-way bucket (huge N, near-dense) that no other
+        // concurrent test's executions will land in.
+        let wl = Workload {
+            n: 100_000,
+            density: 0.99,
+        };
+        let opts = ExecOptions::tuned();
+        // Seed so ensure_seeded() inside selection never recalibrates,
+        // then pin this bucket's ranking: narrow_n cheap, scalar next.
+        // Both costs sit far below any real measurement (~1e-3 ns/unit
+        // and up), so a stray online record from a concurrently running
+        // test can never outrank them.
+        table.seed_cell(KernelKind::Scalar, wl, 2e-9);
+        table.seed_cell(KernelKind::NarrowN, wl, 1e-9);
+        assert_eq!(select_shaped(&opts, Some(wl)).kind, KernelKind::NarrowN);
+        assert_eq!(selected_kind_shaped(&opts, Some(wl)), KernelKind::NarrowN);
+
+        // Poisoning the measured winner falls back to the
+        // next-cheapest un-poisoned cell, not to the poisoned pick.
+        poison(KernelKind::NarrowN);
+        assert_eq!(select_shaped(&opts, Some(wl)).kind, KernelKind::Scalar);
+        unpoison_all();
+
+        // No workload → shape-blind → static ladder, never a panic.
+        let blind = select(&opts).kind;
+        assert_ne!(blind, KernelKind::SortedStream);
+        assert!(blind.available());
     }
 }

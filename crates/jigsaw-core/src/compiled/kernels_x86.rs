@@ -1,9 +1,12 @@
-//! x86-64 microkernels of the dispatch registry: 8-lane AVX2+FMA and
-//! 16-lane AVX-512F. Both keep the per-row `(window, slot)`
-//! accumulation order of the scalar reference; only the rounding of
-//! each step changes (fused multiply-adds — exact on integer-valued
-//! data, ≤ 1 ulp per step otherwise).
+//! x86-64 microkernels of the dispatch registry: 8-lane AVX2+FMA,
+//! 16-lane AVX-512F, and the AVX2 half of the narrow-N register-blocked
+//! kernel. All keep the per-row `(window, slot)` accumulation order of
+//! the scalar reference; only the rounding of each step changes (fused
+//! multiply-adds — exact on integer-valued data, ≤ 1 ulp per step
+//! otherwise).
 #![cfg(target_arch = "x86_64")]
+
+use super::kernels_scalar::NARROW_BLOCK;
 
 /// AVX2+FMA microkernel: safe wrapper around the `target_feature`
 /// inner function — the dispatch layer only returns it after runtime
@@ -174,4 +177,132 @@ unsafe fn axpy_panel_avx512_inner(
         }
         i += 1;
     }
+}
+
+/// Per-lane-count AVX2 mask rows for `_mm256_maskload_ps` /
+/// `_mm256_maskstore_ps`: row `l` activates the first `l` lanes.
+static NARROW_TAIL_MASKS: [[i32; 8]; 9] = [
+    [0, 0, 0, 0, 0, 0, 0, 0],
+    [-1, 0, 0, 0, 0, 0, 0, 0],
+    [-1, -1, 0, 0, 0, 0, 0, 0],
+    [-1, -1, -1, 0, 0, 0, 0, 0],
+    [-1, -1, -1, -1, 0, 0, 0, 0],
+    [-1, -1, -1, -1, -1, 0, 0, 0],
+    [-1, -1, -1, -1, -1, -1, 0, 0],
+    [-1, -1, -1, -1, -1, -1, -1, 0],
+    [-1, -1, -1, -1, -1, -1, -1, -1],
+];
+
+/// AVX2 half of the FlashSparse-style narrow-N microkernel: safe
+/// wrapper around the `target_feature` inner function — the dispatch
+/// layer only calls it after runtime feature detection.
+pub fn axpy_panel_narrow_avx2(
+    c_row: &mut [f32],
+    vals: &[f32],
+    cols: &[u32],
+    slab: &[f32],
+    w: usize,
+) {
+    // SAFETY: avx2+fma were verified by the dispatch layer; the slice
+    // invariants the inner kernels rely on are asserted there.
+    unsafe { axpy_panel_narrow_avx2_inner(c_row, vals, cols, slab, w) }
+}
+
+/// Register-resident C row: each ≤[`NARROW_BLOCK`]-column block of C is
+/// held in up to 8 YMM accumulators across the row's **entire** nonzero
+/// stream (one load and one store per block, versus one round trip per
+/// nonzero in [`axpy_panel_avx2`]), and the sub-8 tail runs through
+/// AVX2 masked load/store so short widths never waste lanes on a
+/// scalar cleanup loop. Per element this fuses the exact stream-order
+/// sequence of the portable half
+/// ([`super::kernels_scalar::axpy_panel_narrow_portable`]), so the two
+/// halves are bit-identical to each other.
+///
+/// # Safety
+///
+/// Requires avx2 and fma. Slice invariants (`c_row.len() == w`, every
+/// `cols[i] as usize * w + w <= slab.len()`, `vals.len() ==
+/// cols.len()`) are asserted on entry, so callers only owe the ISA
+/// guarantee.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_panel_narrow_avx2_inner(
+    c_row: &mut [f32],
+    vals: &[f32],
+    cols: &[u32],
+    slab: &[f32],
+    w: usize,
+) {
+    assert_eq!(c_row.len(), w);
+    assert_eq!(vals.len(), cols.len());
+    let rows = slab.len() / w.max(1);
+    assert!(cols.iter().all(|&c| (c as usize) < rows), "B row in slab");
+
+    let mut start = 0;
+    while start < w {
+        let bw = (w - start).min(NARROW_BLOCK);
+        let vecs = bw.div_ceil(8);
+        let lanes = bw - 8 * (vecs - 1);
+        // Monomorphize on the accumulator count so the block array
+        // stays in registers instead of spilling behind a runtime
+        // index.
+        match vecs {
+            1 => narrow_block_avx2::<1>(c_row, vals, cols, slab, w, start, lanes),
+            2 => narrow_block_avx2::<2>(c_row, vals, cols, slab, w, start, lanes),
+            3 => narrow_block_avx2::<3>(c_row, vals, cols, slab, w, start, lanes),
+            4 => narrow_block_avx2::<4>(c_row, vals, cols, slab, w, start, lanes),
+            5 => narrow_block_avx2::<5>(c_row, vals, cols, slab, w, start, lanes),
+            6 => narrow_block_avx2::<6>(c_row, vals, cols, slab, w, start, lanes),
+            7 => narrow_block_avx2::<7>(c_row, vals, cols, slab, w, start, lanes),
+            8 => narrow_block_avx2::<8>(c_row, vals, cols, slab, w, start, lanes),
+            _ => unreachable!("NARROW_BLOCK is 8 vectors wide"),
+        }
+        start += bw;
+    }
+}
+
+/// One register-resident block: `V` YMM accumulators over columns
+/// `start .. start + 8·(V−1) + lanes`; the last vector is always
+/// masked (`lanes == 8` selects the all-set mask, which loads and
+/// stores the full vector).
+///
+/// # Safety
+///
+/// Requires avx2+fma; the caller has asserted the slice invariants and
+/// guarantees the block geometry (`start + 8·(V−1) + lanes <= w`,
+/// `1 <= lanes <= 8`).
+#[target_feature(enable = "avx2,fma")]
+unsafe fn narrow_block_avx2<const V: usize>(
+    c_row: &mut [f32],
+    vals: &[f32],
+    cols: &[u32],
+    slab: &[f32],
+    w: usize,
+    start: usize,
+    lanes: usize,
+) {
+    use std::arch::x86_64::*;
+    let mask = _mm256_loadu_si256(NARROW_TAIL_MASKS[lanes].as_ptr() as *const __m256i);
+    let c_ptr = c_row.as_mut_ptr().add(start);
+    let slab_ptr = slab.as_ptr();
+    let last = V - 1;
+
+    let mut acc = [_mm256_setzero_ps(); V];
+    for (t, a) in acc.iter_mut().enumerate().take(last) {
+        *a = _mm256_loadu_ps(c_ptr.add(8 * t));
+    }
+    acc[last] = _mm256_maskload_ps(c_ptr.add(8 * last), mask);
+
+    for (&v, &col) in vals.iter().zip(cols) {
+        let b = slab_ptr.add(col as usize * w + start);
+        let s = _mm256_set1_ps(v);
+        for (t, a) in acc.iter_mut().enumerate().take(last) {
+            *a = _mm256_fmadd_ps(s, _mm256_loadu_ps(b.add(8 * t)), *a);
+        }
+        acc[last] = _mm256_fmadd_ps(s, _mm256_maskload_ps(b.add(8 * last), mask), acc[last]);
+    }
+
+    for (t, a) in acc.iter().enumerate().take(last) {
+        _mm256_storeu_ps(c_ptr.add(8 * t), *a);
+    }
+    _mm256_maskstore_ps(c_ptr.add(8 * last), mask, acc[last]);
 }

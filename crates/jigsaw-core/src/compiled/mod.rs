@@ -18,9 +18,13 @@
 //!    or dense strip no longer serializes the whole multiply,
 //! 3. a **k-unrolled axpy microkernel**, resolved per execution by the
 //!    [`dispatch`] layer: a registry of named variants (`scalar`,
-//!    `avx2_fma`, `avx512f`, `neon`, `sorted_stream`) with runtime ISA
-//!    detection, `JIGSAW_KERNEL` forced selection for testing, and
-//!    per-variant poisoning for the resilience ladder.
+//!    `avx2_fma`, `avx512f`, `neon`, `narrow_n`, `sorted_stream`) with
+//!    runtime ISA detection, a typed [`dispatch::KernelPolicy`]
+//!    (`Auto` | `Forced` | `Tuned`), the `JIGSAW_KERNEL` override
+//!    layer, and per-variant poisoning for the resilience ladder.
+//!    Every execution's axpy phase is timed and folded into the
+//!    [`tune`] cost table, which `Tuned` selection reads back —
+//!    measured feedback closing the select→execute→measure loop.
 //!
 //! The stream preserves `execute_fast`'s per-row accumulation order
 //! and its zero/padding skip rules. The scalar microkernel applies
@@ -38,6 +42,7 @@ mod kernels_aarch64;
 mod kernels_scalar;
 mod kernels_x86;
 pub mod stream;
+pub mod tune;
 
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -52,8 +57,9 @@ use crate::fault::{self, points};
 use crate::format::{format_source_column, JigsawFormat};
 use crate::pool::{PoolBuf, WorkspacePool};
 
-pub use dispatch::{ExecOptions, KernelKind, Selection};
+pub use dispatch::{ExecOptions, ExecOptionsBuilder, KernelKind, KernelPolicy, Selection};
 pub use stream::SortedStream;
+pub use tune::Workload;
 
 /// Rows of C per task of the 2-D execution grid.
 const ROW_BLOCK: usize = 128;
@@ -267,10 +273,20 @@ impl CompiledKernel {
         self.execute_opts(b, &ExecOptions::scalar())
     }
 
+    /// The tuning-relevant shape of executing this kernel at output
+    /// width `n` — what [`dispatch::select_shaped`] buckets a
+    /// [`KernelPolicy::Tuned`] selection by.
+    pub fn workload(&self, n: usize) -> tune::Workload {
+        tune::Workload::new(n, self.m, self.k, self.nnz())
+    }
+
     /// The core: resolves `opts` through the [`dispatch`] registry
-    /// (forced selection falls back cleanly when the ISA is absent or
-    /// poisoned), then panels B and runs the 2-D grid with the chosen
-    /// axpy over the chosen stream order.
+    /// shape-aware (tuned selection reads the cost table for this
+    /// workload's bucket; forced selection falls back cleanly when the
+    /// ISA is absent or poisoned), then panels B and runs the 2-D grid
+    /// with the chosen axpy over the chosen stream order. The axpy
+    /// phase is timed and folded back into the [`tune`] cost table —
+    /// every execution refines future tuned selections.
     pub fn execute_into_opts(
         &self,
         b: &Matrix,
@@ -278,7 +294,8 @@ impl CompiledKernel {
         scratch: &mut [f32],
         opts: &ExecOptions,
     ) {
-        let sel = dispatch::select(opts);
+        let workload = self.workload(b.cols);
+        let sel = dispatch::select_shaped(opts, Some(workload));
         if sel.kind != KernelKind::Scalar {
             // Only the full-speed paths carry the injection point: the
             // degraded scalar path must stay fault-free so the ladder
@@ -340,6 +357,7 @@ impl CompiledKernel {
         let axpy = sel.axpy;
         let c_ptr = SendPtr(c.as_mut_ptr());
         let c_ptr = &c_ptr;
+        let axpy_started = Instant::now();
         tasks.into_par_iter().for_each(|(pb, rb)| {
             let (col0, w) = panels[pb];
             // Panel offsets are uniform (`pw` wide) except the last.
@@ -362,15 +380,23 @@ impl CompiledKernel {
             }
         });
 
+        // Measured feedback: the axpy phase's wall time, normalized by
+        // the work it did (`nnz × n`), refines this (shape, sparsity,
+        // variant) cell of the cost table for future tuned selections.
+        let axpy_ns = axpy_started.elapsed().as_nanos() as u64;
+        tune::table().record(sel.kind, workload, (self.nnz() * n) as u64, axpy_ns);
+
         if jigsaw_obs::enabled() {
             let reg = jigsaw_obs::global();
             reg.counter("exec.compiled_runs").inc();
             reg.counter("exec.panels").add(panels.len() as u64);
+            reg.counter("exec.axpy_ns").add(axpy_ns);
             reg.counter(match sel.kind {
                 KernelKind::Scalar => "kernel.runs.scalar",
                 KernelKind::Avx2Fma => "kernel.runs.avx2_fma",
                 KernelKind::Avx512f => "kernel.runs.avx512f",
                 KernelKind::Neon => "kernel.runs.neon",
+                KernelKind::NarrowN => "kernel.runs.narrow_n",
                 KernelKind::SortedStream => "kernel.runs.sorted_stream",
             })
             .inc();
@@ -489,11 +515,32 @@ mod tests {
         let kernel = CompiledKernel::compile(&f);
         let expect = a.matmul_reference(&b);
         for kind in dispatch::available_kernels() {
-            let got = kernel.execute_opts(&b, &ExecOptions::forced(kind));
+            let got = kernel.execute_opts(&b, &ExecOptions::from(KernelPolicy::Forced(kind)));
             // Integer-valued data: fusion and reordering are both
             // exact, so every variant agrees bit-for-bit.
             assert_eq!(got, expect, "variant {}", kind.name());
         }
+    }
+
+    #[test]
+    fn tuned_execution_is_correct_and_feeds_the_cost_table() {
+        let (a, f) = setup(64, 96, 0.9, 4, 32, true, 5);
+        let b = dense_rhs(96, 24, ValueDist::SmallInt, 6);
+        let kernel = CompiledKernel::compile(&f);
+        let wl = kernel.workload(b.cols);
+        // Pre-seed this bucket (at a cost no real measurement can
+        // undercut) so tuned selection resolves deterministically to
+        // narrow_n and ensure_seeded never runs a live calibration
+        // inside the test process.
+        tune::table().seed_cell(KernelKind::NarrowN, wl, 1e-9);
+        let got = kernel.execute_opts(&b, &ExecOptions::tuned());
+        assert_eq!(
+            got,
+            a.matmul_reference(&b),
+            "tuned pick computes the product"
+        );
+        // The execution's measured axpy phase refined the cell it ran.
+        assert!(tune::table().cost(KernelKind::NarrowN, wl).is_some());
     }
 
     #[test]
@@ -512,7 +559,10 @@ mod tests {
         let f = JigsawFormat::build(&a, &plan, true);
         let kernel = CompiledKernel::compile(&f);
         let oracle = kernel.execute_scalar(&b);
-        let sorted = kernel.execute_opts(&b, &ExecOptions::forced(KernelKind::SortedStream));
+        let sorted = kernel.execute_opts(
+            &b,
+            &ExecOptions::from(KernelPolicy::Forced(KernelKind::SortedStream)),
+        );
         let err = crate::exec::max_relative_error(&sorted, &oracle);
         assert!(err < 1e-4, "sorted stream within tolerance, err {err}");
         // The sorted copy is column-monotone within every row.
@@ -537,7 +587,7 @@ mod tests {
             let kernel = CompiledKernel::compile(&f);
             for kind in dispatch::available_kernels() {
                 assert_eq!(
-                    kernel.execute_opts(&b, &ExecOptions::forced(kind)),
+                    kernel.execute_opts(&b, &ExecOptions::from(KernelPolicy::Forced(kind))),
                     a.matmul_reference(&b),
                     "n={n} variant={}",
                     kind.name()

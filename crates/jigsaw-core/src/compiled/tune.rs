@@ -1,0 +1,682 @@
+//! Measured-feedback kernel autotuning: the cost table behind
+//! [`KernelPolicy::Tuned`](super::dispatch::KernelPolicy).
+//!
+//! The static ISA ladder picks the *widest* kernel, but the fastest
+//! kernel is shape-dependent: `BENCH_exec.json` shows the ranking flip
+//! between N=64 and N=256, and the narrow-N regime (N < 64) has its own
+//! winner entirely ([`KernelKind::NarrowN`]). This module closes the
+//! measure→select loop:
+//!
+//! * executions are bucketed by **output width** (log2-ish N buckets)
+//!   and **density** (`nnz / (m·k)`, coarse sparsity buckets) — one
+//!   [`Workload`] per execution,
+//! * each `(n bucket, sparsity bucket, variant)` **cell** holds an EWMA
+//!   of measured nanoseconds per work unit (`nnz × n`), seeded by a
+//!   one-shot deterministic [`CostTable::calibrate`] pass over the
+//!   variants' raw axpy kernels and refined online from every
+//!   execution's measured axpy-phase span,
+//! * [`CostTable::best`] ranks the cells of a workload's bucket and
+//!   returns the cheapest **available, un-poisoned** variant — a
+//!   poisoned winner falls back to the next-cheapest cell
+//!   (`tune.poisoned_fallbacks`), so the degrade ladder's guarantees
+//!   survive tuning unchanged,
+//! * the table serializes **bit-exactly** ([`CostTable::to_bytes`] /
+//!   [`CostTable::load_bytes`], f64 bits preserved) so the serve
+//!   registry can persist it next to its model artifacts and a warm
+//!   restart skips recalibration.
+//!
+//! Everything funnels through the process-global [`table`], mirroring
+//! the dispatch registry's process-wide poison flags: a kernel that is
+//! fast in one model is fast in every model of the same bucket.
+//! Observability rides the `tune.*` counters (cell hits/misses,
+//! refinements, stale evictions, poisoned fallbacks, calibrations,
+//! table loads) — always-on cheap atomics, snapshotted into every
+//! bench export.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use jigsaw_obs::Counter;
+
+use super::dispatch::{is_poisoned, KernelKind};
+
+/// Serialized-table magic + version ("JGTN" v1).
+const TABLE_MAGIC: [u8; 8] = *b"JGTN\x01\x00\x00\x00";
+
+/// EWMA smoothing factor: one fresh observation moves a cell a quarter
+/// of the way to the new measurement.
+const EWMA_ALPHA: f64 = 0.25;
+
+/// A cell untouched for this many record ticks is stale: evicted
+/// lazily (every [`EVICT_EVERY`] records) so a workload mix that moved
+/// on does not pin dead measurements forever.
+const STALE_AFTER_TICKS: u64 = 1 << 20;
+
+/// How often the lazy stale sweep runs, in record ticks.
+const EVICT_EVERY: u64 = 4096;
+
+/// Variants eligible for tuned selection, in tie-break order. The
+/// accumulation-order-changing [`KernelKind::SortedStream`] is
+/// deliberately absent: tuning never widens the numeric contract —
+/// every tuned pick keeps the oracle's per-element accumulation order.
+pub const TUNED_CANDIDATES: [KernelKind; 5] = [
+    KernelKind::Avx512f,
+    KernelKind::Avx2Fma,
+    KernelKind::Neon,
+    KernelKind::NarrowN,
+    KernelKind::Scalar,
+];
+
+/// One execution's tuning-relevant shape: output width and the
+/// stationary matrix's density. Built by
+/// [`CompiledKernel::workload`](super::CompiledKernel::workload).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Workload {
+    /// Output columns (B width).
+    pub n: usize,
+    /// Nonzero density of the compiled stream: `nnz / (m·k)`.
+    pub density: f64,
+}
+
+impl Workload {
+    /// The workload of an `m × k` stream with `nnz` nonzeros at output
+    /// width `n`.
+    pub fn new(n: usize, m: usize, k: usize, nnz: usize) -> Workload {
+        let cells = (m * k).max(1) as f64;
+        Workload {
+            n,
+            density: nnz as f64 / cells,
+        }
+    }
+
+    /// The cost-table bucket this workload lands in.
+    pub fn bucket(&self) -> (u8, u8) {
+        (n_bucket(self.n), s_bucket(self.density))
+    }
+}
+
+/// Output-width bucket: log2-ish, finest where the kernel ranking
+/// actually flips (the narrow-N regime).
+pub fn n_bucket(n: usize) -> u8 {
+    match n {
+        0..=16 => 0,
+        17..=32 => 1,
+        33..=64 => 2,
+        65..=128 => 3,
+        129..=256 => 4,
+        _ => 5,
+    }
+}
+
+/// Density bucket over `nnz / (m·k)` — coarse, because per-nonzero
+/// cost varies slowly with density compared to how it varies with N.
+pub fn s_bucket(density: f64) -> u8 {
+    if density >= 0.30 {
+        0
+    } else if density >= 0.15 {
+        1
+    } else if density >= 0.07 {
+        2
+    } else if density >= 0.02 {
+        3
+    } else {
+        4
+    }
+}
+
+/// A cost-table key: one (shape bucket, sparsity bucket, variant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct CellKey {
+    nb: u8,
+    sb: u8,
+    kind: KernelKind,
+}
+
+/// One measured cell: EWMA nanoseconds per work unit (`nnz × n`).
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    ewma_ns_per_unit: f64,
+    samples: u64,
+    last_tick: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    cells: HashMap<CellKey, Cell>,
+    tick: u64,
+    seeded: bool,
+}
+
+/// The `tune.*` counter handles, fetched once from the global obs
+/// registry so per-execution bumps are a single atomic RMW (the
+/// registry's in-place reset keeps them valid).
+struct TuneCounters {
+    cell_hits: Counter,
+    cell_misses: Counter,
+    refinements: Counter,
+    stale_evictions: Counter,
+    poisoned_fallbacks: Counter,
+    calibrations: Counter,
+    calibration_skips: Counter,
+    table_loads: Counter,
+}
+
+impl TuneCounters {
+    fn new() -> TuneCounters {
+        let reg = jigsaw_obs::global();
+        TuneCounters {
+            cell_hits: reg.counter("tune.cell_hits"),
+            cell_misses: reg.counter("tune.cell_misses"),
+            refinements: reg.counter("tune.refinements"),
+            stale_evictions: reg.counter("tune.stale_evictions"),
+            poisoned_fallbacks: reg.counter("tune.poisoned_fallbacks"),
+            calibrations: reg.counter("tune.calibrations"),
+            calibration_skips: reg.counter("tune.calibration_skips"),
+            table_loads: reg.counter("tune.table_loads"),
+        }
+    }
+}
+
+/// The measured-feedback cost table (see the module docs). All methods
+/// take `&self`; the table is shared process-wide via [`table`].
+pub struct CostTable {
+    inner: Mutex<Inner>,
+    counters: TuneCounters,
+}
+
+impl Default for CostTable {
+    fn default() -> Self {
+        CostTable::new()
+    }
+}
+
+impl CostTable {
+    /// An empty, unseeded table.
+    pub fn new() -> CostTable {
+        CostTable {
+            inner: Mutex::new(Inner::default()),
+            counters: TuneCounters::new(),
+        }
+    }
+
+    /// Folds one measured execution into its cell's EWMA
+    /// (`tune.refinements`). `work` is the execution's `nnz × n`;
+    /// zero-work or zero-time measurements are ignored.
+    pub fn record(&self, kind: KernelKind, wl: Workload, work: u64, elapsed_ns: u64) {
+        if work == 0 || elapsed_ns == 0 {
+            return;
+        }
+        let ns_per_unit = elapsed_ns as f64 / work as f64;
+        let (nb, sb) = wl.bucket();
+        let key = CellKey { nb, sb, kind };
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        let cell = inner.cells.entry(key).or_insert(Cell {
+            ewma_ns_per_unit: ns_per_unit,
+            samples: 0,
+            last_tick: tick,
+        });
+        if cell.samples > 0 {
+            cell.ewma_ns_per_unit += EWMA_ALPHA * (ns_per_unit - cell.ewma_ns_per_unit);
+        }
+        cell.samples += 1;
+        cell.last_tick = tick;
+        self.counters.refinements.inc();
+        if tick.is_multiple_of(EVICT_EVERY) {
+            self.evict_stale_locked(&mut inner, STALE_AFTER_TICKS);
+        }
+    }
+
+    /// The cheapest measured, available, un-poisoned variant for the
+    /// workload's bucket — or `None` when the bucket has no measured
+    /// cells at all (`tune.cell_misses`), which sends selection to the
+    /// static auto ladder. A poisoned raw winner is skipped for the
+    /// next-cheapest survivor and counted on `tune.poisoned_fallbacks`;
+    /// the degrade ladder itself is untouched.
+    pub fn best(&self, wl: Workload) -> Option<KernelKind> {
+        let (nb, sb) = wl.bucket();
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut ranked: Vec<(f64, KernelKind)> = TUNED_CANDIDATES
+            .into_iter()
+            .filter(|k| k.available())
+            .filter_map(|kind| {
+                let cell = inner.cells.get(&CellKey { nb, sb, kind })?;
+                (cell.samples > 0).then_some((cell.ewma_ns_per_unit, kind))
+            })
+            .collect();
+        drop(inner);
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let Some(&(_, raw_winner)) = ranked.first() else {
+            self.counters.cell_misses.inc();
+            return None;
+        };
+        if is_poisoned(raw_winner) {
+            self.counters.poisoned_fallbacks.inc();
+        }
+        let pick = ranked
+            .iter()
+            .map(|&(_, kind)| kind)
+            .find(|&kind| !is_poisoned(kind))?;
+        self.counters.cell_hits.inc();
+        Some(pick)
+    }
+
+    /// The cell's current EWMA cost (ns per work unit), for tests and
+    /// reports.
+    pub fn cost(&self, kind: KernelKind, wl: Workload) -> Option<f64> {
+        let (nb, sb) = wl.bucket();
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .cells
+            .get(&CellKey { nb, sb, kind })
+            .map(|c| c.ewma_ns_per_unit)
+    }
+
+    /// Measured cells currently in the table.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .cells
+            .len()
+    }
+
+    /// True when the table holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once the table has been calibrated or loaded from a
+    /// persisted artifact — the signal that lets a warm restart skip
+    /// recalibration.
+    pub fn is_seeded(&self) -> bool {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).seeded
+    }
+
+    /// Drops every cell and clears the seeded flag (tests and operator
+    /// resets).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.cells.clear();
+        inner.tick = 0;
+        inner.seeded = false;
+    }
+
+    /// Evicts cells not refreshed within `max_age` ticks, returning
+    /// how many went (`tune.stale_evictions`).
+    pub fn evict_stale(&self, max_age: u64) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.evict_stale_locked(&mut inner, max_age)
+    }
+
+    fn evict_stale_locked(&self, inner: &mut Inner, max_age: u64) -> usize {
+        let tick = inner.tick;
+        let before = inner.cells.len();
+        inner
+            .cells
+            .retain(|_, cell| tick.saturating_sub(cell.last_tick) <= max_age);
+        let evicted = before - inner.cells.len();
+        if evicted > 0 {
+            self.counters.stale_evictions.add(evicted as u64);
+        }
+        evicted
+    }
+
+    /// Runs the one-shot deterministic calibration pass unless the
+    /// table is already seeded (calibrated earlier, or reloaded from a
+    /// persisted artifact — counted on `tune.calibration_skips`).
+    pub fn ensure_seeded(&self) {
+        {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if inner.seeded {
+                self.counters.calibration_skips.inc();
+                return;
+            }
+        }
+        self.calibrate(calibration_reps());
+    }
+
+    /// The one-shot calibration pass: for every (N bucket, sparsity
+    /// bucket) representative workload and every available tuned
+    /// candidate, runs the variant's raw axpy on a deterministic
+    /// synthetic stream (`reps` timed repetitions, best kept) and
+    /// seeds the cell. Deterministic in workload — fixed seeds, fixed
+    /// bounded iteration counts — so CI can smoke it under
+    /// `JIGSAW_TUNE=calibrate`; the measured nanoseconds are whatever
+    /// the host delivers. Counted on `tune.calibrations`.
+    pub fn calibrate(&self, reps: usize) {
+        // Representative N / density per bucket (same buckets the
+        // online path lands in — asserted in the unit tests).
+        const CAL_N: [usize; 6] = [12, 24, 48, 96, 192, 384];
+        const CAL_DENSITY: [f64; 5] = [0.40, 0.20, 0.10, 0.04, 0.008];
+        const CAL_K: usize = 512;
+        let reps = reps.max(1);
+        for (nb, &n) in CAL_N.iter().enumerate() {
+            for (sb, &density) in CAL_DENSITY.iter().enumerate() {
+                let nnz = ((CAL_K as f64 * density) as usize).max(4);
+                let (vals, cols, slab) = calibration_stream(CAL_K, n, nnz, (nb * 8 + sb) as u64);
+                let work = (nnz * n) as u64;
+                // Size the inner loop so one measurement is long enough
+                // to rank kernels, bounded so `JIGSAW_TUNE=calibrate`
+                // smoke runs stay fast.
+                let iters = (2_000_000 / work.max(1)).clamp(4, 256) as usize;
+                for kind in TUNED_CANDIDATES {
+                    if !kind.available() {
+                        continue;
+                    }
+                    let axpy = super::dispatch::calibration_axpy(kind);
+                    let mut c = vec![0.0f32; n];
+                    let mut best_ns = u64::MAX;
+                    for _ in 0..reps {
+                        let started = Instant::now();
+                        for _ in 0..iters {
+                            axpy(&mut c, &vals, &cols, &slab, n);
+                        }
+                        best_ns = best_ns.min(started.elapsed().as_nanos() as u64);
+                    }
+                    std::hint::black_box(&c);
+                    let per_call = (best_ns / iters as u64).max(1);
+                    let wl = Workload { n, density };
+                    debug_assert_eq!(wl.bucket(), (nb as u8, sb as u8));
+                    self.record(kind, wl, work, per_call);
+                }
+            }
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.seeded = true;
+        self.counters.calibrations.inc();
+    }
+
+    /// Serializes the table. The encoding stores every f64 as its raw
+    /// bit pattern, so [`CostTable::load_bytes`] reproduces the cells
+    /// **bit-exactly** (pinned by proptest) — a reloaded table ranks
+    /// identically to the one that was saved.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut cells: Vec<(&CellKey, &Cell)> = inner.cells.iter().collect();
+        // Canonical order: the encoding is a pure function of the
+        // table's contents, not of HashMap iteration order.
+        cells.sort_by_key(|(k, _)| (k.nb, k.sb, variant_tag(k.kind)));
+        let mut out = Vec::with_capacity(16 + cells.len() * 27);
+        out.extend_from_slice(&TABLE_MAGIC);
+        out.extend_from_slice(&(cells.len() as u32).to_le_bytes());
+        out.extend_from_slice(&inner.tick.to_le_bytes());
+        for (key, cell) in cells {
+            out.push(key.nb);
+            out.push(key.sb);
+            out.push(variant_tag(key.kind));
+            out.extend_from_slice(&cell.ewma_ns_per_unit.to_bits().to_le_bytes());
+            out.extend_from_slice(&cell.samples.to_le_bytes());
+            out.extend_from_slice(&cell.last_tick.to_le_bytes());
+        }
+        out
+    }
+
+    /// Replaces the table with a previously serialized one and marks it
+    /// seeded (`tune.table_loads`), returning the number of cells
+    /// loaded. Every length and tag is validated — corrupt bytes are a
+    /// typed `io::Error`, never a panic, and leave the table untouched.
+    pub fn load_bytes(&self, bytes: &[u8]) -> io::Result<usize> {
+        let bad =
+            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("tune table: {what}"));
+        if bytes.len() < 20 {
+            return Err(bad("truncated header"));
+        }
+        if bytes[..8] != TABLE_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let tick = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let mut cells = HashMap::with_capacity(count);
+        let mut at = 20;
+        for _ in 0..count {
+            let Some(rec) = bytes.get(at..at + 27) else {
+                return Err(bad("truncated cell"));
+            };
+            let kind = variant_from_tag(rec[2]).ok_or_else(|| bad("unknown variant tag"))?;
+            let key = CellKey {
+                nb: rec[0],
+                sb: rec[1],
+                kind,
+            };
+            let cell = Cell {
+                ewma_ns_per_unit: f64::from_bits(u64::from_le_bytes(
+                    rec[3..11].try_into().expect("8 bytes"),
+                )),
+                samples: u64::from_le_bytes(rec[11..19].try_into().expect("8 bytes")),
+                last_tick: u64::from_le_bytes(rec[19..27].try_into().expect("8 bytes")),
+            };
+            if cells.insert(key, cell).is_some() {
+                return Err(bad("duplicate cell"));
+            }
+            at += 27;
+        }
+        if at != bytes.len() {
+            return Err(bad("trailing bytes"));
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.cells = cells;
+        inner.tick = tick;
+        inner.seeded = true;
+        self.counters.table_loads.inc();
+        Ok(count)
+    }
+
+    /// Test/report hook: seeds one cell directly with an exact cost.
+    /// Marks the table seeded — a hand-seeded table must not be
+    /// overwritten by a later implicit calibration pass.
+    pub fn seed_cell(&self, kind: KernelKind, wl: Workload, ns_per_unit: f64) {
+        let (nb, sb) = wl.bucket();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        inner.seeded = true;
+        let tick = inner.tick;
+        inner.cells.insert(
+            CellKey { nb, sb, kind },
+            Cell {
+                ewma_ns_per_unit: ns_per_unit,
+                samples: 1,
+                last_tick: tick,
+            },
+        );
+    }
+}
+
+/// Stable on-disk tag per variant (independent of enum layout).
+fn variant_tag(kind: KernelKind) -> u8 {
+    match kind {
+        KernelKind::Scalar => 0,
+        KernelKind::Avx2Fma => 1,
+        KernelKind::Avx512f => 2,
+        KernelKind::Neon => 3,
+        KernelKind::SortedStream => 4,
+        KernelKind::NarrowN => 5,
+    }
+}
+
+fn variant_from_tag(tag: u8) -> Option<KernelKind> {
+    Some(match tag {
+        0 => KernelKind::Scalar,
+        1 => KernelKind::Avx2Fma,
+        2 => KernelKind::Avx512f,
+        3 => KernelKind::Neon,
+        4 => KernelKind::SortedStream,
+        5 => KernelKind::NarrowN,
+        _ => return None,
+    })
+}
+
+/// Calibration repetitions: 5 by default, 2 in the bounded-iteration
+/// CI smoke mode (`JIGSAW_TUNE=calibrate`).
+fn calibration_reps() -> usize {
+    match std::env::var("JIGSAW_TUNE").as_deref() {
+        Ok("calibrate") => 2,
+        _ => 5,
+    }
+}
+
+/// Deterministic synthetic axpy inputs for one calibration cell:
+/// `nnz` nonzeros over a `k × n` slab, columns spread by a seeded
+/// splitmix64 walk.
+fn calibration_stream(k: usize, n: usize, nnz: usize, seed: u64) -> (Vec<f32>, Vec<u32>, Vec<f32>) {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let vals: Vec<f32> = (0..nnz).map(|_| ((next() % 7) as f32) - 3.0).collect();
+    let cols: Vec<u32> = (0..nnz).map(|_| (next() % k as u64) as u32).collect();
+    let slab: Vec<f32> = (0..k * n).map(|_| ((next() % 5) as f32) - 2.0).collect();
+    (vals, cols, slab)
+}
+
+/// The process-global cost table every tuned selection and every
+/// execution measurement goes through.
+pub fn table() -> &'static CostTable {
+    static TABLE: OnceLock<CostTable> = OnceLock::new();
+    TABLE.get_or_init(CostTable::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(n: usize, density: f64) -> Workload {
+        Workload { n, density }
+    }
+
+    #[test]
+    fn buckets_partition_the_shape_space() {
+        assert_eq!(n_bucket(1), 0);
+        assert_eq!(n_bucket(16), 0);
+        assert_eq!(n_bucket(17), 1);
+        assert_eq!(n_bucket(64), 2);
+        assert_eq!(n_bucket(65), 3);
+        assert_eq!(n_bucket(256), 4);
+        assert_eq!(n_bucket(4096), 5);
+        assert_eq!(s_bucket(0.5), 0);
+        assert_eq!(s_bucket(0.2), 1);
+        assert_eq!(s_bucket(0.1), 2);
+        assert_eq!(s_bucket(0.05), 3);
+        assert_eq!(s_bucket(0.001), 4);
+        // Workload::new derives density from the stream shape.
+        let w = Workload::new(64, 100, 100, 1000);
+        assert!((w.density - 0.1).abs() < 1e-12);
+        assert_eq!(w.bucket(), (2, 2));
+    }
+
+    #[test]
+    fn ewma_converges_and_best_ranks_cells() {
+        let t = CostTable::new();
+        let w = wl(48, 0.1);
+        assert_eq!(t.best(w), None, "empty bucket is a miss");
+        // Scalar measured slow, narrow_n fast, in the same bucket.
+        for _ in 0..8 {
+            t.record(KernelKind::Scalar, w, 1000, 8000); // 8 ns/unit
+            t.record(KernelKind::NarrowN, w, 1000, 2000); // 2 ns/unit
+        }
+        assert_eq!(t.best(w), Some(KernelKind::NarrowN));
+        let slow = t.cost(KernelKind::Scalar, w).unwrap();
+        let fast = t.cost(KernelKind::NarrowN, w).unwrap();
+        assert!(slow > fast);
+        // A shift in measurements moves the EWMA toward the new cost.
+        for _ in 0..32 {
+            t.record(KernelKind::NarrowN, w, 1000, 20_000); // now 20 ns/unit
+        }
+        assert_eq!(t.best(w), Some(KernelKind::Scalar), "ranking follows drift");
+        // Another bucket is independent.
+        assert_eq!(t.best(wl(4000, 0.1)), None);
+    }
+
+    #[test]
+    fn zero_work_and_zero_time_records_are_ignored() {
+        let t = CostTable::new();
+        t.record(KernelKind::Scalar, wl(8, 0.1), 0, 100);
+        t.record(KernelKind::Scalar, wl(8, 0.1), 100, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn stale_cells_are_evicted() {
+        let t = CostTable::new();
+        let old = wl(8, 0.5);
+        let hot = wl(100, 0.5);
+        t.record(KernelKind::Scalar, old, 100, 100);
+        for _ in 0..64 {
+            t.record(KernelKind::Scalar, hot, 100, 100);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evict_stale(32), 1, "only the old cell goes");
+        assert_eq!(t.best(old), None);
+        assert!(t.best(hot).is_some());
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact_and_corrupt_bytes_are_errors() {
+        let t = CostTable::new();
+        t.seed_cell(KernelKind::Scalar, wl(8, 0.5), 1.0 / 3.0);
+        t.seed_cell(KernelKind::NarrowN, wl(8, 0.5), f64::MIN_POSITIVE);
+        t.seed_cell(KernelKind::Avx512f, wl(300, 0.001), 12345.6789);
+        let bytes = t.to_bytes();
+
+        let u = CostTable::new();
+        assert_eq!(u.load_bytes(&bytes).unwrap(), 3);
+        assert!(u.is_seeded());
+        for (kind, w) in [
+            (KernelKind::Scalar, wl(8, 0.5)),
+            (KernelKind::NarrowN, wl(8, 0.5)),
+            (KernelKind::Avx512f, wl(300, 0.001)),
+        ] {
+            assert_eq!(
+                t.cost(kind, w).unwrap().to_bits(),
+                u.cost(kind, w).unwrap().to_bits(),
+                "bit-exact {kind:?}"
+            );
+        }
+        assert_eq!(u.to_bytes(), bytes, "canonical re-encoding");
+
+        for corrupt in [
+            &bytes[..10],
+            &bytes[..bytes.len() - 1],
+            &[bytes.as_slice(), &[0u8]].concat()[..],
+        ] {
+            assert!(CostTable::new().load_bytes(corrupt).is_err());
+        }
+        let mut bad_tag = bytes.clone();
+        bad_tag[22] = 200; // variant tag of the first cell
+        assert!(CostTable::new().load_bytes(&bad_tag).is_err());
+        assert!(CostTable::new().load_bytes(b"nope").is_err());
+    }
+
+    #[test]
+    fn calibration_seeds_every_bucket_for_every_available_candidate() {
+        let t = CostTable::new();
+        t.calibrate(1);
+        assert!(t.is_seeded());
+        let available = TUNED_CANDIDATES
+            .into_iter()
+            .filter(|k| k.available())
+            .count();
+        assert_eq!(
+            t.len(),
+            6 * 5 * available,
+            "6 N buckets × 5 density buckets"
+        );
+        // ensure_seeded on a seeded table is a no-op skip.
+        let before = t.len();
+        t.ensure_seeded();
+        assert_eq!(t.len(), before);
+        // Every bucket resolves to some pick now.
+        for n in [8, 24, 48, 96, 192, 1024] {
+            for d in [0.4, 0.2, 0.1, 0.04, 0.005] {
+                assert!(t.best(wl(n, d)).is_some(), "n={n} d={d}");
+            }
+        }
+    }
+}

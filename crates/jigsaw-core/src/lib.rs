@@ -50,9 +50,11 @@ pub mod swizzle;
 pub mod sync;
 
 pub use analysis::{forecast, jigsaw_expected_win, strip_census, ReorderForecast, StripCensus};
-pub use compiled::{CompiledKernel, ExecOptions, KernelKind};
+pub use compiled::{
+    CompiledKernel, ExecOptions, ExecOptionsBuilder, KernelKind, KernelPolicy, Workload,
+};
 pub use config::{ConfigBuilder, JigsawConfig, MMA_N, MMA_TILE};
-pub use errors::{CompileError, ConfigError, PlanError};
+pub use errors::{CompileError, ConfigError, OptionsError, PlanError};
 pub use exec::{execute_fast, execute_via_fragments, max_relative_error};
 pub use fault::{FaultError, FaultKind, FaultSpec};
 pub use format::{format_source_column, JigsawFormat};

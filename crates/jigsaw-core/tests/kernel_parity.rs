@@ -5,8 +5,9 @@
 //!
 //! * the `scalar` variant is **bit-identical** to [`execute_fast`] —
 //!   the differential oracle — on every input,
-//! * every fused ISA variant (`avx2_fma`, `avx512f`, `neon`) keeps the
-//!   oracle's accumulation *order* and differs only by per-step fused
+//! * every fused same-order variant (`avx2_fma`, `avx512f`, `neon`,
+//!   and the register-blocked `narrow_n`) keeps the oracle's
+//!   accumulation *order* and differs only by per-step fused
 //!   rounding: bit-exact on integer-valued data, within the stated
 //!   tolerance (floored relative error ≤ 1e-5, ≈ 84 ulps at unit
 //!   scale) on arbitrary data,
@@ -25,12 +26,17 @@ use dlmc::{dense_rhs, Matrix, ValueDist, VectorSparseSpec};
 use jigsaw_core::compiled::dispatch::{self, ALL_KERNELS};
 use jigsaw_core::{
     execute_fast, max_relative_error, CompiledKernel, ExecOptions, JigsawConfig, JigsawFormat,
-    KernelKind, ReorderPlan,
+    KernelKind, KernelPolicy, ReorderPlan,
 };
 
 /// Serializes tests that read or write the process-global
 /// `JIGSAW_KERNEL` environment variable.
 static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Options pinning one variant through the typed policy API.
+fn forced(kind: KernelKind) -> ExecOptions {
+    ExecOptions::from(KernelPolicy::Forced(kind))
+}
 
 fn compile(a: &Matrix, interleaved: bool) -> (JigsawFormat, CompiledKernel) {
     let bt = if a.rows.is_multiple_of(32) { 32 } else { 16 };
@@ -127,7 +133,7 @@ proptest! {
         let oracle = execute_fast(&format, &b);
         for &kind in available_for_proptest() {
             prop_assert_eq!(
-                &kernel.execute_opts(&b, &ExecOptions::forced(kind)),
+                &kernel.execute_opts(&b, &forced(kind)),
                 &oracle,
                 "variant {}",
                 kind.name()
@@ -148,7 +154,7 @@ proptest! {
         let (_, kernel) = compile(&a, interleaved);
         let oracle = kernel.execute_opts(&b, &ExecOptions::scalar());
         for &kind in available_for_proptest() {
-            let got = kernel.execute_opts(&b, &ExecOptions::forced(kind));
+            let got = kernel.execute_opts(&b, &forced(kind));
             let bound = if kind == KernelKind::SortedStream { 1e-4 } else { 1e-5 };
             let err = max_relative_error(&got, &oracle);
             prop_assert!(
@@ -192,7 +198,7 @@ fn every_variant_handles_empty_strips_and_odd_n() {
         assert_eq!(oracle, a.matmul_reference(&b), "oracle sanity, n={n}");
         for kind in runnable_variants() {
             assert_eq!(
-                kernel.execute_opts(&b, &ExecOptions::forced(kind)),
+                kernel.execute_opts(&b, &forced(kind)),
                 oracle,
                 "variant {} n={n}",
                 kind.name()
@@ -260,13 +266,10 @@ fn forcing_an_absent_isa_falls_back_to_a_correct_product() {
     let (format, kernel) = compile(&a, false);
     let oracle = execute_fast(&format, &b);
 
-    let sel = dispatch::selected_kind(&ExecOptions::forced(absent));
+    let sel = dispatch::selected_kind(&forced(absent));
     assert_ne!(sel, absent, "absent force resolves elsewhere");
     assert!(sel.available(), "fallback is runnable");
-    assert_eq!(
-        kernel.execute_opts(&b, &ExecOptions::forced(absent)),
-        oracle
-    );
+    assert_eq!(kernel.execute_opts(&b, &forced(absent)), oracle);
 
     std::env::set_var("JIGSAW_KERNEL", absent.name());
     assert_eq!(kernel.execute_opts(&b, &ExecOptions::default()), oracle);

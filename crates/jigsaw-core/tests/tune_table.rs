@@ -1,0 +1,192 @@
+//! Property tests for the measured-feedback cost table
+//! (`jigsaw_core::compiled::tune`).
+//!
+//! The serialized table is a *disk artifact*: the serve registry
+//! persists it next to the model artifacts and reloads it on warm
+//! restart, so the round-trip must be **bit-exact** — an EWMA that
+//! drifts by one ulp across restarts would make tuned selection
+//! depend on how many times the server bounced. These properties
+//! drive randomized populations of the table through
+//! `to_bytes`/`load_bytes` and compare every cell by `f64::to_bits`,
+//! and check that tuned selection degrades past poisoned winners the
+//! same way the static ladder does.
+
+use proptest::prelude::*;
+
+use jigsaw_core::compiled::dispatch::{self, ALL_KERNELS};
+use jigsaw_core::compiled::tune::{n_bucket, s_bucket, CostTable, Workload, TUNED_CANDIDATES};
+use jigsaw_core::{ExecOptions, KernelKind, KernelPolicy};
+
+/// A random workload spanning every (n, density) bucket.
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (1usize..=600, 0.0f64..=1.0).prop_map(|(n, density)| Workload { n, density })
+}
+
+/// A random tuning candidate (the kinds the table may rank).
+fn arb_candidate() -> impl Strategy<Value = KernelKind> {
+    (0..TUNED_CANDIDATES.len()).prop_map(|i| TUNED_CANDIDATES[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any population of the table — random kinds, workloads, work
+    /// sizes, and timings, including EWMA refinements of the same
+    /// cell — survives `to_bytes` → `load_bytes` with every cost
+    /// bit-identical and every ranking preserved.
+    #[test]
+    fn cost_table_round_trips_through_disk_artifact_bytes_bit_exactly(
+        records in proptest::collection::vec(
+            (arb_candidate(), arb_workload(), 1u64..=1 << 40, 1u64..=1 << 40),
+            1..64,
+        ),
+    ) {
+        let table = CostTable::new();
+        for (kind, wl, work, ns) in &records {
+            table.record(*kind, *wl, *work, *ns);
+        }
+        let bytes = table.to_bytes();
+
+        let reloaded = CostTable::new();
+        let cells = reloaded.load_bytes(&bytes).expect("own bytes reload");
+        prop_assert_eq!(cells, table.len());
+        prop_assert!(reloaded.is_seeded(), "a loaded table counts as seeded");
+        for (kind, wl, _, _) in &records {
+            let a = table.cost(*kind, *wl).expect("recorded cell");
+            let b = reloaded.cost(*kind, *wl).expect("reloaded cell");
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "cost drifted in the round-trip");
+        }
+        // Ranking is a pure function of the costs, so it survives too.
+        for (_, wl, _, _) in &records {
+            prop_assert_eq!(table.best(*wl), reloaded.best(*wl));
+        }
+        // Serialization is canonical: re-serializing the reloaded
+        // table yields the same bytes.
+        prop_assert_eq!(bytes, reloaded.to_bytes());
+    }
+
+    /// Corrupting any single byte of a serialized table never loads
+    /// silently wrong data: the load either fails with an error or —
+    /// when the flipped byte happens to produce another valid document
+    /// (e.g. inside an EWMA's mantissa) — still yields a structurally
+    /// valid table.
+    #[test]
+    fn corrupt_artifact_bytes_never_panic(
+        records in proptest::collection::vec(
+            (arb_candidate(), arb_workload(), 1u64..=1 << 30, 1u64..=1 << 30),
+            1..8,
+        ),
+        pos in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let table = CostTable::new();
+        for (kind, wl, work, ns) in &records {
+            table.record(*kind, *wl, *work, *ns);
+        }
+        let mut bytes = table.to_bytes();
+        let i = (pos % bytes.len() as u64) as usize;
+        bytes[i] ^= flip;
+        let reloaded = CostTable::new();
+        if let Ok(n) = reloaded.load_bytes(&bytes) {
+            prop_assert_eq!(n, reloaded.len());
+        } else {
+            prop_assert!(reloaded.is_empty(), "failed load leaves the table empty");
+        }
+        // Truncation at any point is always an error.
+        let cut = CostTable::new();
+        prop_assert!(cut.load_bytes(&table.to_bytes()[..i]).is_err());
+    }
+
+    /// Bucketing is total: every workload lands in exactly one of the
+    /// 6×5 cells, and the bucket edges are monotone in n and density.
+    #[test]
+    fn every_workload_lands_in_one_bucket(wl in arb_workload()) {
+        let (nb, sb) = wl.bucket();
+        prop_assert!(nb < 6 && sb < 5);
+        prop_assert_eq!(nb, n_bucket(wl.n));
+        prop_assert_eq!(sb, s_bucket(wl.density));
+        prop_assert!(n_bucket(wl.n + 1) >= nb, "n buckets are monotone");
+        prop_assert!(s_bucket((wl.density - 0.01).max(0.0)) >= sb, "sparser never densifies");
+    }
+}
+
+/// Tuned selection with a poisoned winner falls back to the
+/// next-cheapest *unpoisoned* candidate — the measured ranking and the
+/// degrade ladder compose instead of fighting. Runs against the
+/// process-global table the dispatch layer consults, so it exercises
+/// the real `KernelPolicy::Tuned` path end to end.
+#[test]
+fn tuned_selection_degrades_past_poisoned_winners_in_cost_order() {
+    if !KernelKind::Avx2Fma.available() {
+        eprintln!("tune_table: SKIP poisoned-winner test — needs three available candidates");
+        return;
+    }
+    // A bucket no other test or online record plausibly touches.
+    let wl = Workload {
+        n: 300_000,
+        density: 0.93,
+    };
+    let table = jigsaw_core::compiled::tune::table();
+    // Rank three always-available candidates at costs far below any
+    // real measurement so stray online records cannot outrank them.
+    table.seed_cell(KernelKind::NarrowN, wl, 1e-12);
+    table.seed_cell(KernelKind::Avx2Fma, wl, 2e-12);
+    table.seed_cell(KernelKind::Scalar, wl, 3e-12);
+    let opts = ExecOptions::tuned();
+
+    dispatch::unpoison_all();
+    assert_eq!(
+        dispatch::selected_kind_shaped(&opts, Some(wl)),
+        KernelKind::NarrowN
+    );
+
+    // Poison the winner: selection slides to the runner-up…
+    dispatch::poison(KernelKind::NarrowN);
+    assert_eq!(
+        dispatch::selected_kind_shaped(&opts, Some(wl)),
+        KernelKind::Avx2Fma
+    );
+
+    // …and keeps sliding in measured-cost order, never resurrecting a
+    // poisoned variant.
+    dispatch::poison(KernelKind::Avx2Fma);
+    let kind = dispatch::selected_kind_shaped(&opts, Some(wl));
+    assert!(
+        kind != KernelKind::NarrowN && kind != KernelKind::Avx2Fma,
+        "poisoned variants stay dead, got {kind:?}"
+    );
+    assert!(kind.available(), "fallback is runnable");
+
+    // With every seeded candidate poisoned, tuned selection still
+    // resolves through the static ladder instead of panicking.
+    for kind in ALL_KERNELS {
+        if kind != KernelKind::Scalar && kind != KernelKind::SortedStream {
+            dispatch::poison(kind);
+        }
+    }
+    assert_eq!(
+        dispatch::selected_kind_shaped(&opts, Some(wl)),
+        KernelKind::Scalar
+    );
+    dispatch::unpoison_all();
+}
+
+/// The typed policy API round-trips through `From` and the builder,
+/// and the builder rejects contradictions instead of silently
+/// dropping an option.
+#[test]
+fn kernel_policy_builder_round_trips_and_validates() {
+    let opts = ExecOptions::builder()
+        .policy(KernelPolicy::Tuned)
+        .build()
+        .expect("tuned policy is valid alone");
+    assert_eq!(opts.policy(), KernelPolicy::Tuned);
+    assert!(
+        ExecOptions::builder()
+            .policy(KernelPolicy::Tuned)
+            .sorted_stream(true)
+            .build()
+            .is_err(),
+        "sorted_stream can never run under Tuned"
+    );
+}

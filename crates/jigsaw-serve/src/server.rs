@@ -458,13 +458,18 @@ impl Server {
     }
 
     /// Stops admission, drains every queued request, joins the
-    /// workers, and returns the final metrics.
+    /// workers, and returns the final metrics. Before returning, the
+    /// kernel-tuning cost table is persisted into the registry's
+    /// artifact directory (when one is configured) so the next server
+    /// over the same directory restarts warm — best-effort, a write
+    /// failure never fails shutdown.
     pub fn shutdown(mut self) -> ServeMetrics {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        let _ = self.registry.persist_tuning();
         let metrics = self.metrics();
         debug_assert_eq!(
             lock_recover(&self.shared.queues).depth,

@@ -394,6 +394,50 @@ fn simd_panic_poisons_to_scalar_with_correct_results() {
     assert_eq!(model.execute(&b), expect, "later runs stay correct");
 }
 
+/// Tuned selection under chaos: a panic out of the cost table's
+/// measured winner poisons exactly that variant (shape-aware
+/// poisoning), and the next execution slides to the next-cheapest
+/// *unpoisoned* candidate — serving stays correct throughout, and the
+/// poisoned winner never resurrects.
+#[test]
+fn tuned_winner_panic_falls_back_to_next_cheapest_unpoisoned_variant() {
+    use jigsaw_core::compiled::{dispatch, tune};
+    use jigsaw_core::{ExecOptions, KernelKind};
+
+    let _g = guard();
+    dispatch::unpoison_all();
+    let reg = ModelRegistry::new(RegistryConfig::default()).unwrap();
+    let m = &default_zoo(78)[0];
+    reg.register_with_options("tuned-model", m.weights(), m.config, ExecOptions::tuned());
+    let model = reg.get("tuned-model").unwrap();
+    let b = dense_rhs(model.k(), 8, ValueDist::SmallInt, 9);
+    let expect = execute_fast(&model.format, &b);
+
+    // Rank the portable candidates for this model's exact workload
+    // bucket at costs no real measurement can beat: narrow_n wins,
+    // scalar is the runner-up.
+    let wl = CompiledKernel::compile(&model.format).workload(8);
+    let table = tune::table();
+    table.seed_cell(KernelKind::NarrowN, wl, 1e-12);
+    table.seed_cell(KernelKind::Scalar, wl, 2e-12);
+    assert_eq!(
+        dispatch::selected_kind_shaped(&ExecOptions::tuned(), Some(wl)),
+        KernelKind::NarrowN,
+        "cost table ranks the seeded winner first"
+    );
+
+    // The winner panics mid-execution: the run recomputes on the
+    // degrade ladder and exactly the tuned pick is poisoned.
+    fault::inject(FaultSpec::once(points::EXECUTE, FaultKind::Panic));
+    assert_eq!(model.execute(&b), expect, "panicked run still answers");
+    fault::reset();
+    assert!(model.is_degraded(), "tuned winner is sticky-poisoned");
+    let next = dispatch::selected_kind_shaped(&ExecOptions::tuned(), Some(wl));
+    assert_ne!(next, KernelKind::NarrowN, "poisoned winner is skipped");
+    assert_eq!(model.execute(&b), expect, "fallback keeps serving");
+    dispatch::unpoison_all();
+}
+
 // ---------------------------------------------------------------------
 // Shard router chaos (DESIGN.md §14): a dead shard stays a dead shard
 // ---------------------------------------------------------------------

@@ -43,8 +43,8 @@ pub use sptc;
 
 pub use jigsaw_core::{
     execute_fast, execute_via_fragments, max_relative_error, CompiledKernel, ConfigBuilder,
-    ConfigError, ExecOptions, JigsawConfig, JigsawFormat, JigsawSpmm, KernelKind, PlanError,
-    PoolBuf, PoolStats, ReorderPlan, ReorderStats, SpmmRun, TuneReport, WorkspacePool,
+    ConfigError, ExecOptions, JigsawConfig, JigsawFormat, JigsawSpmm, KernelKind, KernelPolicy,
+    PlanError, PoolBuf, PoolStats, ReorderPlan, ReorderStats, SpmmRun, TuneReport, WorkspacePool,
 };
 
 #[cfg(test)]
