@@ -7,12 +7,15 @@
 //! section. Exits non-zero if any file fails or none are found.
 //!
 //! Perf mode (`--perf <baseline> <candidate> [--tolerance F]`):
-//! compares two exec-bench documents' machine-neutral speedup ratios
-//! (compiled kernel over `execute_fast`) row-for-row per
-//! `(shape, variant, selection)` and fails on regression — candidate
-//! speedup below `(1 - tolerance) ×` its baseline row on any shape, or
-//! an `avx2_fma` row below the baseline's committed absolute floor.
+//! compares two bench documents of the same experiment. For exec docs
+//! it gates machine-neutral speedup ratios (compiled kernel over
+//! `execute_fast`) row-for-row per `(shape, variant, selection,
+//! fusion)` and fails on regression — candidate speedup below
+//! `(1 - tolerance) ×` its baseline row on any shape, or an unfused
+//! `avx2_fma` row below the baseline's committed absolute floor.
 //! Baseline rows for ISAs this host lacks are skipped with a note.
+//! For serving docs it gates the fused-assembly rows per batch size,
+//! with an absolute 1.0× fused-over-two-touch floor at batch ≥ 4.
 use std::path::PathBuf;
 use std::process::ExitCode;
 

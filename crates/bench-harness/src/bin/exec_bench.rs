@@ -15,6 +15,13 @@
 //! fails if tuned selection lands below 75% of the best static variant
 //! at any N — a cost table worse than a static ladder is a regression.
 //!
+//! Each static variant row also gets a `fusion=on` twin that times
+//! `execute_prepaneled_into_opts` over a prebuilt panel image — the
+//! serve fused hot path, where batch assembly already emitted B
+//! panel-major and the execute skips phase 1. The `off`/`on` gap is
+//! the panelization share fusion moves out of the kernel's critical
+//! path.
+//!
 //! Emits `results/BENCH_exec.json`, the committed perf baseline that
 //! `check_bench --perf` gates CI against. The gated quantity is the
 //! *speedup ratio* (variant over fast, both measured in the same
@@ -30,7 +37,8 @@ use bench_harness::obs_export::write_bench_json;
 use dlmc::{dense_rhs, Matrix, ValueDist, VectorSparseSpec};
 use jigsaw_core::compiled::dispatch;
 use jigsaw_core::{
-    execute_fast, max_relative_error, ExecOptions, JigsawConfig, JigsawSpmm, KernelPolicy,
+    execute_fast, max_relative_error, panelize_into, ExecOptions, JigsawConfig, JigsawSpmm,
+    KernelPolicy, PanelizedB,
 };
 use serde::Serialize;
 
@@ -49,6 +57,12 @@ pub struct ShapeResult {
     /// How the variant was chosen: `static` (forced) or `tuned`
     /// (measured-feedback cost table).
     pub selection: String,
+    /// Assembly mode: `off` rows time the full two-phase execute
+    /// (panelize + microkernel); `on` rows time
+    /// `execute_prepaneled_into_opts` over a prebuilt [`PanelizedB`] —
+    /// the serve fused hot path, where panelization already happened
+    /// at batch assembly.
+    pub fusion: String,
     /// Best-of-k wall time of `execute_fast`, milliseconds.
     pub fast_ms: f64,
     /// Best-of-k wall time of the compiled variant, milliseconds.
@@ -171,6 +185,58 @@ fn main() {
                 nnz: a.nnz(),
                 variant: kind.name().to_string(),
                 selection: "static".to_string(),
+                fusion: "off".to_string(),
+                fast_ms,
+                compiled_ms,
+                speedup,
+            });
+        }
+
+        // Fused rows: the same variants over a *prebuilt* panel image,
+        // through `execute_prepaneled_into_opts`. This is the serve
+        // fused hot path — batch assembly already emitted B
+        // panel-major, so the kernel skips phase 1. The gap between an
+        // `on` row and its `off` twin is the panelization share the
+        // fusion removes from the execute.
+        let mut panels = vec![0.0f32; k * n];
+        panelize_into(&b, &mut panels).expect("panel scratch sized k*n");
+        let prepaneled = PanelizedB::new(k, n, &panels).expect("prepaneled layout");
+        let mut c_buf = vec![0.0f32; m * n];
+        for &kind in &variants {
+            let opts = ExecOptions::from(KernelPolicy::Forced(kind));
+            // The stream kernels accumulate into C, so the reused
+            // buffer is re-zeroed before the parity run (the timing
+            // loop keeps accumulating — same work, values ignored).
+            c_buf.fill(0.0);
+            kernel
+                .execute_prepaneled_into_opts(&prepaneled, &mut c_buf, &opts)
+                .expect("prepaneled execute");
+            if kind.bit_exact() {
+                assert_eq!(c_buf, oracle, "{} prepaneled parity", kind.name());
+            } else {
+                let err = max_relative_error(&c_buf, &oracle);
+                assert!(err < 1e-4, "{} prepaneled parity, err {err}", kind.name());
+            }
+            let compiled_ms = best_of(5, || {
+                kernel
+                    .execute_prepaneled_into_opts(&prepaneled, &mut c_buf, &opts)
+                    .expect("prepaneled execute")
+            });
+            let speedup = fast_ms / compiled_ms;
+            println!(
+                "N={n:4}  {:<13} fast {fast_ms:9.2} ms   prepaneled {compiled_ms:6.2} ms   speedup {speedup:.2}x (fused)",
+                kind.name()
+            );
+            shapes.push(ShapeResult {
+                m,
+                k,
+                n,
+                sparsity,
+                v,
+                nnz: a.nnz(),
+                variant: kind.name().to_string(),
+                selection: "static".to_string(),
+                fusion: "on".to_string(),
                 fast_ms,
                 compiled_ms,
                 speedup,
@@ -203,6 +269,7 @@ fn main() {
             nnz: a.nnz(),
             variant: picked.name().to_string(),
             selection: "tuned".to_string(),
+            fusion: "off".to_string(),
             fast_ms,
             compiled_ms,
             speedup,
@@ -221,7 +288,7 @@ fn main() {
     // baseline rows.
     let gated: Vec<f64> = shapes
         .iter()
-        .filter(|s| s.variant == "avx2_fma" && s.selection == "static")
+        .filter(|s| s.variant == "avx2_fma" && s.selection == "static" && s.fusion == "off")
         .map(|s| s.speedup)
         .collect();
     let min_speedup = if gated.is_empty() {

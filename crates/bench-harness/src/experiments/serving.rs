@@ -5,13 +5,18 @@
 //! (simulated SpMM cost is sublinear in N — paper Fig 10) and plan
 //! caching (the §3.1 one-time reorder, charged only on cold starts).
 
+use std::time::Instant;
+
+use dlmc::{dense_rhs, Matrix, ValueDist};
 use gpu_sim::GpuSpec;
 use serde::{Deserialize, Serialize};
 
+use jigsaw_core::panelize_into;
 use jigsaw_serve::{
-    default_zoo, generate_schedule, generate_zipf_schedule, scaled_zoo, simulate_schedule,
-    simulate_sharded, LoadSpec, ModelRegistry, RegistryConfig, ReplicationConfig, ShardConfig,
-    ShardSimConfig, SimConfig, SimRequest, StealConfig, ZipfLoadSpec,
+    assemble_panels, concat_columns, default_zoo, generate_schedule, generate_zipf_schedule,
+    scaled_zoo, simulate_schedule, simulate_sharded, LoadSpec, ModelRegistry, RegistryConfig,
+    ReplicationConfig, ShardConfig, ShardSimConfig, SimConfig, SimRequest, StealConfig,
+    ZipfLoadSpec,
 };
 
 use crate::runner::render_table;
@@ -90,6 +95,30 @@ pub struct ShardRow {
     pub per_shard_p99_latency_cycles: Vec<f64>,
 }
 
+/// One batch size's host-side assembly comparison: the fused
+/// panel-major emit (`assemble_panels`, one touch of every F16 column)
+/// against the two-touch oracle (`concat_columns` into one `Matrix`,
+/// then phase-1 panelization). Both paths are timed on the host clock
+/// over identical parts and asserted bit-exact before timing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FusionRow {
+    /// Parts coalesced into the batch.
+    pub batch: usize,
+    /// Reduction dimension (rows of every part).
+    pub k: usize,
+    /// Columns per part.
+    pub n_per_part: usize,
+    /// Total batch width, columns.
+    pub total_n: usize,
+    /// Best-of-k wall time of the fused panel-major emit, nanoseconds.
+    pub fused_assemble_ns: f64,
+    /// Best-of-k wall time of concat + panelize, nanoseconds.
+    pub unfused_assemble_ns: f64,
+    /// `unfused_assemble_ns / fused_assemble_ns` — the host-copy work
+    /// the fused path removes. CI floors this at 1.0 for batch ≥ 4.
+    pub speedup: f64,
+}
+
 /// Workload shape for the sharded sweep. The same schedule (same
 /// offered load) runs at every shard count, so rows compare scaling,
 /// not workload drift.
@@ -140,6 +169,9 @@ pub struct Serving {
     pub zipf_seed: u64,
     /// One row per shard count, same offered load.
     pub shard_rows: Vec<ShardRow>,
+    /// One row per batch size: fused vs two-touch batch assembly,
+    /// host-timed over identical parts.
+    pub fusion_rows: Vec<FusionRow>,
 }
 
 /// Batching window, cycles (~35 µs at the A100 clock).
@@ -257,6 +289,73 @@ fn run_shard_sweep(spec: &GpuSpec, sweep: &ShardSweepSpec) -> Vec<ShardRow> {
         .collect()
 }
 
+/// Reduction dimension of the fusion sweep's parts — deep enough that
+/// assembly moves real bytes (`k × total_n` F16 reads per batch).
+const FUSION_K: usize = 2048;
+/// Columns per request in the fusion sweep (a typical skinny RHS).
+const FUSION_N_PER_PART: usize = 8;
+
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_nanos() as f64
+}
+
+/// Times fused vs two-touch batch assembly at each batch size. The
+/// fused emit (`assemble_panels`) converts each part's F16 columns
+/// directly into panel-major f32 scratch; the two-touch oracle copies
+/// once into a concatenated `Matrix` and again through phase-1
+/// panelization. Bit-exactness is asserted before anything is timed.
+/// The two paths are measured **interleaved** (fused, unfused, fused,
+/// …) with best-of-`reps` each, so a transient stall — a rayon pool
+/// wake-up, a scheduler hiccup — cannot land on one side only and
+/// flip the ratio at these ~100 µs scales.
+fn run_fusion_sweep(batch_sizes: &[usize], reps: usize) -> Vec<FusionRow> {
+    batch_sizes
+        .iter()
+        .map(|&batch| {
+            let parts: Vec<Matrix> = (0..batch)
+                .map(|i| {
+                    dense_rhs(
+                        FUSION_K,
+                        FUSION_N_PER_PART,
+                        ValueDist::Uniform,
+                        0xF00D + i as u64,
+                    )
+                })
+                .collect();
+            let refs: Vec<&Matrix> = parts.iter().collect();
+            let total_n = batch * FUSION_N_PER_PART;
+            let mut fused = vec![0.0f32; FUSION_K * total_n];
+            let mut oracle = vec![0.0f32; FUSION_K * total_n];
+            assemble_panels(&refs, &mut fused).expect("fused emit");
+            let cat = concat_columns(&refs).expect("oracle concat");
+            panelize_into(&cat, &mut oracle).expect("oracle panelize");
+            assert_eq!(fused, oracle, "fused emit is bit-exact at batch {batch}");
+            let mut fused_assemble_ns = f64::INFINITY;
+            let mut unfused_assemble_ns = f64::INFINITY;
+            for _ in 0..reps {
+                fused_assemble_ns = fused_assemble_ns.min(time_ns(|| {
+                    assemble_panels(&refs, &mut fused).expect("fused emit");
+                }));
+                unfused_assemble_ns = unfused_assemble_ns.min(time_ns(|| {
+                    let cat = concat_columns(&refs).expect("oracle concat");
+                    panelize_into(&cat, &mut oracle).expect("oracle panelize");
+                }));
+            }
+            FusionRow {
+                batch,
+                k: FUSION_K,
+                n_per_part: FUSION_N_PER_PART,
+                total_n,
+                fused_assemble_ns,
+                unfused_assemble_ns,
+                speedup: unfused_assemble_ns / fused_assemble_ns,
+            }
+        })
+        .collect()
+}
+
 /// Runs all four policies over one seeded workload, then the sharded
 /// zipf sweep over the same device spec.
 pub fn run(spec: &GpuSpec, requests: usize, sweep: &ShardSweepSpec) -> Serving {
@@ -275,6 +374,7 @@ pub fn run(spec: &GpuSpec, requests: usize, sweep: &ShardSweepSpec) -> Serving {
         run_policy("unbatched+cold", false, false, &schedule, zoo_seed, spec),
     ];
     let shard_rows = run_shard_sweep(spec, sweep);
+    let fusion_rows = run_fusion_sweep(&[1, 2, 4, 8, 16], 25);
     Serving {
         requests,
         seed: load.seed,
@@ -283,6 +383,7 @@ pub fn run(spec: &GpuSpec, requests: usize, sweep: &ShardSweepSpec) -> Serving {
         users: sweep.users,
         zipf_seed: sweep.seed,
         shard_rows,
+        fusion_rows,
     }
 }
 
@@ -353,11 +454,31 @@ impl Serving {
                 ]
             })
             .collect();
+        let fusion_header: Vec<String> =
+            ["batch", "total N", "fused µs", "two-touch µs", "speedup"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let fusion_rows: Vec<Vec<String>> = self
+            .fusion_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.batch.to_string(),
+                    r.total_n.to_string(),
+                    format!("{:.1}", r.fused_assemble_ns / 1e3),
+                    format!("{:.1}", r.unfused_assemble_ns / 1e3),
+                    format!("{:.2}x", r.speedup),
+                ]
+            })
+            .collect();
         format!(
             "Serving — {} requests, seed {:#x}; batching window {} cycles,\n\
              max batch {} columns (virtual-clock scheduler, A100 spec)\n{}\n\
              Sharded — {} zipf requests from {} users, seed {:#x};\n\
-             consistent-hash ring, hot-model replication, work stealing\n{}",
+             consistent-hash ring, hot-model replication, work stealing\n{}\n\
+             Fused assembly — panel-major emit vs concat+panelize,\n\
+             k={}, {} columns/part (host-timed, bit-exact asserted)\n{}",
             self.requests,
             self.seed,
             WINDOW_CYCLES,
@@ -366,7 +487,10 @@ impl Serving {
             self.shard_requests,
             self.users,
             self.zipf_seed,
-            render_table(&shard_header, &shard_rows)
+            render_table(&shard_header, &shard_rows),
+            FUSION_K,
+            FUSION_N_PER_PART,
+            render_table(&fusion_header, &fusion_rows)
         )
     }
 }
@@ -423,6 +547,23 @@ mod tests {
         let text = result.to_text();
         assert!(text.contains("batched+warm") && text.contains("req/Gcycle"));
         assert!(text.contains("Sharded") && text.contains("fwd/stolen"));
+        assert!(text.contains("Fused assembly") && text.contains("two-touch µs"));
+    }
+
+    /// The fusion sweep covers every requested batch size, its widths
+    /// fold up, and both paths stay bit-exact (asserted inside the
+    /// sweep itself — reaching the rows at all proves it held).
+    #[test]
+    fn fusion_sweep_rows_are_well_formed() {
+        let rows = run_fusion_sweep(&[1, 4, 16], 3);
+        assert_eq!(rows.len(), 3);
+        for (row, &batch) in rows.iter().zip(&[1usize, 4, 16]) {
+            assert_eq!(row.batch, batch);
+            assert_eq!(row.total_n, batch * row.n_per_part);
+            assert!(row.fused_assemble_ns > 0.0);
+            assert!(row.unfused_assemble_ns > 0.0);
+            assert!(row.speedup > 0.0);
+        }
     }
 
     #[test]

@@ -139,6 +139,16 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
                     ));
                 }
             }
+            if let Some(fusion) = row.get("fusion") {
+                let mode = fusion
+                    .as_str()
+                    .ok_or_else(|| "exec: fusion must be a string".to_string())?;
+                if mode != "on" && mode != "off" {
+                    return Err(format!(
+                        "exec: unknown fusion mode {mode:?}, expected \"on\" or \"off\""
+                    ));
+                }
+            }
         }
         if saw_variant && !saw_narrow {
             return Err(
@@ -193,40 +203,85 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
                 }
             }
         }
+        // Since fused batch assembly landed (DESIGN.md §16), the
+        // export also carries one fusion row per batch size; these are
+        // the rows `check_bench --perf` gates fused-vs-two-touch on.
+        let fusion_rows = doc
+            .get("data")
+            .and_then(|d| d.get("fusion_rows"))
+            .map(|r| r.items().to_vec())
+            .filter(|r| !r.is_empty())
+            .ok_or_else(|| "serving: data.fusion_rows missing or empty".to_string())?;
+        for row in &fusion_rows {
+            for key in [
+                "batch",
+                "k",
+                "total_n",
+                "fused_assemble_ns",
+                "unfused_assemble_ns",
+                "speedup",
+            ] {
+                if row.get(key).is_none() {
+                    return Err(format!("serving fusion row missing key {key:?}"));
+                }
+            }
+        }
     }
     Ok(experiment)
 }
 
-/// Perf-regression gate over two exec-bench documents: the committed
-/// `baseline` and a freshly measured `candidate`.
+/// Perf-regression gate over two bench documents of the same
+/// experiment: the committed `baseline` and a freshly measured
+/// `candidate`.
 ///
-/// The gated quantity is the *speedup ratio* (`data.shapes[].speedup`:
-/// compiled over `execute_fast`, both timed in the same process), which
-/// is stable across host speeds — absolute wall times are deliberately
-/// not compared. Every baseline row gates against its matching
-/// candidate row:
+/// For **exec** documents, the gated quantity is the *speedup ratio*
+/// (`data.shapes[].speedup`: compiled over `execute_fast`, both timed
+/// in the same process), which is stable across host speeds — absolute
+/// wall times are deliberately not compared. Every baseline row gates
+/// against its matching candidate row:
 ///
-/// * rows match on `(m, k, n, variant, selection)`, where a missing
-///   `variant` column (legacy single-variant docs) reads as `avx2_fma`
-///   and a missing `selection` reads as `static`; `selection=tuned`
-///   rows match on `(m, k, n)` alone, because the cost table is free
-///   to pick a different winning variant on a different host,
+/// * rows match on `(m, k, n, variant, selection, fusion)`, where a
+///   missing `variant` column (legacy single-variant docs) reads as
+///   `avx2_fma`, a missing `selection` reads as `static`, and a
+///   missing `fusion` reads as `off`; `selection=tuned` rows match on
+///   `(m, k, n)` alone, because the cost table is free to pick a
+///   different winning variant on a different host,
 /// * a baseline row whose variant's ISA the gating host lacks (e.g. an
 ///   `avx512f` row from an exotic baseline host) is skipped with a
 ///   note, never an error — baselines regenerated on wide hosts do
 ///   not move the bar for narrow ones,
 /// * each matched candidate speedup must be at least `(1 - tolerance)`
-///   × its baseline row's, and the `avx2_fma` static rows must
+///   × its baseline row's, and the unfused `avx2_fma` static rows must
 ///   additionally clear the baseline's committed
 ///   `data.required_speedup` absolute floor (the one ISA every gating
 ///   host has; the portable variants have no absolute floor because
 ///   their ratios legitimately sit below it).
+///
+/// For **serving** documents, the gate runs over `data.fusion_rows`:
+/// each batch size's fused-over-two-touch assembly speedup must stay
+/// within `(1 - tolerance)` of its baseline row, and at batch ≥ 4 it
+/// must additionally clear an absolute 1.0× floor — fused assembly
+/// slower than concat + panelize at real batch widths is a regression
+/// in the one copy the fusion exists to remove.
 pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Result<String, String> {
     if !(0.0..1.0).contains(&tolerance) {
         return Err(format!("tolerance {tolerance} outside [0, 1)"));
     }
-    // `(m, k, n, variant-or-tuned, selection)` identity of one row.
-    type RowKey = (u64, u64, u64, String, String);
+    let base_exp = check_bench_text(baseline)
+        .map_err(|e| format!("baseline is not a valid bench doc: {e}"))?;
+    let cand_exp = check_bench_text(candidate)
+        .map_err(|e| format!("candidate is not a valid bench doc: {e}"))?;
+    if base_exp != cand_exp {
+        return Err(format!(
+            "experiment mismatch: baseline is {base_exp:?}, candidate is {cand_exp:?}"
+        ));
+    }
+    if base_exp == "serving" {
+        return check_perf_serving(baseline, candidate, tolerance);
+    }
+    // `(m, k, n, variant-or-tuned, selection, fusion)` identity of one
+    // row.
+    type RowKey = (u64, u64, u64, String, String, String);
     let key = |row: &Json| -> Option<RowKey> {
         let selection = row
             .get("selection")
@@ -243,16 +298,21 @@ pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Resul
                 .unwrap_or("avx2_fma")
                 .to_string()
         };
+        let fusion = row
+            .get("fusion")
+            .and_then(|f| f.as_str())
+            .unwrap_or("off")
+            .to_string();
         Some((
             row.get("m")?.as_u64()?,
             row.get("k")?.as_u64()?,
             row.get("n")?.as_u64()?,
             variant,
             selection,
+            fusion,
         ))
     };
     let shapes = |text: &str, role: &str| -> Result<(Json, Vec<Json>), String> {
-        check_bench_text(text).map_err(|e| format!("{role} is not a valid bench doc: {e}"))?;
         let doc = jigsaw_obs::parse(text).map_err(|e| format!("{role}: {e}"))?;
         let data = doc
             .get("data")
@@ -275,7 +335,8 @@ pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Resul
     let mut report = Vec::new();
     let mut gated_any = false;
     for base in &base_shapes {
-        let (m, k, n, variant, selection) = key(base).ok_or("baseline: shape missing m/k/n")?;
+        let (m, k, n, variant, selection, fusion) =
+            key(base).ok_or("baseline: shape missing m/k/n")?;
         let base_speedup = base
             .get("speedup")
             .and_then(|s| s.as_f64())
@@ -290,23 +351,34 @@ pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Resul
         }
         let cand = cand_shapes
             .iter()
-            .find(|c| key(c).as_ref() == Some(&(m, k, n, variant.clone(), selection.clone())))
+            .find(|c| {
+                key(c).as_ref()
+                    == Some(&(m, k, n, variant.clone(), selection.clone(), fusion.clone()))
+            })
             .ok_or_else(|| {
-                format!("candidate: {variant} ({selection}) row at {m}x{k} N={n} missing")
+                format!(
+                    "candidate: {variant} ({selection}, fusion {fusion}) row at \
+                     {m}x{k} N={n} missing"
+                )
             })?;
         let cand_speedup = cand
             .get("speedup")
             .and_then(|s| s.as_f64())
             .ok_or("candidate: shape missing speedup")?;
-        let floored = variant == "avx2_fma" && selection == "static";
+        let floored = variant == "avx2_fma" && selection == "static" && fusion == "off";
         let mut min_ok = base_speedup * (1.0 - tolerance);
         if floored {
             min_ok = min_ok.max(floor);
         }
         gated_any = true;
+        let label = if fusion == "on" {
+            format!("{variant} ({selection}, fused)")
+        } else {
+            format!("{variant} ({selection})")
+        };
         if cand_speedup < min_ok {
             return Err(format!(
-                "regression in {variant} ({selection}) at {m}x{k} N={n}: speedup \
+                "regression in {label} at {m}x{k} N={n}: speedup \
                  {cand_speedup:.2}x < {min_ok:.2}x (baseline {base_speedup:.2}x, \
                  tolerance {:.0}%{})",
                 tolerance * 100.0,
@@ -318,7 +390,7 @@ pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Resul
             ));
         }
         report.push(format!(
-            "{variant} ({selection}) N={n}: {cand_speedup:.2}x (baseline {base_speedup:.2}x)"
+            "{label} N={n}: {cand_speedup:.2}x (baseline {base_speedup:.2}x)"
         ));
     }
     if !gated_any {
@@ -327,6 +399,68 @@ pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Resul
              on a host this gate runs on"
                 .to_string(),
         );
+    }
+    Ok(report.join("; "))
+}
+
+/// The serving arm of [`check_perf_text`]: gates the committed
+/// fused-assembly speedups (`data.fusion_rows[].speedup`,
+/// two-touch-over-fused wall time) row-for-row per batch size. At
+/// batch ≥ 4 the candidate must also clear an absolute 1.0× floor:
+/// fused assembly slower than concat + panelize at real batch widths
+/// regresses the copy the fusion exists to remove. (Batch 1 and 2 rows
+/// gate only relatively — at trivial widths the two paths are within
+/// noise of each other.)
+fn check_perf_serving(baseline: &str, candidate: &str, tolerance: f64) -> Result<String, String> {
+    let rows = |text: &str, role: &str| -> Result<Vec<Json>, String> {
+        let doc = jigsaw_obs::parse(text).map_err(|e| format!("{role}: {e}"))?;
+        doc.get("data")
+            .and_then(|d| d.get("fusion_rows"))
+            .map(|r| r.items().to_vec())
+            .filter(|r| !r.is_empty())
+            .ok_or_else(|| format!("{role}: data.fusion_rows missing or empty"))
+    };
+    let base_rows = rows(baseline, "baseline")?;
+    let cand_rows = rows(candidate, "candidate")?;
+    let mut report = Vec::new();
+    for base in &base_rows {
+        let batch = base
+            .get("batch")
+            .and_then(|b| b.as_u64())
+            .ok_or("baseline: fusion row missing batch")?;
+        let base_speedup = base
+            .get("speedup")
+            .and_then(|s| s.as_f64())
+            .ok_or("baseline: fusion row missing speedup")?;
+        let cand = cand_rows
+            .iter()
+            .find(|c| c.get("batch").and_then(|b| b.as_u64()) == Some(batch))
+            .ok_or_else(|| format!("candidate: fusion row at batch {batch} missing"))?;
+        let cand_speedup = cand
+            .get("speedup")
+            .and_then(|s| s.as_f64())
+            .ok_or("candidate: fusion row missing speedup")?;
+        let floored = batch >= 4;
+        let mut min_ok = base_speedup * (1.0 - tolerance);
+        if floored {
+            min_ok = min_ok.max(1.0);
+        }
+        if cand_speedup < min_ok {
+            return Err(format!(
+                "regression in fused assembly at batch {batch}: speedup \
+                 {cand_speedup:.2}x < {min_ok:.2}x (baseline {base_speedup:.2}x, \
+                 tolerance {:.0}%{})",
+                tolerance * 100.0,
+                if floored {
+                    ", floor 1.0x".to_string()
+                } else {
+                    String::new()
+                }
+            ));
+        }
+        report.push(format!(
+            "fused assembly batch={batch}: {cand_speedup:.2}x (baseline {base_speedup:.2}x)"
+        ));
     }
     Ok(report.join("; "))
 }
@@ -382,7 +516,7 @@ mod tests {
         assert!(check_bench_text(&wrong_schema).is_err());
     }
 
-    #[derive(Serialize)]
+    #[derive(Serialize, Clone)]
     struct ToyServingRow {
         policy: String,
         failed: u64,
@@ -391,7 +525,7 @@ mod tests {
         breakers_open: u64,
     }
 
-    #[derive(Serialize)]
+    #[derive(Serialize, Clone)]
     struct ToyShardRow {
         shards: usize,
         completed: u64,
@@ -424,10 +558,32 @@ mod tests {
         }
     }
 
+    #[derive(Serialize, Clone)]
+    struct ToyFusionRow {
+        batch: usize,
+        k: usize,
+        total_n: usize,
+        fused_assemble_ns: f64,
+        unfused_assemble_ns: f64,
+        speedup: f64,
+    }
+
+    fn toy_fusion_row(batch: usize, speedup: f64) -> ToyFusionRow {
+        ToyFusionRow {
+            batch,
+            k: 2048,
+            total_n: batch * 8,
+            fused_assemble_ns: 10_000.0,
+            unfused_assemble_ns: 10_000.0 * speedup,
+            speedup,
+        }
+    }
+
     #[derive(Serialize)]
     struct ToyServing {
         rows: Vec<ToyServingRow>,
         shard_rows: Vec<ToyShardRow>,
+        fusion_rows: Vec<ToyFusionRow>,
     }
 
     fn toy_serving() -> ToyServing {
@@ -440,6 +596,7 @@ mod tests {
                 breakers_open: 0,
             }],
             shard_rows: vec![toy_shard_row(1), toy_shard_row(4)],
+            fusion_rows: vec![toy_fusion_row(1, 1.1), toy_fusion_row(4, 1.6)],
         }
     }
 
@@ -513,6 +670,86 @@ mod tests {
         // The full shape passes.
         let ok = bench_doc("serving", &toy_serving()).to_string();
         assert_eq!(check_bench_text(&ok), Ok("serving".to_string()));
+    }
+
+    #[test]
+    fn serving_docs_must_carry_fusion_rows() {
+        // Policy + shard rows alone no longer pass: the fused-assembly
+        // sweep is part of the serving schema.
+        #[derive(Serialize)]
+        struct NoFusion {
+            rows: Vec<ToyServingRow>,
+            shard_rows: Vec<ToyShardRow>,
+        }
+        let full = toy_serving();
+        let no_fusion = NoFusion {
+            rows: full.rows.clone(),
+            shard_rows: full.shard_rows.clone(),
+        };
+        let err = check_bench_text(&bench_doc("serving", &no_fusion).to_string()).unwrap_err();
+        assert!(err.contains("fusion_rows"), "{err}");
+        // A fusion row that lost a timing column is rejected.
+        #[derive(Serialize)]
+        struct BareFusionRow {
+            batch: usize,
+            speedup: f64,
+        }
+        #[derive(Serialize)]
+        struct BareFusion {
+            rows: Vec<ToyServingRow>,
+            shard_rows: Vec<ToyShardRow>,
+            fusion_rows: Vec<BareFusionRow>,
+        }
+        let bare = BareFusion {
+            rows: full.rows,
+            shard_rows: full.shard_rows,
+            fusion_rows: vec![BareFusionRow {
+                batch: 4,
+                speedup: 1.5,
+            }],
+        };
+        let err = check_bench_text(&bench_doc("serving", &bare).to_string()).unwrap_err();
+        assert!(err.contains("fusion row missing key"), "{err}");
+    }
+
+    fn serving_doc(speedups: &[(usize, f64)]) -> String {
+        let mut doc = toy_serving();
+        doc.fusion_rows = speedups
+            .iter()
+            .map(|&(batch, speedup)| toy_fusion_row(batch, speedup))
+            .collect();
+        bench_doc("serving", &doc).to_string()
+    }
+
+    #[test]
+    fn serving_perf_gate_floors_fused_assembly_at_batch_4() {
+        let base = serving_doc(&[(1, 1.1), (4, 1.6), (16, 2.0)]);
+        // Identical run passes; drift inside tolerance passes.
+        let report = check_perf_text(&base, &base, 0.25).unwrap();
+        assert!(report.contains("fused assembly batch=4"), "{report}");
+        let drift = serving_doc(&[(1, 0.9), (4, 1.3), (16, 1.7)]);
+        assert!(check_perf_text(&base, &drift, 0.25).is_ok());
+        // A fused path slower than two-touch at batch ≥ 4 fails on the
+        // absolute floor even when inside the relative band.
+        let below_floor = serving_doc(&[(1, 1.1), (4, 0.95), (16, 2.0)]);
+        let err = check_perf_text(&base, &below_floor, 0.25).unwrap_err();
+        assert!(
+            err.contains("batch 4") && err.contains("floor 1.0x"),
+            "{err}"
+        );
+        // Batch 1 has no absolute floor: 0.9x passes inside the band…
+        let slow_small = serving_doc(&[(1, 0.9), (4, 1.6), (16, 2.0)]);
+        assert!(check_perf_text(&base, &slow_small, 0.25).is_ok());
+        // …but a collapse beyond the band fails relatively.
+        let collapsed = serving_doc(&[(1, 0.5), (4, 1.6), (16, 2.0)]);
+        assert!(check_perf_text(&base, &collapsed, 0.25).is_err());
+        // A candidate missing a baseline batch size is an error.
+        let missing = serving_doc(&[(1, 1.1), (4, 1.6)]);
+        assert!(check_perf_text(&base, &missing, 0.25).is_err());
+        // Experiments must match: serving baseline vs exec candidate.
+        let exec = exec_doc(&[(64, 3.0)]);
+        let err = check_perf_text(&base, &exec, 0.25).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
     }
 
     #[derive(Serialize)]

@@ -245,15 +245,17 @@ pub enum KernelPolicy {
 pub struct ExecOptions {
     policy: KernelPolicy,
     sorted_stream: bool,
+    fused_assembly: bool,
 }
 
 impl ExecOptions {
     /// A validating builder — the one way to combine a policy with the
-    /// sorted-stream opt-in.
+    /// sorted-stream and fused-assembly opt-ins.
     pub fn builder() -> ExecOptionsBuilder {
         ExecOptionsBuilder {
             policy: KernelPolicy::Auto,
             sorted_stream: false,
+            fused_assembly: false,
         }
     }
 
@@ -267,6 +269,7 @@ impl ExecOptions {
         ExecOptions {
             policy: KernelPolicy::Tuned,
             sorted_stream: false,
+            fused_assembly: false,
         }
     }
 
@@ -276,18 +279,8 @@ impl ExecOptions {
         ExecOptions {
             policy: KernelPolicy::Forced(KernelKind::Scalar),
             sorted_stream: false,
+            fused_assembly: false,
         }
-    }
-
-    /// Options forcing one named variant.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `ExecOptions::builder().force(kind).build()` (or \
-                `ExecOptions::from(KernelPolicy::Forced(kind))`); the \
-                ad-hoc force constructor predates `KernelPolicy`"
-    )]
-    pub fn forced(kind: KernelKind) -> ExecOptions {
-        ExecOptions::from(KernelPolicy::Forced(kind))
     }
 
     /// The selection policy these options carry.
@@ -308,6 +301,17 @@ impl ExecOptions {
     pub fn sorted_stream(&self) -> bool {
         self.sorted_stream
     }
+
+    /// True when these options opt into fused batched-B assembly: the
+    /// serve batch path converts each request's F16 columns directly
+    /// into panel-major f32 scratch and executes through
+    /// `CompiledKernel::execute_prepaneled_into_opts`, skipping both
+    /// the concatenated `Matrix` copy and execute phase 1. Bit-exact
+    /// with the two-touch path; a fused-assembly failure degrades to it
+    /// at runtime.
+    pub fn fused_assembly(&self) -> bool {
+        self.fused_assembly
+    }
 }
 
 /// Any policy is valid on its own; the builder only rejects
@@ -317,6 +321,7 @@ impl From<KernelPolicy> for ExecOptions {
         ExecOptions {
             policy,
             sorted_stream: policy == KernelPolicy::Forced(KernelKind::SortedStream),
+            fused_assembly: false,
         }
     }
 }
@@ -327,6 +332,7 @@ impl From<KernelPolicy> for ExecOptions {
 pub struct ExecOptionsBuilder {
     policy: KernelPolicy,
     sorted_stream: bool,
+    fused_assembly: bool,
 }
 
 impl ExecOptionsBuilder {
@@ -351,6 +357,16 @@ impl ExecOptionsBuilder {
         self
     }
 
+    /// Opts into fused batched-B assembly on the serve hot path (see
+    /// [`ExecOptions::fused_assembly`]). Orthogonal to the policy and
+    /// sorted-stream axes — kernel selection is unchanged, only how the
+    /// dense operand reaches panel-major scratch — so any combination
+    /// is valid.
+    pub fn fused_assembly(mut self, on: bool) -> ExecOptionsBuilder {
+        self.fused_assembly = on;
+        self
+    }
+
     /// Validates and produces the options.
     pub fn build(self) -> Result<ExecOptions, OptionsError> {
         if self.sorted_stream {
@@ -364,6 +380,7 @@ impl ExecOptionsBuilder {
         Ok(ExecOptions {
             policy: self.policy,
             sorted_stream,
+            fused_assembly: self.fused_assembly,
         })
     }
 }
@@ -607,14 +624,38 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_force_shim_still_builds_the_same_options() {
-        #[allow(deprecated)]
-        let old = ExecOptions::forced(KernelKind::Avx2Fma);
-        let new = ExecOptions::builder()
-            .force(KernelKind::Avx2Fma)
+    fn fused_assembly_is_orthogonal_to_policy_and_sorting() {
+        // Off by default on every shorthand.
+        for opts in [
+            ExecOptions::default(),
+            ExecOptions::auto(),
+            ExecOptions::tuned(),
+            ExecOptions::scalar(),
+            ExecOptions::from(KernelPolicy::Forced(KernelKind::Avx2Fma)),
+        ] {
+            assert!(!opts.fused_assembly());
+        }
+        // Composes with every policy (and with the sorted opt-in where
+        // that opt-in is itself valid) — never a validation conflict.
+        for policy in [
+            KernelPolicy::Auto,
+            KernelPolicy::Tuned,
+            KernelPolicy::Forced(KernelKind::Scalar),
+        ] {
+            let opts = ExecOptions::builder()
+                .policy(policy)
+                .fused_assembly(true)
+                .build()
+                .unwrap();
+            assert!(opts.fused_assembly());
+            assert_eq!(opts.policy(), policy);
+        }
+        let both = ExecOptions::builder()
+            .sorted_stream(true)
+            .fused_assembly(true)
             .build()
             .unwrap();
-        assert_eq!(old, new);
+        assert!(both.sorted_stream() && both.fused_assembly());
     }
 
     #[test]

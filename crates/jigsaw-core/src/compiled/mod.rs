@@ -52,7 +52,7 @@ use rayon::prelude::*;
 use sptc::metadata::{unpack_row_metadata, ROWS};
 
 use crate::config::MMA_TILE;
-use crate::errors::CompileError;
+use crate::errors::{CompileError, ExecError};
 use crate::fault::{self, points};
 use crate::format::{format_source_column, JigsawFormat};
 use crate::pool::{PoolBuf, WorkspacePool};
@@ -68,7 +68,12 @@ const ROW_BLOCK: usize = 128;
 /// sized to sit in the last-level cache while a row block streams
 /// against it. Every extra panel re-walks the whole nonzero stream
 /// once, so panels are cut as wide as the cache budget allows.
-const PANEL_TARGET_BYTES: usize = 2 << 20;
+///
+/// Public as the **single source of truth** for panel-major layout:
+/// serve-side fused assembly ([`panelize_parts_into`]) and kernel-side
+/// blocking both derive their cuts from this constant through
+/// [`panel_width`], so the two can never drift apart.
+pub const PANEL_TARGET_BYTES: usize = 2 << 20;
 
 /// The ahead-of-time-resolved execution plan of one [`JigsawFormat`].
 ///
@@ -287,6 +292,11 @@ impl CompiledKernel {
     /// with the chosen axpy over the chosen stream order. The axpy
     /// phase is timed and folded back into the [`tune`] cost table —
     /// every execution refines future tuned selections.
+    ///
+    /// Infallible convenience over
+    /// [`CompiledKernel::try_execute_into_opts`] — panics on the
+    /// (caller-bug) shape mismatches that the fallible form surfaces
+    /// as a typed [`ExecError`].
     pub fn execute_into_opts(
         &self,
         b: &Matrix,
@@ -294,7 +304,41 @@ impl CompiledKernel {
         scratch: &mut [f32],
         opts: &ExecOptions,
     ) {
-        let workload = self.workload(b.cols);
+        self.try_execute_into_opts(b, c, scratch, opts)
+            .expect("execution buffer shapes are valid");
+    }
+
+    /// Fallible form of [`CompiledKernel::execute_into_opts`]: the
+    /// buffer-shape preconditions (B height, C size, scratch capacity)
+    /// come back as a typed [`ExecError`] instead of a panic, so
+    /// resilient callers (the serve registry) degrade on a value.
+    pub fn try_execute_into_opts(
+        &self,
+        b: &Matrix,
+        c: &mut [f32],
+        scratch: &mut [f32],
+        opts: &ExecOptions,
+    ) -> Result<(), ExecError> {
+        if b.rows != self.k {
+            return Err(ExecError::BRowsMismatch {
+                expected_k: self.k,
+                got: b.rows,
+            });
+        }
+        let n = b.cols;
+        if c.len() != self.m * n {
+            return Err(ExecError::OutputSizeMismatch {
+                expected: self.m * n,
+                got: c.len(),
+            });
+        }
+        if scratch.len() < self.k * n {
+            return Err(ExecError::ScratchTooSmall {
+                needed: self.k * n,
+                got: scratch.len(),
+            });
+        }
+        let workload = self.workload(n);
         let sel = dispatch::select_shaped(opts, Some(workload));
         if sel.kind != KernelKind::Scalar {
             // Only the full-speed paths carry the injection point: the
@@ -302,13 +346,78 @@ impl CompiledKernel {
             // (SIMD → scalar → execute_fast) terminates.
             fault::trip(points::EXECUTE);
         }
-        assert_eq!(b.rows, self.k, "A columns must match B rows");
-        let n = b.cols;
-        assert_eq!(c.len(), self.m * n, "C must be m*n");
-        assert!(scratch.len() >= self.k * n, "scratch must hold k*n f32");
         if n == 0 || self.m == 0 {
-            return;
+            return Ok(());
         }
+        // Phase 1: convert B F16→f32 once per panel, panel-major.
+        panelize_into(b, scratch)?;
+        // Phase 2: the shared grid over the freshly panelized scratch.
+        self.run_grid(&scratch[..self.k * n], n, c, sel, workload);
+        Ok(())
+    }
+
+    /// Executes over a B that is **already** panel-major f32 — the
+    /// fused batched-B entry point. Phase 1 is skipped entirely: the
+    /// serve assembler ([`panelize_parts_into`]) wrote each request's
+    /// F16 columns straight into `b`'s panel slabs, so the dense
+    /// operand was touched exactly once, in the layout the grid
+    /// consumes. Layout disagreements (a buffer cut for a different K,
+    /// a wrong-sized C) are typed [`ExecError`]s, never panics. Like
+    /// every `*_into` execute, the axpy grid **accumulates** into `c`
+    /// — pass a zeroed buffer (the [`crate::WorkspacePool`] re-zeroes
+    /// on acquire).
+    ///
+    /// The two-phase [`CompiledKernel::execute_into_opts`] stays as the
+    /// differential oracle: for any `b` built by [`panelize_into`] from
+    /// a `Matrix`, both paths run the identical grid over identical
+    /// bits and agree bit-for-bit per variant.
+    pub fn execute_prepaneled_into_opts(
+        &self,
+        b: &PanelizedB<'_>,
+        c: &mut [f32],
+        opts: &ExecOptions,
+    ) -> Result<(), ExecError> {
+        if b.k() != self.k {
+            return Err(ExecError::PanelLayoutMismatch {
+                expected_k: self.k,
+                got_k: b.k(),
+            });
+        }
+        let n = b.n();
+        if c.len() != self.m * n {
+            return Err(ExecError::OutputSizeMismatch {
+                expected: self.m * n,
+                got: c.len(),
+            });
+        }
+        let workload = self.workload(n);
+        let sel = dispatch::select_shaped(opts, Some(workload));
+        if sel.kind != KernelKind::Scalar {
+            fault::trip(points::EXECUTE);
+        }
+        if jigsaw_obs::enabled() {
+            jigsaw_obs::global().counter("exec.prepaneled_runs").inc();
+        }
+        if n == 0 || self.m == 0 {
+            return Ok(());
+        }
+        self.run_grid(b.data(), n, c, sel, workload);
+        Ok(())
+    }
+
+    /// Phase 2, shared by the two-phase and prepaneled entry points:
+    /// the 2-D `(row block × panel)` grid over a panel-major `k × n`
+    /// f32 image of B, plus the axpy timing, tune-table feedback, and
+    /// observability counters. `scratch` must hold at least `k * n`
+    /// elements laid out by [`panelize_into`]'s contract.
+    fn run_grid(
+        &self,
+        scratch: &[f32],
+        n: usize,
+        c: &mut [f32],
+        sel: Selection,
+        workload: tune::Workload,
+    ) {
         // Accumulation-order-changing stream copy only when the opt-in
         // sorted variant was selected.
         let (vals, cols): (&[f32], &[u32]) = if sel.sorted {
@@ -317,39 +426,12 @@ impl CompiledKernel {
         } else {
             (&self.vals, &self.cols)
         };
-        let pw = panel_width(self.k, n);
-        let panels: Vec<(usize, usize)> = (0..n)
-            .step_by(pw)
-            .map(|col0| (col0, pw.min(n - col0)))
-            .collect();
+        let panels = panel_cuts(self.k, n);
 
-        // Phase 1: convert B F16→f32 once per panel, panel-major.
-        {
-            let mut slabs: Vec<&mut [f32]> = Vec::with_capacity(panels.len());
-            let mut rest = &mut scratch[..self.k * n];
-            for &(_, w) in &panels {
-                let (head, tail) = rest.split_at_mut(self.k * w);
-                slabs.push(head);
-                rest = tail;
-            }
-            slabs
-                .into_par_iter()
-                .zip(panels.par_iter())
-                .for_each(|(slab, &(col0, w))| {
-                    for (r, out_row) in slab.chunks_mut(w).enumerate() {
-                        let b_row = &b.row(r)[col0..col0 + w];
-                        for (o, &v) in out_row.iter_mut().zip(b_row) {
-                            *o = v.to_f32();
-                        }
-                    }
-                });
-        }
-        let scratch: &[f32] = scratch;
-
-        // Phase 2: the 2-D grid. Tasks own disjoint `(row block,
-        // panel)` rectangles of C, so the raw-pointer writes below
-        // never alias; panel-major task order keeps concurrently
-        // running tasks on the same hot B panel.
+        // Tasks own disjoint `(row block, panel)` rectangles of C, so
+        // the raw-pointer writes below never alias; panel-major task
+        // order keeps concurrently running tasks on the same hot B
+        // panel.
         let row_blocks = self.m.div_ceil(ROW_BLOCK);
         let tasks: Vec<(usize, usize)> = (0..panels.len())
             .flat_map(|pb| (0..row_blocks).map(move |rb| (pb, rb)))
@@ -406,10 +488,215 @@ impl CompiledKernel {
 
 /// Width of one B panel: aim for [`PANEL_TARGET_BYTES`] of converted
 /// f32, clamped to a useful axpy width and the actual N.
-fn panel_width(k: usize, n: usize) -> usize {
+///
+/// Public as the single source of truth for panel-major layout —
+/// serve-side fused assembly and kernel-side blocking both call this,
+/// so a buffer assembled by [`panelize_parts_into`] always matches the
+/// cuts [`CompiledKernel::execute_prepaneled_into_opts`] walks.
+pub fn panel_width(k: usize, n: usize) -> usize {
     let ideal = PANEL_TARGET_BYTES / (4 * k.max(1));
     let pw = ideal.clamp(32, 512) & !15;
     pw.min(n).max(1)
+}
+
+/// The panel cut list for a `k × n` B: `(first column, width)` pairs
+/// derived from [`panel_width`], in ascending column order. Panel
+/// `(col0, w)`'s slab occupies `scratch[k*col0 .. k*(col0 + w)]`,
+/// row-major within the slab (row `r` of the panel at
+/// `slab[r*w .. (r+1)*w]`).
+pub fn panel_cuts(k: usize, n: usize) -> Vec<(usize, usize)> {
+    let pw = panel_width(k, n);
+    (0..n)
+        .step_by(pw)
+        .map(|col0| (col0, pw.min(n - col0)))
+        .collect()
+}
+
+/// A `k × n` B operand already converted to f32 in the panel-major
+/// layout the execution grid consumes — the typed handle the fused
+/// serve path hands to
+/// [`CompiledKernel::execute_prepaneled_into_opts`]. Construction
+/// validates capacity with a typed [`ExecError`]; the panel cuts are
+/// always re-derived from the shared [`panel_width`] source of truth,
+/// so an assembled buffer can never drift from kernel-side blocking.
+#[derive(Clone, Copy, Debug)]
+pub struct PanelizedB<'a> {
+    k: usize,
+    n: usize,
+    data: &'a [f32],
+}
+
+impl<'a> PanelizedB<'a> {
+    /// Wraps a panel-major `k × n` f32 image (as laid out by
+    /// [`panelize_into`] / [`panelize_parts_into`]). Returns
+    /// [`ExecError::ScratchTooSmall`] when `data` cannot hold `k * n`
+    /// elements; extra trailing capacity (a pooled buffer rounded up)
+    /// is fine and ignored.
+    pub fn new(k: usize, n: usize, data: &'a [f32]) -> Result<PanelizedB<'a>, ExecError> {
+        if data.len() < k * n {
+            return Err(ExecError::ScratchTooSmall {
+                needed: k * n,
+                got: data.len(),
+            });
+        }
+        Ok(PanelizedB { k, n, data })
+    }
+
+    /// The reduction dimension the panels were cut for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total columns across all panels.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The panel-major backing storage (exactly `k * n` elements).
+    pub fn data(&self) -> &'a [f32] {
+        &self.data[..self.k * self.n]
+    }
+
+    /// This buffer's panel cuts (`(first column, width)` pairs).
+    pub fn panels(&self) -> Vec<(usize, usize)> {
+        panel_cuts(self.k, self.n)
+    }
+}
+
+/// Converts one F16 `Matrix` into the panel-major f32 layout — phase 1
+/// of the two-phase execute path, exported so tests and benches can
+/// produce the exact image [`CompiledKernel::execute_prepaneled_into_opts`]
+/// consumes (and diff it against [`panelize_parts_into`]'s fused
+/// assembly). Returns [`ExecError::ScratchTooSmall`] when `scratch`
+/// cannot hold `b.rows * b.cols` f32.
+pub fn panelize_into(b: &Matrix, scratch: &mut [f32]) -> Result<(), ExecError> {
+    let (k, n) = (b.rows, b.cols);
+    if scratch.len() < k * n {
+        return Err(ExecError::ScratchTooSmall {
+            needed: k * n,
+            got: scratch.len(),
+        });
+    }
+    if k == 0 || n == 0 {
+        return Ok(());
+    }
+    let panels = panel_cuts(k, n);
+    let mut slabs: Vec<&mut [f32]> = Vec::with_capacity(panels.len());
+    let mut rest = &mut scratch[..k * n];
+    for &(_, w) in &panels {
+        let (head, tail) = rest.split_at_mut(k * w);
+        slabs.push(head);
+        rest = tail;
+    }
+    slabs
+        .into_par_iter()
+        .zip(panels.par_iter())
+        .for_each(|(slab, &(col0, w))| {
+            for (r, out_row) in slab.chunks_mut(w).enumerate() {
+                let b_row = &b.row(r)[col0..col0 + w];
+                for (o, &v) in out_row.iter_mut().zip(b_row) {
+                    *o = v.to_f32();
+                }
+            }
+        });
+    Ok(())
+}
+
+/// Fused batched-B assembly: converts several same-height F16 parts
+/// (a micro-batch's B operands, concatenated along N) **directly**
+/// into the panel-major f32 layout, skipping the intermediate
+/// concatenated `Matrix` entirely — the dense operand is touched once,
+/// in the layout the grid consumes. Bit-exact with
+/// `concat_columns(parts)` followed by [`panelize_into`]: both write
+/// the same `F16::to_f32` conversion of the same element to the same
+/// slot.
+///
+/// Parallelism: rayon over `panel × part` intersection rectangles.
+/// Each task owns the columns of one part that fall inside one panel,
+/// across all `k` rows — panels partition the global column space and
+/// parts partition it too, so the rectangles are pairwise disjoint and
+/// the raw-pointer writes never alias (the same argument as the
+/// execute grid's `(row block × panel)` rectangles of C).
+///
+/// Typed edges: parts of disagreeing heights are
+/// [`ExecError::BRowsMismatch`] (index-free — the serve assembler
+/// re-validates with its richer `BatchError` first), an undersized
+/// scratch is [`ExecError::ScratchTooSmall`]. Zero-width parts are
+/// skipped (they contribute no columns). Returns `(k, total_n)`.
+pub fn panelize_parts_into(
+    parts: &[&Matrix],
+    scratch: &mut [f32],
+) -> Result<(usize, usize), ExecError> {
+    let Some(first) = parts.first() else {
+        return Ok((0, 0));
+    };
+    let k = first.rows;
+    for p in parts {
+        if p.rows != k {
+            return Err(ExecError::BRowsMismatch {
+                expected_k: k,
+                got: p.rows,
+            });
+        }
+    }
+    let total: usize = parts.iter().map(|p| p.cols).sum();
+    if scratch.len() < k * total {
+        return Err(ExecError::ScratchTooSmall {
+            needed: k * total,
+            got: scratch.len(),
+        });
+    }
+    if k == 0 || total == 0 {
+        return Ok((k, total));
+    }
+    // Global first-column offset of each part.
+    let offsets: Vec<usize> = parts
+        .iter()
+        .scan(0usize, |off, p| {
+            let this = *off;
+            *off += p.cols;
+            Some(this)
+        })
+        .collect();
+    let panels = panel_cuts(k, total);
+    // One task per non-empty panel × part intersection rectangle,
+    // panel-major so concurrent tasks share a hot destination slab.
+    let mut tasks: Vec<(usize, usize)> = Vec::new();
+    for (pi, &(col0, w)) in panels.iter().enumerate() {
+        for (qi, p) in parts.iter().enumerate() {
+            if offsets[qi] < col0 + w && offsets[qi] + p.cols > col0 {
+                tasks.push((pi, qi));
+            }
+        }
+    }
+    let base = SendPtr(scratch.as_mut_ptr());
+    let base = &base;
+    tasks.into_par_iter().for_each(|(pi, qi)| {
+        let (col0, w) = panels[pi];
+        let part = parts[qi];
+        let poff = offsets[qi];
+        // This rectangle's global column range.
+        let lo = col0.max(poff);
+        let hi = (col0 + w).min(poff + part.cols);
+        for r in 0..k {
+            let src = &part.row(r)[lo - poff..hi - poff];
+            // SAFETY: rectangles are pairwise disjoint — panels
+            // partition [0, total) and parts partition [0, total), so
+            // (panel, part, row) addresses a unique slab range; the
+            // capacity check above bounds every write inside
+            // scratch[..k*total].
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.0.add(k * col0 + r * w + (lo - col0)),
+                    src.len(),
+                )
+            };
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o = v.to_f32();
+            }
+        }
+    });
+    Ok((k, total))
 }
 
 /// Shared raw base pointer for the disjoint-rectangle writes of the

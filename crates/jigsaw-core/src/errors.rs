@@ -148,6 +148,76 @@ impl fmt::Display for OptionsError {
 
 impl std::error::Error for OptionsError {}
 
+/// Why a compiled-kernel execution could not run over the buffers it
+/// was handed — the typed edges of
+/// `CompiledKernel::try_execute_into_opts`,
+/// `CompiledKernel::execute_prepaneled_into_opts`, and the panel-major
+/// assembly helpers (`panelize_into` / `panelize_parts_into`). The
+/// infallible `execute_into*` conveniences panic on these (documented)
+/// misuse cases; resilient callers — the serve registry's fused batch
+/// path — use the fallible entry points and degrade on an `Err`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// B's height (or a batch part's height) does not match the
+    /// kernel's reduction dimension.
+    BRowsMismatch {
+        /// The expected reduction dimension (the kernel's K, or the
+        /// height of part 0 when assembling a batch).
+        expected_k: usize,
+        /// The offending height.
+        got: usize,
+    },
+    /// The output buffer does not hold exactly `m × n` elements.
+    OutputSizeMismatch {
+        /// Required `m × n` element count.
+        expected: usize,
+        /// Elements in the buffer handed in.
+        got: usize,
+    },
+    /// The scratch buffer cannot hold the `k × n` panel-major f32
+    /// image of B.
+    ScratchTooSmall {
+        /// Required `k × n` element count.
+        needed: usize,
+        /// Elements in the buffer handed in.
+        got: usize,
+    },
+    /// A [`crate::PanelizedB`]'s layout disagrees with the kernel it
+    /// was handed to (its K is not the kernel's K), so its panel cuts
+    /// cannot line up with the execution grid.
+    PanelLayoutMismatch {
+        /// The kernel's reduction dimension.
+        expected_k: usize,
+        /// The prepaneled buffer's K.
+        got_k: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BRowsMismatch { expected_k, got } => {
+                write!(f, "B has {got} rows, the kernel reduces over {expected_k}")
+            }
+            ExecError::OutputSizeMismatch { expected, got } => {
+                write!(f, "output buffer holds {got} elements, m*n is {expected}")
+            }
+            ExecError::ScratchTooSmall { needed, got } => {
+                write!(
+                    f,
+                    "scratch holds {got} f32, the k*n panel image needs {needed}"
+                )
+            }
+            ExecError::PanelLayoutMismatch { expected_k, got_k } => write!(
+                f,
+                "prepaneled B was cut for k={got_k}, the kernel reduces over k={expected_k}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Why [`crate::CompiledKernel::try_compile`] could not lower a plan to
 /// an executable kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

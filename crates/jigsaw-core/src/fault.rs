@@ -40,6 +40,11 @@ pub mod points {
     pub const ARTIFACT_LOAD: &str = "registry.artifact_load";
     /// Start of one serve worker batch execution.
     pub const WORKER_BATCH: &str = "serve.worker_batch";
+    /// One fused batched-B panel-major assembly in the serve batch
+    /// path (before the prepaneled execute). A fault here degrades the
+    /// batch to the unfused concat + two-phase path, never to a failed
+    /// request.
+    pub const SERVE_ASSEMBLE: &str = "serve.assemble";
     /// One shard-router routing decision (before the request reaches
     /// its home shard's admission).
     pub const SHARD_ROUTE: &str = "shard.route";

@@ -141,6 +141,33 @@ proptest! {
         }
     }
 
+    /// The prepaneled entry point is bit-identical to the two-phase
+    /// path for **every** runnable variant: handing the kernel a
+    /// `PanelizedB` built by `panelize_into` (the extracted phase 1)
+    /// runs the same grid over the same bits, so skipping phase 1
+    /// cannot perturb a single output bit — on any values, not just
+    /// integers.
+    #[test]
+    fn prepaneled_execute_is_bit_identical_to_two_phase(
+        a in arb_matrix(ValueDist::Uniform),
+        n in 1usize..=24,
+        interleaved in any::<bool>(),
+    ) {
+        let b = dense_rhs(a.cols, n, ValueDist::Uniform, 37);
+        let (_, kernel) = compile(&a, interleaved);
+        let mut panels = vec![0.0f32; a.cols * n];
+        jigsaw_core::panelize_into(&b, &mut panels).unwrap();
+        let pb = jigsaw_core::PanelizedB::new(a.cols, n, &panels).unwrap();
+        for &kind in available_for_proptest() {
+            let two_phase = kernel.execute_opts(&b, &forced(kind));
+            let mut c = vec![0.0f32; kernel.m * n];
+            kernel
+                .execute_prepaneled_into_opts(&pb, &mut c, &forced(kind))
+                .unwrap();
+            prop_assert_eq!(&c, &two_phase, "variant {}", kind.name());
+        }
+    }
+
     /// On arbitrary values the fused same-order variants stay within
     /// 1e-5 floored relative error of the scalar oracle; the
     /// order-changing sorted stream stays within 1e-4.

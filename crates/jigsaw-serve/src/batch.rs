@@ -5,11 +5,21 @@
 //! splitting C back is bit-identical to running each request solo.
 //! Batching buys throughput (simulated cost is sublinear in N — paper
 //! Fig 10) without perturbing a single output bit.
+//!
+//! Two assembly paths produce the batch's dense operand:
+//! [`concat_columns`] builds a concatenated F16 `Matrix` (the two-touch
+//! oracle — the kernel re-copies it F16→f32 into panel scratch), while
+//! [`assemble_panels`] fuses both copies, emitting each part's columns
+//! directly into the kernel's panel-major f32 layout. The two are
+//! bit-exact; the server picks per model via
+//! `ExecOptions::fused_assembly`.
 
 use std::fmt;
 use std::time::Duration;
 
 use dlmc::Matrix;
+use jigsaw_core::fault::{self, points, FaultError};
+use jigsaw_core::{panelize_parts_into, ExecError};
 
 /// How a request was rejected at admission.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -151,11 +161,12 @@ pub struct SpmmResponse {
 }
 
 /// Why a batch could not be assembled or split — the typed edges of
-/// the column-concatenation algebra. Admission validates requests
-/// before they reach a batch, so hitting one of these in the server is
-/// a logic bug surfaced as a value (and a failed batch), never a
-/// panic; it also guards the ROADMAP batched-B fusion follow-up, where
-/// `concat_columns` grows a panel-major emit path.
+/// the column-concatenation algebra (shared by the two-touch
+/// [`concat_columns`] path and the fused [`assemble_panels`] emit
+/// path). Admission validates requests before they reach a batch, so
+/// hitting one of these in the server is a logic bug surfaced as a
+/// value (and, for the fused path, a degrade to the two-touch oracle),
+/// never a panic.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BatchError {
     /// A batch of zero parts has no well-defined K.
@@ -185,6 +196,18 @@ pub enum BatchError {
         /// Sum of the requested widths.
         total: usize,
     },
+    /// The fused path's panel scratch cannot hold the batch's
+    /// `k × Σwidths` f32 image.
+    ScratchTooSmall {
+        /// Required `k × Σwidths` element count.
+        needed: usize,
+        /// Elements in the scratch handed in.
+        got: usize,
+    },
+    /// An armed [`fault`] injection at `serve.assemble` fired during
+    /// fused assembly — the server degrades the batch to the two-touch
+    /// path.
+    Fault(FaultError),
 }
 
 impl fmt::Display for BatchError {
@@ -206,11 +229,58 @@ impl fmt::Display for BatchError {
                 f,
                 "product of {c_len} elements cannot split into {m}x{total}"
             ),
+            BatchError::ScratchTooSmall { needed, got } => write!(
+                f,
+                "panel scratch holds {got} f32, the fused batch image needs {needed}"
+            ),
+            BatchError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for BatchError {}
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultError> for BatchError {
+    fn from(e: FaultError) -> BatchError {
+        BatchError::Fault(e)
+    }
+}
+
+/// Folds the kernel-side typed edges into the batch vocabulary so the
+/// fused path can thread `jigsaw_core` errors with `?`. The part
+/// `index` (and, for an output-size mismatch, the `m`) are unknown at
+/// this boundary and come back as 0 — these conversions only ever feed
+/// the fused path's degrade decision, not admission errors.
+impl From<ExecError> for BatchError {
+    fn from(e: ExecError) -> BatchError {
+        match e {
+            ExecError::ScratchTooSmall { needed, got } => {
+                BatchError::ScratchTooSmall { needed, got }
+            }
+            ExecError::BRowsMismatch { expected_k, got }
+            | ExecError::PanelLayoutMismatch {
+                expected_k,
+                got_k: got,
+            } => BatchError::RowMismatch {
+                expected: expected_k,
+                got,
+                index: 0,
+            },
+            ExecError::OutputSizeMismatch { expected, got } => BatchError::SizeMismatch {
+                c_len: got,
+                m: 0,
+                total: expected,
+            },
+        }
+    }
+}
 
 /// Concatenates same-height matrices along the column axis.
 ///
@@ -245,6 +315,51 @@ pub fn concat_columns(parts: &[&Matrix]) -> Result<Matrix, BatchError> {
         }
     }
     Ok(Matrix { rows, cols, data })
+}
+
+/// Fused batch assembly: converts the parts' F16 columns **directly**
+/// into the kernel's panel-major f32 layout in `scratch`, skipping the
+/// intermediate concatenated `Matrix` entirely (the batched-B fusion
+/// this module long promised). Returns the assembled `(k, Σwidths)`
+/// shape, ready to wrap in a `jigsaw_core::PanelizedB` for
+/// `CompiledKernel::execute_prepaneled_into_opts`.
+///
+/// Bit-exact with [`concat_columns`] followed by the kernel's phase-1
+/// panelization — both write the same `F16 → f32` conversion of the
+/// same element to the same slot — so the two-touch path remains the
+/// differential oracle for this one.
+///
+/// Typed-error edges: the same [`BatchError::EmptyBatch`] /
+/// [`BatchError::ZeroWidthPart`] / [`BatchError::RowMismatch`]
+/// validation as [`concat_columns`], plus
+/// [`BatchError::ScratchTooSmall`] when the pooled scratch cannot hold
+/// `k × Σwidths` f32. Crosses the `serve.assemble` fault point: an
+/// injected error comes back as [`BatchError::Fault`] and the server
+/// degrades the batch to the two-touch path.
+pub fn assemble_panels(
+    parts: &[&Matrix],
+    scratch: &mut [f32],
+) -> Result<(usize, usize), BatchError> {
+    let Some(first) = parts.first() else {
+        return Err(BatchError::EmptyBatch);
+    };
+    let rows = first.rows;
+    for (index, p) in parts.iter().enumerate() {
+        if p.cols == 0 {
+            return Err(BatchError::ZeroWidthPart { index });
+        }
+        if p.rows != rows {
+            return Err(BatchError::RowMismatch {
+                expected: rows,
+                got: p.rows,
+                index,
+            });
+        }
+    }
+    fault::hit(points::SERVE_ASSEMBLE)?;
+    // Heights were validated above, so the core assembler's only live
+    // edge is scratch capacity.
+    panelize_parts_into(parts, scratch).map_err(BatchError::from)
 }
 
 /// Splits a row-major `m × Σwidths` product back into per-request
@@ -357,6 +472,58 @@ mod tests {
                 expected: 8,
                 got: 6,
                 index: 1
+            })
+        );
+    }
+
+    #[test]
+    fn fused_assembly_matches_concat_then_panelize_bit_exactly() {
+        let parts: Vec<Matrix> = [(3usize, 31u64), (7, 32), (1, 33), (12, 34)]
+            .iter()
+            .map(|&(n, seed)| dense_rhs(48, n, ValueDist::Uniform, seed))
+            .collect();
+        let refs: Vec<&Matrix> = parts.iter().collect();
+        let total: usize = parts.iter().map(|p| p.cols).sum();
+        let mut fused = vec![0.0f32; 48 * total];
+        assert_eq!(assemble_panels(&refs, &mut fused), Ok((48, total)));
+        let cat = concat_columns(&refs).unwrap();
+        let mut oracle = vec![0.0f32; 48 * total];
+        jigsaw_core::panelize_into(&cat, &mut oracle).unwrap();
+        assert_eq!(fused, oracle, "fused emit is bit-exact with two-touch");
+    }
+
+    #[test]
+    fn fused_assembly_shares_concat_validation_and_adds_scratch_edge() {
+        let mut scratch = vec![0.0f32; 64];
+        assert_eq!(
+            assemble_panels(&[], &mut scratch),
+            Err(BatchError::EmptyBatch)
+        );
+        let ok = dense_rhs(8, 3, ValueDist::SmallInt, 1);
+        let empty = Matrix {
+            rows: 8,
+            cols: 0,
+            data: Vec::new(),
+        };
+        assert_eq!(
+            assemble_panels(&[&ok, &empty], &mut scratch),
+            Err(BatchError::ZeroWidthPart { index: 1 })
+        );
+        let short = dense_rhs(6, 2, ValueDist::SmallInt, 2);
+        assert_eq!(
+            assemble_panels(&[&ok, &short], &mut scratch),
+            Err(BatchError::RowMismatch {
+                expected: 8,
+                got: 6,
+                index: 1
+            })
+        );
+        let mut tiny = vec![0.0f32; 8 * 3 - 1];
+        assert_eq!(
+            assemble_panels(&[&ok], &mut tiny),
+            Err(BatchError::ScratchTooSmall {
+                needed: 24,
+                got: 23
             })
         );
     }

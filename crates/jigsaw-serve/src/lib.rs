@@ -43,7 +43,8 @@ pub mod sim;
 pub mod zoo;
 
 pub use batch::{
-    concat_columns, split_columns, AdmitError, BatchError, RequestStats, SpmmResponse,
+    assemble_panels, concat_columns, split_columns, AdmitError, BatchError, RequestStats,
+    SpmmResponse,
 };
 pub use breaker::{BreakerAdmit, BreakerConfig, BreakerState, CircuitBreaker};
 pub use loadgen::{

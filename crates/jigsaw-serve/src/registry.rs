@@ -35,9 +35,11 @@ use jigsaw_core::fault::{self, points, FaultKind};
 use jigsaw_core::serialize;
 use jigsaw_core::{
     build_launch, execute_fast, lock_recover, CompiledKernel, ExecOptions, JigsawConfig,
-    JigsawFormat, JigsawSpmm, PlanError, PoolBuf, ReorderStats, WorkspacePool,
+    JigsawFormat, JigsawSpmm, PanelizedB, PlanError, PoolBuf, ReorderStats, WorkspacePool,
 };
 use jigsaw_obs::{Counter, Span};
+
+use crate::batch::{assemble_panels, concat_columns, BatchError};
 
 /// Artifact-load retry policy: total attempts and the base backoff
 /// (doubled per retry). Kept small — the disk tier is local, so a
@@ -226,6 +228,73 @@ impl PlannedModel {
                 c
             }
         }
+    }
+
+    /// Computes the batch product `C = W × [b₀ | … | bⱼ]` with buffers
+    /// drawn from `pool` — the server's batch hot path. With the
+    /// per-model `fused_assembly` opt-in and a healthy compiled SIMD
+    /// rung, the parts' F16 columns are emitted straight into
+    /// panel-major scratch ([`assemble_panels`]) and executed through
+    /// the prepaneled entry point: the dense operand is touched once,
+    /// in the layout the kernel consumes. Every fused failure — a
+    /// typed assembly error, an injected `serve.assemble` fault, or a
+    /// caught panic — degrades to the two-touch oracle
+    /// ([`concat_columns`] + [`PlannedModel::execute_pooled`]),
+    /// counted on `batch.fused_fallbacks`; fused successes count on
+    /// `batch.fused_runs`. Both paths acquire the same buffer shapes,
+    /// so the server's zero-allocation steady state is preserved
+    /// either way. Returns the product plus whether the fused path
+    /// produced it.
+    pub fn execute_batch_pooled<'p>(
+        &self,
+        parts: &[&Matrix],
+        pool: &'p WorkspacePool,
+    ) -> Result<(PoolBuf<'p>, bool), BatchError> {
+        if self.exec_options.fused_assembly() {
+            if let ExecPlan::Compiled {
+                kernel,
+                simd_poisoned,
+            } = &self.exec
+            {
+                if !simd_poisoned.load(Ordering::Relaxed) {
+                    let total_n: usize = parts.iter().map(|p| p.cols).sum();
+                    let mut c = pool.acquire(self.m() * total_n);
+                    let mut scratch = pool.acquire(self.k() * total_n);
+                    // Distinguishes a panic out of assembly (degrade
+                    // only) from one out of the kernel (poison the
+                    // variant, like every other execute path).
+                    let mut assembled = false;
+                    let ran = catch_unwind(AssertUnwindSafe(|| -> Result<(), BatchError> {
+                        let (k, n) = assemble_panels(parts, &mut scratch)?;
+                        assembled = true;
+                        let b = PanelizedB::new(k, n, &scratch)?;
+                        kernel.execute_prepaneled_into_opts(&b, &mut c, &self.exec_options)?;
+                        Ok(())
+                    }));
+                    match ran {
+                        Ok(Ok(())) => {
+                            jigsaw_obs::global().counter("batch.fused_runs").inc();
+                            return Ok((c, true));
+                        }
+                        Ok(Err(_)) => {
+                            jigsaw_obs::global().counter("batch.fused_fallbacks").inc();
+                        }
+                        Err(_) => {
+                            jigsaw_obs::global().counter("batch.fused_fallbacks").inc();
+                            if assembled {
+                                self.poison_after_panic(simd_poisoned, total_n);
+                            }
+                        }
+                    }
+                    // `c` and `scratch` drop back to the pool here; the
+                    // two-touch path below re-acquires the same shapes
+                    // (re-zeroed on acquire, so a partial fused write
+                    // cannot leak through).
+                }
+            }
+        }
+        let bcat = concat_columns(parts)?;
+        Ok((self.execute_pooled(&bcat, pool), false))
     }
 
     /// Simulates one kernel at output width `n`.

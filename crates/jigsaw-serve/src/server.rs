@@ -23,7 +23,7 @@ use jigsaw_core::fault::{self, points};
 use jigsaw_core::{lock_recover, wait_recover, wait_timeout_recover, PoolStats, WorkspacePool};
 use jigsaw_obs::{Span, TraceHandle};
 
-use crate::batch::{concat_columns, split_columns, AdmitError, RequestStats, SpmmResponse};
+use crate::batch::{split_columns, AdmitError, RequestStats, SpmmResponse};
 use crate::breaker::{BreakerAdmit, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
@@ -696,22 +696,27 @@ fn execute_batch(
     let parts: Vec<&Matrix> = members.iter().map(|p| &p.b).collect();
     let widths: Vec<usize> = parts.iter().map(|p| p.cols).collect();
     let total_n: usize = widths.iter().sum();
-    // Admission validates K and rejects empty requests, so a
+    assemble.attr("fused", planned.exec_options.fused_assembly());
+    assemble.finish();
+    let kernel = batch_span.child("kernel");
+    // Pooled batch execution: the batch's C and panel scratch come
+    // from (and return to) the server-wide workspace pool. With the
+    // model's fused-assembly opt-in the parts are emitted straight
+    // into panel-major scratch inside this call (so the assembly cost
+    // lands in the kernel span — that merge is the fusion); otherwise,
+    // or on any fused failure, it concatenates and runs the two-touch
+    // path. Admission validates K and rejects empty requests, so a
     // BatchError here is a server logic bug — fail the batch as a
     // typed error rather than unwinding the worker.
-    let bcat = match concat_columns(&parts) {
-        Ok(b) => b,
+    let (c, fused) = match planned.execute_batch_pooled(&parts, &shared.pool) {
+        Ok(pair) => pair,
         Err(e) => {
             let err = ServeError::Batch(e.to_string());
             fail_batch(shared, guard, &members, &model, err);
             return;
         }
     };
-    assemble.finish();
-    let kernel = batch_span.child("kernel");
-    // Pooled execution: the batch's C and conversion scratch come from
-    // (and return to) the server-wide workspace pool.
-    let c = planned.execute_pooled(&bcat, &shared.pool);
+    kernel.attr("fused", fused);
     let batch_cycles = planned.simulate(total_n, &cfg.spec).duration_cycles;
     kernel.cycles(batch_cycles);
     kernel.finish();
@@ -998,6 +1003,56 @@ mod tests {
             "steady-state batches perform zero C/scratch allocations"
         );
         assert!(steady.hits >= cold.hits + 10, "5 batches x 2 buffers hit");
+        server.shutdown();
+    }
+
+    /// The zero-alloc pin holds with fused assembly on: the fused path
+    /// acquires the same C and panel-scratch shapes from the pool as
+    /// the two-touch path, so steady state stays allocation-free — and
+    /// the batches really did run fused (`batch.fused_runs` advanced).
+    #[test]
+    fn steady_state_stays_zero_alloc_with_fused_assembly() {
+        let fused = jigsaw_core::ExecOptions::builder()
+            .fused_assembly(true)
+            .build()
+            .unwrap();
+        let reg = ModelRegistry::new(RegistryConfig {
+            exec_options: fused,
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        for m in default_zoo(50).into_iter().take(2) {
+            reg.register(&m.name, m.weights(), m.config);
+        }
+        let server = Server::start(
+            Arc::new(reg),
+            ServeConfig {
+                workers: 1,
+                max_wait: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let fused_runs_before = jigsaw_obs::global().counter("batch.fused_runs").get();
+        let warm_up = |i| {
+            let b = dense_rhs(256, 8, ValueDist::SmallInt, i);
+            server.submit("attention-small", b).unwrap().wait().unwrap();
+        };
+        warm_up(0);
+        let cold = server.pool_stats();
+        assert!(cold.misses >= 2, "first batch allocates: {cold:?}");
+        for i in 1..6 {
+            warm_up(i);
+        }
+        let steady = server.pool_stats();
+        assert_eq!(
+            steady.misses, cold.misses,
+            "fused steady-state batches perform zero C/scratch allocations"
+        );
+        assert!(steady.hits >= cold.hits + 10, "5 batches x 2 buffers hit");
+        assert!(
+            jigsaw_obs::global().counter("batch.fused_runs").get() >= fused_runs_before + 6,
+            "every batch took the fused path"
+        );
         server.shutdown();
     }
 

@@ -203,7 +203,11 @@ pub fn simulate_sharded(
     let mut cursors: BTreeMap<String, usize> = BTreeMap::new();
     // Kernel-cost memo: cycles for one batch of (model, total_n). This
     // is what makes ~10⁶-user sweeps feasible — repeated batch shapes
-    // cost one BTreeMap probe, not a device-model evaluation.
+    // cost one BTreeMap probe, not a device-model evaluation. The key
+    // deliberately omits the model's assembly mode: fused batched-B
+    // assembly changes host-side copies, not the simulated device
+    // kernel, so a (model, n) cell is valid under either
+    // `ExecOptions::fused_assembly` setting carried by the registry.
     let mut cost: BTreeMap<(String, usize), Option<f64>> = BTreeMap::new();
     let mut latency = Histogram::default();
     let mut forwarded = 0u64;

@@ -174,6 +174,12 @@ struct Queued<'a> {
 /// run, expired queue entries are shed, and an open per-model circuit
 /// breaker fast-rejects at admission — so every request in the
 /// schedule reaches exactly one terminal state.
+///
+/// Assembly-mode neutral: the registry's per-model `ExecOptions`
+/// (including the fused-assembly opt-in) ride along untouched, but the
+/// virtual clock charges only simulated device cycles — host-side
+/// assembly cost is a real-`Server` (and `exp serving`) concern, so a
+/// schedule simulates identically under either assembly mode.
 pub fn simulate_schedule(
     registry: &ModelRegistry,
     schedule: &[SimRequest],

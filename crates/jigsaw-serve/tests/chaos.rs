@@ -119,6 +119,68 @@ fn killed_worker_mid_batch_fails_all_waiters_and_respawns() {
     assert!(metrics.conserves(), "admitted = completed + failed + shed");
 }
 
+/// A fault injected at the fused-assembly point (`serve.assemble`)
+/// degrades that batch to the unfused two-touch path — the request
+/// still completes with a bit-identical product, no waiter hangs, and
+/// the degrade is visible on `batch.fused_fallbacks`. Both the typed
+/// error and the panic flavor must degrade, not fail.
+#[test]
+fn assembly_fault_degrades_to_unfused_path_without_hangs() {
+    let _g = guard();
+    let fused_opts = jigsaw_core::ExecOptions::builder()
+        .fused_assembly(true)
+        .build()
+        .unwrap();
+    let reg = ModelRegistry::new(RegistryConfig {
+        exec_options: fused_opts,
+        ..RegistryConfig::default()
+    })
+    .unwrap();
+    for m in default_zoo(77).into_iter().take(2) {
+        reg.register(&m.name, m.weights(), m.config);
+    }
+    let server = Server::start(
+        Arc::new(reg),
+        ServeConfig {
+            workers: 1,
+            max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    // Warm up on the fused path and keep the product as the oracle.
+    let b = dense_rhs(256, 4, ValueDist::SmallInt, 9);
+    let oracle = wait_bounded(server.submit("attention-small", b.clone()).unwrap())
+        .expect("fused warm-up serves");
+    let fallbacks_before = jigsaw_obs::global().counter("batch.fused_fallbacks").get();
+    for kind in [FaultKind::Error, FaultKind::Panic] {
+        // Hit counters persist across `inject` calls, so clear them:
+        // otherwise the second spec's `first_hit = 1` can never match.
+        fault::reset();
+        fault::inject(FaultSpec::once(points::SERVE_ASSEMBLE, kind));
+        let resp = wait_bounded(server.submit("attention-small", b.clone()).unwrap())
+            .expect("assembly fault degrades to the two-touch path, not a failure");
+        assert_eq!(resp.c, oracle.c, "degraded batch is bit-identical");
+    }
+    assert!(
+        jigsaw_obs::global().counter("batch.fused_fallbacks").get() >= fallbacks_before + 2,
+        "both degrades were counted"
+    );
+    fault::reset();
+    // An assembly fault never poisons the SIMD rung: the next batch is
+    // fused again (fused_runs advances) and still bit-identical.
+    let fused_runs_before = jigsaw_obs::global().counter("batch.fused_runs").get();
+    let resp = wait_bounded(server.submit("attention-small", b.clone()).unwrap())
+        .expect("fused path recovered");
+    assert_eq!(resp.c, oracle.c);
+    assert!(
+        jigsaw_obs::global().counter("batch.fused_runs").get() > fused_runs_before,
+        "recovery batch took the fused path"
+    );
+    let metrics = server.shutdown();
+    assert_eq!(metrics.failed, 0, "no request failed");
+    assert!(metrics.conserves());
+}
+
 /// A panic *inside* the batch (pool acquisition, after the registry
 /// fetch) unwinds through the batch guard: same invariants.
 #[test]
