@@ -14,9 +14,9 @@ use serde::{Deserialize, Serialize};
 use jigsaw_core::panelize_into;
 use jigsaw_serve::{
     assemble_panels, concat_columns, default_zoo, generate_schedule, generate_zipf_schedule,
-    scaled_zoo, simulate_schedule, simulate_sharded, LoadSpec, ModelRegistry, RegistryConfig,
-    ReplicationConfig, ShardConfig, ShardSimConfig, SimConfig, SimRequest, StealConfig,
-    ZipfLoadSpec,
+    scaled_zoo, simulate_schedule, simulate_sharded, HealthConfig, HedgeConfig, LoadSpec,
+    ModelRegistry, RegistryConfig, ReplicationConfig, ShardConfig, ShardSimConfig, SimConfig,
+    SimRequest, StealConfig, ZipfLoadSpec,
 };
 
 use crate::runner::render_table;
@@ -119,6 +119,48 @@ pub struct FusionRow {
     pub speedup: f64,
 }
 
+/// One tail-tolerance policy's outcome under the straggler workload
+/// (DESIGN.md §17): the same zipf schedule on the same ring with one
+/// shard degraded to a 10× straggler, hedging + health scoring off
+/// (`unhedged`) versus on (`hedged`). CI floors the hedged p99 at
+/// ≤ 1.0× the unhedged p99 and the work amplification at
+/// `1 + budget_fraction`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HedgeRow {
+    /// Policy label (`unhedged` or `hedged`).
+    pub policy: String,
+    /// Shards in the ring.
+    pub shards: usize,
+    /// Shard degraded into the straggler.
+    pub straggler_shard: usize,
+    /// Straggler service-time multiplier.
+    pub straggler_factor: f64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Hedged duplicates launched.
+    pub hedges: u64,
+    /// Hedges whose duplicate finished first.
+    pub hedge_wins: u64,
+    /// Hedge losers cancelled before execution.
+    pub hedge_cancels: u64,
+    /// Straggler ejections by the health scorer.
+    pub health_ejections: u64,
+    /// Cluster-wide p50 request latency, cycles.
+    pub p50_latency_cycles: f64,
+    /// Cluster-wide p95 request latency, cycles.
+    pub p95_latency_cycles: f64,
+    /// Cluster-wide p99 request latency, cycles.
+    pub p99_latency_cycles: f64,
+    /// Total executed work: busy cycles summed over shards.
+    pub busy_cycles: f64,
+    /// `busy_cycles / unhedged busy_cycles` — executed-work
+    /// amplification the retry budget must bound (1.0 on the
+    /// unhedged row by construction).
+    pub work_amplification: f64,
+    /// Retry-budget accrual fraction the bound derives from.
+    pub budget_fraction: f64,
+}
+
 /// Workload shape for the sharded sweep. The same schedule (same
 /// offered load) runs at every shard count, so rows compare scaling,
 /// not workload drift.
@@ -172,6 +214,9 @@ pub struct Serving {
     /// One row per batch size: fused vs two-touch batch assembly,
     /// host-timed over identical parts.
     pub fusion_rows: Vec<FusionRow>,
+    /// Unhedged-vs-hedged pair under an injected 10× straggler shard,
+    /// same schedule and ring (DESIGN.md §17).
+    pub hedge_rows: Vec<HedgeRow>,
 }
 
 /// Batching window, cycles (~35 µs at the A100 clock).
@@ -254,12 +299,12 @@ fn run_shard_sweep(spec: &GpuSpec, sweep: &ShardSweepSpec) -> Vec<ShardRow> {
         .shard_counts
         .iter()
         .map(|&shards| {
-            let cfg = ShardSimConfig {
-                shard: ShardConfig::new(shards)
+            let cfg = ShardSimConfig::new(
+                ShardConfig::new(shards)
                     .with_replication(ReplicationConfig::cycles(48, 2, 1_000_000.0))
                     .with_steal(StealConfig::threshold(16)),
-                sim: SimConfig::batched(spec.clone(), MAX_BATCH_N, WINDOW_CYCLES),
-            };
+                SimConfig::batched(spec.clone(), MAX_BATCH_N, WINDOW_CYCLES),
+            );
             let report = simulate_sharded(&registry, &schedule, &cfg);
             assert!(report.totals.conserves(), "sharded run conserves requests");
             ShardRow {
@@ -287,6 +332,81 @@ fn run_shard_sweep(spec: &GpuSpec, sweep: &ShardSweepSpec) -> Vec<ShardRow> {
             }
         })
         .collect()
+}
+
+/// Straggler service-time multiplier in the hedge sweep.
+const STRAGGLER_FACTOR: f64 = 10.0;
+/// Shard degraded into the straggler.
+const STRAGGLER_SHARD: usize = 0;
+/// Shards in the hedge sweep's ring.
+const HEDGE_SHARDS: usize = 4;
+
+/// Runs the straggler workload twice on the same ring — tail
+/// tolerance off, then on — and reports both as [`HedgeRow`]s with
+/// the work amplification normalized to the unhedged run.
+fn run_hedge_sweep(spec: &GpuSpec) -> Vec<HedgeRow> {
+    let zoo = scaled_zoo(8, 33);
+    let registry = ModelRegistry::new(RegistryConfig {
+        budget_bytes: 1 << 30,
+        ..RegistryConfig::default()
+    })
+    .expect("no artifact dir");
+    for m in &zoo {
+        registry.register(&m.name, m.weights(), m.config);
+    }
+    registry.warm_all().expect("zoo models plan");
+    let schedule: Vec<SimRequest> = generate_zipf_schedule(
+        &zoo,
+        &ZipfLoadSpec {
+            requests: 1_200,
+            seed: 47,
+            mean_gap_cycles: 300.0,
+            ..ZipfLoadSpec::default()
+        },
+    )
+    .into_iter()
+    .map(|z| z.req)
+    .collect();
+    let hedge = HedgeConfig::cycles();
+    let budget_fraction = hedge.budget_fraction;
+    let cfg = |tolerant: bool| {
+        let mut shard = ShardConfig::new(HEDGE_SHARDS)
+            .with_replication(ReplicationConfig::cycles(32, 2, 500_000.0))
+            .with_steal(StealConfig::threshold(8));
+        if tolerant {
+            shard = shard.with_health(HealthConfig::cycles()).with_hedge(hedge);
+        }
+        // A tighter window than the throughput sweep: tail latency is
+        // the quantity under test, and a long coalescing window would
+        // smear the straggler's effect into every percentile.
+        ShardSimConfig::new(shard, SimConfig::batched(spec.clone(), 128, 20_000.0))
+            .with_straggler(STRAGGLER_SHARD, STRAGGLER_FACTOR)
+    };
+    let unhedged = simulate_sharded(&registry, &schedule, &cfg(false));
+    let hedged = simulate_sharded(&registry, &schedule, &cfg(true));
+    assert!(unhedged.totals.conserves(), "unhedged run conserves");
+    assert!(hedged.totals.conserves(), "hedged run conserves");
+    let busy =
+        |r: &jigsaw_serve::ShardSimReport| r.lanes.iter().map(|l| l.busy_cycles).sum::<f64>();
+    let base_busy = busy(&unhedged);
+    let row = |policy: &str, r: &jigsaw_serve::ShardSimReport| HedgeRow {
+        policy: policy.to_string(),
+        shards: HEDGE_SHARDS,
+        straggler_shard: STRAGGLER_SHARD,
+        straggler_factor: STRAGGLER_FACTOR,
+        completed: r.totals.completed,
+        hedges: r.hedges,
+        hedge_wins: r.hedge_wins,
+        hedge_cancels: r.hedge_cancels,
+        health_ejections: r.health_ejections,
+        p50_latency_cycles: r.latency_cycles.percentile(50.0),
+        p95_latency_cycles: r.latency_cycles.percentile(95.0),
+        p99_latency_cycles: r.latency_cycles.percentile(99.0),
+        busy_cycles: busy(r),
+        work_amplification: busy(r) / base_busy,
+        budget_fraction,
+    };
+    vec![row("unhedged", &unhedged), row("hedged", &hedged)]
 }
 
 /// Reduction dimension of the fusion sweep's parts — deep enough that
@@ -375,6 +495,7 @@ pub fn run(spec: &GpuSpec, requests: usize, sweep: &ShardSweepSpec) -> Serving {
     ];
     let shard_rows = run_shard_sweep(spec, sweep);
     let fusion_rows = run_fusion_sweep(&[1, 2, 4, 8, 16], 25);
+    let hedge_rows = run_hedge_sweep(spec);
     Serving {
         requests,
         seed: load.seed,
@@ -384,6 +505,7 @@ pub fn run(spec: &GpuSpec, requests: usize, sweep: &ShardSweepSpec) -> Serving {
         zipf_seed: sweep.seed,
         shard_rows,
         fusion_rows,
+        hedge_rows,
     }
 }
 
@@ -472,13 +594,42 @@ impl Serving {
                 ]
             })
             .collect();
+        let hedge_header: Vec<String> = [
+            "policy",
+            "p50 lat",
+            "p95 lat",
+            "p99 lat",
+            "hedges (wins/cancels)",
+            "ejections",
+            "work amp",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let hedge_rows: Vec<Vec<String>> = self
+            .hedge_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    format!("{:.0}", r.p50_latency_cycles),
+                    format!("{:.0}", r.p95_latency_cycles),
+                    format!("{:.0}", r.p99_latency_cycles),
+                    format!("{} ({}/{})", r.hedges, r.hedge_wins, r.hedge_cancels),
+                    r.health_ejections.to_string(),
+                    format!("{:.3}x", r.work_amplification),
+                ]
+            })
+            .collect();
         format!(
             "Serving — {} requests, seed {:#x}; batching window {} cycles,\n\
              max batch {} columns (virtual-clock scheduler, A100 spec)\n{}\n\
              Sharded — {} zipf requests from {} users, seed {:#x};\n\
              consistent-hash ring, hot-model replication, work stealing\n{}\n\
              Fused assembly — panel-major emit vs concat+panelize,\n\
-             k={}, {} columns/part (host-timed, bit-exact asserted)\n{}",
+             k={}, {} columns/part (host-timed, bit-exact asserted)\n{}\n\
+             Tail tolerance — {} shards, shard {} a {:.0}× straggler;\n\
+             hedge past rolling p95, retry budget {:.0}% (DESIGN.md §17)\n{}",
             self.requests,
             self.seed,
             WINDOW_CYCLES,
@@ -490,7 +641,15 @@ impl Serving {
             render_table(&shard_header, &shard_rows),
             FUSION_K,
             FUSION_N_PER_PART,
-            render_table(&fusion_header, &fusion_rows)
+            render_table(&fusion_header, &fusion_rows),
+            HEDGE_SHARDS,
+            STRAGGLER_SHARD,
+            STRAGGLER_FACTOR,
+            self.hedge_rows
+                .first()
+                .map(|r| r.budget_fraction * 100.0)
+                .unwrap_or(0.0),
+            render_table(&hedge_header, &hedge_rows)
         )
     }
 }
@@ -548,6 +707,7 @@ mod tests {
         assert!(text.contains("batched+warm") && text.contains("req/Gcycle"));
         assert!(text.contains("Sharded") && text.contains("fwd/stolen"));
         assert!(text.contains("Fused assembly") && text.contains("two-touch µs"));
+        assert!(text.contains("Tail tolerance") && text.contains("work amp"));
     }
 
     /// The fusion sweep covers every requested batch size, its widths
@@ -564,6 +724,37 @@ mod tests {
             assert!(row.unfused_assemble_ns > 0.0);
             assert!(row.speedup > 0.0);
         }
+    }
+
+    /// The hedge sweep's two rows carry the §17 acceptance shape:
+    /// hedged p99 at or below the unhedged p99, work amplification
+    /// within the retry budget, and the tolerance machinery visibly
+    /// engaged against the straggler.
+    #[test]
+    fn hedge_sweep_bounds_tail_within_budget() {
+        let rows = run_hedge_sweep(&GpuSpec::a100());
+        assert_eq!(rows.len(), 2);
+        let (unhedged, hedged) = (&rows[0], &rows[1]);
+        assert_eq!(unhedged.policy, "unhedged");
+        assert_eq!(hedged.policy, "hedged");
+        assert_eq!(unhedged.completed, hedged.completed, "same offered load");
+        assert_eq!(unhedged.hedges, 0);
+        assert_eq!(unhedged.work_amplification, 1.0);
+        assert!(
+            hedged.hedges > 0 || hedged.health_ejections > 0,
+            "tail tolerance engaged"
+        );
+        assert!(
+            hedged.p99_latency_cycles <= 0.5 * unhedged.p99_latency_cycles,
+            "hedged p99 {:.0} vs unhedged {:.0}",
+            hedged.p99_latency_cycles,
+            unhedged.p99_latency_cycles
+        );
+        assert!(
+            hedged.work_amplification <= 1.0 + hedged.budget_fraction,
+            "work amplification {:.3} over budget",
+            hedged.work_amplification
+        );
     }
 
     #[test]

@@ -226,6 +226,43 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
                 }
             }
         }
+        // Since tail tolerance landed (DESIGN.md §17), the export also
+        // carries the unhedged/hedged straggler pair; these are the
+        // rows `check_bench --perf` gates hedging on.
+        let hedge_rows = doc
+            .get("data")
+            .and_then(|d| d.get("hedge_rows"))
+            .map(|r| r.items().to_vec())
+            .filter(|r| !r.is_empty())
+            .ok_or_else(|| "serving: data.hedge_rows missing or empty".to_string())?;
+        for row in &hedge_rows {
+            for key in [
+                "policy",
+                "shards",
+                "straggler_factor",
+                "completed",
+                "hedges",
+                "health_ejections",
+                "p50_latency_cycles",
+                "p95_latency_cycles",
+                "p99_latency_cycles",
+                "busy_cycles",
+                "work_amplification",
+                "budget_fraction",
+            ] {
+                if row.get(key).is_none() {
+                    return Err(format!("serving hedge row missing key {key:?}"));
+                }
+            }
+        }
+        for policy in ["unhedged", "hedged"] {
+            if !hedge_rows
+                .iter()
+                .any(|r| r.get("policy").and_then(|p| p.as_str()) == Some(policy))
+            {
+                return Err(format!("serving: hedge_rows missing {policy:?} row"));
+            }
+        }
     }
     Ok(experiment)
 }
@@ -411,6 +448,15 @@ pub fn check_perf_text(baseline: &str, candidate: &str, tolerance: f64) -> Resul
 /// regresses the copy the fusion exists to remove. (Batch 1 and 2 rows
 /// gate only relatively — at trivial widths the two paths are within
 /// noise of each other.)
+///
+/// The candidate's `data.hedge_rows` are additionally floored on their
+/// own virtual-clock invariants (host-speed independent, so no
+/// relative band is needed): the hedged p99 must not exceed the
+/// unhedged p99 under the same injected straggler, and the hedged
+/// run's executed-work amplification must stay within
+/// `1 + budget_fraction` — a hedging layer that amplifies the tail or
+/// blows its retry budget is a regression in the property it exists
+/// to enforce (DESIGN.md §17).
 fn check_perf_serving(baseline: &str, candidate: &str, tolerance: f64) -> Result<String, String> {
     let rows = |text: &str, role: &str| -> Result<Vec<Json>, String> {
         let doc = jigsaw_obs::parse(text).map_err(|e| format!("{role}: {e}"))?;
@@ -462,6 +508,54 @@ fn check_perf_serving(baseline: &str, candidate: &str, tolerance: f64) -> Result
             "fused assembly batch={batch}: {cand_speedup:.2}x (baseline {base_speedup:.2}x)"
         ));
     }
+    // Hedging floors run on the candidate alone: the virtual-clock sim
+    // is bit-deterministic per seed, so these are absolute invariants,
+    // not host-relative measurements.
+    let hedge_rows = {
+        let doc = jigsaw_obs::parse(candidate).map_err(|e| format!("candidate: {e}"))?;
+        doc.get("data")
+            .and_then(|d| d.get("hedge_rows"))
+            .map(|r| r.items().to_vec())
+            .filter(|r| !r.is_empty())
+            .ok_or_else(|| "candidate: data.hedge_rows missing or empty".to_string())?
+    };
+    let hedge = |policy: &str| -> Result<Json, String> {
+        hedge_rows
+            .iter()
+            .find(|r| r.get("policy").and_then(|p| p.as_str()) == Some(policy))
+            .cloned()
+            .ok_or_else(|| format!("candidate: hedge_rows missing {policy:?} row"))
+    };
+    let f64_of = |row: &Json, key: &str| -> Result<f64, String> {
+        row.get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("candidate: hedge row missing {key:?}"))
+    };
+    let unhedged = hedge("unhedged")?;
+    let hedged = hedge("hedged")?;
+    let (up99, hp99) = (
+        f64_of(&unhedged, "p99_latency_cycles")?,
+        f64_of(&hedged, "p99_latency_cycles")?,
+    );
+    if hp99 > up99 {
+        return Err(format!(
+            "regression in tail tolerance: hedged p99 {hp99:.0} cycles exceeds \
+             unhedged p99 {up99:.0} under the injected straggler (floor 1.0x)"
+        ));
+    }
+    let amp = f64_of(&hedged, "work_amplification")?;
+    let budget = f64_of(&hedged, "budget_fraction")?;
+    if amp > 1.0 + budget {
+        return Err(format!(
+            "regression in tail tolerance: work amplification {amp:.3}x exceeds \
+             the retry budget's 1 + {budget:.2} bound"
+        ));
+    }
+    report.push(format!(
+        "hedging: p99 {hp99:.0} vs unhedged {up99:.0} cycles, work amplification \
+         {amp:.3}x (budget {:.2}x)",
+        1.0 + budget
+    ));
     Ok(report.join("; "))
 }
 
@@ -579,11 +673,45 @@ mod tests {
         }
     }
 
+    #[derive(Serialize, Clone)]
+    struct ToyHedgeRow {
+        policy: String,
+        shards: usize,
+        straggler_factor: f64,
+        completed: u64,
+        hedges: u64,
+        health_ejections: u64,
+        p50_latency_cycles: f64,
+        p95_latency_cycles: f64,
+        p99_latency_cycles: f64,
+        busy_cycles: f64,
+        work_amplification: f64,
+        budget_fraction: f64,
+    }
+
+    fn toy_hedge_row(policy: &str, p99: f64, amplification: f64) -> ToyHedgeRow {
+        ToyHedgeRow {
+            policy: policy.to_string(),
+            shards: 4,
+            straggler_factor: 10.0,
+            completed: 100,
+            hedges: if policy == "hedged" { 12 } else { 0 },
+            health_ejections: 0,
+            p50_latency_cycles: 1_000.0,
+            p95_latency_cycles: p99 * 0.6,
+            p99_latency_cycles: p99,
+            busy_cycles: 1e9 * amplification,
+            work_amplification: amplification,
+            budget_fraction: 0.1,
+        }
+    }
+
     #[derive(Serialize)]
     struct ToyServing {
         rows: Vec<ToyServingRow>,
         shard_rows: Vec<ToyShardRow>,
         fusion_rows: Vec<ToyFusionRow>,
+        hedge_rows: Vec<ToyHedgeRow>,
     }
 
     fn toy_serving() -> ToyServing {
@@ -597,6 +725,10 @@ mod tests {
             }],
             shard_rows: vec![toy_shard_row(1), toy_shard_row(4)],
             fusion_rows: vec![toy_fusion_row(1, 1.1), toy_fusion_row(4, 1.6)],
+            hedge_rows: vec![
+                toy_hedge_row("unhedged", 90_000.0, 1.0),
+                toy_hedge_row("hedged", 30_000.0, 1.05),
+            ],
         }
     }
 
@@ -712,6 +844,55 @@ mod tests {
         assert!(err.contains("fusion row missing key"), "{err}");
     }
 
+    #[test]
+    fn serving_docs_must_carry_hedge_rows() {
+        // Policy + shard + fusion rows alone no longer pass: the
+        // straggler pair is part of the serving schema.
+        #[derive(Serialize)]
+        struct NoHedge {
+            rows: Vec<ToyServingRow>,
+            shard_rows: Vec<ToyShardRow>,
+            fusion_rows: Vec<ToyFusionRow>,
+        }
+        let full = toy_serving();
+        let no_hedge = NoHedge {
+            rows: full.rows.clone(),
+            shard_rows: full.shard_rows.clone(),
+            fusion_rows: full.fusion_rows.clone(),
+        };
+        let err = check_bench_text(&bench_doc("serving", &no_hedge).to_string()).unwrap_err();
+        assert!(err.contains("hedge_rows"), "{err}");
+        // A hedge row that lost a column is rejected…
+        #[derive(Serialize)]
+        struct BareHedgeRow {
+            policy: String,
+            p99_latency_cycles: f64,
+        }
+        #[derive(Serialize)]
+        struct BareHedge {
+            rows: Vec<ToyServingRow>,
+            shard_rows: Vec<ToyShardRow>,
+            fusion_rows: Vec<ToyFusionRow>,
+            hedge_rows: Vec<BareHedgeRow>,
+        }
+        let bare = BareHedge {
+            rows: full.rows.clone(),
+            shard_rows: full.shard_rows.clone(),
+            fusion_rows: full.fusion_rows.clone(),
+            hedge_rows: vec![BareHedgeRow {
+                policy: "hedged".to_string(),
+                p99_latency_cycles: 1.0,
+            }],
+        };
+        let err = check_bench_text(&bench_doc("serving", &bare).to_string()).unwrap_err();
+        assert!(err.contains("hedge row missing key"), "{err}");
+        // …and so is a pair missing one of the two policies.
+        let mut lopsided = toy_serving();
+        lopsided.hedge_rows.retain(|r| r.policy == "hedged");
+        let err = check_bench_text(&bench_doc("serving", &lopsided).to_string()).unwrap_err();
+        assert!(err.contains("unhedged"), "{err}");
+    }
+
     fn serving_doc(speedups: &[(usize, f64)]) -> String {
         let mut doc = toy_serving();
         doc.fusion_rows = speedups
@@ -719,6 +900,35 @@ mod tests {
             .map(|&(batch, speedup)| toy_fusion_row(batch, speedup))
             .collect();
         bench_doc("serving", &doc).to_string()
+    }
+
+    /// The hedging floors are absolute invariants of the candidate:
+    /// hedged p99 at most the unhedged p99, work amplification within
+    /// the retry budget — independent of the baseline's numbers.
+    #[test]
+    fn serving_perf_gate_floors_hedging_invariants() {
+        let base = serving_doc(&[(1, 1.1), (4, 1.6)]);
+        let report = check_perf_text(&base, &base, 0.25).unwrap();
+        assert!(report.contains("hedging:"), "{report}");
+        // A hedged p99 above the unhedged p99 fails even though every
+        // fusion row is untouched.
+        let mut worse_tail = toy_serving();
+        worse_tail.hedge_rows = vec![
+            toy_hedge_row("unhedged", 90_000.0, 1.0),
+            toy_hedge_row("hedged", 95_000.0, 1.05),
+        ];
+        let cand = bench_doc("serving", &worse_tail).to_string();
+        let err = check_perf_text(&base, &cand, 0.25).unwrap_err();
+        assert!(err.contains("hedged p99"), "{err}");
+        // Work amplification past 1 + budget_fraction fails.
+        let mut over_budget = toy_serving();
+        over_budget.hedge_rows = vec![
+            toy_hedge_row("unhedged", 90_000.0, 1.0),
+            toy_hedge_row("hedged", 30_000.0, 1.2),
+        ];
+        let cand = bench_doc("serving", &over_budget).to_string();
+        let err = check_perf_text(&base, &cand, 0.25).unwrap_err();
+        assert!(err.contains("work amplification"), "{err}");
     }
 
     #[test]

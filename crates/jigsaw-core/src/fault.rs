@@ -50,6 +50,14 @@ pub mod points {
     pub const SHARD_ROUTE: &str = "shard.route";
     /// One shard-router forward/steal redirect to a replica shard.
     pub const SHARD_FORWARD: &str = "shard.forward";
+    /// One shard dispatch that a chaos harness may turn into a
+    /// straggler. Callers interpret the fault themselves via
+    /// [`fire`](super::fire): the threaded router charges a
+    /// `Latency` fault as host sleep; the virtual-clock shard sim
+    /// reads the same spec and stretches the dispatch's device
+    /// cycles instead, so straggler schedules stay
+    /// bit-deterministic.
+    pub const SHARD_SLOW: &str = "shard.slow";
 }
 
 /// What an armed fault does when it fires.

@@ -28,7 +28,11 @@
 //! independent server shards (each with its own registry LRU, worker
 //! pool, and breakers), replicates hot models onto ring neighbors,
 //! forwards/steals work off overloaded shards, and isolates shard
-//! failures behind typed errors (DESIGN.md §14).
+//! failures behind typed errors (DESIGN.md §14). A tail-tolerance
+//! layer (DESIGN.md §17) adds per-shard health scoring with outlier
+//! ejection, hedged requests under a token-bucket retry budget, and
+//! kill→revive shard lifecycle, so gray failures (one slow shard)
+//! don't set the fleet's p99.
 
 #![warn(missing_docs)]
 
@@ -57,8 +61,9 @@ pub use registry::{
 };
 pub use server::{ServeConfig, ServeError, Server, Ticket};
 pub use shard::{
-    simulate_sharded, HashRing, HotTracker, ReplicationConfig, RouterMetrics, ShardConfig,
-    ShardLane, ShardRouter, ShardSimConfig, ShardSimReport, StealConfig,
+    simulate_sharded, HashRing, HealthConfig, HealthState, HedgeConfig, HedgePolicy, HotTracker,
+    ReplicationConfig, RetryBudget, RouterMetrics, ShardConfig, ShardHealth, ShardLane,
+    ShardRouter, ShardSimConfig, ShardSimReport, StealConfig,
 };
 pub use sim::{simulate_schedule, SimCompletion, SimConfig, SimFailure, SimReport, SimRequest};
 pub use zoo::{default_zoo, scaled_zoo, ZooModel};

@@ -51,6 +51,10 @@ const ARTIFACT_RETRY_BASE: Duration = Duration::from_micros(100);
 /// artifact directory.
 const TUNE_TABLE_FILE: &str = "tune_table.jgtn";
 
+/// Where a tune table that failed to parse is renamed aside: kept for
+/// debugging, never re-read on later restarts.
+const TUNE_TABLE_QUARANTINE_FILE: &str = "tune_table.jgtn.corrupt";
+
 /// Registry configuration.
 #[derive(Clone, Debug)]
 pub struct RegistryConfig {
@@ -521,15 +525,32 @@ impl ModelRegistry {
     /// previous run), it is reloaded bit-exactly into the
     /// process-global table — the warm restart resumes with its
     /// measured kernel rankings and tuned selection skips the
-    /// calibration pass. A corrupt table is skipped (counted on
-    /// `tune.table_load_errors`), never an error: tuning regrows from
-    /// calibration, and models still serve.
+    /// calibration pass. A corrupt table is **quarantined**, never an
+    /// error: the bytes are counted on `tune.table_load_errors`, the
+    /// file is renamed aside to `tune_table.jgtn.corrupt` (counted on
+    /// `tune.table_quarantined`) so the next restart doesn't re-parse
+    /// known-bad bytes — and the poisoned evidence survives for
+    /// debugging instead of being overwritten by the next
+    /// [`persist_tuning`](ModelRegistry::persist_tuning). Tuning
+    /// regrows from calibration, and models still serve. The read
+    /// crosses the `registry.artifact_load` fault point, so chaos
+    /// harnesses can corrupt it in flight.
     pub fn new(cfg: RegistryConfig) -> io::Result<ModelRegistry> {
         if let Some(dir) = &cfg.artifact_dir {
             std::fs::create_dir_all(dir)?;
-            if let Ok(bytes) = std::fs::read(dir.join(TUNE_TABLE_FILE)) {
-                if tune::table().load_bytes(&bytes).is_err() {
-                    jigsaw_obs::global().counter("tune.table_load_errors").inc();
+            let table_path = dir.join(TUNE_TABLE_FILE);
+            // The existence probe keeps registries without a persisted
+            // table from consuming a fault-point hit on construction.
+            if table_path.exists() {
+                if let Ok(bytes) = read_artifact_once(&table_path) {
+                    if tune::table().load_bytes(&bytes).is_err() {
+                        jigsaw_obs::global().counter("tune.table_load_errors").inc();
+                        if std::fs::rename(&table_path, dir.join(TUNE_TABLE_QUARANTINE_FILE))
+                            .is_ok()
+                        {
+                            jigsaw_obs::global().counter("tune.table_quarantined").inc();
+                        }
+                    }
                 }
             }
         }
@@ -911,12 +932,23 @@ mod tests {
         assert_eq!(table.len(), before, "no recalibration after reload");
 
         // A registry without a tuning artifact is unaffected, and a
-        // corrupt artifact is skipped without failing construction.
+        // corrupt artifact is quarantined without failing construction:
+        // renamed aside so the next restart doesn't re-parse known-bad
+        // bytes, and kept on disk as debugging evidence.
         assert!(!registry_with_zoo(usize::MAX, None)
             .persist_tuning()
             .unwrap());
         std::fs::write(dir.join(TUNE_TABLE_FILE), b"JGTNgarbage").unwrap();
         let _still_ok = registry_with_zoo(usize::MAX, Some(dir.clone()));
+        assert!(
+            !dir.join(TUNE_TABLE_FILE).exists(),
+            "corrupt table moved out of the load path"
+        );
+        assert_eq!(
+            std::fs::read(dir.join(TUNE_TABLE_QUARANTINE_FILE)).unwrap(),
+            b"JGTNgarbage",
+            "quarantine preserves the poisoned bytes verbatim"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -10,6 +10,10 @@
 //!   models onto their ring neighbors and demotes them on cooldown;
 //! * [`steal`] — the queue-depth policy that forwards arrivals to the
 //!   least-loaded replica and lets idle shards pull queued work;
+//! * [`health`] — per-shard EWMA health scoring with outlier ejection
+//!   and probed re-admission, for gray failures a breaker can't see;
+//! * [`hedge`] — hedged requests past a p95-derived delay, bounded by
+//!   a token-bucket retry budget (DESIGN.md §17);
 //! * [`router`] — the threaded [`router::ShardRouter`] wrapping N full
 //!   server stacks (own registry LRU, workers, breakers, deadlines,
 //!   degrade ladder) with failure isolation across shards;
@@ -22,12 +26,16 @@
 //! requests with no live replica fail with a typed
 //! [`crate::batch::AdmitError::ShardUnavailable`], never a hang.
 
+pub mod health;
+pub mod hedge;
 pub mod replicate;
 pub mod ring;
 pub mod router;
 pub mod sim;
 pub mod steal;
 
+pub use health::{HealthConfig, HealthState, ShardHealth};
+pub use hedge::{HedgeConfig, HedgePolicy, RetryBudget};
 pub use replicate::{HotEvent, HotTracker, ReplicationConfig};
 pub use ring::{fnv1a64, HashRing};
 pub use router::{RouterMetrics, ShardRouter};
@@ -46,17 +54,24 @@ pub struct ShardConfig {
     pub replication: ReplicationConfig,
     /// Forward/steal policy.
     pub steal: StealConfig,
+    /// Per-shard health scoring / outlier-ejection policy.
+    pub health: HealthConfig,
+    /// Hedged-request policy with its token-bucket retry budget.
+    pub hedge: HedgeConfig,
 }
 
 impl ShardConfig {
     /// `shards` shards with the module defaults: 64 vnodes, no
-    /// replication, no stealing. Policies opt in via the builders.
+    /// replication, no stealing, no health ejection, no hedging.
+    /// Policies opt in via the builders.
     pub fn new(shards: usize) -> ShardConfig {
         ShardConfig {
             shards: shards.max(1),
             vnodes: 64,
             replication: ReplicationConfig::disabled(),
             steal: StealConfig::disabled(),
+            health: HealthConfig::disabled(),
+            hedge: HedgeConfig::disabled(),
         }
     }
 
@@ -69,6 +84,18 @@ impl ShardConfig {
     /// Enables forwarding/stealing with the given policy.
     pub fn with_steal(mut self, steal: StealConfig) -> ShardConfig {
         self.steal = steal;
+        self
+    }
+
+    /// Enables health scoring / outlier ejection with the given policy.
+    pub fn with_health(mut self, health: HealthConfig) -> ShardConfig {
+        self.health = health;
+        self
+    }
+
+    /// Enables hedged requests with the given policy.
+    pub fn with_hedge(mut self, hedge: HedgeConfig) -> ShardConfig {
+        self.hedge = hedge;
         self
     }
 }

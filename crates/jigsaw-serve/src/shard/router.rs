@@ -1,12 +1,16 @@
 //! The threaded shard router: N independent [`Server`] stacks behind a
 //! consistent-hash ring, with hot-model replication, queue-depth
-//! forwarding, and shard-down failover.
+//! forwarding, shard-down failover, and the tail-tolerance layer
+//! (DESIGN.md §17): per-shard health scoring with outlier ejection,
+//! hedged requests under a token-bucket retry budget, and a
+//! kill→revive shard lifecycle.
 //!
 //! Each shard owns a full server stack — its own registry LRU byte
 //! budget, worker pool, per-model circuit breakers, deadlines, and
 //! degrade ladder — so a shard-local failure never crosses a shard
 //! boundary. The router only *routes*: it holds no model state beyond
-//! the popularity tracker and per-model round-robin cursors.
+//! the popularity tracker, per-model round-robin cursors, and the
+//! per-shard health scorers.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,10 +22,12 @@ use jigsaw_core::fault;
 use jigsaw_core::sync::lock_recover;
 use jigsaw_core::JigsawConfig;
 
-use crate::batch::AdmitError;
+use crate::batch::{AdmitError, SpmmResponse};
 use crate::metrics::ServeMetrics;
 use crate::registry::{ModelRegistry, RegistryConfig};
-use crate::server::{ServeConfig, Server, Ticket};
+use crate::server::{ServeConfig, ServeError, Server, Ticket};
+use crate::shard::health::{fleet_baseline, HealthState, ShardHealth};
+use crate::shard::hedge::HedgePolicy;
 use crate::shard::replicate::{HotEvent, HotTracker};
 use crate::shard::ring::HashRing;
 use crate::shard::steal::{least_loaded, should_forward};
@@ -46,6 +52,12 @@ pub struct RouterMetrics {
     pub demotions: u64,
     /// Requests rejected by an injected `shard.route` fault.
     pub route_faults: u64,
+    /// Hedged duplicates launched by [`ShardRouter::submit_hedged`].
+    pub hedges: u64,
+    /// Hedged duplicates that completed before their primary.
+    pub hedge_wins: u64,
+    /// Shards brought back by [`ShardRouter::revive_shard`].
+    pub revived: u64,
 }
 
 impl RouterMetrics {
@@ -69,17 +81,27 @@ struct Lane {
 /// drain.
 pub struct ShardRouter {
     config: ShardConfig,
+    /// Kept so [`ShardRouter::revive_shard`] can restart a killed
+    /// shard's server stack with the original serving policy.
+    serve_cfg: ServeConfig,
     ring: HashRing,
     lanes: Vec<Lane>,
     hot: Mutex<HotTracker>,
     /// Per-model round-robin cursor over the model's replica set.
     cursors: Mutex<BTreeMap<String, usize>>,
+    /// One health scorer per shard, on the host-nanosecond clock.
+    health: Vec<Mutex<ShardHealth>>,
+    /// Rolling latency window + retry budget for hedged submits.
+    hedge: Mutex<HedgePolicy>,
     epoch: Instant,
     forwarded: AtomicU64,
     failovers: AtomicU64,
     promotions: AtomicU64,
     demotions: AtomicU64,
     route_faults: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    revived: AtomicU64,
 }
 
 impl ShardRouter {
@@ -107,7 +129,12 @@ impl ShardRouter {
             .collect();
         ShardRouter {
             hot: Mutex::new(HotTracker::new(config.replication.clone())),
+            health: (0..config.shards)
+                .map(|_| Mutex::new(ShardHealth::new(config.health)))
+                .collect(),
+            hedge: Mutex::new(HedgePolicy::new(config.hedge)),
             config,
+            serve_cfg,
             ring,
             lanes,
             cursors: Mutex::new(BTreeMap::new()),
@@ -117,6 +144,9 @@ impl ShardRouter {
             promotions: AtomicU64::new(0),
             demotions: AtomicU64::new(0),
             route_faults: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            revived: AtomicU64::new(0),
         }
     }
 
@@ -171,6 +201,32 @@ impl ShardRouter {
         Some(metrics)
     }
 
+    /// Revives a killed shard: restarts a fresh server stack on the
+    /// shard's retained registry (plans persisted to the artifact dir
+    /// rewarm from disk) and resets its health scorer so the revived
+    /// shard is routable immediately. The pre-kill metrics stay
+    /// available through [`ShardRouter::metrics`] until the new stack's
+    /// first snapshot replaces them. Idempotent: returns `false` if the
+    /// shard is already live.
+    pub fn revive_shard(&self, shard: usize) -> bool {
+        {
+            let mut guard = lock_recover_write(&self.lanes[shard].server);
+            if guard.is_some() {
+                return false;
+            }
+            *guard = Some(Server::start(
+                self.lanes[shard].registry.clone(),
+                self.serve_cfg.clone(),
+            ));
+        }
+        *lock_recover(&self.health[shard]) = ShardHealth::new(self.config.health);
+        self.revived.fetch_add(1, Ordering::Relaxed);
+        if jigsaw_obs::enabled() {
+            jigsaw_obs::global().counter("shard.revived").inc();
+        }
+        true
+    }
+
     /// Routes and submits one request. The routing pipeline:
     /// 1. resolve the model's live replica set (popularity tracker
     ///    promotes/demotes here),
@@ -191,6 +247,18 @@ impl ShardRouter {
         b: Matrix,
         deadline: Option<Duration>,
     ) -> Result<Ticket, AdmitError> {
+        self.route_and_submit(model, b, deadline).map(|(_, t)| t)
+    }
+
+    /// The full routing pipeline; returns the shard that admitted the
+    /// request alongside its ticket so the hedging/health layer can
+    /// attribute the outcome.
+    fn route_and_submit(
+        &self,
+        model: &str,
+        b: Matrix,
+        deadline: Option<Duration>,
+    ) -> Result<(usize, Ticket), AdmitError> {
         let home = self.ring.shard_for(model);
         // Injected routing fault: the router rejects before touching
         // any shard — typed, counted, isolated.
@@ -233,27 +301,48 @@ impl ShardRouter {
             });
         }
 
-        // Round-robin over the live replicas.
+        // Health-aware steering: drop ejected shards from the
+        // candidate set. If every replica is ejected, fail over to any
+        // healthy live shard (every shard's registry holds every model
+        // — residency is a cache question, not a capability one); if
+        // the whole fleet is ejected, ignore health rather than strand
+        // traffic.
+        let not_ejected =
+            |&s: &usize| lock_recover(&self.health[s]).state(now_ns) != HealthState::Ejected;
+        let mut candidates: Vec<usize> = live.iter().copied().filter(not_ejected).collect();
+        if candidates.is_empty() {
+            candidates = (0..self.config.shards)
+                .filter(|&s| lock_recover_read(&self.lanes[s].server).is_some())
+                .filter(not_ejected)
+                .collect();
+            if candidates.is_empty() {
+                candidates = live.clone();
+            } else if jigsaw_obs::enabled() {
+                jigsaw_obs::global().counter("health.reroutes").inc();
+            }
+        }
+
+        // Round-robin over the healthy live replicas.
         let cursor = {
             let mut cursors = lock_recover(&self.cursors);
             let c = cursors.entry(model.to_string()).or_insert(0);
             *c = c.wrapping_add(1);
             *c
         };
-        let mut target = live[cursor % live.len()];
+        let mut target = candidates[cursor % candidates.len()];
 
         // Queue-depth forwarding: an overloaded target sheds the new
         // arrival to the least-loaded live replica. An injected
         // `shard.forward` fault degrades to the original target — the
         // request still runs, the redirect just doesn't happen.
-        if self.config.steal.enabled && live.len() > 1 {
+        if self.config.steal.enabled && candidates.len() > 1 {
             let depth_of = |s: usize| {
                 lock_recover_read(&self.lanes[s].server)
                     .as_ref()
                     .map_or(usize::MAX, |srv| srv.queue_depth())
             };
             let target_depth = depth_of(target);
-            if let Some(best) = least_loaded(&live, depth_of) {
+            if let Some(best) = least_loaded(&candidates, depth_of) {
                 if best != target
                     && should_forward(&self.config.steal, target_depth, depth_of(best))
                 {
@@ -272,15 +361,27 @@ impl ShardRouter {
             }
         }
 
-        // Submit, failing over across the remaining live replicas if a
+        // Injected straggler latency: a `shard.slow` fault stalls the
+        // submit path (host sleep), inflating the observed latency the
+        // health scorer and hedge window see — the threaded twin of the
+        // sim's per-shard cost multiplier.
+        if fault::armed() {
+            if let Some(fired) = fault::fire(fault::points::SHARD_SLOW) {
+                if let fault::FaultKind::Latency { ns } = fired.kind {
+                    std::thread::sleep(Duration::from_nanos(ns));
+                }
+            }
+        }
+
+        // Submit, failing over across the remaining candidates if a
         // shard shut down between the liveness check and admission.
-        let mut tried = Vec::with_capacity(live.len());
+        let mut tried = Vec::with_capacity(candidates.len());
         tried.push(target);
-        for attempt in 0..live.len() {
+        for attempt in 0..candidates.len() {
             let shard = if attempt == 0 {
                 target
             } else {
-                match live.iter().find(|s| !tried.contains(s)) {
+                match candidates.iter().find(|s| !tried.contains(s)) {
                     Some(&s) => {
                         tried.push(s);
                         self.failovers.fetch_add(1, Ordering::Relaxed);
@@ -292,12 +393,15 @@ impl ShardRouter {
                     None => break,
                 }
             };
+            // Route one request to a probing shard: consuming the probe
+            // slot keeps followers off it until the probe reports back.
+            lock_recover(&self.health[shard]).admit(now_ns);
             let guard = lock_recover_read(&self.lanes[shard].server);
             let Some(server) = guard.as_ref() else {
                 continue;
             };
             match server.submit_with_deadline(model, b.clone(), deadline) {
-                Ok(ticket) => return Ok(ticket),
+                Ok(ticket) => return Ok((shard, ticket)),
                 // The shard died under us: try the next replica.
                 Err(AdmitError::ShuttingDown) => continue,
                 // Attribute the tripped breaker to its owning shard.
@@ -319,6 +423,151 @@ impl ShardRouter {
         })
     }
 
+    /// Submits one request and waits for it with tail tolerance: if
+    /// the response sits past the hedge delay (the rolling p95 of
+    /// recent completions, floored by the config), a speculative
+    /// duplicate is submitted to a different healthy shard and the
+    /// first completion wins. The duplicate carries the **remainder of
+    /// the original deadline** — never a fresh window — and every hedge
+    /// spends a token from the retry budget, so hedging can never
+    /// amplify offered load past `1 + budget_fraction`.
+    ///
+    /// Cancellation is cooperative: the loser's ticket is dropped and
+    /// its shard finishes (or sheds) the work unobserved — SpMM
+    /// requests are read-only against registry state, so a duplicated
+    /// execution is wasted cycles, never a correctness hazard.
+    ///
+    /// The outer `Result` is admission (routing/queue/breaker), the
+    /// inner one execution. Completion latency and outcome feed the
+    /// winning shard's health scorer and the hedge window; the plain
+    /// [`ShardRouter::submit`] ticket path stays fire-and-forget and
+    /// feeds neither.
+    pub fn submit_hedged(
+        &self,
+        model: &str,
+        b: Matrix,
+        deadline: Option<Duration>,
+    ) -> Result<Result<SpmmResponse, ServeError>, AdmitError> {
+        let t0 = Instant::now();
+        let (shard, ticket) = self.route_and_submit(model, b.clone(), deadline)?;
+        lock_recover(&self.hedge).on_primary();
+        let delay = lock_recover(&self.hedge).hedge_delay();
+        let Some(delay_ns) = delay else {
+            // Hedging disarmed (disabled or still warming): plain wait.
+            let res = ticket.wait();
+            self.observe(shard, t0, &res);
+            return Ok(res);
+        };
+        if let Some(res) = ticket.wait_timeout(Duration::from_nanos(delay_ns as u64)) {
+            self.observe(shard, t0, &res);
+            return Ok(res);
+        }
+        // Past the hedge delay: fund a duplicate from the retry budget
+        // and place it on a different healthy shard, propagating what
+        // is left of the original deadline.
+        let dup = if lock_recover(&self.hedge).try_hedge() {
+            self.hedge_target(model, shard).and_then(|t| {
+                let remaining = deadline.map(|d| d.saturating_sub(t0.elapsed()));
+                let guard = lock_recover_read(&self.lanes[t].server);
+                let ticket = guard
+                    .as_ref()
+                    .and_then(|srv| srv.submit_with_deadline(model, b.clone(), remaining).ok())?;
+                self.hedges.fetch_add(1, Ordering::Relaxed);
+                if jigsaw_obs::enabled() {
+                    jigsaw_obs::global().counter("hedge.launched").inc();
+                }
+                Some((t, ticket))
+            })
+        } else {
+            if jigsaw_obs::enabled() {
+                jigsaw_obs::global().counter("hedge.suppressed").inc();
+            }
+            None
+        };
+        let Some((dup_shard, dup_ticket)) = dup else {
+            let res = ticket.wait();
+            self.observe(shard, t0, &res);
+            return Ok(res);
+        };
+        // First-completion-wins: poll both tickets; the loser is
+        // dropped (its shard completes the work unobserved).
+        let poll = Duration::from_micros(100);
+        loop {
+            if let Some(res) = ticket.wait_timeout(poll) {
+                self.observe(shard, t0, &res);
+                return Ok(res);
+            }
+            if let Some(res) = dup_ticket.wait_timeout(poll) {
+                self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                if jigsaw_obs::enabled() {
+                    jigsaw_obs::global().counter("hedge.wins").inc();
+                }
+                self.observe(dup_shard, t0, &res);
+                return Ok(res);
+            }
+        }
+    }
+
+    /// Feeds one request outcome into the health scorer of the shard
+    /// that produced it, refreshes the fleet latency baseline, and (on
+    /// success) folds the latency into the hedge window.
+    fn observe(&self, shard: usize, t0: Instant, res: &Result<SpmmResponse, ServeError>) {
+        let now_ns = self.epoch.elapsed().as_nanos() as f64;
+        let latency = t0.elapsed().as_nanos() as f64;
+        {
+            let mut h = lock_recover(&self.health[shard]);
+            let before = h.ejections();
+            let changed = match res {
+                Ok(_) => h.on_success(now_ns, latency),
+                Err(_) => h.on_failure(now_ns),
+            };
+            if changed && jigsaw_obs::enabled() {
+                let name = if h.ejections() > before {
+                    "health.ejections"
+                } else {
+                    "health.readmissions"
+                };
+                jigsaw_obs::global().counter(name).inc();
+            }
+        }
+        if res.is_ok() {
+            lock_recover(&self.hedge).record(latency);
+        }
+        let ewmas: Vec<f64> = self
+            .health
+            .iter()
+            .map(|h| lock_recover(h).ewma_latency())
+            .collect();
+        let baseline = fleet_baseline(&ewmas);
+        for h in &self.health {
+            lock_recover(h).observe_baseline(baseline);
+        }
+    }
+
+    /// Picks the shard a hedged duplicate should land on: the
+    /// least-loaded live, non-ejected shard other than the primary,
+    /// preferring the model's replica set (warm plans) over the rest
+    /// of the fleet.
+    fn hedge_target(&self, model: &str, primary: usize) -> Option<usize> {
+        let now_ns = self.epoch.elapsed().as_nanos() as f64;
+        let pick = |set: &[usize]| {
+            let eligible: Vec<usize> = set
+                .iter()
+                .copied()
+                .filter(|&s| s != primary)
+                .filter(|&s| lock_recover_read(&self.lanes[s].server).is_some())
+                .filter(|&s| lock_recover(&self.health[s]).state(now_ns) != HealthState::Ejected)
+                .collect();
+            least_loaded(&eligible, |s| {
+                lock_recover_read(&self.lanes[s].server)
+                    .as_ref()
+                    .map_or(usize::MAX, |srv| srv.queue_depth())
+            })
+        };
+        pick(&self.replica_set(model))
+            .or_else(|| pick(&(0..self.config.shards).collect::<Vec<usize>>()))
+    }
+
     /// Snapshot of per-shard and router metrics.
     pub fn metrics(&self) -> RouterMetrics {
         let per_shard = self
@@ -336,6 +585,9 @@ impl ShardRouter {
             promotions: self.promotions.load(Ordering::Relaxed),
             demotions: self.demotions.load(Ordering::Relaxed),
             route_faults: self.route_faults.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            revived: self.revived.load(Ordering::Relaxed),
         }
     }
 
@@ -356,6 +608,9 @@ impl ShardRouter {
             promotions: self.promotions.load(Ordering::Relaxed),
             demotions: self.demotions.load(Ordering::Relaxed),
             route_faults: self.route_faults.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            revived: self.revived.load(Ordering::Relaxed),
         }
     }
 }
@@ -482,6 +737,41 @@ mod tests {
         t.wait().expect("replica serves");
         let metrics = router.shutdown();
         assert!(metrics.per_shard[home].conserves(), "dead shard drained");
+    }
+
+    #[test]
+    fn revive_restores_service_on_a_dead_shard() {
+        let (router, zoo) = router(2, ReplicationConfig::disabled());
+        let victim = &zoo[0];
+        let home = router.home_shard(&victim.name);
+        assert!(router.kill_shard(home).is_some());
+        assert!(!router.revive_shard(1 - home), "live shard is a no-op");
+        assert!(router.revive_shard(home), "revive restarts the stack");
+        assert!(!router.revive_shard(home), "idempotent");
+        router
+            .submit(
+                &victim.name,
+                dense_rhs(victim.k(), 2, ValueDist::SmallInt, 7),
+            )
+            .expect("revived shard admits")
+            .wait()
+            .expect("revived shard serves");
+        let metrics = router.shutdown();
+        assert_eq!(metrics.revived, 1);
+    }
+
+    #[test]
+    fn hedged_submit_serves_plain_when_hedging_is_disabled() {
+        let (router, zoo) = router(2, ReplicationConfig::disabled());
+        let m = &zoo[0];
+        let b = dense_rhs(m.k(), 2, ValueDist::SmallInt, 3);
+        let res = router
+            .submit_hedged(&m.name, b.clone(), None)
+            .expect("admitted")
+            .expect("served");
+        assert_eq!(res.c, m.weights().matmul_reference(&b), "result exact");
+        let metrics = router.shutdown();
+        assert_eq!(metrics.hedges, 0, "hedging is opt-in");
     }
 
     #[test]

@@ -18,11 +18,15 @@
 //! shapes into one `simulate` call, so driving a ~10⁶-user zipf
 //! population through hundreds of thousands of requests stays cheap.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use jigsaw_core::fault;
 
 use crate::breaker::{BreakerAdmit, BreakerState, CircuitBreaker};
 use crate::metrics::{Histogram, ServeMetrics};
 use crate::registry::ModelRegistry;
+use crate::shard::health::{fleet_baseline, HealthState, ShardHealth};
+use crate::shard::hedge::HedgePolicy;
 use crate::shard::replicate::{HotEvent, HotTracker};
 use crate::shard::ring::HashRing;
 use crate::shard::steal::{least_loaded, should_forward};
@@ -38,6 +42,29 @@ pub struct ShardSimConfig {
     pub shard: ShardConfig,
     /// Per-shard serving policy; every shard gets an identical device.
     pub sim: SimConfig,
+    /// Straggler injection: per-shard device-cycle cost multipliers
+    /// (shard → factor). Config-driven rather than wall-clock-driven —
+    /// `FaultKind::Latency` sleeps host time, which would break the
+    /// virtual clock — so straggler schedules replay bit-identically.
+    pub stragglers: BTreeMap<usize, f64>,
+}
+
+impl ShardSimConfig {
+    /// A sharded sim with no stragglers injected.
+    pub fn new(shard: ShardConfig, sim: SimConfig) -> ShardSimConfig {
+        ShardSimConfig {
+            shard,
+            sim,
+            stragglers: BTreeMap::new(),
+        }
+    }
+
+    /// Injects `shard` as a straggler: every batch it executes costs
+    /// `factor`× the modeled device cycles.
+    pub fn with_straggler(mut self, shard: usize, factor: f64) -> ShardSimConfig {
+        self.stragglers.insert(shard, factor.max(0.0));
+        self
+    }
 }
 
 /// Per-shard outcome of a sharded run.
@@ -73,6 +100,19 @@ pub struct ShardSimReport {
     pub promotions: u64,
     /// Demotions at window rolls.
     pub demotions: u64,
+    /// Hedged duplicates launched (each funded by one retry-budget
+    /// token).
+    pub hedges: u64,
+    /// Hedged requests whose duplicate completed before the primary.
+    pub hedge_wins: u64,
+    /// Hedged copies cancelled unexecuted at dispatch because the
+    /// other copy already resolved — cancellation costs zero cycles.
+    pub hedge_cancels: u64,
+    /// Hedged copies that executed after the other copy had already
+    /// resolved: the bounded waste the retry budget paid for.
+    pub hedge_wasted: u64,
+    /// Health-scorer ejection events across all shards.
+    pub health_ejections: u64,
     /// Finish time of the last batch anywhere, cycles.
     pub makespan_cycles: f64,
 }
@@ -91,6 +131,10 @@ impl ShardSimReport {
 #[derive(Clone, Copy)]
 struct Queued<'a> {
     req: &'a SimRequest,
+    /// `true` for a hedged duplicate: it never carries ledger counts
+    /// (submitted/completed accounting stays with the request id, not
+    /// the copy) and is dropped at dispatch if the id already resolved.
+    dup: bool,
 }
 
 /// One shard's mutable state.
@@ -216,6 +260,28 @@ pub fn simulate_sharded(
     let mut now = 0.0f64;
     let mut makespan = 0.0f64;
 
+    // Tail-tolerance state (DESIGN.md §17). All of it is inert when the
+    // health/hedge policies are disabled, so default topologies stay
+    // bit-identical to the pre-§17 simulator.
+    let mut health: Vec<ShardHealth> = (0..n_shards)
+        .map(|_| ShardHealth::new(cfg.shard.health))
+        .collect();
+    let mut hedge = HedgePolicy::new(cfg.shard.hedge);
+    // Ids whose hedge decision is spent (launched, suppressed for lack
+    // of budget, or no eligible target) — each id is decided once.
+    let mut hedged: BTreeSet<usize> = BTreeSet::new();
+    // Hedged ids whose ledger event (complete/fail/shed) has fired; the
+    // surviving copy of a resolved id is dropped unexecuted at dispatch.
+    let mut resolved: BTreeSet<usize> = BTreeSet::new();
+    // Which shard's ledger currently holds each hedged id's `submitted`
+    // count (maintained through steals).
+    let mut origin: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut hedges = 0u64;
+    let mut hedge_wins = 0u64;
+    let mut hedge_cancels = 0u64;
+    let mut hedge_wasted = 0u64;
+    let mut health_ejections = 0u64;
+
     loop {
         // --- Admit + route every arrival at or before `now`. ---
         while next_arrival < order.len() && order[next_arrival].arrival_cycle <= now {
@@ -235,13 +301,33 @@ pub fn simulate_sharded(
             } else {
                 vec![ring.shard_for(&req.model)]
             };
+            // Health-aware steering: drop ejected shards from the
+            // candidate set. If every replica is ejected, fail over to
+            // any healthy shard (the registry is shared, so capability
+            // is fleet-wide); if the whole fleet is ejected, ignore
+            // health rather than strand the arrival.
+            let mut candidates: Vec<usize> = replicas
+                .iter()
+                .copied()
+                .filter(|&s| health[s].state(now) != HealthState::Ejected)
+                .collect();
+            if candidates.is_empty() {
+                candidates = (0..n_shards)
+                    .filter(|&s| health[s].state(now) != HealthState::Ejected)
+                    .collect();
+                if candidates.is_empty() {
+                    candidates = replicas.clone();
+                } else if jigsaw_obs::enabled() {
+                    jigsaw_obs::global().counter("health.reroutes").inc();
+                }
+            }
             let cursor = cursors.entry(req.model.clone()).or_insert(0);
             *cursor = cursor.wrapping_add(1);
-            let mut target = replicas[*cursor % replicas.len()];
+            let mut target = candidates[*cursor % candidates.len()];
             // Sender-initiated forwarding off an over-threshold target.
-            if cfg.shard.steal.enabled && replicas.len() > 1 {
+            if cfg.shard.steal.enabled && candidates.len() > 1 {
                 let target_depth = shards[target].depth();
-                if let Some(best) = least_loaded(&replicas, |s| shards[s].depth()) {
+                if let Some(best) = least_loaded(&candidates, |s| shards[s].depth()) {
                     if best != target
                         && should_forward(&cfg.shard.steal, target_depth, shards[best].depth())
                     {
@@ -254,6 +340,9 @@ pub fn simulate_sharded(
                     }
                 }
             }
+            // Routing one arrival to a probing shard consumes its probe
+            // slot: followers see it ejected until the probe reports.
+            health[target].admit(now);
             let lane = &mut shards[target];
             if let Some(br) = lane.breakers.get_mut(&req.model) {
                 if let BreakerAdmit::Reject { .. } = br.admit(now) {
@@ -268,8 +357,9 @@ pub fn simulate_sharded(
             lane.queues
                 .entry(req.model.clone())
                 .or_default()
-                .push_back(Queued { req });
+                .push_back(Queued { req, dup: false });
             lane.metrics.submitted += 1;
+            hedge.on_primary();
             let depth = lane.depth();
             lane.metrics.peak_queue_depth = lane.metrics.peak_queue_depth.max(depth);
         }
@@ -317,10 +407,18 @@ pub fn simulate_sharded(
                         .add(take as u64);
                 }
                 // Stolen work changes accounting shard: admit on the
-                // thief, un-admit on the victim.
-                shards[victim].metrics.submitted -= take as u64;
+                // thief, un-admit on the victim. Hedged duplicates
+                // carry no ledger counts, so only primaries transfer;
+                // a moved hedged primary re-homes its ledger too.
+                let ledgered = moved.iter().filter(|qd| !qd.dup).count() as u64;
+                for qd in moved.iter().filter(|qd| !qd.dup) {
+                    if hedged.contains(&qd.req.id) {
+                        origin.insert(qd.req.id, thief);
+                    }
+                }
+                shards[victim].metrics.submitted -= ledgered;
                 let thief_lane = &mut shards[thief];
-                thief_lane.metrics.submitted += take as u64;
+                thief_lane.metrics.submitted += ledgered;
                 let tq = thief_lane.queues.entry(model).or_default();
                 // Preserve arrival order on the thief.
                 for qd in moved.into_iter().rev() {
@@ -329,6 +427,74 @@ pub fn simulate_sharded(
                 let depth = thief_lane.depth();
                 thief_lane.metrics.peak_queue_depth =
                     thief_lane.metrics.peak_queue_depth.max(depth);
+            }
+        }
+
+        // --- Launch due hedges: a primary that has waited past the
+        // p95-derived delay gets a duplicate on another healthy shard,
+        // funded by one retry-budget token. The duplicate carries the
+        // request itself — original arrival, original deadline — so
+        // deadline checks anchor at the original submission, never a
+        // fresh window. One decision per id; denial (no budget, no
+        // target) is final so the scan always makes progress. ---
+        let hedge_delay = hedge.hedge_delay();
+        if let Some(delay) = hedge_delay {
+            loop {
+                let mut due: Option<(usize, String, &SimRequest)> = None;
+                'scan: for (s, lane) in shards.iter().enumerate() {
+                    for (model, q) in &lane.queues {
+                        for qd in q {
+                            if qd.dup
+                                || hedged.contains(&qd.req.id)
+                                || now - qd.req.arrival_cycle < delay
+                            {
+                                continue;
+                            }
+                            due = Some((s, model.clone(), qd.req));
+                            break 'scan;
+                        }
+                    }
+                }
+                let Some((s, model, req)) = due else { break };
+                hedged.insert(req.id);
+                // Target: a healthy shard other than the primary's,
+                // preferring the model's replica set (warm residency).
+                let replica_pool = if hot.is_hot(&model) {
+                    ring.replica_set(&model, cfg.shard.replication.replicas)
+                } else {
+                    Vec::new()
+                };
+                let mut eligible = |pool: &[usize]| -> Vec<usize> {
+                    pool.iter()
+                        .copied()
+                        .filter(|&t| t != s && health[t].state(now) != HealthState::Ejected)
+                        .collect()
+                };
+                let mut pool = eligible(&replica_pool);
+                if pool.is_empty() {
+                    pool = eligible(&(0..n_shards).collect::<Vec<usize>>());
+                }
+                let Some(target) = least_loaded(&pool, |t| shards[t].depth()) else {
+                    continue;
+                };
+                if !hedge.try_hedge() {
+                    if jigsaw_obs::enabled() {
+                        jigsaw_obs::global().counter("hedge.suppressed").inc();
+                    }
+                    continue;
+                }
+                origin.insert(req.id, s);
+                hedges += 1;
+                if jigsaw_obs::enabled() {
+                    jigsaw_obs::global().counter("hedge.launched").inc();
+                }
+                let lane = &mut shards[target];
+                lane.queues
+                    .entry(model)
+                    .or_default()
+                    .push_back(Queued { req, dup: true });
+                let depth = lane.depth();
+                lane.metrics.peak_queue_depth = lane.metrics.peak_queue_depth.max(depth);
             }
         }
 
@@ -345,6 +511,18 @@ pub fn simulate_sharded(
                     .expect("finite dispatch times")
                     .then(a.1.cmp(&b.1))
             });
+        // The earliest future instant a queued primary crosses the
+        // hedge delay — hedge launches are events too, or a straggler's
+        // victim would wait for the next dispatch to get its duplicate.
+        let next_hedge_at: Option<f64> = hedge_delay.and_then(|delay| {
+            shards
+                .iter()
+                .flat_map(|lane| lane.queues.values().flatten())
+                .filter(|qd| !qd.dup && !hedged.contains(&qd.req.id))
+                .map(|qd| qd.req.arrival_cycle + delay)
+                .filter(|&t| t > now)
+                .min_by(|a, b| a.partial_cmp(b).expect("finite hedge times"))
+        });
 
         let Some((dispatch_at, s, model)) = next_dispatch else {
             // Nothing queued anywhere: jump to the next arrival or end.
@@ -356,44 +534,81 @@ pub fn simulate_sharded(
                 None => break,
             }
         };
-        // An arrival before the dispatch instant may join a batch or
-        // change routing — advance to it and re-decide.
+        // An arrival or a hedge instant before the dispatch may join a
+        // batch or change routing — advance to it and re-decide.
         if let Some(next) = order.get(next_arrival) {
             if next.arrival_cycle <= dispatch_at {
-                now = next.arrival_cycle;
+                let t = next.arrival_cycle;
+                now = next_hedge_at.filter(|&h| h < t).unwrap_or(t);
+                continue;
+            }
+        }
+        if let Some(h) = next_hedge_at {
+            if h < dispatch_at {
+                now = h;
                 continue;
             }
         }
 
         // --- Execute the dispatch on shard `s` (same batch semantics
-        // as the single-shard simulator). ---
-        let lane = &mut shards[s];
-        let q = lane.queues.get_mut(&model).expect("decided above");
-        let mut members: Vec<&SimRequest> = Vec::new();
+        // as the single-shard simulator, plus §17 cancellation: a copy
+        // whose request id already resolved elsewhere pops for free).
+        // ---
+        let mut members: Vec<Queued<'_>> = Vec::new();
         let mut total_n = 0usize;
-        let mut shed: Vec<&SimRequest> = Vec::new();
-        while let Some(front) = q.front() {
-            let expired = front
-                .req
-                .deadline_cycles
-                .is_some_and(|d| dispatch_at > front.req.arrival_cycle + d);
-            if expired {
-                shed.push(q.pop_front().expect("front exists").req);
-                continue;
+        let mut shed_plain = 0u64;
+        let mut shed_hedged: Vec<usize> = Vec::new();
+        {
+            let lane = &mut shards[s];
+            let q = lane.queues.get_mut(&model).expect("decided above");
+            while let Some(front) = q.front().copied() {
+                let id = front.req.id;
+                if resolved.contains(&id) {
+                    // First-completion-wins: the other copy already
+                    // resolved, so this one cancels unexecuted.
+                    q.pop_front();
+                    hedge_cancels += 1;
+                    if jigsaw_obs::enabled() {
+                        jigsaw_obs::global().counter("hedge.cancels").inc();
+                    }
+                    continue;
+                }
+                let expired = front
+                    .req
+                    .deadline_cycles
+                    .is_some_and(|d| dispatch_at > front.req.arrival_cycle + d);
+                if expired {
+                    q.pop_front();
+                    if origin.contains_key(&id) {
+                        resolved.insert(id);
+                        shed_hedged.push(id);
+                    } else {
+                        shed_plain += 1;
+                    }
+                    continue;
+                }
+                if members.len() + 1 > cfg.sim.max_batch_requests
+                    || (!members.is_empty() && total_n + front.req.n > cfg.sim.max_batch_n)
+                {
+                    break;
+                }
+                total_n += front.req.n;
+                members.push(q.pop_front().expect("front exists"));
             }
-            if members.len() + 1 > cfg.sim.max_batch_requests
-                || (!members.is_empty() && total_n + front.req.n > cfg.sim.max_batch_n)
-            {
-                break;
+            if q.is_empty() {
+                lane.queues.remove(&model);
             }
-            total_n += front.req.n;
-            members.push(q.pop_front().expect("front exists").req);
+            lane.metrics.shed_expired += shed_plain;
         }
-        if q.is_empty() {
-            lane.queues.remove(&model);
-        }
-        for _req in &shed {
-            lane.metrics.shed_expired += 1;
+        // A shed hedged copy resolves its id; the ledger (submitted)
+        // follows it to the shedding shard if it was counted elsewhere.
+        for id in shed_hedged {
+            let o = origin[&id];
+            if o != s {
+                shards[o].metrics.submitted -= 1;
+                shards[s].metrics.submitted += 1;
+            }
+            shards[s].metrics.shed_expired += 1;
         }
         if members.is_empty() {
             now = dispatch_at;
@@ -415,31 +630,123 @@ pub fn simulate_sharded(
                 Some(planned.simulate(total_n, &cfg.sim.spec).duration_cycles)
             })
             .to_owned();
-        let Some(batch_cycles) = batch_cycles else {
-            lane.metrics.failed += members.len() as u64;
-            lane.breakers
+        let Some(mut batch_cycles) = batch_cycles else {
+            // The batch failed before touching the device: resolved
+            // copies cancel silently, live ones fail (once per id).
+            for qd in &members {
+                let id = qd.req.id;
+                if origin.contains_key(&id) {
+                    if resolved.contains(&id) {
+                        hedge_cancels += 1;
+                        continue;
+                    }
+                    resolved.insert(id);
+                    let o = origin[&id];
+                    if o != s {
+                        shards[o].metrics.submitted -= 1;
+                        shards[s].metrics.submitted += 1;
+                    }
+                }
+                shards[s].metrics.failed += 1;
+            }
+            shards[s]
+                .breakers
                 .entry(model.clone())
                 .or_insert_with(|| CircuitBreaker::new(cfg.sim.breaker))
                 .on_failure(dispatch_at);
+            let before = health[s].ejections();
+            if health[s].on_failure(dispatch_at) {
+                if health[s].ejections() > before {
+                    health_ejections += 1;
+                    if jigsaw_obs::enabled() {
+                        jigsaw_obs::global().counter("health.ejections").inc();
+                    }
+                } else if jigsaw_obs::enabled() {
+                    jigsaw_obs::global().counter("health.readmissions").inc();
+                }
+            }
             now = dispatch_at;
             makespan = makespan.max(dispatch_at);
             continue;
         };
-        let finish = dispatch_at + batch_cycles;
-        lane.free_at = finish;
-        lane.busy_cycles += batch_cycles;
-        makespan = makespan.max(finish);
-        lane.metrics.batches += 1;
-        lane.metrics.batch_requests_total += members.len() as u64;
-        lane.metrics.batch_n_total += total_n as u64;
-        lane.metrics.device_cycles += batch_cycles;
-        for req in &members {
-            lane.metrics.completed += 1;
-            let l = finish - req.arrival_cycle;
-            lane.metrics.latency_cycles.record(l);
-            latency.record(l);
+        // Straggler injection: a configured per-shard cost multiplier,
+        // plus any `shard.slow` fault (deterministic — the sim is
+        // single-threaded, so the point's hit counter replays; the
+        // fault's nanoseconds are read as cycles on the virtual clock).
+        if let Some(factor) = cfg.stragglers.get(&s) {
+            batch_cycles *= factor;
         }
-        if let Some(br) = lane.breakers.get_mut(&model) {
+        if fault::armed() {
+            if let Some(fired) = fault::fire(fault::points::SHARD_SLOW) {
+                if let fault::FaultKind::Latency { ns } = fired.kind {
+                    batch_cycles += ns as f64;
+                }
+            }
+        }
+        let finish = dispatch_at + batch_cycles;
+        makespan = makespan.max(finish);
+        {
+            let lane = &mut shards[s];
+            lane.free_at = finish;
+            lane.busy_cycles += batch_cycles;
+            lane.metrics.batches += 1;
+            lane.metrics.batch_requests_total += members.len() as u64;
+            lane.metrics.batch_n_total += total_n as u64;
+            lane.metrics.device_cycles += batch_cycles;
+        }
+        for qd in &members {
+            let id = qd.req.id;
+            if origin.contains_key(&id) {
+                if resolved.contains(&id) {
+                    // Both copies ran: this one's cycles are the waste
+                    // the retry budget bounded.
+                    hedge_wasted += 1;
+                    if jigsaw_obs::enabled() {
+                        jigsaw_obs::global().counter("hedge.wasted").inc();
+                    }
+                    continue;
+                }
+                resolved.insert(id);
+                if qd.dup {
+                    hedge_wins += 1;
+                    if jigsaw_obs::enabled() {
+                        jigsaw_obs::global().counter("hedge.wins").inc();
+                    }
+                }
+                let o = origin[&id];
+                if o != s {
+                    shards[o].metrics.submitted -= 1;
+                    shards[s].metrics.submitted += 1;
+                }
+            }
+            let l = finish - qd.req.arrival_cycle;
+            shards[s].metrics.completed += 1;
+            shards[s].metrics.latency_cycles.record(l);
+            latency.record(l);
+            hedge.record(l);
+            let before = health[s].ejections();
+            if health[s].on_success(finish, l) {
+                if health[s].ejections() > before {
+                    health_ejections += 1;
+                    if jigsaw_obs::enabled() {
+                        jigsaw_obs::global().counter("health.ejections").inc();
+                    }
+                } else if jigsaw_obs::enabled() {
+                    jigsaw_obs::global().counter("health.readmissions").inc();
+                }
+            }
+        }
+        // Refresh the fleet baseline the scorers compare against: the
+        // median of per-shard EWMA latencies, so one straggler can't
+        // drag the baseline up and mask itself.
+        if cfg.shard.health.enabled {
+            let ewmas: Vec<f64> = health.iter().map(|h| h.ewma_latency()).collect();
+            let baseline = fleet_baseline(&ewmas);
+            for h in health.iter_mut() {
+                h.observe_baseline(baseline);
+            }
+        }
+        if let Some(br) = shards[s].breakers.get_mut(&model) {
             br.on_success();
         }
         now = dispatch_at;
@@ -487,6 +794,11 @@ pub fn simulate_sharded(
         stolen,
         promotions,
         demotions,
+        hedges,
+        hedge_wins,
+        hedge_cancels,
+        hedge_wasted,
+        health_ejections,
         makespan_cycles: makespan,
     }
 }
@@ -517,12 +829,12 @@ mod tests {
     }
 
     fn sharded_cfg(shards: usize) -> ShardSimConfig {
-        ShardSimConfig {
-            shard: ShardConfig::new(shards)
+        ShardSimConfig::new(
+            ShardConfig::new(shards)
                 .with_replication(ReplicationConfig::cycles(32, 2, 500_000.0))
                 .with_steal(StealConfig::threshold(8)),
-            sim: SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
-        }
+            SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
+        )
     }
 
     fn zipf(requests: usize, seed: u64, zoo: &[crate::zoo::ZooModel]) -> Vec<SimRequest> {
@@ -593,10 +905,10 @@ mod tests {
     fn one_shard_matches_single_shard_simulator_totals() {
         let (reg, zoo) = warm_registry(4);
         let schedule = zipf(400, 23, &zoo);
-        let cfg = ShardSimConfig {
-            shard: ShardConfig::new(1),
-            sim: SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
-        };
+        let cfg = ShardSimConfig::new(
+            ShardConfig::new(1),
+            SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
+        );
         let sharded = simulate_sharded(&reg, &schedule, &cfg);
         let single = simulate_schedule(&reg, &schedule, &cfg.sim);
         assert_eq!(sharded.totals.completed, single.metrics.completed);
@@ -656,6 +968,180 @@ mod tests {
     }
 
     #[test]
+    fn hedging_and_health_bound_p99_under_a_straggler() {
+        // The §17 acceptance scenario: identical offered load, one
+        // shard degraded to a 10× straggler. With health ejection +
+        // hedging on, the fleet's p99 must stay within half of the
+        // unprotected run's, and the protection must not blow the
+        // retry budget's work-amplification bound.
+        let (reg, zoo) = warm_registry(8);
+        let schedule = zipf(1200, 47, &zoo);
+        let cfg = |tail: bool| {
+            let mut shard = ShardConfig::new(4)
+                .with_replication(ReplicationConfig::cycles(32, 2, 500_000.0))
+                .with_steal(StealConfig::threshold(8));
+            if tail {
+                shard = shard
+                    .with_health(crate::shard::HealthConfig::cycles())
+                    .with_hedge(crate::shard::HedgeConfig::cycles());
+            }
+            ShardSimConfig::new(shard, SimConfig::batched(GpuSpec::a100(), 128, 20_000.0))
+                .with_straggler(0, 10.0)
+        };
+        let unprotected = simulate_sharded(&reg, &schedule, &cfg(false));
+        let protected = simulate_sharded(&reg, &schedule, &cfg(true));
+        let conserves = |r: &ShardSimReport| {
+            r.totals.completed + r.totals.failed + r.totals.shed_expired == r.totals.submitted
+        };
+        assert!(conserves(&unprotected) && conserves(&protected));
+        assert!(
+            protected.hedges > 0 || protected.health_ejections > 0,
+            "tail tolerance engaged (hedges {} ejections {})",
+            protected.hedges,
+            protected.health_ejections
+        );
+        let (up99, pp99) = (
+            unprotected.latency_cycles.percentile(99.0),
+            protected.latency_cycles.percentile(99.0),
+        );
+        assert!(
+            pp99 <= 0.5 * up99,
+            "hedged p99 {pp99} vs unhedged p99 {up99}: not within 0.5×"
+        );
+        // Executed work: hedging may only add the budget fraction (10%)
+        // on top of the unprotected run — and steering work off the 10×
+        // shard usually lands it well below even that.
+        let work = |r: &ShardSimReport| r.lanes.iter().map(|l| l.busy_cycles).sum::<f64>();
+        assert!(
+            work(&protected) <= 1.1 * work(&unprotected),
+            "work amplification {} vs budget bound 1.1",
+            work(&protected) / work(&unprotected)
+        );
+    }
+
+    #[test]
+    fn tail_tolerant_run_is_bit_deterministic() {
+        let (reg, zoo) = warm_registry(8);
+        let schedule = zipf(800, 53, &zoo);
+        let cfg = ShardSimConfig::new(
+            ShardConfig::new(4)
+                .with_replication(ReplicationConfig::cycles(32, 2, 500_000.0))
+                .with_steal(StealConfig::threshold(8))
+                .with_health(crate::shard::HealthConfig::cycles())
+                .with_hedge(crate::shard::HedgeConfig::cycles()),
+            SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
+        )
+        .with_straggler(1, 10.0);
+        let a = simulate_sharded(&reg, &schedule, &cfg);
+        let b = simulate_sharded(&reg, &schedule, &cfg);
+        assert_eq!(a.makespan_cycles.to_bits(), b.makespan_cycles.to_bits());
+        assert_eq!(
+            a.latency_cycles.percentile(99.0).to_bits(),
+            b.latency_cycles.percentile(99.0).to_bits()
+        );
+        assert_eq!(a.hedges, b.hedges);
+        assert_eq!(a.hedge_wins, b.hedge_wins);
+        assert_eq!(a.hedge_cancels, b.hedge_cancels);
+        assert_eq!(a.health_ejections, b.health_ejections);
+    }
+
+    #[test]
+    fn hedged_duplicates_carry_the_original_deadline() {
+        // Deadline propagation (§17): the hedged duplicate inherits the
+        // original submitter's deadline, never a fresh window. (A
+        // forwarded or stolen request moves the queued entry itself —
+        // same `req`, original arrival, original deadline — so the only
+        // place a fresh window could sneak in is the duplicate, which
+        // is created later.) Construction: shard 0's device is pinned
+        // by a huge straggler batch, a deadlined probe queues behind
+        // it, and the hedge-delay floor exceeds the probe's deadline —
+        // so the duplicate is born on the healthy shard already past
+        // the ORIGINAL deadline. Propagation ⇒ the duplicate sheds and
+        // the request never completes; a fresh window would have served
+        // it.
+        let (reg, zoo) = warm_registry(8);
+        let ring = HashRing::new(2, 64);
+        let mut on0 = zoo.iter().filter(|m| ring.shard_for(&m.name) == 0);
+        let blocker = on0.next().expect("a model homed on shard 0").name.clone();
+        let probed = on0
+            .next()
+            .expect("two models homed on shard 0")
+            .name
+            .clone();
+        let warm = zoo
+            .iter()
+            .find(|m| ring.shard_for(&m.name) == 1)
+            .expect("a model homed on shard 1")
+            .name
+            .clone();
+
+        let mut schedule: Vec<SimRequest> = Vec::new();
+        // Pins shard 0's device for ~10_000× one batch's cycles.
+        schedule.push(SimRequest {
+            id: 1,
+            model: blocker,
+            arrival_cycle: 0.0,
+            n: 8,
+            deadline_cycles: None,
+        });
+        // Warm traffic on shard 1 arms the hedge latency window. 24
+        // fast samples alongside the blocker's one enormous latency
+        // keep the nearest-rank p95 at a fast sample, so the delay
+        // stays at the 60k floor rather than the blocker's millions.
+        for i in 0..24 {
+            schedule.push(SimRequest {
+                id: 10 + i,
+                model: warm.clone(),
+                arrival_cycle: 50.0 * i as f64,
+                n: 8,
+                deadline_cycles: None,
+            });
+        }
+        // The probe: its 40k-cycle deadline expires before the 60k
+        // hedge-delay floor can fire.
+        schedule.push(SimRequest {
+            id: 99,
+            model: probed,
+            arrival_cycle: 400_000.0,
+            n: 8,
+            deadline_cycles: Some(40_000.0),
+        });
+
+        let hedge = crate::shard::HedgeConfig {
+            enabled: true,
+            percentile: 0.95,
+            min_delay: 60_000.0,
+            budget_fraction: 1.0,
+            burst: 8.0,
+            min_samples: 4,
+        };
+        let cfg = ShardSimConfig::new(
+            ShardConfig::new(2).with_hedge(hedge),
+            SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
+        )
+        .with_straggler(0, 10_000.0);
+        let report = simulate_sharded(&reg, &schedule, &cfg);
+        assert_eq!(
+            report.totals.completed + report.totals.failed + report.totals.shed_expired,
+            report.totals.submitted
+        );
+        assert_eq!(report.hedges, 1, "the stuck probe hedged exactly once");
+        assert_eq!(
+            report.totals.shed_expired, 1,
+            "the duplicate shed against the original deadline"
+        );
+        assert_eq!(
+            report.totals.completed,
+            schedule.len() as u64 - 1,
+            "everything but the expired probe served"
+        );
+        assert!(
+            report.hedge_cancels >= 1,
+            "the stuck primary cancelled unexecuted once the id resolved"
+        );
+    }
+
+    #[test]
     fn unknown_model_fails_inside_its_shard_only() {
         let (reg, zoo) = warm_registry(4);
         let mut schedule = zipf(200, 41, &zoo);
@@ -671,10 +1157,10 @@ mod tests {
         }
         // No replication: a failing model must stay pinned to its home
         // shard for the isolation assertion to be meaningful.
-        let cfg = ShardSimConfig {
-            shard: ShardConfig::new(2),
-            sim: SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
-        };
+        let cfg = ShardSimConfig::new(
+            ShardConfig::new(2),
+            SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
+        );
         let report = simulate_sharded(&reg, &schedule, &cfg);
         assert!(report.totals.failed > 0, "ghost batches failed typed");
         assert!(report.totals.completed > 0, "real traffic kept serving");

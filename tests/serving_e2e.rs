@@ -241,11 +241,13 @@ fn sharded_zipf_serving_is_deterministic_and_scales() {
     }
     let schedule: Vec<SimRequest> = a.into_iter().map(|z| z.req).collect();
 
-    let cfg = |shards: usize| ShardSimConfig {
-        shard: ShardConfig::new(shards)
-            .with_replication(ReplicationConfig::cycles(32, 2, 1_000_000.0))
-            .with_steal(StealConfig::threshold(8)),
-        sim: SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
+    let cfg = |shards: usize| {
+        ShardSimConfig::new(
+            ShardConfig::new(shards)
+                .with_replication(ReplicationConfig::cycles(32, 2, 1_000_000.0))
+                .with_steal(StealConfig::threshold(8)),
+            SimConfig::batched(GpuSpec::a100(), 128, 20_000.0),
+        )
     };
     // Same seed + shard count ⇒ identical sim percentiles, bit for bit.
     let one = simulate_sharded(&registry, &schedule, &cfg(1));
