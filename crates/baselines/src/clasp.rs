@@ -207,12 +207,14 @@ impl Clasp {
             let block = std::sync::Arc::new(BlockTrace {
                 warps,
                 smem_bytes: 12 * 1024,
+                gmem: Vec::new(),
             });
             blocks.extend(std::iter::repeat_n(block, n_blocks));
         }
         KernelLaunch {
             blocks,
             dram_bytes: (self.stored_bytes() + self.a_cols * n * 2 + self.a_rows * n * 2) as u64,
+            block_bias: Vec::new(),
         }
     }
 }

@@ -193,6 +193,7 @@ impl CublasGemm {
         let block = BlockTrace {
             warps: vec![trace; tile.warps],
             smem_bytes: smem,
+            gmem: Vec::new(),
         };
         KernelLaunch::replicated(block, grid, (m * k * 2 + k * n * 2 + m * n * 2) as u64)
     }

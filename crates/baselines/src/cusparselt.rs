@@ -183,6 +183,7 @@ impl CuSparseLt {
             BlockTrace {
                 warps: vec![trace; warps],
                 smem_bytes: smem,
+                gmem: Vec::new(),
             },
             grid,
             (m * k / 2 * 2 + m * k / 8 + k * n * 2 + m * n * 2) as u64,

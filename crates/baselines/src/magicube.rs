@@ -137,6 +137,7 @@ impl Magicube {
             let block = std::sync::Arc::new(BlockTrace {
                 warps: vec![trace; 4],
                 smem_bytes: 16 * 1024,
+                gmem: Vec::new(),
             });
             blocks.extend(std::iter::repeat_n(block, n_blocks));
         }
@@ -144,6 +145,7 @@ impl Magicube {
         KernelLaunch {
             blocks,
             dram_bytes: (stored + self.a.cols * n * 2 + self.a.rows * n * 2) as u64,
+            block_bias: Vec::new(),
         }
     }
 }

@@ -114,6 +114,7 @@ impl Sputnik {
             blocks,
             dram_bytes: (self.csr.stored_bytes() + self.csr.cols * n * 2 + self.csr.rows * n * 2)
                 as u64,
+            block_bias: Vec::new(),
         }
     }
 
@@ -202,6 +203,7 @@ impl Sputnik {
         BlockTrace {
             warps,
             smem_bytes: 8 * 1024,
+            gmem: Vec::new(),
         }
     }
 }

@@ -149,6 +149,7 @@ impl Venom {
         let block = BlockTrace {
             warps: vec![trace; 4],
             smem_bytes: 26 * 1024,
+            gmem: Vec::new(),
         };
         let stored = self.a.nnz() * 2 + (m / self.v).max(1) * (k / self.m_blk) * 4;
         KernelLaunch::replicated(

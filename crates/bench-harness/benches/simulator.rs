@@ -48,6 +48,7 @@ fn pipeline_block() -> BlockTrace {
     BlockTrace {
         warps,
         smem_bytes: 28 * 1024,
+        gmem: Vec::new(),
     }
 }
 

@@ -3,12 +3,11 @@
 
 use bench_harness::experiments::{fig1, fig10, fig11, fig12, overhead, table2, table3};
 use bench_harness::report::experiments_markdown;
-use bench_harness::runner::write_json;
+use bench_harness::runner::{sim_spec, write_json};
 use bench_harness::suite;
-use gpu_sim::GpuSpec;
 
 fn main() {
-    let spec = GpuSpec::a100();
+    let spec = sim_spec();
     let suite_label = if suite::full_suite() { "full" } else { "quick" };
 
     eprintln!("[1/7] Figure 1 (native 2:4 support)...");

@@ -1,0 +1,38 @@
+//! Regenerates the cache-hierarchy ablation (DESIGN.md §18).
+//!
+//! * default: full sweep, writes `results/BENCH_cache_ablation.json`.
+//! * `--smoke`: runs the tiny sweep twice in-process, asserts the two
+//!   runs serialize bit-identically, and schema-checks the document
+//!   without touching `results/` — the CI determinism gate.
+use bench_harness::experiments::cache_ablation;
+use bench_harness::obs_export::{bench_doc, check_bench_text, write_bench_json};
+use bench_harness::runner::write_json;
+
+fn main() {
+    jigsaw_obs::set_enabled(true);
+    if std::env::args().any(|a| a == "--smoke") {
+        let first = cache_ablation::run_smoke();
+        let second = cache_ablation::run_smoke();
+        let (a, b) = (
+            serde_json::to_string(&first).expect("serialize"),
+            serde_json::to_string(&second).expect("serialize"),
+        );
+        assert_eq!(a, b, "smoke sweep must be bit-identical across runs");
+        let doc = bench_doc("cache_ablation", &first).to_string();
+        match check_bench_text(&doc) {
+            Ok(exp) => println!("smoke OK: deterministic, schema {exp} valid"),
+            Err(e) => {
+                eprintln!("smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let result = cache_ablation::run();
+    println!("{}", result.to_text());
+    write_json("cache_ablation", &result);
+    match write_bench_json("cache_ablation", &result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("BENCH export failed: {e}"),
+    }
+}

@@ -1,13 +1,12 @@
 //! Regenerates paper Figure 10 (speedup vs N series).
 use bench_harness::experiments::{fig10, table2};
 use bench_harness::obs_export::write_bench_json;
-use bench_harness::runner::write_json;
-use gpu_sim::GpuSpec;
+use bench_harness::runner::{sim_spec, write_json};
 
 fn main() {
     // Record plan/simulator counters and traces for the BENCH export.
     jigsaw_obs::set_enabled(true);
-    let t2 = table2::run(&GpuSpec::a100());
+    let t2 = table2::run(&sim_spec());
     let result = fig10::run(&t2.comparisons);
     println!("{}", result.to_text());
     write_json("fig10", &result);

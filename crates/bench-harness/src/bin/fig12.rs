@@ -1,13 +1,12 @@
 //! Regenerates paper Figure 12 (kernel-version ablation).
 use bench_harness::experiments::fig12;
 use bench_harness::obs_export::write_bench_json;
-use bench_harness::runner::write_json;
-use gpu_sim::GpuSpec;
+use bench_harness::runner::{sim_spec, write_json};
 
 fn main() {
     // Record plan/simulator counters and traces for the BENCH export.
     jigsaw_obs::set_enabled(true);
-    let result = fig12::run(&GpuSpec::a100());
+    let result = fig12::run(&sim_spec());
     println!("{}", result.to_text());
     write_json("fig12", &result);
     match write_bench_json("fig12", &result) {

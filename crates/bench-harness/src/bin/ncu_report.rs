@@ -2,12 +2,13 @@
 //! a quick look at what the simulator measures.
 
 use baselines::{CublasGemm, SpmmKernel};
+use bench_harness::runner::sim_spec;
 use dlmc::{ValueDist, VectorSparseSpec};
-use gpu_sim::{ncu_style_report, GpuSpec};
+use gpu_sim::ncu_style_report;
 use jigsaw_core::JigsawSpmm;
 
 fn main() {
-    let spec = GpuSpec::a100();
+    let spec = sim_spec();
     let a = VectorSparseSpec {
         rows: 1024,
         cols: 1024,

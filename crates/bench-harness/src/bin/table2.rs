@@ -1,13 +1,12 @@
 //! Regenerates paper Table 2.
 use bench_harness::experiments::table2;
 use bench_harness::obs_export::write_bench_json;
-use bench_harness::runner::write_json;
-use gpu_sim::GpuSpec;
+use bench_harness::runner::{sim_spec, write_json};
 
 fn main() {
     // Record plan/simulator counters and traces for the BENCH export.
     jigsaw_obs::set_enabled(true);
-    let result = table2::run(&GpuSpec::a100());
+    let result = table2::run(&sim_spec());
     println!("{}", result.to_text());
     write_json("table2", &result);
     match write_bench_json("table2", &result) {

@@ -1,10 +1,9 @@
 //! Regenerates paper Table 3 (VENOM / cuSparseLt comparison).
 use bench_harness::experiments::table3;
-use bench_harness::runner::write_json;
-use gpu_sim::GpuSpec;
+use bench_harness::runner::{sim_spec, write_json};
 
 fn main() {
-    let result = table3::run(&GpuSpec::a100());
+    let result = table3::run(&sim_spec());
     println!("{}", result.to_text());
     write_json("table3", &result);
 }

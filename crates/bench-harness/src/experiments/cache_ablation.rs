@@ -1,0 +1,197 @@
+//! Cache-on/off ablation: the same Jigsaw plans simulated with the
+//! DRAM-roofline-only device model (`GpuSpec::a100()`) and with the
+//! sectored L1/L2 hierarchy (`GpuSpec::a100_with_caches()`,
+//! DESIGN.md §18), across kernel versions and output widths.
+//!
+//! The cache-off rows double as a replay fixture: the cache model is
+//! off by default, so a later checkout must reproduce their
+//! `duration_cycles` bit-identically (see
+//! `crates/bench-harness/tests/cache_ablation_replay.rs`).
+
+use gpu_sim::GpuSpec;
+use jigsaw_core::{JigsawConfig, JigsawSpmm};
+use serde::{Deserialize, Serialize};
+
+use crate::runner::render_table;
+
+/// One (strategy, N, cache mode) measurement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Kernel version label (`v0` / `v2` / `v4_32`).
+    pub strategy: String,
+    /// Output width.
+    pub n: usize,
+    /// `"on"` or `"off"`.
+    pub cache: String,
+    /// Simulated kernel duration.
+    pub duration_cycles: f64,
+    /// L1 sector hit rate (0 when the cache model is off).
+    pub l1_hit_rate: f64,
+    /// L2 sector hit rate (0 when the cache model is off).
+    pub l2_hit_rate: f64,
+    /// Sectors the L1 pulled from L2.
+    pub l1_sector_reads: u64,
+    /// Sectors the L2 pulled from DRAM.
+    pub l2_sector_reads: u64,
+    /// L1 misses coalesced into an in-flight fill.
+    pub mshr_merges: u64,
+}
+
+/// Ablation result.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheAblation {
+    /// All rows, strategy-major then N then cache mode.
+    pub rows: Vec<Row>,
+}
+
+/// The fixed evaluation matrix (same generator point as the simulator
+/// differential fixture: 256×512, 95% sparse, v = 8, seed 33).
+fn matrix(rows: usize, cols: usize) -> dlmc::Matrix {
+    dlmc::VectorSparseSpec {
+        rows,
+        cols,
+        sparsity: 0.95,
+        v: 8,
+        dist: dlmc::ValueDist::Uniform,
+        seed: 33,
+    }
+    .generate()
+}
+
+/// The strategies the ablation sweeps: the unoptimized baseline, the
+/// pipelined version, and the tile-tuned version.
+fn strategies() -> Vec<(String, JigsawConfig)> {
+    vec![
+        ("v0".to_string(), JigsawConfig::v0()),
+        ("v2".to_string(), JigsawConfig::v2()),
+        ("v4_32".to_string(), JigsawConfig::v4(32)),
+    ]
+}
+
+/// Sweeps `strategies × ns × {off, on}` over one matrix.
+fn sweep(a: &dlmc::Matrix, strats: &[(String, JigsawConfig)], ns: &[usize]) -> CacheAblation {
+    let off_spec = GpuSpec::a100();
+    let on_spec = GpuSpec::a100_with_caches();
+    let mut rows = Vec::new();
+    for (name, config) in strats {
+        let kernel = JigsawSpmm::plan(a, *config).expect("plan");
+        for &n in ns {
+            for (cache, spec) in [("off", &off_spec), ("on", &on_spec)] {
+                let stats = kernel.simulate(n, spec);
+                let (l1_hit, l2_hit, l1_sect, l2_sect, merges) = match &stats.cache {
+                    Some(c) => (
+                        c.l1.hit_rate(),
+                        c.l2.hit_rate(),
+                        c.l1.sector_reads,
+                        c.l2.sector_reads,
+                        c.l1.mshr_merges + c.l2.mshr_merges,
+                    ),
+                    None => (0.0, 0.0, 0, 0, 0),
+                };
+                rows.push(Row {
+                    strategy: name.clone(),
+                    n,
+                    cache: cache.to_string(),
+                    duration_cycles: stats.duration_cycles,
+                    l1_hit_rate: l1_hit,
+                    l2_hit_rate: l2_hit,
+                    l1_sector_reads: l1_sect,
+                    l2_sector_reads: l2_sect,
+                    mshr_merges: merges,
+                });
+            }
+        }
+    }
+    CacheAblation { rows }
+}
+
+/// Full ablation: all three strategies at N ∈ {32, 64, 256} on the
+/// 256×512 fixture matrix.
+pub fn run() -> CacheAblation {
+    sweep(&matrix(256, 512), &strategies(), &[32, 64, 256])
+}
+
+/// Tiny deterministic sweep for CI smoke: two strategies, one N, on a
+/// 128×256 matrix — small enough to run twice per CI job.
+pub fn run_smoke() -> CacheAblation {
+    let strats: Vec<_> = strategies()
+        .into_iter()
+        .filter(|(name, _)| name == "v0" || name == "v4_32")
+        .collect();
+    sweep(&matrix(128, 256), &strats, &[64])
+}
+
+impl CacheAblation {
+    /// Renders the ablation table.
+    pub fn to_text(&self) -> String {
+        let header: Vec<String> = [
+            "strategy",
+            "N",
+            "cache",
+            "cycles",
+            "L1 hit",
+            "L2 hit",
+            "L1→L2 sect",
+            "L2→DRAM sect",
+            "merges",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.strategy.clone(),
+                    r.n.to_string(),
+                    r.cache.clone(),
+                    format!("{:.0}", r.duration_cycles),
+                    format!("{:.1}%", 100.0 * r.l1_hit_rate),
+                    format!("{:.1}%", 100.0 * r.l2_hit_rate),
+                    r.l1_sector_reads.to_string(),
+                    r.l2_sector_reads.to_string(),
+                    r.mshr_merges.to_string(),
+                ]
+            })
+            .collect();
+        let mut out =
+            String::from("Cache ablation — sectored L1/L2 model on vs off (DESIGN.md §18)\n");
+        out.push_str(&render_table(&header, &rows));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_deterministic_and_covers_both_modes() {
+        let a = run_smoke();
+        let b = run_smoke();
+        assert_eq!(a, b, "two in-process runs must be bit-identical");
+        assert!(a.rows.iter().any(|r| r.cache == "on"));
+        assert!(a.rows.iter().any(|r| r.cache == "off"));
+        for r in &a.rows {
+            if r.cache == "off" {
+                assert_eq!((r.l1_hit_rate, r.l2_hit_rate), (0.0, 0.0));
+                assert_eq!(r.l1_sector_reads, 0);
+            } else {
+                assert!(r.l1_sector_reads > 0, "cache-on rows must carry traffic");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_on_hit_rates_spread_across_the_sweep() {
+        let result = run();
+        let on: Vec<&Row> = result.rows.iter().filter(|r| r.cache == "on").collect();
+        let max = on.iter().map(|r| r.l2_hit_rate).fold(0.0, f64::max);
+        let min = on.iter().map(|r| r.l2_hit_rate).fold(1.0, f64::min);
+        assert!(
+            max - min >= 0.05,
+            "L2 hit rate spread {min:.3}..{max:.3} too small to be informative"
+        );
+    }
+}

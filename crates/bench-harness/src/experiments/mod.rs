@@ -3,6 +3,7 @@
 //! `to_text()` renderer; `all_experiments` composes them into
 //! EXPERIMENTS.md.
 
+pub mod cache_ablation;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -264,6 +264,64 @@ pub fn check_bench_text(text: &str) -> Result<String, String> {
             }
         }
     }
+    if experiment == "cache_ablation" {
+        // The cache ablation (DESIGN.md §18) carries one row per
+        // (strategy, N, cache mode). Both cache modes must be present
+        // — the off rows are the bit-replay fixture, the on rows are
+        // the ablation — and the cache-on L2 hit rates must actually
+        // spread: a flat column means the hierarchy model degenerated.
+        let rows = doc
+            .get("data")
+            .and_then(|d| d.get("rows"))
+            .map(|r| r.items().to_vec())
+            .filter(|r| !r.is_empty())
+            .ok_or_else(|| "cache_ablation: data.rows missing or empty".to_string())?;
+        let mut on_hit_rates = Vec::new();
+        let mut saw_off = false;
+        for row in &rows {
+            for key in [
+                "strategy",
+                "n",
+                "cache",
+                "duration_cycles",
+                "l1_hit_rate",
+                "l2_hit_rate",
+                "l1_sector_reads",
+                "l2_sector_reads",
+                "mshr_merges",
+            ] {
+                if row.get(key).is_none() {
+                    return Err(format!("cache_ablation row missing key {key:?}"));
+                }
+            }
+            match row.get("cache").and_then(|c| c.as_str()) {
+                Some("off") => saw_off = true,
+                Some("on") => {
+                    let hit = row
+                        .get("l2_hit_rate")
+                        .and_then(|h| h.as_f64())
+                        .ok_or_else(|| "cache_ablation: l2_hit_rate not a number".to_string())?;
+                    on_hit_rates.push(hit);
+                }
+                other => {
+                    return Err(format!(
+                        "cache_ablation: cache mode {other:?}, expected \"on\" or \"off\""
+                    ))
+                }
+            }
+        }
+        if !saw_off || on_hit_rates.is_empty() {
+            return Err("cache_ablation: rows must cover both cache modes".to_string());
+        }
+        let max = on_hit_rates.iter().copied().fold(0.0, f64::max);
+        let min = on_hit_rates.iter().copied().fold(1.0, f64::min);
+        if max - min < 0.05 {
+            return Err(format!(
+                "cache_ablation: L2 hit rates span only {min:.3}..{max:.3} — the \
+                 cache-on sweep no longer differentiates plans"
+            ));
+        }
+    }
     Ok(experiment)
 }
 
@@ -960,6 +1018,95 @@ mod tests {
         let exec = exec_doc(&[(64, 3.0)]);
         let err = check_perf_text(&base, &exec, 0.25).unwrap_err();
         assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[derive(Serialize, Clone)]
+    struct ToyCacheRow {
+        strategy: String,
+        n: usize,
+        cache: String,
+        duration_cycles: f64,
+        l1_hit_rate: f64,
+        l2_hit_rate: f64,
+        l1_sector_reads: u64,
+        l2_sector_reads: u64,
+        mshr_merges: u64,
+    }
+
+    fn toy_cache_row(cache: &str, l2_hit_rate: f64) -> ToyCacheRow {
+        ToyCacheRow {
+            strategy: "v0".to_string(),
+            n: 64,
+            cache: cache.to_string(),
+            duration_cycles: 10_000.0,
+            l1_hit_rate: 0.0,
+            l2_hit_rate,
+            l1_sector_reads: if cache == "on" { 4_000 } else { 0 },
+            l2_sector_reads: if cache == "on" { 3_000 } else { 0 },
+            mshr_merges: 0,
+        }
+    }
+
+    #[derive(Serialize)]
+    struct ToyCacheAblation {
+        rows: Vec<ToyCacheRow>,
+    }
+
+    #[test]
+    fn cache_ablation_docs_validate_modes_and_hit_rate_spread() {
+        // Both modes with a real spread pass.
+        let good = ToyCacheAblation {
+            rows: vec![
+                toy_cache_row("off", 0.0),
+                toy_cache_row("on", 0.25),
+                toy_cache_row("on", 0.55),
+            ],
+        };
+        assert_eq!(
+            check_bench_text(&bench_doc("cache_ablation", &good).to_string()),
+            Ok("cache_ablation".to_string())
+        );
+        // Cache-on rows alone are rejected: the off rows are the
+        // bit-replay fixture.
+        let only_on = ToyCacheAblation {
+            rows: vec![toy_cache_row("on", 0.25), toy_cache_row("on", 0.55)],
+        };
+        let err = check_bench_text(&bench_doc("cache_ablation", &only_on).to_string()).unwrap_err();
+        assert!(err.contains("both cache modes"), "{err}");
+        // A flat cache-on hit-rate column is rejected.
+        let flat = ToyCacheAblation {
+            rows: vec![
+                toy_cache_row("off", 0.0),
+                toy_cache_row("on", 0.30),
+                toy_cache_row("on", 0.31),
+            ],
+        };
+        let err = check_bench_text(&bench_doc("cache_ablation", &flat).to_string()).unwrap_err();
+        assert!(err.contains("hit rates span"), "{err}");
+        // An unknown cache mode and a missing column are schema errors.
+        let bad_mode = ToyCacheAblation {
+            rows: vec![toy_cache_row("maybe", 0.3)],
+        };
+        let err =
+            check_bench_text(&bench_doc("cache_ablation", &bad_mode).to_string()).unwrap_err();
+        assert!(err.contains("maybe"), "{err}");
+        #[derive(Serialize)]
+        struct BareCacheRow {
+            strategy: String,
+            cache: String,
+        }
+        #[derive(Serialize)]
+        struct BareAblation {
+            rows: Vec<BareCacheRow>,
+        }
+        let bare = BareAblation {
+            rows: vec![BareCacheRow {
+                strategy: "v0".to_string(),
+                cache: "off".to_string(),
+            }],
+        };
+        let err = check_bench_text(&bench_doc("cache_ablation", &bare).to_string()).unwrap_err();
+        assert!(err.contains("missing key"), "{err}");
     }
 
     #[derive(Serialize)]

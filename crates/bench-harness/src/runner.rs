@@ -153,6 +153,19 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// The simulator spec the experiment binaries run on. Defaults to the
+/// roofline-only model so committed baselines replay bit-identically;
+/// `JIGSAW_SIM_CACHES=1` re-runs the same experiment with the sectored
+/// L1/L2 hierarchy on (DESIGN.md §18), e.g. for the fig10/fig12
+/// cache-on sweeps.
+pub fn sim_spec() -> GpuSpec {
+    if std::env::var("JIGSAW_SIM_CACHES").ok().as_deref() == Some("1") {
+        GpuSpec::a100_with_caches()
+    } else {
+        GpuSpec::a100()
+    }
+}
+
 /// Writes a named experiment's results as JSON under `results/`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let dir = std::path::Path::new("results");

@@ -1,0 +1,99 @@
+//! Replays the committed `results/BENCH_cache_ablation.json` against a
+//! fresh simulation: the simulator is deterministic and the JSON float
+//! encoding is shortest-round-trip, so every row — cache off *and* on
+//! — must reproduce bit-identically. A mismatch means the committed
+//! baseline no longer describes this checkout; regenerate it with
+//! `cargo run --release -p bench-harness --bin cache_ablation` and
+//! review the diff as a model change.
+
+use gpu_sim::GpuSpec;
+use jigsaw_core::{JigsawConfig, JigsawSpmm};
+
+fn committed_doc() -> jigsaw_obs::Json {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_cache_ablation.json"
+    );
+    let text = std::fs::read_to_string(path).expect("committed BENCH_cache_ablation.json");
+    jigsaw_obs::parse(&text).expect("committed doc parses")
+}
+
+fn config_of(strategy: &str) -> JigsawConfig {
+    match strategy {
+        "v0" => JigsawConfig::v0(),
+        "v2" => JigsawConfig::v2(),
+        "v4_32" => JigsawConfig::v4(32),
+        other => panic!("unknown strategy {other:?} in committed doc"),
+    }
+}
+
+#[test]
+fn committed_ablation_rows_replay_bit_identically() {
+    let doc = committed_doc();
+    let rows = doc
+        .get("data")
+        .and_then(|d| d.get("rows"))
+        .map(|r| r.items().to_vec())
+        .expect("data.rows");
+    assert!(!rows.is_empty());
+
+    let a = dlmc::VectorSparseSpec {
+        rows: 256,
+        cols: 512,
+        sparsity: 0.95,
+        v: 8,
+        dist: dlmc::ValueDist::Uniform,
+        seed: 33,
+    }
+    .generate();
+    let off_spec = GpuSpec::a100();
+    let on_spec = GpuSpec::a100_with_caches();
+
+    let mut checked_off = 0;
+    let mut checked_on = 0;
+    for row in &rows {
+        let strategy = row
+            .get("strategy")
+            .and_then(|s| s.as_str())
+            .expect("strategy");
+        let n = row.get("n").and_then(|n| n.as_u64()).expect("n") as usize;
+        let cache = row.get("cache").and_then(|c| c.as_str()).expect("cache");
+        let committed = row
+            .get("duration_cycles")
+            .and_then(|d| d.as_f64())
+            .expect("duration_cycles");
+
+        let kernel = JigsawSpmm::plan(&a, config_of(strategy)).expect("plan");
+        let spec = if cache == "on" { &on_spec } else { &off_spec };
+        let stats = kernel.simulate(n, spec);
+        assert_eq!(
+            stats.duration_cycles.to_bits(),
+            committed.to_bits(),
+            "{strategy} N={n} cache={cache}: simulated {} != committed {committed}",
+            stats.duration_cycles
+        );
+        match cache {
+            "off" => {
+                assert!(
+                    stats.cache.is_none(),
+                    "cache-off replay must stay cache-free"
+                );
+                checked_off += 1;
+            }
+            _ => {
+                let c = stats.cache.expect("cache-on replay carries counters");
+                for (key, got) in [
+                    ("l1_sector_reads", c.l1.sector_reads),
+                    ("l2_sector_reads", c.l2.sector_reads),
+                    ("mshr_merges", c.l1.mshr_merges + c.l2.mshr_merges),
+                ] {
+                    let want = row.get(key).and_then(|v| v.as_u64()).expect(key);
+                    assert_eq!(got, want, "{strategy} N={n}: {key} drifted");
+                }
+                checked_on += 1;
+            }
+        }
+    }
+    assert!(checked_off >= 3, "committed doc lost its cache-off rows");
+    assert!(checked_on >= 3, "committed doc lost its cache-on rows");
+}

@@ -82,6 +82,73 @@ pub struct GpuSpec {
     /// tail effects). Kernel *launch* overhead is excluded, matching the
     /// paper's Nsight "Duration" metric.
     pub kernel_fixed_overhead: u64,
+
+    /// Sectored L1/L2 data-cache model (DESIGN.md §18). `None` — the
+    /// default everywhere, including `a100()` — disables the hierarchy
+    /// entirely, keeping every committed baseline bit-identical to the
+    /// pre-cache simulator. `Some` interposes a per-SM L1 and a shared
+    /// sliced L2 on the global-memory path.
+    pub caches: Option<CacheHierarchyConfig>,
+}
+
+/// Geometry of one sectored cache level.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line size in bytes (A100: 128).
+    pub line_bytes: usize,
+    /// Fill/validity granularity in bytes (A100: 32).
+    pub sector_bytes: usize,
+    /// Result latency of a hit in this level, cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Total data capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+}
+
+/// The two-level hierarchy the engine/device interpose when enabled.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CacheHierarchyConfig {
+    /// Per-SM L1 (one private instance per thread block's SM).
+    pub l1: CacheConfig,
+    /// One slice of the shared L2; the device keeps `l2_slices` of
+    /// them, address-interleaved by line.
+    pub l2: CacheConfig,
+    /// Number of independent L2 slices (A100: 40 partitions per side
+    /// pair modelled as 40 interleaved slices).
+    pub l2_slices: usize,
+}
+
+impl CacheHierarchyConfig {
+    /// A100-like geometry: 32 KiB of L1 data cache per SM
+    /// (64 sets × 4 ways × 128 B lines, 32 B sectors) and a 40 MiB L2
+    /// as 40 slices of 512 sets × 16 ways × 128 B.
+    pub fn a100() -> CacheHierarchyConfig {
+        CacheHierarchyConfig {
+            l1: CacheConfig {
+                sets: 64,
+                ways: 4,
+                line_bytes: 128,
+                sector_bytes: 32,
+                hit_latency: 32,
+            },
+            l2: CacheConfig {
+                sets: 512,
+                ways: 16,
+                line_bytes: 128,
+                sector_bytes: 32,
+                hit_latency: 200,
+            },
+            l2_slices: 40,
+        }
+    }
 }
 
 impl GpuSpec {
@@ -109,6 +176,15 @@ impl GpuSpec {
             mma_m8n8k16_interval: 4,
             cuda_fp16_fma_per_cycle_per_scheduler: 128,
             kernel_fixed_overhead: 1500,
+            caches: None,
+        }
+    }
+
+    /// The same machine with the sectored L1/L2 model switched on.
+    pub fn a100_with_caches() -> GpuSpec {
+        GpuSpec {
+            caches: Some(CacheHierarchyConfig::a100()),
+            ..GpuSpec::a100()
         }
     }
 

@@ -1,0 +1,350 @@
+//! Sectored set-associative cache with LRU replacement and MSHR-style
+//! miss coalescing (DESIGN.md §18).
+//!
+//! Lines are allocated whole but filled per 32-byte *sector*: a lookup
+//! touches every sector its request covers, and each sector
+//! independently hits, merges onto an in-flight fill, or starts a new
+//! fill — the same structure gpucachesim/accelsim validate against
+//! real sector caches. Fills become *visible* immediately (the line's
+//! sector-valid bit is set at allocation) but stay *in flight* until
+//! `now + fill_latency`: a re-access of an in-flight sector counts as
+//! an MSHR merge — it waits for the data like a miss, yet adds no
+//! next-level traffic — which is exactly the distinction that keeps
+//! duplicate per-warp loads of one tile from double-counting DRAM
+//! bytes.
+//!
+//! The model is a *counting* model: it decides hit/merge/fill and lets
+//! the caller (the engine's global-memory path, the device's L2
+//! replay) translate outcomes into latency and bandwidth charges.
+
+use std::collections::HashMap;
+
+use crate::arch::CacheConfig;
+use crate::stats::CacheStats;
+
+/// What happened to one sector of a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SectorOutcome {
+    /// Resident and fill complete: served at `hit_latency`.
+    Hit,
+    /// An earlier fill of this sector is still in flight: the request
+    /// waits on it but generates no next-level traffic.
+    Merge,
+    /// Not resident: a next-level read starts now.
+    Fill,
+}
+
+/// Aggregate outcome of one multi-sector access.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Sectors the request covered.
+    pub sectors: u32,
+    /// Sectors served from the cache.
+    pub hits: u32,
+    /// Sectors coalesced onto in-flight fills.
+    pub merges: u32,
+    /// Sectors that started new next-level reads.
+    pub fills: u32,
+}
+
+impl AccessResult {
+    /// True when every sector was resident (no latency/bandwidth charge
+    /// beyond the hit path).
+    pub fn full_hit(&self) -> bool {
+        self.sectors > 0 && self.hits == self.sectors
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    /// Line address (`addr / line_bytes`); tag and set derive from it.
+    line_id: u64,
+    /// Bitmask of valid sectors within the line.
+    valid_sectors: u64,
+    /// LRU stamp (monotonic access counter, not cycles).
+    last_use: u64,
+    valid: bool,
+}
+
+const EMPTY_LINE: Line = Line {
+    line_id: 0,
+    valid_sectors: 0,
+    last_use: 0,
+    valid: false,
+};
+
+/// One sectored, set-associative, LRU cache instance.
+#[derive(Clone, Debug)]
+pub struct SectoredCache {
+    cfg: CacheConfig,
+    /// `sets × ways` lines, set-major.
+    lines: Vec<Line>,
+    /// In-flight fills: sector id → cycle the data lands.
+    pending: HashMap<u64, u64>,
+    /// Monotonic access counter driving LRU.
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SectoredCache {
+    /// An empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> SectoredCache {
+        assert!(cfg.sets > 0 && cfg.ways > 0, "degenerate cache geometry");
+        assert!(
+            cfg.line_bytes >= cfg.sector_bytes && cfg.line_bytes.is_multiple_of(cfg.sector_bytes),
+            "line must be a whole number of sectors"
+        );
+        SectoredCache {
+            lines: vec![EMPTY_LINE; cfg.sets * cfg.ways],
+            pending: HashMap::new(),
+            tick: 0,
+            cfg,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this instance was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Looks up every sector in `[addr, addr + bytes)` at time `now`.
+    /// New fills are in flight until `now + fill_latency`; `now` must
+    /// be non-decreasing across calls (the engine's issue times are).
+    pub fn access(&mut self, addr: u64, bytes: u32, now: u64, fill_latency: u64) -> AccessResult {
+        self.access_with(addr, bytes, now, fill_latency, &mut |_| {})
+    }
+
+    /// Like [`SectoredCache::access`], invoking `on_fill` with the byte
+    /// address of every sector that starts a next-level read — the hook
+    /// the engine uses to log L1 fills for the device's L2 replay.
+    pub fn access_with(
+        &mut self,
+        addr: u64,
+        bytes: u32,
+        now: u64,
+        fill_latency: u64,
+        on_fill: &mut dyn FnMut(u64),
+    ) -> AccessResult {
+        let mut result = AccessResult::default();
+        if bytes == 0 {
+            return result;
+        }
+        let sb = self.cfg.sector_bytes as u64;
+        let first = addr / sb;
+        let last = (addr + u64::from(bytes) - 1) / sb;
+        for sector in first..=last {
+            result.sectors += 1;
+            match self.access_sector(sector, now, fill_latency) {
+                SectorOutcome::Hit => result.hits += 1,
+                SectorOutcome::Merge => result.merges += 1,
+                SectorOutcome::Fill => {
+                    result.fills += 1;
+                    on_fill(sector * sb);
+                }
+            }
+        }
+        self.stats.accesses += u64::from(result.sectors);
+        self.stats.hits += u64::from(result.hits);
+        self.stats.misses += u64::from(result.merges + result.fills);
+        self.stats.mshr_merges += u64::from(result.merges);
+        self.stats.sector_reads += u64::from(result.fills);
+        result
+    }
+
+    /// One sector lookup; classifies and updates state.
+    fn access_sector(&mut self, sector: u64, now: u64, fill_latency: u64) -> SectorOutcome {
+        self.tick += 1;
+        let sectors_per_line = (self.cfg.line_bytes / self.cfg.sector_bytes) as u64;
+        let line_id = sector / sectors_per_line;
+        let sector_bit = 1u64 << (sector % sectors_per_line);
+        let set = (line_id % self.cfg.sets as u64) as usize;
+        let base = set * self.cfg.ways;
+        let ways = &mut self.lines[base..base + self.cfg.ways];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.line_id == line_id) {
+            line.last_use = self.tick;
+            if line.valid_sectors & sector_bit != 0 {
+                return match self.pending.get(&sector) {
+                    Some(&ready) if ready > now => SectorOutcome::Merge,
+                    _ => SectorOutcome::Hit,
+                };
+            }
+            // Line resident, sector not yet fetched: sector fill.
+            line.valid_sectors |= sector_bit;
+            self.pending.insert(sector, now + fill_latency);
+            return SectorOutcome::Fill;
+        }
+
+        // Allocate: empty way first, else LRU victim.
+        let victim = match ways.iter_mut().find(|l| !l.valid) {
+            Some(empty) => empty,
+            None => {
+                self.stats.evictions += 1;
+                ways.iter_mut()
+                    .min_by_key(|l| l.last_use)
+                    .expect("ways > 0")
+            }
+        };
+        *victim = Line {
+            line_id,
+            valid_sectors: sector_bit,
+            last_use: self.tick,
+            valid: true,
+        };
+        self.pending.insert(sector, now + fill_latency);
+        SectorOutcome::Fill
+    }
+}
+
+/// A bank of address-interleaved cache slices (the shared L2): line
+/// `addr / line_bytes` lands on slice `line % slices`. Each slice is an
+/// independent [`SectoredCache`]; stats aggregate across slices.
+#[derive(Clone, Debug)]
+pub struct SlicedCache {
+    slices: Vec<SectoredCache>,
+    line_bytes: u64,
+}
+
+impl SlicedCache {
+    /// `slices` independent instances of `cfg`.
+    pub fn new(cfg: CacheConfig, slices: usize) -> SlicedCache {
+        assert!(slices > 0, "need at least one slice");
+        SlicedCache {
+            slices: (0..slices).map(|_| SectoredCache::new(cfg)).collect(),
+            line_bytes: cfg.line_bytes as u64,
+        }
+    }
+
+    /// Routes the access to its slice (requests here are single-sector,
+    /// so one slice owns the whole access). The slice sees a compacted
+    /// local address — `line / slices` — so set indexing inside a slice
+    /// uses the address bits *above* the slice-interleave bits, as real
+    /// partitioned L2s do.
+    pub fn access(&mut self, addr: u64, bytes: u32, now: u64, fill_latency: u64) -> AccessResult {
+        let nslices = self.slices.len() as u64;
+        let line = addr / self.line_bytes;
+        let slice = (line % nslices) as usize;
+        let local = (line / nslices) * self.line_bytes + addr % self.line_bytes;
+        self.slices[slice].access(local, bytes, now, fill_latency)
+    }
+
+    /// Counters summed over all slices.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.slices {
+            total.absorb(s.stats());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(sets: usize, ways: usize) -> SectoredCache {
+        SectoredCache::new(CacheConfig {
+            sets,
+            ways,
+            line_bytes: 128,
+            sector_bytes: 32,
+            hit_latency: 32,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny(4, 2);
+        let first = c.access(0x1000, 32, 0, 100);
+        assert_eq!(first.fills, 1);
+        // After the fill lands the sector hits.
+        let second = c.access(0x1000, 32, 200, 100);
+        assert_eq!(second.hits, 1);
+        assert!(second.full_hit());
+        let s = c.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.hits + s.misses, s.accesses);
+    }
+
+    #[test]
+    fn inflight_reaccess_merges_without_new_traffic() {
+        let mut c = tiny(4, 2);
+        c.access(0x1000, 32, 0, 100);
+        let merged = c.access(0x1000, 32, 10, 100); // fill still in flight
+        assert_eq!(merged.merges, 1);
+        assert_eq!(merged.fills, 0);
+        assert_eq!(c.stats().sector_reads, 1, "merge must not refetch");
+        assert_eq!(c.stats().mshr_merges, 1);
+    }
+
+    #[test]
+    fn sectors_fill_independently_within_a_line() {
+        let mut c = tiny(4, 2);
+        // One 128B line = 4 sectors; request the whole line.
+        let r = c.access(0, 128, 0, 10);
+        assert_eq!(r.sectors, 4);
+        assert_eq!(r.fills, 4);
+        // A different sector of the same line later: line hit, sector fill.
+        let mut c2 = tiny(4, 2);
+        c2.access(0, 32, 0, 10);
+        let r2 = c2.access(64, 32, 100, 10);
+        assert_eq!(r2.fills, 1);
+        assert_eq!(c2.stats().evictions, 0, "same line, no eviction");
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recent_line() {
+        let mut c = tiny(1, 2); // one set, two ways
+        let line = |i: u64| i * 128;
+        c.access(line(0), 32, 0, 1); // A
+        c.access(line(1), 32, 10, 1); // B
+        c.access(line(0), 32, 20, 1); // touch A -> B is LRU
+        c.access(line(2), 32, 30, 1); // C evicts B
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.access(line(0), 32, 40, 1).full_hit(), "A survived");
+        assert_eq!(c.access(line(1), 32, 50, 1).fills, 1, "B was evicted");
+    }
+
+    #[test]
+    fn sliced_routing_is_by_line() {
+        let cfg = CacheConfig {
+            sets: 2,
+            ways: 1,
+            line_bytes: 128,
+            sector_bytes: 32,
+            hit_latency: 1,
+        };
+        let mut l2 = SlicedCache::new(cfg, 4);
+        for i in 0..16u64 {
+            l2.access(i * 128, 32, i, 1);
+        }
+        let s = l2.stats();
+        assert_eq!(s.accesses, 16);
+        assert_eq!(s.sector_reads, 16);
+        // 16 lines over 4 slices × 2 sets × 1 way = 8 resident lines.
+        assert_eq!(s.evictions, 8);
+    }
+
+    #[test]
+    fn conservation_on_a_random_stream() {
+        let mut c = tiny(8, 4);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..10_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = (x >> 16) % (64 * 1024);
+            let bytes = 32 * (1 + (x % 4) as u32);
+            c.access(addr, bytes, i * 3, 40);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses, s.hits + s.misses);
+        assert_eq!(s.misses, s.sector_reads + s.mshr_merges);
+    }
+}

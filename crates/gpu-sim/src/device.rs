@@ -8,9 +8,10 @@ use std::hash::{Hash, Hasher};
 use rayon::prelude::*;
 
 use crate::arch::GpuSpec;
-use crate::engine::{simulate_block, EngineConfig};
+use crate::cache::SlicedCache;
+use crate::engine::{simulate_block_traced, BlockSim, EngineConfig};
 use crate::instr::{BlockTrace, KernelLaunch, WarpInstr};
-use crate::stats::{BlockStats, KernelStats};
+use crate::stats::{BlockStats, CacheHierarchyStats, CacheStats, KernelStats};
 
 /// Resident blocks per SM for a block with the given footprint.
 ///
@@ -39,6 +40,10 @@ fn signature(block: &BlockTrace) -> u64 {
             instr_hash(i, &mut h);
         }
     }
+    // Address annotations change cache behavior, so they split dedup
+    // groups; with the model off they are empty everywhere and hash to
+    // the same value, leaving the grouping untouched.
+    block.gmem.hash(&mut h);
     h.finish()
 }
 
@@ -179,7 +184,10 @@ pub fn simulate_kernel(launch: &KernelLaunch, spec: &GpuSpec) -> KernelStats {
         spec: spec.clone(),
         resident_blocks: resident,
     };
-    let per_unique: Vec<BlockStats> = unique.par_iter().map(|b| simulate_block(b, &cfg)).collect();
+    let per_unique: Vec<BlockSim> = unique
+        .par_iter()
+        .map(|b| simulate_block_traced(b, &cfg))
+        .collect();
 
     // Wave scheduling with throughput serialization: each SM hosts up
     // to `occ` blocks at once, but its pipes are shared — a wave of
@@ -188,9 +196,9 @@ pub fn simulate_kernel(launch: &KernelLaunch, spec: &GpuSpec) -> KernelStats {
     // in launch order (the hardware's rasterization), waves accumulate
     // per SM, makespan = slowest SM.
     let sms = spec.num_sms.min(launch.blocks.len()).max(1);
-    let mut sm_blocks: Vec<Vec<usize>> = vec![Vec::new(); sms];
+    let mut sm_blocks: Vec<Vec<(usize, usize)>> = vec![Vec::new(); sms];
     for (i, &kind) in block_kind.iter().enumerate() {
-        sm_blocks[i % sms].push(kind);
+        sm_blocks[i % sms].push((i, kind));
     }
     let makespan = sm_blocks
         .iter()
@@ -200,10 +208,13 @@ pub fn simulate_kernel(launch: &KernelLaunch, spec: &GpuSpec) -> KernelStats {
                 .map(|wave| {
                     let latency = wave
                         .iter()
-                        .map(|&k| per_unique[k].cycles)
+                        .map(|&(_, k)| per_unique[k].stats.cycles)
                         .max()
                         .unwrap_or(0);
-                    let busy: u64 = wave.iter().map(|&k| per_unique[k].busy_cycles).sum();
+                    let busy: u64 = wave
+                        .iter()
+                        .map(|&(_, k)| per_unique[k].stats.busy_cycles)
+                        .sum();
                     latency.max(busy).max(1)
                 })
                 .sum::<u64>()
@@ -213,14 +224,80 @@ pub fn simulate_kernel(launch: &KernelLaunch, spec: &GpuSpec) -> KernelStats {
 
     // Aggregate counters over all blocks.
     let mut totals = BlockStats::default();
-    for (stats, &count) in per_unique.iter().zip(counts.iter()) {
-        totals.add_scaled(stats, count);
+    for (sim, &count) in per_unique.iter().zip(counts.iter()) {
+        totals.add_scaled(&sim.stats, count);
     }
 
-    // Device-wide memory rooflines: every staged byte crosses L2 once,
-    // and the kernel's compulsory working set crosses DRAM once.
-    let l2_cycles = totals.gmem_bytes as f64 / spec.l2_bytes_per_cycle;
-    let dram_cycles = launch.dram_bytes as f64 / spec.dram_bytes_per_cycle;
+    // Shared-L2 replay (cache model on): feed every block's L1 fills
+    // through the sliced L2 wave by wave in launch order — the order
+    // the wave scheduler retires them. Block starts are staggered far
+    // enough apart on real hardware that a later block re-reading a
+    // sector another block already filled sees a resident line, so
+    // `now` advances past the fill latency between blocks: cross-block
+    // reuse is modeled as L2 hits, while simultaneous-miss coalescing
+    // lives in the per-block L1 MSHR. `scaled` fills get the block's
+    // bias; synthetic ones are rebased per launch index so replicated
+    // unannotated blocks cannot fake reuse.
+    let cache = spec.caches.as_ref().map(|h| {
+        let mut l1_total = CacheStats::default();
+        for (sim, &count) in per_unique.iter().zip(counts.iter()) {
+            if let Some(l1) = &sim.l1 {
+                l1_total.add_scaled(l1, count);
+            }
+        }
+        let mut l2 = SlicedCache::new(h.l2, h.l2_slices);
+        let sector_bytes = h.l2.sector_bytes as u32;
+        let wave_count = sm_blocks
+            .iter()
+            .map(|k| k.len().div_ceil(occ.max(1)))
+            .max()
+            .unwrap_or(0);
+        let mut seq = 0u64;
+        for wave in 0..wave_count {
+            for kinds in &sm_blocks {
+                let Some(chunk) = kinds.chunks(occ.max(1)).nth(wave) else {
+                    continue;
+                };
+                for &(launch_idx, kind) in chunk {
+                    let now = seq * (spec.gmem_latency + 1);
+                    seq += 1;
+                    let bias = launch.bias_of(launch_idx);
+                    for fill in &per_unique[kind].l1_fills {
+                        let mut addr = fill.addr;
+                        if fill.scaled {
+                            addr += bias;
+                        }
+                        if fill.synthetic {
+                            addr += (launch_idx as u64) << 32;
+                        }
+                        l2.access(addr, sector_bytes, now, spec.gmem_latency);
+                    }
+                }
+            }
+        }
+        CacheHierarchyStats {
+            l1: l1_total,
+            l2: l2.stats(),
+        }
+    });
+
+    // Device-wide memory rooflines. Without the cache model: every
+    // staged byte crosses L2 once and the declared compulsory working
+    // set crosses DRAM once. With it: the measured traffic replaces
+    // both — L1 fills cross L2, L2 fills cross DRAM.
+    let (l2_cycles, dram_cycles) = match &cache {
+        None => (
+            totals.gmem_bytes as f64 / spec.l2_bytes_per_cycle,
+            launch.dram_bytes as f64 / spec.dram_bytes_per_cycle,
+        ),
+        Some(c) => {
+            let sector = spec.caches.as_ref().map_or(32, |h| h.l2.sector_bytes) as f64;
+            (
+                c.l1.sector_reads as f64 * sector / spec.l2_bytes_per_cycle,
+                c.l2.sector_reads as f64 * sector / spec.dram_bytes_per_cycle,
+            )
+        }
+    };
     let compute_cycles = makespan as f64;
     let dram_bound = dram_cycles.max(l2_cycles) > compute_cycles;
     let duration_cycles =
@@ -237,6 +314,7 @@ pub fn simulate_kernel(launch: &KernelLaunch, spec: &GpuSpec) -> KernelStats {
         totals,
         long_scoreboard_per_instr: 0.0,
         short_scoreboard_per_instr: 0.0,
+        cache,
     }
     .finish();
     if jigsaw_obs::enabled() {
@@ -253,6 +331,35 @@ struct SimCounters {
     bank_conflicts: jigsaw_obs::Counter,
     long_scoreboard: jigsaw_obs::Counter,
     short_scoreboard: jigsaw_obs::Counter,
+    l1: LevelCounters,
+    l2: LevelCounters,
+    mshr_merges: jigsaw_obs::Counter,
+}
+
+/// The per-level cache counters (`sim.l1.*` / `sim.l2.*`).
+struct LevelCounters {
+    hits: jigsaw_obs::Counter,
+    misses: jigsaw_obs::Counter,
+    sector_reads: jigsaw_obs::Counter,
+    evictions: jigsaw_obs::Counter,
+}
+
+impl LevelCounters {
+    fn new(reg: &jigsaw_obs::ObsRegistry, level: &str) -> LevelCounters {
+        LevelCounters {
+            hits: reg.counter(&format!("sim.{level}.hits")),
+            misses: reg.counter(&format!("sim.{level}.misses")),
+            sector_reads: reg.counter(&format!("sim.{level}.sector_reads")),
+            evictions: reg.counter(&format!("sim.{level}.evictions")),
+        }
+    }
+
+    fn record(&self, s: &CacheStats) {
+        self.hits.add(s.hits);
+        self.misses.add(s.misses);
+        self.sector_reads.add(s.sector_reads);
+        self.evictions.add(s.evictions);
+    }
 }
 
 impl SimCounters {
@@ -264,6 +371,14 @@ impl SimCounters {
             .add(stats.totals.long_scoreboard_cycles);
         self.short_scoreboard
             .add(stats.totals.short_scoreboard_cycles);
+        // Cache counters move only when the model ran: the cache-off
+        // path leaves the whole sim.l1/l2/mshr surface frozen.
+        if let Some(cache) = &stats.cache {
+            self.l1.record(&cache.l1);
+            self.l2.record(&cache.l2);
+            self.mshr_merges
+                .add(cache.l1.mshr_merges + cache.l2.mshr_merges);
+        }
     }
 }
 
@@ -277,6 +392,9 @@ fn sim_counters() -> &'static SimCounters {
             bank_conflicts: reg.counter("sim.smem_bank_conflicts"),
             long_scoreboard: reg.counter("sim.long_scoreboard_cycles"),
             short_scoreboard: reg.counter("sim.short_scoreboard_cycles"),
+            l1: LevelCounters::new(reg, "l1"),
+            l2: LevelCounters::new(reg, "l2"),
+            mshr_merges: reg.counter("sim.mshr.merges"),
         }
     })
 }
@@ -296,6 +414,7 @@ mod tests {
                 })
                 .collect()],
             smem_bytes: 24 * 1024,
+            gmem: Vec::new(),
         }
     }
 

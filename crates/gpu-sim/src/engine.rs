@@ -10,8 +10,15 @@
 use std::collections::HashMap;
 
 use crate::arch::GpuSpec;
+use crate::cache::SectoredCache;
 use crate::instr::{BlockTrace, MmaOp, StallClass, Token, WarpInstr};
-use crate::stats::BlockStats;
+use crate::stats::{BlockStats, CacheStats};
+
+/// Synthetic address region for unannotated global-memory instructions
+/// when the cache model is on: a per-block bump pointer here yields a
+/// pure streaming pattern (compulsory misses, no reuse), the honest
+/// default for traces that carry no addresses.
+const SYNTH_BASE: u64 = 1 << 45;
 
 /// Execution context for a block: which machine, and how many blocks
 /// share the SM (divides the SM's DRAM bandwidth share).
@@ -67,9 +74,35 @@ pub struct IssueEvent {
     pub complete: u64,
 }
 
+/// One L1 fill the block generated, recorded for the device-level L2
+/// replay (addresses are trace-relative; the device applies the
+/// per-block bias / synthetic rebase).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FillRecord {
+    /// Byte address of the filled 32-byte sector.
+    pub addr: u64,
+    /// The segment was marked `scaled` (gets `KernelLaunch::block_bias`).
+    pub scaled: bool,
+    /// The address came from the synthetic streaming fallback (gets
+    /// rebased per launch index so replicas don't fake reuse).
+    pub synthetic: bool,
+}
+
+/// Result of [`simulate_block_traced`]: timing counters plus, when the
+/// cache model is on, the block's private-L1 counters and fill log.
+#[derive(Clone, Debug)]
+pub struct BlockSim {
+    /// The legacy per-block counters.
+    pub stats: BlockStats,
+    /// L1 counters (`None` when `GpuSpec::caches` is off).
+    pub l1: Option<CacheStats>,
+    /// Every L1 fill in issue order — the L2's access stream.
+    pub l1_fills: Vec<FillRecord>,
+}
+
 /// Simulates one thread block and returns its counters.
 pub fn simulate_block(trace: &BlockTrace, cfg: &EngineConfig) -> BlockStats {
-    simulate_block_observed(trace, cfg, &mut |_| {})
+    sim_block_core(trace, cfg, &mut |_| {}).stats
 }
 
 /// Like [`simulate_block`], invoking `observer` for every issued
@@ -79,9 +112,114 @@ pub fn simulate_block_observed(
     cfg: &EngineConfig,
     observer: &mut dyn FnMut(IssueEvent),
 ) -> BlockStats {
+    sim_block_core(trace, cfg, observer).stats
+}
+
+/// Like [`simulate_block`], also returning the L1 cache outcome when
+/// `cfg.spec.caches` enables the hierarchy.
+pub fn simulate_block_traced(trace: &BlockTrace, cfg: &EngineConfig) -> BlockSim {
+    sim_block_core(trace, cfg, &mut |_| {})
+}
+
+/// Per-block L1 state while the cache model is on.
+struct L1Probe {
+    cache: SectoredCache,
+    /// Per-warp cursor into `BlockTrace::gmem`.
+    cursor: Vec<usize>,
+    /// Bump pointer for unannotated instructions.
+    synth_next: u64,
+    fills: Vec<FillRecord>,
+}
+
+/// Outcome of probing the L1 for one global-memory instruction.
+struct ProbeOutcome {
+    /// Every requested sector was resident: serve at `l1.hit_latency`,
+    /// no bandwidth charge.
+    full_hit: bool,
+    /// Bytes that must actually cross the L1↔L2 path (new fills only;
+    /// hits and MSHR merges are free).
+    fill_bytes: u32,
+}
+
+impl L1Probe {
+    /// Classifies one global-memory instruction of warp `wi` and logs
+    /// its fills. Must be called exactly once per `CpAsync` /
+    /// `LdGlobal` / `StGlobal` in per-warp program order.
+    fn probe(
+        &mut self,
+        trace: &BlockTrace,
+        wi: usize,
+        bytes: u32,
+        is_store: bool,
+        now: u64,
+        fill_latency: u64,
+    ) -> ProbeOutcome {
+        let ix = self.cursor[wi];
+        self.cursor[wi] += 1;
+        let annotated = trace.gmem.get(wi).and_then(|refs| refs.get(ix));
+        // Stores are write-through / no-allocate: they advance the
+        // cursor (annotation alignment) but never probe or fill.
+        if is_store {
+            return ProbeOutcome {
+                full_hit: false,
+                fill_bytes: bytes,
+            };
+        }
+        let mut sectors = 0u32;
+        let mut hits = 0u32;
+        let mut fills = 0u32;
+        let sector_bytes = self.cache.config().sector_bytes as u32;
+        let mut run = |addr: u64, len: u32, scaled: bool, synthetic: bool, probe: &mut L1Probe| {
+            let fills_log = &mut probe.fills;
+            let r = probe
+                .cache
+                .access_with(addr, len, now, fill_latency, &mut |sector| {
+                    fills_log.push(FillRecord {
+                        addr: sector,
+                        scaled,
+                        synthetic,
+                    });
+                });
+            sectors += r.sectors;
+            hits += r.hits;
+            fills += r.fills;
+        };
+        match annotated {
+            Some(segments) => {
+                for seg in segments {
+                    run(seg.addr, seg.bytes, seg.scaled, false, self);
+                }
+            }
+            None => {
+                // Streaming fallback: fresh sectors, aligned.
+                let len = bytes.max(1).div_ceil(sector_bytes) * sector_bytes;
+                let addr = self.synth_next;
+                self.synth_next += u64::from(len);
+                run(addr, len, false, true, self);
+            }
+        }
+        ProbeOutcome {
+            full_hit: sectors > 0 && hits == sectors,
+            fill_bytes: fills * sector_bytes,
+        }
+    }
+}
+
+fn sim_block_core(
+    trace: &BlockTrace,
+    cfg: &EngineConfig,
+    observer: &mut dyn FnMut(IssueEvent),
+) -> BlockSim {
     let spec = &cfg.spec;
     let nsched = spec.schedulers_per_sm;
     let bw = cfg.bw_share();
+    let mut l1: Option<L1Probe> = spec.caches.as_ref().map(|h| L1Probe {
+        cache: SectoredCache::new(h.l1),
+        cursor: vec![0; trace.warps.len()],
+        synth_next: SYNTH_BASE,
+        fills: Vec::new(),
+    });
+    let l1_hit_latency = spec.caches.as_ref().map_or(0, |h| h.l1.hit_latency);
 
     let mut warps: Vec<Warp> = trace
         .warps
@@ -217,9 +355,28 @@ pub fn simulate_block_observed(
             WarpInstr::CpAsync { bytes, .. } => {
                 // Issue occupies the scheduler only; data flows through
                 // the bandwidth pipe in the background.
-                let start = gmem_free.max(issue as f64);
-                gmem_free = start + f64::from(*bytes) / bw;
-                let done = (start + f64::from(*bytes) / bw).ceil() as u64 + spec.gmem_latency;
+                let done = match &mut l1 {
+                    None => {
+                        let start = gmem_free.max(issue as f64);
+                        gmem_free = start + f64::from(*bytes) / bw;
+                        gmem_free.ceil() as u64 + spec.gmem_latency
+                    }
+                    Some(probe) => {
+                        let o = probe.probe(trace, wi, *bytes, false, issue, spec.gmem_latency);
+                        if o.full_hit {
+                            // Served from L1: no bandwidth charge, hit latency.
+                            issue + l1_hit_latency
+                        } else if o.fill_bytes == 0 {
+                            // All outstanding sectors merge onto fills
+                            // already in flight: wait, but add no traffic.
+                            issue + spec.gmem_latency
+                        } else {
+                            let start = gmem_free.max(issue as f64);
+                            gmem_free = start + f64::from(o.fill_bytes) / bw;
+                            gmem_free.ceil() as u64 + spec.gmem_latency
+                        }
+                    }
+                };
                 let w = &mut warps[wi];
                 w.open_group_done = w.open_group_done.max(done);
                 stats.gmem_bytes += u64::from(*bytes);
@@ -243,17 +400,34 @@ pub fn simulate_block_observed(
                 l2_hit,
                 ..
             } => {
-                let start = gmem_free.max(issue as f64);
-                gmem_free = start + f64::from(*bytes) / bw;
-                let latency = if *l2_hit {
-                    spec.l2_latency
-                } else {
-                    spec.gmem_latency
-                };
                 // Poorly coalesced requests serialize into sectors.
                 let serialization = u64::from((*transactions).max(1) - 1);
-                let ready =
-                    (start + f64::from(*bytes) / bw).ceil() as u64 + latency + serialization;
+                let ready = match &mut l1 {
+                    None => {
+                        let start = gmem_free.max(issue as f64);
+                        gmem_free = start + f64::from(*bytes) / bw;
+                        let latency = if *l2_hit {
+                            spec.l2_latency
+                        } else {
+                            spec.gmem_latency
+                        };
+                        gmem_free.ceil() as u64 + latency + serialization
+                    }
+                    Some(probe) => {
+                        // The cache decides hit/miss; the static
+                        // `l2_hit` hint only applies when it is off.
+                        let o = probe.probe(trace, wi, *bytes, false, issue, spec.gmem_latency);
+                        if o.full_hit {
+                            issue + l1_hit_latency + serialization
+                        } else if o.fill_bytes == 0 {
+                            issue + spec.gmem_latency + serialization
+                        } else {
+                            let start = gmem_free.max(issue as f64);
+                            gmem_free = start + f64::from(o.fill_bytes) / bw;
+                            gmem_free.ceil() as u64 + spec.gmem_latency + serialization
+                        }
+                    }
+                };
                 if let Some(tok) = produces {
                     produced = Some((*tok, ready, StallClass::Long));
                 }
@@ -343,6 +517,12 @@ pub fn simulate_block_observed(
                 }
             }
             WarpInstr::StGlobal { bytes, .. } => {
+                // Stores are write-through / no-allocate under the cache
+                // model: same bandwidth charge, but the annotation
+                // cursor must advance to stay aligned with loads.
+                if let Some(probe) = &mut l1 {
+                    probe.probe(trace, wi, *bytes, true, issue, spec.gmem_latency);
+                }
                 let start = gmem_free.max(issue as f64);
                 gmem_free = start + f64::from(*bytes) / bw;
                 complete = complete.max(gmem_free.ceil() as u64);
@@ -391,7 +571,18 @@ pub fn simulate_block_observed(
         .max(alu_busy / nsched as u64)
         .max(stats.instructions / nsched as u64)
         .min(stats.cycles);
-    stats
+    match l1 {
+        None => BlockSim {
+            stats,
+            l1: None,
+            l1_fills: Vec::new(),
+        },
+        Some(probe) => BlockSim {
+            stats,
+            l1: Some(*probe.cache.stats()),
+            l1_fills: probe.fills,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +612,7 @@ mod tests {
                 produces: None,
             }]],
             smem_bytes: 0,
+            gmem: Vec::new(),
         };
         let stats = simulate_block(&trace, &cfg());
         assert_eq!(stats.instructions, 1);
@@ -446,6 +638,7 @@ mod tests {
                 },
             ]],
             smem_bytes: 0,
+            gmem: Vec::new(),
         };
         let stats = simulate_block(&trace, &cfg());
         assert!(
@@ -480,6 +673,7 @@ mod tests {
             &BlockTrace {
                 warps: vec![mk(0)],
                 smem_bytes: 0,
+                gmem: Vec::new(),
             },
             &cfg(),
         );
@@ -487,6 +681,7 @@ mod tests {
             &BlockTrace {
                 warps: (0..8).map(|_| mk(0)).collect(),
                 smem_bytes: 0,
+                gmem: Vec::new(),
             },
             &cfg(),
         );
@@ -509,6 +704,7 @@ mod tests {
                 })
                 .collect()],
             smem_bytes: 0,
+            gmem: Vec::new(),
         };
         let clean = simulate_block(&mk(1), &cfg());
         let conflicted = simulate_block(&mk(8), &cfg());
@@ -545,6 +741,7 @@ mod tests {
             &BlockTrace {
                 warps: vec![w0, w1],
                 smem_bytes: 0,
+                gmem: Vec::new(),
             },
             &cfg(),
         );
@@ -570,6 +767,7 @@ mod tests {
                 },
             ]],
             smem_bytes: 0,
+            gmem: Vec::new(),
         };
         let stats = simulate_block(&trace, &cfg());
         // Must at least cover the DRAM latency.
@@ -608,6 +806,7 @@ mod tests {
             BlockTrace {
                 warps: vec![v],
                 smem_bytes: 0,
+                gmem: Vec::new(),
             }
         };
         let shallow = simulate_block(&mk(0), &cfg());

@@ -172,6 +172,26 @@ impl WarpInstr {
 /// The instruction sequence one warp executes.
 pub type WarpTrace = Vec<WarpInstr>;
 
+/// One contiguous byte range a global-memory instruction touches.
+///
+/// Only consumed when the cache model is on (`GpuSpec::caches`); the
+/// timing engine's legacy path never reads addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemSegment {
+    /// Virtual byte address of the segment start.
+    pub addr: u64,
+    /// Segment length in bytes.
+    pub bytes: u32,
+    /// When true, [`KernelLaunch::block_bias`] is added per block — the
+    /// mechanism that lets one `Arc`-shared trace serve every N-tile
+    /// replica while each replica reads its own B/C columns.
+    pub scaled: bool,
+}
+
+/// The byte ranges of one global-memory instruction (a gather touches
+/// several disjoint rows).
+pub type MemRef = Vec<MemSegment>;
+
 /// A thread block: its warps' traces plus the resources that determine
 /// occupancy.
 #[derive(Clone, Debug, Default)]
@@ -180,6 +200,12 @@ pub struct BlockTrace {
     pub warps: Vec<WarpTrace>,
     /// Static shared-memory footprint of the block in bytes.
     pub smem_bytes: usize,
+    /// Optional address annotations for the cache model: per warp, one
+    /// [`MemRef`] per global-memory instruction (`CpAsync`, `LdGlobal`,
+    /// `StGlobal`) in program order. Empty = unannotated; the cache
+    /// model then falls back to a synthetic streaming address space
+    /// (compulsory misses, no reuse).
+    pub gmem: Vec<Vec<MemRef>>,
 }
 
 /// A full kernel launch: every thread block (heterogeneous traces are
@@ -195,6 +221,11 @@ pub struct KernelLaunch {
     /// Unique bytes the kernel must move from DRAM (for the roofline
     /// bound): compulsory traffic, not per-block re-reads that hit L2.
     pub dram_bytes: u64,
+    /// Per-block additive address bias applied to `scaled`
+    /// [`MemSegment`]s during the device's L2 replay (empty = all
+    /// zero). Lets `Arc`-replicated blocks address distinct B/C
+    /// columns without deep-copying their traces.
+    pub block_bias: Vec<u64>,
 }
 
 impl KernelLaunch {
@@ -203,6 +234,7 @@ impl KernelLaunch {
         KernelLaunch {
             blocks: blocks.into_iter().map(Arc::new).collect(),
             dram_bytes,
+            block_bias: Vec::new(),
         }
     }
 
@@ -213,7 +245,13 @@ impl KernelLaunch {
         KernelLaunch {
             blocks: std::iter::repeat_n(block, copies).collect(),
             dram_bytes,
+            block_bias: Vec::new(),
         }
+    }
+
+    /// Address bias of block `i` (zero when unset).
+    pub fn bias_of(&self, i: usize) -> u64 {
+        self.block_bias.get(i).copied().unwrap_or(0)
     }
 }
 

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod cache;
 pub mod device;
 pub mod engine;
 pub mod instr;
@@ -23,12 +24,17 @@ pub mod report;
 pub mod stats;
 pub mod timeline;
 
-pub use arch::GpuSpec;
+pub use arch::{CacheConfig, CacheHierarchyConfig, GpuSpec};
+pub use cache::{AccessResult, SectoredCache, SlicedCache};
 pub use device::{occupancy, simulate_kernel};
-pub use engine::{simulate_block, simulate_block_observed, EngineConfig, IssueEvent};
+pub use engine::{
+    simulate_block, simulate_block_observed, simulate_block_traced, BlockSim, EngineConfig,
+    FillRecord, IssueEvent,
+};
 pub use instr::{
-    BlockTrace, KernelLaunch, MmaOp, StallClass, Token, TokenAlloc, WarpInstr, WarpTrace,
+    BlockTrace, KernelLaunch, MemRef, MemSegment, MmaOp, StallClass, Token, TokenAlloc, WarpInstr,
+    WarpTrace,
 };
 pub use report::ncu_style_report;
-pub use stats::{BlockStats, KernelStats};
+pub use stats::{BlockStats, CacheHierarchyStats, CacheStats, KernelStats};
 pub use timeline::{record as record_timeline, Timeline};

@@ -52,6 +52,30 @@ pub fn ncu_style_report(name: &str, stats: &KernelStats, spec: &GpuSpec) -> Stri
             "compute"
         }
     ));
+    if let Some(cache) = &stats.cache {
+        out.push_str("  Section: Cache Hierarchy\n");
+        for (level, s) in [("L1/TEX", &cache.l1), ("L2", &cache.l2)] {
+            out.push_str(&format!(
+                "    {:<28}{:>12.1} %\n",
+                format!("{level} Hit Rate"),
+                100.0 * s.hit_rate()
+            ));
+            out.push_str(&format!(
+                "    {:<28}{:>12}\n",
+                format!("{level} Sector Reads"),
+                s.sector_reads
+            ));
+            out.push_str(&format!(
+                "    {:<28}{:>12}\n",
+                format!("{level} Evictions"),
+                s.evictions
+            ));
+        }
+        out.push_str(&format!(
+            "    MSHR Merges                 {:>12}\n",
+            cache.l1.mshr_merges + cache.l2.mshr_merges
+        ));
+    }
     out
 }
 
@@ -74,6 +98,7 @@ mod tests {
                     })
                     .collect()],
                 smem_bytes: 1024,
+                gmem: Vec::new(),
             },
             4,
             1 << 20,

@@ -64,6 +64,70 @@ impl BlockStats {
     }
 }
 
+/// Counters of one cache level, in 32-byte-sector units.
+///
+/// Invariants (enforced by `tests/cache_properties.rs`):
+/// `accesses == hits + misses` and
+/// `misses == sector_reads + mshr_merges` — a miss either starts a new
+/// fill from the next level (`sector_reads`) or coalesces onto an
+/// in-flight one (`mshr_merges`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Sector-granular lookups.
+    pub accesses: u64,
+    /// Sectors served from the cache.
+    pub hits: u64,
+    /// Sectors not resident at lookup time.
+    pub misses: u64,
+    /// Sectors fetched from the next level (fills).
+    pub sector_reads: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Misses absorbed by an in-flight fill of the same sector.
+    pub mshr_merges: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Accumulates another counter set.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.sector_reads += other.sector_reads;
+        self.evictions += other.evictions;
+        self.mshr_merges += other.mshr_merges;
+    }
+
+    /// Adds `other` scaled by `count` identical blocks.
+    pub fn add_scaled(&mut self, other: &CacheStats, count: u64) {
+        self.accesses += other.accesses * count;
+        self.hits += other.hits * count;
+        self.misses += other.misses * count;
+        self.sector_reads += other.sector_reads * count;
+        self.evictions += other.evictions * count;
+        self.mshr_merges += other.mshr_merges * count;
+    }
+}
+
+/// Per-kernel L1 + L2 counters, present only when `GpuSpec::caches`
+/// enables the hierarchy (DESIGN.md §18).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheHierarchyStats {
+    /// All per-SM L1s summed over the grid's blocks.
+    pub l1: CacheStats,
+    /// The device-wide sliced L2 (fed by L1 fills).
+    pub l2: CacheStats,
+}
+
 /// Whole-kernel report — the simulator's analogue of an Nsight section.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct KernelStats {
@@ -88,6 +152,9 @@ pub struct KernelStats {
     pub long_scoreboard_per_instr: f64,
     /// Same for short scoreboard.
     pub short_scoreboard_per_instr: f64,
+    /// L1/L2 hit-miss counters; `None` whenever the cache model is off
+    /// (the default), keeping the legacy report shape bit-identical.
+    pub cache: Option<CacheHierarchyStats>,
 }
 
 impl KernelStats {

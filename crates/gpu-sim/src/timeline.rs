@@ -121,6 +121,7 @@ mod tests {
                 ],
             ],
             smem_bytes: 0,
+            gmem: Vec::new(),
         }
     }
 

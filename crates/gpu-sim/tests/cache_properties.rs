@@ -1,0 +1,214 @@
+//! Property-based tests of the sectored cache hierarchy (DESIGN.md
+//! §18): conservation of sector counts, monotonicity in capacity, LRU
+//! sanity, and the kernel-level L1→L2 traffic invariant.
+
+use proptest::prelude::*;
+
+use gpu_sim::{
+    simulate_kernel, BlockTrace, CacheConfig, CacheStats, GpuSpec, KernelLaunch, MemSegment,
+    SectoredCache, WarpInstr,
+};
+
+fn cache(sets: usize, ways: usize) -> SectoredCache {
+    SectoredCache::new(CacheConfig {
+        sets,
+        ways,
+        line_bytes: 128,
+        sector_bytes: 32,
+        hit_latency: 32,
+    })
+}
+
+fn assert_conserved(s: &CacheStats) {
+    assert_eq!(s.accesses, s.hits + s.misses, "accesses = hits + misses");
+    assert_eq!(
+        s.misses,
+        s.sector_reads + s.mshr_merges,
+        "every miss either fetched a sector or merged onto a fill"
+    );
+}
+
+/// A deterministic pseudo-random access stream: `(addr, bytes)` pairs
+/// over a bounded address range, with strictly increasing `now` so the
+/// MSHR window closes between far-apart accesses.
+fn lcg_stream(seed: u64, len: usize, addr_range: u64) -> Vec<(u64, u32)> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 16) % addr_range, 32 * (1 + (x % 4) as u32))
+        })
+        .collect()
+}
+
+/// Replays a stream and returns the final counters. `fill_latency = 0`
+/// keeps the MSHR out of the picture so hit/miss classification depends
+/// on geometry alone.
+fn replay(c: &mut SectoredCache, stream: &[(u64, u32)], fill_latency: u64) -> CacheStats {
+    for (i, &(addr, bytes)) in stream.iter().enumerate() {
+        c.access(addr, bytes, i as u64, fill_latency);
+    }
+    *c.stats()
+}
+
+#[test]
+fn full_working_set_hits_after_the_cold_pass() {
+    // 64 sets × 4 ways × 128B = 32 KiB; a 16 KiB working set fits.
+    let mut c = cache(64, 4);
+    let lines: Vec<u64> = (0..128).map(|i| i * 128).collect();
+    for (i, &a) in lines.iter().enumerate() {
+        let r = c.access(a, 128, i as u64 * 1000, 100);
+        assert_eq!(r.fills, 4, "cold pass fills every sector");
+    }
+    let warm_base = lines.len() as u64 * 1000;
+    for (i, &a) in lines.iter().enumerate() {
+        let r = c.access(a, 128, warm_base + i as u64, 100);
+        assert!(r.full_hit(), "working set <= capacity must fully hit");
+    }
+    let s = c.stats();
+    assert_eq!(s.evictions, 0);
+    assert_eq!(s.hits, s.accesses / 2, "exactly the warm pass hit");
+    assert_conserved(s);
+}
+
+#[test]
+fn working_set_past_capacity_evicts() {
+    // 1 set × 2 ways: three distinct lines cycled round-robin thrash.
+    let mut c = cache(1, 2);
+    for i in 0..30u64 {
+        c.access((i % 3) * 128, 32, i * 1000, 1);
+    }
+    let s = c.stats();
+    assert_eq!(s.hits, 0, "LRU round-robin over ways+1 lines never hits");
+    assert!(s.evictions > 0);
+    assert_conserved(s);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conservation_over_seeded_streams(seed in 1u64..1 << 48, len in 1usize..600) {
+        let stream = lcg_stream(seed, len, 256 * 1024);
+        let mut c = cache(16, 4);
+        let s = replay(&mut c, &stream, 40);
+        assert_conserved(&s);
+        prop_assert_eq!(
+            s.accesses,
+            stream
+                .iter()
+                .map(|&(a, b)| (a + u64::from(b) - 1) / 32 - a / 32 + 1)
+                .sum::<u64>(),
+            "every covered sector is counted exactly once"
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic(seed in 1u64..1 << 48) {
+        let stream = lcg_stream(seed, 400, 64 * 1024);
+        let a = replay(&mut cache(16, 4), &stream, 40);
+        let b = replay(&mut cache(16, 4), &stream, 40);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_ways_never_lose_hits(seed in 1u64..1 << 48, ways in 1usize..6) {
+        // LRU inclusion: at fixed set count, a cache with more ways
+        // holds a superset of the lines, so the hit count cannot drop.
+        let stream = lcg_stream(seed, 500, 48 * 1024);
+        let small = replay(&mut cache(16, ways), &stream, 0);
+        let large = replay(&mut cache(16, ways + 2), &stream, 0);
+        prop_assert!(
+            large.hits >= small.hits,
+            "{} ways hit {} < {} ways hit {}",
+            ways + 2, large.hits, ways, small.hits
+        );
+        assert_conserved(&small);
+        assert_conserved(&large);
+    }
+
+    #[test]
+    fn merges_only_shift_traffic_never_create_it(seed in 1u64..1 << 48) {
+        // The same stream with and without an MSHR window: merges may
+        // reclassify misses, but hits-by-geometry and total sectors
+        // are unchanged, and traffic (sector_reads) never grows.
+        let stream = lcg_stream(seed, 400, 32 * 1024);
+        let instant = replay(&mut cache(16, 4), &stream, 0);
+        let windowed = replay(&mut cache(16, 4), &stream, 10_000);
+        prop_assert_eq!(instant.accesses, windowed.accesses);
+        prop_assert_eq!(instant.sector_reads, windowed.sector_reads,
+            "the MSHR window reclassifies hits as merges but fills are geometry-determined");
+        prop_assert_eq!(instant.hits, windowed.hits + windowed.mshr_merges);
+    }
+}
+
+/// A block whose warp streams annotated loads over `lines` distinct
+/// 128-byte lines, touching each `passes` times.
+fn annotated_block(lines: u64, passes: usize) -> BlockTrace {
+    let mut warp = Vec::new();
+    let mut refs = Vec::new();
+    for _ in 0..passes {
+        for l in 0..lines {
+            warp.push(WarpInstr::LdGlobal {
+                bytes: 128,
+                transactions: 4,
+                produces: None,
+                l2_hit: false,
+                consumes: vec![],
+            });
+            refs.push(vec![MemSegment {
+                addr: l * 128,
+                bytes: 128,
+                scaled: false,
+            }]);
+        }
+    }
+    BlockTrace {
+        warps: vec![warp],
+        smem_bytes: 0,
+        gmem: vec![refs],
+    }
+}
+
+#[test]
+fn kernel_level_traffic_funnels_l1_fills_into_l2() {
+    let spec = GpuSpec::a100_with_caches();
+    let launch = KernelLaunch::from_blocks(vec![annotated_block(64, 2)], 0);
+    let stats = simulate_kernel(&launch, &spec);
+    let c = stats.cache.expect("cache model on");
+    assert_conserved(&c.l1);
+    assert_conserved(&c.l2);
+    assert_eq!(
+        c.l2.accesses, c.l1.sector_reads,
+        "every L2 access is an L1 fill and nothing else"
+    );
+    assert!(c.l1.sector_reads > 0);
+}
+
+#[test]
+fn replicated_blocks_reuse_unscaled_lines_in_l2() {
+    let spec = GpuSpec::a100_with_caches();
+    let one = simulate_kernel(
+        &KernelLaunch::from_blocks(vec![annotated_block(64, 1)], 0),
+        &spec,
+    );
+    let many = simulate_kernel(
+        &KernelLaunch::replicated(annotated_block(64, 1), 8, 0),
+        &spec,
+    );
+    let (c1, c8) = (one.cache.unwrap(), many.cache.unwrap());
+    // All replicas read the same unscaled addresses: DRAM-bound sector
+    // reads must not scale with the replica count.
+    assert_eq!(c8.l2.sector_reads, c1.l2.sector_reads);
+    assert_eq!(c8.l1.sector_reads, 8 * c1.l1.sector_reads);
+    assert!(c8.l2.hits > 0, "later replicas hit the shared L2");
+}
+
+#[test]
+fn cache_model_is_off_by_default() {
+    let launch = KernelLaunch::from_blocks(vec![annotated_block(8, 1)], 0);
+    let stats = simulate_kernel(&launch, &GpuSpec::a100());
+    assert!(stats.cache.is_none(), "a100() must not enable the caches");
+}

@@ -75,6 +75,7 @@ fn arb_block() -> impl Strategy<Value = BlockTrace> {
         .prop_map(|(warps, smem)| BlockTrace {
             warps,
             smem_bytes: smem,
+            gmem: Vec::new(),
         })
 }
 
@@ -149,6 +150,7 @@ proptest! {
             vec![BlockTrace {
                 warps: vec![vec![WarpInstr::CudaOp { cycles: 1, consumes: vec![], produces: None }]],
                 smem_bytes: 0,
+                gmem: Vec::new(),
             }],
             bytes,
         );

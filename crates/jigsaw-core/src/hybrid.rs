@@ -192,6 +192,7 @@ impl HybridPlan {
         KernelLaunch {
             blocks,
             dram_bytes: (stored + self.k * n * 2 + self.m * n * 2) as u64,
+            block_bias: Vec::new(),
         }
     }
 
@@ -454,6 +455,7 @@ fn build_block(strip: &HybridStrip, cfg: &JigsawConfig, spec: &GpuSpec) -> Block
     BlockTrace {
         warps: (0..warps).map(trace_for).collect(),
         smem_bytes: cfg.smem_bytes(),
+        gmem: Vec::new(),
     }
 }
 

@@ -16,11 +16,25 @@
 //!   branchy half-warp pattern instead of one `ldmatrix` per two steps
 //!   (§3.4.3).
 
-use gpu_sim::{BlockTrace, KernelLaunch, MmaOp, TokenAlloc, WarpInstr};
+use gpu_sim::{BlockTrace, KernelLaunch, MemRef, MemSegment, MmaOp, TokenAlloc, WarpInstr};
 
 use crate::config::{JigsawConfig, MMA_TILE};
 use crate::format::JigsawFormat;
-use crate::reorder::TileReorder;
+use crate::reorder::{TileReorder, PAD};
+
+/// Virtual address-space bases for the cache model's annotations
+/// (DESIGN.md §18). The regions never alias; only B and C segments are
+/// `scaled` (shifted by the per-block N-tile bias), so the compressed
+/// A payload is genuinely shared across a strip's N-tile replicas
+/// while each replica reads its own B/C columns.
+const B_BASE: u64 = 1 << 41;
+const C_BASE: u64 = 1 << 42;
+const FMT_BASE: u64 = 1 << 43;
+/// Per-strip stride inside the format region.
+const STRIP_STRIDE: u64 = 1 << 28;
+/// Offset of the staged A/metadata payload within a strip's region
+/// (below it: the col_idx arrays).
+const A_OFF: u64 = 1 << 24;
 
 /// Bank-conflict ways of one `ldmatrix` 8-row phase under the padded
 /// layout: rows collide iff their source positions are congruent mod 8
@@ -65,21 +79,29 @@ pub fn build_launch(format: &JigsawFormat, n: usize, config: &JigsawConfig) -> K
     );
     let n_blocks = n.div_ceil(config.block_tile_n);
     let mut blocks = Vec::with_capacity(format.strips.len() * n_blocks);
+    let mut block_bias = Vec::with_capacity(format.strips.len() * n_blocks);
     for (si, _) in format.strips.iter().enumerate() {
         // All n-blocks of a strip execute the same trace: build it
         // once and share it, so large-N launches stay O(strips) in
-        // memory instead of O(strips × n_blocks).
-        let block = std::sync::Arc::new(build_block(format, si, config));
+        // memory instead of O(strips × n_blocks). The trace's B/C
+        // segments are built for N-tile 0 and marked `scaled`; each
+        // replica's bias shifts them to its own column slice.
+        let block = std::sync::Arc::new(build_block(format, si, n, config));
         blocks.extend(std::iter::repeat_n(block, n_blocks));
+        block_bias.extend((0..n_blocks).map(|j| (j * config.block_tile_n * 2) as u64));
     }
 
     // Compulsory DRAM traffic: the stored format once, B once, C once.
     let dram_bytes =
         format.measured_bytes() as u64 + (format.k * n * 2) as u64 + (format.m * n * 2) as u64;
-    KernelLaunch { blocks, dram_bytes }
+    KernelLaunch {
+        blocks,
+        dram_bytes,
+        block_bias,
+    }
 }
 
-fn build_block(format: &JigsawFormat, si: usize, config: &JigsawConfig) -> BlockTrace {
+fn build_block(format: &JigsawFormat, si: usize, n: usize, config: &JigsawConfig) -> BlockTrace {
     let strip = &format.strips[si];
     let tile_rows = strip.height / MMA_TILE;
     let pairs = strip.windows.div_ceil(2);
@@ -87,24 +109,29 @@ fn build_block(format: &JigsawFormat, si: usize, config: &JigsawConfig) -> Block
     let warps_n = config.block_tile_n / config.warp_tile_n;
     let mmas_per_step = config.mmas_per_warp_per_step();
 
-    let warp_traces = (0..warps)
-        .map(|wi| {
-            let wm = wi / warps_n; // which 16-row tile row this warp owns
-            build_warp_trace(
-                format,
-                si,
-                wm.min(tile_rows.saturating_sub(1)),
-                pairs,
-                warps,
-                mmas_per_step,
-                config,
-            )
-        })
-        .collect();
+    let mut warp_traces = Vec::with_capacity(warps);
+    let mut gmem = Vec::with_capacity(warps);
+    for wi in 0..warps {
+        let wm = wi / warps_n; // which 16-row tile row this warp owns
+        let (trace, refs) = build_warp_trace(
+            format,
+            si,
+            wi,
+            wm.min(tile_rows.saturating_sub(1)),
+            pairs,
+            warps,
+            mmas_per_step,
+            n,
+            config,
+        );
+        warp_traces.push(trace);
+        gmem.push(refs);
+    }
 
     BlockTrace {
         warps: warp_traces,
         smem_bytes: config.smem_bytes(),
+        gmem,
     }
 }
 
@@ -112,22 +139,44 @@ fn build_block(format: &JigsawFormat, si: usize, config: &JigsawConfig) -> Block
 fn build_warp_trace(
     format: &JigsawFormat,
     si: usize,
+    wi: usize,
     tile_row: usize,
     pairs: usize,
     warps: usize,
     mmas_per_step: usize,
+    n: usize,
     config: &JigsawConfig,
-) -> Vec<WarpInstr> {
+) -> (Vec<WarpInstr>, Vec<MemRef>) {
     let strip = &format.strips[si];
     let mut t = TokenAlloc::new();
     let mut trace: Vec<WarpInstr> = Vec::new();
+    // One entry per CpAsync/LdGlobal/StGlobal, in emit order — the
+    // engine's L1 probe walks this in lock-step with the trace.
+    let mut refs: Vec<MemRef> = Vec::new();
     let padded = config.bank_conflict_elimination;
     let deep = config.deep_pipeline;
+    let warps_n = config.block_tile_n / config.warp_tile_n;
+    let strip_base = FMT_BASE + si as u64 * STRIP_STRIDE;
 
     // Per-warp share of the staged bytes per k-step.
     let b_slab = (32 * (config.block_tile_n + if padded { 8 } else { 0 }) * 2 / warps) as u32;
     let a_slab = ((config.block_tile_m * 16 * 2 + (config.block_tile_m / 16) * 64) / warps) as u32;
     let ci_bytes = (32 * 4 / warps).max(4) as u32;
+
+    // This warp's C rows: `warp_tile_m` rows starting at its 16-row
+    // tile, offset to its n-subtile columns (for N-tile 0; `scaled`).
+    let c_refs = |config: &JigsawConfig| -> MemRef {
+        let col_off = ((wi % warps_n) * config.warp_tile_n * 2) as u64;
+        (0..config.warp_tile_m)
+            .map(|i| MemSegment {
+                addr: C_BASE
+                    + (strip.row0 + tile_row * MMA_TILE + i) as u64 * n as u64 * 2
+                    + col_off,
+                bytes: (config.warp_tile_n * 2) as u32,
+                scaled: true,
+            })
+            .collect()
+    };
 
     if pairs == 0 {
         // Nothing to compute: zero-fill C and leave.
@@ -140,7 +189,8 @@ fn build_warp_trace(
             bytes: (config.warp_tile_m * config.warp_tile_n * 2) as u32,
             consumes: vec![],
         });
-        return trace;
+        refs.push(c_refs(config));
+        return (trace, refs);
     }
 
     // Block prologue: grid/index setup, format header decode, C-tile
@@ -154,10 +204,48 @@ fn build_warp_trace(
     // Tracks commit order so WaitGroup pending counts are exact.
     let mut outstanding: Vec<&'static str> = Vec::new();
 
+    // This warp's share of the per-step col_idx array (unscaled: all
+    // N-tile replicas of the strip re-read the same words).
+    let ci_ref = |step: usize| -> MemRef {
+        vec![MemSegment {
+            addr: strip_base + (step * warps + wi) as u64 * ci_bytes as u64,
+            bytes: ci_bytes,
+            scaled: false,
+        }]
+    };
+    // This warp's share of the 32 gathered B rows of pair `p`: whole
+    // rows of the N-tile-0 column slice, skipping PAD entries. The B
+    // row address is what the cache model is really about — row reuse
+    // across k-steps and across N-tile replicas is where vector
+    // sparsity pays.
+    let b_ref = |p: usize| -> MemRef {
+        let rows_per_warp = (32 / warps).max(1);
+        let lo = (wi * rows_per_warp).min(32);
+        let hi = (lo + rows_per_warp).min(32);
+        (lo..hi)
+            .filter_map(|r| strip.col_idx.get(2 * p * MMA_TILE + r))
+            .filter(|&&col| col != PAD)
+            .map(|&col| MemSegment {
+                addr: B_BASE + col as u64 * n as u64 * 2,
+                bytes: (config.block_tile_n * 2) as u32,
+                scaled: true,
+            })
+            .collect()
+    };
+    // This warp's share of the staged compressed-A/metadata slab.
+    let a_ref = |step: usize| -> MemRef {
+        vec![MemSegment {
+            addr: strip_base + A_OFF + (step * warps + wi) as u64 * a_slab as u64,
+            bytes: a_slab,
+            scaled: false,
+        }]
+    };
+
     // Issues the staged loads for k-step `p` and commits them as one
     // group. Returns nothing; updates `outstanding`.
     let issue_loads = |p: usize,
                        trace: &mut Vec<WarpInstr>,
+                       refs: &mut Vec<MemRef>,
                        t: &mut TokenAlloc,
                        outstanding: &mut Vec<&'static str>| {
         let addr_tok = if deep {
@@ -171,6 +259,7 @@ fn build_warp_trace(
                     group: 1,
                     consumes: vec![],
                 });
+                refs.push(ci_ref(p + 1));
                 trace.push(WarpInstr::CommitGroup { group: 1 });
                 outstanding.push("ci");
             }
@@ -198,6 +287,7 @@ fn build_warp_trace(
                 l2_hit: false,
                 consumes: vec![],
             });
+            refs.push(ci_ref(p));
             let addr = t.fresh();
             trace.push(WarpInstr::CudaOp {
                 cycles: 2,
@@ -211,17 +301,19 @@ fn build_warp_trace(
             group: 0,
             consumes: vec![addr_tok],
         });
+        refs.push(b_ref(p));
         trace.push(WarpInstr::CpAsync {
             bytes: a_slab,
             group: 0,
             consumes: vec![],
         });
+        refs.push(a_ref(p));
         trace.push(WarpInstr::CommitGroup { group: 0 });
         outstanding.push("data");
     };
 
     // Prologue: stage step 0.
-    issue_loads(0, &mut trace, &mut t, &mut outstanding);
+    issue_loads(0, &mut trace, &mut refs, &mut t, &mut outstanding);
 
     // Rolling accumulator tokens, one chain per n-subtile.
     let mut acc: Vec<Option<u32>> = vec![None; mmas_per_step];
@@ -230,7 +322,7 @@ fn build_warp_trace(
 
     for p in 0..pairs {
         if p + 1 < pairs {
-            issue_loads(p + 1, &mut trace, &mut t, &mut outstanding);
+            issue_loads(p + 1, &mut trace, &mut refs, &mut t, &mut outstanding);
         }
         // Wait until the data group of step p has landed — the oldest
         // still-outstanding data group; everything committed after it
@@ -327,7 +419,8 @@ fn build_warp_trace(
         bytes: (config.warp_tile_m * config.warp_tile_n * 2) as u32,
         consumes: final_accs,
     });
-    trace
+    refs.push(c_refs(config));
+    (trace, refs)
 }
 
 /// Reconstructs the tile reorder of `(window, tile_row)` from the

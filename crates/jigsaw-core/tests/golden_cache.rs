@@ -1,0 +1,126 @@
+//! Checked-in golden cache counters for one small SpMM plan simulated
+//! with the sectored hierarchy on (DESIGN.md §18).
+//!
+//! The property suite (`gpu-sim/tests/cache_properties.rs`) proves the
+//! cache model's invariants; this test pins the *exact* per-kernel
+//! L1/L2 counters of a fixed plan so any drift in the address
+//! annotations, the replacement policy, or the L2 replay order fails
+//! CI deterministically. To regenerate after an *intentional* model
+//! change, run:
+//!
+//! ```text
+//! JIGSAW_GOLDEN_PRINT=1 cargo test -p jigsaw-core --test golden_cache -- --nocapture
+//! ```
+//!
+//! and paste the printed constants over `EXPECTED` below.
+
+use dlmc::{ValueDist, VectorSparseSpec};
+use gpu_sim::GpuSpec;
+use jigsaw_core::{JigsawConfig, JigsawSpmm};
+
+#[derive(Debug, PartialEq, Eq)]
+struct GoldenCounters {
+    name: &'static str,
+    n: usize,
+    l1_accesses: u64,
+    l1_hits: u64,
+    l1_sector_reads: u64,
+    l1_evictions: u64,
+    l1_mshr_merges: u64,
+    l2_accesses: u64,
+    l2_hits: u64,
+    l2_sector_reads: u64,
+    l2_evictions: u64,
+}
+
+const EXPECTED: &[GoldenCounters] = &[
+    GoldenCounters {
+        name: "v4_16",
+        n: 64,
+        l1_accesses: 872,
+        l1_hits: 0,
+        l1_sector_reads: 872,
+        l1_evictions: 0,
+        l1_mshr_merges: 0,
+        l2_accesses: 872,
+        l2_hits: 296,
+        l2_sector_reads: 576,
+        l2_evictions: 0,
+    },
+    GoldenCounters {
+        name: "v4_16",
+        n: 128,
+        l1_accesses: 1744,
+        l1_hits: 0,
+        l1_sector_reads: 1744,
+        l1_evictions: 0,
+        l1_mshr_merges: 0,
+        l2_accesses: 1744,
+        l2_hits: 752,
+        l2_sector_reads: 992,
+        l2_evictions: 0,
+    },
+];
+
+#[test]
+fn cache_counters_match_committed_golden_values() {
+    let a = VectorSparseSpec {
+        rows: 64,
+        cols: 128,
+        sparsity: 0.9,
+        v: 4,
+        dist: ValueDist::Uniform,
+        seed: 7,
+    }
+    .generate();
+    let kernel = JigsawSpmm::plan(&a, JigsawConfig::v4(16)).expect("plan");
+    let spec = GpuSpec::a100_with_caches();
+
+    let mut got = Vec::new();
+    for n in [64usize, 128] {
+        let stats = kernel.simulate(n, &spec);
+        let c = stats.cache.expect("cache model on");
+        got.push(GoldenCounters {
+            name: "v4_16",
+            n,
+            l1_accesses: c.l1.accesses,
+            l1_hits: c.l1.hits,
+            l1_sector_reads: c.l1.sector_reads,
+            l1_evictions: c.l1.evictions,
+            l1_mshr_merges: c.l1.mshr_merges,
+            l2_accesses: c.l2.accesses,
+            l2_hits: c.l2.hits,
+            l2_sector_reads: c.l2.sector_reads,
+            l2_evictions: c.l2.evictions,
+        });
+        // The hierarchy invariant holds regardless of golden drift.
+        assert_eq!(c.l2.accesses, c.l1.sector_reads);
+    }
+
+    if std::env::var_os("JIGSAW_GOLDEN_PRINT").is_some() {
+        for g in &got {
+            println!(
+                "    GoldenCounters {{\n        name: \"{}\",\n        n: {},\n        \
+                 l1_accesses: {},\n        l1_hits: {},\n        l1_sector_reads: {},\n        \
+                 l1_evictions: {},\n        l1_mshr_merges: {},\n        l2_accesses: {},\n        \
+                 l2_hits: {},\n        l2_sector_reads: {},\n        l2_evictions: {},\n    }},",
+                g.name,
+                g.n,
+                g.l1_accesses,
+                g.l1_hits,
+                g.l1_sector_reads,
+                g.l1_evictions,
+                g.l1_mshr_merges,
+                g.l2_accesses,
+                g.l2_hits,
+                g.l2_sector_reads,
+                g.l2_evictions,
+            );
+        }
+        return;
+    }
+    assert_eq!(got.len(), EXPECTED.len());
+    for (g, e) in got.iter().zip(EXPECTED) {
+        assert_eq!(g, e, "cache counters drifted for {} N={}", e.name, e.n);
+    }
+}
